@@ -1,0 +1,358 @@
+// Benchmarks: one per experiment of EXPERIMENTS.md (E1-E12), matching the
+// rows printed by cmd/hivebench. Run with:
+//
+//	go test -bench=. -benchmem
+package hive_test
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hive"
+	"hive/internal/align"
+	"hive/internal/conceptmap"
+	"hive/internal/core"
+	"hive/internal/diffusion"
+	"hive/internal/graph"
+	"hive/internal/rdf"
+	"hive/internal/server"
+	"hive/internal/summarize"
+	"hive/internal/tensor"
+	"hive/internal/workload"
+)
+
+func benchClock() func() time.Time {
+	t := time.Unix(1363000000, 0)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+// Shared fixture: a 64-user platform with a refreshed engine, built once.
+var (
+	fixtureOnce sync.Once
+	fixture     *hive.Platform
+	fixtureEng  *core.Engine
+	fixtureErr  error
+)
+
+func benchPlatform(b *testing.B) (*hive.Platform, *core.Engine) {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		p, err := hive.Open(hive.Options{Clock: benchClock()})
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		ds := workload.Generate(workload.Config{Seed: 42, Users: 64})
+		if err := ds.Load(p.Store()); err != nil {
+			fixtureErr = err
+			return
+		}
+		if err := p.Refresh(); err != nil {
+			fixtureErr = err
+			return
+		}
+		eng, err := p.Engine()
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		fixture, fixtureEng = p, eng
+	})
+	if fixtureErr != nil {
+		b.Fatal(fixtureErr)
+	}
+	return fixture, fixtureEng
+}
+
+// BenchmarkE1_PlatformAPI measures end-to-end REST latency of the
+// context-aware search endpoint (Figure 1's interactive surface).
+func BenchmarkE1_PlatformAPI(b *testing.B) {
+	p, _ := benchPlatform(b)
+	ts := httptest.NewServer(server.New(p))
+	defer ts.Close()
+	uid := p.Users()[0]
+	url := ts.URL + "/api/search?q=graph+partitioning&k=10&user=" + uid
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkE2_RelationshipDiscovery measures evidence discovery and
+// explanation between random user pairs (Figure 2).
+func BenchmarkE2_RelationshipDiscovery(b *testing.B) {
+	p, eng := benchPlatform(b)
+	ids := p.Users()
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := ids[rng.Intn(len(ids))]
+		c := ids[rng.Intn(len(ids))]
+		if a == c {
+			continue
+		}
+		if _, err := eng.Explain(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3_LayerAlignment measures multi-layer alignment plus
+// integration of the context network (Figure 3).
+func BenchmarkE3_LayerAlignment(b *testing.B) {
+	_, eng := benchPlatform(b)
+	layers := eng.Layers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := align.Integrate(layers, align.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4_WorkpadContext measures context-conditioned resource
+// recommendation (Figure 4); the "nocontext" sub-bench is the ablation.
+func BenchmarkE4_WorkpadContext(b *testing.B) {
+	p, eng := benchPlatform(b)
+	uid := p.Users()[0]
+	for _, arm := range []struct {
+		name string
+		ctx  bool
+	}{{"context", true}, {"nocontext", false}} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.RecommendResources(uid, 5, arm.ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5_ServiceMatrix runs one pass over every Table 1 service.
+func BenchmarkE5_ServiceMatrix(b *testing.B) {
+	p, eng := benchPlatform(b)
+	uid, other := p.Users()[0], p.Users()[1]
+	conf := p.Store().Conferences()[0]
+	doc := core.DocPaper + p.Store().Papers()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RecommendPeers(uid, 5); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Explain(uid, other); err != nil {
+			b.Fatal(err)
+		}
+		eng.SearchWithContext(uid, "graph partitioning", 5)
+		if _, err := eng.Preview(uid, doc, 2); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.UpdateDigest(uid, 5); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.SuggestSessions(uid, conf, 3); err != nil {
+			b.Fatal(err)
+		}
+		eng.Communities()
+	}
+}
+
+// BenchmarkE6_SCENT compares change-detection methods on a tensor stream:
+// incremental sketches vs full re-sketch vs exact diff vs CP recompute.
+func BenchmarkE6_SCENT(b *testing.B) {
+	shape := []int{64, 64, 16}
+	changeAt := map[int]bool{20: true}
+	stream, deltas := tensor.SyntheticStreamWithDeltas(11, shape, 30, 2000, changeAt)
+	sk, err := tensor.NewSketcher(64, 3, shape...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sketch-incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tensor.MonitorIncremental(sk, deltas, &tensor.Detector{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sketch-full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tensor.MonitorSketched(sk, stream, &tensor.Detector{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact-frobenius", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tensor.MonitorExact(stream, &tensor.Detector{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cp-als-recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tensor.MonitorDecomposition(stream, 5, 10, &tensor.Detector{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE7_INI compares indexed vs online top-k impact queries.
+func BenchmarkE7_INI(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 500
+	g := graph.NewWithCapacity(n)
+	for i := 0; i < n; i++ {
+		g.EnsureNode(fmt.Sprintf("n%d", i), "user")
+	}
+	for i := 0; i < 6*n; i++ {
+		a := graph.NodeID(rng.Intn(n))
+		c := graph.NodeID(rng.Intn(n))
+		if a != c {
+			_ = g.AddEdge(a, c, "e", 0.2+0.7*rng.Float64())
+		}
+	}
+	idx, err := diffusion.BuildIndex(g, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.TopK(graph.NodeID(i%n), 10)
+		}
+	})
+	b.Run("online", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := diffusion.TopKOnline(g, graph.NodeID(i%n), 10, 0.05); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE8_RankedPaths compares best-first ranked path search against
+// exhaustive enumeration on a weighted RDF graph.
+func BenchmarkE8_RankedPaths(b *testing.B) {
+	st := rdf.NewStore()
+	rng := rand.New(rand.NewSource(13))
+	const n = 60
+	for i := 0; i < 8*n; i++ {
+		s := fmt.Sprintf("n%d", rng.Intn(n))
+		o := fmt.Sprintf("n%d", rng.Intn(n))
+		if s == o {
+			continue
+		}
+		_ = st.Add(rdf.Triple{Subject: s, Predicate: "rel", Object: o, Weight: 0.1 + 0.9*rng.Float64()})
+	}
+	b.Run("ranked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st.RankedPaths("n0", fmt.Sprintf("n%d", n-1), 5, rdf.PathOptions{MaxLength: 4})
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			st.AllPathsNaive("n0", fmt.Sprintf("n%d", n-1), 5, 4, false)
+		}
+	})
+}
+
+// BenchmarkE9_AlphaSum compares greedy vs exhaustive summarization.
+func BenchmarkE9_AlphaSum(b *testing.B) {
+	p, _ := benchPlatform(b)
+	ds := workload.Generate(workload.Config{Seed: 42, Users: 64})
+	affil := map[string]string{}
+	for _, u := range ds.Users {
+		affil[u.ID] = u.Affiliation
+	}
+	tab := &summarize.Table{Columns: []string{"verb", "topic", "affil"}}
+	for _, ev := range p.Store().EventsSince(0, 0) {
+		topic := "other"
+		if t, ok := ds.TopicOfUser[ev.Actor]; ok {
+			topic = workload.Topics[t].Name
+		}
+		tab.Rows = append(tab.Rows, []string{ev.Verb, topic, affil[ev.Actor]})
+	}
+	verbs, err := summarize.NewHierarchy(map[string]string{
+		"question": "discussion", "answer": "discussion", "comment": "discussion",
+		"checkin": "presence", "connect": "networking", "follow": "networking",
+		"upload": "content", "browse": "content",
+		"discussion": summarize.Root, "presence": summarize.Root,
+		"networking": summarize.Root, "content": summarize.Root,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := summarize.NewSummarizer(tab.Columns, map[string]*summarize.Hierarchy{"verb": verbs})
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Greedy(tab, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("optimal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Optimal(tab, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10_CollabFilter compares user-based CF against popularity.
+func BenchmarkE10_CollabFilter(b *testing.B) {
+	p, eng := benchPlatform(b)
+	ids := p.Users()
+	b.Run("cf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.RecommendByCF(ids[i%len(ids)], 5)
+		}
+	})
+	b.Run("popularity", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.RecommendByPopularity(ids[i%len(ids)], 5)
+		}
+	})
+}
+
+// BenchmarkE11_ConceptBootstrap measures concept-map bootstrapping over a
+// paper corpus.
+func BenchmarkE11_ConceptBootstrap(b *testing.B) {
+	ds := workload.Generate(workload.Config{Seed: 21, Users: 40})
+	var docs []string
+	for _, p := range ds.Papers {
+		docs = append(docs, p.Title+". "+p.Abstract)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conceptmap.Bootstrap(docs, conceptmap.BootstrapOptions{MaxConcepts: 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE12_Snippets measures context-aware snippet extraction.
+func BenchmarkE12_Snippets(b *testing.B) {
+	p, eng := benchPlatform(b)
+	uid := p.Users()[0]
+	papers := p.Store().Papers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc := core.DocPaper + papers[i%len(papers)]
+		if _, err := eng.Preview(uid, doc, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

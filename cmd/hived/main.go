@@ -1,0 +1,53 @@
+// Command hived serves the Hive platform over HTTP (the Figure 1
+// surface).
+//
+// Usage:
+//
+//	hived [-addr :8080] [-data DIR] [-seed users]
+//
+// With -seed N, a synthetic conference workload of N users is generated
+// and loaded at startup so the API has data to serve.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"hive"
+	"hive/internal/server"
+	"hive/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "storage directory (empty = in-memory)")
+	seed := flag.Int("seed", 0, "generate a synthetic workload with this many users")
+	flag.Parse()
+
+	p, err := hive.Open(hive.Options{Dir: *data})
+	if err != nil {
+		log.Fatalf("open platform: %v", err)
+	}
+	defer p.Close()
+
+	if *seed > 0 {
+		ds := workload.Generate(workload.Config{Seed: 42, Users: *seed})
+		if err := ds.Load(p.Store()); err != nil {
+			log.Fatalf("load workload: %v", err)
+		}
+		log.Printf("seeded %d users, %d papers, %d sessions",
+			len(ds.Users), len(ds.Papers), len(ds.Sessions))
+	}
+	start := time.Now()
+	if err := p.Refresh(); err != nil {
+		log.Fatalf("build knowledge engine: %v", err)
+	}
+	log.Printf("knowledge engine ready in %v", time.Since(start))
+
+	log.Printf("hived listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, server.New(p)); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

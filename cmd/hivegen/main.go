@@ -1,0 +1,42 @@
+// Command hivegen generates a synthetic conference workload and either
+// prints summary statistics or writes it into a Hive data directory.
+//
+// Usage:
+//
+//	hivegen [-users 60] [-seed 42] [-out DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hive/internal/social"
+	"hive/internal/workload"
+)
+
+func main() {
+	users := flag.Int("users", 60, "number of researchers")
+	seed := flag.Int64("seed", 42, "random seed")
+	out := flag.String("out", "", "write the dataset into this Hive data directory")
+	flag.Parse()
+
+	ds := workload.Generate(workload.Config{Seed: *seed, Users: *users})
+	fmt.Printf("generated: %d users, %d conferences, %d sessions, %d papers, %d presentations\n",
+		len(ds.Users), len(ds.Conferences), len(ds.Sessions), len(ds.Papers), len(ds.Presentations))
+	fmt.Printf("interactions: %d connections, %d follows, %d checkins, %d questions, %d answers\n",
+		len(ds.Connections), len(ds.Follows), len(ds.CheckIns), len(ds.Questions), len(ds.Answers))
+
+	if *out == "" {
+		return
+	}
+	st, err := social.Open(*out, nil)
+	if err != nil {
+		log.Fatalf("open store: %v", err)
+	}
+	defer st.Close()
+	if err := ds.Load(st); err != nil {
+		log.Fatalf("load: %v", err)
+	}
+	fmt.Printf("written to %s\n", *out)
+}

@@ -1,0 +1,97 @@
+package hive_test
+
+import (
+	"fmt"
+	"log"
+
+	"hive"
+)
+
+// ExampleOpen shows the minimal platform lifecycle.
+func ExampleOpen() {
+	p, err := hive.Open(hive.Options{}) // in-memory
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	_ = p.RegisterUser(hive.User{ID: "zach", Name: "Zach"})
+	u, _ := p.GetUser("zach")
+	fmt.Println(u.Name)
+	// Output: Zach
+}
+
+// ExamplePlatform_Explain demonstrates relationship discovery between two
+// researchers (Figure 2 of the paper).
+func ExamplePlatform_Explain() {
+	p, err := hive.Open(hive.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	_ = p.RegisterUser(hive.User{ID: "a", Name: "A", Affiliation: "ASU"})
+	_ = p.RegisterUser(hive.User{ID: "b", Name: "B", Affiliation: "ASU"})
+	_ = p.Follow("a", "b")
+
+	ex, err := p.Explain("a", "b")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range ex.Evidences {
+		fmt.Println(ev.Kind, "-", ev.Description)
+	}
+	// Output:
+	// affiliation-groups - same affiliation: ASU
+	// following - a follows b
+}
+
+// ExamplePlatform_CheckIn shows session check-ins feeding the hashtag
+// broadcast (the paper's Twitter bridge).
+func ExamplePlatform_CheckIn() {
+	p, err := hive.Open(hive.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	_ = p.RegisterUser(hive.User{ID: "zach", Name: "Zach"})
+	_ = p.CreateConference(hive.Conference{ID: "edbt13", Name: "EDBT 2013"})
+	_ = p.CreateSession(hive.Session{ID: "s1", ConferenceID: "edbt13",
+		Title: "Graph Processing", Hashtag: "#graphs"})
+	_ = p.CheckIn("s1", "zach")
+
+	for _, ev := range p.EventsByTag("#graphs") {
+		fmt.Println(ev.Actor, ev.Verb, ev.Object)
+	}
+	// Output: zach checkin s1
+}
+
+// ExamplePlatform_SearchWithContext shows how the active workpad steers
+// search results (Figure 4).
+func ExamplePlatform_SearchWithContext() {
+	p, err := hive.Open(hive.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	_ = p.RegisterUser(hive.User{ID: "u", Name: "U"})
+	_ = p.RegisterUser(hive.User{ID: "author", Name: "A"})
+	_ = p.PublishPaper(hive.Paper{ID: "p-tensor", Title: "Tensor stream sketching",
+		Abstract: "Sketching tensor streams for scalable monitoring of networks.",
+		Authors:  []string{"author"}})
+	_ = p.PublishPaper(hive.Paper{ID: "p-join", Title: "Join ordering for scalable engines",
+		Abstract: "Scalable query engines and monitoring of join plans.",
+		Authors:  []string{"author"}})
+	_ = p.CreateWorkpad(hive.Workpad{ID: "w", Owner: "u", Name: "tensors",
+		Items: []hive.WorkpadItem{{Kind: hive.ItemPaper, Ref: "p-tensor"}}})
+	_ = p.ActivateWorkpad("u", "w")
+
+	hits, err := p.SearchWithContext("u", "scalable monitoring", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(hits[0].DocID)
+	// Output: paper/p-tensor
+}

@@ -1,0 +1,138 @@
+// Conference walks through the full Zach scenario of paper §1.1: upload
+// slides before the event, follow researchers, check in to sessions, get
+// live session suggestions from followed users' check-ins, exchange
+// questions and answers under the session hashtag, manage workpads, and
+// finally review the trip with the advisor via the update digest.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hive"
+)
+
+func main() {
+	p, err := hive.Open(hive.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+
+	seedWorld(p)
+
+	fmt.Println("== Before the conference ==")
+	// Zach uploads his slides.
+	must(p.UploadPresentation(hive.Presentation{
+		ID: "pres-zach", PaperID: "p-zach", Owner: "zach", Title: "Diffusion slides",
+		Text: "Influence diffusion in social media graphs. Equation three defines the diffusion kernel. Communities shape spreading.",
+	}))
+	// He follows researchers he met last year.
+	must(p.Follow("zach", "ann"))
+	must(p.Follow("zach", "carl"))
+	// Hive proposes researchers to connect with, each with likely sessions.
+	recs, err := p.RecommendPeers("zach", 3)
+	must(err)
+	for _, r := range recs {
+		fmt.Printf("suggested peer: %-8s (sessions: %v)\n", r.UserID, r.LikelySessions)
+	}
+
+	fmt.Println("\n== At the conference ==")
+	// Followed researchers check into the graph session; Hive surfaces it.
+	must(p.CheckIn("s-graphs", "ann"))
+	must(p.CheckIn("s-graphs", "carl"))
+	sugg, err := p.SuggestSessions("zach", "edbt13", 2)
+	must(err)
+	for _, s := range sugg {
+		fmt.Printf("suggested session: %-10s score=%.2f followed attendees=%v\n",
+			s.SessionID, s.Score, s.FollowedAttendees)
+	}
+	// Zach attends and posts a question; the exchange is broadcast under
+	// the session hashtag (the paper's Twitter bridge).
+	must(p.CheckIn("s-graphs", "zach"))
+	must(p.Ask(hive.Question{ID: "q-zach", Author: "zach", Target: "p-carl",
+		Text: "How does the partitioning interact with diffusion?"}))
+	must(p.AnswerQuestion(hive.Answer{ID: "ans-carl", QuestionID: "q-zach", Author: "carl",
+		Text: "Partition boundaries dampen spread; see section 4."}))
+	fmt.Println("hashtag feed #graphs13:")
+	for _, ev := range p.EventsByTag("#graphs13") {
+		fmt.Printf("  %s %s %s\n", ev.Actor, ev.Verb, ev.Object)
+	}
+
+	// Aaron questions an equation on Zach's slides; Zach thanks him and
+	// they connect.
+	must(p.Ask(hive.Question{ID: "q-aaron", Author: "aaron", Target: "pres-zach",
+		Text: "Is there a typo in equation three of the diffusion kernel?"}))
+	must(p.AnswerQuestion(hive.Answer{ID: "ans-zach", QuestionID: "q-aaron", Author: "zach",
+		Text: "Good catch — fixed, thanks!"}))
+	must(p.Connect("zach", "aaron"))
+
+	// Zach drags Ann's avatar and the session into his workpad; it now
+	// contextualizes his searches.
+	must(p.CreateWorkpad(hive.Workpad{ID: "w-investigate", Owner: "zach", Name: "to investigate later"}))
+	must(p.AddToWorkpad("w-investigate", hive.WorkpadItem{Kind: hive.ItemUser, Ref: "ann"}))
+	must(p.AddToWorkpad("w-investigate", hive.WorkpadItem{Kind: hive.ItemPaper, Ref: "p-carl"}))
+	must(p.AddToWorkpad("w-investigate", hive.WorkpadItem{Kind: hive.ItemSession, Ref: "s-graphs"}))
+	must(p.ActivateWorkpad("zach", "w-investigate"))
+
+	hits, err := p.SearchWithContext("zach", "scalable processing", 3)
+	must(err)
+	fmt.Println("context-aware search for 'scalable processing':")
+	for _, h := range hits {
+		fmt.Printf("  %-14s %.3f\n", h.DocID, h.Score)
+	}
+
+	// A preview of Carl's paper, driven by the active workpad.
+	snips, err := p.Preview("zach", hive.DocPaper+"p-carl", 1)
+	must(err)
+	if len(snips) > 0 {
+		fmt.Printf("preview: %q\n", snips[0].Text)
+	}
+
+	fmt.Println("\n== Back at the university ==")
+	// The advisor (who missed the trip) reviews Zach's activity digest.
+	must(p.Follow("advisor", "zach"))
+	digest, err := p.UpdateDigest("advisor", 4)
+	must(err)
+	fmt.Println("advisor's digest of zach's conference activity:")
+	fmt.Print(digest.Format())
+
+	// And the relationship ledger shows the new connection's evidence.
+	ex, err := p.Explain("zach", "aaron")
+	must(err)
+	fmt.Printf("zach—aaron evidence (%d classes, score %.3f)\n", len(ex.Evidences), ex.Score)
+}
+
+func seedWorld(p *hive.Platform) {
+	users := []hive.User{
+		{ID: "zach", Name: "Zach", Affiliation: "ASU", Interests: []string{"social media", "graphs"}},
+		{ID: "advisor", Name: "Advisor", Affiliation: "ASU", Interests: []string{"graphs"}},
+		{ID: "ann", Name: "Ann", Affiliation: "UniTo", Interests: []string{"community detection"}},
+		{ID: "aaron", Name: "Aaron", Affiliation: "MPI", Interests: []string{"social media"}},
+		{ID: "carl", Name: "Carl", Affiliation: "NUS", Interests: []string{"graphs"}},
+	}
+	for _, u := range users {
+		must(p.RegisterUser(u))
+	}
+	must(p.CreateConference(hive.Conference{ID: "edbt13", Name: "EDBT 2013", Series: "edbt", Year: 2013}))
+	must(p.CreateSession(hive.Session{ID: "s-graphs", ConferenceID: "edbt13",
+		Title: "Large scale graph processing", Track: "graphs", Chair: "ann", Hashtag: "#graphs13"}))
+	must(p.CreateSession(hive.Session{ID: "s-social", ConferenceID: "edbt13",
+		Title: "Social media analysis", Track: "social", Chair: "aaron"}))
+	must(p.PublishPaper(hive.Paper{ID: "p-ann10", Title: "Community detection in evolving networks",
+		Abstract: "Detecting communities in evolving social networks.", Authors: []string{"ann"}, Year: 2010}))
+	must(p.PublishPaper(hive.Paper{ID: "p-zach", Title: "Diffusion of influence in social media graphs",
+		Abstract:     "Influence diffusion in social media interaction graphs.",
+		Authors:      []string{"zach", "advisor"},
+		ConferenceID: "edbt13", SessionID: "s-social", Citations: []string{"p-ann10"}}))
+	must(p.PublishPaper(hive.Paper{ID: "p-carl", Title: "Scalable graph traversal on clusters",
+		Abstract:     "Traversal of massive graphs with partitioning and communication optimizations.",
+		Authors:      []string{"carl"},
+		ConferenceID: "edbt13", SessionID: "s-graphs", Citations: []string{"p-ann10"}}))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

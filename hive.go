@@ -1,0 +1,170 @@
+// Package hive is the public API of the Hive Open Research Network
+// Platform (Kim, Chen, Candan, Sapino — EDBT 2013): a conference-centric,
+// cross-conference social platform for researchers with integrated
+// knowledge services — context-aware search and previews, evidence-based
+// peer discovery and explanation, collaborative recommendation, community
+// discovery, and activity change monitoring.
+//
+// A Platform wraps the durable social store and the MiNC knowledge engine.
+// Mutations (users, papers, check-ins, questions, workpads, ...) apply
+// immediately; knowledge services run against an engine snapshot that is
+// rebuilt lazily after mutations (call Refresh to rebuild eagerly).
+//
+//	p, _ := hive.Open(hive.Options{Dir: ""}) // in-memory
+//	defer p.Close()
+//	_ = p.RegisterUser(hive.User{ID: "zach", Name: "Zach"})
+//	recs, _ := p.RecommendPeers("zach", 5)
+package hive
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hive/internal/core"
+	"hive/internal/rdf"
+	"hive/internal/social"
+	"hive/internal/summarize"
+	"hive/internal/tensor"
+	"hive/internal/textindex"
+)
+
+// Re-exported domain types: the social layer's entities are the public
+// vocabulary of the platform.
+type (
+	// User is a researcher profile.
+	User = social.User
+	// Conference is an event edition.
+	Conference = social.Conference
+	// Session is a technical session.
+	Session = social.Session
+	// Paper is a published or accepted paper.
+	Paper = social.Paper
+	// Presentation is uploaded slide/poster content.
+	Presentation = social.Presentation
+	// Question is a question about an entity.
+	Question = social.Question
+	// Answer replies to a question.
+	Answer = social.Answer
+	// Comment is free-form feedback on an entity.
+	Comment = social.Comment
+	// Workpad is the user's context-defining resource pad.
+	Workpad = social.Workpad
+	// WorkpadItem is one resource on a workpad.
+	WorkpadItem = social.WorkpadItem
+	// Collection is an exported, shareable workpad.
+	Collection = social.Collection
+	// Event is one activity-stream entry.
+	Event = social.Event
+
+	// Evidence is one relationship evidence (Figure 2).
+	Evidence = core.Evidence
+	// Explanation is a full relationship explanation between two users.
+	Explanation = core.Explanation
+	// PeerRecommendation is a suggested contact with its justification.
+	PeerRecommendation = core.PeerRecommendation
+	// SessionSuggestion is a scored session suggestion.
+	SessionSuggestion = core.SessionSuggestion
+	// ResourceRecommendation is a suggested document.
+	ResourceRecommendation = core.ResourceRecommendation
+	// SearchResult is a scored document hit.
+	SearchResult = core.SearchResult
+	// Snippet is a context-extracted document fragment.
+	Snippet = textindex.Snippet
+	// Keyphrase is an extracted key concept.
+	Keyphrase = textindex.Keyphrase
+	// Summary is a size-constrained update digest.
+	Summary = summarize.Summary
+	// ChangeResult reports activity change detection for one epoch.
+	ChangeResult = tensor.StreamResult
+)
+
+// Workpad item kinds.
+const (
+	ItemUser         = social.ItemUser
+	ItemPaper        = social.ItemPaper
+	ItemPresentation = social.ItemPresentation
+	ItemSession      = social.ItemSession
+	ItemQuestion     = social.ItemQuestion
+	ItemCollection   = social.ItemCollection
+)
+
+// Document namespaces used in search results and previews.
+const (
+	DocPaper        = core.DocPaper
+	DocPresentation = core.DocPresentation
+	DocQuestion     = core.DocQuestion
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the storage directory; empty means in-memory (non-durable).
+	Dir string
+	// Clock overrides the time source (tests, replay). Nil = wall clock.
+	Clock func() time.Time
+}
+
+// Platform is the assembled Hive instance.
+type Platform struct {
+	store *social.Store
+
+	mu     sync.RWMutex // guards engine pointer
+	engine *core.Engine
+	dirty  atomic.Bool
+}
+
+// Open creates or opens a platform.
+func Open(opts Options) (*Platform, error) {
+	st, err := social.Open(opts.Dir, social.Clock(opts.Clock))
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{store: st}
+	p.dirty.Store(true)
+	return p, nil
+}
+
+// Close releases the underlying storage.
+func (p *Platform) Close() error { return p.store.Close() }
+
+// Store exposes the raw social store for advanced callers.
+func (p *Platform) Store() *social.Store { return p.store }
+
+// Refresh rebuilds the knowledge engine from current data. Knowledge
+// services call it automatically when data changed; explicit calls let
+// applications control when the (potentially expensive) rebuild happens.
+func (p *Platform) Refresh() error {
+	eng, err := core.Build(p.store)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.engine = eng
+	p.mu.Unlock()
+	p.dirty.Store(false)
+	return nil
+}
+
+// Engine returns a current engine snapshot, rebuilding if stale.
+func (p *Platform) Engine() (*core.Engine, error) {
+	if p.dirty.Load() {
+		if err := p.Refresh(); err != nil {
+			return nil, err
+		}
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.engine, nil
+}
+
+func (p *Platform) invalidate() { p.dirty.Store(true) }
+
+// Additional re-exported service types.
+type (
+	// HistoryEntry is one matched personal-activity record.
+	HistoryEntry = core.HistoryEntry
+	// ResourceEvidence explains a user-resource relationship.
+	ResourceEvidence = core.ResourceEvidence
+	// KnowledgePath is a ranked weighted path in the RDF knowledge base.
+	KnowledgePath = rdf.RankedPath
+)

@@ -1,0 +1,220 @@
+package align
+
+import (
+	"errors"
+	"testing"
+
+	"hive/internal/graph"
+)
+
+func layerFromEdges(name string, trust float64, edges [][2]string) *Layer {
+	g := graph.New()
+	for _, e := range edges {
+		a := g.EnsureNode(e[0], "concept")
+		b := g.EnsureNode(e[1], "concept")
+		_ = g.AddUndirected(a, b, "related", 1)
+	}
+	return &Layer{Name: name, Trust: trust, G: g}
+}
+
+func TestLexicalSimilarity(t *testing.T) {
+	if s := LexicalSimilarity("graph processing", "graph processing"); s != 1 {
+		t.Fatalf("identical = %v", s)
+	}
+	if s := LexicalSimilarity("graph processing", "processing of graphs"); s < 0.6 {
+		t.Fatalf("reordered/inflected = %v, want high", s)
+	}
+	if s := LexicalSimilarity("tensor streams", "community detection"); s != 0 {
+		t.Fatalf("unrelated = %v", s)
+	}
+	if s := LexicalSimilarity("", "x"); s != 0 {
+		t.Fatalf("empty = %v", s)
+	}
+}
+
+func TestAlignExactAndFuzzy(t *testing.T) {
+	a := layerFromEdges("concepts", 1, [][2]string{
+		{"graph processing", "partitioning"},
+		{"partitioning", "communication"},
+	})
+	b := layerFromEdges("papers", 1, [][2]string{
+		{"graph processing", "partitioning methods"},
+		{"partitioning methods", "communication"},
+	})
+	maps := Align(a, b, Options{})
+	got := map[string]string{}
+	for _, m := range maps {
+		got[m.A] = m.B
+		if m.Score <= 0 || m.Score > 1 {
+			t.Fatalf("score out of range: %+v", m)
+		}
+	}
+	if got["graph processing"] != "graph processing" {
+		t.Fatalf("exact match missing: %v", got)
+	}
+	if got["partitioning"] != "partitioning methods" {
+		t.Fatalf("fuzzy match missing: %v", got)
+	}
+}
+
+func TestAlignOneToOne(t *testing.T) {
+	a := layerFromEdges("a", 1, [][2]string{{"graph", "x"}})
+	b := layerFromEdges("b", 1, [][2]string{{"graph", "graphs"}})
+	maps := Align(a, b, Options{})
+	seenB := map[string]bool{}
+	for _, m := range maps {
+		if seenB[m.B] {
+			t.Fatalf("B node matched twice: %v", maps)
+		}
+		seenB[m.B] = true
+	}
+	// "graph" in A must match exactly one of graph/graphs.
+	count := 0
+	for _, m := range maps {
+		if m.A == "graph" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("A node matched %d times", count)
+	}
+}
+
+func TestAlignStructuralBoost(t *testing.T) {
+	// Two B candidates have equal lexical similarity to A's "sigmod";
+	// only one shares neighbors. Structure must pick it.
+	a := layerFromEdges("a", 1, [][2]string{
+		{"sigmod conf", "databases"},
+		{"sigmod conf", "indexing"},
+	})
+	bg := graph.New()
+	right := bg.EnsureNode("sigmod venue", "concept")
+	wrong := bg.EnsureNode("sigmod event", "concept")
+	db := bg.EnsureNode("databases", "concept")
+	ix := bg.EnsureNode("indexing", "concept")
+	other := bg.EnsureNode("cooking", "concept")
+	_ = bg.AddUndirected(right, db, "related", 1)
+	_ = bg.AddUndirected(right, ix, "related", 1)
+	_ = bg.AddUndirected(wrong, other, "related", 1)
+	b := &Layer{Name: "b", G: bg}
+
+	maps := Align(a, b, Options{MinLexical: 0.3, MinScore: 0.25})
+	for _, m := range maps {
+		if m.A == "sigmod conf" {
+			if m.B != "sigmod venue" {
+				t.Fatalf("structure ignored: matched %q", m.B)
+			}
+			return
+		}
+	}
+	t.Fatal("sigmod not aligned at all")
+}
+
+func TestIntegrateEmpty(t *testing.T) {
+	if _, err := Integrate(nil, Options{}); !errors.Is(err, ErrNoLayers) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIntegrateMergesAlignedNodes(t *testing.T) {
+	a := layerFromEdges("social", 1, [][2]string{{"alice", "bob"}})
+	b := layerFromEdges("coauthor", 1, [][2]string{{"alice", "bob"}})
+	in, err := Integrate([]*Layer{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.G.NumNodes() != 2 {
+		t.Fatalf("nodes = %d, want merged 2", in.G.NumNodes())
+	}
+	if in.Resolve("coauthor", "alice") != "alice" {
+		t.Fatalf("Resolve = %q", in.Resolve("coauthor", "alice"))
+	}
+}
+
+func TestIntegrateNoisyOrReinforcement(t *testing.T) {
+	// The alice-bob edge exists in both layers; alice-carol in one. The
+	// combined weight of the doubly-asserted edge must be strictly
+	// higher.
+	a := layerFromEdges("social", 0.8, [][2]string{{"alice", "bob"}, {"alice", "carol"}})
+	b := layerFromEdges("coauthor", 0.8, [][2]string{{"alice", "bob"}})
+	in, err := Integrate([]*Layer{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := in.G.Lookup("alice")
+	bo := in.G.Lookup("bob")
+	ca := in.G.Lookup("carol")
+	eb, ok1 := in.G.EdgeBetween(al, bo, EdgeIntegrated)
+	ec, ok2 := in.G.EdgeBetween(al, ca, EdgeIntegrated)
+	if !ok1 || !ok2 {
+		t.Fatalf("integrated edges missing: %v %v", ok1, ok2)
+	}
+	if eb.Weight <= ec.Weight {
+		t.Fatalf("reinforcement failed: both=%v single=%v", eb.Weight, ec.Weight)
+	}
+	// Noisy-OR keeps weights in (0, 1].
+	if eb.Weight > 1 || ec.Weight > 1 {
+		t.Fatalf("weights exceed 1: %v %v", eb.Weight, ec.Weight)
+	}
+	// Per-layer edges are preserved alongside.
+	if _, ok := in.G.EdgeBetween(al, bo, "layer/social/related"); !ok {
+		t.Fatal("per-layer edge missing")
+	}
+}
+
+func TestIntegrateTrustScalesContribution(t *testing.T) {
+	hi := layerFromEdges("trusted", 1.0, [][2]string{{"x", "y"}})
+	lo := layerFromEdges("noisy", 0.2, [][2]string{{"x", "z"}})
+	in, err := Integrate([]*Layer{hi, lo}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := in.G.Lookup("x")
+	ey, _ := in.G.EdgeBetween(x, in.G.Lookup("y"), EdgeIntegrated)
+	ez, _ := in.G.EdgeBetween(x, in.G.Lookup("z"), EdgeIntegrated)
+	if ey.Weight <= ez.Weight {
+		t.Fatalf("trust ignored: trusted=%v noisy=%v", ey.Weight, ez.Weight)
+	}
+}
+
+func TestIntegratePreservesUnalignedNodes(t *testing.T) {
+	a := layerFromEdges("a", 1, [][2]string{{"alice", "bob"}})
+	b := layerFromEdges("b", 1, [][2]string{{"tensor streams", "compressed sensing"}})
+	in, err := Integrate([]*Layer{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.G.NumNodes() != 4 {
+		t.Fatalf("nodes = %d, want 4 distinct", in.G.NumNodes())
+	}
+}
+
+func TestAgree(t *testing.T) {
+	a := layerFromEdges("a", 1, [][2]string{{"alice", "bob"}, {"alice", "carol"}})
+	b := layerFromEdges("b", 1, [][2]string{{"alice", "bob"}, {"bob", "carol"}})
+	in, err := Integrate([]*Layer{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag := in.Agree([]*Layer{a, b}, "a", "b")
+	// alice-bob (both directions) reinforced; alice-carol and bob-carol
+	// conflict (both endpoints in both layers, edge in only one).
+	if ag.Reinforced != 2 {
+		t.Fatalf("Reinforced = %d, want 2 (directed)", ag.Reinforced)
+	}
+	if ag.Conflicting != 4 {
+		t.Fatalf("Conflicting = %d, want 4 (directed)", ag.Conflicting)
+	}
+	// Unknown layer names yield zero.
+	if got := in.Agree([]*Layer{a, b}, "a", "zzz"); got != (Agreement{}) {
+		t.Fatalf("unknown layer agreement = %+v", got)
+	}
+}
+
+func TestIntegratedString(t *testing.T) {
+	a := layerFromEdges("a", 1, [][2]string{{"x", "y"}})
+	in, _ := Integrate([]*Layer{a}, Options{})
+	if in.String() == "" {
+		t.Fatal("empty String")
+	}
+}

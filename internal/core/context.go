@@ -1,0 +1,229 @@
+package core
+
+import (
+	"sort"
+
+	"hive/internal/social"
+	"hive/internal/summarize"
+	"hive/internal/textindex"
+)
+
+// Context services (paper §2.1, §2.3): the active workpad defines the
+// user's activity context; every search, ranking, preview and digest is
+// conditioned on it.
+
+// ContextVector derives the user's current context vector from the
+// active workpad (every item rendered to text), the user's declared
+// interests, and spreading activation over the concept map. Users with no
+// active workpad fall back to interests alone.
+func (e *Engine) ContextVector(userID string) textindex.Vector {
+	v := make(textindex.Vector)
+	u, err := e.store.User(userID)
+	if err != nil {
+		return v
+	}
+	for _, t := range textindex.Terms(joinStrings(u.Interests)) {
+		v[t] += 1
+	}
+	wp, err := e.store.ActiveWorkpad(userID)
+	if err == nil {
+		var seeds []string
+		for _, item := range wp.Items {
+			text := e.entityText(item.Kind, item.Ref)
+			tf := textindex.TermFrequency(text)
+			v.Add(tf, 2) // workpad items dominate the context
+			seeds = append(seeds, topSurfaceTerms(text, 3)...)
+		}
+		// Propagate through the concept map so related-but-unmentioned
+		// concepts enter the context (§2.3 adaptation strategies).
+		if e.concepts.Len() > 0 && len(seeds) > 0 {
+			act := e.concepts.Activate(seeds)
+			cv := conceptVector(act)
+			v.Add(cv, 0.5)
+		}
+	}
+	return v
+}
+
+func conceptVector(activation map[string]float64) textindex.Vector {
+	v := make(textindex.Vector, len(activation))
+	for term, w := range activation {
+		if w > 0 {
+			v[textindex.Stem(term)] += w
+		}
+	}
+	// Normalize so activation cannot swamp the direct workpad terms.
+	if n := v.Norm(); n > 0 {
+		for t := range v {
+			v[t] /= n
+		}
+	}
+	return v
+}
+
+func topSurfaceTerms(text string, k int) []string {
+	kps := textindex.ExtractKeyphrases(text, k)
+	out := make([]string, 0, len(kps))
+	for _, kp := range kps {
+		out = append(out, kp.Term)
+	}
+	return out
+}
+
+func joinStrings(xs []string) string {
+	out := ""
+	for _, x := range xs {
+		out += x + ". "
+	}
+	return out
+}
+
+// SearchResult is a scored document hit.
+type SearchResult struct {
+	DocID string
+	Score float64
+}
+
+// Search runs plain BM25 keyword search over all indexed content.
+func (e *Engine) Search(query string, k int) []SearchResult {
+	return toSearchResults(e.index.Search(query, k))
+}
+
+// SearchWithContext blends BM25 relevance with similarity to the user's
+// current context: score = bm25 × (1 + ctxWeight × cosine(doc, context)).
+// This is the §2.3 "filter, summarize, and rank alternatives and adapt
+// according to their relevance" service.
+func (e *Engine) SearchWithContext(userID, query string, k int) []SearchResult {
+	ctx := e.ContextVector(userID)
+	base := e.index.Search(query, 4*k)
+	if len(ctx) == 0 {
+		return toSearchResults(clip(base, k))
+	}
+	const ctxWeight = 1.0
+	rescored := make([]textindex.Result, len(base))
+	for i, r := range base {
+		sim := 0.0
+		if dv, err := e.index.TFIDFVector(r.DocID); err == nil {
+			sim = dv.Cosine(ctx)
+		}
+		rescored[i] = textindex.Result{DocID: r.DocID, Score: r.Score * (1 + ctxWeight*sim)}
+	}
+	sort.Slice(rescored, func(i, j int) bool {
+		if rescored[i].Score != rescored[j].Score {
+			return rescored[i].Score > rescored[j].Score
+		}
+		return rescored[i].DocID < rescored[j].DocID
+	})
+	return toSearchResults(clip(rescored, k))
+}
+
+// Preview extracts the k most context-relevant snippets from a document
+// (paper §2.3(a): "relevant snippet extraction from documents"). The
+// docID uses the index namespace (e.g. "pres/<id>", "paper/<id>").
+func (e *Engine) Preview(userID, docID string, k int) ([]textindex.Snippet, error) {
+	text, err := e.index.Text(docID)
+	if err != nil {
+		return nil, err
+	}
+	ctx := e.ContextVector(userID)
+	return textindex.ExtractSnippets(text, ctx, k), nil
+}
+
+// Annotate extracts the top-k key concepts of a document for automated
+// annotation (§2.3(b)).
+func (e *Engine) Annotate(docID string, k int) ([]textindex.Keyphrase, error) {
+	text, err := e.index.Text(docID)
+	if err != nil {
+		return nil, err
+	}
+	return textindex.ExtractKeyphrases(text, k), nil
+}
+
+// UpdateDigest produces the size-constrained summary of the user's feed
+// (the "scheduled update reports" of §2.3, summarized with AlphaSum).
+// Columns: actor, verb, target kind; the target-kind column generalizes
+// through a small entity-type hierarchy.
+func (e *Engine) UpdateDigest(userID string, budget int) (*summarize.Summary, error) {
+	feed := e.store.Feed(userID, 0)
+	tab := &summarize.Table{Columns: []string{"actor", "verb", "target"}}
+	for _, ev := range feed {
+		tab.Rows = append(tab.Rows, []string{ev.Actor, ev.Verb, e.targetKind(ev.Object)})
+	}
+	h, err := summarize.NewHierarchy(map[string]string{
+		"paper": "content", "presentation": "content", "question": "content",
+		"session": "venue", "conference": "venue",
+		"user": "people", "other": summarize.Root,
+		"content": summarize.Root, "venue": summarize.Root, "people": summarize.Root,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := summarize.NewSummarizer(tab.Columns, map[string]*summarize.Hierarchy{"target": h})
+	return s.Greedy(tab, budget)
+}
+
+// targetKind classifies an entity ID into the digest type hierarchy.
+func (e *Engine) targetKind(entity string) string {
+	if entity == "" {
+		return "other"
+	}
+	if _, err := e.store.Paper(entity); err == nil {
+		return "paper"
+	}
+	if _, err := e.store.Presentation(entity); err == nil {
+		return "presentation"
+	}
+	if _, err := e.store.Question(entity); err == nil {
+		return "question"
+	}
+	if _, err := e.store.Session(entity); err == nil {
+		return "session"
+	}
+	if _, err := e.store.Conference(entity); err == nil {
+		return "conference"
+	}
+	if _, err := e.store.User(entity); err == nil {
+		return "user"
+	}
+	return "other"
+}
+
+func toSearchResults(rs []textindex.Result) []SearchResult {
+	out := make([]SearchResult, len(rs))
+	for i, r := range rs {
+		out[i] = SearchResult{DocID: r.DocID, Score: r.Score}
+	}
+	return out
+}
+
+func clip(rs []textindex.Result, k int) []textindex.Result {
+	if k > 0 && len(rs) > k {
+		return rs[:k]
+	}
+	return rs
+}
+
+// DetectOverlap reports content-reuse between two indexed documents via
+// shingle resemblance and containment ([9]).
+func (e *Engine) DetectOverlap(docA, docB string) (resemblance, containAinB float64, err error) {
+	ta, err := e.index.Text(docA)
+	if err != nil {
+		return 0, 0, err
+	}
+	tb, err := e.index.Text(docB)
+	if err != nil {
+		return 0, 0, err
+	}
+	sa := textindex.Shingles(ta, 3)
+	sb := textindex.Shingles(tb, 3)
+	return textindex.Resemblance(sa, sb), textindex.Containment(sa, sb), nil
+}
+
+// WorkpadOf returns the user's active workpad items (empty when none).
+func (e *Engine) WorkpadOf(userID string) []social.WorkpadItem {
+	wp, err := e.store.ActiveWorkpad(userID)
+	if err != nil {
+		return nil
+	}
+	return wp.Items
+}

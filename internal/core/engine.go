@@ -1,0 +1,374 @@
+// Package core implements the MiNC engine (paper §2, ref [8]): the
+// middleware for network- and context-aware recommendations that powers
+// every knowledge service of Hive. It derives the multi-layer context
+// network of Figure 3 from the social store, aligns and integrates the
+// layers, and provides evidence-based relationship discovery and
+// explanation (Figure 2), context-aware search and ranking driven by the
+// active workpad (Figure 4), peer and resource recommendation,
+// collaborative filtering, community discovery, update digests, and
+// activity change monitoring.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"hive/internal/align"
+	"hive/internal/biblio"
+	"hive/internal/community"
+	"hive/internal/conceptmap"
+	"hive/internal/graph"
+	"hive/internal/rdf"
+	"hive/internal/social"
+	"hive/internal/textindex"
+)
+
+// ErrUnknownUser is returned when a service references a missing user.
+var ErrUnknownUser = errors.New("core: unknown user")
+
+// Document ID prefixes in the text index.
+const (
+	DocPaper        = "paper/"
+	DocPresentation = "pres/"
+	DocQuestion     = "question/"
+)
+
+// Layer names of the integrated context network.
+const (
+	LayerConnections = "connections"
+	LayerCoauthor    = "coauthor"
+	LayerAttendance  = "attendance"
+	LayerQA          = "qa"
+)
+
+// Engine is the assembled knowledge middleware. Build it once from a
+// social store; rebuild after bulk data changes (the paper's deployment
+// refreshed knowledge structures periodically).
+type Engine struct {
+	store *social.Store
+
+	index    *textindex.Index
+	concepts *conceptmap.Map
+
+	papers      []social.Paper
+	coauthorNet *graph.Graph
+	citationNet *graph.Graph
+	litNet      *graph.Graph // bipartite author/paper graph
+
+	layers     []*align.Layer
+	integrated *align.Integrated
+	peerGraph  *graph.Graph // alias of integrated.G
+
+	kb *rdf.Store // weighted RDF export of all layers (R2DB)
+
+	communities []community.Community
+}
+
+// Build assembles the engine from a social store.
+func Build(st *social.Store) (*Engine, error) {
+	e := &Engine{store: st, index: textindex.NewIndex(), kb: rdf.NewStore()}
+
+	// Gather papers once; several layers derive from them.
+	for _, id := range st.Papers() {
+		p, err := st.Paper(id)
+		if err != nil {
+			return nil, err
+		}
+		e.papers = append(e.papers, p)
+	}
+
+	if err := e.buildTextIndex(); err != nil {
+		return nil, err
+	}
+	e.buildConceptMap()
+	e.buildBibliographicLayers()
+	if err := e.buildIntegratedNetwork(); err != nil {
+		return nil, err
+	}
+	e.exportKnowledgeBase()
+	e.communities = community.Detect(e.peerGraph, 1)
+	return e, nil
+}
+
+// Store exposes the underlying social store.
+func (e *Engine) Store() *social.Store { return e.store }
+
+// Index exposes the text index (search services build on it).
+func (e *Engine) Index() *textindex.Index { return e.index }
+
+// ConceptMap exposes the bootstrapped concept map.
+func (e *Engine) ConceptMap() *conceptmap.Map { return e.concepts }
+
+// KnowledgeBase exposes the weighted RDF export (R2DB layer).
+func (e *Engine) KnowledgeBase() *rdf.Store { return e.kb }
+
+// PeerGraph exposes the integrated peer network.
+func (e *Engine) PeerGraph() *graph.Graph { return e.peerGraph }
+
+func (e *Engine) buildTextIndex() error {
+	for _, p := range e.papers {
+		e.index.Add(DocPaper+p.ID, p.Title+". "+p.Abstract)
+	}
+	for _, u := range e.store.Users() {
+		for _, prID := range e.store.PresentationsOfUser(u) {
+			pr, err := e.store.Presentation(prID)
+			if err != nil {
+				return err
+			}
+			e.index.Add(DocPresentation+pr.ID, pr.Title+". "+pr.Text)
+		}
+		for _, qID := range e.store.QuestionsBy(u) {
+			q, err := e.store.Question(qID)
+			if err != nil {
+				return err
+			}
+			e.index.Add(DocQuestion+q.ID, q.Text)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) buildConceptMap() {
+	var docs []string
+	for _, p := range e.papers {
+		docs = append(docs, p.Title+". "+p.Abstract)
+	}
+	m, err := conceptmap.Bootstrap(docs, conceptmap.BootstrapOptions{MaxConcepts: 80})
+	if err != nil {
+		m = conceptmap.New() // empty corpus -> empty map, services degrade gracefully
+	}
+	e.concepts = m
+}
+
+func (e *Engine) buildBibliographicLayers() {
+	e.coauthorNet = biblio.CoauthorNetwork(e.papers)
+	e.citationNet = biblio.CitationGraph(e.papers)
+	e.litNet = biblio.AuthorPaperGraph(e.papers)
+}
+
+// buildIntegratedNetwork constructs the user-level evidence layers and
+// integrates them (paper §2.2). All layers share user IDs as node keys,
+// so alignment resolves them exactly; the machinery still scores and
+// merges them as in the general imprecise case.
+func (e *Engine) buildIntegratedNetwork() error {
+	users := e.store.Users()
+
+	conn := graph.New()
+	for _, u := range users {
+		conn.EnsureNode(u, "user")
+	}
+	for _, u := range users {
+		for _, o := range e.store.ConnectionsOf(u) {
+			_ = conn.AddEdge(conn.Lookup(u), conn.EnsureNode(o, "user"), "connected", 1)
+		}
+		for _, o := range e.store.Following(u) {
+			_ = conn.AddEdge(conn.Lookup(u), conn.EnsureNode(o, "user"), "follows", 0.5)
+		}
+	}
+
+	coauth := graph.New()
+	for _, u := range users {
+		coauth.EnsureNode(u, "user")
+	}
+	e.coauthorNet.Nodes(func(n graph.Node) bool {
+		from := coauth.EnsureNode(n.Key, "user")
+		for _, ed := range e.coauthorNet.Out(n.ID) {
+			toNode, err := e.coauthorNet.Node(ed.To)
+			if err != nil {
+				continue
+			}
+			_ = coauth.AddEdge(from, coauth.EnsureNode(toNode.Key, "user"), biblio.EdgeCoauthor, ed.Weight)
+		}
+		return true
+	})
+
+	attend := graph.New()
+	for _, u := range users {
+		attend.EnsureNode(u, "user")
+	}
+	for _, conf := range e.store.Conferences() {
+		for _, sess := range e.store.SessionsOf(conf) {
+			att := e.store.Attendees(sess)
+			for i := 0; i < len(att); i++ {
+				for j := i + 1; j < len(att); j++ {
+					a := attend.EnsureNode(att[i], "user")
+					b := attend.EnsureNode(att[j], "user")
+					_ = attend.AddUndirected(a, b, "co-attends", 1)
+				}
+			}
+		}
+	}
+
+	qa := graph.New()
+	for _, u := range users {
+		qa.EnsureNode(u, "user")
+	}
+	for _, u := range users {
+		for _, qID := range e.store.QuestionsBy(u) {
+			q, err := e.store.Question(qID)
+			if err != nil {
+				continue
+			}
+			// Question author relates to the target's owners/authors.
+			for _, owner := range e.ownersOf(q.Target) {
+				if owner == u {
+					continue
+				}
+				_ = qa.AddUndirected(qa.Lookup(u), qa.EnsureNode(owner, "user"), "qa", 1)
+			}
+			// Answer authors relate back to the asker.
+			for _, aID := range e.store.AnswersTo(qID) {
+				a, err := e.store.Answer(aID)
+				if err != nil || a.Author == u {
+					continue
+				}
+				_ = qa.AddUndirected(qa.Lookup(u), qa.EnsureNode(a.Author, "user"), "qa", 1)
+			}
+		}
+	}
+
+	e.layers = []*align.Layer{
+		{Name: LayerConnections, Trust: 1.0, G: conn},
+		{Name: LayerCoauthor, Trust: 0.9, G: coauth},
+		{Name: LayerAttendance, Trust: 0.6, G: attend},
+		{Name: LayerQA, Trust: 0.7, G: qa},
+	}
+	in, err := align.Integrate(e.layers, align.Options{})
+	if err != nil {
+		return err
+	}
+	e.integrated = in
+	e.peerGraph = in.G
+	return nil
+}
+
+// Layers exposes the evidence layers (for alignment experiments).
+func (e *Engine) Layers() []*align.Layer { return e.layers }
+
+// Integrated exposes the integrated context network.
+func (e *Engine) Integrated() *align.Integrated { return e.integrated }
+
+// ownersOf resolves the users responsible for an entity: paper authors,
+// presentation owner, session chair, question author.
+func (e *Engine) ownersOf(entity string) []string {
+	if p, err := e.store.Paper(entity); err == nil {
+		return p.Authors
+	}
+	if pr, err := e.store.Presentation(entity); err == nil {
+		return []string{pr.Owner}
+	}
+	if s, err := e.store.Session(entity); err == nil && s.Chair != "" {
+		return []string{s.Chair}
+	}
+	if q, err := e.store.Question(entity); err == nil {
+		return []string{q.Author}
+	}
+	return nil
+}
+
+// exportKnowledgeBase mirrors the layers into the weighted RDF store so
+// R2DB-style ranked path queries can explain any relationship.
+func (e *Engine) exportKnowledgeBase() {
+	for _, p := range e.papers {
+		for _, a := range p.Authors {
+			_ = e.kb.Add(rdf.Triple{Subject: "user:" + a, Predicate: "authored", Object: "paper:" + p.ID, Weight: 1})
+		}
+		for _, c := range p.Citations {
+			_ = e.kb.Add(rdf.Triple{Subject: "paper:" + p.ID, Predicate: "cites", Object: "paper:" + c, Weight: 0.9})
+		}
+		if p.SessionID != "" {
+			_ = e.kb.Add(rdf.Triple{Subject: "paper:" + p.ID, Predicate: "presentedIn", Object: "session:" + p.SessionID, Weight: 1})
+		}
+	}
+	for _, u := range e.store.Users() {
+		for _, o := range e.store.ConnectionsOf(u) {
+			_ = e.kb.Add(rdf.Triple{Subject: "user:" + u, Predicate: "connected", Object: "user:" + o, Weight: 1})
+		}
+		for _, o := range e.store.Following(u) {
+			_ = e.kb.Add(rdf.Triple{Subject: "user:" + u, Predicate: "follows", Object: "user:" + o, Weight: 0.7})
+		}
+		for _, s := range e.store.SessionsAttendedBy(u) {
+			_ = e.kb.Add(rdf.Triple{Subject: "user:" + u, Predicate: "attends", Object: "session:" + s, Weight: 0.8})
+		}
+	}
+}
+
+// Communities returns the discovered peer communities as lists of user
+// IDs, largest first (Table 1: "community discovery and tracking").
+func (e *Engine) Communities() [][]string {
+	var out [][]string
+	for _, c := range e.communities {
+		var users []string
+		for _, id := range c {
+			n, err := e.peerGraph.Node(id)
+			if err == nil {
+				users = append(users, n.Key)
+			}
+		}
+		out = append(out, users)
+	}
+	return out
+}
+
+// CommunityOf returns the community containing the user (nil when the
+// user is unknown).
+func (e *Engine) CommunityOf(userID string) []string {
+	for _, c := range e.Communities() {
+		for _, u := range c {
+			if u == userID {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// entityText renders any entity into text for context building.
+func (e *Engine) entityText(kind social.ItemKind, ref string) string {
+	switch kind {
+	case social.ItemPaper:
+		if p, err := e.store.Paper(ref); err == nil {
+			return p.Title + ". " + p.Abstract
+		}
+	case social.ItemPresentation:
+		if pr, err := e.store.Presentation(ref); err == nil {
+			return pr.Title + ". " + pr.Text
+		}
+	case social.ItemSession:
+		if s, err := e.store.Session(ref); err == nil {
+			parts := []string{s.Title, s.Track}
+			for _, pid := range e.store.PapersOfSession(ref) {
+				if p, err := e.store.Paper(pid); err == nil {
+					parts = append(parts, p.Title)
+				}
+			}
+			return strings.Join(parts, ". ")
+		}
+	case social.ItemUser:
+		if u, err := e.store.User(ref); err == nil {
+			return u.Name + ". " + strings.Join(u.Interests, ". ") + ". " + u.Bio
+		}
+	case social.ItemQuestion:
+		if q, err := e.store.Question(ref); err == nil {
+			return q.Text
+		}
+	case social.ItemCollection:
+		if c, err := e.store.Collection(ref); err == nil {
+			var parts []string
+			for _, it := range c.Items {
+				parts = append(parts, e.entityText(it.Kind, it.Ref))
+			}
+			return strings.Join(parts, ". ")
+		}
+	}
+	return ""
+}
+
+// String summarizes the engine for logs.
+func (e *Engine) String() string {
+	return fmt.Sprintf("mincengine(users=%d papers=%d peers=%d/%d concepts=%d kb=%d)",
+		len(e.store.Users()), len(e.papers),
+		e.peerGraph.NumNodes(), e.peerGraph.NumEdges(),
+		e.concepts.Len(), e.kb.Len())
+}

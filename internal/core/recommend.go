@@ -1,0 +1,454 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hive/internal/graph"
+	"hive/internal/tensor"
+	"hive/internal/textindex"
+)
+
+// Recommendation services (paper §2.4): peer recommendation over the
+// integrated network, peer-network based resource recommendation,
+// session suggestion, and collaborative filtering.
+
+// PeerRecommendation is a suggested new contact with its justification.
+type PeerRecommendation struct {
+	UserID string
+	Score  float64
+	// Evidences explains why (Figure 2 rendered for the suggestion).
+	Evidences []Evidence
+	// LikelySessions lists sessions the peer will probably attend (the
+	// §1.1 scenario: "for each provides a list of sessions that the
+	// researcher may most likely attend").
+	LikelySessions []string
+}
+
+// RecommendPeers suggests up to k new peers for a user: personalized
+// PageRank over the integrated peer network restarted at the user,
+// biased by the active context (workpad members get restart mass too),
+// excluding existing connections.
+func (e *Engine) RecommendPeers(userID string, k int) ([]PeerRecommendation, error) {
+	me := e.peerGraph.Lookup(userID)
+	if me == graph.Invalid {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, userID)
+	}
+	restart := map[graph.NodeID]float64{me: 1}
+	// Context bias: users pinned on the active workpad pull the walk
+	// toward their neighborhoods.
+	for _, item := range e.WorkpadOf(userID) {
+		if item.Kind == "user" {
+			if id := e.peerGraph.Lookup(item.Ref); id != graph.Invalid {
+				restart[id] = 0.5
+			}
+		}
+	}
+	pr := e.peerGraph.PersonalizedPageRank(restart, graph.PageRankOptions{})
+
+	skip := map[graph.NodeID]bool{me: true}
+	for _, c := range e.store.ConnectionsOf(userID) {
+		if id := e.peerGraph.Lookup(c); id != graph.Invalid {
+			skip[id] = true
+		}
+	}
+	top := graph.TopK(pr, k, skip)
+	recs := make([]PeerRecommendation, 0, len(top))
+	for _, id := range top {
+		n, err := e.peerGraph.Node(id)
+		if err != nil || pr[id] == 0 {
+			continue
+		}
+		ex, err := e.Explain(userID, n.Key)
+		if err != nil {
+			continue
+		}
+		recs = append(recs, PeerRecommendation{
+			UserID:         n.Key,
+			Score:          pr[id],
+			Evidences:      ex.Evidences,
+			LikelySessions: e.likelySessions(n.Key, 3),
+		})
+	}
+	return recs, nil
+}
+
+// likelySessions predicts the sessions a user will attend: sessions
+// already checked into, then sessions whose content matches the user's
+// context.
+func (e *Engine) likelySessions(userID string, k int) []string {
+	out := e.store.SessionsAttendedBy(userID)
+	if len(out) >= k {
+		return out[:k]
+	}
+	seen := toSet(out)
+	ctx := e.ContextVector(userID)
+	type ss struct {
+		id    string
+		score float64
+	}
+	var scored []ss
+	for _, conf := range e.store.Conferences() {
+		for _, sid := range e.store.SessionsOf(conf) {
+			if seen[sid] {
+				continue
+			}
+			text := e.entityText("session", sid)
+			sim := textindex.TermFrequency(text).Cosine(ctx)
+			if sim > 0 {
+				scored = append(scored, ss{sid, sim})
+			}
+		}
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].score != scored[j].score {
+			return scored[i].score > scored[j].score
+		}
+		return scored[i].id < scored[j].id
+	})
+	for _, s := range scored {
+		if len(out) >= k {
+			break
+		}
+		out = append(out, s.id)
+	}
+	return out
+}
+
+// SessionSuggestion is a scored session with the social signal behind it.
+type SessionSuggestion struct {
+	SessionID string
+	Score     float64
+	// FollowedAttendees are users the requester follows (or is connected
+	// to) who checked in — the §1.1 trigger "a few of the researchers he
+	// is following are checking-in into a session".
+	FollowedAttendees []string
+}
+
+// SuggestSessions ranks the sessions of a conference for a user by
+// combining the social signal (followed/connected attendees) with
+// content similarity to the active context.
+func (e *Engine) SuggestSessions(userID, confID string, k int) ([]SessionSuggestion, error) {
+	if !e.store.HasUser(userID) {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, userID)
+	}
+	circle := toSet(e.store.Following(userID))
+	for _, c := range e.store.ConnectionsOf(userID) {
+		circle[c] = true
+	}
+	ctx := e.ContextVector(userID)
+	attended := toSet(e.store.SessionsAttendedBy(userID))
+
+	var out []SessionSuggestion
+	for _, sid := range e.store.SessionsOf(confID) {
+		if attended[sid] {
+			continue
+		}
+		var followed []string
+		for _, a := range e.store.Attendees(sid) {
+			if circle[a] {
+				followed = append(followed, a)
+			}
+		}
+		text := e.entityText("session", sid)
+		sim := textindex.TermFrequency(text).Cosine(ctx)
+		score := 0.5*float64(len(followed)) + sim
+		if score > 0 {
+			out = append(out, SessionSuggestion{SessionID: sid, Score: score, FollowedAttendees: followed})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].SessionID < out[j].SessionID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// ResourceRecommendation is a suggested paper/presentation.
+type ResourceRecommendation struct {
+	DocID string
+	Score float64
+}
+
+// RecommendResources suggests documents for a user. With useContext the
+// ranking is driven by the active-workpad context vector; without it (the
+// E4 ablation) only the collaborative signal and popularity act.
+func (e *Engine) RecommendResources(userID string, k int, useContext bool) ([]ResourceRecommendation, error) {
+	if !e.store.HasUser(userID) {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, userID)
+	}
+	scores := map[string]float64{}
+	// Collaborative component: objects touched by similar users.
+	for _, r := range e.RecommendByCF(userID, 3*k) {
+		if kindOfDoc(r.DocID) != "" {
+			scores[r.DocID] += 0.5 * r.Score
+		}
+	}
+	if useContext {
+		ctx := e.ContextVector(userID)
+		for _, r := range e.index.SearchVector(ctx, 3*k) {
+			scores[r.DocID] += r.Score
+		}
+	} else {
+		// Popularity fallback keeps the no-context arm non-degenerate.
+		for doc, n := range e.objectPopularity() {
+			scores[doc] += 0.01 * float64(n)
+		}
+	}
+	// Never recommend the user's own content.
+	own := toSet(e.store.PapersOfAuthor(userID))
+	for _, pr := range e.store.PresentationsOfUser(userID) {
+		own[pr] = true
+	}
+	var out []ResourceRecommendation
+	for doc, s := range scores {
+		if own[stripDocPrefix(doc)] {
+			continue
+		}
+		out = append(out, ResourceRecommendation{DocID: doc, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+func kindOfDoc(docID string) string {
+	for _, p := range []string{DocPaper, DocPresentation, DocQuestion} {
+		if len(docID) > len(p) && docID[:len(p)] == p {
+			return p
+		}
+	}
+	return ""
+}
+
+func stripDocPrefix(docID string) string {
+	if k := kindOfDoc(docID); k != "" {
+		return docID[len(k):]
+	}
+	return docID
+}
+
+// --- Collaborative filtering ---------------------------------------------------
+
+// CFRecommendation is a collaboratively recommended object.
+type CFRecommendation struct {
+	DocID string
+	Score float64
+}
+
+// interactionVectors builds user -> (docID -> weight) from the activity
+// stream. Questions/answers/comments weigh more than passive check-ins.
+func (e *Engine) interactionVectors() map[string]textindex.Vector {
+	out := map[string]textindex.Vector{}
+	verbWeight := map[string]float64{
+		"question": 2, "answer": 2, "comment": 1.5, "checkin": 1, "browse": 0.5,
+	}
+	for _, ev := range e.store.EventsSince(0, 0) {
+		w, ok := verbWeight[ev.Verb]
+		if !ok || ev.Object == "" {
+			continue
+		}
+		doc := e.docIDForObject(ev.Object)
+		if doc == "" {
+			continue
+		}
+		v := out[ev.Actor]
+		if v == nil {
+			v = make(textindex.Vector)
+			out[ev.Actor] = v
+		}
+		v[doc] += w
+	}
+	return out
+}
+
+// docIDForObject maps an event object to an index doc ID when it is a
+// recommendable resource.
+func (e *Engine) docIDForObject(obj string) string {
+	if _, err := e.store.Paper(obj); err == nil {
+		return DocPaper + obj
+	}
+	if _, err := e.store.Presentation(obj); err == nil {
+		return DocPresentation + obj
+	}
+	if q, err := e.store.Question(obj); err == nil {
+		// Interacting with a question counts toward its target resource.
+		return e.docIDForObject(q.Target)
+	}
+	return ""
+}
+
+// RecommendByCF performs user-based collaborative filtering: cosine
+// similarity over interaction vectors, then objects scored by the
+// similarity-weighted interactions of the neighbors (paper §2: peer
+// networks "support each other ... indirectly through collaborative
+// filtering").
+func (e *Engine) RecommendByCF(userID string, k int) []CFRecommendation {
+	vectors := e.interactionVectors()
+	mine := vectors[userID]
+	if mine == nil {
+		return nil
+	}
+	type sim struct {
+		user string
+		s    float64
+	}
+	var sims []sim
+	for u, v := range vectors {
+		if u == userID {
+			continue
+		}
+		if s := mine.Cosine(v); s > 0 {
+			sims = append(sims, sim{u, s})
+		}
+	}
+	sort.Slice(sims, func(i, j int) bool {
+		if sims[i].s != sims[j].s {
+			return sims[i].s > sims[j].s
+		}
+		return sims[i].user < sims[j].user
+	})
+	if len(sims) > 20 {
+		sims = sims[:20] // neighborhood size
+	}
+	scores := map[string]float64{}
+	for _, sm := range sims {
+		for doc, w := range vectors[sm.user] {
+			if mine[doc] > 0 {
+				continue // already interacted
+			}
+			scores[doc] += sm.s * w
+		}
+	}
+	out := make([]CFRecommendation, 0, len(scores))
+	for doc, s := range scores {
+		out = append(out, CFRecommendation{DocID: doc, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// RecommendByPopularity is the non-personalized baseline for E10: objects
+// ranked by raw interaction count.
+func (e *Engine) RecommendByPopularity(userID string, k int) []CFRecommendation {
+	mine := e.interactionVectors()[userID]
+	pop := e.objectPopularity()
+	out := make([]CFRecommendation, 0, len(pop))
+	for doc, n := range pop {
+		if mine != nil && mine[doc] > 0 {
+			continue
+		}
+		out = append(out, CFRecommendation{DocID: doc, Score: float64(n)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].DocID < out[j].DocID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func (e *Engine) objectPopularity() map[string]int {
+	pop := map[string]int{}
+	for _, ev := range e.store.EventsSince(0, 0) {
+		if doc := e.docIDForObject(ev.Object); doc != "" {
+			pop[doc]++
+		}
+	}
+	return pop
+}
+
+// --- Activity change monitoring (SCENT over the platform) ----------------------
+
+// ActivityTensorStream slices the activity stream into epochs of
+// epochEvents events each and encodes every epoch as a (actor, verb,
+// target-kind) count tensor — the multi-relational stream SCENT monitors
+// (§2.4).
+func (e *Engine) ActivityTensorStream(epochEvents int) ([]*tensor.Sparse, *tensor.Sketcher, error) {
+	if epochEvents <= 0 {
+		epochEvents = 100
+	}
+	events := e.store.EventsSince(0, 0)
+	users := e.store.Users()
+	userIdx := map[string]int{}
+	for i, u := range users {
+		userIdx[u] = i
+	}
+	verbs := []string{"checkin", "question", "answer", "comment", "connect", "follow", "browse", "upload"}
+	verbIdx := map[string]int{}
+	for i, v := range verbs {
+		verbIdx[v] = i
+	}
+	kinds := []string{"paper", "presentation", "question", "session", "conference", "user", "other"}
+	kindIdx := map[string]int{}
+	for i, k := range kinds {
+		kindIdx[k] = i
+	}
+	shape := []int{len(users), len(verbs), len(kinds)}
+	if len(users) == 0 {
+		return nil, nil, fmt.Errorf("core: no users for tensor stream")
+	}
+	var stream []*tensor.Sparse
+	cur := tensor.MustSparse(shape...)
+	n := 0
+	for _, ev := range events {
+		ui, ok := userIdx[ev.Actor]
+		if !ok {
+			continue
+		}
+		vi, ok := verbIdx[ev.Verb]
+		if !ok {
+			continue
+		}
+		ki := kindIdx[e.targetKind(ev.Object)]
+		_ = cur.Add(1, ui, vi, ki)
+		n++
+		if n == epochEvents {
+			stream = append(stream, cur)
+			cur = tensor.MustSparse(shape...)
+			n = 0
+		}
+	}
+	if n > 0 {
+		stream = append(stream, cur)
+	}
+	sk, err := tensor.NewSketcher(64, 1213, shape...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stream, sk, nil
+}
+
+// MonitorActivity runs SCENT change detection over the platform's own
+// activity stream and returns the flagged epochs.
+func (e *Engine) MonitorActivity(epochEvents int) ([]tensor.StreamResult, error) {
+	stream, sk, err := e.ActivityTensorStream(epochEvents)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.MonitorSketched(sk, stream, &tensor.Detector{})
+}

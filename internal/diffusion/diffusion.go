@@ -1,0 +1,192 @@
+// Package diffusion implements Impact Neighborhood Indexing (INI) in
+// diffusion graphs, the substrate behind Hive's relationship discovery
+// and recommendation propagation (paper §2, ref [6], CIKM'12).
+//
+// A diffusion graph carries influence: a node's impact on another is the
+// maximum product of edge transmission probabilities over connecting
+// paths, truncated below a significance threshold epsilon. The *impact
+// neighborhood* of a node is the set of nodes it impacts above epsilon.
+// INI precomputes these truncated neighborhoods so that top-k impact
+// queries ("who does this researcher influence most?", "which resources
+// does this session's context reach?") become index lookups instead of
+// repeated graph traversals.
+package diffusion
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"hive/internal/graph"
+)
+
+// ErrBadParam is returned for invalid thresholds or missing nodes.
+var ErrBadParam = errors.New("diffusion: bad parameter")
+
+// Impact is one (node, strength) entry of an impact neighborhood.
+type Impact struct {
+	Node     graph.NodeID
+	Strength float64
+}
+
+// ComputeImpacts runs a best-first (max, ×) diffusion from src over the
+// graph and returns all nodes whose impact is >= epsilon, sorted by
+// descending strength. Edge weights must lie in (0, 1]; weights above 1
+// are treated as 1. This is the *online* evaluation that INI amortizes.
+func ComputeImpacts(g *graph.Graph, src graph.NodeID, epsilon float64) ([]Impact, error) {
+	if epsilon <= 0 || epsilon > 1 {
+		return nil, fmt.Errorf("%w: epsilon %v not in (0,1]", ErrBadParam, epsilon)
+	}
+	if _, err := g.Node(src); err != nil {
+		return nil, err
+	}
+	best := map[graph.NodeID]float64{src: 1}
+	pq := &impactHeap{{Node: src, Strength: 1}}
+	var out []Impact
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(Impact)
+		if cur.Strength < best[cur.Node] {
+			continue // stale entry
+		}
+		if cur.Node != src {
+			out = append(out, cur)
+		}
+		for _, e := range g.Out(cur.Node) {
+			w := e.Weight
+			if w > 1 {
+				w = 1
+			}
+			if w <= 0 {
+				continue
+			}
+			s := cur.Strength * w
+			if s < epsilon {
+				continue
+			}
+			if s > best[e.To] {
+				best[e.To] = s
+				heap.Push(pq, Impact{Node: e.To, Strength: s})
+			}
+		}
+	}
+	sortImpacts(out)
+	return out, nil
+}
+
+// Index is the Impact Neighborhood Index: for every node, its truncated
+// impact neighborhood at threshold epsilon, precomputed once.
+type Index struct {
+	epsilon       float64
+	neighborhoods map[graph.NodeID][]Impact
+}
+
+// BuildIndex precomputes impact neighborhoods for every node in g.
+func BuildIndex(g *graph.Graph, epsilon float64) (*Index, error) {
+	if epsilon <= 0 || epsilon > 1 {
+		return nil, fmt.Errorf("%w: epsilon %v not in (0,1]", ErrBadParam, epsilon)
+	}
+	idx := &Index{
+		epsilon:       epsilon,
+		neighborhoods: make(map[graph.NodeID][]Impact, g.NumNodes()),
+	}
+	var buildErr error
+	g.Nodes(func(n graph.Node) bool {
+		imp, err := ComputeImpacts(g, n.ID, epsilon)
+		if err != nil {
+			buildErr = err
+			return false
+		}
+		idx.neighborhoods[n.ID] = imp
+		return true
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	return idx, nil
+}
+
+// Epsilon returns the truncation threshold the index was built with.
+func (ix *Index) Epsilon() float64 { return ix.epsilon }
+
+// Size returns the total number of stored (source, target) impact pairs —
+// the index footprint reported in experiment E7.
+func (ix *Index) Size() int {
+	n := 0
+	for _, imp := range ix.neighborhoods {
+		n += len(imp)
+	}
+	return n
+}
+
+// TopK returns the k strongest impact targets of src from the index.
+func (ix *Index) TopK(src graph.NodeID, k int) []Impact {
+	nb := ix.neighborhoods[src]
+	if k > len(nb) {
+		k = len(nb)
+	}
+	return append([]Impact(nil), nb[:k]...)
+}
+
+// Impact returns the indexed impact of src on dst (0 if below epsilon).
+func (ix *Index) Impact(src, dst graph.NodeID) float64 {
+	for _, im := range ix.neighborhoods[src] {
+		if im.Node == dst {
+			return im.Strength
+		}
+	}
+	return 0
+}
+
+// Reverse returns the sources that impact dst above epsilon, strongest
+// first — "who is influenced by whom" inverted, used for peer suggestion
+// ("researchers whose activity reaches you").
+func (ix *Index) Reverse(dst graph.NodeID) []Impact {
+	var out []Impact
+	for src, nb := range ix.neighborhoods {
+		for _, im := range nb {
+			if im.Node == dst {
+				out = append(out, Impact{Node: src, Strength: im.Strength})
+				break
+			}
+		}
+	}
+	sortImpacts(out)
+	return out
+}
+
+// TopKOnline answers a top-k impact query without an index, for the E7
+// baseline comparison.
+func TopKOnline(g *graph.Graph, src graph.NodeID, k int, epsilon float64) ([]Impact, error) {
+	imp, err := ComputeImpacts(g, src, epsilon)
+	if err != nil {
+		return nil, err
+	}
+	if k > len(imp) {
+		k = len(imp)
+	}
+	return imp[:k], nil
+}
+
+func sortImpacts(xs []Impact) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].Strength != xs[j].Strength {
+			return xs[i].Strength > xs[j].Strength
+		}
+		return xs[i].Node < xs[j].Node
+	})
+}
+
+type impactHeap []Impact
+
+func (h impactHeap) Len() int            { return len(h) }
+func (h impactHeap) Less(i, j int) bool  { return h[i].Strength > h[j].Strength }
+func (h impactHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *impactHeap) Push(x interface{}) { *h = append(*h, x.(Impact)) }
+func (h *impactHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

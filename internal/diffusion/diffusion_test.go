@@ -1,0 +1,273 @@
+package diffusion
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hive/internal/graph"
+)
+
+func buildChain(t *testing.T, weights ...float64) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for i := 0; i <= len(weights); i++ {
+		if _, err := g.AddNode(fmt.Sprintf("n%d", i), "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range weights {
+		if err := g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), "e", w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestComputeImpactsChainDecay(t *testing.T) {
+	g := buildChain(t, 0.5, 0.5, 0.5)
+	imp, err := ComputeImpacts(g, 0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != 3 {
+		t.Fatalf("impacts = %v", imp)
+	}
+	want := []float64{0.5, 0.25, 0.125}
+	for i, im := range imp {
+		if diff := im.Strength - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("impact[%d] = %v, want %v", i, im.Strength, want[i])
+		}
+	}
+}
+
+func TestComputeImpactsEpsilonTruncation(t *testing.T) {
+	g := buildChain(t, 0.5, 0.5, 0.5)
+	imp, err := ComputeImpacts(g, 0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != 2 {
+		t.Fatalf("truncation failed: %v", imp)
+	}
+}
+
+func TestComputeImpactsTakesBestPath(t *testing.T) {
+	g := graph.New()
+	for _, k := range []string{"s", "a", "t"} {
+		if _, err := g.AddNode(k, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, a, tt := graph.NodeID(0), graph.NodeID(1), graph.NodeID(2)
+	_ = g.AddEdge(s, tt, "e", 0.3) // direct weak
+	_ = g.AddEdge(s, a, "e", 0.9)  // two strong hops: 0.81
+	_ = g.AddEdge(a, tt, "e", 0.9)
+	imp, err := ComputeImpacts(g, s, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, im := range imp {
+		if im.Node == tt {
+			if diff := im.Strength - 0.81; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("impact on t = %v, want 0.81 (max path)", im.Strength)
+			}
+			return
+		}
+	}
+	t.Fatal("target not impacted")
+}
+
+func TestComputeImpactsCycleTerminates(t *testing.T) {
+	g := graph.New()
+	_, _ = g.AddNode("a", "x")
+	_, _ = g.AddNode("b", "x")
+	_ = g.AddEdge(0, 1, "e", 0.9)
+	_ = g.AddEdge(1, 0, "e", 0.9)
+	imp, err := ComputeImpacts(g, 0, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != 1 || imp[0].Node != 1 {
+		t.Fatalf("cycle impacts = %v", imp)
+	}
+}
+
+func TestComputeImpactsValidation(t *testing.T) {
+	g := buildChain(t, 0.5)
+	if _, err := ComputeImpacts(g, 0, 0); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("epsilon 0 err = %v", err)
+	}
+	if _, err := ComputeImpacts(g, 0, 1.5); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("epsilon > 1 err = %v", err)
+	}
+	if _, err := ComputeImpacts(g, 99, 0.5); !errors.Is(err, graph.ErrNodeNotFound) {
+		t.Fatalf("missing node err = %v", err)
+	}
+}
+
+func TestComputeImpactsClampsOverweight(t *testing.T) {
+	g := buildChain(t, 5.0, 5.0) // weights clamp to 1
+	imp, err := ComputeImpacts(g, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, im := range imp {
+		if im.Strength > 1 {
+			t.Fatalf("impact exceeded 1: %v", im)
+		}
+	}
+}
+
+func randomDiffusionGraph(seed int64, n, m int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New()
+	for i := 0; i < n; i++ {
+		g.EnsureNode(fmt.Sprintf("n%d", i), "x")
+	}
+	for i := 0; i < m; i++ {
+		a := graph.NodeID(rng.Intn(n))
+		b := graph.NodeID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		_ = g.AddEdge(a, b, "e", 0.2+0.8*rng.Float64())
+	}
+	return g
+}
+
+func TestIndexMatchesOnline(t *testing.T) {
+	g := randomDiffusionGraph(7, 30, 90)
+	const eps = 0.1
+	idx, err := BuildIndex(g, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 30; s++ {
+		src := graph.NodeID(s)
+		online, err := TopKOnline(g, src, 5, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		indexed := idx.TopK(src, 5)
+		if len(online) != len(indexed) {
+			t.Fatalf("src %d: online %d vs indexed %d results", s, len(online), len(indexed))
+		}
+		for i := range online {
+			if online[i].Node != indexed[i].Node ||
+				online[i].Strength != indexed[i].Strength {
+				t.Fatalf("src %d result %d: online %+v vs indexed %+v",
+					s, i, online[i], indexed[i])
+			}
+		}
+	}
+}
+
+func TestIndexImpactLookup(t *testing.T) {
+	g := buildChain(t, 0.5, 0.5)
+	idx, err := BuildIndex(g, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Impact(0, 2); got != 0.25 {
+		t.Fatalf("Impact(0,2) = %v", got)
+	}
+	if got := idx.Impact(2, 0); got != 0 {
+		t.Fatalf("Impact(2,0) = %v, want 0 (no reverse edges)", got)
+	}
+	if idx.Epsilon() != 0.1 {
+		t.Fatalf("Epsilon = %v", idx.Epsilon())
+	}
+}
+
+func TestIndexReverse(t *testing.T) {
+	g := buildChain(t, 0.9, 0.9)
+	idx, err := BuildIndex(g, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := idx.Reverse(2)
+	if len(rev) != 2 {
+		t.Fatalf("Reverse = %v", rev)
+	}
+	// Node 1 impacts node 2 more strongly (0.9) than node 0 does (0.81).
+	if rev[0].Node != 1 || rev[1].Node != 0 {
+		t.Fatalf("Reverse order = %v", rev)
+	}
+}
+
+func TestIndexSize(t *testing.T) {
+	g := buildChain(t, 0.9, 0.9)
+	idx, _ := BuildIndex(g, 0.1)
+	// n0 reaches {1,2}, n1 reaches {2}, n2 reaches {} => 3 pairs.
+	if idx.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", idx.Size())
+	}
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	g := buildChain(t, 0.5)
+	if _, err := BuildIndex(g, 0); !errors.Is(err, ErrBadParam) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPropImpactsBoundedSortedTruncated(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDiffusionGraph(seed, 20, 50)
+		const eps = 0.15
+		imp, err := ComputeImpacts(g, 0, eps)
+		if err != nil {
+			return false
+		}
+		for i, im := range imp {
+			if im.Strength < eps || im.Strength > 1 {
+				return false
+			}
+			if i > 0 && im.Strength > imp[i-1].Strength {
+				return false
+			}
+			if im.Node == 0 {
+				return false // source never in its own neighborhood
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSmallerEpsilonNeverShrinksNeighborhood(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDiffusionGraph(seed, 15, 40)
+		hi, err := ComputeImpacts(g, 0, 0.3)
+		if err != nil {
+			return false
+		}
+		lo, err := ComputeImpacts(g, 0, 0.05)
+		if err != nil {
+			return false
+		}
+		if len(lo) < len(hi) {
+			return false
+		}
+		// Every high-threshold impact must appear identically at the
+		// lower threshold.
+		strength := map[graph.NodeID]float64{}
+		for _, im := range lo {
+			strength[im.Node] = im.Strength
+		}
+		for _, im := range hi {
+			if strength[im.Node] != im.Strength {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package graph
+
+import "math"
+
+// PageRankOptions configures the power-iteration PageRank solvers.
+type PageRankOptions struct {
+	// Damping is the probability of following an out-edge rather than
+	// teleporting. Defaults to 0.85 when zero.
+	Damping float64
+	// MaxIter bounds the number of power iterations. Defaults to 100.
+	MaxIter int
+	// Tolerance is the L1 convergence threshold. Defaults to 1e-9.
+	Tolerance float64
+}
+
+func (o PageRankOptions) withDefaults() PageRankOptions {
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-9
+	}
+	return o
+}
+
+// PageRank computes the stationary importance of every node under the
+// weighted random-surfer model. Edge weights bias the surfer toward
+// stronger relationships. The returned slice is indexed by NodeID and sums
+// to 1 (for non-empty graphs).
+func (g *Graph) PageRank(opts PageRankOptions) []float64 {
+	n := len(g.nodes)
+	if n == 0 {
+		return nil
+	}
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = 1 / float64(n)
+	}
+	return g.personalizedPageRank(uniform, opts)
+}
+
+// PersonalizedPageRank computes PageRank with teleportation restricted to
+// the given restart distribution. This is Hive's core context-propagation
+// primitive: the restart mass is placed on the nodes of the user's active
+// workpad (plus checked-in session), and the stationary distribution
+// scores every entity's relevance to that context (paper §2.3, "Hive
+// propagates the concepts within the relevant neighborhoods of the
+// knowledge network").
+//
+// restart maps node IDs to non-negative masses; it is normalized
+// internally. Nodes outside restart get rank only via graph structure.
+func (g *Graph) PersonalizedPageRank(restart map[NodeID]float64, opts PageRankOptions) []float64 {
+	n := len(g.nodes)
+	if n == 0 {
+		return nil
+	}
+	r := make([]float64, n)
+	var total float64
+	for id, m := range restart {
+		if g.valid(id) && m > 0 {
+			r[id] = m
+			total += m
+		}
+	}
+	if total == 0 {
+		return g.PageRank(opts)
+	}
+	for i := range r {
+		r[i] /= total
+	}
+	return g.personalizedPageRank(r, opts)
+}
+
+func (g *Graph) personalizedPageRank(restart []float64, opts PageRankOptions) []float64 {
+	opts = opts.withDefaults()
+	n := len(g.nodes)
+	rank := append([]float64(nil), restart...)
+	next := make([]float64, n)
+
+	outWeight := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for _, e := range g.out[i] {
+			outWeight[i] += e.Weight
+		}
+	}
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		var dangling float64
+		for i := 0; i < n; i++ {
+			if rank[i] == 0 {
+				continue
+			}
+			if outWeight[i] == 0 {
+				dangling += rank[i]
+				continue
+			}
+			share := opts.Damping * rank[i] / outWeight[i]
+			for _, e := range g.out[i] {
+				next[e.To] += share * e.Weight
+			}
+		}
+		// Dangling mass and teleportation both return to the restart
+		// distribution, keeping the chain personalized.
+		back := opts.Damping*dangling + (1 - opts.Damping)
+		var delta float64
+		for i := 0; i < n; i++ {
+			next[i] += back * restart[i]
+			delta += math.Abs(next[i] - rank[i])
+		}
+		rank, next = next, rank
+		if delta < opts.Tolerance {
+			break
+		}
+	}
+	return rank
+}
+
+// TopK returns the k highest-scoring node IDs for a score vector indexed
+// by NodeID, excluding any IDs in the skip set. Ties break toward lower
+// IDs for determinism.
+func TopK(scores []float64, k int, skip map[NodeID]bool) []NodeID {
+	type sc struct {
+		id NodeID
+		s  float64
+	}
+	var all []sc
+	for i, s := range scores {
+		id := NodeID(i)
+		if skip[id] {
+			continue
+		}
+		all = append(all, sc{id, s})
+	}
+	// Partial selection sort: k is small in practice (top-5 peers etc.).
+	if k > len(all) {
+		k = len(all)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].s > all[best].s || (all[j].s == all[best].s && all[j].id < all[best].id) {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+	}
+	ids := make([]NodeID, 0, k)
+	for i := 0; i < k; i++ {
+		ids = append(ids, all[i].id)
+	}
+	return ids
+}

@@ -1,0 +1,337 @@
+// Package kvstore implements the small embedded key-value storage engine
+// that backs Hive's durable entities (users, papers, sessions, Q&A,
+// workpads). The paper's deployment stored these in MySQL under Joomla;
+// this engine is the stdlib-only substitute: an in-memory sorted index
+// over an append-only write-ahead log with CRC-framed records, plus
+// point-in-time snapshots and log compaction.
+//
+// Durability model: every Put/Delete is appended to the WAL before the
+// in-memory index is updated. On open, the snapshot (if any) is loaded and
+// the WAL tail is replayed; torn tail records are detected via CRC and
+// truncated, mirroring standard database recovery.
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrNotFound is returned by Get when the key is absent.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("kvstore: store closed")
+
+// Store is a durable key-value store. It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	dir    string
+	mem    map[string][]byte
+	wal    *walWriter
+	closed bool
+	// walRecords counts records appended since the last compaction; used
+	// by MaybeCompact.
+	walRecords int
+}
+
+// Open opens (creating if necessary) a store rooted at dir. If dir is
+// empty the store is purely in-memory and non-durable.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir, mem: make(map[string][]byte)}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: create dir: %w", err)
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	n, err := replayWAL(s.walPath(), func(op byte, key, val []byte) {
+		switch op {
+		case opPut:
+			s.mem[string(key)] = append([]byte(nil), val...)
+		case opDelete:
+			delete(s.mem, string(key))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.walRecords = n
+	w, err := openWALWriter(s.walPath())
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+	return s, nil
+}
+
+func (s *Store) walPath() string      { return filepath.Join(s.dir, "wal.log") }
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "snapshot.db") }
+
+// Put stores val under key, overwriting any previous value.
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.wal != nil {
+		if err := s.wal.append(opPut, []byte(key), val); err != nil {
+			return err
+		}
+		s.walRecords++
+	}
+	s.mem[key] = append([]byte(nil), val...)
+	return nil
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	v, ok := s.mem[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Has reports whether key is present.
+func (s *Store) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.mem[key]
+	return ok
+}
+
+// Delete removes key. Deleting an absent key is a no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.mem[key]; !ok {
+		return nil
+	}
+	if s.wal != nil {
+		if err := s.wal.append(opDelete, []byte(key), nil); err != nil {
+			return err
+		}
+		s.walRecords++
+	}
+	delete(s.mem, key)
+	return nil
+}
+
+// Len reports the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.mem)
+}
+
+// Scan calls fn for every key with the given prefix, in ascending key
+// order, until fn returns false. Values passed to fn are copies.
+func (s *Store) Scan(prefix string, fn func(key string, val []byte) bool) {
+	s.mu.RLock()
+	keys := make([]string, 0, len(s.mem))
+	for k := range s.mem {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	type kv struct {
+		k string
+		v []byte
+	}
+	items := make([]kv, len(keys))
+	for i, k := range keys {
+		items[i] = kv{k, append([]byte(nil), s.mem[k]...)}
+	}
+	s.mu.RUnlock()
+	for _, it := range items {
+		if !fn(it.k, it.v) {
+			return
+		}
+	}
+}
+
+// Keys returns all keys with the given prefix in ascending order.
+func (s *Store) Keys(prefix string) []string {
+	var keys []string
+	s.Scan(prefix, func(k string, _ []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	return keys
+}
+
+// Batch applies a set of writes atomically with respect to readers: either
+// all entries become visible or none (on WAL error, nothing is applied).
+type Batch struct {
+	puts    map[string][]byte
+	deletes map[string]bool
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch {
+	return &Batch{puts: make(map[string][]byte), deletes: make(map[string]bool)}
+}
+
+// Put queues a write.
+func (b *Batch) Put(key string, val []byte) *Batch {
+	b.puts[key] = append([]byte(nil), val...)
+	delete(b.deletes, key)
+	return b
+}
+
+// Delete queues a deletion.
+func (b *Batch) Delete(key string) *Batch {
+	b.deletes[key] = true
+	delete(b.puts, key)
+	return b
+}
+
+// Len reports the number of queued operations.
+func (b *Batch) Len() int { return len(b.puts) + len(b.deletes) }
+
+// Apply commits the batch.
+func (s *Store) Apply(b *Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.wal != nil {
+		// Append all records first; only mutate memory after every append
+		// succeeded so a mid-batch I/O error leaves memory untouched.
+		for k, v := range b.puts {
+			if err := s.wal.append(opPut, []byte(k), v); err != nil {
+				return err
+			}
+			s.walRecords++
+		}
+		for k := range b.deletes {
+			if err := s.wal.append(opDelete, []byte(k), nil); err != nil {
+				return err
+			}
+			s.walRecords++
+		}
+	}
+	for k, v := range b.puts {
+		s.mem[k] = append([]byte(nil), v...)
+	}
+	for k := range b.deletes {
+		delete(s.mem, k)
+	}
+	return nil
+}
+
+// Compact writes a snapshot of the live data and truncates the WAL. The
+// store stays usable throughout.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.dir == "" {
+		return nil
+	}
+	if err := s.writeSnapshotLocked(); err != nil {
+		return err
+	}
+	if err := s.wal.close(); err != nil {
+		return err
+	}
+	if err := os.Remove(s.walPath()); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("kvstore: remove wal: %w", err)
+	}
+	w, err := openWALWriter(s.walPath())
+	if err != nil {
+		return err
+	}
+	s.wal = w
+	s.walRecords = 0
+	return nil
+}
+
+// MaybeCompact compacts when more than threshold records have accumulated
+// in the WAL since the last compaction.
+func (s *Store) MaybeCompact(threshold int) error {
+	s.mu.RLock()
+	n := s.walRecords
+	s.mu.RUnlock()
+	if n <= threshold {
+		return nil
+	}
+	return s.Compact()
+}
+
+// Close flushes and closes the store. Further operations fail with
+// ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.wal != nil {
+		return s.wal.close()
+	}
+	return nil
+}
+
+// writeSnapshotLocked persists the in-memory table atomically via a temp
+// file + rename.
+func (s *Store) writeSnapshotLocked() error {
+	tmp := s.snapshotPath() + ".tmp"
+	var buf bytes.Buffer
+	keys := make([]string, 0, len(s.mem))
+	for k := range s.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		writeRecord(&buf, opPut, []byte(k), s.mem[k])
+	}
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("kvstore: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+		return fmt.Errorf("kvstore: rename snapshot: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) loadSnapshot() error {
+	data, err := os.ReadFile(s.snapshotPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("kvstore: read snapshot: %w", err)
+	}
+	_, err = replayRecords(data, func(op byte, key, val []byte) {
+		if op == opPut {
+			s.mem[string(key)] = append([]byte(nil), val...)
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("kvstore: corrupt snapshot: %w", err)
+	}
+	return nil
+}

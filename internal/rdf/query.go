@@ -1,0 +1,118 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Query support: basic graph patterns with variables, in the spirit of
+// R2DB's weighted-SPARQL subset [12]. Variables are terms starting with
+// '?'. A solution binds every variable and carries a score equal to the
+// product of the weights of the matched triples.
+
+// QueryPattern is one triple pattern of a basic graph pattern; any field
+// may be a variable ("?x") or a constant.
+type QueryPattern struct {
+	Subject   string
+	Predicate string
+	Object    string
+}
+
+// Binding maps variable names (with the leading '?') to terms.
+type Binding map[string]string
+
+// Solution is a complete binding with its combined weight.
+type Solution struct {
+	Bindings Binding
+	Score    float64
+}
+
+// IsVariable reports whether a term is a query variable.
+func IsVariable(term string) bool { return strings.HasPrefix(term, "?") }
+
+// Query evaluates a basic graph pattern and returns all solutions sorted
+// by descending score. Patterns are joined left to right with index
+// lookups on the already-bound fields (a simple but effective join order
+// for Hive's star-shaped queries).
+func (st *Store) Query(patterns []QueryPattern) []Solution {
+	if len(patterns) == 0 {
+		return nil
+	}
+	sols := []Solution{{Bindings: Binding{}, Score: 1}}
+	for _, qp := range patterns {
+		var next []Solution
+		for _, sol := range sols {
+			s := resolve(qp.Subject, sol.Bindings)
+			p := resolve(qp.Predicate, sol.Bindings)
+			o := resolve(qp.Object, sol.Bindings)
+			matches := st.Match(Pattern{
+				Subject:   constOrEmpty(s),
+				Predicate: constOrEmpty(p),
+				Object:    constOrEmpty(o),
+			})
+			for _, m := range matches {
+				nb := cloneBinding(sol.Bindings)
+				if !bind(nb, s, m.Subject) || !bind(nb, p, m.Predicate) || !bind(nb, o, m.Object) {
+					continue
+				}
+				next = append(next, Solution{Bindings: nb, Score: sol.Score * m.Weight})
+			}
+		}
+		sols = next
+		if len(sols) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(sols, func(i, j int) bool {
+		if sols[i].Score != sols[j].Score {
+			return sols[i].Score > sols[j].Score
+		}
+		return fmt.Sprint(sols[i].Bindings) < fmt.Sprint(sols[j].Bindings)
+	})
+	return sols
+}
+
+// QueryTopK evaluates the pattern and returns at most k best solutions.
+func (st *Store) QueryTopK(patterns []QueryPattern, k int) []Solution {
+	sols := st.Query(patterns)
+	if k > 0 && len(sols) > k {
+		sols = sols[:k]
+	}
+	return sols
+}
+
+func resolve(term string, b Binding) string {
+	if IsVariable(term) {
+		if v, ok := b[term]; ok {
+			return v
+		}
+	}
+	return term
+}
+
+func constOrEmpty(term string) string {
+	if IsVariable(term) {
+		return ""
+	}
+	return term
+}
+
+func bind(b Binding, term, value string) bool {
+	if !IsVariable(term) {
+		return term == value
+	}
+	if prev, ok := b[term]; ok {
+		return prev == value
+	}
+	b[term] = value
+	return true
+}
+
+func cloneBinding(b Binding) Binding {
+	nb := make(Binding, len(b)+2)
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}

@@ -1,0 +1,314 @@
+// Package rdf implements R2DB, the weighted RDF data management system
+// Hive relies on for its knowledge layers (paper §2.2, refs [11][12]).
+// Triples carry a weight in (0, 1] expressing the strength or certainty of
+// the statement — the "imprecise alignment" results of §2.2 are stored
+// exactly this way. The store maintains SPO, POS and OSP permutation
+// indexes for pattern matching, supports multi-pattern join queries, and
+// answers R2DF-style top-k ranked path queries where a path's score is the
+// product of its triple weights.
+package rdf
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrBadTriple is returned for malformed triples or serialized lines.
+var ErrBadTriple = errors.New("rdf: malformed triple")
+
+// Triple is a weighted RDF statement.
+type Triple struct {
+	Subject   string
+	Predicate string
+	Object    string
+	// Weight in (0, 1]; 1 means a certain statement.
+	Weight float64
+}
+
+// Pattern matches triples; empty fields are wildcards.
+type Pattern struct {
+	Subject   string
+	Predicate string
+	Object    string
+	// MinWeight filters out weaker triples; 0 matches all.
+	MinWeight float64
+}
+
+type key struct{ s, p, o string }
+
+// Store is a weighted triple store. Safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	weights map[key]float64
+	spo     map[string]map[string]map[string]struct{}
+	pos     map[string]map[string]map[string]struct{}
+	osp     map[string]map[string]map[string]struct{}
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		weights: make(map[key]float64),
+		spo:     make(map[string]map[string]map[string]struct{}),
+		pos:     make(map[string]map[string]map[string]struct{}),
+		osp:     make(map[string]map[string]map[string]struct{}),
+	}
+}
+
+// Add inserts or updates a triple. Weights of repeated assertions keep the
+// maximum (observing the same fact again cannot weaken it). Weights are
+// clamped to (0, 1]; non-positive weights are rejected.
+func (st *Store) Add(t Triple) error {
+	if t.Subject == "" || t.Predicate == "" || t.Object == "" {
+		return fmt.Errorf("%w: empty field in %+v", ErrBadTriple, t)
+	}
+	if t.Weight <= 0 {
+		return fmt.Errorf("%w: non-positive weight %v", ErrBadTriple, t.Weight)
+	}
+	if t.Weight > 1 {
+		t.Weight = 1
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	k := key{t.Subject, t.Predicate, t.Object}
+	if w, ok := st.weights[k]; ok {
+		if t.Weight > w {
+			st.weights[k] = t.Weight
+		}
+		return nil
+	}
+	st.weights[k] = t.Weight
+	insert3(st.spo, t.Subject, t.Predicate, t.Object)
+	insert3(st.pos, t.Predicate, t.Object, t.Subject)
+	insert3(st.osp, t.Object, t.Subject, t.Predicate)
+	return nil
+}
+
+// Remove deletes a triple; removing an absent triple is a no-op.
+func (st *Store) Remove(s, p, o string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	k := key{s, p, o}
+	if _, ok := st.weights[k]; !ok {
+		return
+	}
+	delete(st.weights, k)
+	delete3(st.spo, s, p, o)
+	delete3(st.pos, p, o, s)
+	delete3(st.osp, o, s, p)
+}
+
+// Len reports the number of stored triples.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.weights)
+}
+
+// Weight returns the weight of a triple and whether it exists.
+func (st *Store) Weight(s, p, o string) (float64, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	w, ok := st.weights[key{s, p, o}]
+	return w, ok
+}
+
+// Match returns all triples matching the pattern, sorted by descending
+// weight then lexicographically (deterministic output for ranked
+// consumers).
+func (st *Store) Match(p Pattern) []Triple {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []Triple
+	emit := func(s, pr, o string) {
+		w := st.weights[key{s, pr, o}]
+		if w >= p.MinWeight {
+			out = append(out, Triple{s, pr, o, w})
+		}
+	}
+	switch {
+	case p.Subject != "" && p.Predicate != "" && p.Object != "":
+		if w, ok := st.weights[key{p.Subject, p.Predicate, p.Object}]; ok && w >= p.MinWeight {
+			out = append(out, Triple{p.Subject, p.Predicate, p.Object, w})
+		}
+	case p.Subject != "" && p.Predicate != "":
+		for o := range st.spo[p.Subject][p.Predicate] {
+			emit(p.Subject, p.Predicate, o)
+		}
+	case p.Subject != "" && p.Object != "":
+		for pr := range st.osp[p.Object][p.Subject] {
+			emit(p.Subject, pr, p.Object)
+		}
+	case p.Predicate != "" && p.Object != "":
+		for s := range st.pos[p.Predicate][p.Object] {
+			emit(s, p.Predicate, p.Object)
+		}
+	case p.Subject != "":
+		for pr, objs := range st.spo[p.Subject] {
+			for o := range objs {
+				emit(p.Subject, pr, o)
+			}
+		}
+	case p.Predicate != "":
+		for o, subs := range st.pos[p.Predicate] {
+			for s := range subs {
+				emit(s, p.Predicate, o)
+			}
+		}
+	case p.Object != "":
+		for s, preds := range st.osp[p.Object] {
+			for pr := range preds {
+				emit(s, pr, p.Object)
+			}
+		}
+	default:
+		for k, w := range st.weights {
+			if w >= p.MinWeight {
+				out = append(out, Triple{k.s, k.p, k.o, w})
+			}
+		}
+	}
+	sortTriples(out)
+	return out
+}
+
+// Subjects returns the distinct subjects of triples with the given
+// predicate, sorted.
+func (st *Store) Subjects(predicate string) []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	seen := map[string]struct{}{}
+	for _, subs := range st.pos[predicate] {
+		for s := range subs {
+			seen[s] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Weight != ts[j].Weight {
+			return ts[i].Weight > ts[j].Weight
+		}
+		if ts[i].Subject != ts[j].Subject {
+			return ts[i].Subject < ts[j].Subject
+		}
+		if ts[i].Predicate != ts[j].Predicate {
+			return ts[i].Predicate < ts[j].Predicate
+		}
+		return ts[i].Object < ts[j].Object
+	})
+}
+
+func insert3(m map[string]map[string]map[string]struct{}, a, b, c string) {
+	mb, ok := m[a]
+	if !ok {
+		mb = make(map[string]map[string]struct{})
+		m[a] = mb
+	}
+	mc, ok := mb[b]
+	if !ok {
+		mc = make(map[string]struct{})
+		mb[b] = mc
+	}
+	mc[c] = struct{}{}
+}
+
+func delete3(m map[string]map[string]map[string]struct{}, a, b, c string) {
+	mb, ok := m[a]
+	if !ok {
+		return
+	}
+	mc, ok := mb[b]
+	if !ok {
+		return
+	}
+	delete(mc, c)
+	if len(mc) == 0 {
+		delete(mb, b)
+	}
+	if len(mb) == 0 {
+		delete(m, a)
+	}
+}
+
+// WriteTo serializes the store in a line-oriented N-Triples-like format:
+// subject, predicate, object and weight separated by tabs, one triple per
+// line, sorted for determinism.
+func (st *Store) WriteTo(w io.Writer) (int64, error) {
+	all := st.Match(Pattern{})
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, t := range all {
+		m, err := fmt.Fprintf(bw, "%s\t%s\t%s\t%s\n",
+			escape(t.Subject), escape(t.Predicate), escape(t.Object),
+			strconv.FormatFloat(t.Weight, 'g', -1, 64))
+		n += int64(m)
+		if err != nil {
+			return n, fmt.Errorf("rdf: write: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("rdf: flush: %w", err)
+	}
+	return n, nil
+}
+
+// ReadFrom loads triples from the WriteTo format, adding them to the
+// store.
+func (st *Store) ReadFrom(r io.Reader) (int64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var n int64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		n += int64(len(text)) + 1
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 4 {
+			return n, fmt.Errorf("%w: line %d: %q", ErrBadTriple, line, text)
+		}
+		w, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil {
+			return n, fmt.Errorf("%w: line %d: bad weight: %v", ErrBadTriple, line, err)
+		}
+		t := Triple{unescape(parts[0]), unescape(parts[1]), unescape(parts[2]), w}
+		if err := st.Add(t); err != nil {
+			return n, fmt.Errorf("rdf: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("rdf: read: %w", err)
+	}
+	return n, nil
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\t", "\\t")
+	s = strings.ReplaceAll(s, "\n", "\\n")
+	return s
+}
+
+func unescape(s string) string {
+	s = strings.ReplaceAll(s, "\\n", "\n")
+	s = strings.ReplaceAll(s, "\\t", "\t")
+	s = strings.ReplaceAll(s, "\\\\", "\\")
+	return s
+}

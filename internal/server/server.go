@@ -1,0 +1,326 @@
+// Package server exposes the Hive platform as a JSON REST API — the
+// web-facing surface of Figure 1. The paper's deployment used
+// JomSocial/Joomla; this server is the stdlib net/http substitute
+// offering the same service set (profiles, connections, follows, content,
+// check-ins, Q&A, workpads, feeds) plus the knowledge services
+// (relationship explanation, recommendations, context-aware search,
+// previews, digests).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"hive"
+	"hive/internal/core"
+	"hive/internal/social"
+	"hive/internal/textindex"
+)
+
+// Server routes HTTP requests to a Platform.
+type Server struct {
+	p   *hive.Platform
+	mux *http.ServeMux
+}
+
+// New builds a server around a platform.
+func New(p *hive.Platform) *Server {
+	s := &Server{p: p, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	m := s.mux
+	m.HandleFunc("GET /api/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	m.HandleFunc("POST /api/users", jsonIn(s.postUser))
+	m.HandleFunc("GET /api/users/{id}", s.getUser)
+	m.HandleFunc("GET /api/users", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.p.Users())
+	})
+	m.HandleFunc("POST /api/conferences", jsonIn(s.postConference))
+	m.HandleFunc("POST /api/sessions", jsonIn(s.postSession))
+	m.HandleFunc("POST /api/papers", jsonIn(s.postPaper))
+	m.HandleFunc("POST /api/presentations", jsonIn(s.postPresentation))
+	m.HandleFunc("POST /api/connections", jsonIn(s.postConnection))
+	m.HandleFunc("POST /api/follows", jsonIn(s.postFollow))
+	m.HandleFunc("POST /api/checkins", jsonIn(s.postCheckin))
+	m.HandleFunc("GET /api/sessions/{id}/attendees", s.getAttendees)
+	m.HandleFunc("POST /api/questions", jsonIn(s.postQuestion))
+	m.HandleFunc("POST /api/answers", jsonIn(s.postAnswer))
+	m.HandleFunc("POST /api/comments", jsonIn(s.postComment))
+	m.HandleFunc("POST /api/workpads", jsonIn(s.postWorkpad))
+	m.HandleFunc("POST /api/workpads/{id}/items", s.postWorkpadItem)
+	m.HandleFunc("POST /api/workpads/{id}/activate", s.postWorkpadActivate)
+	m.HandleFunc("GET /api/users/{id}/workpad", s.getActiveWorkpad)
+	m.HandleFunc("GET /api/users/{id}/feed", s.getFeed)
+	m.HandleFunc("GET /api/tags/{tag}/events", s.getTagEvents)
+
+	m.HandleFunc("GET /api/relationship", s.getRelationship)
+	m.HandleFunc("GET /api/users/{id}/recommendations/peers", s.getPeerRecs)
+	m.HandleFunc("GET /api/users/{id}/recommendations/resources", s.getResourceRecs)
+	m.HandleFunc("GET /api/users/{id}/sessions/suggest", s.getSessionSuggestions)
+	m.HandleFunc("GET /api/search", s.getSearch)
+	m.HandleFunc("GET /api/preview", s.getPreview)
+	m.HandleFunc("GET /api/users/{id}/digest", s.getDigest)
+	m.HandleFunc("GET /api/communities", s.getCommunities)
+	m.HandleFunc("GET /api/users/{id}/history", s.getHistory)
+	m.HandleFunc("GET /api/users/{id}/resource-relationship", s.getResourceRelationship)
+	m.HandleFunc("GET /api/knowledge/paths", s.getKnowledgePaths)
+	m.HandleFunc("POST /api/refresh", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.p.Refresh(); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "refreshed"})
+	})
+}
+
+// jsonIn adapts a typed JSON handler.
+func jsonIn[T any](fn func(T) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var v T
+		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad json: " + err.Error()})
+			return
+		}
+		if err := fn(v); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, map[string]string{"status": "created"})
+	}
+}
+
+func (s *Server) postUser(u hive.User) error                  { return s.p.RegisterUser(u) }
+func (s *Server) postConference(c hive.Conference) error      { return s.p.CreateConference(c) }
+func (s *Server) postSession(ss hive.Session) error           { return s.p.CreateSession(ss) }
+func (s *Server) postPaper(pa hive.Paper) error               { return s.p.PublishPaper(pa) }
+func (s *Server) postPresentation(pr hive.Presentation) error { return s.p.UploadPresentation(pr) }
+func (s *Server) postQuestion(q hive.Question) error          { return s.p.Ask(q) }
+func (s *Server) postAnswer(a hive.Answer) error              { return s.p.AnswerQuestion(a) }
+func (s *Server) postComment(c hive.Comment) error            { return s.p.PostComment(c) }
+func (s *Server) postWorkpad(w hive.Workpad) error            { return s.p.CreateWorkpad(w) }
+
+type pairReq struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+func (s *Server) postConnection(r pairReq) error { return s.p.Connect(r.A, r.B) }
+func (s *Server) postFollow(r pairReq) error     { return s.p.Follow(r.A, r.B) }
+
+type checkinReq struct {
+	SessionID string `json:"session_id"`
+	UserID    string `json:"user_id"`
+}
+
+func (s *Server) postCheckin(r checkinReq) error { return s.p.CheckIn(r.SessionID, r.UserID) }
+
+func (s *Server) getUser(w http.ResponseWriter, r *http.Request) {
+	u, err := s.p.GetUser(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, u)
+}
+
+func (s *Server) getAttendees(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.p.Attendees(r.PathValue("id")))
+}
+
+func (s *Server) postWorkpadItem(w http.ResponseWriter, r *http.Request) {
+	var item hive.WorkpadItem
+	if err := json.NewDecoder(r.Body).Decode(&item); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := s.p.AddToWorkpad(r.PathValue("id"), item); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "added"})
+}
+
+func (s *Server) postWorkpadActivate(w http.ResponseWriter, r *http.Request) {
+	owner := r.URL.Query().Get("owner")
+	if err := s.p.ActivateWorkpad(owner, r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "activated"})
+}
+
+func (s *Server) getActiveWorkpad(w http.ResponseWriter, r *http.Request) {
+	wp, err := s.p.ActiveWorkpad(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wp)
+}
+
+func (s *Server) getFeed(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.p.Feed(r.PathValue("id"), intParam(r, "limit", 50)))
+}
+
+func (s *Server) getTagEvents(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.p.EventsByTag("#"+r.PathValue("tag")))
+}
+
+func (s *Server) getRelationship(w http.ResponseWriter, r *http.Request) {
+	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	ex, err := s.p.Explain(a, b)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ex)
+}
+
+func (s *Server) getPeerRecs(w http.ResponseWriter, r *http.Request) {
+	recs, err := s.p.RecommendPeers(r.PathValue("id"), intParam(r, "k", 5))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, recs)
+}
+
+func (s *Server) getResourceRecs(w http.ResponseWriter, r *http.Request) {
+	useCtx := r.URL.Query().Get("context") != "false"
+	recs, err := s.p.RecommendResources(r.PathValue("id"), intParam(r, "k", 5), useCtx)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, recs)
+}
+
+func (s *Server) getSessionSuggestions(w http.ResponseWriter, r *http.Request) {
+	conf := r.URL.Query().Get("conf")
+	sugg, err := s.p.SuggestSessions(r.PathValue("id"), conf, intParam(r, "k", 5))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sugg)
+}
+
+func (s *Server) getSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	k := intParam(r, "k", 10)
+	user := r.URL.Query().Get("user")
+	var (
+		res []hive.SearchResult
+		err error
+	)
+	if user != "" {
+		res, err = s.p.SearchWithContext(user, q, k)
+	} else {
+		res, err = s.p.Search(q, k)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) getPreview(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	doc := r.URL.Query().Get("doc")
+	snips, err := s.p.Preview(user, doc, intParam(r, "k", 3))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snips)
+}
+
+func (s *Server) getDigest(w http.ResponseWriter, r *http.Request) {
+	sum, err := s.p.UpdateDigest(r.PathValue("id"), intParam(r, "budget", 5))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sum)
+}
+
+func (s *Server) getCommunities(w http.ResponseWriter, r *http.Request) {
+	comms, err := s.p.Communities()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, comms)
+}
+
+func (s *Server) getHistory(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	useCtx := r.URL.Query().Get("context") == "true"
+	hits, err := s.p.SearchHistory(r.PathValue("id"), q, useCtx, intParam(r, "limit", 50))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, hits)
+}
+
+func (s *Server) getResourceRelationship(w http.ResponseWriter, r *http.Request) {
+	entity := r.URL.Query().Get("entity")
+	evs, err := s.p.ExplainResource(r.PathValue("id"), entity)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, evs)
+}
+
+func (s *Server) getKnowledgePaths(w http.ResponseWriter, r *http.Request) {
+	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	paths, err := s.p.KnowledgePaths(a, b, intParam(r, "k", 3))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, paths)
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	if v := r.URL.Query().Get(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps domain errors to HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, social.ErrNotFound),
+		errors.Is(err, core.ErrUnknownUser),
+		errors.Is(err, textindex.ErrDocNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, social.ErrInvalid):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

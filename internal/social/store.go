@@ -1,0 +1,311 @@
+package social
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hive/internal/kvstore"
+)
+
+// Sentinel errors.
+var (
+	// ErrNotFound is returned when a referenced entity does not exist.
+	ErrNotFound = errors.New("social: not found")
+	// ErrInvalid is returned for malformed entities (empty IDs, dangling
+	// references).
+	ErrInvalid = errors.New("social: invalid entity")
+)
+
+// Key prefixes. Secondary-index keys hold empty values; the primary key
+// holds the JSON entity.
+const (
+	pUser       = "user/"
+	pConf       = "conf/"
+	pSession    = "session/"
+	pSessConf   = "sessconf/" // conference -> session
+	pPaper      = "paper/"
+	pPaperConf  = "paperconf/" // conference -> paper
+	pPaperSess  = "papersess/" // session -> paper
+	pPaperAuth  = "paperauth/" // author -> paper
+	pPres       = "pres/"
+	pPresPaper  = "prespaper/" // paper -> presentation
+	pPresOwner  = "presowner/" // owner -> presentation
+	pConn       = "conn/"      // sorted pair
+	pConnIdx    = "connidx/"   // user -> other
+	pFollow     = "follow/"    // follower -> followee
+	pFollower   = "followr/"   // followee -> follower
+	pCheckin    = "checkin/"   // session -> user
+	pCheckinU   = "checkinu/"  // user -> session
+	pQuestion   = "question/"
+	pQTarget    = "qtarget/" // target -> question
+	pQAuthor    = "qauthor/" // author -> question
+	pAnswer     = "answer/"
+	pAQuestion  = "aq/" // question -> answer
+	pComment    = "comment/"
+	pCTarget    = "ctarget/" // target -> comment
+	pWorkpad    = "workpad/"
+	pWPOwner    = "wpowner/"  // owner -> workpad
+	pWPActive   = "wpactive/" // owner -> active workpad id
+	pCollection = "collection/"
+	pEvent      = "event/"
+	pEvActor    = "evactor/"
+	pEvTag      = "evtag/"
+	kSeq        = "meta/seq"
+)
+
+// Store is the persistent social graph and content store. All methods are
+// safe for concurrent use.
+type Store struct {
+	kv    *kvstore.Store
+	clock Clock
+
+	mu  sync.Mutex // guards seq allocation
+	seq uint64
+}
+
+// NewStore wraps a kvstore. A nil clock uses the system clock.
+func NewStore(kv *kvstore.Store, clock Clock) *Store {
+	if clock == nil {
+		clock = SystemClock
+	}
+	s := &Store{kv: kv, clock: clock}
+	// Recover the sequence counter from storage.
+	if raw, err := kv.Get(kSeq); err == nil {
+		var seq uint64
+		if json.Unmarshal(raw, &seq) == nil {
+			s.seq = seq
+		}
+	}
+	return s
+}
+
+// Open opens a social store at dir ("" = in-memory).
+func Open(dir string, clock Clock) (*Store, error) {
+	kv, err := kvstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewStore(kv, clock), nil
+}
+
+// Close releases the underlying storage.
+func (s *Store) Close() error { return s.kv.Close() }
+
+func (s *Store) now() time.Time { return s.clock() }
+
+func (s *Store) putJSON(key string, v interface{}) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("social: marshal %s: %w", key, err)
+	}
+	return s.kv.Put(key, raw)
+}
+
+func (s *Store) getJSON(key string, v interface{}) error {
+	raw, err := s.kv.Get(key)
+	if err != nil {
+		if errors.Is(err, kvstore.ErrNotFound) {
+			return fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return err
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("social: unmarshal %s: %w", key, err)
+	}
+	return nil
+}
+
+// nextSeq allocates a monotone sequence number and persists the counter.
+func (s *Store) nextSeq() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	raw, _ := json.Marshal(s.seq)
+	if err := s.kv.Put(kSeq, raw); err != nil {
+		return 0, err
+	}
+	return s.seq, nil
+}
+
+func seqKey(seq uint64) string { return fmt.Sprintf("%016x", seq) }
+
+// --- Users -----------------------------------------------------------------
+
+// PutUser creates or updates a user profile.
+func (s *Store) PutUser(u User) error {
+	if u.ID == "" {
+		return fmt.Errorf("%w: user ID empty", ErrInvalid)
+	}
+	return s.putJSON(pUser+u.ID, u)
+}
+
+// User fetches a user by ID.
+func (s *Store) User(id string) (User, error) {
+	var u User
+	err := s.getJSON(pUser+id, &u)
+	return u, err
+}
+
+// HasUser reports whether the user exists.
+func (s *Store) HasUser(id string) bool { return s.kv.Has(pUser + id) }
+
+// Users returns all user IDs in sorted order.
+func (s *Store) Users() []string { return s.stripPrefix(pUser) }
+
+// --- Conferences & sessions --------------------------------------------------
+
+// PutConference creates or updates a conference.
+func (s *Store) PutConference(c Conference) error {
+	if c.ID == "" {
+		return fmt.Errorf("%w: conference ID empty", ErrInvalid)
+	}
+	return s.putJSON(pConf+c.ID, c)
+}
+
+// Conference fetches a conference by ID.
+func (s *Store) Conference(id string) (Conference, error) {
+	var c Conference
+	err := s.getJSON(pConf+id, &c)
+	return c, err
+}
+
+// Conferences returns all conference IDs.
+func (s *Store) Conferences() []string { return s.stripPrefix(pConf) }
+
+// PutSession creates or updates a session. Its conference must exist.
+func (s *Store) PutSession(sess Session) error {
+	if sess.ID == "" {
+		return fmt.Errorf("%w: session ID empty", ErrInvalid)
+	}
+	if !s.kv.Has(pConf + sess.ConferenceID) {
+		return fmt.Errorf("%w: conference %q", ErrNotFound, sess.ConferenceID)
+	}
+	if err := s.putJSON(pSession+sess.ID, sess); err != nil {
+		return err
+	}
+	return s.kv.Put(pSessConf+sess.ConferenceID+"/"+sess.ID, nil)
+}
+
+// Session fetches a session by ID.
+func (s *Store) Session(id string) (Session, error) {
+	var sess Session
+	err := s.getJSON(pSession+id, &sess)
+	return sess, err
+}
+
+// SessionsOf returns the session IDs of a conference.
+func (s *Store) SessionsOf(confID string) []string {
+	return s.stripPrefix(pSessConf + confID + "/")
+}
+
+// --- Papers & presentations --------------------------------------------------
+
+// PutPaper creates or updates a paper. Authors must exist as users.
+func (s *Store) PutPaper(p Paper) error {
+	if p.ID == "" {
+		return fmt.Errorf("%w: paper ID empty", ErrInvalid)
+	}
+	if len(p.Authors) == 0 {
+		return fmt.Errorf("%w: paper %q has no authors", ErrInvalid, p.ID)
+	}
+	for _, a := range p.Authors {
+		if !s.kv.Has(pUser + a) {
+			return fmt.Errorf("%w: author %q", ErrNotFound, a)
+		}
+	}
+	if err := s.putJSON(pPaper+p.ID, p); err != nil {
+		return err
+	}
+	b := kvstore.NewBatch()
+	if p.ConferenceID != "" {
+		b.Put(pPaperConf+p.ConferenceID+"/"+p.ID, nil)
+	}
+	if p.SessionID != "" {
+		b.Put(pPaperSess+p.SessionID+"/"+p.ID, nil)
+	}
+	for _, a := range p.Authors {
+		b.Put(pPaperAuth+a+"/"+p.ID, nil)
+	}
+	return s.kv.Apply(b)
+}
+
+// Paper fetches a paper by ID.
+func (s *Store) Paper(id string) (Paper, error) {
+	var p Paper
+	err := s.getJSON(pPaper+id, &p)
+	return p, err
+}
+
+// Papers returns all paper IDs.
+func (s *Store) Papers() []string { return s.stripPrefix(pPaper) }
+
+// PapersOfConference returns the paper IDs published at a conference.
+func (s *Store) PapersOfConference(confID string) []string {
+	return s.stripPrefix(pPaperConf + confID + "/")
+}
+
+// PapersOfSession returns the paper IDs presented in a session.
+func (s *Store) PapersOfSession(sessID string) []string {
+	return s.stripPrefix(pPaperSess + sessID + "/")
+}
+
+// PapersOfAuthor returns the paper IDs authored by a user.
+func (s *Store) PapersOfAuthor(userID string) []string {
+	return s.stripPrefix(pPaperAuth + userID + "/")
+}
+
+// PutPresentation uploads or updates presentation content. Its paper and
+// owner must exist.
+func (s *Store) PutPresentation(pr Presentation) error {
+	if pr.ID == "" {
+		return fmt.Errorf("%w: presentation ID empty", ErrInvalid)
+	}
+	if !s.kv.Has(pPaper + pr.PaperID) {
+		return fmt.Errorf("%w: paper %q", ErrNotFound, pr.PaperID)
+	}
+	if !s.kv.Has(pUser + pr.Owner) {
+		return fmt.Errorf("%w: user %q", ErrNotFound, pr.Owner)
+	}
+	if pr.Updated == 0 {
+		pr.Updated = s.now().Unix()
+	}
+	if err := s.putJSON(pPres+pr.ID, pr); err != nil {
+		return err
+	}
+	b := kvstore.NewBatch().
+		Put(pPresPaper+pr.PaperID+"/"+pr.ID, nil).
+		Put(pPresOwner+pr.Owner+"/"+pr.ID, nil)
+	return s.kv.Apply(b)
+}
+
+// Presentation fetches presentation content by ID.
+func (s *Store) Presentation(id string) (Presentation, error) {
+	var pr Presentation
+	err := s.getJSON(pPres+id, &pr)
+	return pr, err
+}
+
+// PresentationsOfPaper returns presentation IDs attached to a paper.
+func (s *Store) PresentationsOfPaper(paperID string) []string {
+	return s.stripPrefix(pPresPaper + paperID + "/")
+}
+
+// PresentationsOfUser returns presentation IDs uploaded by a user.
+func (s *Store) PresentationsOfUser(userID string) []string {
+	return s.stripPrefix(pPresOwner + userID + "/")
+}
+
+func unmarshalEvent(raw []byte, ev *Event) error { return json.Unmarshal(raw, ev) }
+
+// stripPrefix lists keys under prefix with the prefix removed.
+func (s *Store) stripPrefix(prefix string) []string {
+	var ids []string
+	s.kv.Scan(prefix, func(k string, _ []byte) bool {
+		ids = append(ids, k[len(prefix):])
+		return true
+	})
+	return ids
+}

@@ -1,0 +1,268 @@
+package summarize
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrBadTable is returned for ragged tables or impossible budgets.
+var ErrBadTable = errors.New("summarize: bad table")
+
+// Table is a relation to summarize: named columns and string-valued rows.
+type Table struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// Validate checks that every row matches the column count.
+func (t *Table) Validate() error {
+	for i, r := range t.Rows {
+		if len(r) != len(t.Columns) {
+			return fmt.Errorf("%w: row %d has %d cells, want %d", ErrBadTable, i, len(r), len(t.Columns))
+		}
+	}
+	return nil
+}
+
+// SummaryRow is one row of a summarized table with the number of source
+// rows it covers.
+type SummaryRow struct {
+	Values []string
+	Count  int
+}
+
+// Summary is a size-constrained digest of a table.
+type Summary struct {
+	Columns []string
+	Rows    []SummaryRow
+	// Loss is the average per-cell information loss in [0, 1].
+	Loss float64
+}
+
+// Summarizer carries the per-column value hierarchies.
+type Summarizer struct {
+	hierarchies []*Hierarchy
+}
+
+// NewSummarizer builds a summarizer for a table schema. hierarchies maps
+// column name -> hierarchy; columns without one get a flat hierarchy
+// derived from the table's values at summarize time.
+func NewSummarizer(columns []string, hierarchies map[string]*Hierarchy) *Summarizer {
+	hs := make([]*Hierarchy, len(columns))
+	for i, c := range columns {
+		hs[i] = hierarchies[c]
+	}
+	return &Summarizer{hierarchies: hs}
+}
+
+func (s *Summarizer) resolved(t *Table) []*Hierarchy {
+	hs := make([]*Hierarchy, len(t.Columns))
+	for i := range t.Columns {
+		if i < len(s.hierarchies) && s.hierarchies[i] != nil {
+			hs[i] = s.hierarchies[i]
+			continue
+		}
+		vals := make([]string, 0, len(t.Rows))
+		seen := map[string]bool{}
+		for _, r := range t.Rows {
+			if !seen[r[i]] {
+				seen[r[i]] = true
+				vals = append(vals, r[i])
+			}
+		}
+		hs[i] = FlatHierarchy(vals)
+	}
+	return hs
+}
+
+// Greedy summarizes t to at most budget distinct rows by repeatedly
+// generalizing, over all columns, the single column whose full-column
+// lift (one level up the value lattice) yields the best
+// merges-per-unit-loss ratio. This is the fast heuristic of AlphaSum.
+func (s *Summarizer) Greedy(t *Table, budget int) (*Summary, error) {
+	return s.run(t, budget, true)
+}
+
+// Optimal summarizes t by exhaustively searching all per-column
+// generalization level vectors and returning the feasible vector with
+// minimum loss. Exponential in column count (levels^columns) — the
+// quality baseline for experiment E9.
+func (s *Summarizer) Optimal(t *Table, budget int) (*Summary, error) {
+	return s.run(t, budget, false)
+}
+
+func (s *Summarizer) run(t *Table, budget int, greedy bool) (*Summary, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if budget < 1 {
+		return nil, fmt.Errorf("%w: budget %d < 1", ErrBadTable, budget)
+	}
+	if len(t.Rows) == 0 {
+		return &Summary{Columns: t.Columns}, nil
+	}
+	hs := s.resolved(t)
+	if greedy {
+		return s.greedy(t, hs, budget)
+	}
+	return s.optimal(t, hs, budget)
+}
+
+// levels describes a uniform generalization: column i lifted to depth
+// levels[i].
+func applyLevels(t *Table, hs []*Hierarchy, levels []int) ([][]string, int) {
+	rows := make([][]string, len(t.Rows))
+	distinct := map[string]bool{}
+	for i, r := range t.Rows {
+		g := make([]string, len(r))
+		for j, v := range r {
+			g[j] = hs[j].AtLevel(v, levels[j])
+		}
+		rows[i] = g
+		distinct[strings.Join(g, "\x00")] = true
+	}
+	return rows, len(distinct)
+}
+
+func lossOf(rows [][]string, hs []*Hierarchy) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	var total float64
+	cells := 0
+	for _, r := range rows {
+		for j, v := range r {
+			total += hs[j].Loss(v)
+			cells++
+		}
+	}
+	return total / float64(cells)
+}
+
+func (s *Summarizer) greedy(t *Table, hs []*Hierarchy, budget int) (*Summary, error) {
+	levels := make([]int, len(t.Columns))
+	for j := range levels {
+		levels[j] = hs[j].MaxDepth()
+	}
+	rows, distinct := applyLevels(t, hs, levels)
+	for distinct > budget {
+		bestCol, bestScore := -1, -1.0
+		var bestRows [][]string
+		var bestDistinct int
+		for j := range levels {
+			if levels[j] == 0 {
+				continue
+			}
+			trial := append([]int(nil), levels...)
+			trial[j]--
+			r2, d2 := applyLevels(t, hs, trial)
+			merged := float64(distinct - d2)
+			extraLoss := lossOf(r2, hs) - lossOf(rows, hs)
+			var score float64
+			if extraLoss <= 0 {
+				score = merged + 1e6 // free merges first
+			} else {
+				score = merged / extraLoss
+			}
+			if score > bestScore {
+				bestScore, bestCol = score, j
+				bestRows, bestDistinct = r2, d2
+			}
+		}
+		if bestCol < 0 {
+			// Everything is at Root and still over budget: impossible
+			// only when budget < 1, which was validated, so this means
+			// budget >= 1 and distinct == 1. Defensive break.
+			break
+		}
+		levels[bestCol]--
+		rows, distinct = bestRows, bestDistinct
+	}
+	return buildSummary(t.Columns, rows, hs), nil
+}
+
+func (s *Summarizer) optimal(t *Table, hs []*Hierarchy, budget int) (*Summary, error) {
+	nCols := len(t.Columns)
+	maxLv := make([]int, nCols)
+	for j := range maxLv {
+		maxLv[j] = hs[j].MaxDepth()
+	}
+	best := make([]int, nCols) // all-zero = all-Root always feasible
+	bestLoss := 2.0
+	levels := make([]int, nCols)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == nCols {
+			rows, distinct := applyLevels(t, hs, levels)
+			if distinct > budget {
+				return
+			}
+			if l := lossOf(rows, hs); l < bestLoss {
+				bestLoss = l
+				copy(best, levels)
+			}
+			return
+		}
+		for lv := 0; lv <= maxLv[j]; lv++ {
+			levels[j] = lv
+			rec(j + 1)
+		}
+	}
+	rec(0)
+	rows, _ := applyLevels(t, hs, best)
+	return buildSummary(t.Columns, rows, hs), nil
+}
+
+func buildSummary(columns []string, rows [][]string, hs []*Hierarchy) *Summary {
+	counts := map[string]int{}
+	repr := map[string][]string{}
+	for _, r := range rows {
+		k := strings.Join(r, "\x00")
+		counts[k]++
+		repr[k] = r
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	sum := &Summary{Columns: columns, Loss: lossOf(rows, hs)}
+	for _, k := range keys {
+		sum.Rows = append(sum.Rows, SummaryRow{Values: repr[k], Count: counts[k]})
+	}
+	return sum
+}
+
+// Format renders the summary as an aligned text table for update reports.
+func (s *Summary) Format() string {
+	var b strings.Builder
+	widths := make([]int, len(s.Columns))
+	for i, c := range s.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range s.Rows {
+		for i, v := range r.Values {
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	for i, c := range s.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+	}
+	b.WriteString("count\n")
+	for _, r := range s.Rows {
+		for i, v := range r.Values {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], v)
+		}
+		fmt.Fprintf(&b, "%d\n", r.Count)
+	}
+	return b.String()
+}

@@ -1,0 +1,200 @@
+// Package summarize implements AlphaSum-style size-constrained table
+// summarization using value lattices (paper §2.3, ref [13], EDBT'09).
+// Hive uses it to compress scheduled update reports: a long table of
+// activity records ("who did what in which session") is reduced to at
+// most N rows by generalizing cell values along per-column value
+// hierarchies (session -> track -> conference; minute -> hour -> day),
+// choosing generalizations that preserve maximal information.
+package summarize
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrHierarchy is returned for malformed hierarchies or unknown values.
+var ErrHierarchy = errors.New("summarize: bad hierarchy")
+
+// Root is the implicit top of every hierarchy ("any value").
+const Root = "*"
+
+// Hierarchy is a value generalization tree for one column. Every value
+// generalizes to its parent, terminating at Root.
+type Hierarchy struct {
+	parent map[string]string
+	leaves map[string]int // value -> number of leaf descendants (for loss)
+	depth  map[string]int // value -> distance from Root
+}
+
+// NewHierarchy builds a hierarchy from child->parent pairs. Parents that
+// never appear as children attach to Root automatically.
+func NewHierarchy(parents map[string]string) (*Hierarchy, error) {
+	h := &Hierarchy{
+		parent: make(map[string]string, len(parents)+1),
+		leaves: make(map[string]int),
+		depth:  make(map[string]int),
+	}
+	for c, p := range parents {
+		if c == Root {
+			return nil, fmt.Errorf("%w: %q cannot have a parent", ErrHierarchy, Root)
+		}
+		if p == "" {
+			p = Root
+		}
+		h.parent[c] = p
+	}
+	// Attach orphan parents to Root.
+	for _, p := range parents {
+		if p == Root || p == "" {
+			continue
+		}
+		if _, ok := h.parent[p]; !ok {
+			h.parent[p] = Root
+		}
+	}
+	// Cycle check + depth computation.
+	for v := range h.parent {
+		seen := map[string]bool{v: true}
+		cur := v
+		for cur != Root {
+			next, ok := h.parent[cur]
+			if !ok {
+				return nil, fmt.Errorf("%w: %q has no path to root", ErrHierarchy, cur)
+			}
+			if seen[next] {
+				return nil, fmt.Errorf("%w: cycle through %q", ErrHierarchy, next)
+			}
+			seen[next] = true
+			cur = next
+		}
+	}
+	// Leaf counts: a leaf is a value that is nobody's parent.
+	isParent := map[string]bool{}
+	for _, p := range h.parent {
+		isParent[p] = true
+	}
+	for v := range h.parent {
+		if isParent[v] {
+			continue
+		}
+		// Propagate this leaf up its ancestor chain.
+		h.leaves[v]++
+		for cur := h.parent[v]; ; cur = h.parent[cur] {
+			h.leaves[cur]++
+			if cur == Root {
+				break
+			}
+		}
+	}
+	if h.leaves[Root] == 0 {
+		h.leaves[Root] = 1 // degenerate but usable empty hierarchy
+	}
+	for v := range h.parent {
+		h.depth[v] = h.computeDepth(v)
+	}
+	h.depth[Root] = 0
+	return h, nil
+}
+
+func (h *Hierarchy) computeDepth(v string) int {
+	d := 0
+	for cur := v; cur != Root; cur = h.parent[cur] {
+		d++
+	}
+	return d
+}
+
+// FlatHierarchy returns a trivial hierarchy where every listed value is a
+// leaf directly under Root — the fallback for columns with no domain
+// knowledge.
+func FlatHierarchy(values []string) *Hierarchy {
+	parents := make(map[string]string, len(values))
+	for _, v := range values {
+		parents[v] = Root
+	}
+	h, err := NewHierarchy(parents)
+	if err != nil {
+		// Unreachable: flat maps cannot cycle.
+		panic(err)
+	}
+	return h
+}
+
+// Parent returns the parent of v (Root's parent is Root). Unknown values
+// generalize directly to Root.
+func (h *Hierarchy) Parent(v string) string {
+	if v == Root {
+		return Root
+	}
+	if p, ok := h.parent[v]; ok {
+		return p
+	}
+	return Root
+}
+
+// Contains reports whether v is a known hierarchy value (or Root).
+func (h *Hierarchy) Contains(v string) bool {
+	if v == Root {
+		return true
+	}
+	_, ok := h.parent[v]
+	return ok
+}
+
+// Depth returns the distance of v from Root; unknown values report 1.
+func (h *Hierarchy) Depth(v string) int {
+	if v == Root {
+		return 0
+	}
+	if d, ok := h.depth[v]; ok {
+		return d
+	}
+	return 1
+}
+
+// MaxDepth returns the deepest level in the hierarchy.
+func (h *Hierarchy) MaxDepth() int {
+	max := 0
+	for _, d := range h.depth {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Generalize lifts v by `steps` levels toward Root.
+func (h *Hierarchy) Generalize(v string, steps int) string {
+	for i := 0; i < steps && v != Root; i++ {
+		v = h.Parent(v)
+	}
+	return v
+}
+
+// AtLevel lifts v to the given depth (0 = Root). Values already at or
+// above the target depth are returned unchanged.
+func (h *Hierarchy) AtLevel(v string, level int) string {
+	for h.Depth(v) > level {
+		v = h.Parent(v)
+	}
+	return v
+}
+
+// Loss returns the information loss of reporting value v in place of a
+// specific leaf: (leaves(v)-1)/(totalLeaves-1), the standard LM
+// generalization loss. Leaves lose nothing; Root loses everything.
+func (h *Hierarchy) Loss(v string) float64 {
+	total := h.leaves[Root]
+	if total <= 1 {
+		return 0
+	}
+	n := h.leaves[v]
+	if v != Root {
+		if c, ok := h.leaves[v]; ok {
+			n = c
+		} else {
+			n = 1 // unknown value treated as a leaf
+		}
+	}
+	return float64(n-1) / float64(total-1)
+}

@@ -1,0 +1,310 @@
+package summarize
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sessionHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(map[string]string{
+		"s-graphs":   "track-data",
+		"s-tensors":  "track-data",
+		"s-crowds":   "track-web",
+		"s-social":   "track-web",
+		"track-data": "edbt13",
+		"track-web":  "edbt13",
+		"edbt13":     Root,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHierarchyBasics(t *testing.T) {
+	h := sessionHierarchy(t)
+	if h.Parent("s-graphs") != "track-data" {
+		t.Fatalf("Parent = %q", h.Parent("s-graphs"))
+	}
+	if h.Parent(Root) != Root {
+		t.Fatal("Root parent must be Root")
+	}
+	if h.Depth("s-graphs") != 3 || h.Depth("edbt13") != 1 || h.Depth(Root) != 0 {
+		t.Fatalf("depths: %d %d %d", h.Depth("s-graphs"), h.Depth("edbt13"), h.Depth(Root))
+	}
+	if h.MaxDepth() != 3 {
+		t.Fatalf("MaxDepth = %d", h.MaxDepth())
+	}
+	if !h.Contains("track-web") || h.Contains("unknown") {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestHierarchyGeneralizeAndAtLevel(t *testing.T) {
+	h := sessionHierarchy(t)
+	if got := h.Generalize("s-graphs", 2); got != "edbt13" {
+		t.Fatalf("Generalize = %q", got)
+	}
+	if got := h.Generalize("s-graphs", 99); got != Root {
+		t.Fatalf("over-generalize = %q", got)
+	}
+	if got := h.AtLevel("s-graphs", 2); got != "track-data" {
+		t.Fatalf("AtLevel = %q", got)
+	}
+	if got := h.AtLevel("edbt13", 3); got != "edbt13" {
+		t.Fatalf("AtLevel above depth should be identity: %q", got)
+	}
+}
+
+func TestHierarchyLoss(t *testing.T) {
+	h := sessionHierarchy(t)
+	// 4 leaves total. Leaf loss 0; track covers 2 leaves -> 1/3; root -> 1.
+	if l := h.Loss("s-graphs"); l != 0 {
+		t.Fatalf("leaf loss = %v", l)
+	}
+	if l := h.Loss("track-data"); l < 0.33 || l > 0.34 {
+		t.Fatalf("track loss = %v", l)
+	}
+	if l := h.Loss(Root); l != 1 {
+		t.Fatalf("root loss = %v", l)
+	}
+	// Loss must be monotone along the generalization chain.
+	if !(h.Loss("s-graphs") < h.Loss("track-data") &&
+		h.Loss("track-data") < h.Loss("edbt13") &&
+		h.Loss("edbt13") <= h.Loss(Root)) {
+		t.Fatal("loss not monotone")
+	}
+}
+
+func TestHierarchyRejectsCycle(t *testing.T) {
+	_, err := NewHierarchy(map[string]string{"a": "b", "b": "a"})
+	if !errors.Is(err, ErrHierarchy) {
+		t.Fatalf("cycle err = %v", err)
+	}
+}
+
+func TestHierarchyRejectsRootChild(t *testing.T) {
+	_, err := NewHierarchy(map[string]string{Root: "x"})
+	if !errors.Is(err, ErrHierarchy) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFlatHierarchy(t *testing.T) {
+	h := FlatHierarchy([]string{"a", "b", "c"})
+	if h.MaxDepth() != 1 {
+		t.Fatalf("MaxDepth = %d", h.MaxDepth())
+	}
+	if h.Loss("a") != 0 || h.Loss(Root) != 1 {
+		t.Fatalf("losses: %v %v", h.Loss("a"), h.Loss(Root))
+	}
+}
+
+func activityTable() *Table {
+	return &Table{
+		Columns: []string{"user", "session"},
+		Rows: [][]string{
+			{"zach", "s-graphs"},
+			{"zach", "s-tensors"},
+			{"ann", "s-graphs"},
+			{"ann", "s-crowds"},
+			{"aaron", "s-social"},
+			{"aaron", "s-crowds"},
+			{"maria", "s-tensors"},
+			{"maria", "s-graphs"},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}, Rows: [][]string{{"x"}}}
+	if err := tab.Validate(); !errors.Is(err, ErrBadTable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGreedyRespectsBudget(t *testing.T) {
+	tab := activityTable()
+	s := NewSummarizer(tab.Columns, map[string]*Hierarchy{"session": sessionHierarchy(t)})
+	for _, budget := range []int{1, 2, 4, 6, 8} {
+		sum, err := s.Greedy(tab, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sum.Rows) > budget {
+			t.Fatalf("budget %d: got %d rows", budget, len(sum.Rows))
+		}
+		total := 0
+		for _, r := range sum.Rows {
+			total += r.Count
+		}
+		if total != len(tab.Rows) {
+			t.Fatalf("counts sum to %d, want %d", total, len(tab.Rows))
+		}
+	}
+}
+
+func TestGreedyNoGeneralizationWhenUnderBudget(t *testing.T) {
+	tab := activityTable()
+	s := NewSummarizer(tab.Columns, map[string]*Hierarchy{"session": sessionHierarchy(t)})
+	sum, err := s.Greedy(tab, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Loss != 0 {
+		t.Fatalf("loss = %v, want 0 when under budget", sum.Loss)
+	}
+	if len(sum.Rows) != 8 {
+		t.Fatalf("rows = %d", len(sum.Rows))
+	}
+}
+
+func TestOptimalNeverWorseThanGreedy(t *testing.T) {
+	tab := activityTable()
+	s := NewSummarizer(tab.Columns, map[string]*Hierarchy{"session": sessionHierarchy(t)})
+	for _, budget := range []int{1, 2, 3, 4, 6} {
+		g, err := s.Greedy(tab, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := s.Optimal(tab, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(o.Rows) > budget {
+			t.Fatalf("optimal over budget at %d", budget)
+		}
+		if o.Loss > g.Loss+1e-9 {
+			t.Fatalf("budget %d: optimal loss %v > greedy loss %v", budget, o.Loss, g.Loss)
+		}
+	}
+}
+
+func TestLossDecreasesWithBudget(t *testing.T) {
+	tab := activityTable()
+	s := NewSummarizer(tab.Columns, map[string]*Hierarchy{"session": sessionHierarchy(t)})
+	prev := 2.0
+	for _, budget := range []int{1, 2, 4, 8} {
+		sum, err := s.Optimal(tab, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Loss > prev+1e-9 {
+			t.Fatalf("loss increased with budget: %v -> %v", prev, sum.Loss)
+		}
+		prev = sum.Loss
+	}
+}
+
+func TestBudgetOne(t *testing.T) {
+	tab := activityTable()
+	s := NewSummarizer(tab.Columns, nil)
+	sum, err := s.Greedy(tab, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Rows) != 1 || sum.Rows[0].Count != 8 {
+		t.Fatalf("summary = %+v", sum.Rows)
+	}
+}
+
+func TestBadBudget(t *testing.T) {
+	tab := activityTable()
+	s := NewSummarizer(tab.Columns, nil)
+	if _, err := s.Greedy(tab, 0); !errors.Is(err, ErrBadTable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := &Table{Columns: []string{"a"}}
+	s := NewSummarizer(tab.Columns, nil)
+	sum, err := s.Greedy(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Rows) != 0 || sum.Loss != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestSummaryRowsSortedByCount(t *testing.T) {
+	tab := activityTable()
+	s := NewSummarizer(tab.Columns, map[string]*Hierarchy{"session": sessionHierarchy(t)})
+	sum, err := s.Greedy(tab, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sum.Rows); i++ {
+		if sum.Rows[i].Count > sum.Rows[i-1].Count {
+			t.Fatalf("rows not sorted by count: %+v", sum.Rows)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	tab := activityTable()
+	s := NewSummarizer(tab.Columns, nil)
+	sum, err := s.Greedy(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sum.Format()
+	if !strings.Contains(out, "user") || !strings.Contains(out, "count") {
+		t.Fatalf("Format output missing header: %q", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 1+len(sum.Rows) {
+		t.Fatalf("Format line count wrong:\n%s", out)
+	}
+}
+
+func TestPropBudgetAlwaysRespected(t *testing.T) {
+	h, err := NewHierarchy(map[string]string{
+		"a1": "A", "a2": "A", "b1": "B", "b2": "B", "A": Root, "B": Root,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := []string{"a1", "a2", "b1", "b2"}
+	f := func(seed int64, budgetRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nRows := 2 + rng.Intn(20)
+		tab := &Table{Columns: []string{"v", "u"}}
+		for i := 0; i < nRows; i++ {
+			tab.Rows = append(tab.Rows, []string{
+				leaves[rng.Intn(len(leaves))],
+				fmt.Sprintf("u%d", rng.Intn(4)),
+			})
+		}
+		budget := 1 + int(budgetRaw%10)
+		s := NewSummarizer(tab.Columns, map[string]*Hierarchy{"v": h})
+		g, err := s.Greedy(tab, budget)
+		if err != nil || len(g.Rows) > budget {
+			return false
+		}
+		o, err := s.Optimal(tab, budget)
+		if err != nil || len(o.Rows) > budget {
+			return false
+		}
+		if o.Loss > g.Loss+1e-9 {
+			return false
+		}
+		// Counts always cover all source rows.
+		tg, to := 0, 0
+		for _, r := range g.Rows {
+			tg += r.Count
+		}
+		for _, r := range o.Rows {
+			to += r.Count
+		}
+		return tg == nRows && to == nRows
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CP decomposition via alternating least squares — the "recompute the
+// structure every epoch" baseline that SCENT [15] is measured against.
+// Change detection with CP tracks the factor weights (lambda) across
+// epochs; a structural shift moves the dominant components.
+
+// CPResult is a rank-R canonical polyadic decomposition: for an order-N
+// tensor, Factors[n] is an (shape[n] x R) matrix stored row-major, and
+// Lambda holds the R component weights (columns normalized to unit
+// norm).
+type CPResult struct {
+	Factors [][]float64
+	Lambda  []float64
+	Rank    int
+	Shape   []int
+}
+
+// CPDecompose runs `iters` rounds of ALS at the given rank with a
+// deterministic random initialization. Sparse-friendly: all MTTKRP
+// (matricized tensor times Khatri-Rao product) work iterates only over
+// non-zeros.
+func CPDecompose(t *Sparse, rank, iters int, seed int64) (*CPResult, error) {
+	if rank <= 0 {
+		return nil, fmt.Errorf("tensor: rank must be positive, got %d", rank)
+	}
+	shape := t.Shape()
+	n := len(shape)
+	rng := rand.New(rand.NewSource(seed))
+	factors := make([][]float64, n)
+	for m := 0; m < n; m++ {
+		factors[m] = make([]float64, shape[m]*rank)
+		for i := range factors[m] {
+			factors[m][i] = rng.Float64()
+		}
+	}
+	lambda := make([]float64, rank)
+
+	// Precompute the nnz list once.
+	type entry struct {
+		coords []int
+		val    float64
+	}
+	var nnz []entry
+	t.Each(func(coords []int, v float64) {
+		nnz = append(nnz, entry{append([]int(nil), coords...), v})
+	})
+	if len(nnz) == 0 {
+		return &CPResult{Factors: factors, Lambda: lambda, Rank: rank, Shape: shape}, nil
+	}
+
+	gram := make([]float64, rank*rank)
+	mttkrp := make([]float64, 0)
+	for iter := 0; iter < iters; iter++ {
+		for mode := 0; mode < n; mode++ {
+			rows := shape[mode]
+			if cap(mttkrp) < rows*rank {
+				mttkrp = make([]float64, rows*rank)
+			}
+			mttkrp = mttkrp[:rows*rank]
+			for i := range mttkrp {
+				mttkrp[i] = 0
+			}
+			// MTTKRP over non-zeros.
+			prod := make([]float64, rank)
+			for _, e := range nnz {
+				for r := 0; r < rank; r++ {
+					prod[r] = e.val
+				}
+				for m2 := 0; m2 < n; m2++ {
+					if m2 == mode {
+						continue
+					}
+					row := factors[m2][e.coords[m2]*rank : e.coords[m2]*rank+rank]
+					for r := 0; r < rank; r++ {
+						prod[r] *= row[r]
+					}
+				}
+				dst := mttkrp[e.coords[mode]*rank : e.coords[mode]*rank+rank]
+				for r := 0; r < rank; r++ {
+					dst[r] += prod[r]
+				}
+			}
+			// Gram = Hadamard product of the other factors' Gramians.
+			for i := range gram {
+				gram[i] = 1
+			}
+			for m2 := 0; m2 < n; m2++ {
+				if m2 == mode {
+					continue
+				}
+				f := factors[m2]
+				rows2 := shape[m2]
+				for a := 0; a < rank; a++ {
+					for b := 0; b < rank; b++ {
+						var s float64
+						for i := 0; i < rows2; i++ {
+							s += f[i*rank+a] * f[i*rank+b]
+						}
+						gram[a*rank+b] *= s
+					}
+				}
+			}
+			// Solve factor * gram = mttkrp row-wise (gram is rank x rank,
+			// symmetric positive semi-definite; use ridge-regularized
+			// Gaussian elimination).
+			solveRows(factors[mode], mttkrp, gram, rows, rank)
+			// Column normalization: lambda absorbs the norms.
+			for r := 0; r < rank; r++ {
+				var norm float64
+				for i := 0; i < rows; i++ {
+					v := factors[mode][i*rank+r]
+					norm += v * v
+				}
+				norm = math.Sqrt(norm)
+				if norm < 1e-12 {
+					norm = 1e-12
+				}
+				for i := 0; i < rows; i++ {
+					factors[mode][i*rank+r] /= norm
+				}
+				lambda[r] = norm
+			}
+		}
+	}
+	return &CPResult{Factors: factors, Lambda: lambda, Rank: rank, Shape: shape}, nil
+}
+
+// solveRows solves X * G = B for each row of B, overwriting dst. G is
+// rank x rank; a small ridge term keeps it invertible.
+func solveRows(dst, b, g []float64, rows, rank int) {
+	// Copy and regularize G, then invert via Gauss-Jordan.
+	a := make([]float64, rank*rank)
+	copy(a, g)
+	for r := 0; r < rank; r++ {
+		a[r*rank+r] += 1e-9
+	}
+	inv := identity(rank)
+	for col := 0; col < rank; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < rank; r++ {
+			if math.Abs(a[r*rank+col]) > math.Abs(a[piv*rank+col]) {
+				piv = r
+			}
+		}
+		if piv != col {
+			swapRows(a, rank, piv, col)
+			swapRows(inv, rank, piv, col)
+		}
+		d := a[col*rank+col]
+		if math.Abs(d) < 1e-15 {
+			continue
+		}
+		for j := 0; j < rank; j++ {
+			a[col*rank+j] /= d
+			inv[col*rank+j] /= d
+		}
+		for r := 0; r < rank; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r*rank+col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < rank; j++ {
+				a[r*rank+j] -= f * a[col*rank+j]
+				inv[r*rank+j] -= f * inv[col*rank+j]
+			}
+		}
+	}
+	// dst[i] = b[i] * inv.
+	row := make([]float64, rank)
+	for i := 0; i < rows; i++ {
+		bi := b[i*rank : i*rank+rank]
+		for j := 0; j < rank; j++ {
+			var s float64
+			for k := 0; k < rank; k++ {
+				s += bi[k] * inv[k*rank+j]
+			}
+			row[j] = s
+		}
+		copy(dst[i*rank:i*rank+rank], row)
+	}
+}
+
+func identity(n int) []float64 {
+	m := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		m[i*n+i] = 1
+	}
+	return m
+}
+
+func swapRows(m []float64, n, a, b int) {
+	for j := 0; j < n; j++ {
+		m[a*n+j], m[b*n+j] = m[b*n+j], m[a*n+j]
+	}
+}
+
+// LambdaDistance measures structural distance between two decompositions
+// as the L2 distance of their sorted component-weight vectors. Sorting
+// makes the measure invariant to component permutation across epochs.
+func LambdaDistance(a, b *CPResult) float64 {
+	la := append([]float64(nil), a.Lambda...)
+	lb := append([]float64(nil), b.Lambda...)
+	sortDesc(la)
+	sortDesc(lb)
+	var s float64
+	for i := range la {
+		d := la[i] - lb[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func sortDesc(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] > xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// MonitorDecomposition is the decomposition-recompute baseline for E6: a
+// rank-r CP decomposition per epoch, change signal = lambda distance
+// between consecutive epochs, thresholded by the shared Detector rule.
+func MonitorDecomposition(epochs []*Sparse, rank, iters int, det *Detector) ([]StreamResult, error) {
+	results := make([]StreamResult, 0, len(epochs))
+	var prev *CPResult
+	for i, t := range epochs {
+		cur, err := CPDecompose(t, rank, iters, 7)
+		if err != nil {
+			return nil, err
+		}
+		if prev == nil {
+			prev = cur
+			results = append(results, StreamResult{Epoch: i})
+			continue
+		}
+		dist := LambdaDistance(prev, cur)
+		prev = cur
+		ch := det.observeExact(dist)
+		results = append(results, StreamResult{Epoch: i, Change: ch, Distance: dist})
+	}
+	return results, nil
+}

@@ -1,0 +1,131 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// reconstruct evaluates the CP model at given coordinates.
+func reconstruct(cp *CPResult, coords []int) float64 {
+	var s float64
+	for r := 0; r < cp.Rank; r++ {
+		v := cp.Lambda[r]
+		for m, c := range coords {
+			v *= cp.Factors[m][c*cp.Rank+r]
+		}
+		s += v
+	}
+	return s
+}
+
+// rankOneTensor builds an exactly rank-1 tensor a⊗b.
+func rankOneTensor(t *testing.T, a, b []float64) *Sparse {
+	t.Helper()
+	ten := MustSparse(len(a), len(b))
+	for i, av := range a {
+		for j, bv := range b {
+			if av*bv != 0 {
+				if err := ten.Set(av*bv, i, j); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return ten
+}
+
+func TestCPDecomposeRankOneRecovery(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{2, 1, 0.5}
+	ten := rankOneTensor(t, a, b)
+	cp, err := CPDecompose(ten, 1, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rank-1 model must reconstruct the tensor almost exactly.
+	var maxErr float64
+	ten.Each(func(coords []int, v float64) {
+		if e := math.Abs(reconstruct(cp, coords) - v); e > maxErr {
+			maxErr = e
+		}
+	})
+	if maxErr > 1e-6 {
+		t.Fatalf("rank-1 reconstruction error = %v", maxErr)
+	}
+}
+
+func TestCPDecomposeReducesError(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ten := MustSparse(10, 10, 5)
+	for i := 0; i < 80; i++ {
+		_ = ten.Set(rng.Float64(), rng.Intn(10), rng.Intn(10), rng.Intn(5))
+	}
+	errAt := func(rank int) float64 {
+		cp, err := CPDecompose(ten, rank, 25, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		ten.Each(func(coords []int, v float64) {
+			d := reconstruct(cp, coords) - v
+			s += d * d
+		})
+		return math.Sqrt(s)
+	}
+	e2 := errAt(2)
+	e8 := errAt(8)
+	if e8 >= e2 {
+		t.Fatalf("higher rank should not fit worse: rank2=%v rank8=%v", e2, e8)
+	}
+}
+
+func TestCPDecomposeValidation(t *testing.T) {
+	ten := MustSparse(3, 3)
+	if _, err := CPDecompose(ten, 0, 5, 1); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+	// Empty tensor decomposes to zero lambdas without error.
+	cp, err := CPDecompose(ten, 2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range cp.Lambda {
+		if l != 0 {
+			t.Fatalf("empty tensor lambda = %v", cp.Lambda)
+		}
+	}
+}
+
+func TestLambdaDistancePermutationInvariant(t *testing.T) {
+	a := &CPResult{Lambda: []float64{3, 1, 2}}
+	b := &CPResult{Lambda: []float64{2, 3, 1}}
+	if d := LambdaDistance(a, b); d > 1e-12 {
+		t.Fatalf("permuted lambdas distance = %v, want 0", d)
+	}
+	c := &CPResult{Lambda: []float64{30, 1, 2}}
+	if d := LambdaDistance(a, c); d <= 0 {
+		t.Fatalf("distinct lambdas distance = %v", d)
+	}
+}
+
+func TestMonitorDecompositionFlagsChange(t *testing.T) {
+	changeAt := map[int]bool{15: true}
+	stream := SyntheticStream(23, []int{12, 12, 6}, 25, 150, changeAt)
+	res, err := MonitorDecomposition(stream, 3, 8, &Detector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(stream) {
+		t.Fatalf("results = %d", len(res))
+	}
+	found := false
+	for _, r := range res {
+		if r.Change && r.Epoch >= 14 && r.Epoch <= 16 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("decomposition monitor missed the planted change: %+v", res)
+	}
+}

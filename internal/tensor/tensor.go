@@ -1,0 +1,207 @@
+// Package tensor implements SCENT (paper §2.4, ref [15]): scalable
+// compressed monitoring of evolving multi-relational social networks
+// encoded as tensor streams. Multi-relational activity (who asks whom
+// about what, who checks into which session when) forms a sparse tensor
+// per epoch; SCENT summarizes each epoch with an ensemble of randomized
+// linear sketches — a compressed-sensing-style descriptor — and flags
+// structural change when consecutive descriptors diverge. The point of
+// the method is that sketch updates cost O(nnz × ensemble) instead of a
+// full O(size) recomputation, while detecting the same change points.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShape is returned when coordinates or shapes are inconsistent.
+var ErrShape = errors.New("tensor: shape mismatch")
+
+// Sparse is a sparse N-way tensor with float64 entries.
+type Sparse struct {
+	shape []int
+	data  map[string]float64 // encoded coordinate -> value
+}
+
+// NewSparse returns an all-zero tensor with the given mode sizes.
+func NewSparse(shape ...int) (*Sparse, error) {
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("%w: empty shape", ErrShape)
+	}
+	for _, d := range shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: non-positive dimension %d", ErrShape, d)
+		}
+	}
+	return &Sparse{shape: append([]int(nil), shape...), data: make(map[string]float64)}, nil
+}
+
+// MustSparse is NewSparse that panics on error; for tests and literals.
+func MustSparse(shape ...int) *Sparse {
+	t, err := NewSparse(shape...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Shape returns the mode sizes.
+func (t *Sparse) Shape() []int { return append([]int(nil), t.shape...) }
+
+// NNZ reports the number of stored non-zeros.
+func (t *Sparse) NNZ() int { return len(t.data) }
+
+func (t *Sparse) checkCoords(coords []int) error {
+	if len(coords) != len(t.shape) {
+		return fmt.Errorf("%w: got %d coords for order-%d tensor", ErrShape, len(coords), len(t.shape))
+	}
+	for i, c := range coords {
+		if c < 0 || c >= t.shape[i] {
+			return fmt.Errorf("%w: coord %d out of range [0,%d)", ErrShape, c, t.shape[i])
+		}
+	}
+	return nil
+}
+
+func encode(coords []int) string {
+	// Fixed-width binary encoding keeps map keys compact and comparable.
+	b := make([]byte, 4*len(coords))
+	for i, c := range coords {
+		b[4*i] = byte(c >> 24)
+		b[4*i+1] = byte(c >> 16)
+		b[4*i+2] = byte(c >> 8)
+		b[4*i+3] = byte(c)
+	}
+	return string(b)
+}
+
+func decode(s string) []int {
+	coords := make([]int, len(s)/4)
+	for i := range coords {
+		coords[i] = int(s[4*i])<<24 | int(s[4*i+1])<<16 | int(s[4*i+2])<<8 | int(s[4*i+3])
+	}
+	return coords
+}
+
+// Set assigns a value; setting 0 deletes the entry.
+func (t *Sparse) Set(value float64, coords ...int) error {
+	if err := t.checkCoords(coords); err != nil {
+		return err
+	}
+	k := encode(coords)
+	if value == 0 {
+		delete(t.data, k)
+	} else {
+		t.data[k] = value
+	}
+	return nil
+}
+
+// Add accumulates delta at the coordinates.
+func (t *Sparse) Add(delta float64, coords ...int) error {
+	if err := t.checkCoords(coords); err != nil {
+		return err
+	}
+	k := encode(coords)
+	v := t.data[k] + delta
+	if v == 0 {
+		delete(t.data, k)
+	} else {
+		t.data[k] = v
+	}
+	return nil
+}
+
+// At returns the value at the coordinates (0 for absent entries).
+func (t *Sparse) At(coords ...int) (float64, error) {
+	if err := t.checkCoords(coords); err != nil {
+		return 0, err
+	}
+	return t.data[encode(coords)], nil
+}
+
+// Each calls fn for every non-zero entry. Iteration order is unspecified.
+func (t *Sparse) Each(fn func(coords []int, value float64)) {
+	for k, v := range t.data {
+		fn(decode(k), v)
+	}
+}
+
+// Clone returns a deep copy.
+func (t *Sparse) Clone() *Sparse {
+	c := &Sparse{shape: append([]int(nil), t.shape...), data: make(map[string]float64, len(t.data))}
+	for k, v := range t.data {
+		c.data[k] = v
+	}
+	return c
+}
+
+// FrobeniusNorm returns sqrt of the sum of squared entries.
+func (t *Sparse) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Diff returns the Frobenius norm of (t - o). Shapes must match. This is
+// the exact change measure that the full-recompute baseline uses.
+func (t *Sparse) Diff(o *Sparse) (float64, error) {
+	if !sameShape(t.shape, o.shape) {
+		return 0, fmt.Errorf("%w: %v vs %v", ErrShape, t.shape, o.shape)
+	}
+	var s float64
+	for k, v := range t.data {
+		d := v - o.data[k]
+		s += d * d
+	}
+	for k, v := range o.data {
+		if _, ok := t.data[k]; !ok {
+			s += v * v
+		}
+	}
+	return math.Sqrt(s), nil
+}
+
+// Scale multiplies every entry by f in place.
+func (t *Sparse) Scale(f float64) {
+	if f == 0 {
+		t.data = make(map[string]float64)
+		return
+	}
+	for k := range t.data {
+		t.data[k] *= f
+	}
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// linearIndex maps coordinates to the row-major linear offset.
+func linearIndex(shape, coords []int) int {
+	idx := 0
+	for i, c := range coords {
+		idx = idx*shape[i] + c
+	}
+	return idx
+}
+
+// Size returns the total number of cells (product of mode sizes).
+func (t *Sparse) Size() int {
+	n := 1
+	for _, d := range t.shape {
+		n *= d
+	}
+	return n
+}

@@ -1,0 +1,435 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSparseValidation(t *testing.T) {
+	if _, err := NewSparse(); !errors.Is(err, ErrShape) {
+		t.Fatalf("empty shape err = %v", err)
+	}
+	if _, err := NewSparse(3, 0); !errors.Is(err, ErrShape) {
+		t.Fatalf("zero dim err = %v", err)
+	}
+	ten, err := NewSparse(3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ten.Size() != 60 {
+		t.Fatalf("Size = %d", ten.Size())
+	}
+}
+
+func TestSetGetAdd(t *testing.T) {
+	ten := MustSparse(4, 4)
+	if err := ten.Set(2.5, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ten.At(1, 2)
+	if err != nil || v != 2.5 {
+		t.Fatalf("At = %v, %v", v, err)
+	}
+	if err := ten.Add(-2.5, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if ten.NNZ() != 0 {
+		t.Fatalf("exact cancellation should delete entry, NNZ = %d", ten.NNZ())
+	}
+	if v, _ := ten.At(3, 3); v != 0 {
+		t.Fatalf("absent entry = %v", v)
+	}
+}
+
+func TestCoordValidation(t *testing.T) {
+	ten := MustSparse(2, 2)
+	if err := ten.Set(1, 5, 0); !errors.Is(err, ErrShape) {
+		t.Fatalf("out of range err = %v", err)
+	}
+	if err := ten.Set(1, 0); !errors.Is(err, ErrShape) {
+		t.Fatalf("wrong arity err = %v", err)
+	}
+	if _, err := ten.At(-1, 0); !errors.Is(err, ErrShape) {
+		t.Fatalf("negative coord err = %v", err)
+	}
+}
+
+func TestSetZeroDeletes(t *testing.T) {
+	ten := MustSparse(2, 2)
+	_ = ten.Set(1, 0, 0)
+	_ = ten.Set(0, 0, 0)
+	if ten.NNZ() != 0 {
+		t.Fatalf("NNZ = %d", ten.NNZ())
+	}
+}
+
+func TestEachAndClone(t *testing.T) {
+	ten := MustSparse(3, 3, 3)
+	_ = ten.Set(1, 0, 1, 2)
+	_ = ten.Set(2, 2, 2, 2)
+	seen := 0
+	ten.Each(func(coords []int, v float64) {
+		seen++
+		if len(coords) != 3 {
+			t.Fatalf("coords = %v", coords)
+		}
+	})
+	if seen != 2 {
+		t.Fatalf("Each visited %d", seen)
+	}
+	c := ten.Clone()
+	_ = c.Set(9, 1, 1, 1)
+	if ten.NNZ() != 2 || c.NNZ() != 3 {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestFrobeniusAndDiff(t *testing.T) {
+	a := MustSparse(2, 2)
+	_ = a.Set(3, 0, 0)
+	_ = a.Set(4, 1, 1)
+	if n := a.FrobeniusNorm(); math.Abs(n-5) > 1e-12 {
+		t.Fatalf("norm = %v", n)
+	}
+	b := MustSparse(2, 2)
+	_ = b.Set(3, 0, 0)
+	d, err := a.Diff(b)
+	if err != nil || math.Abs(d-4) > 1e-12 {
+		t.Fatalf("Diff = %v, %v", d, err)
+	}
+	// Diff is symmetric.
+	d2, _ := b.Diff(a)
+	if math.Abs(d-d2) > 1e-12 {
+		t.Fatalf("Diff asymmetric: %v vs %v", d, d2)
+	}
+	c := MustSparse(3, 3)
+	if _, err := a.Diff(c); !errors.Is(err, ErrShape) {
+		t.Fatalf("shape mismatch err = %v", err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := MustSparse(2, 2)
+	_ = a.Set(2, 0, 1)
+	a.Scale(3)
+	if v, _ := a.At(0, 1); v != 6 {
+		t.Fatalf("scaled = %v", v)
+	}
+	a.Scale(0)
+	if a.NNZ() != 0 {
+		t.Fatal("Scale(0) should clear")
+	}
+}
+
+func TestSketcherValidation(t *testing.T) {
+	if _, err := NewSketcher(0, 1, 4); err == nil {
+		t.Fatal("zero ensemble accepted")
+	}
+	if _, err := NewSketcher(8, 1); !errors.Is(err, ErrShape) {
+		t.Fatalf("empty shape err = %v", err)
+	}
+	sk, _ := NewSketcher(16, 1, 4, 4)
+	if sk.M() != 16 {
+		t.Fatalf("M = %d", sk.M())
+	}
+	wrong := MustSparse(3, 3)
+	if _, err := sk.Sketch(wrong); !errors.Is(err, ErrShape) {
+		t.Fatalf("sketch shape err = %v", err)
+	}
+}
+
+func TestSketchDeterministic(t *testing.T) {
+	sk, _ := NewSketcher(8, 42, 5, 5)
+	ten := MustSparse(5, 5)
+	_ = ten.Set(1.5, 2, 3)
+	d1, err := sk.Sketch(ten)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := sk.Sketch(ten)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("sketch not deterministic")
+		}
+	}
+	sk2, _ := NewSketcher(8, 43, 5, 5)
+	d3, _ := sk2.Sketch(ten)
+	same := true
+	for i := range d1 {
+		if d1[i] != d3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sketches")
+	}
+}
+
+func TestSketchLinearUpdate(t *testing.T) {
+	sk, _ := NewSketcher(32, 7, 6, 6)
+	ten := MustSparse(6, 6)
+	_ = ten.Set(1, 0, 0)
+	d, err := sk.Sketch(ten)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Incremental update must equal re-sketching the updated tensor.
+	if err := sk.Update(d, 2.5, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	_ = ten.Add(2.5, 3, 4)
+	d2, _ := sk.Sketch(ten)
+	for i := range d {
+		if math.Abs(d[i]-d2[i]) > 1e-9 {
+			t.Fatalf("incremental sketch diverged at %d: %v vs %v", i, d[i], d2[i])
+		}
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	sk, _ := NewSketcher(4, 1, 3)
+	d := make(Descriptor, 4)
+	if err := sk.Update(d, 1, 5); !errors.Is(err, ErrShape) {
+		t.Fatalf("out-of-range err = %v", err)
+	}
+	if err := sk.Update(make(Descriptor, 2), 1, 0); err == nil {
+		t.Fatal("descriptor size mismatch accepted")
+	}
+}
+
+func TestDistanceEstimatesFrobenius(t *testing.T) {
+	// With a large ensemble, the sketch distance should approximate the
+	// true Frobenius distance within ~15%.
+	shape := []int{20, 20}
+	sk, _ := NewSketcher(512, 99, shape...)
+	rng := rand.New(rand.NewSource(5))
+	a := MustSparse(shape...)
+	b := MustSparse(shape...)
+	for i := 0; i < 60; i++ {
+		_ = a.Set(rng.Float64()*2, rng.Intn(20), rng.Intn(20))
+		_ = b.Set(rng.Float64()*2, rng.Intn(20), rng.Intn(20))
+	}
+	da, _ := sk.Sketch(a)
+	db, _ := sk.Sketch(b)
+	est, err := Distance(da, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := a.Diff(b)
+	if exact == 0 {
+		t.Skip("degenerate sample")
+	}
+	ratio := est / exact
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("estimate off: est=%v exact=%v ratio=%v", est, exact, ratio)
+	}
+}
+
+func TestDistanceSizeMismatch(t *testing.T) {
+	if _, err := Distance(Descriptor{1}, Descriptor{1, 2}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestDetectorFlagsPlantedChanges(t *testing.T) {
+	changeAt := map[int]bool{25: true, 40: true}
+	stream := SyntheticStream(11, []int{16, 16, 8}, 50, 200, changeAt)
+	sk, _ := NewSketcher(64, 3, 16, 16, 8)
+	res, err := MonitorSketched(sk, stream, &Detector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := map[int]bool{}
+	for _, r := range res {
+		if r.Change {
+			detected[r.Epoch] = true
+		}
+	}
+	for e := range changeAt {
+		if !detected[e] {
+			t.Errorf("planted change at epoch %d not detected; detections: %v", e, detected)
+		}
+	}
+	// False positive rate must stay low: at most 3 spurious detections.
+	fp := 0
+	for e := range detected {
+		if !changeAt[e] {
+			fp++
+		}
+	}
+	if fp > 3 {
+		t.Fatalf("too many false positives: %v", detected)
+	}
+}
+
+func TestExactMonitorAgreesOnChanges(t *testing.T) {
+	changeAt := map[int]bool{30: true}
+	stream := SyntheticStream(13, []int{12, 12, 6}, 45, 150, changeAt)
+	res, err := MonitorExact(stream, &Detector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res {
+		if r.Change && r.Epoch == 30 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("exact monitor missed planted change")
+	}
+}
+
+func TestSketchedMatchesExactDetections(t *testing.T) {
+	// The headline SCENT claim: compressed detection finds the same
+	// change points as exact recomputation.
+	changeAt := map[int]bool{20: true, 35: true}
+	stream := SyntheticStream(17, []int{16, 16, 8}, 45, 200, changeAt)
+	sk, _ := NewSketcher(128, 5, 16, 16, 8)
+	sketched, err := MonitorSketched(sk, stream, &Detector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := MonitorExact(stream, &Detector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketchedSet := map[int]bool{}
+	for _, r := range sketched {
+		if r.Change {
+			sketchedSet[r.Epoch] = true
+		}
+	}
+	for _, r := range exact {
+		if r.Change && changeAt[r.Epoch] && !sketchedSet[r.Epoch] {
+			t.Fatalf("sketched monitor missed change at %d found by exact", r.Epoch)
+		}
+	}
+}
+
+func TestDetectorFirstObservationNeverSignals(t *testing.T) {
+	det := &Detector{}
+	ch, dist := det.Observe(Descriptor{1, 2, 3})
+	if ch || dist != 0 {
+		t.Fatalf("first observation: change=%v dist=%v", ch, dist)
+	}
+}
+
+func TestPropSketchLinearity(t *testing.T) {
+	// sketch(a) + sketch(b) == sketch(a + b) — linearity is what makes
+	// descriptors incrementally maintainable.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shape := []int{8, 8}
+		sk, _ := NewSketcher(16, 123, shape...)
+		a := MustSparse(shape...)
+		b := MustSparse(shape...)
+		sum := MustSparse(shape...)
+		for i := 0; i < 20; i++ {
+			x, y := rng.Intn(8), rng.Intn(8)
+			v := rng.Float64()*4 - 2
+			_ = a.Add(v, x, y)
+			_ = sum.Add(v, x, y)
+			x, y = rng.Intn(8), rng.Intn(8)
+			v = rng.Float64()*4 - 2
+			_ = b.Add(v, x, y)
+			_ = sum.Add(v, x, y)
+		}
+		da, _ := sk.Sketch(a)
+		db, _ := sk.Sketch(b)
+		ds, _ := sk.Sketch(sum)
+		for i := range ds {
+			if math.Abs(da[i]+db[i]-ds[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropDistanceNonNegativeSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d1 := make(Descriptor, 8)
+		d2 := make(Descriptor, 8)
+		for i := range d1 {
+			d1[i] = rng.Float64()*10 - 5
+			d2[i] = rng.Float64()*10 - 5
+		}
+		a, _ := Distance(d1, d2)
+		b, _ := Distance(d2, d1)
+		self, _ := Distance(d1, d1)
+		return a >= 0 && math.Abs(a-b) < 1e-12 && self == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticStreamShapeAndLength(t *testing.T) {
+	stream := SyntheticStream(1, []int{4, 4}, 10, 5, nil)
+	if len(stream) != 10 {
+		t.Fatalf("len = %d", len(stream))
+	}
+	for _, ten := range stream {
+		s := ten.Shape()
+		if len(s) != 2 || s[0] != 4 || s[1] != 4 {
+			t.Fatalf("shape = %v", s)
+		}
+	}
+}
+
+func TestSyntheticStreamDeltasConsistent(t *testing.T) {
+	stream, deltas := SyntheticStreamWithDeltas(31, []int{8, 8}, 12, 40, map[int]bool{6: true})
+	if len(stream) != len(deltas) {
+		t.Fatalf("lengths differ: %d vs %d", len(stream), len(deltas))
+	}
+	// Replaying all deltas must reproduce each epoch exactly.
+	cur := MustSparse(8, 8)
+	for e, ds := range deltas {
+		for _, d := range ds {
+			if err := cur.Add(d.Value, d.Coords...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		diff, err := cur.Diff(stream[e])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff > 1e-9 {
+			t.Fatalf("epoch %d: replayed tensor diverges by %v", e, diff)
+		}
+	}
+}
+
+func TestMonitorIncrementalMatchesSketched(t *testing.T) {
+	changeAt := map[int]bool{20: true}
+	stream, deltas := SyntheticStreamWithDeltas(37, []int{16, 16, 8}, 35, 200, changeAt)
+	sk, _ := NewSketcher(64, 3, 16, 16, 8)
+	full, err := MonitorSketched(sk, stream, &Detector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := MonitorIncremental(sk, deltas, &Detector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(inc) {
+		t.Fatalf("lengths differ")
+	}
+	// Distances must agree (same descriptors, maintained differently).
+	for i := range full {
+		if d := full[i].Distance - inc[i].Distance; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("epoch %d distance: full=%v inc=%v", i, full[i].Distance, inc[i].Distance)
+		}
+		if full[i].Change != inc[i].Change {
+			t.Fatalf("epoch %d change flag differs", i)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package textindex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// ErrDocNotFound is returned when a document ID is unknown to the index.
+var ErrDocNotFound = errors.New("textindex: document not found")
+
+// posting records one document's occurrences of a term.
+type posting struct {
+	doc string
+	tf  int
+}
+
+// Index is an inverted index over documents with TF-IDF vectors and BM25
+// scoring. It is safe for concurrent use: adds take the write lock,
+// queries the read lock.
+type Index struct {
+	mu       sync.RWMutex
+	postings map[string][]posting
+	docLen   map[string]int
+	docText  map[string]string
+	totalLen int
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		postings: make(map[string][]posting),
+		docLen:   make(map[string]int),
+		docText:  make(map[string]string),
+	}
+}
+
+// Add indexes text under the given document ID. Re-adding an existing ID
+// replaces the document.
+func (ix *Index) Add(docID, text string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docLen[docID]; ok {
+		ix.removeLocked(docID)
+	}
+	terms := Terms(text)
+	counts := make(map[string]int)
+	for _, t := range terms {
+		counts[t]++
+	}
+	for t, c := range counts {
+		ix.postings[t] = append(ix.postings[t], posting{doc: docID, tf: c})
+	}
+	ix.docLen[docID] = len(terms)
+	ix.docText[docID] = text
+	ix.totalLen += len(terms)
+}
+
+// Remove deletes a document from the index.
+func (ix *Index) Remove(docID string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(docID)
+}
+
+func (ix *Index) removeLocked(docID string) {
+	n, ok := ix.docLen[docID]
+	if !ok {
+		return
+	}
+	for t, ps := range ix.postings {
+		for i := range ps {
+			if ps[i].doc == docID {
+				ix.postings[t] = append(ps[:i], ps[i+1:]...)
+				break
+			}
+		}
+		if len(ix.postings[t]) == 0 {
+			delete(ix.postings, t)
+		}
+	}
+	ix.totalLen -= n
+	delete(ix.docLen, docID)
+	delete(ix.docText, docID)
+}
+
+// Len reports the number of indexed documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docLen)
+}
+
+// Text returns the stored raw text of a document.
+func (ix *Index) Text(docID string) (string, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	t, ok := ix.docText[docID]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrDocNotFound, docID)
+	}
+	return t, nil
+}
+
+// DocIDs returns all indexed document IDs in sorted order.
+func (ix *Index) DocIDs() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ids := make([]string, 0, len(ix.docLen))
+	for id := range ix.docLen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// idfLocked computes smoothed inverse document frequency for a term.
+func (ix *Index) idfLocked(term string) float64 {
+	df := len(ix.postings[term])
+	n := len(ix.docLen)
+	return math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
+}
+
+// TFIDFVector returns the document's TF-IDF vector.
+func (ix *Index) TFIDFVector(docID string) (Vector, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if _, ok := ix.docLen[docID]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrDocNotFound, docID)
+	}
+	v := make(Vector)
+	for t, ps := range ix.postings {
+		for _, p := range ps {
+			if p.doc == docID {
+				v[t] = float64(p.tf) * ix.idfLocked(t)
+				break
+			}
+		}
+	}
+	return v, nil
+}
+
+// Result is a scored document.
+type Result struct {
+	DocID string
+	Score float64
+}
+
+// BM25 parameters (standard values).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// Search ranks documents against the query with BM25 and returns the top
+// k results (fewer if the index is small or the query matches nothing).
+func (ix *Index) Search(query string, k int) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(ix.docLen) == 0 {
+		return nil
+	}
+	avgLen := float64(ix.totalLen) / float64(len(ix.docLen))
+	if avgLen == 0 {
+		avgLen = 1
+	}
+	scores := make(map[string]float64)
+	for _, term := range Terms(query) {
+		ps, ok := ix.postings[term]
+		if !ok {
+			continue
+		}
+		idf := ix.idfLocked(term)
+		for _, p := range ps {
+			dl := float64(ix.docLen[p.doc])
+			tf := float64(p.tf)
+			scores[p.doc] += idf * tf * (bm25K1 + 1) /
+				(tf + bm25K1*(1-bm25B+bm25B*dl/avgLen))
+		}
+	}
+	return topResults(scores, k)
+}
+
+// SearchVector ranks documents by cosine similarity between the query
+// vector and each document's TF-IDF vector. Hive uses this form when the
+// "query" is a context vector (active workpad contents) rather than typed
+// keywords.
+func (ix *Index) SearchVector(query Vector, k int) []Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if len(query) == 0 {
+		return nil
+	}
+	// Accumulate dot products via postings of the query terms only.
+	dots := make(map[string]float64)
+	for t, qw := range query {
+		ps, ok := ix.postings[t]
+		if !ok {
+			continue
+		}
+		idf := ix.idfLocked(t)
+		for _, p := range ps {
+			dots[p.doc] += qw * float64(p.tf) * idf
+		}
+	}
+	qn := query.Norm()
+	if qn == 0 {
+		return nil
+	}
+	scores := make(map[string]float64, len(dots))
+	for doc, dot := range dots {
+		dn := ix.docNormLocked(doc)
+		if dn == 0 {
+			continue
+		}
+		scores[doc] = dot / (qn * dn)
+	}
+	return topResults(scores, k)
+}
+
+func (ix *Index) docNormLocked(docID string) float64 {
+	var s float64
+	for t, ps := range ix.postings {
+		for _, p := range ps {
+			if p.doc == docID {
+				w := float64(p.tf) * ix.idfLocked(t)
+				s += w * w
+				break
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func topResults(scores map[string]float64, k int) []Result {
+	res := make([]Result, 0, len(scores))
+	for d, s := range scores {
+		res = append(res, Result{DocID: d, Score: s})
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Score != res[j].Score {
+			return res[i].Score > res[j].Score
+		}
+		return res[i].DocID < res[j].DocID
+	})
+	if k > 0 && len(res) > k {
+		res = res[:k]
+	}
+	return res
+}

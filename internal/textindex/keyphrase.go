@@ -1,0 +1,116 @@
+package textindex
+
+import "sort"
+
+// Keyphrase is a term with an extraction score.
+type Keyphrase struct {
+	Term  string
+	Score float64
+}
+
+// ExtractKeyphrases runs TextRank (Mihalcea & Tarau, 2004) over the word
+// co-occurrence graph of the text and returns the top k unigram concepts.
+// This implements the "key concept extraction for automated annotations"
+// service of §2.3 and feeds concept-map bootstrapping (§2.1): the scores
+// become initial concept significances.
+//
+// The co-occurrence window is 4 content words; the graph is undirected and
+// weighted by co-occurrence counts; ranking runs a damped power iteration.
+func ExtractKeyphrases(text string, k int) []Keyphrase {
+	words := RawTerms(text)
+	if len(words) == 0 {
+		return nil
+	}
+	const window = 4
+	// Build the co-occurrence graph over surface forms; group inflected
+	// variants by stem but display the most frequent surface form.
+	idx := make(map[string]int)
+	var vocab []string
+	counts := make(map[string]map[string]int)
+	surface := make(map[string]map[string]int) // stem -> surface form counts
+	stems := make([]string, len(words))
+	for i, w := range words {
+		st := Stem(w)
+		stems[i] = st
+		if _, ok := idx[st]; !ok {
+			idx[st] = len(vocab)
+			vocab = append(vocab, st)
+		}
+		if surface[st] == nil {
+			surface[st] = make(map[string]int)
+		}
+		surface[st][w]++
+	}
+	for i := range stems {
+		for j := i + 1; j < len(stems) && j <= i+window; j++ {
+			a, b := stems[i], stems[j]
+			if a == b {
+				continue
+			}
+			if counts[a] == nil {
+				counts[a] = make(map[string]int)
+			}
+			if counts[b] == nil {
+				counts[b] = make(map[string]int)
+			}
+			counts[a][b]++
+			counts[b][a]++
+		}
+	}
+
+	// Damped PageRank over the weighted co-occurrence graph.
+	n := len(vocab)
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	const damping = 0.85
+	outWeight := make([]float64, n)
+	for a, nbrs := range counts {
+		for _, c := range nbrs {
+			outWeight[idx[a]] += float64(c)
+		}
+	}
+	for iter := 0; iter < 30; iter++ {
+		for i := range next {
+			next[i] = (1 - damping) / float64(n)
+		}
+		for a, nbrs := range counts {
+			ia := idx[a]
+			if outWeight[ia] == 0 {
+				continue
+			}
+			share := damping * rank[ia] / outWeight[ia]
+			for b, c := range nbrs {
+				next[idx[b]] += share * float64(c)
+			}
+		}
+		rank, next = next, rank
+	}
+
+	phrases := make([]Keyphrase, 0, n)
+	for st, i := range idx {
+		phrases = append(phrases, Keyphrase{Term: bestSurface(surface[st]), Score: rank[i]})
+	}
+	sort.Slice(phrases, func(i, j int) bool {
+		if phrases[i].Score != phrases[j].Score {
+			return phrases[i].Score > phrases[j].Score
+		}
+		return phrases[i].Term < phrases[j].Term
+	})
+	if k > 0 && len(phrases) > k {
+		phrases = phrases[:k]
+	}
+	return phrases
+}
+
+func bestSurface(forms map[string]int) string {
+	best, bestN := "", -1
+	for f, n := range forms {
+		if n > bestN || (n == bestN && f < best) {
+			best, bestN = f, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,82 @@
+package textindex
+
+import "hash/fnv"
+
+// Overlap detection implements the content-reuse service of [9] (Kim,
+// Candan, Tatemura, WWW'09): documents are reduced to sets of hashed
+// word k-shingles and compared by resemblance (Jaccard over shingle
+// sets). Hive uses it to relate user-supplied content (slides vs paper,
+// repeated question text) without full pairwise text comparison.
+
+// ShingleSet is a set of hashed k-shingles of a document.
+type ShingleSet map[uint64]struct{}
+
+// Shingles computes the hashed word k-shingle set of text using the
+// canonical analysis chain. k must be >= 1; documents shorter than k
+// words yield a single shingle of all their words (or an empty set for
+// empty documents).
+func Shingles(text string, k int) ShingleSet {
+	if k < 1 {
+		k = 1
+	}
+	terms := Terms(text)
+	set := make(ShingleSet)
+	if len(terms) == 0 {
+		return set
+	}
+	if len(terms) < k {
+		set[hashShingle(terms)] = struct{}{}
+		return set
+	}
+	for i := 0; i+k <= len(terms); i++ {
+		set[hashShingle(terms[i:i+k])] = struct{}{}
+	}
+	return set
+}
+
+func hashShingle(terms []string) uint64 {
+	h := fnv.New64a()
+	for _, t := range terms {
+		h.Write([]byte(t))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// Resemblance returns the Jaccard similarity of two shingle sets.
+func Resemblance(a, b ShingleSet) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	inter := 0
+	for s := range small {
+		if _, ok := large[s]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Containment returns |a ∩ b| / |a|: how much of a is reused inside b.
+// Asymmetric by design — a slide deck is largely contained in its paper
+// but not vice versa.
+func Containment(a, b ShingleSet) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	inter := 0
+	for s := range a {
+		if _, ok := b[s]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a))
+}

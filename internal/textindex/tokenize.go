@@ -1,0 +1,101 @@
+// Package textindex is Hive's text analysis and retrieval engine. It
+// supports the paper's content services: TF-IDF document vectors and an
+// inverted index for search (§2.3), key-concept extraction for automated
+// annotation and concept-map bootstrapping (§2.1, [10]), context-aware
+// snippet extraction ([14]), and shingle-based overlap/content-reuse
+// detection for user-supplied content ([9]).
+package textindex
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases text and splits it into alphanumeric tokens,
+// dropping everything else. Hyphenated terms split into their parts.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// stopwords is a compact English stopword list adequate for scientific
+// abstracts and Q&A text.
+var stopwords = map[string]bool{
+	"a": true, "about": true, "above": true, "after": true, "again": true,
+	"all": true, "also": true, "am": true, "an": true, "and": true,
+	"any": true, "are": true, "as": true, "at": true, "be": true,
+	"because": true, "been": true, "before": true, "being": true,
+	"below": true, "between": true, "both": true, "but": true, "by": true,
+	"can": true, "cannot": true, "could": true, "did": true, "do": true,
+	"does": true, "doing": true, "down": true, "during": true, "each": true,
+	"few": true, "for": true, "from": true, "further": true, "had": true,
+	"has": true, "have": true, "having": true, "he": true, "her": true,
+	"here": true, "hers": true, "him": true, "his": true, "how": true,
+	"i": true, "if": true, "in": true, "into": true, "is": true, "it": true,
+	"its": true, "itself": true, "just": true, "may": true, "me": true,
+	"more": true, "most": true, "my": true, "no": true, "nor": true,
+	"not": true, "now": true, "of": true, "off": true, "on": true,
+	"once": true, "only": true, "or": true, "other": true, "our": true,
+	"ours": true, "out": true, "over": true, "own": true, "s": true,
+	"same": true, "she": true, "should": true, "so": true, "some": true,
+	"such": true, "t": true, "than": true, "that": true, "the": true,
+	"their": true, "theirs": true, "them": true, "then": true,
+	"there": true, "these": true, "they": true, "this": true,
+	"those": true, "through": true, "to": true, "too": true, "under": true,
+	"until": true, "up": true, "very": true, "was": true, "we": true,
+	"were": true, "what": true, "when": true, "where": true, "which": true,
+	"while": true, "who": true, "whom": true, "why": true, "will": true,
+	"with": true, "would": true, "you": true, "your": true, "yours": true,
+	"using": true, "used": true, "use": true, "based": true, "via": true,
+	"paper": true, "propose": true, "proposed": true, "approach": true,
+	"show": true, "shows": true, "present": true, "presents": true,
+	"however": true, "et": true, "al": true,
+}
+
+// IsStopword reports whether the token is on the stopword list.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// Terms tokenizes, removes stopwords and single-character tokens, and
+// stems the remainder. This is the canonical analysis chain used by every
+// Hive text service.
+func Terms(text string) []string {
+	toks := Tokenize(text)
+	out := toks[:0]
+	for _, t := range toks {
+		if len(t) < 2 || stopwords[t] {
+			continue
+		}
+		out = append(out, Stem(t))
+	}
+	return out
+}
+
+// RawTerms is like Terms but keeps the unstemmed surface forms; concept
+// extraction uses it so that displayed concepts stay readable.
+func RawTerms(text string) []string {
+	toks := Tokenize(text)
+	out := toks[:0]
+	for _, t := range toks {
+		if len(t) < 2 || stopwords[t] {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package textindex
+
+import (
+	"math"
+	"sort"
+)
+
+// Vector is a sparse term-weight vector (term -> weight).
+type Vector map[string]float64
+
+// Norm returns the Euclidean norm of the vector.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, w := range v {
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine similarity between two vectors, in [0, 1] for
+// non-negative weights. Empty vectors yield 0.
+func (v Vector) Cosine(o Vector) float64 {
+	if len(v) == 0 || len(o) == 0 {
+		return 0
+	}
+	small, large := v, o
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	var dot float64
+	for t, w := range small {
+		if w2, ok := large[t]; ok {
+			dot += w * w2
+		}
+	}
+	nv, no := v.Norm(), o.Norm()
+	if nv == 0 || no == 0 {
+		return 0
+	}
+	return dot / (nv * no)
+}
+
+// Add accumulates o into v with the given scale.
+func (v Vector) Add(o Vector, scale float64) {
+	for t, w := range o {
+		v[t] += w * scale
+	}
+}
+
+// TopTerms returns the k highest-weight terms, ties broken
+// lexicographically for determinism.
+func (v Vector) TopTerms(k int) []string {
+	type tw struct {
+		t string
+		w float64
+	}
+	all := make([]tw, 0, len(v))
+	for t, w := range v {
+		all = append(all, tw{t, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].t < all[j].t
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].t
+	}
+	return out
+}
+
+// TermFrequency builds a raw term-count vector from the canonical analysis
+// chain.
+func TermFrequency(text string) Vector {
+	v := make(Vector)
+	for _, t := range Terms(text) {
+		v[t]++
+	}
+	return v
+}

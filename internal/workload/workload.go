@@ -1,0 +1,482 @@
+// Package workload generates deterministic synthetic conference data for
+// Hive. The paper's deployments (ACM MM'11, SIGMOD'12) ran on live user
+// data we cannot obtain; this generator is the documented substitution
+// (DESIGN.md §2): it produces conference series with sessions, papers
+// with topical text and citations, researchers with interests and
+// affiliations, and interaction traces (check-ins, questions, answers,
+// comments, follows, connections, workpads) with Zipf-distributed
+// popularity, which is the structural regime of real scholarly data.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hive/internal/social"
+)
+
+// Topics is the fixed topic vocabulary; each topic contributes terms to
+// titles, abstracts and interests.
+var Topics = []struct {
+	Name  string
+	Terms []string
+}{
+	{"graphs", []string{"graph", "partitioning", "traversal", "vertex", "edge", "distributed", "processing", "pregel", "connectivity", "pagerank"}},
+	{"social", []string{"social", "network", "community", "influence", "diffusion", "friendship", "twitter", "recommendation", "peer", "collaboration"}},
+	{"tensors", []string{"tensor", "decomposition", "factorization", "stream", "sketch", "compressed", "sensing", "multilinear", "rank", "monitoring"}},
+	{"query", []string{"query", "optimization", "join", "index", "selectivity", "cardinality", "plan", "cost", "execution", "relational"}},
+	{"text", []string{"text", "retrieval", "ranking", "snippet", "summarization", "keyword", "document", "corpus", "relevance", "annotation"}},
+	{"rdf", []string{"rdf", "semantic", "triple", "sparql", "ontology", "linked", "knowledge", "reasoning", "path", "weighted"}},
+	{"storage", []string{"storage", "log", "transaction", "recovery", "durability", "buffer", "checkpoint", "compaction", "write", "ahead"}},
+	{"mining", []string{"mining", "pattern", "clustering", "classification", "anomaly", "detection", "frequent", "itemset", "outlier", "temporal"}},
+}
+
+// Config parameterizes generation. Zero fields take defaults.
+type Config struct {
+	Seed            int64
+	Users           int // default 60
+	Series          int // conference series, default 2
+	YearsPerSeries  int // editions per series, default 2
+	SessionsPerConf int // default 6
+	PapersPerSess   int // default 3
+	CitationsMean   int // mean citations per paper, default 4
+	// Interaction volume.
+	CheckinsPerUser  int // default 3
+	QuestionsPerUser int // default 2
+	FollowsPerUser   int // default 3
+	ConnectsPerUser  int // default 2
+}
+
+func (c Config) withDefaults() Config {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.Users, 60)
+	def(&c.Series, 2)
+	def(&c.YearsPerSeries, 2)
+	def(&c.SessionsPerConf, 6)
+	def(&c.PapersPerSess, 3)
+	def(&c.CitationsMean, 4)
+	def(&c.CheckinsPerUser, 3)
+	def(&c.QuestionsPerUser, 2)
+	def(&c.FollowsPerUser, 3)
+	def(&c.ConnectsPerUser, 2)
+	return c
+}
+
+// Dataset is the generated world plus its interaction trace, in a form
+// that can be loaded into a social.Store or inspected directly.
+type Dataset struct {
+	Users         []social.User
+	Conferences   []social.Conference
+	Sessions      []social.Session
+	Papers        []social.Paper
+	Presentations []social.Presentation
+
+	// Interactions, in application order.
+	Connections [][2]string // user pairs
+	Follows     [][2]string // follower, followee
+	CheckIns    [][2]string // session, user
+	Questions   []social.Question
+	Answers     []social.Answer
+	Comments    []social.Comment
+	Workpads    []social.Workpad
+
+	// TopicOfUser records each user's dominant topic index — the planted
+	// ground truth that recommendation-quality experiments score against.
+	TopicOfUser map[string]int
+	// TopicOfPaper records each paper's topic index.
+	TopicOfPaper map[string]int
+}
+
+// Generate builds a dataset from the config, deterministically for a
+// given seed.
+func Generate(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{TopicOfUser: map[string]int{}, TopicOfPaper: map[string]int{}}
+
+	affils := []string{"ASU", "UniTo", "MPI", "NUS", "EPFL", "CMU"}
+	// Users with a dominant topic and 1-2 secondary interests.
+	for i := 0; i < cfg.Users; i++ {
+		id := fmt.Sprintf("u%03d", i)
+		topic := i % len(Topics)
+		ds.TopicOfUser[id] = topic
+		interests := []string{Topics[topic].Name}
+		if rng.Float64() < 0.5 {
+			interests = append(interests, Topics[rng.Intn(len(Topics))].Name)
+		}
+		ds.Users = append(ds.Users, social.User{
+			ID:          id,
+			Name:        fmt.Sprintf("Researcher %03d", i),
+			Affiliation: affils[i%len(affils)],
+			Interests:   interests,
+		})
+	}
+
+	// Conferences: series x years.
+	seriesNames := []string{"edbt", "sigmod", "vldb", "cikm", "icde", "kdd"}
+	for s := 0; s < cfg.Series; s++ {
+		for y := 0; y < cfg.YearsPerSeries; y++ {
+			year := 2011 + y
+			name := seriesNames[s%len(seriesNames)]
+			ds.Conferences = append(ds.Conferences, social.Conference{
+				ID:     fmt.Sprintf("%s%02d", name, year-2000),
+				Name:   fmt.Sprintf("%s %d", name, year),
+				Series: name,
+				Year:   year,
+			})
+		}
+	}
+
+	// Sessions per conference, each themed on a topic.
+	for _, conf := range ds.Conferences {
+		for si := 0; si < cfg.SessionsPerConf; si++ {
+			topic := si % len(Topics)
+			sess := social.Session{
+				ID:           fmt.Sprintf("%s-s%02d", conf.ID, si),
+				ConferenceID: conf.ID,
+				Title:        titleFor(rng, topic),
+				Track:        Topics[topic].Name,
+				Hashtag:      fmt.Sprintf("#%s%s", conf.ID, Topics[topic].Name),
+			}
+			// Chair: a user from the same topic.
+			sess.Chair = ds.userForTopic(rng, topic)
+			ds.Sessions = append(ds.Sessions, sess)
+		}
+	}
+
+	// Papers: authored by topic-matched users, cited with preferential
+	// attachment (Zipf-like in-degree).
+	zipf := rand.NewZipf(rng, 1.4, 1, uint64(maxInt(1, cfg.Users-1)))
+	var allPapers []string
+	for _, sess := range ds.Sessions {
+		topic := topicIndex(sess.Track)
+		for pi := 0; pi < cfg.PapersPerSess; pi++ {
+			id := fmt.Sprintf("p-%s-%d", sess.ID, pi)
+			nAuthors := 1 + rng.Intn(3)
+			authors := make([]string, 0, nAuthors)
+			seen := map[string]bool{}
+			// Bounded draws: small user pools may not hold nAuthors
+			// distinct same-topic users, so accept fewer after enough
+			// attempts rather than spinning.
+			for attempt := 0; len(authors) < nAuthors && attempt < 8*nAuthors; attempt++ {
+				a := ds.userForTopic(rng, topic)
+				if !seen[a] {
+					seen[a] = true
+					authors = append(authors, a)
+				}
+			}
+			p := social.Paper{
+				ID:           id,
+				Title:        titleFor(rng, topic),
+				Abstract:     abstractFor(rng, topic),
+				Authors:      authors,
+				ConferenceID: sess.ConferenceID,
+				SessionID:    sess.ID,
+				Year:         2011,
+			}
+			// Citations: preferential attachment over earlier papers.
+			nCites := poissonish(rng, cfg.CitationsMean)
+			for c := 0; c < nCites && len(allPapers) > 0; c++ {
+				idx := int(zipf.Uint64()) % len(allPapers)
+				cited := allPapers[idx]
+				if cited != id && !contains(p.Citations, cited) {
+					p.Citations = append(p.Citations, cited)
+				}
+			}
+			ds.TopicOfPaper[id] = topic
+			ds.Papers = append(ds.Papers, p)
+			allPapers = append(allPapers, id)
+
+			// First author uploads slides for ~60% of papers.
+			if rng.Float64() < 0.6 {
+				ds.Presentations = append(ds.Presentations, social.Presentation{
+					ID:      "pres-" + id,
+					PaperID: id,
+					Owner:   authors[0],
+					Title:   p.Title + " (slides)",
+					Text:    abstractFor(rng, topic),
+				})
+			}
+		}
+	}
+
+	// Interactions. Topic homophily: users mostly interact within topic.
+	for _, u := range ds.Users {
+		topic := ds.TopicOfUser[u.ID]
+		// Check-ins: prefer sessions of own topic.
+		for c := 0; c < cfg.CheckinsPerUser; c++ {
+			sess := ds.sessionForTopic(rng, pickTopic(rng, topic))
+			if sess != "" {
+				ds.CheckIns = append(ds.CheckIns, [2]string{sess, u.ID})
+			}
+		}
+		// Follows and connections: prefer same-topic users.
+		for f := 0; f < cfg.FollowsPerUser; f++ {
+			o := ds.userForTopic(rng, pickTopic(rng, topic))
+			if o != u.ID {
+				ds.Follows = append(ds.Follows, [2]string{u.ID, o})
+			}
+		}
+		for f := 0; f < cfg.ConnectsPerUser; f++ {
+			o := ds.userForTopic(rng, pickTopic(rng, topic))
+			if o != u.ID {
+				ds.Connections = append(ds.Connections, [2]string{u.ID, o})
+			}
+		}
+	}
+	// Questions target topic-matched papers; answers come from authors.
+	qi := 0
+	for _, u := range ds.Users {
+		topic := ds.TopicOfUser[u.ID]
+		for q := 0; q < cfg.QuestionsPerUser; q++ {
+			paper := ds.paperForTopic(rng, pickTopic(rng, topic))
+			if paper == nil {
+				continue
+			}
+			question := social.Question{
+				ID:     fmt.Sprintf("q%04d", qi),
+				Author: u.ID,
+				Target: paper.ID,
+				Text:   questionFor(rng, ds.TopicOfPaper[paper.ID]),
+			}
+			ds.Questions = append(ds.Questions, question)
+			if rng.Float64() < 0.7 {
+				ds.Answers = append(ds.Answers, social.Answer{
+					ID:         fmt.Sprintf("a%04d", qi),
+					QuestionID: question.ID,
+					Author:     paper.Authors[rng.Intn(len(paper.Authors))],
+					Text:       "Thanks — " + questionFor(rng, ds.TopicOfPaper[paper.ID]),
+				})
+			}
+			if rng.Float64() < 0.3 {
+				ds.Comments = append(ds.Comments, social.Comment{
+					ID:     fmt.Sprintf("c%04d", qi),
+					Author: ds.userForTopic(rng, ds.TopicOfPaper[paper.ID]),
+					Target: paper.ID,
+					Text:   "Interesting result on " + Topics[ds.TopicOfPaper[paper.ID]].Name,
+				})
+			}
+			qi++
+		}
+	}
+	// Workpads: each user gets one workpad seeded with same-topic items.
+	for _, u := range ds.Users {
+		topic := ds.TopicOfUser[u.ID]
+		w := social.Workpad{
+			ID:    "w-" + u.ID,
+			Owner: u.ID,
+			Name:  Topics[topic].Name + " context",
+		}
+		if p := ds.paperForTopic(rng, topic); p != nil {
+			w.Items = append(w.Items, social.WorkpadItem{Kind: social.ItemPaper, Ref: p.ID})
+		}
+		if s := ds.sessionForTopic(rng, topic); s != "" {
+			w.Items = append(w.Items, social.WorkpadItem{Kind: social.ItemSession, Ref: s})
+		}
+		if o := ds.userForTopic(rng, topic); o != u.ID {
+			w.Items = append(w.Items, social.WorkpadItem{Kind: social.ItemUser, Ref: o})
+		}
+		ds.Workpads = append(ds.Workpads, w)
+	}
+	return ds
+}
+
+// Load applies the dataset to a social store in referential order.
+func (ds *Dataset) Load(st *social.Store) error {
+	for _, u := range ds.Users {
+		if err := st.PutUser(u); err != nil {
+			return err
+		}
+	}
+	for _, c := range ds.Conferences {
+		if err := st.PutConference(c); err != nil {
+			return err
+		}
+	}
+	for _, s := range ds.Sessions {
+		if err := st.PutSession(s); err != nil {
+			return err
+		}
+	}
+	for _, p := range ds.Papers {
+		if err := st.PutPaper(p); err != nil {
+			return err
+		}
+	}
+	for _, pr := range ds.Presentations {
+		if err := st.PutPresentation(pr); err != nil {
+			return err
+		}
+	}
+	for _, c := range ds.Connections {
+		if c[0] == c[1] || st.Connected(c[0], c[1]) {
+			continue
+		}
+		if err := st.Connect(c[0], c[1]); err != nil {
+			return err
+		}
+	}
+	for _, f := range ds.Follows {
+		if f[0] == f[1] || st.FollowsUser(f[0], f[1]) {
+			continue
+		}
+		if err := st.Follow(f[0], f[1]); err != nil {
+			return err
+		}
+	}
+	for _, ci := range ds.CheckIns {
+		if err := st.CheckIn(ci[0], ci[1]); err != nil {
+			return err
+		}
+	}
+	for _, q := range ds.Questions {
+		if err := st.AskQuestion(q); err != nil {
+			return err
+		}
+	}
+	for _, a := range ds.Answers {
+		if err := st.PostAnswer(a); err != nil {
+			return err
+		}
+	}
+	for _, c := range ds.Comments {
+		if err := st.PostComment(c); err != nil {
+			return err
+		}
+	}
+	for _, w := range ds.Workpads {
+		if err := st.PutWorkpad(w); err != nil {
+			return err
+		}
+		if err := st.SetActiveWorkpad(w.Owner, w.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- helpers -----------------------------------------------------------------
+
+func (ds *Dataset) userForTopic(rng *rand.Rand, topic int) string {
+	// Users are assigned topics round-robin, so topic t lives at indices
+	// t, t+|Topics|, ...
+	n := len(ds.Users)
+	if n == 0 {
+		return ""
+	}
+	count := (n-1-topic%len(Topics))/len(Topics) + 1
+	if count <= 0 {
+		return ds.Users[rng.Intn(n)].ID
+	}
+	idx := topic%len(Topics) + rng.Intn(count)*len(Topics)
+	return ds.Users[idx].ID
+}
+
+func (ds *Dataset) sessionForTopic(rng *rand.Rand, topic int) string {
+	var matches []string
+	for _, s := range ds.Sessions {
+		if s.Track == Topics[topic%len(Topics)].Name {
+			matches = append(matches, s.ID)
+		}
+	}
+	if len(matches) == 0 {
+		if len(ds.Sessions) == 0 {
+			return ""
+		}
+		return ds.Sessions[rng.Intn(len(ds.Sessions))].ID
+	}
+	return matches[rng.Intn(len(matches))]
+}
+
+func (ds *Dataset) paperForTopic(rng *rand.Rand, topic int) *social.Paper {
+	var matches []int
+	for i, p := range ds.Papers {
+		if ds.TopicOfPaper[p.ID] == topic%len(Topics) {
+			matches = append(matches, i)
+		}
+	}
+	if len(matches) == 0 {
+		if len(ds.Papers) == 0 {
+			return nil
+		}
+		return &ds.Papers[rng.Intn(len(ds.Papers))]
+	}
+	return &ds.Papers[matches[rng.Intn(len(matches))]]
+}
+
+// pickTopic returns the user's own topic 80% of the time, a random one
+// otherwise — homophily with exploration.
+func pickTopic(rng *rand.Rand, own int) int {
+	if rng.Float64() < 0.8 {
+		return own
+	}
+	return rng.Intn(len(Topics))
+}
+
+func topicIndex(name string) int {
+	for i, t := range Topics {
+		if t.Name == name {
+			return i
+		}
+	}
+	return 0
+}
+
+func titleFor(rng *rand.Rand, topic int) string {
+	t := Topics[topic%len(Topics)].Terms
+	return fmt.Sprintf("%s %s for scalable %s %s",
+		capitalize(t[rng.Intn(len(t))]), t[rng.Intn(len(t))],
+		t[rng.Intn(len(t))], t[rng.Intn(len(t))])
+}
+
+func abstractFor(rng *rand.Rand, topic int) string {
+	t := Topics[topic%len(Topics)].Terms
+	var out string
+	for s := 0; s < 4; s++ {
+		out += fmt.Sprintf("We study %s %s with %s %s on large %s workloads. ",
+			t[rng.Intn(len(t))], t[rng.Intn(len(t))], t[rng.Intn(len(t))],
+			t[rng.Intn(len(t))], t[rng.Intn(len(t))])
+	}
+	return out
+}
+
+func questionFor(rng *rand.Rand, topic int) string {
+	t := Topics[topic%len(Topics)].Terms
+	return fmt.Sprintf("How does the %s %s interact with %s?",
+		t[rng.Intn(len(t))], t[rng.Intn(len(t))], t[rng.Intn(len(t))])
+}
+
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	return string(s[0]-'a'+'A') + s[1:]
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func poissonish(rng *rand.Rand, mean int) int {
+	// Cheap integer approximation: uniform in [0, 2*mean].
+	if mean <= 0 {
+		return 0
+	}
+	return rng.Intn(2*mean + 1)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

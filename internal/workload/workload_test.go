@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"testing"
+
+	"hive/internal/social"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 42})
+	b := Generate(Config{Seed: 42})
+	if len(a.Users) != len(b.Users) || len(a.Papers) != len(b.Papers) {
+		t.Fatal("sizes differ across runs")
+	}
+	for i := range a.Papers {
+		if a.Papers[i].Title != b.Papers[i].Title {
+			t.Fatalf("paper %d title differs: %q vs %q", i, a.Papers[i].Title, b.Papers[i].Title)
+		}
+	}
+	c := Generate(Config{Seed: 43})
+	same := len(a.Papers) == len(c.Papers)
+	if same {
+		diff := false
+		for i := range a.Papers {
+			if a.Papers[i].Title != c.Papers[i].Title {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateSizes(t *testing.T) {
+	cfg := Config{Seed: 1, Users: 40, Series: 2, YearsPerSeries: 2, SessionsPerConf: 4, PapersPerSess: 2}
+	ds := Generate(cfg)
+	if len(ds.Users) != 40 {
+		t.Fatalf("users = %d", len(ds.Users))
+	}
+	if len(ds.Conferences) != 4 {
+		t.Fatalf("conferences = %d", len(ds.Conferences))
+	}
+	if len(ds.Sessions) != 16 {
+		t.Fatalf("sessions = %d", len(ds.Sessions))
+	}
+	if len(ds.Papers) != 32 {
+		t.Fatalf("papers = %d", len(ds.Papers))
+	}
+	if len(ds.Workpads) != 40 {
+		t.Fatalf("workpads = %d", len(ds.Workpads))
+	}
+}
+
+func TestGenerateReferentialIntegrity(t *testing.T) {
+	ds := Generate(Config{Seed: 7})
+	users := map[string]bool{}
+	for _, u := range ds.Users {
+		users[u.ID] = true
+	}
+	papers := map[string]bool{}
+	for _, p := range ds.Papers {
+		papers[p.ID] = true
+		for _, a := range p.Authors {
+			if !users[a] {
+				t.Fatalf("paper %s has unknown author %s", p.ID, a)
+			}
+		}
+		for _, c := range p.Citations {
+			if !papers[c] {
+				t.Fatalf("paper %s cites not-yet-generated %s (acyclicity broken)", p.ID, c)
+			}
+		}
+	}
+	sessions := map[string]bool{}
+	for _, s := range ds.Sessions {
+		sessions[s.ID] = true
+		if !users[s.Chair] {
+			t.Fatalf("session %s has unknown chair %q", s.ID, s.Chair)
+		}
+	}
+	for _, ci := range ds.CheckIns {
+		if !sessions[ci[0]] || !users[ci[1]] {
+			t.Fatalf("dangling checkin %v", ci)
+		}
+	}
+	for _, q := range ds.Questions {
+		if !users[q.Author] || !papers[q.Target] {
+			t.Fatalf("dangling question %+v", q)
+		}
+	}
+}
+
+func TestTopicHomophily(t *testing.T) {
+	ds := Generate(Config{Seed: 3, Users: 80})
+	same, total := 0, 0
+	for _, f := range ds.Follows {
+		if ds.TopicOfUser[f[0]] == ds.TopicOfUser[f[1]] {
+			same++
+		}
+		total++
+	}
+	if total == 0 {
+		t.Fatal("no follows generated")
+	}
+	// With 80% homophily and 8 topics the same-topic rate must be far
+	// above the 1/8 random baseline.
+	if rate := float64(same) / float64(total); rate < 0.5 {
+		t.Fatalf("homophily rate = %v, want >= 0.5", rate)
+	}
+}
+
+func TestLoadIntoStore(t *testing.T) {
+	ds := Generate(Config{Seed: 5, Users: 30})
+	st, err := social.Open("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := ds.Load(st); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(st.Users()); got != 30 {
+		t.Fatalf("store users = %d", got)
+	}
+	if got := len(st.Papers()); got != len(ds.Papers) {
+		t.Fatalf("store papers = %d, want %d", got, len(ds.Papers))
+	}
+	// Every user's active workpad must exist.
+	for _, u := range ds.Users {
+		if _, err := st.ActiveWorkpad(u.ID); err != nil {
+			t.Fatalf("no active workpad for %s: %v", u.ID, err)
+		}
+	}
+	// Events were logged for interactions.
+	if evs := st.EventsSince(0, 0); len(evs) == 0 {
+		t.Fatal("no activity events recorded")
+	}
+}
+
+func TestZipfCitationSkew(t *testing.T) {
+	ds := Generate(Config{Seed: 9, Users: 60, Series: 2, YearsPerSeries: 2, SessionsPerConf: 8, PapersPerSess: 4})
+	inDeg := map[string]int{}
+	for _, p := range ds.Papers {
+		for _, c := range p.Citations {
+			inDeg[c]++
+		}
+	}
+	if len(inDeg) == 0 {
+		t.Fatal("no citations at all")
+	}
+	max, sum := 0, 0
+	for _, d := range inDeg {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	mean := float64(sum) / float64(len(inDeg))
+	// Preferential attachment must produce a hub well above the mean.
+	if float64(max) < 3*mean {
+		t.Fatalf("citation skew too flat: max=%d mean=%v", max, mean)
+	}
+}
+
+func TestGenerateSmallUserPoolTerminates(t *testing.T) {
+	// Regression: with fewer users per topic than requested authors,
+	// generation must still terminate (bounded draws).
+	for _, n := range []int{8, 12, 16} {
+		ds := Generate(Config{Seed: 2, Users: n})
+		if len(ds.Papers) == 0 {
+			t.Fatalf("users=%d: no papers", n)
+		}
+		for _, p := range ds.Papers {
+			if len(p.Authors) == 0 {
+				t.Fatalf("paper %s has no authors", p.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package hive
+
+// Mutation API: thin wrappers over the social store that invalidate the
+// knowledge engine snapshot.
+
+// RegisterUser creates or updates a researcher profile.
+func (p *Platform) RegisterUser(u User) error {
+	defer p.invalidate()
+	return p.store.PutUser(u)
+}
+
+// GetUser fetches a user profile.
+func (p *Platform) GetUser(id string) (User, error) { return p.store.User(id) }
+
+// Users lists all user IDs.
+func (p *Platform) Users() []string { return p.store.Users() }
+
+// CreateConference registers a conference edition.
+func (p *Platform) CreateConference(c Conference) error {
+	defer p.invalidate()
+	return p.store.PutConference(c)
+}
+
+// CreateSession registers a session within a conference.
+func (p *Platform) CreateSession(s Session) error {
+	defer p.invalidate()
+	return p.store.PutSession(s)
+}
+
+// PublishPaper registers a paper with its authors and citations.
+func (p *Platform) PublishPaper(pa Paper) error {
+	defer p.invalidate()
+	return p.store.PutPaper(pa)
+}
+
+// UploadPresentation attaches slide content to a paper (the §1.1 "uploads
+// his presentation slides" step).
+func (p *Platform) UploadPresentation(pr Presentation) error {
+	defer p.invalidate()
+	if err := p.store.PutPresentation(pr); err != nil {
+		return err
+	}
+	_, err := p.store.LogEvent(pr.Owner, "upload", pr.ID, nil)
+	return err
+}
+
+// Connect establishes a mutual connection between two researchers.
+func (p *Platform) Connect(a, b string) error {
+	defer p.invalidate()
+	return p.store.Connect(a, b)
+}
+
+// Connected reports whether two users are connected.
+func (p *Platform) Connected(a, b string) bool { return p.store.Connected(a, b) }
+
+// Follow subscribes follower to followee's activity.
+func (p *Platform) Follow(follower, followee string) error {
+	defer p.invalidate()
+	return p.store.Follow(follower, followee)
+}
+
+// Unfollow removes a follow edge.
+func (p *Platform) Unfollow(follower, followee string) error {
+	defer p.invalidate()
+	return p.store.Unfollow(follower, followee)
+}
+
+// CheckIn records session attendance and broadcasts it (with the session
+// hashtag when present).
+func (p *Platform) CheckIn(sessionID, userID string) error {
+	defer p.invalidate()
+	return p.store.CheckIn(sessionID, userID)
+}
+
+// Attendees lists the users checked into a session.
+func (p *Platform) Attendees(sessionID string) []string { return p.store.Attendees(sessionID) }
+
+// Ask posts a question about a presentation, paper or session.
+func (p *Platform) Ask(q Question) error {
+	defer p.invalidate()
+	return p.store.AskQuestion(q)
+}
+
+// AnswerQuestion posts an answer.
+func (p *Platform) AnswerQuestion(a Answer) error {
+	defer p.invalidate()
+	return p.store.PostAnswer(a)
+}
+
+// PostComment attaches a comment to an entity.
+func (p *Platform) PostComment(c Comment) error {
+	defer p.invalidate()
+	return p.store.PostComment(c)
+}
+
+// QuestionsAbout lists question IDs targeting an entity.
+func (p *Platform) QuestionsAbout(target string) []string { return p.store.QuestionsAbout(target) }
+
+// AnswersTo lists answer IDs of a question.
+func (p *Platform) AnswersTo(questionID string) []string { return p.store.AnswersTo(questionID) }
+
+// CreateWorkpad creates or replaces a workpad.
+func (p *Platform) CreateWorkpad(w Workpad) error {
+	defer p.invalidate()
+	return p.store.PutWorkpad(w)
+}
+
+// AddToWorkpad drags a resource onto a workpad.
+func (p *Platform) AddToWorkpad(workpadID string, item WorkpadItem) error {
+	defer p.invalidate()
+	return p.store.AddToWorkpad(workpadID, item)
+}
+
+// ActivateWorkpad selects the user's active context.
+func (p *Platform) ActivateWorkpad(owner, workpadID string) error {
+	defer p.invalidate()
+	return p.store.SetActiveWorkpad(owner, workpadID)
+}
+
+// ActiveWorkpad returns the user's active workpad.
+func (p *Platform) ActiveWorkpad(owner string) (Workpad, error) {
+	return p.store.ActiveWorkpad(owner)
+}
+
+// ExportCollection publishes a workpad as a shareable collection.
+func (p *Platform) ExportCollection(workpadID, collectionID string) (Collection, error) {
+	return p.store.ExportCollection(workpadID, collectionID)
+}
+
+// ImportCollection copies a collection into a new active workpad.
+func (p *Platform) ImportCollection(collectionID, owner, workpadID string) (Workpad, error) {
+	defer p.invalidate()
+	return p.store.ImportCollection(collectionID, owner, workpadID)
+}
+
+// Feed returns the user's real-time update feed (events by followees).
+func (p *Platform) Feed(userID string, limit int) []Event { return p.store.Feed(userID, limit) }
+
+// EventsByTag returns the hashtag fan-out for a tag.
+func (p *Platform) EventsByTag(tag string) []Event { return p.store.EventsByTag(tag) }
+
+// LogBrowse records a browsing event (used for activity similarity and
+// collaborative filtering).
+func (p *Platform) LogBrowse(userID, object string) error {
+	defer p.invalidate()
+	_, err := p.store.LogEvent(userID, "browse", object, nil)
+	return err
+}
+
+// --- Knowledge services (engine-backed) ---------------------------------------
+
+// Explain discovers and explains the relationship between two researchers
+// (Figure 2).
+func (p *Platform) Explain(a, b string) (Explanation, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return Explanation{}, err
+	}
+	return eng.Explain(a, b)
+}
+
+// RecommendPeers suggests up to k new peers with evidence and likely
+// sessions.
+func (p *Platform) RecommendPeers(userID string, k int) ([]PeerRecommendation, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.RecommendPeers(userID, k)
+}
+
+// SuggestSessions ranks a conference's sessions for the user.
+func (p *Platform) SuggestSessions(userID, confID string, k int) ([]SessionSuggestion, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.SuggestSessions(userID, confID, k)
+}
+
+// RecommendResources suggests documents, optionally conditioned on the
+// active workpad context.
+func (p *Platform) RecommendResources(userID string, k int, useContext bool) ([]ResourceRecommendation, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.RecommendResources(userID, k, useContext)
+}
+
+// Search runs keyword search over all content.
+func (p *Platform) Search(query string, k int) ([]SearchResult, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.Search(query, k), nil
+}
+
+// SearchWithContext runs context-aware search conditioned on the user's
+// active workpad.
+func (p *Platform) SearchWithContext(userID, query string, k int) ([]SearchResult, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.SearchWithContext(userID, query, k), nil
+}
+
+// Preview extracts the k most context-relevant snippets of a document.
+func (p *Platform) Preview(userID, docID string, k int) ([]Snippet, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.Preview(userID, docID, k)
+}
+
+// Annotate extracts key concepts of a document for automated annotation.
+func (p *Platform) Annotate(docID string, k int) ([]Keyphrase, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.Annotate(docID, k)
+}
+
+// UpdateDigest produces the size-constrained summary of the user's feed.
+func (p *Platform) UpdateDigest(userID string, budget int) (*Summary, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.UpdateDigest(userID, budget)
+}
+
+// Communities returns the discovered peer communities (user ID lists,
+// largest first).
+func (p *Platform) Communities() ([][]string, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.Communities(), nil
+}
+
+// CommunityOf returns the community containing the user.
+func (p *Platform) CommunityOf(userID string) ([]string, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.CommunityOf(userID), nil
+}
+
+// MonitorActivity runs SCENT change detection over the platform's
+// activity stream, one epoch per epochEvents events.
+func (p *Platform) MonitorActivity(epochEvents int) ([]ChangeResult, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.MonitorActivity(epochEvents)
+}
+
+// DetectOverlap reports content reuse between two indexed documents.
+func (p *Platform) DetectOverlap(docA, docB string) (resemblance, containment float64, err error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return 0, 0, err
+	}
+	return eng.DetectOverlap(docA, docB)
+}
+
+// SearchHistory searches the user's personal activity history, optionally
+// ranked by the active context (Table 1, "personal activity history
+// services").
+func (p *Platform) SearchHistory(userID, query string, useContext bool, limit int) ([]HistoryEntry, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.SearchHistory(userID, query, useContext, limit)
+}
+
+// ExplainResource explains the relationship between a user and a resource
+// (paper, presentation, session).
+func (p *Platform) ExplainResource(userID, entity string) ([]ResourceEvidence, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.ExplainResource(userID, entity)
+}
+
+// KnowledgePaths returns ranked weighted knowledge-base paths between two
+// entities (prefix IDs with "user:", "paper:" or "session:").
+func (p *Platform) KnowledgePaths(a, b string, k int) ([]KnowledgePath, error) {
+	eng, err := p.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.KnowledgePaths(a, b, k), nil
+}
