@@ -1,0 +1,33 @@
+# Local dev and CI run the exact same commands: CI jobs call these
+# targets, so a green `make ci` locally means a green pipeline.
+
+GO      ?= go
+BENCHTIME ?= 200ms
+
+.PHONY: build test race bench bench-ci fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+# Short benchmark pass for CI: one data point per benchmark, JSON
+# stream captured as BENCH_ci.json so the perf trajectory accumulates.
+bench-ci:
+	$(GO) test -json -bench=. -benchtime=$(BENCHTIME) -run='^$$' . | tee BENCH_ci.json
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt race

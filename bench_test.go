@@ -343,6 +343,88 @@ func BenchmarkE11_ConceptBootstrap(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelRebuild measures a full engine snapshot rebuild at
+// increasing builder worker counts: the speedup from fanning the layer
+// derivations (connections, coauthor, attendance, QA), the text index,
+// the concept map and the knowledge base out across goroutines.
+func BenchmarkParallelRebuild(b *testing.B) {
+	p, err := hive.Open(hive.Options{Clock: benchClock()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	ds := workload.Generate(workload.Config{Seed: 42, Users: 64})
+	if err := ds.Load(p.Store()); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			builder := &core.Builder{Store: p.Store(), Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := builder.Build(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRebuildUnderLoad measures read latency on the serving
+// snapshot while a background goroutine rebuilds and swaps snapshots
+// continuously — the zero-downtime refresh path. The read numbers show
+// what queries cost during a refresh; compare with E2 at steady state.
+func BenchmarkRebuildUnderLoad(b *testing.B) {
+	p, err := hive.Open(hive.Options{Clock: benchClock()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	ds := workload.Generate(workload.Config{Seed: 42, Users: 64})
+	if err := ds.Load(p.Store()); err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+	ids := p.Users()
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Dirty the snapshot so every refresh is a real rebuild.
+			_ = p.RegisterUser(hive.User{ID: "churn", Name: fmt.Sprintf("c%d", i)})
+			_ = p.Refresh()
+		}
+	}()
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := p.Snapshot()
+		if eng == nil {
+			b.Fatal("nil snapshot under load")
+		}
+		a := ids[rng.Intn(len(ids))]
+		c := ids[rng.Intn(len(ids))]
+		if a == c {
+			continue
+		}
+		if _, err := eng.Explain(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
 // BenchmarkE12_Snippets measures context-aware snippet extraction.
 func BenchmarkE12_Snippets(b *testing.B) {
 	p, eng := benchPlatform(b)

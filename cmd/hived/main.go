@@ -3,10 +3,17 @@
 //
 // Usage:
 //
-//	hived [-addr :8080] [-data DIR] [-seed users]
+//	hived [-addr :8080] [-data DIR] [-seed users] [-refresh 30s] [-workers N]
 //
 // With -seed N, a synthetic conference workload of N users is generated
-// and loaded at startup so the API has data to serve.
+// and loaded at startup so the API has data to serve. With -refresh D,
+// the knowledge engine is rebuilt in the background every D while data
+// changed; rebuilds fan the derivation stages out across -workers
+// goroutines and swap the snapshot atomically, so requests keep being
+// served from the previous snapshot for the whole rebuild. A rebuild can
+// also be requested over HTTP: POST /api/admin/refresh (async; add
+// ?wait=true to block until the swap), and GET /api/healthz reports the
+// serving snapshot's generation, age and staleness.
 package main
 
 import (
@@ -24,9 +31,11 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "", "storage directory (empty = in-memory)")
 	seed := flag.Int("seed", 0, "generate a synthetic workload with this many users")
+	refresh := flag.Duration("refresh", 30*time.Second, "background snapshot refresh interval (0 = disabled)")
+	workers := flag.Int("workers", 0, "engine rebuild parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	p, err := hive.Open(hive.Options{Dir: *data})
+	p, err := hive.Open(hive.Options{Dir: *data, Workers: *workers})
 	if err != nil {
 		log.Fatalf("open platform: %v", err)
 	}
@@ -40,11 +49,16 @@ func main() {
 		log.Printf("seeded %d users, %d papers, %d sessions",
 			len(ds.Users), len(ds.Papers), len(ds.Sessions))
 	}
-	start := time.Now()
 	if err := p.Refresh(); err != nil {
 		log.Fatalf("build knowledge engine: %v", err)
 	}
-	log.Printf("knowledge engine ready in %v", time.Since(start))
+	if eng := p.Snapshot(); eng != nil {
+		log.Printf("knowledge engine ready in %v (generation %d)", eng.BuildDuration(), p.Generation())
+	}
+	if *refresh > 0 {
+		p.AutoRefresh(*refresh)
+		log.Printf("auto-refresh every %v", *refresh)
+	}
 
 	log.Printf("hived listening on %s", *addr)
 	if err := http.ListenAndServe(*addr, server.New(p)); err != nil {

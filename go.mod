@@ -1,0 +1,3 @@
+module hive
+
+go 1.23

@@ -17,6 +17,7 @@
 package hive
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -102,16 +103,46 @@ type Options struct {
 	Dir string
 	// Clock overrides the time source (tests, replay). Nil = wall clock.
 	Clock func() time.Time
+	// Workers bounds the parallelism of engine rebuilds (the number of
+	// derivation stages built concurrently). Zero means GOMAXPROCS.
+	Workers int
 }
 
 // Platform is the assembled Hive instance.
+//
+// The knowledge engine is an immutable snapshot published through an
+// atomic pointer: readers load the current snapshot without locking,
+// rebuilds happen in the background (layer derivation fanned out across
+// workers) and swap the pointer only when the replacement is complete.
+// Queries therefore never observe a half-built engine, and reads keep
+// being served from the old snapshot for the entire rebuild.
 type Platform struct {
-	store *social.Store
+	store   *social.Store
+	workers int
 
-	mu     sync.RWMutex // guards engine pointer
-	engine *core.Engine
-	dirty  atomic.Bool
+	current atomic.Pointer[core.Engine] // serving snapshot (nil until first build)
+	dirty   atomic.Bool                 // store mutated since the serving snapshot was built
+	gen     atomic.Uint64               // snapshot generation, bumped on every swap
+	lastErr atomic.Pointer[refreshErr]  // outcome of the most recent rebuild
+
+	flightMu sync.Mutex // guards flight and closed
+	flight   *refreshFlight
+	closed   bool
+
+	autoMu   sync.Mutex // guards autoStop
+	autoStop chan struct{}
+	autoDone chan struct{}
 }
+
+// refreshFlight coalesces concurrent Refresh calls into one rebuild.
+type refreshFlight struct {
+	done chan struct{}
+	err  error
+}
+
+// refreshErr boxes a rebuild outcome for atomic storage (nil err on
+// success).
+type refreshErr struct{ err error }
 
 // Open creates or opens a platform.
 func Open(opts Options) (*Platform, error) {
@@ -119,42 +150,215 @@ func Open(opts Options) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Platform{store: st}
+	p := &Platform{store: st, workers: opts.Workers}
 	p.dirty.Store(true)
+	// Every store write marks the serving snapshot stale — including
+	// writes that bypass the Platform wrappers and hit Store() directly.
+	st.OnMutate(p.invalidate)
 	return p, nil
 }
 
-// Close releases the underlying storage.
-func (p *Platform) Close() error { return p.store.Close() }
+// ErrClosed is returned by refresh operations after Close.
+var ErrClosed = errors.New("hive: platform closed")
+
+// Close stops auto-refresh, waits for any in-flight rebuild and
+// releases the underlying storage. It is a quiescence point: once the
+// closed mark is set no new rebuild can start, so after Close returns
+// nothing reads the store anymore.
+func (p *Platform) Close() error {
+	p.StopAutoRefresh()
+	p.flightMu.Lock()
+	p.closed = true
+	f := p.flight
+	p.flightMu.Unlock()
+	if f != nil {
+		<-f.done
+	}
+	return p.store.Close()
+}
 
 // Store exposes the raw social store for advanced callers.
 func (p *Platform) Store() *social.Store { return p.store }
 
-// Refresh rebuilds the knowledge engine from current data. Knowledge
-// services call it automatically when data changed; explicit calls let
-// applications control when the (potentially expensive) rebuild happens.
+// Refresh rebuilds the knowledge engine from current data in the
+// calling goroutine and atomically swaps it in. Readers are never
+// blocked: they keep resolving the previous snapshot until the swap.
+// Concurrent Refresh calls coalesce into a single rebuild (all callers
+// wait for it and share its result).
 func (p *Platform) Refresh() error {
-	eng, err := core.Build(p.store)
+	f, started, err := p.beginFlight()
 	if err != nil {
 		return err
 	}
-	p.mu.Lock()
-	p.engine = eng
-	p.mu.Unlock()
+	if !started {
+		<-f.done
+		return f.err
+	}
+	return p.runFlight(f)
+}
+
+// RefreshAsync kicks a background rebuild unless one is already in
+// flight. It returns immediately; the new snapshot becomes visible
+// atomically when the rebuild completes. The flight is registered
+// before returning, so a subsequent Close waits for it.
+func (p *Platform) RefreshAsync() {
+	f, started, err := p.beginFlight()
+	if err == nil && started {
+		go func() { _ = p.runFlight(f) }()
+	}
+}
+
+// beginFlight joins the in-flight rebuild or registers a new one.
+// started reports ownership: the caller must run the build via
+// runFlight; otherwise it may wait on f.done and read f.err. After
+// Close it returns ErrClosed and no flight.
+func (p *Platform) beginFlight() (f *refreshFlight, started bool, err error) {
+	p.flightMu.Lock()
+	defer p.flightMu.Unlock()
+	if p.closed {
+		return nil, false, ErrClosed
+	}
+	if p.flight != nil {
+		return p.flight, false, nil
+	}
+	f = &refreshFlight{done: make(chan struct{})}
+	p.flight = f
+	return f, true, nil
+}
+
+// runFlight executes the owned rebuild and releases its waiters.
+func (p *Platform) runFlight(f *refreshFlight) error {
+	f.err = p.rebuild()
+	p.flightMu.Lock()
+	p.flight = nil
+	p.flightMu.Unlock()
+	close(f.done)
+	return f.err
+}
+
+// rebuild performs one snapshot build + swap. Clearing dirty *before*
+// reading the store means a write racing the build leaves the platform
+// dirty again, so the next refresh picks it up.
+func (p *Platform) rebuild() error {
 	p.dirty.Store(false)
+	eng, err := (&core.Builder{Store: p.store, Workers: p.workers}).Build()
+	p.lastErr.Store(&refreshErr{err: err})
+	if err != nil {
+		p.dirty.Store(true) // the failed build consumed the dirty mark
+		return err
+	}
+	p.current.Store(eng)
+	p.gen.Add(1)
 	return nil
 }
 
-// Engine returns a current engine snapshot, rebuilding if stale.
+// LastRefreshError returns the error of the most recent rebuild, or
+// nil if it succeeded (or none ran yet). Background rebuilds
+// (RefreshAsync, AutoRefresh) have no caller to hand their error to;
+// this — surfaced in the server's healthz — makes a persistently
+// failing refresh observable instead of silently leaving the snapshot
+// stale.
+func (p *Platform) LastRefreshError() error {
+	if box := p.lastErr.Load(); box != nil {
+		return box.err
+	}
+	return nil
+}
+
+// Engine returns a fresh engine snapshot, rebuilding first if data
+// changed since the last build (read-your-writes for library callers).
+// Serving paths that prefer availability over freshness should use
+// Snapshot instead.
 func (p *Platform) Engine() (*core.Engine, error) {
-	if p.dirty.Load() {
+	if p.dirty.Load() || p.current.Load() == nil {
 		if err := p.Refresh(); err != nil {
 			return nil, err
 		}
+		// That Refresh may have joined a rebuild that started before
+		// this caller's latest write (leaving dirty set). Any rebuild
+		// started from here on necessarily observes the write, so one
+		// more pass restores read-your-writes.
+		if p.dirty.Load() {
+			if err := p.Refresh(); err != nil {
+				return nil, err
+			}
+		}
 	}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.engine, nil
+	return p.current.Load(), nil
+}
+
+// Snapshot returns the currently serving engine snapshot without ever
+// blocking on a rebuild. It is nil until the first build completes and
+// may be stale (check Stale); it is always fully built.
+func (p *Platform) Snapshot() *core.Engine { return p.current.Load() }
+
+// Stale reports whether the store changed since the serving snapshot
+// was built.
+func (p *Platform) Stale() bool { return p.dirty.Load() }
+
+// Generation returns the number of snapshot swaps so far.
+func (p *Platform) Generation() uint64 { return p.gen.Load() }
+
+// AutoRefresh starts a background loop that rebuilds the engine every
+// interval while the snapshot is stale, keeping snapshot age bounded
+// without any rebuild cost on the read path. It replaces a previously
+// started loop; a non-positive interval just stops the current loop
+// (auto-refresh disabled). Stop it with StopAutoRefresh (Close does
+// too).
+func (p *Platform) AutoRefresh(interval time.Duration) {
+	if interval <= 0 {
+		p.StopAutoRefresh()
+		return
+	}
+	// A loop started after Close would have nothing to stop it and
+	// would tick against a closed store forever.
+	p.flightMu.Lock()
+	closed := p.closed
+	p.flightMu.Unlock()
+	if closed {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	// Atomically swap the new loop in while taking ownership of the
+	// old one, so concurrent AutoRefresh calls each stop exactly the
+	// loop they displaced and none leaks.
+	p.autoMu.Lock()
+	prevStop, prevDone := p.autoStop, p.autoDone
+	p.autoStop, p.autoDone = stop, done
+	p.autoMu.Unlock()
+	if prevStop != nil {
+		close(prevStop)
+		<-prevDone
+	}
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if p.dirty.Load() {
+					_ = p.Refresh()
+				}
+			}
+		}
+	}()
+}
+
+// StopAutoRefresh stops the AutoRefresh loop, if running, and waits for
+// it to exit.
+func (p *Platform) StopAutoRefresh() {
+	p.autoMu.Lock()
+	stop, done := p.autoStop, p.autoDone
+	p.autoStop, p.autoDone = nil, nil
+	p.autoMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
 }
 
 func (p *Platform) invalidate() { p.dirty.Store(true) }

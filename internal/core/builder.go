@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hive/internal/align"
+	"hive/internal/biblio"
+	"hive/internal/community"
+	"hive/internal/graph"
+	"hive/internal/rdf"
+	"hive/internal/social"
+	"hive/internal/textindex"
+)
+
+// Builder assembles an immutable Engine snapshot from a social store,
+// fanning the independent derivation stages out across a bounded worker
+// pool. The store is only read during Build, so a Builder can run in the
+// background while an older snapshot keeps serving queries; the caller
+// publishes the result with an atomic pointer swap (see hive.Platform).
+type Builder struct {
+	// Store is the social store to derive the snapshot from.
+	Store *social.Store
+	// Workers bounds the number of concurrently running derivation
+	// tasks. Zero or negative means GOMAXPROCS.
+	Workers int
+}
+
+// derivation stages that are independent of each other once the paper
+// corpus and user set are loaded. Each writes a disjoint set of Engine
+// fields, so they are safe to run concurrently and join before read.
+type buildTask struct {
+	name string
+	run  func(e *Engine) error
+}
+
+var buildTasks = []buildTask{
+	{"textindex", func(e *Engine) error { return e.buildTextIndex() }},
+	{"conceptmap", func(e *Engine) error { e.buildConceptMap(); return nil }},
+	{LayerConnections, func(e *Engine) error { e.connLayer = e.deriveConnectionsLayer(); return nil }},
+	{LayerCoauthor, func(e *Engine) error {
+		// The coauthor user-layer projects the bibliographic network,
+		// so both derive inside one task.
+		e.buildBibliographicLayers()
+		e.coauthLayer = e.deriveCoauthorLayer()
+		return nil
+	}},
+	{LayerAttendance, func(e *Engine) error { e.attendLayer = e.deriveAttendanceLayer(); return nil }},
+	{LayerQA, func(e *Engine) error { e.qaLayer = e.deriveQALayer(); return nil }},
+	{"knowledgebase", func(e *Engine) error { e.exportKnowledgeBase(); return nil }},
+}
+
+// Build derives the four context-network layers, the text index, the
+// concept map and the RDF knowledge base concurrently, then integrates
+// the layers and detects communities. The returned Engine is complete
+// and immutable: no goroutine mutates it after Build returns.
+func (b *Builder) Build() (*Engine, error) {
+	start := time.Now()
+	st := b.Store
+	e := &Engine{store: st, index: textindex.NewIndex(), kb: rdf.NewStore()}
+
+	// Shared inputs, gathered once up front: several stages iterate the
+	// paper corpus and the user set.
+	for _, id := range st.Papers() {
+		p, err := st.Paper(id)
+		if err != nil {
+			return nil, err
+		}
+		e.papers = append(e.papers, p)
+	}
+	e.users = st.Users()
+
+	if err := runLimited(buildTasks, e, b.workers()); err != nil {
+		return nil, err
+	}
+
+	// Integration needs all four layers; communities need the
+	// integrated peer graph. Both are join points, not fan-out stages.
+	if err := e.integrateLayers(); err != nil {
+		return nil, err
+	}
+	e.communities = community.Detect(e.peerGraph, 1)
+
+	e.builtAt = time.Now()
+	e.buildDur = e.builtAt.Sub(start)
+	return e, nil
+}
+
+func (b *Builder) workers() int {
+	if b.Workers > 0 {
+		return b.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runLimited runs the tasks across at most workers goroutines and
+// returns the first error (errgroup-style fan-out, stdlib only). A
+// panicking task is converted into an error so a background rebuild
+// can never take the serving process down.
+func runLimited(tasks []buildTask, e *Engine, workers int) error {
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	ch := make(chan buildTask)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				if err := runTask(t, e); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}
+
+func runTask(t buildTask, e *Engine) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: build stage %s panicked: %v", t.name, r)
+		}
+	}()
+	if err := t.run(e); err != nil {
+		return fmt.Errorf("core: build stage %s: %w", t.name, err)
+	}
+	return nil
+}
+
+// deriveConnectionsLayer builds the explicit-connection/follow layer.
+func (e *Engine) deriveConnectionsLayer() *graph.Graph {
+	conn := graph.New()
+	for _, u := range e.users {
+		conn.EnsureNode(u, "user")
+	}
+	for _, u := range e.users {
+		for _, o := range e.store.ConnectionsOf(u) {
+			_ = conn.AddEdge(conn.Lookup(u), conn.EnsureNode(o, "user"), "connected", 1)
+		}
+		for _, o := range e.store.Following(u) {
+			_ = conn.AddEdge(conn.Lookup(u), conn.EnsureNode(o, "user"), "follows", 0.5)
+		}
+	}
+	return conn
+}
+
+// deriveCoauthorLayer projects the bibliographic coauthor network onto
+// the user layer. Requires e.coauthorNet (buildBibliographicLayers).
+func (e *Engine) deriveCoauthorLayer() *graph.Graph {
+	coauth := graph.New()
+	for _, u := range e.users {
+		coauth.EnsureNode(u, "user")
+	}
+	e.coauthorNet.Nodes(func(n graph.Node) bool {
+		from := coauth.EnsureNode(n.Key, "user")
+		for _, ed := range e.coauthorNet.Out(n.ID) {
+			toNode, err := e.coauthorNet.Node(ed.To)
+			if err != nil {
+				continue
+			}
+			_ = coauth.AddEdge(from, coauth.EnsureNode(toNode.Key, "user"), biblio.EdgeCoauthor, ed.Weight)
+		}
+		return true
+	})
+	return coauth
+}
+
+// deriveAttendanceLayer links users who checked into the same session.
+func (e *Engine) deriveAttendanceLayer() *graph.Graph {
+	attend := graph.New()
+	for _, u := range e.users {
+		attend.EnsureNode(u, "user")
+	}
+	for _, conf := range e.store.Conferences() {
+		for _, sess := range e.store.SessionsOf(conf) {
+			att := e.store.Attendees(sess)
+			for i := 0; i < len(att); i++ {
+				for j := i + 1; j < len(att); j++ {
+					a := attend.EnsureNode(att[i], "user")
+					b := attend.EnsureNode(att[j], "user")
+					_ = attend.AddUndirected(a, b, "co-attends", 1)
+				}
+			}
+		}
+	}
+	return attend
+}
+
+// deriveQALayer links question askers with answerers and entity owners.
+func (e *Engine) deriveQALayer() *graph.Graph {
+	qa := graph.New()
+	for _, u := range e.users {
+		qa.EnsureNode(u, "user")
+	}
+	for _, u := range e.users {
+		for _, qID := range e.store.QuestionsBy(u) {
+			q, err := e.store.Question(qID)
+			if err != nil {
+				continue
+			}
+			// Question author relates to the target's owners/authors.
+			for _, owner := range e.ownersOf(q.Target) {
+				if owner == u {
+					continue
+				}
+				_ = qa.AddUndirected(qa.Lookup(u), qa.EnsureNode(owner, "user"), "qa", 1)
+			}
+			// Answer authors relate back to the asker.
+			for _, aID := range e.store.AnswersTo(qID) {
+				a, err := e.store.Answer(aID)
+				if err != nil || a.Author == u {
+					continue
+				}
+				_ = qa.AddUndirected(qa.Lookup(u), qa.EnsureNode(a.Author, "user"), "qa", 1)
+			}
+		}
+	}
+	return qa
+}
+
+// integrateLayers aligns and merges the four evidence layers into the
+// integrated context network (paper §2.2). All layers share user IDs as
+// node keys, so alignment resolves them exactly; the machinery still
+// scores and merges them as in the general imprecise case.
+func (e *Engine) integrateLayers() error {
+	e.layers = []*align.Layer{
+		{Name: LayerConnections, Trust: 1.0, G: e.connLayer},
+		{Name: LayerCoauthor, Trust: 0.9, G: e.coauthLayer},
+		{Name: LayerAttendance, Trust: 0.6, G: e.attendLayer},
+		{Name: LayerQA, Trust: 0.7, G: e.qaLayer},
+	}
+	in, err := align.Integrate(e.layers, align.Options{})
+	if err != nil {
+		return err
+	}
+	e.integrated = in
+	e.peerGraph = in.G
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"hive/internal/align"
 	"hive/internal/biblio"
@@ -42,19 +43,31 @@ const (
 	LayerQA          = "qa"
 )
 
-// Engine is the assembled knowledge middleware. Build it once from a
-// social store; rebuild after bulk data changes (the paper's deployment
-// refreshed knowledge structures periodically).
+// Engine is the assembled knowledge middleware: an immutable snapshot of
+// every derived knowledge structure. A Builder produces it (fanning the
+// derivation stages out across workers); after Build returns, nothing
+// mutates the Engine, so any number of goroutines can serve queries from
+// it while a replacement snapshot is built in the background and swapped
+// in atomically (the paper's deployment refreshed knowledge structures
+// periodically and offline; hive.Platform does it with zero downtime).
 type Engine struct {
 	store *social.Store
 
 	index    *textindex.Index
 	concepts *conceptmap.Map
 
-	papers      []social.Paper
+	papers []social.Paper
+	users  []string
+
 	coauthorNet *graph.Graph
 	citationNet *graph.Graph
 	litNet      *graph.Graph // bipartite author/paper graph
+
+	// Per-evidence user layers, derived concurrently then integrated.
+	connLayer   *graph.Graph
+	coauthLayer *graph.Graph
+	attendLayer *graph.Graph
+	qaLayer     *graph.Graph
 
 	layers     []*align.Layer
 	integrated *align.Integrated
@@ -63,33 +76,22 @@ type Engine struct {
 	kb *rdf.Store // weighted RDF export of all layers (R2DB)
 
 	communities []community.Community
+
+	builtAt  time.Time
+	buildDur time.Duration
 }
 
-// Build assembles the engine from a social store.
+// Build assembles an engine snapshot from a social store with default
+// parallelism. It is shorthand for (&Builder{Store: st}).Build().
 func Build(st *social.Store) (*Engine, error) {
-	e := &Engine{store: st, index: textindex.NewIndex(), kb: rdf.NewStore()}
-
-	// Gather papers once; several layers derive from them.
-	for _, id := range st.Papers() {
-		p, err := st.Paper(id)
-		if err != nil {
-			return nil, err
-		}
-		e.papers = append(e.papers, p)
-	}
-
-	if err := e.buildTextIndex(); err != nil {
-		return nil, err
-	}
-	e.buildConceptMap()
-	e.buildBibliographicLayers()
-	if err := e.buildIntegratedNetwork(); err != nil {
-		return nil, err
-	}
-	e.exportKnowledgeBase()
-	e.communities = community.Detect(e.peerGraph, 1)
-	return e, nil
+	return (&Builder{Store: st}).Build()
 }
+
+// BuiltAt reports when this snapshot finished building.
+func (e *Engine) BuiltAt() time.Time { return e.builtAt }
+
+// BuildDuration reports how long this snapshot took to build.
+func (e *Engine) BuildDuration() time.Duration { return e.buildDur }
 
 // Store exposes the underlying social store.
 func (e *Engine) Store() *social.Store { return e.store }
@@ -110,7 +112,7 @@ func (e *Engine) buildTextIndex() error {
 	for _, p := range e.papers {
 		e.index.Add(DocPaper+p.ID, p.Title+". "+p.Abstract)
 	}
-	for _, u := range e.store.Users() {
+	for _, u := range e.users {
 		for _, prID := range e.store.PresentationsOfUser(u) {
 			pr, err := e.store.Presentation(prID)
 			if err != nil {
@@ -145,102 +147,6 @@ func (e *Engine) buildBibliographicLayers() {
 	e.coauthorNet = biblio.CoauthorNetwork(e.papers)
 	e.citationNet = biblio.CitationGraph(e.papers)
 	e.litNet = biblio.AuthorPaperGraph(e.papers)
-}
-
-// buildIntegratedNetwork constructs the user-level evidence layers and
-// integrates them (paper §2.2). All layers share user IDs as node keys,
-// so alignment resolves them exactly; the machinery still scores and
-// merges them as in the general imprecise case.
-func (e *Engine) buildIntegratedNetwork() error {
-	users := e.store.Users()
-
-	conn := graph.New()
-	for _, u := range users {
-		conn.EnsureNode(u, "user")
-	}
-	for _, u := range users {
-		for _, o := range e.store.ConnectionsOf(u) {
-			_ = conn.AddEdge(conn.Lookup(u), conn.EnsureNode(o, "user"), "connected", 1)
-		}
-		for _, o := range e.store.Following(u) {
-			_ = conn.AddEdge(conn.Lookup(u), conn.EnsureNode(o, "user"), "follows", 0.5)
-		}
-	}
-
-	coauth := graph.New()
-	for _, u := range users {
-		coauth.EnsureNode(u, "user")
-	}
-	e.coauthorNet.Nodes(func(n graph.Node) bool {
-		from := coauth.EnsureNode(n.Key, "user")
-		for _, ed := range e.coauthorNet.Out(n.ID) {
-			toNode, err := e.coauthorNet.Node(ed.To)
-			if err != nil {
-				continue
-			}
-			_ = coauth.AddEdge(from, coauth.EnsureNode(toNode.Key, "user"), biblio.EdgeCoauthor, ed.Weight)
-		}
-		return true
-	})
-
-	attend := graph.New()
-	for _, u := range users {
-		attend.EnsureNode(u, "user")
-	}
-	for _, conf := range e.store.Conferences() {
-		for _, sess := range e.store.SessionsOf(conf) {
-			att := e.store.Attendees(sess)
-			for i := 0; i < len(att); i++ {
-				for j := i + 1; j < len(att); j++ {
-					a := attend.EnsureNode(att[i], "user")
-					b := attend.EnsureNode(att[j], "user")
-					_ = attend.AddUndirected(a, b, "co-attends", 1)
-				}
-			}
-		}
-	}
-
-	qa := graph.New()
-	for _, u := range users {
-		qa.EnsureNode(u, "user")
-	}
-	for _, u := range users {
-		for _, qID := range e.store.QuestionsBy(u) {
-			q, err := e.store.Question(qID)
-			if err != nil {
-				continue
-			}
-			// Question author relates to the target's owners/authors.
-			for _, owner := range e.ownersOf(q.Target) {
-				if owner == u {
-					continue
-				}
-				_ = qa.AddUndirected(qa.Lookup(u), qa.EnsureNode(owner, "user"), "qa", 1)
-			}
-			// Answer authors relate back to the asker.
-			for _, aID := range e.store.AnswersTo(qID) {
-				a, err := e.store.Answer(aID)
-				if err != nil || a.Author == u {
-					continue
-				}
-				_ = qa.AddUndirected(qa.Lookup(u), qa.EnsureNode(a.Author, "user"), "qa", 1)
-			}
-		}
-	}
-
-	e.layers = []*align.Layer{
-		{Name: LayerConnections, Trust: 1.0, G: conn},
-		{Name: LayerCoauthor, Trust: 0.9, G: coauth},
-		{Name: LayerAttendance, Trust: 0.6, G: attend},
-		{Name: LayerQA, Trust: 0.7, G: qa},
-	}
-	in, err := align.Integrate(e.layers, align.Options{})
-	if err != nil {
-		return err
-	}
-	e.integrated = in
-	e.peerGraph = in.G
-	return nil
 }
 
 // Layers exposes the evidence layers (for alignment experiments).
@@ -281,7 +187,7 @@ func (e *Engine) exportKnowledgeBase() {
 			_ = e.kb.Add(rdf.Triple{Subject: "paper:" + p.ID, Predicate: "presentedIn", Object: "session:" + p.SessionID, Weight: 1})
 		}
 	}
-	for _, u := range e.store.Users() {
+	for _, u := range e.users {
 		for _, o := range e.store.ConnectionsOf(u) {
 			_ = e.kb.Add(rdf.Triple{Subject: "user:" + u, Predicate: "connected", Object: "user:" + o, Weight: 1})
 		}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hive"
+	"hive/internal/workload"
+)
+
+func newLoadedServer(t *testing.T, users int) (*httptest.Server, *hive.Platform) {
+	t.Helper()
+	p, err := hive.Open(hive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := workload.Generate(workload.Config{Seed: 42, Users: users})
+	if err := ds.Load(p.Store()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(p))
+	t.Cleanup(func() {
+		ts.Close()
+		p.Close()
+	})
+	return ts, p
+}
+
+// TestRefreshUnderLoad hammers read endpoints from many goroutines
+// while the engine is rebuilt in a loop, interleaved with writes that
+// keep marking the snapshot stale. Every read must succeed (no 5xx) —
+// reads are served from the previous snapshot for the entire rebuild —
+// and the serving snapshot must never be nil or half-built. Run under
+// -race this also proves the swap is data-race free.
+func TestRefreshUnderLoad(t *testing.T) {
+	ts, p := newLoadedServer(t, 16)
+	uid := p.Users()[0]
+
+	paths := []string{
+		"/api/search?q=graph&k=3&user=" + uid,
+		"/api/users/" + uid + "/recommendations/peers?k=3",
+		"/api/relationship?a=" + p.Users()[0] + "&b=" + p.Users()[1],
+		"/api/communities",
+		"/api/healthz",
+	}
+
+	stop := make(chan struct{})
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				url := ts.URL + paths[(r+i)%len(paths)]
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Errorf("GET %s: %v", url, err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode >= 500 {
+					t.Errorf("GET %s: status %d", url, resp.StatusCode)
+					return
+				}
+				reads.Add(1)
+			}
+		}(r)
+	}
+
+	// Rebuild loop: each iteration writes (marking the snapshot stale)
+	// and refreshes, swapping a new snapshot in under the readers.
+	for i := 0; i < 4; i++ {
+		if err := p.RegisterUser(hive.User{ID: fmt.Sprintf("burst%d", i), Name: "B"}); err != nil {
+			t.Fatal(err)
+		}
+		if p.Snapshot() == nil {
+			t.Fatal("nil snapshot while rebuilding")
+		}
+		if err := p.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if reads.Load() == 0 {
+		t.Fatal("no reads completed during the rebuild loop")
+	}
+}
+
+// TestAdminRefreshEndpoint covers the async admin trigger and its
+// synchronous ?wait=true form.
+func TestAdminRefreshEndpoint(t *testing.T) {
+	ts, p := newLoadedServer(t, 8)
+	gen := p.Generation()
+
+	// Mark stale, then trigger an async rebuild: 202 immediately.
+	if err := p.RegisterUser(hive.User{ID: "async", Name: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/api/admin/refresh", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async refresh status = %d, want 202", resp.StatusCode)
+	}
+
+	// The synchronous form blocks until the swap is live.
+	resp, err = http.Post(ts.URL+"/api/admin/refresh?wait=true", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync refresh status = %d, want 200", resp.StatusCode)
+	}
+	if p.Generation() == gen {
+		t.Fatal("generation did not advance after admin refresh")
+	}
+	if p.Stale() {
+		t.Fatal("snapshot still stale after sync admin refresh")
+	}
+}

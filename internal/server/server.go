@@ -12,6 +12,8 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"hive"
 	"hive/internal/core"
@@ -19,10 +21,18 @@ import (
 	"hive/internal/textindex"
 )
 
+// minRevalidateInterval bounds how often stale reads may trigger a
+// background rebuild: under sustained write+read traffic, rebuilds
+// would otherwise run back-to-back and pin cores (each write re-dirties
+// the snapshot, each read would kick a new refresh).
+const minRevalidateInterval = time.Second
+
 // Server routes HTTP requests to a Platform.
 type Server struct {
 	p   *hive.Platform
 	mux *http.ServeMux
+
+	lastReval atomic.Int64 // unix nanos of the last read-triggered refresh kick
 }
 
 // New builds a server around a platform.
@@ -35,11 +45,37 @@ func New(p *hive.Platform) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// engine resolves the serving snapshot without ever blocking reads on a
+// rebuild: the current snapshot is served as-is, and when it is stale a
+// background refresh is kicked so a later request observes fresh data
+// (stale-while-revalidate). Only the very first request — before any
+// snapshot exists — builds synchronously.
+func (s *Server) engine() (*core.Engine, error) {
+	if eng := s.p.Snapshot(); eng != nil {
+		if s.p.Stale() {
+			s.maybeRevalidate()
+		}
+		return eng, nil
+	}
+	return s.p.Engine()
+}
+
+// maybeRevalidate kicks a background refresh at most once per
+// minRevalidateInterval (the CAS makes one winner per window).
+func (s *Server) maybeRevalidate() {
+	now := time.Now().UnixNano()
+	last := s.lastReval.Load()
+	if now-last < int64(minRevalidateInterval) {
+		return
+	}
+	if s.lastReval.CompareAndSwap(last, now) {
+		s.p.RefreshAsync()
+	}
+}
+
 func (s *Server) routes() {
 	m := s.mux
-	m.HandleFunc("GET /api/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	m.HandleFunc("GET /api/healthz", s.getHealthz)
 
 	m.HandleFunc("POST /api/users", jsonIn(s.postUser))
 	m.HandleFunc("GET /api/users/{id}", s.getUser)
@@ -75,13 +111,53 @@ func (s *Server) routes() {
 	m.HandleFunc("GET /api/users/{id}/history", s.getHistory)
 	m.HandleFunc("GET /api/users/{id}/resource-relationship", s.getResourceRelationship)
 	m.HandleFunc("GET /api/knowledge/paths", s.getKnowledgePaths)
-	m.HandleFunc("POST /api/refresh", func(w http.ResponseWriter, r *http.Request) {
-		if err := s.p.Refresh(); err != nil {
-			writeErr(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "refreshed"})
-	})
+	m.HandleFunc("POST /api/refresh", s.postRefreshSync) // legacy synchronous alias
+	m.HandleFunc("POST /api/admin/refresh", s.postAdminRefresh)
+}
+
+// getHealthz reports liveness plus snapshot freshness: the snapshot
+// generation, when it was built, how long the build took, its age, and
+// whether data changed since (stale). Reads are served from the swapped
+// snapshot, so "stale: true" means a rebuild is due, not an outage.
+func (s *Server) getHealthz(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{
+		"status":     "ok",
+		"generation": s.p.Generation(),
+		"stale":      s.p.Stale(),
+		"snapshot":   false,
+	}
+	if eng := s.p.Snapshot(); eng != nil {
+		out["snapshot"] = true
+		out["built_at"] = eng.BuiltAt().UTC().Format(time.RFC3339Nano)
+		out["build_ms"] = eng.BuildDuration().Milliseconds()
+		out["age_ms"] = time.Since(eng.BuiltAt()).Milliseconds()
+	}
+	if err := s.p.LastRefreshError(); err != nil {
+		out["last_refresh_error"] = err.Error()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// postRefreshSync rebuilds in the request goroutine and returns when
+// the new snapshot is live.
+func (s *Server) postRefreshSync(w http.ResponseWriter, r *http.Request) {
+	if err := s.p.Refresh(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "refreshed"})
+}
+
+// postAdminRefresh triggers a background rebuild and returns 202
+// immediately; with ?wait=true it blocks until the swap like the legacy
+// endpoint. Reads keep being served from the old snapshot either way.
+func (s *Server) postAdminRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("wait") == "true" {
+		s.postRefreshSync(w, r)
+		return
+	}
+	s.p.RefreshAsync()
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "refresh scheduled"})
 }
 
 // jsonIn adapts a typed JSON handler.
@@ -178,8 +254,13 @@ func (s *Server) getTagEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) getRelationship(w http.ResponseWriter, r *http.Request) {
+	eng, err := s.engine()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
-	ex, err := s.p.Explain(a, b)
+	ex, err := eng.Explain(a, b)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -188,7 +269,12 @@ func (s *Server) getRelationship(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) getPeerRecs(w http.ResponseWriter, r *http.Request) {
-	recs, err := s.p.RecommendPeers(r.PathValue("id"), intParam(r, "k", 5))
+	eng, err := s.engine()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	recs, err := eng.RecommendPeers(r.PathValue("id"), intParam(r, "k", 5))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -197,8 +283,13 @@ func (s *Server) getPeerRecs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) getResourceRecs(w http.ResponseWriter, r *http.Request) {
+	eng, err := s.engine()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	useCtx := r.URL.Query().Get("context") != "false"
-	recs, err := s.p.RecommendResources(r.PathValue("id"), intParam(r, "k", 5), useCtx)
+	recs, err := eng.RecommendResources(r.PathValue("id"), intParam(r, "k", 5), useCtx)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -207,8 +298,13 @@ func (s *Server) getResourceRecs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) getSessionSuggestions(w http.ResponseWriter, r *http.Request) {
+	eng, err := s.engine()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	conf := r.URL.Query().Get("conf")
-	sugg, err := s.p.SuggestSessions(r.PathValue("id"), conf, intParam(r, "k", 5))
+	sugg, err := eng.SuggestSessions(r.PathValue("id"), conf, intParam(r, "k", 5))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -217,29 +313,32 @@ func (s *Server) getSessionSuggestions(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) getSearch(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query().Get("q")
-	k := intParam(r, "k", 10)
-	user := r.URL.Query().Get("user")
-	var (
-		res []hive.SearchResult
-		err error
-	)
-	if user != "" {
-		res, err = s.p.SearchWithContext(user, q, k)
-	} else {
-		res, err = s.p.Search(q, k)
-	}
+	eng, err := s.engine()
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	q := r.URL.Query().Get("q")
+	k := intParam(r, "k", 10)
+	user := r.URL.Query().Get("user")
+	var res []hive.SearchResult
+	if user != "" {
+		res = eng.SearchWithContext(user, q, k)
+	} else {
+		res = eng.Search(q, k)
 	}
 	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) getPreview(w http.ResponseWriter, r *http.Request) {
+	eng, err := s.engine()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	user := r.URL.Query().Get("user")
 	doc := r.URL.Query().Get("doc")
-	snips, err := s.p.Preview(user, doc, intParam(r, "k", 3))
+	snips, err := eng.Preview(user, doc, intParam(r, "k", 3))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -248,7 +347,12 @@ func (s *Server) getPreview(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) getDigest(w http.ResponseWriter, r *http.Request) {
-	sum, err := s.p.UpdateDigest(r.PathValue("id"), intParam(r, "budget", 5))
+	eng, err := s.engine()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	sum, err := eng.UpdateDigest(r.PathValue("id"), intParam(r, "budget", 5))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -257,18 +361,23 @@ func (s *Server) getDigest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) getCommunities(w http.ResponseWriter, r *http.Request) {
-	comms, err := s.p.Communities()
+	eng, err := s.engine()
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, comms)
+	writeJSON(w, http.StatusOK, eng.Communities())
 }
 
 func (s *Server) getHistory(w http.ResponseWriter, r *http.Request) {
+	eng, err := s.engine()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	q := r.URL.Query().Get("q")
 	useCtx := r.URL.Query().Get("context") == "true"
-	hits, err := s.p.SearchHistory(r.PathValue("id"), q, useCtx, intParam(r, "limit", 50))
+	hits, err := eng.SearchHistory(r.PathValue("id"), q, useCtx, intParam(r, "limit", 50))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -277,8 +386,13 @@ func (s *Server) getHistory(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) getResourceRelationship(w http.ResponseWriter, r *http.Request) {
+	eng, err := s.engine()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
 	entity := r.URL.Query().Get("entity")
-	evs, err := s.p.ExplainResource(r.PathValue("id"), entity)
+	evs, err := eng.ExplainResource(r.PathValue("id"), entity)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -287,13 +401,13 @@ func (s *Server) getResourceRelationship(w http.ResponseWriter, r *http.Request)
 }
 
 func (s *Server) getKnowledgePaths(w http.ResponseWriter, r *http.Request) {
-	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
-	paths, err := s.p.KnowledgePaths(a, b, intParam(r, "k", 3))
+	eng, err := s.engine()
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, paths)
+	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	writeJSON(w, http.StatusOK, eng.KnowledgePaths(a, b, intParam(r, "k", 3)))
 }
 
 func intParam(r *http.Request, name string, def int) int {

@@ -93,13 +93,31 @@ func seedViaAPI(t *testing.T, ts *httptest.Server) {
 }
 
 func TestHealthz(t *testing.T) {
-	ts, _ := newTestServer(t)
-	var out map[string]string
+	ts, p := newTestServer(t)
+	var out map[string]any
 	if code := get(t, ts, "/api/healthz", &out); code != http.StatusOK {
 		t.Fatalf("code = %d", code)
 	}
 	if out["status"] != "ok" {
 		t.Fatalf("body = %v", out)
+	}
+	// No snapshot has been built yet: healthz must say so, not block.
+	if out["snapshot"] != false || out["stale"] != true {
+		t.Fatalf("pre-build healthz = %v", out)
+	}
+	if err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if code := get(t, ts, "/api/healthz", &out); code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if out["snapshot"] != true || out["stale"] != false || out["generation"] != float64(1) {
+		t.Fatalf("post-build healthz = %v", out)
+	}
+	for _, key := range []string{"built_at", "build_ms", "age_ms"} {
+		if _, ok := out[key]; !ok {
+			t.Fatalf("healthz missing %q: %v", key, out)
+		}
 	}
 }
 

@@ -41,7 +41,7 @@ func (s *Store) Connect(a, b string) error {
 		return err
 	}
 	_, err := s.LogEvent(a, "connect", b, nil)
-	return err
+	return s.done(err)
 }
 
 // Connected reports whether two users are connected.
@@ -73,7 +73,7 @@ func (s *Store) Follow(follower, followee string) error {
 		return err
 	}
 	_, err := s.LogEvent(follower, "follow", followee, nil)
-	return err
+	return s.done(err)
 }
 
 // Unfollow removes a follow edge.
@@ -81,7 +81,7 @@ func (s *Store) Unfollow(follower, followee string) error {
 	batch := kvstore.NewBatch().
 		Delete(pFollow + follower + "/" + followee).
 		Delete(pFollower + followee + "/" + follower)
-	return s.kv.Apply(batch)
+	return s.done(s.kv.Apply(batch))
 }
 
 // FollowsUser reports whether follower follows followee.
@@ -114,17 +114,17 @@ func (s *Store) CheckIn(sessionID, userID string) error {
 	}
 	ci := CheckIn{SessionID: sessionID, UserID: userID, At: s.now().Unix()}
 	if err := s.putJSON(pCheckin+sessionID+"/"+userID, ci); err != nil {
-		return err
+		return s.done(err)
 	}
 	if err := s.kv.Put(pCheckinU+userID+"/"+sessionID, nil); err != nil {
-		return err
+		return s.done(err)
 	}
 	var tags []string
 	if sess.Hashtag != "" {
 		tags = []string{sess.Hashtag}
 	}
 	_, err = s.LogEvent(userID, "checkin", sessionID, tags)
-	return err
+	return s.done(err)
 }
 
 // Attendees returns the user IDs checked into a session.
@@ -151,16 +151,16 @@ func (s *Store) AskQuestion(q Question) error {
 		q.At = s.now().Unix()
 	}
 	if err := s.putJSON(pQuestion+q.ID, q); err != nil {
-		return err
+		return s.done(err)
 	}
 	b := kvstore.NewBatch().
 		Put(pQTarget+q.Target+"/"+q.ID, nil).
 		Put(pQAuthor+q.Author+"/"+q.ID, nil)
 	if err := s.kv.Apply(b); err != nil {
-		return err
+		return s.done(err)
 	}
 	_, err := s.LogEvent(q.Author, "question", q.Target, s.tagsForTarget(q.Target))
-	return err
+	return s.done(err)
 }
 
 // Question fetches a question by ID.
@@ -195,13 +195,13 @@ func (s *Store) PostAnswer(a Answer) error {
 		a.At = s.now().Unix()
 	}
 	if err := s.putJSON(pAnswer+a.ID, a); err != nil {
-		return err
+		return s.done(err)
 	}
 	if err := s.kv.Put(pAQuestion+a.QuestionID+"/"+a.ID, nil); err != nil {
-		return err
+		return s.done(err)
 	}
 	_, err := s.LogEvent(a.Author, "answer", a.QuestionID, nil)
-	return err
+	return s.done(err)
 }
 
 // Answer fetches an answer by ID.
@@ -228,13 +228,13 @@ func (s *Store) PostComment(c Comment) error {
 		c.At = s.now().Unix()
 	}
 	if err := s.putJSON(pComment+c.ID, c); err != nil {
-		return err
+		return s.done(err)
 	}
 	if err := s.kv.Put(pCTarget+c.Target+"/"+c.ID, nil); err != nil {
-		return err
+		return s.done(err)
 	}
 	_, err := s.LogEvent(c.Author, "comment", c.Target, s.tagsForTarget(c.Target))
-	return err
+	return s.done(err)
 }
 
 // Comment fetches a comment by ID.
@@ -274,9 +274,9 @@ func (s *Store) PutWorkpad(w Workpad) error {
 		return fmt.Errorf("%w: user %q", ErrNotFound, w.Owner)
 	}
 	if err := s.putJSON(pWorkpad+w.ID, w); err != nil {
-		return err
+		return s.done(err)
 	}
-	return s.kv.Put(pWPOwner+w.Owner+"/"+w.ID, nil)
+	return s.done(s.kv.Put(pWPOwner+w.Owner+"/"+w.ID, nil))
 }
 
 // Workpad fetches a workpad by ID.
@@ -303,7 +303,7 @@ func (s *Store) AddToWorkpad(workpadID string, item WorkpadItem) error {
 		}
 	}
 	w.Items = append(w.Items, item)
-	return s.putJSON(pWorkpad+w.ID, w)
+	return s.done(s.putJSON(pWorkpad+w.ID, w))
 }
 
 // RemoveFromWorkpad removes an item from a workpad.
@@ -315,7 +315,7 @@ func (s *Store) RemoveFromWorkpad(workpadID string, item WorkpadItem) error {
 	for i, it := range w.Items {
 		if it == item {
 			w.Items = append(w.Items[:i], w.Items[i+1:]...)
-			return s.putJSON(pWorkpad+w.ID, w)
+			return s.done(s.putJSON(pWorkpad+w.ID, w))
 		}
 	}
 	return nil
@@ -331,7 +331,7 @@ func (s *Store) SetActiveWorkpad(owner, workpadID string) error {
 	if w.Owner != owner {
 		return fmt.Errorf("%w: workpad %q not owned by %q", ErrInvalid, workpadID, owner)
 	}
-	return s.kv.Put(pWPActive+owner, []byte(workpadID))
+	return s.done(s.kv.Put(pWPActive+owner, []byte(workpadID)))
 }
 
 // ActiveWorkpad returns the user's active workpad, or ErrNotFound when no
@@ -357,8 +357,9 @@ func (s *Store) ExportCollection(workpadID, collectionID string) (Collection, er
 		Items: append([]WorkpadItem(nil), w.Items...),
 	}
 	if err := s.putJSON(pCollection+c.ID, c); err != nil {
-		return Collection{}, err
+		return Collection{}, s.done(err)
 	}
+	s.touch()
 	return c, nil
 }
 
@@ -402,15 +403,16 @@ func (s *Store) LogEvent(actor, verb, object string, tags []string) (uint64, err
 	}
 	ev := Event{Seq: seq, At: s.now().Unix(), Actor: actor, Verb: verb, Object: object, Tags: tags}
 	if err := s.putJSON(pEvent+seqKey(seq), ev); err != nil {
-		return 0, err
+		return 0, s.done(err)
 	}
 	b := kvstore.NewBatch().Put(pEvActor+actor+"/"+seqKey(seq), nil)
 	for _, t := range tags {
 		b.Put(pEvTag+strings.ToLower(t)+"/"+seqKey(seq), nil)
 	}
 	if err := s.kv.Apply(b); err != nil {
-		return 0, err
+		return 0, s.done(err)
 	}
+	s.touch()
 	return seq, nil
 }
 

@@ -64,6 +64,40 @@ type Store struct {
 
 	mu  sync.Mutex // guards seq allocation
 	seq uint64
+
+	hookMu sync.RWMutex // guards hooks
+	hooks  []func()
+}
+
+// OnMutate registers a hook invoked after every successful mutation.
+// The platform uses it for dirty tracking: any write — including one
+// that bypasses the Platform wrappers and hits the store directly —
+// marks the knowledge-engine snapshot stale. Hooks must be fast and
+// must not call back into the store.
+func (s *Store) OnMutate(fn func()) {
+	s.hookMu.Lock()
+	s.hooks = append(s.hooks, fn)
+	s.hookMu.Unlock()
+}
+
+// touch notifies the registered mutation hooks.
+func (s *Store) touch() {
+	s.hookMu.RLock()
+	hooks := s.hooks
+	s.hookMu.RUnlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}
+
+// done marks a mutation attempt complete and passes the error through.
+// Hooks fire even on error: multi-step mutators may have persisted
+// earlier writes before a later step failed, and a spurious dirty mark
+// only costs one extra rebuild, whereas a missed one hides persisted
+// data from the knowledge services indefinitely.
+func (s *Store) done(err error) error {
+	s.touch()
+	return err
 }
 
 // NewStore wraps a kvstore. A nil clock uses the system clock.
@@ -139,7 +173,7 @@ func (s *Store) PutUser(u User) error {
 	if u.ID == "" {
 		return fmt.Errorf("%w: user ID empty", ErrInvalid)
 	}
-	return s.putJSON(pUser+u.ID, u)
+	return s.done(s.putJSON(pUser+u.ID, u))
 }
 
 // User fetches a user by ID.
@@ -162,7 +196,7 @@ func (s *Store) PutConference(c Conference) error {
 	if c.ID == "" {
 		return fmt.Errorf("%w: conference ID empty", ErrInvalid)
 	}
-	return s.putJSON(pConf+c.ID, c)
+	return s.done(s.putJSON(pConf+c.ID, c))
 }
 
 // Conference fetches a conference by ID.
@@ -184,9 +218,9 @@ func (s *Store) PutSession(sess Session) error {
 		return fmt.Errorf("%w: conference %q", ErrNotFound, sess.ConferenceID)
 	}
 	if err := s.putJSON(pSession+sess.ID, sess); err != nil {
-		return err
+		return s.done(err)
 	}
-	return s.kv.Put(pSessConf+sess.ConferenceID+"/"+sess.ID, nil)
+	return s.done(s.kv.Put(pSessConf+sess.ConferenceID+"/"+sess.ID, nil))
 }
 
 // Session fetches a session by ID.
@@ -217,7 +251,7 @@ func (s *Store) PutPaper(p Paper) error {
 		}
 	}
 	if err := s.putJSON(pPaper+p.ID, p); err != nil {
-		return err
+		return s.done(err)
 	}
 	b := kvstore.NewBatch()
 	if p.ConferenceID != "" {
@@ -229,7 +263,7 @@ func (s *Store) PutPaper(p Paper) error {
 	for _, a := range p.Authors {
 		b.Put(pPaperAuth+a+"/"+p.ID, nil)
 	}
-	return s.kv.Apply(b)
+	return s.done(s.kv.Apply(b))
 }
 
 // Paper fetches a paper by ID.
@@ -273,12 +307,12 @@ func (s *Store) PutPresentation(pr Presentation) error {
 		pr.Updated = s.now().Unix()
 	}
 	if err := s.putJSON(pPres+pr.ID, pr); err != nil {
-		return err
+		return s.done(err)
 	}
 	b := kvstore.NewBatch().
 		Put(pPresPaper+pr.PaperID+"/"+pr.ID, nil).
 		Put(pPresOwner+pr.Owner+"/"+pr.ID, nil)
-	return s.kv.Apply(b)
+	return s.done(s.kv.Apply(b))
 }
 
 // Presentation fetches presentation content by ID.

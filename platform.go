@@ -1,11 +1,12 @@
 package hive
 
-// Mutation API: thin wrappers over the social store that invalidate the
-// knowledge engine snapshot.
+// Mutation API: thin wrappers over the social store. Dirty tracking is
+// handled by the store's OnMutate hook (registered in Open), so every
+// write — through these wrappers or directly against Store() — marks
+// the knowledge-engine snapshot stale.
 
 // RegisterUser creates or updates a researcher profile.
 func (p *Platform) RegisterUser(u User) error {
-	defer p.invalidate()
 	return p.store.PutUser(u)
 }
 
@@ -17,26 +18,22 @@ func (p *Platform) Users() []string { return p.store.Users() }
 
 // CreateConference registers a conference edition.
 func (p *Platform) CreateConference(c Conference) error {
-	defer p.invalidate()
 	return p.store.PutConference(c)
 }
 
 // CreateSession registers a session within a conference.
 func (p *Platform) CreateSession(s Session) error {
-	defer p.invalidate()
 	return p.store.PutSession(s)
 }
 
 // PublishPaper registers a paper with its authors and citations.
 func (p *Platform) PublishPaper(pa Paper) error {
-	defer p.invalidate()
 	return p.store.PutPaper(pa)
 }
 
 // UploadPresentation attaches slide content to a paper (the §1.1 "uploads
 // his presentation slides" step).
 func (p *Platform) UploadPresentation(pr Presentation) error {
-	defer p.invalidate()
 	if err := p.store.PutPresentation(pr); err != nil {
 		return err
 	}
@@ -46,7 +43,6 @@ func (p *Platform) UploadPresentation(pr Presentation) error {
 
 // Connect establishes a mutual connection between two researchers.
 func (p *Platform) Connect(a, b string) error {
-	defer p.invalidate()
 	return p.store.Connect(a, b)
 }
 
@@ -55,20 +51,17 @@ func (p *Platform) Connected(a, b string) bool { return p.store.Connected(a, b) 
 
 // Follow subscribes follower to followee's activity.
 func (p *Platform) Follow(follower, followee string) error {
-	defer p.invalidate()
 	return p.store.Follow(follower, followee)
 }
 
 // Unfollow removes a follow edge.
 func (p *Platform) Unfollow(follower, followee string) error {
-	defer p.invalidate()
 	return p.store.Unfollow(follower, followee)
 }
 
 // CheckIn records session attendance and broadcasts it (with the session
 // hashtag when present).
 func (p *Platform) CheckIn(sessionID, userID string) error {
-	defer p.invalidate()
 	return p.store.CheckIn(sessionID, userID)
 }
 
@@ -77,19 +70,16 @@ func (p *Platform) Attendees(sessionID string) []string { return p.store.Attende
 
 // Ask posts a question about a presentation, paper or session.
 func (p *Platform) Ask(q Question) error {
-	defer p.invalidate()
 	return p.store.AskQuestion(q)
 }
 
 // AnswerQuestion posts an answer.
 func (p *Platform) AnswerQuestion(a Answer) error {
-	defer p.invalidate()
 	return p.store.PostAnswer(a)
 }
 
 // PostComment attaches a comment to an entity.
 func (p *Platform) PostComment(c Comment) error {
-	defer p.invalidate()
 	return p.store.PostComment(c)
 }
 
@@ -101,19 +91,16 @@ func (p *Platform) AnswersTo(questionID string) []string { return p.store.Answer
 
 // CreateWorkpad creates or replaces a workpad.
 func (p *Platform) CreateWorkpad(w Workpad) error {
-	defer p.invalidate()
 	return p.store.PutWorkpad(w)
 }
 
 // AddToWorkpad drags a resource onto a workpad.
 func (p *Platform) AddToWorkpad(workpadID string, item WorkpadItem) error {
-	defer p.invalidate()
 	return p.store.AddToWorkpad(workpadID, item)
 }
 
 // ActivateWorkpad selects the user's active context.
 func (p *Platform) ActivateWorkpad(owner, workpadID string) error {
-	defer p.invalidate()
 	return p.store.SetActiveWorkpad(owner, workpadID)
 }
 
@@ -129,7 +116,6 @@ func (p *Platform) ExportCollection(workpadID, collectionID string) (Collection,
 
 // ImportCollection copies a collection into a new active workpad.
 func (p *Platform) ImportCollection(collectionID, owner, workpadID string) (Workpad, error) {
-	defer p.invalidate()
 	return p.store.ImportCollection(collectionID, owner, workpadID)
 }
 
@@ -142,7 +128,6 @@ func (p *Platform) EventsByTag(tag string) []Event { return p.store.EventsByTag(
 // LogBrowse records a browsing event (used for activity similarity and
 // collaborative filtering).
 func (p *Platform) LogBrowse(userID, object string) error {
-	defer p.invalidate()
 	_, err := p.store.LogEvent(userID, "browse", object, nil)
 	return err
 }

@@ -1,0 +1,169 @@
+package hive_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hive"
+	"hive/internal/workload"
+)
+
+func refreshPlatform(t *testing.T, users int) *hive.Platform {
+	t.Helper()
+	p, err := hive.Open(hive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	ds := workload.Generate(workload.Config{Seed: 42, Users: users})
+	if err := ds.Load(p.Store()); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSnapshotLifecycle(t *testing.T) {
+	p := refreshPlatform(t, 12)
+	if p.Snapshot() != nil {
+		t.Fatal("snapshot before first build")
+	}
+	if !p.Stale() || p.Generation() != 0 {
+		t.Fatalf("pre-build state: stale=%v gen=%d", p.Stale(), p.Generation())
+	}
+	if err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	first := p.Snapshot()
+	if first == nil || p.Stale() || p.Generation() != 1 {
+		t.Fatalf("post-build state: snap=%v stale=%v gen=%d", first, p.Stale(), p.Generation())
+	}
+	if err := p.LastRefreshError(); err != nil {
+		t.Fatalf("LastRefreshError after success = %v", err)
+	}
+
+	// A write through the raw store — bypassing the Platform wrappers —
+	// must mark the snapshot stale via the OnMutate hook.
+	if err := p.Store().PutUser(hive.User{ID: "newbie", Name: "New"}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Stale() {
+		t.Fatal("store write did not mark snapshot stale")
+	}
+	// The serving snapshot is untouched until the next swap.
+	if p.Snapshot() != first {
+		t.Fatal("snapshot changed without a refresh")
+	}
+
+	eng, err := p.Engine() // read-your-writes: rebuilds because stale
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng == first {
+		t.Fatal("Engine() returned the stale snapshot")
+	}
+	if p.Generation() != 2 || p.Stale() {
+		t.Fatalf("post-rebuild state: gen=%d stale=%v", p.Generation(), p.Stale())
+	}
+}
+
+// TestRefreshSingleFlight asserts that concurrent Refresh calls
+// coalesce into far fewer rebuilds than callers.
+func TestRefreshSingleFlight(t *testing.T) {
+	p := refreshPlatform(t, 24)
+	const callers = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := p.Refresh(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if g := p.Generation(); g == 0 || g >= callers {
+		t.Fatalf("generation = %d after %d concurrent Refresh calls, want coalescing", g, callers)
+	}
+}
+
+// TestReadsServeOldSnapshotDuringRebuild hammers Snapshot/knowledge
+// reads while rebuilds run in a loop: readers must always observe a
+// fully built snapshot, never nil and never an error.
+func TestReadsServeOldSnapshotDuringRebuild(t *testing.T) {
+	p := refreshPlatform(t, 16)
+	if err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	uid := p.Users()[0]
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				eng := p.Snapshot()
+				if eng == nil {
+					t.Error("nil snapshot during rebuild")
+					return
+				}
+				if _, err := eng.RecommendPeers(uid, 3); err != nil {
+					t.Errorf("read during rebuild: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		// Mutate so each refresh really rebuilds, then swap.
+		if err := p.RegisterUser(hive.User{ID: "loadgen", Name: "L", Bio: time.Now().String()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestAutoRefresh(t *testing.T) {
+	p := refreshPlatform(t, 8)
+	if err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	gen := p.Generation()
+	p.AutoRefresh(10 * time.Millisecond)
+	defer p.StopAutoRefresh()
+
+	// No writes -> no rebuilds, the loop must not churn.
+	time.Sleep(50 * time.Millisecond)
+	if g := p.Generation(); g != gen {
+		t.Fatalf("auto-refresh rebuilt a clean snapshot: gen %d -> %d", gen, g)
+	}
+
+	if err := p.RegisterUser(hive.User{ID: "late", Name: "Late"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Generation() == gen {
+		if time.Now().After(deadline) {
+			t.Fatal("auto-refresh did not pick up the write")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if p.Stale() {
+		t.Fatal("still stale after auto-refresh")
+	}
+}
