@@ -4,7 +4,7 @@
 GO      ?= go
 BENCHTIME ?= 200ms
 
-.PHONY: build test race bench bench-ci fmt vet ci
+.PHONY: build test race bench bench-ci fmt vet ci api-smoke
 
 build:
 	$(GO) build ./...
@@ -29,5 +29,11 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# End-to-end API contract check: build a real hived, boot it, and drive
+# the entire /api/v1 surface through the client SDK (cmd/apismoke).
+api-smoke:
+	$(GO) build -o bin/hived ./cmd/hived
+	$(GO) run ./cmd/apismoke -hived bin/hived
 
 ci: build vet fmt race

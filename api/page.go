@@ -1,0 +1,103 @@
+package api
+
+import (
+	"encoding/base64"
+	"errors"
+	"strconv"
+	"strings"
+)
+
+// Page size bounds. Every v1 list endpoint returns at most MaxPageSize
+// items per response regardless of the requested limit; a missing or
+// invalid limit falls back to DefaultPageSize.
+const (
+	DefaultPageSize = 50
+	MaxPageSize     = 200
+)
+
+// Page is the envelope of every v1 list response. NextCursor is an
+// opaque token: pass it back as ?cursor= to fetch the next page; it is
+// empty on the last page.
+type Page[T any] struct {
+	Items      []T    `json:"items"`
+	Limit      int    `json:"limit"`
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// ErrBadCursor is returned when a cursor token cannot be decoded.
+var ErrBadCursor = errors.New("api: malformed cursor")
+
+// MaxCursorOffset bounds the position a cursor may encode. Cursors are
+// opaque but client-supplied: without a ceiling, a crafted offset near
+// MaxInt64 would overflow the server's offset+limit arithmetic into a
+// negative bound that engines treat as "compute everything".
+const MaxCursorOffset = 1 << 30
+
+// cursorPrefix versions the token format so a future cursor scheme can
+// reject (rather than misread) old tokens.
+const cursorPrefix = "v1:"
+
+// EncodeCursor builds the opaque continuation token for a position.
+func EncodeCursor(offset int) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(cursorPrefix + strconv.Itoa(offset)))
+}
+
+// DecodeCursor parses a continuation token produced by EncodeCursor.
+// The empty token is position zero.
+func DecodeCursor(s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return 0, ErrBadCursor
+	}
+	body, ok := strings.CutPrefix(string(raw), cursorPrefix)
+	if !ok {
+		return 0, ErrBadCursor
+	}
+	n, err := strconv.Atoi(body)
+	if err != nil || n < 0 || n > MaxCursorOffset {
+		return 0, ErrBadCursor
+	}
+	return n, nil
+}
+
+// ClampLimit normalizes a requested page size into [1, MaxPageSize],
+// substituting DefaultPageSize for zero or negative values.
+func ClampLimit(limit int) int {
+	if limit <= 0 {
+		return DefaultPageSize
+	}
+	if limit > MaxPageSize {
+		return MaxPageSize
+	}
+	return limit
+}
+
+// Paginate slices items into the page starting at offset. Items always
+// serializes as a JSON array (never null), and NextCursor is set only
+// when elements remain beyond the page — callers that fetch a bounded
+// prefix should therefore fetch offset+limit+1 elements so a full next
+// page is distinguishable from exhaustion.
+func Paginate[T any](items []T, offset, limit int) Page[T] {
+	limit = ClampLimit(limit)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(items) {
+		offset = len(items)
+	}
+	end := offset + limit
+	if end > len(items) {
+		end = len(items)
+	}
+	p := Page[T]{Items: items[offset:end], Limit: limit}
+	if p.Items == nil {
+		p.Items = []T{}
+	}
+	if end < len(items) {
+		p.NextCursor = EncodeCursor(end)
+	}
+	return p
+}

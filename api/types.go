@@ -1,0 +1,162 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hive/internal/core"
+	"hive/internal/rdf"
+	"hive/internal/social"
+	"hive/internal/summarize"
+	"hive/internal/textindex"
+)
+
+// Entity and knowledge-service DTOs. These alias the platform's public
+// types: their JSON tags are the v1 wire schema.
+type (
+	// User is a researcher profile (request body of POST /users).
+	User = social.User
+	// Conference is an event edition (POST /conferences).
+	Conference = social.Conference
+	// Session is a technical session (POST /sessions).
+	Session = social.Session
+	// Paper is a published paper (POST /papers).
+	Paper = social.Paper
+	// Presentation is uploaded slide content (POST /presentations).
+	Presentation = social.Presentation
+	// Question is a question about an entity (POST /questions).
+	Question = social.Question
+	// Answer replies to a question (POST /answers).
+	Answer = social.Answer
+	// Comment is free-form feedback (POST /comments).
+	Comment = social.Comment
+	// Workpad is a context-defining resource pad (POST /workpads).
+	Workpad = social.Workpad
+	// WorkpadItem is one workpad resource (POST /workpads/{id}/items).
+	WorkpadItem = social.WorkpadItem
+	// Event is one activity-stream entry (feeds, tag fan-out).
+	Event = social.Event
+
+	// Explanation answers GET /relationship.
+	Explanation = core.Explanation
+	// PeerRecommendation items fill GET /users/{id}/recommendations/peers.
+	PeerRecommendation = core.PeerRecommendation
+	// ResourceRecommendation items fill GET /users/{id}/recommendations/resources.
+	ResourceRecommendation = core.ResourceRecommendation
+	// SessionSuggestion items fill GET /users/{id}/sessions/suggest.
+	SessionSuggestion = core.SessionSuggestion
+	// SearchResult items fill GET /search.
+	SearchResult = core.SearchResult
+	// Snippet items answer GET /preview.
+	Snippet = textindex.Snippet
+	// Summary answers GET /users/{id}/digest.
+	Summary = summarize.Summary
+	// HistoryEntry items fill GET /users/{id}/history.
+	HistoryEntry = core.HistoryEntry
+	// ResourceEvidence items answer GET /users/{id}/resource-relationship.
+	ResourceEvidence = core.ResourceEvidence
+	// KnowledgePath items answer GET /knowledge/paths.
+	KnowledgePath = rdf.RankedPath
+)
+
+// ConnectRequest is the body of POST /connections: a mutual connection
+// between two researchers.
+type ConnectRequest struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// FollowRequest is the body of POST /follows.
+type FollowRequest struct {
+	Follower string `json:"follower"`
+	Followee string `json:"followee"`
+}
+
+// CheckinRequest is the body of POST /checkins.
+type CheckinRequest struct {
+	SessionID string `json:"session_id"`
+	UserID    string `json:"user_id"`
+}
+
+// ActivateWorkpadRequest is the body of POST /workpads/{id}/activate.
+type ActivateWorkpadRequest struct {
+	Owner string `json:"owner"`
+}
+
+// CreatedResponse acknowledges a successful mutation.
+type CreatedResponse struct {
+	Status string `json:"status"`
+}
+
+// RefreshResponse acknowledges a snapshot refresh request.
+type RefreshResponse struct {
+	Status string `json:"status"`
+}
+
+// Health is the GET /healthz response: liveness plus snapshot freshness.
+type Health struct {
+	Status           string `json:"status"`
+	Generation       uint64 `json:"generation"`
+	Stale            bool   `json:"stale"`
+	Snapshot         bool   `json:"snapshot"`
+	BuiltAt          string `json:"built_at,omitempty"`
+	BuildMS          int64  `json:"build_ms"`
+	AgeMS            int64  `json:"age_ms"`
+	LastRefreshError string `json:"last_refresh_error,omitempty"`
+}
+
+// Batch entity kinds accepted by POST /batch.
+const (
+	KindUser         = "user"
+	KindConference   = "conference"
+	KindSession      = "session"
+	KindPaper        = "paper"
+	KindPresentation = "presentation"
+	KindConnection   = "connection"
+	KindFollow       = "follow"
+	KindCheckin      = "checkin"
+	KindQuestion     = "question"
+	KindAnswer       = "answer"
+	KindComment      = "comment"
+	KindWorkpad      = "workpad"
+)
+
+// BatchEntity is one element of a batch: a kind tag plus the entity's
+// usual request body. Connection/follow/checkin kinds carry the
+// corresponding request DTOs.
+type BatchEntity struct {
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data"`
+}
+
+// NewBatchEntity marshals v as the data of a tagged batch entity.
+func NewBatchEntity(kind string, v any) (BatchEntity, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return BatchEntity{}, fmt.Errorf("api: marshal batch %s: %w", kind, err)
+	}
+	return BatchEntity{Kind: kind, Data: raw}, nil
+}
+
+// BatchRequest is the body of POST /batch. Entities apply in array
+// order within a single store pass (one snapshot invalidation total),
+// so dependent entities — a conference before its sessions — belong in
+// the same batch, in order.
+type BatchRequest struct {
+	Entities []BatchEntity `json:"entities"`
+}
+
+// BatchItemError reports one failed batch element.
+type BatchItemError struct {
+	Index int    `json:"index"`
+	Kind  string `json:"kind"`
+	Error *Error `json:"error"`
+}
+
+// BatchResponse summarizes a batch: elements are applied independently,
+// failures don't abort the rest.
+type BatchResponse struct {
+	Applied int              `json:"applied"`
+	Failed  int              `json:"failed"`
+	Errors  []BatchItemError `json:"errors,omitempty"`
+}

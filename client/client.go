@@ -1,0 +1,502 @@
+// Package client is the Go SDK for the Hive v1 REST API. It speaks the
+// typed contract of the hive/api package end-to-end: every endpoint has
+// a typed method, list endpoints return api.Page envelopes whose
+// NextCursor tokens feed the next call, non-2xx responses come back as
+// *api.Error (stable machine-readable codes), and an optional ETag
+// cache revalidates knowledge reads with If-None-Match so unchanged
+// snapshots cost a 304 instead of a recompute.
+//
+//	c := client.New("http://localhost:8080", client.WithETagCache())
+//	page, err := c.Users(ctx, "", 100)        // first page
+//	page, err = c.Users(ctx, page.NextCursor, 100)
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+
+	"hive/api"
+)
+
+// Client talks to one Hive server.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	etags *etagCache // nil unless WithETagCache
+
+	requests  atomic.Int64
+	cacheHits atomic.Int64
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithETagCache enables conditional GETs on knowledge endpoints: the
+// client remembers each URL's ETag and body, sends If-None-Match, and
+// serves 304 revalidations from the cache.
+func WithETagCache() Option {
+	return func(c *Client) { c.etags = &etagCache{entries: map[string]etagEntry{}} }
+}
+
+// New builds a client for a server base URL (e.g. "http://host:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: base, hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Stats reports how many requests were issued and how many knowledge
+// reads were served from the ETag cache via a 304.
+func (c *Client) Stats() (requests, cacheHits int64) {
+	return c.requests.Load(), c.cacheHits.Load()
+}
+
+type etagEntry struct {
+	tag  string
+	body []byte
+}
+
+// maxETagEntries bounds the cache: one (tag, body) pair per distinct
+// URL would otherwise grow for the client's lifetime (every user,
+// query and cursor permutation is its own key).
+const maxETagEntries = 1024
+
+type etagCache struct {
+	mu      sync.Mutex
+	entries map[string]etagEntry
+}
+
+func (ec *etagCache) get(key string) (etagEntry, bool) {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	e, ok := ec.entries[key]
+	return e, ok
+}
+
+func (ec *etagCache) put(key string, e etagEntry) {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	if _, exists := ec.entries[key]; !exists && len(ec.entries) >= maxETagEntries {
+		// Evict an arbitrary entry (map order): cheap, and a wrongly
+		// evicted URL merely pays one full re-fetch.
+		for k := range ec.entries {
+			delete(ec.entries, k)
+			break
+		}
+	}
+	ec.entries[key] = e
+}
+
+// --- Transport core -----------------------------------------------------------
+
+// apiErrorFrom decodes a non-2xx body into *api.Error, synthesizing an
+// envelope when the body isn't one (proxies, panics mid-stream).
+func apiErrorFrom(status int, body []byte) *api.Error {
+	var env api.ErrorResponse
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil {
+		env.Error.HTTPStatus = status
+		return env.Error
+	}
+	return &api.Error{
+		Code:       api.CodeInternal,
+		Message:    fmt.Sprintf("http %d: %s", status, bytes.TrimSpace(body)),
+		HTTPStatus: status,
+	}
+}
+
+// do issues one request and decodes the JSON response into out (may be
+// nil). conditional enables the ETag cache for this GET.
+func (c *Client) do(ctx context.Context, method, path string, q url.Values, in, out any, conditional bool) error {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: marshal request: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, body)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	var cached etagEntry
+	useCache := conditional && c.etags != nil && method == http.MethodGet
+	if useCache {
+		if e, ok := c.etags.get(u); ok {
+			cached = e
+			req.Header.Set("If-None-Match", e.tag)
+		}
+	}
+
+	c.requests.Add(1)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: read response: %w", err)
+	}
+
+	switch {
+	case resp.StatusCode == http.StatusNotModified && useCache && cached.tag != "":
+		c.cacheHits.Add(1)
+		raw = cached.body
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		if useCache {
+			if tag := resp.Header.Get("ETag"); tag != "" {
+				c.etags.put(u, etagEntry{tag: tag, body: raw})
+			}
+		}
+	default:
+		return apiErrorFrom(resp.StatusCode, raw)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("client: decode %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	return c.do(ctx, http.MethodPost, path, nil, in, out, false)
+}
+
+func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
+	return c.do(ctx, http.MethodGet, path, q, nil, out, false)
+}
+
+// getKnowledge is a conditional GET: revalidated via the ETag cache
+// when enabled.
+func (c *Client) getKnowledge(ctx context.Context, path string, q url.Values, out any) error {
+	return c.do(ctx, http.MethodGet, path, q, nil, out, true)
+}
+
+// pageQuery folds cursor/limit into query parameters (zero limit lets
+// the server default apply).
+func pageQuery(q url.Values, cursor string, limit int) url.Values {
+	if q == nil {
+		q = url.Values{}
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	if limit > 0 {
+		q.Set("limit", fmt.Sprint(limit))
+	}
+	return q
+}
+
+// --- Health & admin -----------------------------------------------------------
+
+// Healthz reports server liveness and snapshot freshness.
+func (c *Client) Healthz(ctx context.Context) (api.Health, error) {
+	var h api.Health
+	err := c.get(ctx, "/api/v1/healthz", nil, &h)
+	return h, err
+}
+
+// Refresh requests a knowledge-snapshot rebuild; wait blocks until the
+// new snapshot is live.
+func (c *Client) Refresh(ctx context.Context, wait bool) error {
+	q := url.Values{}
+	if wait {
+		q.Set("wait", "true")
+	}
+	return c.do(ctx, http.MethodPost, "/api/v1/admin/refresh", q, nil, nil, false)
+}
+
+// --- Mutations ----------------------------------------------------------------
+
+// CreateUser registers or updates a researcher profile.
+func (c *Client) CreateUser(ctx context.Context, u api.User) error {
+	return c.post(ctx, "/api/v1/users", u, nil)
+}
+
+// CreateConference registers a conference edition.
+func (c *Client) CreateConference(ctx context.Context, conf api.Conference) error {
+	return c.post(ctx, "/api/v1/conferences", conf, nil)
+}
+
+// CreateSession registers a session within a conference.
+func (c *Client) CreateSession(ctx context.Context, s api.Session) error {
+	return c.post(ctx, "/api/v1/sessions", s, nil)
+}
+
+// CreatePaper publishes a paper.
+func (c *Client) CreatePaper(ctx context.Context, p api.Paper) error {
+	return c.post(ctx, "/api/v1/papers", p, nil)
+}
+
+// CreatePresentation uploads slide content for a paper.
+func (c *Client) CreatePresentation(ctx context.Context, pr api.Presentation) error {
+	return c.post(ctx, "/api/v1/presentations", pr, nil)
+}
+
+// Connect establishes a mutual connection between two researchers.
+func (c *Client) Connect(ctx context.Context, a, b string) error {
+	return c.post(ctx, "/api/v1/connections", api.ConnectRequest{A: a, B: b}, nil)
+}
+
+// Follow subscribes follower to followee's activity.
+func (c *Client) Follow(ctx context.Context, follower, followee string) error {
+	return c.post(ctx, "/api/v1/follows", api.FollowRequest{Follower: follower, Followee: followee}, nil)
+}
+
+// CheckIn records session attendance.
+func (c *Client) CheckIn(ctx context.Context, sessionID, userID string) error {
+	return c.post(ctx, "/api/v1/checkins", api.CheckinRequest{SessionID: sessionID, UserID: userID}, nil)
+}
+
+// Ask posts a question about an entity.
+func (c *Client) Ask(ctx context.Context, q api.Question) error {
+	return c.post(ctx, "/api/v1/questions", q, nil)
+}
+
+// Answer posts an answer to a question.
+func (c *Client) Answer(ctx context.Context, a api.Answer) error {
+	return c.post(ctx, "/api/v1/answers", a, nil)
+}
+
+// Comment attaches a comment to an entity.
+func (c *Client) Comment(ctx context.Context, cm api.Comment) error {
+	return c.post(ctx, "/api/v1/comments", cm, nil)
+}
+
+// CreateWorkpad creates or replaces a workpad.
+func (c *Client) CreateWorkpad(ctx context.Context, w api.Workpad) error {
+	return c.post(ctx, "/api/v1/workpads", w, nil)
+}
+
+// AddWorkpadItem drags a resource onto a workpad.
+func (c *Client) AddWorkpadItem(ctx context.Context, workpadID string, item api.WorkpadItem) error {
+	return c.post(ctx, "/api/v1/workpads/"+url.PathEscape(workpadID)+"/items", item, nil)
+}
+
+// ActivateWorkpad selects the user's active context.
+func (c *Client) ActivateWorkpad(ctx context.Context, owner, workpadID string) error {
+	return c.post(ctx, "/api/v1/workpads/"+url.PathEscape(workpadID)+"/activate",
+		api.ActivateWorkpadRequest{Owner: owner}, nil)
+}
+
+// Batch applies a mixed array of entities in one store pass (one
+// snapshot invalidation total). Elements apply in order; failures are
+// reported per element in the response.
+func (c *Client) Batch(ctx context.Context, entities []api.BatchEntity) (api.BatchResponse, error) {
+	var out api.BatchResponse
+	err := c.post(ctx, "/api/v1/batch", api.BatchRequest{Entities: entities}, &out)
+	return out, err
+}
+
+// --- Entity reads -------------------------------------------------------------
+
+// GetUser fetches a user profile.
+func (c *Client) GetUser(ctx context.Context, id string) (api.User, error) {
+	var u api.User
+	err := c.get(ctx, "/api/v1/users/"+url.PathEscape(id), nil, &u)
+	return u, err
+}
+
+// Users lists user IDs, one page at a time.
+func (c *Client) Users(ctx context.Context, cursor string, limit int) (api.Page[string], error) {
+	var pg api.Page[string]
+	err := c.get(ctx, "/api/v1/users", pageQuery(nil, cursor, limit), &pg)
+	return pg, err
+}
+
+// Attendees lists the users checked into a session.
+func (c *Client) Attendees(ctx context.Context, sessionID, cursor string, limit int) (api.Page[string], error) {
+	var pg api.Page[string]
+	err := c.get(ctx, "/api/v1/sessions/"+url.PathEscape(sessionID)+"/attendees",
+		pageQuery(nil, cursor, limit), &pg)
+	return pg, err
+}
+
+// ActiveWorkpad returns the user's active workpad.
+func (c *Client) ActiveWorkpad(ctx context.Context, owner string) (api.Workpad, error) {
+	var w api.Workpad
+	err := c.get(ctx, "/api/v1/users/"+url.PathEscape(owner)+"/workpad", nil, &w)
+	return w, err
+}
+
+// Feed returns the user's real-time update feed.
+func (c *Client) Feed(ctx context.Context, userID, cursor string, limit int) (api.Page[api.Event], error) {
+	var pg api.Page[api.Event]
+	err := c.get(ctx, "/api/v1/users/"+url.PathEscape(userID)+"/feed", pageQuery(nil, cursor, limit), &pg)
+	return pg, err
+}
+
+// TagEvents returns the hashtag fan-out for a tag ("graphs13" and
+// "#graphs13" are equivalent).
+func (c *Client) TagEvents(ctx context.Context, tag, cursor string, limit int) (api.Page[api.Event], error) {
+	var pg api.Page[api.Event]
+	err := c.get(ctx, "/api/v1/tags/"+url.PathEscape(tag)+"/events", pageQuery(nil, cursor, limit), &pg)
+	return pg, err
+}
+
+// --- Knowledge services (conditional GETs) ------------------------------------
+
+// Relationship explains the relationship between two researchers.
+func (c *Client) Relationship(ctx context.Context, a, b string) (api.Explanation, error) {
+	var ex api.Explanation
+	q := url.Values{"a": {a}, "b": {b}}
+	err := c.getKnowledge(ctx, "/api/v1/relationship", q, &ex)
+	return ex, err
+}
+
+// PeerRecommendations suggests new peers with evidence.
+func (c *Client) PeerRecommendations(ctx context.Context, userID, cursor string, limit int) (api.Page[api.PeerRecommendation], error) {
+	var pg api.Page[api.PeerRecommendation]
+	err := c.getKnowledge(ctx, "/api/v1/users/"+url.PathEscape(userID)+"/recommendations/peers",
+		pageQuery(nil, cursor, limit), &pg)
+	return pg, err
+}
+
+// ResourceRecommendations suggests documents, optionally conditioned on
+// the active workpad context.
+func (c *Client) ResourceRecommendations(ctx context.Context, userID string, useContext bool, cursor string, limit int) (api.Page[api.ResourceRecommendation], error) {
+	var pg api.Page[api.ResourceRecommendation]
+	q := pageQuery(nil, cursor, limit)
+	if !useContext {
+		q.Set("context", "false")
+	}
+	err := c.getKnowledge(ctx, "/api/v1/users/"+url.PathEscape(userID)+"/recommendations/resources", q, &pg)
+	return pg, err
+}
+
+// SuggestSessions ranks a conference's sessions for the user.
+func (c *Client) SuggestSessions(ctx context.Context, userID, confID, cursor string, limit int) (api.Page[api.SessionSuggestion], error) {
+	var pg api.Page[api.SessionSuggestion]
+	q := pageQuery(url.Values{"conf": {confID}}, cursor, limit)
+	err := c.getKnowledge(ctx, "/api/v1/users/"+url.PathEscape(userID)+"/sessions/suggest", q, &pg)
+	return pg, err
+}
+
+// Search runs keyword search; a non-empty user makes it context-aware.
+func (c *Client) Search(ctx context.Context, query, user, cursor string, limit int) (api.Page[api.SearchResult], error) {
+	var pg api.Page[api.SearchResult]
+	q := pageQuery(url.Values{"q": {query}}, cursor, limit)
+	if user != "" {
+		q.Set("user", user)
+	}
+	err := c.getKnowledge(ctx, "/api/v1/search", q, &pg)
+	return pg, err
+}
+
+// Preview extracts the k most context-relevant snippets of a document.
+func (c *Client) Preview(ctx context.Context, userID, docID string, k int) ([]api.Snippet, error) {
+	var out []api.Snippet
+	q := url.Values{"user": {userID}, "doc": {docID}}
+	if k > 0 {
+		q.Set("k", fmt.Sprint(k))
+	}
+	err := c.getKnowledge(ctx, "/api/v1/preview", q, &out)
+	return out, err
+}
+
+// Digest produces the size-constrained summary of the user's feed.
+func (c *Client) Digest(ctx context.Context, userID string, budget int) (api.Summary, error) {
+	var out api.Summary
+	q := url.Values{}
+	if budget > 0 {
+		q.Set("budget", fmt.Sprint(budget))
+	}
+	err := c.getKnowledge(ctx, "/api/v1/users/"+url.PathEscape(userID)+"/digest", q, &out)
+	return out, err
+}
+
+// Communities returns the discovered peer communities.
+func (c *Client) Communities(ctx context.Context, cursor string, limit int) (api.Page[[]string], error) {
+	var pg api.Page[[]string]
+	err := c.getKnowledge(ctx, "/api/v1/communities", pageQuery(nil, cursor, limit), &pg)
+	return pg, err
+}
+
+// History searches the user's personal activity history.
+func (c *Client) History(ctx context.Context, userID, query string, useContext bool, cursor string, limit int) (api.Page[api.HistoryEntry], error) {
+	var pg api.Page[api.HistoryEntry]
+	q := pageQuery(nil, cursor, limit)
+	if query != "" {
+		q.Set("q", query)
+	}
+	if useContext {
+		q.Set("context", "true")
+	}
+	err := c.getKnowledge(ctx, "/api/v1/users/"+url.PathEscape(userID)+"/history", q, &pg)
+	return pg, err
+}
+
+// ResourceRelationship explains the relationship between a user and a
+// resource (paper, presentation, session).
+func (c *Client) ResourceRelationship(ctx context.Context, userID, entity string) ([]api.ResourceEvidence, error) {
+	var out []api.ResourceEvidence
+	q := url.Values{"entity": {entity}}
+	err := c.getKnowledge(ctx, "/api/v1/users/"+url.PathEscape(userID)+"/resource-relationship", q, &out)
+	return out, err
+}
+
+// KnowledgePaths returns ranked weighted knowledge-base paths between
+// two entities (prefix IDs with "user:", "paper:" or "session:").
+func (c *Client) KnowledgePaths(ctx context.Context, a, b string, k int) ([]api.KnowledgePath, error) {
+	var out []api.KnowledgePath
+	q := url.Values{"a": {a}, "b": {b}}
+	if k > 0 {
+		q.Set("k", fmt.Sprint(k))
+	}
+	err := c.getKnowledge(ctx, "/api/v1/knowledge/paths", q, &out)
+	return out, err
+}
+
+// --- Pagination helper --------------------------------------------------------
+
+// Collect walks a paginated endpoint to exhaustion and returns all
+// items. fetch is any page-returning method bound to its fixed
+// arguments:
+//
+//	all, err := client.Collect(ctx, func(cur string) (api.Page[string], error) {
+//	    return c.Users(ctx, cur, 0)
+//	})
+func Collect[T any](ctx context.Context, fetch func(cursor string) (api.Page[T], error)) ([]T, error) {
+	var all []T
+	cursor := ""
+	for {
+		if err := ctx.Err(); err != nil {
+			return all, err
+		}
+		pg, err := fetch(cursor)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, pg.Items...)
+		if pg.NextCursor == "" {
+			return all, nil
+		}
+		cursor = pg.NextCursor
+	}
+}

@@ -1,0 +1,317 @@
+// Command apismoke is the end-to-end contract check behind
+// `make api-smoke`: it starts a real hived process, then drives the
+// entire /api/v1 surface through the client SDK — typed mutations,
+// batch ingest, every knowledge read, cursor pagination, conditional
+// GET revalidation, typed errors and the legacy-alias deprecation
+// headers — and exits non-zero on the first contract violation.
+//
+// Usage:
+//
+//	apismoke [-hived bin/hived] [-addr 127.0.0.1:18080] [-seed 24]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"time"
+
+	"hive/api"
+	"hive/client"
+)
+
+func main() {
+	hived := flag.String("hived", "bin/hived", "path to the hived binary")
+	addr := flag.String("addr", "127.0.0.1:18080", "address to run hived on")
+	seed := flag.Int("seed", 24, "synthetic workload size")
+	flag.Parse()
+
+	if err := run(*hived, *addr, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "api-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("api-smoke: OK")
+}
+
+func run(hived, addr string, seed int) error {
+	cmd := exec.Command(hived,
+		"-addr", addr,
+		"-seed", fmt.Sprint(seed),
+		"-refresh", "1s",
+		"-quiet",
+	)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start hived: %w", err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	base := "http://" + addr
+	c := client.New(base, client.WithETagCache())
+
+	// Wait for the server to come up with a built snapshot.
+	if err := waitHealthy(ctx, c); err != nil {
+		return err
+	}
+
+	steps := []struct {
+		name string
+		fn   func(context.Context, *client.Client, string) error
+	}{
+		{"typed mutations", stepMutations},
+		{"batch ingest", stepBatch},
+		{"entity reads + feeds", stepReads},
+		{"knowledge services", stepKnowledge},
+		{"cursor pagination", stepPagination},
+		{"conditional GETs (ETag/304)", stepConditional},
+		{"typed errors", stepErrors},
+		{"legacy alias deprecation", stepLegacy},
+	}
+	for _, s := range steps {
+		if err := s.fn(ctx, c, base); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		fmt.Printf("api-smoke: %-30s ok\n", s.name)
+	}
+	return nil
+}
+
+func waitHealthy(ctx context.Context, c *client.Client) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		h, err := c.Healthz(ctx)
+		if err == nil && h.Status == "ok" && h.Snapshot {
+			return nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("hived did not become healthy in 30s")
+}
+
+func stepMutations(ctx context.Context, c *client.Client, _ string) error {
+	if err := c.CreateUser(ctx, api.User{ID: "smoke", Name: "Smoke", Interests: []string{"graphs"}}); err != nil {
+		return err
+	}
+	if err := c.CreateConference(ctx, api.Conference{ID: "smokeconf", Name: "SmokeConf"}); err != nil {
+		return err
+	}
+	if err := c.CreateSession(ctx, api.Session{ID: "smoke-s1", ConferenceID: "smokeconf",
+		Title: "Smoke session", Hashtag: "#smoke"}); err != nil {
+		return err
+	}
+	if err := c.CreatePaper(ctx, api.Paper{ID: "smoke-p1", Title: "Smoke testing at scale",
+		Abstract: "We smoke-test APIs.", Authors: []string{"smoke"},
+		ConferenceID: "smokeconf", SessionID: "smoke-s1"}); err != nil {
+		return err
+	}
+	if err := c.CreatePresentation(ctx, api.Presentation{ID: "smoke-pr1", PaperID: "smoke-p1",
+		Owner: "smoke", Text: "Smoke slides with enough text for snippets."}); err != nil {
+		return err
+	}
+	if err := c.CheckIn(ctx, "smoke-s1", "smoke"); err != nil {
+		return err
+	}
+	if err := c.Ask(ctx, api.Question{ID: "smoke-q1", Author: "smoke", Target: "smoke-p1", Text: "Works?"}); err != nil {
+		return err
+	}
+	if err := c.Answer(ctx, api.Answer{ID: "smoke-a1", QuestionID: "smoke-q1", Author: "smoke", Text: "Yes."}); err != nil {
+		return err
+	}
+	if err := c.Comment(ctx, api.Comment{ID: "smoke-c1", Author: "smoke", Target: "smoke-p1", Text: "Nice."}); err != nil {
+		return err
+	}
+	if err := c.CreateWorkpad(ctx, api.Workpad{ID: "smoke-w1", Owner: "smoke", Name: "smoke ctx"}); err != nil {
+		return err
+	}
+	if err := c.AddWorkpadItem(ctx, "smoke-w1", api.WorkpadItem{Kind: "paper", Ref: "smoke-p1"}); err != nil {
+		return err
+	}
+	if err := c.ActivateWorkpad(ctx, "smoke", "smoke-w1"); err != nil {
+		return err
+	}
+	return c.Refresh(ctx, true)
+}
+
+func stepBatch(ctx context.Context, c *client.Client, _ string) error {
+	var ents []api.BatchEntity
+	for i := 0; i < 5; i++ {
+		ent, err := api.NewBatchEntity(api.KindUser, api.User{
+			ID: fmt.Sprintf("smoke-b%d", i), Name: "Batcher", Interests: []string{"graphs"}})
+		if err != nil {
+			return err
+		}
+		ents = append(ents, ent)
+	}
+	conn, err := api.NewBatchEntity(api.KindConnection, api.ConnectRequest{A: "smoke-b0", B: "smoke-b1"})
+	if err != nil {
+		return err
+	}
+	ents = append(ents, conn)
+	br, err := c.Batch(ctx, ents)
+	if err != nil {
+		return err
+	}
+	if br.Applied != len(ents) || br.Failed != 0 {
+		return fmt.Errorf("batch response %+v", br)
+	}
+	return nil
+}
+
+func stepReads(ctx context.Context, c *client.Client, _ string) error {
+	u, err := c.GetUser(ctx, "smoke")
+	if err != nil || u.Name != "Smoke" {
+		return fmt.Errorf("GetUser = %+v, %v", u, err)
+	}
+	att, err := c.Attendees(ctx, "smoke-s1", "", 0)
+	if err != nil || len(att.Items) != 1 {
+		return fmt.Errorf("attendees = %+v, %v", att, err)
+	}
+	wp, err := c.ActiveWorkpad(ctx, "smoke")
+	if err != nil || wp.ID != "smoke-w1" {
+		return fmt.Errorf("workpad = %+v, %v", wp, err)
+	}
+	evs, err := c.TagEvents(ctx, "#smoke", "", 0)
+	if err != nil || len(evs.Items) == 0 {
+		return fmt.Errorf("tag events = %+v, %v", evs, err)
+	}
+	if _, err := c.Feed(ctx, "smoke", "", 10); err != nil {
+		return err
+	}
+	return nil
+}
+
+func stepKnowledge(ctx context.Context, c *client.Client, _ string) error {
+	if _, err := c.Search(ctx, "smoke testing", "", "", 5); err != nil {
+		return err
+	}
+	if _, err := c.Search(ctx, "smoke testing", "smoke", "", 5); err != nil {
+		return err
+	}
+	if _, err := c.PeerRecommendations(ctx, "smoke", "", 5); err != nil {
+		return err
+	}
+	if _, err := c.ResourceRecommendations(ctx, "smoke", true, "", 5); err != nil {
+		return err
+	}
+	if _, err := c.SuggestSessions(ctx, "smoke", "smokeconf", "", 3); err != nil {
+		return err
+	}
+	snips, err := c.Preview(ctx, "smoke", "pres/smoke-pr1", 2)
+	if err != nil || len(snips) == 0 {
+		return fmt.Errorf("preview = %v, %v", snips, err)
+	}
+	if _, err := c.Digest(ctx, "smoke", 4); err != nil {
+		return err
+	}
+	comms, err := c.Communities(ctx, "", 0)
+	if err != nil || len(comms.Items) == 0 {
+		return fmt.Errorf("communities = %+v, %v", comms, err)
+	}
+	if _, err := c.History(ctx, "smoke", "checkin", false, "", 0); err != nil {
+		return err
+	}
+	if _, err := c.ResourceRelationship(ctx, "smoke", "smoke-p1"); err != nil {
+		return err
+	}
+	if _, err := c.KnowledgePaths(ctx, "user:smoke", "session:smoke-s1", 2); err != nil {
+		return err
+	}
+	ex, err := c.Relationship(ctx, "smoke-b0", "smoke-b1")
+	if err != nil || len(ex.Evidences) == 0 {
+		return fmt.Errorf("relationship = %+v, %v", ex, err)
+	}
+	return nil
+}
+
+func stepPagination(ctx context.Context, c *client.Client, _ string) error {
+	pg, err := c.Users(ctx, "", 5)
+	if err != nil {
+		return err
+	}
+	if len(pg.Items) != 5 || pg.NextCursor == "" {
+		return fmt.Errorf("first page = %d items, cursor %q", len(pg.Items), pg.NextCursor)
+	}
+	all, err := client.Collect(ctx, func(cur string) (api.Page[string], error) {
+		return c.Users(ctx, cur, 7)
+	})
+	if err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	for _, id := range all {
+		if seen[id] {
+			return fmt.Errorf("duplicate id %q across pages", id)
+		}
+		seen[id] = true
+	}
+	if !seen["smoke"] || !seen["smoke-b4"] {
+		return fmt.Errorf("page walk missed seeded users (%d total)", len(all))
+	}
+	return nil
+}
+
+func stepConditional(ctx context.Context, c *client.Client, _ string) error {
+	// Settle the snapshot, then read the same knowledge URL twice: the
+	// second must revalidate from the ETag cache.
+	if err := c.Refresh(ctx, true); err != nil {
+		return err
+	}
+	if _, err := c.Search(ctx, "smoke conditional", "", "", 5); err != nil {
+		return err
+	}
+	_, before := c.Stats()
+	if _, err := c.Search(ctx, "smoke conditional", "", "", 5); err != nil {
+		return err
+	}
+	if _, after := c.Stats(); after != before+1 {
+		return fmt.Errorf("expected one 304 revalidation, cache hits %d -> %d", before, after)
+	}
+	return nil
+}
+
+func stepErrors(ctx context.Context, c *client.Client, _ string) error {
+	_, err := c.GetUser(ctx, "ghost-user")
+	if !api.IsCode(err, api.CodeNotFound) {
+		return fmt.Errorf("missing user err = %v, want code %s", err, api.CodeNotFound)
+	}
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.HTTPStatus != http.StatusNotFound {
+		return fmt.Errorf("err = %v, want HTTP 404", err)
+	}
+	if err := c.CreateUser(ctx, api.User{}); !api.IsCode(err, api.CodeInvalidArgument) {
+		return fmt.Errorf("invalid user err = %v", err)
+	}
+	return nil
+}
+
+func stepLegacy(ctx context.Context, _ *client.Client, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("legacy healthz = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		return fmt.Errorf("legacy route missing Deprecation header")
+	}
+	return nil
+}

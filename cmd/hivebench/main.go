@@ -10,16 +10,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
-	"net/http"
 	"net/http/httptest"
 	"strings"
 	"time"
 
 	"hive"
+	"hive/client"
 	"hive/internal/align"
 	"hive/internal/conceptmap"
 	"hive/internal/core"
@@ -31,6 +32,7 @@ import (
 	"hive/internal/tensor"
 	"hive/internal/textindex"
 	"hive/internal/workload"
+	"hive/internal/workload/httpload"
 )
 
 func main() {
@@ -55,6 +57,7 @@ func main() {
 		{"E10", "CF — collaborative filtering vs popularity", e10},
 		{"E11", "Concept-map bootstrapping", e11},
 		{"E12", "Context-aware snippet extraction", e12},
+		{"E13", "v1 API — batch vs per-entity ingest", e13},
 	}
 	for _, ex := range experiments {
 		if *run != "" && !strings.EqualFold(*run, ex.id) {
@@ -87,37 +90,93 @@ func timeIt(fn func()) time.Duration {
 	return time.Since(start)
 }
 
-// e1: latency of representative REST endpoints over the seeded platform.
+// e1: latency of representative v1 REST endpoints over the seeded
+// platform, driven through the client SDK. The final row repeats the
+// search with the SDK's ETag cache on: an unchanged snapshot
+// revalidates with a 304 instead of recompute+encode.
 func e1(users int) {
 	p := buildPlatform(users)
 	defer p.Close()
 	ts := httptest.NewServer(server.New(p))
 	defer ts.Close()
-	uid := p.Users()[0]
+	ctx := context.Background()
+	c := client.New(ts.URL)
+	cached := client.New(ts.URL, client.WithETagCache())
+	ids := p.Users()
+	uid := ids[0]
 
-	endpoints := []struct{ name, path string }{
-		{"profile", "/api/users/" + uid},
-		{"feed", "/api/users/" + uid + "/feed?limit=20"},
-		{"search", "/api/search?q=graph+partitioning&k=10"},
-		{"ctx-search", "/api/search?q=graph+partitioning&k=10&user=" + uid},
-		{"peer-recs", "/api/users/" + uid + "/recommendations/peers?k=5"},
-		{"relationship", "/api/relationship?a=" + uid + "&b=" + p.Users()[1]},
-		{"digest", "/api/users/" + uid + "/digest?budget=5"},
+	type row struct {
+		name string
+		fn   func() error
 	}
+	endpoints := []row{
+		{"profile", func() error { _, err := c.GetUser(ctx, uid); return err }},
+		{"feed", func() error { _, err := c.Feed(ctx, uid, "", 20); return err }},
+		{"search", func() error { _, err := c.Search(ctx, "graph partitioning", "", "", 10); return err }},
+		{"ctx-search", func() error { _, err := c.Search(ctx, "graph partitioning", uid, "", 10); return err }},
+		{"peer-recs", func() error { _, err := c.PeerRecommendations(ctx, uid, "", 5); return err }},
+		{"digest", func() error { _, err := c.Digest(ctx, uid, 5); return err }},
+		{"search-304", func() error { _, err := cached.Search(ctx, "graph partitioning", "", "", 10); return err }},
+	}
+	if len(ids) > 1 { // relationship needs a second researcher
+		other := ids[1]
+		endpoints = append(endpoints, row{"relationship", func() error {
+			_, err := c.Relationship(ctx, uid, other)
+			return err
+		}})
+	}
+
 	fmt.Printf("%-14s %10s %12s\n", "endpoint", "calls", "mean-latency")
 	for _, ep := range endpoints {
 		const calls = 50
 		d := timeIt(func() {
 			for i := 0; i < calls; i++ {
-				resp, err := http.Get(ts.URL + ep.path)
-				if err != nil {
+				if err := ep.fn(); err != nil {
 					log.Fatal(err)
 				}
-				resp.Body.Close()
 			}
 		})
 		fmt.Printf("%-14s %10d %12v\n", ep.name, calls, d/calls)
 	}
+	if _, hits := cached.Stats(); hits > 0 {
+		fmt.Printf("search-304: %d of 50 calls served via ETag revalidation\n", hits)
+	}
+}
+
+// e13: bulk ingest through POST /api/v1/batch (chunked, one snapshot
+// invalidation per chunk) vs one typed request per entity — the scale
+// path for bulk loaders.
+func e13(users int) {
+	ctx := context.Background()
+	run := func(name string, load func(c *client.Client, ds *workload.Dataset) error) {
+		p, err := hive.Open(hive.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Close()
+		ts := httptest.NewServer(server.New(p))
+		defer ts.Close()
+		ds := workload.Generate(workload.Config{Seed: 42, Users: users})
+		c := client.New(ts.URL)
+		d := timeIt(func() {
+			if err := load(c, ds); err != nil {
+				log.Fatal(err)
+			}
+		})
+		n := len(p.Store().EventsSince(0, 0)) // proxy for applied interactions
+		fmt.Printf("%-14s %12v %10d users %8d events\n", name, d, users, n)
+	}
+	fmt.Printf("%-14s %12s\n", "method", "wall-time")
+	run("per-entity", func(c *client.Client, ds *workload.Dataset) error {
+		return httpload.PerEntity(ctx, c, ds)
+	})
+	for _, chunk := range []int{64, 256, 1024} {
+		chunk := chunk
+		run(fmt.Sprintf("batch-%d", chunk), func(c *client.Client, ds *workload.Dataset) error {
+			return httpload.Batch(ctx, c, ds, chunk)
+		})
+	}
+	fmt.Println("shape: batch ingest amortizes round trips and snapshot invalidations; bigger chunks win until payload size dominates")
 }
 
 // e2: relationship discovery latency + evidence histogram + fusion

@@ -4,6 +4,12 @@
 // Usage:
 //
 //	hived [-addr :8080] [-data DIR] [-seed users] [-refresh 30s] [-workers N]
+//	      [-timeout 30s] [-max-inflight N] [-qps N] [-quiet]
+//
+// The API is served under /api/v1 (typed DTOs, cursor pagination,
+// structured errors, conditional knowledge GETs, POST /api/v1/batch
+// bulk ingest — see API.md); the unversioned /api/* routes remain as
+// deprecated aliases for one release.
 //
 // With -seed N, a synthetic conference workload of N users is generated
 // and loaded at startup so the API has data to serve. With -refresh D,
@@ -11,9 +17,12 @@
 // changed; rebuilds fan the derivation stages out across -workers
 // goroutines and swap the snapshot atomically, so requests keep being
 // served from the previous snapshot for the whole rebuild. A rebuild can
-// also be requested over HTTP: POST /api/admin/refresh (async; add
-// ?wait=true to block until the swap), and GET /api/healthz reports the
-// serving snapshot's generation, age and staleness.
+// also be requested over HTTP: POST /api/v1/admin/refresh (async; add
+// ?wait=true to block until the swap), and GET /api/v1/healthz reports
+// the serving snapshot's generation, age and staleness.
+//
+// -timeout, -max-inflight and -qps wire the middleware stack's
+// operational limits (0 disables each); -quiet drops the access log.
 package main
 
 import (
@@ -33,6 +42,10 @@ func main() {
 	seed := flag.Int("seed", 0, "generate a synthetic workload with this many users")
 	refresh := flag.Duration("refresh", 30*time.Second, "background snapshot refresh interval (0 = disabled)")
 	workers := flag.Int("workers", 0, "engine rebuild parallelism (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request time budget (0 = unbounded)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent requests (0 = uncapped)")
+	qps := flag.Float64("qps", 0, "global request rate limit (0 = unlimited)")
+	quiet := flag.Bool("quiet", false, "disable the per-request access log")
 	flag.Parse()
 
 	p, err := hive.Open(hive.Options{Dir: *data, Workers: *workers})
@@ -43,7 +56,9 @@ func main() {
 
 	if *seed > 0 {
 		ds := workload.Generate(workload.Config{Seed: 42, Users: *seed})
-		if err := ds.Load(p.Store()); err != nil {
+		// Seeding runs in-process before serving: one batched store pass,
+		// one snapshot invalidation.
+		if err := p.Store().Batched(func() error { return ds.Load(p.Store()) }); err != nil {
 			log.Fatalf("load workload: %v", err)
 		}
 		log.Printf("seeded %d users, %d papers, %d sessions",
@@ -60,8 +75,16 @@ func main() {
 		log.Printf("auto-refresh every %v", *refresh)
 	}
 
-	log.Printf("hived listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, server.New(p)); err != nil {
+	cfg := server.Config{
+		Timeout:     *timeout,
+		MaxInFlight: *maxInflight,
+		QPS:         *qps,
+	}
+	if !*quiet {
+		cfg.AccessLog = log.Default()
+	}
+	log.Printf("hived listening on %s (API v1 at /api/v1, legacy /api/* deprecated)", *addr)
+	if err := http.ListenAndServe(*addr, server.NewWith(p, cfg)); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
 }

@@ -1,0 +1,304 @@
+package server
+
+import (
+	"compress/gzip"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hive/api"
+)
+
+// Middleware wraps a handler. The server composes its stack with Chain;
+// individual middlewares are exported-in-spirit (package-local) building
+// blocks with no coupling to the Platform.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies middlewares so the first argument is the outermost.
+func Chain(h http.Handler, mws ...Middleware) http.Handler {
+	for i := len(mws) - 1; i >= 0; i-- {
+		h = mws[i](h)
+	}
+	return h
+}
+
+// ctxKey namespaces context values.
+type ctxKey int
+
+const ctxRequestID ctxKey = iota
+
+// requestIDFrom returns the request ID assigned by the RequestID
+// middleware ("" outside it).
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxRequestID).(string)
+	return id
+}
+
+// RequestID tags every request with an ID — propagated from the
+// client's X-Request-ID when present, generated otherwise — echoed on
+// the response and available to downstream handlers via the context.
+func RequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			var buf [8]byte
+			_, _ = rand.Read(buf[:])
+			id = hex.EncodeToString(buf[:])
+		}
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxRequestID, id)))
+	})
+}
+
+// statusWriter records the response status and size for logging and
+// panic recovery.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += n
+	return n, err
+}
+
+// AccessLog writes one line per request: method, path, status, bytes,
+// duration and request ID.
+func AccessLog(l *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			l.Printf("%s %s %d %dB %v rid=%s",
+				r.Method, r.URL.RequestURI(), status, sw.bytes,
+				time.Since(start).Round(time.Microsecond), requestIDFrom(r.Context()))
+		})
+	}
+}
+
+// Recover converts handler panics into a 500 error envelope (when no
+// response has started) instead of tearing down the connection.
+func Recover(l *log.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sw := &statusWriter{ResponseWriter: w}
+			defer func() {
+				v := recover()
+				if v == nil || v == http.ErrAbortHandler {
+					if v != nil {
+						panic(v)
+					}
+					return
+				}
+				if l != nil {
+					l.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				}
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, api.CodeInternal, "internal error")
+				}
+			}()
+			next.ServeHTTP(sw, r)
+		})
+	}
+}
+
+// Timeout bounds a request's handling time; on expiry the client gets a
+// 503 with a timeout-coded envelope and the handler's late writes are
+// discarded (http.TimeoutHandler semantics).
+func Timeout(d time.Duration) Middleware {
+	body, _ := json.Marshal(api.ErrorResponse{Error: &api.Error{
+		Code:    api.CodeTimeout,
+		Message: "request exceeded the server's time budget",
+	}})
+	return func(next http.Handler) http.Handler {
+		return http.TimeoutHandler(next, d, string(body))
+	}
+}
+
+// MaxInFlight rejects requests beyond n concurrent ones with 503 — the
+// load-shedding backstop that keeps a burst from queueing unboundedly.
+func MaxInFlight(n int) Middleware {
+	sem := make(chan struct{}, n)
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+				next.ServeHTTP(w, r)
+			default:
+				writeError(w, http.StatusServiceUnavailable, api.CodeOverloaded,
+					"too many in-flight requests")
+			}
+		})
+	}
+}
+
+// RateLimit enforces a global token-bucket request rate: qps sustained,
+// burst instantaneous. Excess requests get 429.
+func RateLimit(qps float64, burst int) Middleware {
+	if burst < 1 {
+		burst = 1
+	}
+	tb := &tokenBucket{tokens: float64(burst), max: float64(burst), rate: qps, last: time.Now()}
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !tb.allow(time.Now()) {
+				writeError(w, http.StatusTooManyRequests, api.CodeRateLimited, "request rate limit exceeded")
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	rate   float64
+	last   time.Time
+}
+
+func (tb *tokenBucket) allow(now time.Time) bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+	tb.last = now
+	if tb.tokens > tb.max {
+		tb.tokens = tb.max
+	}
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// Gzip compresses responses for clients that accept it. The
+// Content-Encoding header is committed lazily, on the response's own
+// WriteHeader/Write: setting it eagerly would poison the shared header
+// map for writers that bypass the gzip writer — an outer Recover
+// answering a panic with a plain 500 envelope would be advertised as
+// gzip and be unreadable. Bodyless statuses (204, 304) pass through
+// uncompressed so conditional GETs stay empty.
+func Gzip(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !acceptsGzip(r.Header.Get("Accept-Encoding")) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		gw := &gzipWriter{ResponseWriter: w}
+		gw.Header().Add("Vary", "Accept-Encoding")
+		defer gw.close()
+		next.ServeHTTP(gw, r)
+	})
+}
+
+type gzipWriter struct {
+	http.ResponseWriter
+	gz          *gzip.Writer
+	passthrough bool
+	wroteHeader bool
+}
+
+func (g *gzipWriter) WriteHeader(code int) {
+	if !g.wroteHeader {
+		g.wroteHeader = true
+		if code == http.StatusNoContent || code == http.StatusNotModified || code < http.StatusOK {
+			g.passthrough = true
+		} else {
+			g.Header().Del("Content-Length")
+			g.Header().Set("Content-Encoding", "gzip")
+		}
+	}
+	g.ResponseWriter.WriteHeader(code)
+}
+
+func (g *gzipWriter) Write(b []byte) (int, error) {
+	if !g.wroteHeader {
+		g.WriteHeader(http.StatusOK)
+	}
+	if g.passthrough {
+		return g.ResponseWriter.Write(b)
+	}
+	if g.gz == nil {
+		g.gz = gzip.NewWriter(g.ResponseWriter)
+	}
+	return g.gz.Write(b)
+}
+
+func (g *gzipWriter) close() {
+	if g.gz != nil {
+		_ = g.gz.Close()
+	}
+}
+
+// acceptsGzip parses Accept-Encoding far enough to honor an explicit
+// refusal: "gzip;q=0" declares gzip unacceptable, which a bare
+// substring test would read as consent.
+func acceptsGzip(header string) bool {
+	for _, part := range strings.Split(header, ",") {
+		name, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(name) != "gzip" {
+			continue
+		}
+		for _, p := range strings.Split(params, ";") {
+			if k, v, ok := strings.Cut(strings.TrimSpace(p), "="); ok && strings.TrimSpace(k) == "q" {
+				if q, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil && q == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// successorOverrides maps legacy paths whose v1 twin is not the plain
+// /api -> /api/v1 rewrite.
+var successorOverrides = map[string]string{
+	"/api/refresh": "/api/v1/admin/refresh",
+}
+
+// Deprecated marks legacy unversioned routes: responses carry a
+// Deprecation header and a successor-version link to the /api/v1 twin.
+func Deprecated(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		successor := successorOverrides[r.URL.Path]
+		if successor == "" {
+			if rest, ok := strings.CutPrefix(r.URL.Path, "/api/"); ok {
+				successor = "/api/v1/" + rest
+			}
+		}
+		if successor != "" {
+			w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

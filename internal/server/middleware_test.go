@@ -1,0 +1,242 @@
+package server
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hive/api"
+)
+
+func envelopeCode(t *testing.T, body io.Reader) string {
+	t.Helper()
+	var env api.ErrorResponse
+	if err := json.NewDecoder(body).Decode(&env); err != nil {
+		t.Fatalf("decode envelope: %v", err)
+	}
+	if env.Error == nil {
+		t.Fatal("no error in envelope")
+	}
+	return env.Error.Code
+}
+
+func TestRecoverMiddleware(t *testing.T) {
+	quiet := log.New(io.Discard, "", 0)
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}), Recover(quiet))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if code := envelopeCode(t, rec.Body); code != api.CodeInternal {
+		t.Fatalf("code = %q", code)
+	}
+}
+
+func TestTimeoutMiddleware(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-r.Context().Done():
+		}
+	}), Timeout(20*time.Millisecond))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/slow", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if code := envelopeCode(t, rec.Body); code != api.CodeTimeout {
+		t.Fatalf("code = %q", code)
+	}
+}
+
+func TestMaxInFlightMiddleware(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+	}), MaxInFlight(1))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered // the slot is held
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow status = %d", resp.StatusCode)
+	}
+	if code := envelopeCode(t, resp.Body); code != api.CodeOverloaded {
+		t.Fatalf("code = %q", code)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestRateLimitMiddleware(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), RateLimit(0.001, 1)) // one token, refills far too slowly to matter
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first request = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d", rec.Code)
+	}
+	if code := envelopeCode(t, rec.Body); code != api.CodeRateLimited {
+		t.Fatalf("code = %q", code)
+	}
+}
+
+func TestGzipMiddleware(t *testing.T) {
+	payload := strings.Repeat("compress me please ", 200)
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		_, _ = io.WriteString(w, payload)
+	}), Gzip)
+
+	// Client accepts gzip: body arrives compressed.
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("Content-Encoding"); got != "gzip" {
+		t.Fatalf("Content-Encoding = %q", got)
+	}
+	if rec.Body.Len() >= len(payload) {
+		t.Fatalf("body not compressed: %d >= %d", rec.Body.Len(), len(payload))
+	}
+	gr, err := gzip.NewReader(rec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := io.ReadAll(gr)
+	if err != nil || string(plain) != payload {
+		t.Fatalf("roundtrip: %v, %d bytes", err, len(plain))
+	}
+
+	// Client without gzip support: passthrough.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Header().Get("Content-Encoding") != "" || rec.Body.String() != payload {
+		t.Fatal("non-gzip client got transformed body")
+	}
+
+	// Explicit refusal (q=0) must not be read as consent.
+	req = httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("Accept-Encoding", "gzip;q=0, identity")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Header().Get("Content-Encoding") != "" || rec.Body.String() != payload {
+		t.Fatal("gzip;q=0 client got a compressed body")
+	}
+}
+
+func TestAcceptsGzip(t *testing.T) {
+	for _, tc := range []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{"gzip", true},
+		{"gzip, deflate", true},
+		{"deflate, gzip;q=0.5", true},
+		{"gzip;q=0", false},
+		{"gzip;q=0.0, identity", false},
+		{"deflate", false},
+		{"x-gzip-like", false},
+	} {
+		if got := acceptsGzip(tc.header); got != tc.want {
+			t.Fatalf("acceptsGzip(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+// TestGzip304StaysEmpty: conditional responses must not grow a gzip
+// frame (a 304 with a body would be a protocol violation).
+func TestGzip304StaysEmpty(t *testing.T) {
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotModified)
+	}), Gzip)
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("304 carried %d body bytes", rec.Body.Len())
+	}
+	if rec.Header().Get("Content-Encoding") == "gzip" {
+		t.Fatal("304 claims gzip encoding")
+	}
+}
+
+// TestRecoverThroughGzipStaysReadable: a panic before any write must
+// yield a plain-JSON 500 envelope with no stray Content-Encoding — the
+// gzip middleware may only commit the header for responses it actually
+// compresses.
+func TestRecoverThroughGzipStaysReadable(t *testing.T) {
+	quiet := log.New(io.Discard, "", 0)
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	}), Recover(quiet), Gzip)
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if enc := rec.Header().Get("Content-Encoding"); enc != "" {
+		t.Fatalf("panic response claims Content-Encoding %q", enc)
+	}
+	if code := envelopeCode(t, rec.Body); code != api.CodeInternal {
+		t.Fatalf("code = %q", code)
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	var trace []string
+	mk := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				trace = append(trace, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace = append(trace, "handler")
+	}), mk("outer"), mk("inner"))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if strings.Join(trace, ",") != "outer,inner,handler" {
+		t.Fatalf("trace = %v", trace)
+	}
+}

@@ -1,21 +1,34 @@
-// Package server exposes the Hive platform as a JSON REST API — the
-// web-facing surface of Figure 1. The paper's deployment used
+// Package server exposes the Hive platform as a versioned JSON REST
+// API — the web-facing surface of Figure 1. The paper's deployment used
 // JomSocial/Joomla; this server is the stdlib net/http substitute
-// offering the same service set (profiles, connections, follows, content,
-// check-ins, Q&A, workpads, feeds) plus the knowledge services
+// offering the same service set (profiles, connections, follows,
+// content, check-ins, Q&A, workpads, feeds) plus the knowledge services
 // (relationship explanation, recommendations, context-aware search,
 // previews, digests).
+//
+// The contract lives in the hive/api package: /api/v1 routes speak
+// typed DTOs, list endpoints return cursor-paginated api.Page envelopes,
+// errors use the structured envelope with stable codes, and knowledge
+// GETs support conditional requests (ETag keyed on the snapshot
+// generation, so an unchanged snapshot revalidates with a 304 instead
+// of a recompute+encode). Legacy unversioned /api/* routes remain as
+// thin deprecated aliases onto the same handlers for one release.
 package server
 
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"log"
 	"net/http"
+	"slices"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"hive"
+	"hive/api"
 	"hive/internal/core"
 	"hive/internal/social"
 	"hive/internal/textindex"
@@ -27,23 +40,112 @@ import (
 // the snapshot, each read would kick a new refresh).
 const minRevalidateInterval = time.Second
 
+// Clamp ceilings for non-pagination integer parameters: how many
+// results a single request may ask the engine to compute.
+const (
+	maxK      = api.MaxPageSize
+	maxBudget = 100
+)
+
+// Config tunes the middleware stack. The zero value disables the
+// operational limits (no timeout, no in-flight cap, no rate limit, no
+// access log) and keeps gzip on — the right default for tests and
+// embedded use; cmd/hived wires real limits from flags.
+type Config struct {
+	// Timeout bounds per-request handling time (0 = unbounded).
+	Timeout time.Duration
+	// MaxInFlight caps concurrent requests (0 = uncapped); excess gets 503.
+	MaxInFlight int
+	// QPS rate-limits requests globally (0 = unlimited); excess gets 429.
+	QPS float64
+	// Burst is the rate limiter's bucket size (defaults to max(1, QPS)).
+	Burst int
+	// AccessLog, when set, receives one line per request.
+	AccessLog *log.Logger
+	// ErrorLog receives panic reports (defaults to log.Default()).
+	ErrorLog *log.Logger
+	// DisableGzip turns off response compression.
+	DisableGzip bool
+}
+
 // Server routes HTTP requests to a Platform.
 type Server struct {
 	p   *hive.Platform
 	mux *http.ServeMux
+	h   http.Handler // mux wrapped in the middleware chain
 
 	lastReval atomic.Int64 // unix nanos of the last read-triggered refresh kick
 }
 
-// New builds a server around a platform.
-func New(p *hive.Platform) *Server {
+// New builds a server around a platform with default Config.
+func New(p *hive.Platform) *Server { return NewWith(p, Config{}) }
+
+// NewWith builds a server with an explicit middleware configuration.
+func NewWith(p *hive.Platform, cfg Config) *Server {
 	s := &Server{p: p, mux: http.NewServeMux()}
 	s.routes()
+
+	errLog := cfg.ErrorLog
+	if errLog == nil {
+		errLog = log.Default()
+	}
+	// Outermost first: tag, log, catch panics, then enforce budget and
+	// load limits, compressing innermost so limit rejections stay cheap.
+	mws := []Middleware{RequestID}
+	if cfg.AccessLog != nil {
+		mws = append(mws, AccessLog(cfg.AccessLog))
+	}
+	mws = append(mws, Recover(errLog))
+	if cfg.Timeout > 0 {
+		mws = append(mws, timeoutExcept(cfg.Timeout, timeoutExempt))
+	}
+	if cfg.MaxInFlight > 0 {
+		mws = append(mws, MaxInFlight(cfg.MaxInFlight))
+	}
+	if cfg.QPS > 0 {
+		burst := cfg.Burst
+		if burst <= 0 {
+			burst = int(cfg.QPS)
+		}
+		mws = append(mws, RateLimit(cfg.QPS, burst))
+	}
+	if !cfg.DisableGzip {
+		mws = append(mws, Gzip)
+	}
+	s.h = Chain(s.mux, mws...)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.h.ServeHTTP(w, r) }
+
+// timeoutExempt lists routes whose handling time legitimately scales
+// with data size: a synchronous snapshot rebuild (?wait=true) or a bulk
+// batch on a large deployment can take minutes, and a mid-flight 503
+// would be indistinguishable from failure while the work completes
+// server-side anyway.
+func timeoutExempt(path string) bool {
+	switch path {
+	case "/api/v1/batch", "/api/v1/admin/refresh", "/api/admin/refresh", "/api/refresh":
+		return true
+	}
+	return false
+}
+
+// timeoutExcept applies the Timeout middleware to all requests except
+// those whose path the exempt predicate accepts.
+func timeoutExcept(d time.Duration, exempt func(string) bool) Middleware {
+	return func(next http.Handler) http.Handler {
+		timed := Timeout(d)(next)
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if exempt(r.URL.Path) {
+				next.ServeHTTP(w, r)
+				return
+			}
+			timed.ServeHTTP(w, r)
+		})
+	}
+}
 
 // engine resolves the serving snapshot without ever blocking reads on a
 // rebuild: the current snapshot is served as-is, and when it is stale a
@@ -73,67 +175,288 @@ func (s *Server) maybeRevalidate() {
 	}
 }
 
+// routes registers the v1 surface and the legacy unversioned aliases.
 func (s *Server) routes() {
 	m := s.mux
-	m.HandleFunc("GET /api/healthz", s.getHealthz)
 
-	m.HandleFunc("POST /api/users", jsonIn(s.postUser))
-	m.HandleFunc("GET /api/users/{id}", s.getUser)
-	m.HandleFunc("GET /api/users", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.p.Users())
-	})
-	m.HandleFunc("POST /api/conferences", jsonIn(s.postConference))
-	m.HandleFunc("POST /api/sessions", jsonIn(s.postSession))
-	m.HandleFunc("POST /api/papers", jsonIn(s.postPaper))
-	m.HandleFunc("POST /api/presentations", jsonIn(s.postPresentation))
-	m.HandleFunc("POST /api/connections", jsonIn(s.postConnection))
-	m.HandleFunc("POST /api/follows", jsonIn(s.postFollow))
-	m.HandleFunc("POST /api/checkins", jsonIn(s.postCheckin))
-	m.HandleFunc("GET /api/sessions/{id}/attendees", s.getAttendees)
-	m.HandleFunc("POST /api/questions", jsonIn(s.postQuestion))
-	m.HandleFunc("POST /api/answers", jsonIn(s.postAnswer))
-	m.HandleFunc("POST /api/comments", jsonIn(s.postComment))
-	m.HandleFunc("POST /api/workpads", jsonIn(s.postWorkpad))
-	m.HandleFunc("POST /api/workpads/{id}/items", s.postWorkpadItem)
-	m.HandleFunc("POST /api/workpads/{id}/activate", s.postWorkpadActivate)
-	m.HandleFunc("GET /api/users/{id}/workpad", s.getActiveWorkpad)
-	m.HandleFunc("GET /api/users/{id}/feed", s.getFeed)
-	m.HandleFunc("GET /api/tags/{tag}/events", s.getTagEvents)
+	// One handler per mutation, bound once: the v1 route, the legacy
+	// alias and the batch dispatch (applyEntity) all share the applier,
+	// so semantics cannot drift between the three.
+	postUser := create(s.applyUser)
+	postConference := create(s.applyConference)
+	postSession := create(s.applySession)
+	postPaper := create(s.applyPaper)
+	postPresentation := create(s.applyPresentation)
+	postConnection := create(s.applyConnect)
+	postCheckin := create(s.applyCheckin)
+	postQuestion := create(s.applyQuestion)
+	postAnswer := create(s.applyAnswer)
+	postComment := create(s.applyComment)
+	postWorkpad := create(s.applyWorkpad)
 
-	m.HandleFunc("GET /api/relationship", s.getRelationship)
-	m.HandleFunc("GET /api/users/{id}/recommendations/peers", s.getPeerRecs)
-	m.HandleFunc("GET /api/users/{id}/recommendations/resources", s.getResourceRecs)
-	m.HandleFunc("GET /api/users/{id}/sessions/suggest", s.getSessionSuggestions)
-	m.HandleFunc("GET /api/search", s.getSearch)
-	m.HandleFunc("GET /api/preview", s.getPreview)
-	m.HandleFunc("GET /api/users/{id}/digest", s.getDigest)
-	m.HandleFunc("GET /api/communities", s.getCommunities)
-	m.HandleFunc("GET /api/users/{id}/history", s.getHistory)
-	m.HandleFunc("GET /api/users/{id}/resource-relationship", s.getResourceRelationship)
-	m.HandleFunc("GET /api/knowledge/paths", s.getKnowledgePaths)
-	m.HandleFunc("POST /api/refresh", s.postRefreshSync) // legacy synchronous alias
-	m.HandleFunc("POST /api/admin/refresh", s.postAdminRefresh)
+	// --- /api/v1: mutations ------------------------------------------------
+	m.HandleFunc("POST /api/v1/users", postUser)
+	m.HandleFunc("POST /api/v1/conferences", postConference)
+	m.HandleFunc("POST /api/v1/sessions", postSession)
+	m.HandleFunc("POST /api/v1/papers", postPaper)
+	m.HandleFunc("POST /api/v1/presentations", postPresentation)
+	m.HandleFunc("POST /api/v1/connections", postConnection)
+	m.HandleFunc("POST /api/v1/follows", create(s.applyFollow))
+	m.HandleFunc("POST /api/v1/checkins", postCheckin)
+	m.HandleFunc("POST /api/v1/questions", postQuestion)
+	m.HandleFunc("POST /api/v1/answers", postAnswer)
+	m.HandleFunc("POST /api/v1/comments", postComment)
+	m.HandleFunc("POST /api/v1/workpads", postWorkpad)
+	m.HandleFunc("POST /api/v1/workpads/{id}/items", s.postWorkpadItem)
+	m.HandleFunc("POST /api/v1/workpads/{id}/activate", s.postWorkpadActivate)
+	m.HandleFunc("POST /api/v1/batch", s.postBatch)
+	m.HandleFunc("POST /api/v1/admin/refresh", s.postAdminRefresh)
+
+	// --- /api/v1: reads ----------------------------------------------------
+	m.HandleFunc("GET /api/v1/healthz", s.getHealthz)
+	m.HandleFunc("GET /api/v1/users/{id}", s.getUser)
+	m.HandleFunc("GET /api/v1/users", page(s.fetchUsers))
+	m.HandleFunc("GET /api/v1/sessions/{id}/attendees", page(s.fetchAttendees))
+	m.HandleFunc("GET /api/v1/users/{id}/workpad", s.getActiveWorkpad)
+	m.HandleFunc("GET /api/v1/users/{id}/feed", page(s.fetchFeed))
+	m.HandleFunc("GET /api/v1/tags/{tag}/events", page(s.fetchTagEvents))
+
+	// Knowledge services: engine-backed, so their responses are a pure
+	// function of the snapshot — conditional GETs revalidate on the
+	// snapshot generation.
+	m.HandleFunc("GET /api/v1/relationship", s.etag(s.getRelationship))
+	m.HandleFunc("GET /api/v1/users/{id}/recommendations/peers", s.etag(page(s.fetchPeerRecs)))
+	m.HandleFunc("GET /api/v1/users/{id}/recommendations/resources", s.etag(page(s.fetchResourceRecs)))
+	m.HandleFunc("GET /api/v1/users/{id}/sessions/suggest", s.etag(page(s.fetchSessionSuggestions)))
+	m.HandleFunc("GET /api/v1/search", s.etag(page(s.fetchSearch)))
+	m.HandleFunc("GET /api/v1/preview", s.etag(s.getPreview))
+	m.HandleFunc("GET /api/v1/users/{id}/digest", s.etag(s.getDigest))
+	m.HandleFunc("GET /api/v1/communities", s.etag(page(s.fetchCommunities)))
+	m.HandleFunc("GET /api/v1/users/{id}/history", s.etag(page(s.fetchHistory)))
+	m.HandleFunc("GET /api/v1/users/{id}/resource-relationship", s.etag(s.getResourceRelationship))
+	m.HandleFunc("GET /api/v1/knowledge/paths", s.etag(s.getKnowledgePaths))
+
+	// --- Legacy unversioned aliases (deprecated, one release) --------------
+	// Same handlers; list endpoints keep their historical bare-array
+	// shape but are now capped at the v1 page-size ceiling, and error
+	// responses use the v1 structured envelope (documented in API.md).
+	alias := func(pattern string, h http.HandlerFunc) {
+		m.Handle(pattern, Deprecated(h))
+	}
+	alias("GET /api/healthz", s.getHealthz)
+	alias("POST /api/users", postUser)
+	alias("GET /api/users/{id}", s.getUser)
+	alias("GET /api/users", legacyList(s.fetchUsers, "limit", api.DefaultPageSize))
+	alias("POST /api/conferences", postConference)
+	alias("POST /api/sessions", postSession)
+	alias("POST /api/papers", postPaper)
+	alias("POST /api/presentations", postPresentation)
+	alias("POST /api/connections", postConnection)
+	// The legacy follow body was {"a": follower, "b": followee}.
+	alias("POST /api/follows", create(func(r api.ConnectRequest) error {
+		return s.applyFollow(api.FollowRequest{Follower: r.A, Followee: r.B})
+	}))
+	alias("POST /api/checkins", postCheckin)
+	alias("GET /api/sessions/{id}/attendees", legacyList(s.fetchAttendees, "limit", api.MaxPageSize))
+	alias("POST /api/questions", postQuestion)
+	alias("POST /api/answers", postAnswer)
+	alias("POST /api/comments", postComment)
+	alias("POST /api/workpads", postWorkpad)
+	alias("POST /api/workpads/{id}/items", s.postWorkpadItem)
+	alias("POST /api/workpads/{id}/activate", s.postWorkpadActivate)
+	alias("GET /api/users/{id}/workpad", s.getActiveWorkpad)
+	alias("GET /api/users/{id}/feed", s.legacyFeed)
+	alias("GET /api/tags/{tag}/events", legacyList(s.fetchTagEvents, "limit", api.MaxPageSize))
+	alias("GET /api/relationship", s.getRelationship)
+	alias("GET /api/users/{id}/recommendations/peers", legacyList(s.fetchPeerRecs, "k", 5))
+	alias("GET /api/users/{id}/recommendations/resources", legacyList(s.fetchResourceRecs, "k", 5))
+	alias("GET /api/users/{id}/sessions/suggest", legacyList(s.fetchSessionSuggestions, "k", 5))
+	alias("GET /api/search", legacyList(s.fetchSearch, "k", 10))
+	alias("GET /api/preview", s.getPreview)
+	alias("GET /api/users/{id}/digest", s.getDigest)
+	alias("GET /api/communities", legacyList(s.fetchCommunities, "limit", api.MaxPageSize))
+	alias("GET /api/users/{id}/history", legacyList(s.fetchHistory, "limit", 50))
+	alias("GET /api/users/{id}/resource-relationship", s.getResourceRelationship)
+	alias("GET /api/knowledge/paths", s.getKnowledgePaths)
+	alias("POST /api/refresh", s.postRefreshSync)
+	alias("POST /api/admin/refresh", s.postAdminRefresh)
 }
+
+// --- Generic handler adapters ------------------------------------------------
+
+// Request-body size caps: json.Decoder buffers the payload in memory
+// before validation, so unbounded bodies are an OOM vector the
+// in-flight/QPS limits don't cover.
+const (
+	maxEntityBody = 1 << 20  // single-entity requests
+	maxBatchBody  = 64 << 20 // bulk ingest
+)
+
+// decodeBody JSON-decodes a capped request body into v, writing the
+// appropriate error envelope (413 over the cap, 400 on bad JSON) and
+// returning false on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, api.CodePayloadTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad json: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// create adapts a typed JSON mutation handler: decode the DTO, apply,
+// answer 201 with the created envelope.
+func create[T any](fn func(T) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var v T
+		if !decodeBody(w, r, &v, maxEntityBody) {
+			return
+		}
+		if err := fn(v); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, api.CreatedResponse{Status: "created"})
+	}
+}
+
+// fetcher produces up to n items for a list endpoint, reading its
+// endpoint-specific parameters from the request. n bounds how many
+// items the fetch may compute from position zero; implementations
+// backed by cheap full listings may ignore it.
+type fetcher[T any] func(r *http.Request, n int) ([]T, error)
+
+// page adapts a fetcher into the v1 cursor-paginated handler. It
+// fetches one element past the page end so NextCursor is only set when
+// a further page actually exists.
+func page[T any](fetch fetcher[T]) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		limit := intParam(r, "limit", api.DefaultPageSize, 1, api.MaxPageSize)
+		offset, err := api.DecodeCursor(r.URL.Query().Get("cursor"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		items, err := fetch(r, offset+limit+1)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, api.Paginate(items, offset, limit))
+	}
+}
+
+// legacyList adapts a fetcher into the historical bare-array shape,
+// bounded by the endpoint's legacy size parameter (clamped — the
+// unversioned surface no longer returns unbounded lists).
+func legacyList[T any](fetch fetcher[T], param string, def int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := intParam(r, param, def, 1, api.MaxPageSize)
+		items, err := fetch(r, n)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, api.Paginate(items, 0, n).Items)
+	}
+}
+
+// etag adds conditional-GET support keyed on the snapshot generation.
+// Knowledge responses are a pure function of (snapshot, URL), so a
+// matching If-None-Match for the still-serving generation is answered
+// 304 before any engine work. The generation is read *before* the
+// handler resolves the snapshot: if a swap races in between, the
+// response is tagged one generation old and a client merely revalidates
+// once more — never the reverse (a 304 for content it doesn't hold).
+func (s *Server) etag(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		// The 304 fast path must not starve freshness: a revalidating
+		// client would otherwise never reach the handler's engine
+		// resolution, so a stale snapshot (same generation, new data)
+		// would pin it to 304s forever. Kick the background refresh
+		// here too.
+		if s.p.Stale() {
+			s.maybeRevalidate()
+		}
+		tag := fmt.Sprintf(`"hive-g%d"`, s.p.Generation())
+		if match := r.Header.Get("If-None-Match"); match != "" && etagMatch(match, tag) {
+			w.Header().Set("ETag", tag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		// Stamp the tag only on success: a 404/500 envelope has no
+		// representation for the client to cache.
+		h(&etagOnSuccess{ResponseWriter: w, tag: tag}, r)
+	}
+}
+
+// etagOnSuccess injects the ETag header just before a 2xx status is
+// committed, leaving error responses untagged.
+type etagOnSuccess struct {
+	http.ResponseWriter
+	tag         string
+	wroteHeader bool
+}
+
+func (e *etagOnSuccess) WriteHeader(code int) {
+	if !e.wroteHeader {
+		e.wroteHeader = true
+		if code >= 200 && code < 300 {
+			e.Header().Set("ETag", e.tag)
+		}
+	}
+	e.ResponseWriter.WriteHeader(code)
+}
+
+func (e *etagOnSuccess) Write(b []byte) (int, error) {
+	if !e.wroteHeader {
+		e.WriteHeader(http.StatusOK)
+	}
+	return e.ResponseWriter.Write(b)
+}
+
+// etagMatch reports whether the If-None-Match header value matches tag,
+// honoring lists. The '*' wildcard is deliberately NOT a match: per RFC
+// 9110 it matches only when a current representation exists, which is
+// unknown before the handler runs — treating it as a miss costs one
+// full response instead of risking a 304 for a resource that 404s.
+func etagMatch(header, tag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Health & refresh ---------------------------------------------------------
 
 // getHealthz reports liveness plus snapshot freshness: the snapshot
 // generation, when it was built, how long the build took, its age, and
 // whether data changed since (stale). Reads are served from the swapped
 // snapshot, so "stale: true" means a rebuild is due, not an outage.
 func (s *Server) getHealthz(w http.ResponseWriter, r *http.Request) {
-	out := map[string]any{
-		"status":     "ok",
-		"generation": s.p.Generation(),
-		"stale":      s.p.Stale(),
-		"snapshot":   false,
+	out := api.Health{
+		Status:     "ok",
+		Generation: s.p.Generation(),
+		Stale:      s.p.Stale(),
 	}
 	if eng := s.p.Snapshot(); eng != nil {
-		out["snapshot"] = true
-		out["built_at"] = eng.BuiltAt().UTC().Format(time.RFC3339Nano)
-		out["build_ms"] = eng.BuildDuration().Milliseconds()
-		out["age_ms"] = time.Since(eng.BuiltAt()).Milliseconds()
+		out.Snapshot = true
+		out.BuiltAt = eng.BuiltAt().UTC().Format(time.RFC3339Nano)
+		out.BuildMS = eng.BuildDuration().Milliseconds()
+		out.AgeMS = time.Since(eng.BuiltAt()).Milliseconds()
 	}
 	if err := s.p.LastRefreshError(); err != nil {
-		out["last_refresh_error"] = err.Error()
+		out.LastRefreshError = err.Error()
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -145,61 +468,109 @@ func (s *Server) postRefreshSync(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "refreshed"})
+	writeJSON(w, http.StatusOK, api.RefreshResponse{Status: "refreshed"})
 }
 
 // postAdminRefresh triggers a background rebuild and returns 202
-// immediately; with ?wait=true it blocks until the swap like the legacy
-// endpoint. Reads keep being served from the old snapshot either way.
+// immediately; with ?wait=true it blocks until the swap. Reads keep
+// being served from the old snapshot either way.
 func (s *Server) postAdminRefresh(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("wait") == "true" {
 		s.postRefreshSync(w, r)
 		return
 	}
 	s.p.RefreshAsync()
-	writeJSON(w, http.StatusAccepted, map[string]string{"status": "refresh scheduled"})
+	writeJSON(w, http.StatusAccepted, api.RefreshResponse{Status: "refresh scheduled"})
 }
 
-// jsonIn adapts a typed JSON handler.
-func jsonIn[T any](fn func(T) error) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		var v T
-		if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad json: " + err.Error()})
-			return
+// --- Batch ingest -------------------------------------------------------------
+
+// postBatch applies a mixed array of entities in one store pass: the
+// whole batch costs a single snapshot invalidation instead of one per
+// entity — the scale path for bulk loaders. Elements apply in array
+// order (put dependencies first) and independently: a failed element is
+// reported in the response without aborting the rest.
+func (s *Server) postBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchRequest
+	if !decodeBody(w, r, &req, maxBatchBody) {
+		return
+	}
+	var resp api.BatchResponse
+	_ = s.p.Store().Batched(func() error {
+		for i, ent := range req.Entities {
+			if err := s.applyEntity(ent); err != nil {
+				resp.Failed++
+				resp.Errors = append(resp.Errors, api.BatchItemError{
+					Index: i, Kind: ent.Kind, Error: apiError(err),
+				})
+				continue
+			}
+			resp.Applied++
 		}
-		if err := fn(v); err != nil {
-			writeErr(w, err)
-			return
-		}
-		writeJSON(w, http.StatusCreated, map[string]string{"status": "created"})
+		return nil
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Mutation appliers: the single definition of each entity mutation,
+// shared by the typed routes (via create), the legacy aliases and the
+// batch dispatch.
+
+func (s *Server) applyUser(u api.User) error                  { return s.p.RegisterUser(u) }
+func (s *Server) applyConference(c api.Conference) error      { return s.p.CreateConference(c) }
+func (s *Server) applySession(ss api.Session) error           { return s.p.CreateSession(ss) }
+func (s *Server) applyPaper(pa api.Paper) error               { return s.p.PublishPaper(pa) }
+func (s *Server) applyPresentation(pr api.Presentation) error { return s.p.UploadPresentation(pr) }
+func (s *Server) applyConnect(r api.ConnectRequest) error     { return s.p.Connect(r.A, r.B) }
+func (s *Server) applyFollow(r api.FollowRequest) error       { return s.p.Follow(r.Follower, r.Followee) }
+func (s *Server) applyCheckin(r api.CheckinRequest) error     { return s.p.CheckIn(r.SessionID, r.UserID) }
+func (s *Server) applyQuestion(q api.Question) error          { return s.p.Ask(q) }
+func (s *Server) applyAnswer(a api.Answer) error              { return s.p.AnswerQuestion(a) }
+func (s *Server) applyComment(c api.Comment) error            { return s.p.PostComment(c) }
+func (s *Server) applyWorkpad(wp api.Workpad) error           { return s.p.CreateWorkpad(wp) }
+
+// applyBatchItem decodes one batch element's data and runs the applier.
+func applyBatchItem[T any](ent api.BatchEntity, fn func(T) error) error {
+	var v T
+	if err := json.Unmarshal(ent.Data, &v); err != nil {
+		return fmt.Errorf("%w: %s data: %v", social.ErrInvalid, ent.Kind, err)
+	}
+	return fn(v)
+}
+
+// applyEntity dispatches one batch element to the matching applier.
+func (s *Server) applyEntity(ent api.BatchEntity) error {
+	switch ent.Kind {
+	case api.KindUser:
+		return applyBatchItem(ent, s.applyUser)
+	case api.KindConference:
+		return applyBatchItem(ent, s.applyConference)
+	case api.KindSession:
+		return applyBatchItem(ent, s.applySession)
+	case api.KindPaper:
+		return applyBatchItem(ent, s.applyPaper)
+	case api.KindPresentation:
+		return applyBatchItem(ent, s.applyPresentation)
+	case api.KindConnection:
+		return applyBatchItem(ent, s.applyConnect)
+	case api.KindFollow:
+		return applyBatchItem(ent, s.applyFollow)
+	case api.KindCheckin:
+		return applyBatchItem(ent, s.applyCheckin)
+	case api.KindQuestion:
+		return applyBatchItem(ent, s.applyQuestion)
+	case api.KindAnswer:
+		return applyBatchItem(ent, s.applyAnswer)
+	case api.KindComment:
+		return applyBatchItem(ent, s.applyComment)
+	case api.KindWorkpad:
+		return applyBatchItem(ent, s.applyWorkpad)
+	default:
+		return fmt.Errorf("%w: unknown batch kind %q", social.ErrInvalid, ent.Kind)
 	}
 }
 
-func (s *Server) postUser(u hive.User) error                  { return s.p.RegisterUser(u) }
-func (s *Server) postConference(c hive.Conference) error      { return s.p.CreateConference(c) }
-func (s *Server) postSession(ss hive.Session) error           { return s.p.CreateSession(ss) }
-func (s *Server) postPaper(pa hive.Paper) error               { return s.p.PublishPaper(pa) }
-func (s *Server) postPresentation(pr hive.Presentation) error { return s.p.UploadPresentation(pr) }
-func (s *Server) postQuestion(q hive.Question) error          { return s.p.Ask(q) }
-func (s *Server) postAnswer(a hive.Answer) error              { return s.p.AnswerQuestion(a) }
-func (s *Server) postComment(c hive.Comment) error            { return s.p.PostComment(c) }
-func (s *Server) postWorkpad(w hive.Workpad) error            { return s.p.CreateWorkpad(w) }
-
-type pairReq struct {
-	A string `json:"a"`
-	B string `json:"b"`
-}
-
-func (s *Server) postConnection(r pairReq) error { return s.p.Connect(r.A, r.B) }
-func (s *Server) postFollow(r pairReq) error     { return s.p.Follow(r.A, r.B) }
-
-type checkinReq struct {
-	SessionID string `json:"session_id"`
-	UserID    string `json:"user_id"`
-}
-
-func (s *Server) postCheckin(r checkinReq) error { return s.p.CheckIn(r.SessionID, r.UserID) }
+// --- Entity reads & workpad mutations -----------------------------------------
 
 func (s *Server) getUser(w http.ResponseWriter, r *http.Request) {
 	u, err := s.p.GetUser(r.PathValue("id"))
@@ -210,30 +581,32 @@ func (s *Server) getUser(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, u)
 }
 
-func (s *Server) getAttendees(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.p.Attendees(r.PathValue("id")))
-}
-
 func (s *Server) postWorkpadItem(w http.ResponseWriter, r *http.Request) {
-	var item hive.WorkpadItem
-	if err := json.NewDecoder(r.Body).Decode(&item); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	var item api.WorkpadItem
+	if !decodeBody(w, r, &item, maxEntityBody) {
 		return
 	}
 	if err := s.p.AddToWorkpad(r.PathValue("id"), item); err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"status": "added"})
+	writeJSON(w, http.StatusCreated, api.CreatedResponse{Status: "added"})
 }
 
+// postWorkpadActivate accepts the owner in the v1 JSON body, falling
+// back to the legacy ?owner= query parameter.
 func (s *Server) postWorkpadActivate(w http.ResponseWriter, r *http.Request) {
-	owner := r.URL.Query().Get("owner")
-	if err := s.p.ActivateWorkpad(owner, r.PathValue("id")); err != nil {
+	req := api.ActivateWorkpadRequest{Owner: r.URL.Query().Get("owner")}
+	if r.Body != nil && r.ContentLength != 0 {
+		if !decodeBody(w, r, &req, maxEntityBody) {
+			return
+		}
+	}
+	if err := s.p.ActivateWorkpad(req.Owner, r.PathValue("id")); err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "activated"})
+	writeJSON(w, http.StatusOK, api.CreatedResponse{Status: "activated"})
 }
 
 func (s *Server) getActiveWorkpad(w http.ResponseWriter, r *http.Request) {
@@ -245,13 +618,102 @@ func (s *Server) getActiveWorkpad(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wp)
 }
 
-func (s *Server) getFeed(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.p.Feed(r.PathValue("id"), intParam(r, "limit", 50)))
+// --- List fetchers ------------------------------------------------------------
+
+func (s *Server) fetchUsers(_ *http.Request, n int) ([]string, error) {
+	return s.p.Store().UsersN(n), nil
 }
 
-func (s *Server) getTagEvents(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.p.EventsByTag("#"+r.PathValue("tag")))
+func (s *Server) fetchAttendees(r *http.Request, _ int) ([]string, error) {
+	return s.p.Attendees(r.PathValue("id")), nil
 }
+
+func (s *Server) fetchFeed(r *http.Request, n int) ([]api.Event, error) {
+	// v1 feeds page newest-first. Store.Feed's limit keeps the
+	// most-recent suffix in ascending order, so the newest n events
+	// reversed are exactly the first n items of the newest-first
+	// sequence — the bounded fetch page() expects (passing n straight
+	// through without reversing would re-slice a shifted window per
+	// cursor: duplicated pages, most of the feed unreachable).
+	evs := s.p.Feed(r.PathValue("id"), n)
+	slices.Reverse(evs)
+	return evs, nil
+}
+
+// legacyFeed preserves the historical shape exactly: the most-recent
+// window in ascending order, bare array.
+func (s *Server) legacyFeed(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.p.Feed(r.PathValue("id"), intParam(r, "limit", 50, 1, api.MaxPageSize)))
+}
+
+func (s *Server) fetchTagEvents(r *http.Request, _ int) ([]api.Event, error) {
+	return s.p.EventsByTag(normalizeTag(r.PathValue("tag"))), nil
+}
+
+// normalizeTag canonicalizes a path tag to exactly one leading '#':
+// clients may pass "graphs13" or an already-hashed "#graphs13" and both
+// resolve the same fan-out (previously "#" was prepended untrimmed, so
+// hashed input became "##tag" and silently matched nothing).
+func normalizeTag(tag string) string {
+	return "#" + strings.TrimLeft(tag, "#")
+}
+
+func (s *Server) fetchPeerRecs(r *http.Request, n int) ([]api.PeerRecommendation, error) {
+	eng, err := s.engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.RecommendPeers(r.PathValue("id"), n)
+}
+
+func (s *Server) fetchResourceRecs(r *http.Request, n int) ([]api.ResourceRecommendation, error) {
+	eng, err := s.engine()
+	if err != nil {
+		return nil, err
+	}
+	useCtx := r.URL.Query().Get("context") != "false"
+	return eng.RecommendResources(r.PathValue("id"), n, useCtx)
+}
+
+func (s *Server) fetchSessionSuggestions(r *http.Request, n int) ([]api.SessionSuggestion, error) {
+	eng, err := s.engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.SuggestSessions(r.PathValue("id"), r.URL.Query().Get("conf"), n)
+}
+
+func (s *Server) fetchSearch(r *http.Request, n int) ([]api.SearchResult, error) {
+	eng, err := s.engine()
+	if err != nil {
+		return nil, err
+	}
+	q := r.URL.Query().Get("q")
+	if user := r.URL.Query().Get("user"); user != "" {
+		return eng.SearchWithContext(user, q, n), nil
+	}
+	return eng.Search(q, n), nil
+}
+
+func (s *Server) fetchCommunities(_ *http.Request, _ int) ([][]string, error) {
+	eng, err := s.engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.Communities(), nil
+}
+
+func (s *Server) fetchHistory(r *http.Request, n int) ([]api.HistoryEntry, error) {
+	eng, err := s.engine()
+	if err != nil {
+		return nil, err
+	}
+	q := r.URL.Query().Get("q")
+	useCtx := r.URL.Query().Get("context") == "true"
+	return eng.SearchHistory(r.PathValue("id"), q, useCtx, n)
+}
+
+// --- Scalar knowledge endpoints -----------------------------------------------
 
 func (s *Server) getRelationship(w http.ResponseWriter, r *http.Request) {
 	eng, err := s.engine()
@@ -259,75 +721,12 @@ func (s *Server) getRelationship(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
-	ex, err := eng.Explain(a, b)
+	ex, err := eng.Explain(r.URL.Query().Get("a"), r.URL.Query().Get("b"))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ex)
-}
-
-func (s *Server) getPeerRecs(w http.ResponseWriter, r *http.Request) {
-	eng, err := s.engine()
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	recs, err := eng.RecommendPeers(r.PathValue("id"), intParam(r, "k", 5))
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, recs)
-}
-
-func (s *Server) getResourceRecs(w http.ResponseWriter, r *http.Request) {
-	eng, err := s.engine()
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	useCtx := r.URL.Query().Get("context") != "false"
-	recs, err := eng.RecommendResources(r.PathValue("id"), intParam(r, "k", 5), useCtx)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, recs)
-}
-
-func (s *Server) getSessionSuggestions(w http.ResponseWriter, r *http.Request) {
-	eng, err := s.engine()
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	conf := r.URL.Query().Get("conf")
-	sugg, err := eng.SuggestSessions(r.PathValue("id"), conf, intParam(r, "k", 5))
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, sugg)
-}
-
-func (s *Server) getSearch(w http.ResponseWriter, r *http.Request) {
-	eng, err := s.engine()
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	q := r.URL.Query().Get("q")
-	k := intParam(r, "k", 10)
-	user := r.URL.Query().Get("user")
-	var res []hive.SearchResult
-	if user != "" {
-		res = eng.SearchWithContext(user, q, k)
-	} else {
-		res = eng.Search(q, k)
-	}
-	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) getPreview(w http.ResponseWriter, r *http.Request) {
@@ -338,7 +737,7 @@ func (s *Server) getPreview(w http.ResponseWriter, r *http.Request) {
 	}
 	user := r.URL.Query().Get("user")
 	doc := r.URL.Query().Get("doc")
-	snips, err := eng.Preview(user, doc, intParam(r, "k", 3))
+	snips, err := eng.Preview(user, doc, intParam(r, "k", 3, 1, maxK))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -352,37 +751,12 @@ func (s *Server) getDigest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	sum, err := eng.UpdateDigest(r.PathValue("id"), intParam(r, "budget", 5))
+	sum, err := eng.UpdateDigest(r.PathValue("id"), intParam(r, "budget", 5, 1, maxBudget))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sum)
-}
-
-func (s *Server) getCommunities(w http.ResponseWriter, r *http.Request) {
-	eng, err := s.engine()
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, eng.Communities())
-}
-
-func (s *Server) getHistory(w http.ResponseWriter, r *http.Request) {
-	eng, err := s.engine()
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	q := r.URL.Query().Get("q")
-	useCtx := r.URL.Query().Get("context") == "true"
-	hits, err := eng.SearchHistory(r.PathValue("id"), q, useCtx, intParam(r, "limit", 50))
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, hits)
 }
 
 func (s *Server) getResourceRelationship(w http.ResponseWriter, r *http.Request) {
@@ -391,8 +765,7 @@ func (s *Server) getResourceRelationship(w http.ResponseWriter, r *http.Request)
 		writeErr(w, err)
 		return
 	}
-	entity := r.URL.Query().Get("entity")
-	evs, err := eng.ExplainResource(r.PathValue("id"), entity)
+	evs, err := eng.ExplainResource(r.PathValue("id"), r.URL.Query().Get("entity"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -407,16 +780,30 @@ func (s *Server) getKnowledgePaths(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
-	writeJSON(w, http.StatusOK, eng.KnowledgePaths(a, b, intParam(r, "k", 3)))
+	writeJSON(w, http.StatusOK, eng.KnowledgePaths(a, b, intParam(r, "k", 3, 1, maxK)))
 }
 
-func intParam(r *http.Request, name string, def int) int {
+// --- Plumbing -----------------------------------------------------------------
+
+// intParam parses an integer query parameter. Missing, unparsable or
+// below-minimum values (legacy callers used limit=0 for "unbounded" —
+// clamping that to 1 would silently return a single item) take the
+// default; values above max are clamped. Engine calls therefore never
+// see negative or absurd sizes. def must lie within [min, max].
+func intParam(r *http.Request, name string, def, min, max int) int {
+	n := def
 	if v := r.URL.Query().Get(name); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			return n
+		if parsed, err := strconv.Atoi(v); err == nil {
+			n = parsed
 		}
 	}
-	return def
+	if n < min {
+		n = def
+	}
+	if n > max {
+		n = max
+	}
+	return n
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -425,16 +812,34 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeErr maps domain errors to HTTP statuses.
-func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+// writeError emits the structured error envelope.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, api.ErrorResponse{Error: &api.Error{Code: code, Message: msg}})
+}
+
+// apiError maps a domain error to its wire form.
+func apiError(err error) *api.Error {
+	code, _ := classify(err)
+	return &api.Error{Code: code, Message: err.Error()}
+}
+
+// classify maps domain errors to stable (code, HTTP status) pairs — the
+// machine-readable half of the v1 contract.
+func classify(err error) (string, int) {
 	switch {
 	case errors.Is(err, social.ErrNotFound),
 		errors.Is(err, core.ErrUnknownUser),
 		errors.Is(err, textindex.ErrDocNotFound):
-		status = http.StatusNotFound
-	case errors.Is(err, social.ErrInvalid):
-		status = http.StatusBadRequest
+		return api.CodeNotFound, http.StatusNotFound
+	case errors.Is(err, social.ErrInvalid), errors.Is(err, api.ErrBadCursor):
+		return api.CodeInvalidArgument, http.StatusBadRequest
+	default:
+		return api.CodeInternal, http.StatusInternalServerError
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeErr maps a domain error to HTTP status + envelope.
+func writeErr(w http.ResponseWriter, err error) {
+	code, status := classify(err)
+	writeJSON(w, status, api.ErrorResponse{Error: &api.Error{Code: code, Message: err.Error()}})
 }

@@ -1,0 +1,712 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hive"
+	"hive/api"
+)
+
+// decodeEnvelope fetches path and returns (status, error envelope).
+func decodeEnvelope(t *testing.T, resp *http.Response) (int, *api.Error) {
+	t.Helper()
+	defer resp.Body.Close()
+	var env api.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decode envelope: %v", err)
+	}
+	if env.Error == nil {
+		t.Fatalf("no error envelope (status %d)", resp.StatusCode)
+	}
+	return resp.StatusCode, env.Error
+}
+
+// TestErrorEnvelopeContract pins the domain-error -> (HTTP status,
+// stable code) mapping of the v1 contract, one row per domain error
+// plus the transport-level failure modes.
+func TestErrorEnvelopeContract(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedViaAPI(t, ts)
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"social.ErrNotFound (missing user)", "GET", "/api/v1/users/ghost", "", 404, api.CodeNotFound},
+		{"social.ErrNotFound (dangling session ref)", "POST", "/api/v1/sessions",
+			`{"id":"sx","conference_id":"nope","title":"t"}`, 404, api.CodeNotFound},
+		{"social.ErrInvalid (empty user ID)", "POST", "/api/v1/users", `{}`, 400, api.CodeInvalidArgument},
+		{"core.ErrUnknownUser (relationship)", "GET", "/api/v1/relationship?a=ghost&b=zach", "", 404, api.CodeNotFound},
+		{"core.ErrUnknownUser (peer recs)", "GET", "/api/v1/users/ghost/recommendations/peers", "", 404, api.CodeNotFound},
+		{"textindex.ErrDocNotFound (preview)", "GET", "/api/v1/preview?user=zach&doc=pres/none", "", 404, api.CodeNotFound},
+		{"malformed JSON body", "POST", "/api/v1/users", `{`, 400, api.CodeBadRequest},
+		{"malformed cursor", "GET", "/api/v1/users?cursor=%21%21garbage", "", 400, api.CodeInvalidArgument},
+		{"unknown batch kind", "POST", "/api/v1/batch",
+			`{"entities":[{"kind":"alien","data":{}}]}`, 200, ""}, // per-item error, checked below
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp *http.Response
+			var err error
+			if tc.method == "GET" {
+				resp, err = http.Get(ts.URL + tc.path)
+			} else {
+				resp, err = http.Post(ts.URL+tc.path, "application/json", bytes.NewBufferString(tc.body))
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantCode == "" { // batch: per-item envelope
+				defer resp.Body.Close()
+				var br api.BatchResponse
+				if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+					t.Fatal(err)
+				}
+				if resp.StatusCode != tc.wantStatus || br.Failed != 1 ||
+					len(br.Errors) != 1 || br.Errors[0].Error.Code != api.CodeInvalidArgument {
+					t.Fatalf("batch response = %d %+v", resp.StatusCode, br)
+				}
+				return
+			}
+			status, e := decodeEnvelope(t, resp)
+			if status != tc.wantStatus || e.Code != tc.wantCode {
+				t.Fatalf("got (%d, %q), want (%d, %q); message %q",
+					status, e.Code, tc.wantStatus, tc.wantCode, e.Message)
+			}
+			if e.Message == "" {
+				t.Fatal("empty error message")
+			}
+		})
+	}
+}
+
+// TestConditionalGET: knowledge endpoints revalidate on the snapshot
+// generation — matching If-None-Match gets a 304, a data change (after
+// refresh) rotates the ETag and serves a full response again.
+func TestConditionalGET(t *testing.T) {
+	ts, p := newTestServer(t)
+	seedViaAPI(t, ts)
+
+	get := func(inm string) (*http.Response, string) {
+		req, _ := http.NewRequest("GET", ts.URL+"/api/v1/search?q=graph+partitioning&limit=5", nil)
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(resp.Body)
+		return resp, buf.String()
+	}
+
+	// Build the snapshot so the generation is stable, then fetch.
+	if err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := get("")
+	if resp.StatusCode != 200 || body == "" {
+		t.Fatalf("initial fetch = %d %q", resp.StatusCode, body)
+	}
+	tag := resp.Header.Get("ETag")
+	if tag == "" {
+		t.Fatal("no ETag on knowledge endpoint")
+	}
+
+	// Revalidation with the current tag: 304, empty body.
+	resp, body = get(tag)
+	if resp.StatusCode != http.StatusNotModified || body != "" {
+		t.Fatalf("revalidate = %d %q, want 304 with empty body", resp.StatusCode, body)
+	}
+	// Weak-form and list-form matches too.
+	if resp, _ = get("W/" + tag + `, "other"`); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("weak/list revalidate = %d", resp.StatusCode)
+	}
+
+	// Mutate + refresh: generation bumps, old tag must miss.
+	if err := p.RegisterUser(hive.User{ID: "new", Name: "New", Interests: []string{"graphs"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = get(tag)
+	if resp.StatusCode != 200 || body == "" {
+		t.Fatalf("post-change fetch = %d %q, want full 200", resp.StatusCode, body)
+	}
+	if newTag := resp.Header.Get("ETag"); newTag == tag || newTag == "" {
+		t.Fatalf("ETag did not rotate: %q -> %q", tag, newTag)
+	}
+}
+
+// TestConditionalGETEdgeCases: If-None-Match "*" must not mask a 404
+// (RFC 9110: "*" matches only when a representation exists, unknowable
+// before the handler runs), and error responses carry no ETag.
+func TestConditionalGETEdgeCases(t *testing.T) {
+	ts, p := newTestServer(t)
+	seedViaAPI(t, ts)
+	if err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/api/v1/users/ghost/recommendations/peers", nil)
+	req.Header.Set("If-None-Match", "*")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("INM:* on missing user = %d, want 404", resp.StatusCode)
+	}
+	if resp.Header.Get("ETag") != "" {
+		t.Fatal("error response carries an ETag")
+	}
+
+	// Success responses still carry the tag.
+	resp, err = http.Get(ts.URL + "/api/v1/search?q=graphs&limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("ETag") == "" {
+		t.Fatal("success response lost its ETag")
+	}
+}
+
+// TestPaginationCursorRoundTrip walks /api/v1/users page by page and
+// must reassemble exactly the full sorted listing.
+func TestPaginationCursorRoundTrip(t *testing.T) {
+	ts, p := newTestServer(t)
+	const n = 7
+	var want []string
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("u%02d", i)
+		want = append(want, id)
+		if err := p.RegisterUser(hive.User{ID: id, Name: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var got []string
+	cursor := ""
+	pages := 0
+	for {
+		url := ts.URL + "/api/v1/users?limit=3"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pg api.Page[string]
+		if err := json.NewDecoder(resp.Body).Decode(&pg); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if pg.Limit != 3 {
+			t.Fatalf("page limit = %d", pg.Limit)
+		}
+		got = append(got, pg.Items...)
+		pages++
+		if pg.NextCursor == "" {
+			break
+		}
+		cursor = pg.NextCursor
+		if pages > n {
+			t.Fatal("cursor loop did not terminate")
+		}
+	}
+	if pages != 3 {
+		t.Fatalf("pages = %d, want 3", pages)
+	}
+	if len(got) != n {
+		t.Fatalf("got %d users, want %d", len(got), n)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("page walk order: got[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPaginationBoundedFetchers: engine-backed pages (search) must set
+// next_cursor only while further results exist.
+func TestPaginationBoundedFetchers(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedViaAPI(t, ts)
+	var pg api.Page[hive.SearchResult]
+	if code := get(t, ts, "/api/v1/search?q=graph+partitioning&limit=1", &pg); code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	if len(pg.Items) != 1 {
+		t.Fatalf("items = %+v", pg.Items)
+	}
+	// Walk to exhaustion.
+	seen := len(pg.Items)
+	for pg.NextCursor != "" && seen < 50 {
+		cursor := pg.NextCursor
+		pg = api.Page[hive.SearchResult]{} // next_cursor is omitempty: reset between pages
+		if code := get(t, ts, "/api/v1/search?q=graph+partitioning&limit=1&cursor="+cursor, &pg); code != 200 {
+			t.Fatalf("code = %d", code)
+		}
+		seen += len(pg.Items)
+	}
+	if seen >= 50 {
+		t.Fatal("search pagination never exhausted")
+	}
+}
+
+// TestFeedPaginationWalksWholeFeed: the v1 feed pages newest-first
+// through the entire feed with no duplicated or unreachable events
+// (Store.Feed's suffix-keeping limit must not leak into cursor math).
+func TestFeedPaginationWalksWholeFeed(t *testing.T) {
+	ts, p := newTestServer(t)
+	seedViaAPI(t, ts)
+	// zach emits 11 more events that aaron (his follower) sees.
+	for i := 0; i < 11; i++ {
+		if err := p.LogBrowse("zach", fmt.Sprintf("obj%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var seqs []uint64
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > 20 {
+			t.Fatal("cursor loop did not terminate")
+		}
+		url := "/api/v1/users/aaron/feed?limit=3"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		var pg api.Page[hive.Event]
+		if code := get(t, ts, url, &pg); code != 200 {
+			t.Fatalf("code = %d", code)
+		}
+		for _, ev := range pg.Items {
+			seqs = append(seqs, ev.Seq)
+		}
+		if pg.NextCursor == "" {
+			break
+		}
+		cursor = pg.NextCursor
+	}
+	if len(seqs) < 13 { // 11 browses + checkin + question
+		t.Fatalf("walked %d events, want the whole feed (>= 13)", len(seqs))
+	}
+	seen := map[uint64]bool{}
+	for i, s := range seqs {
+		if seen[s] {
+			t.Fatalf("duplicate event seq %d across pages (seqs %v)", s, seqs)
+		}
+		seen[s] = true
+		if i > 0 && seqs[i-1] < s {
+			t.Fatalf("feed not newest-first: %v", seqs)
+		}
+	}
+}
+
+// TestLegacyFeedLimitZeroKeepsWindow: legacy limit=0 (historically
+// "unbounded") falls back to the default window, not to a single item.
+func TestLegacyFeedLimitZeroKeepsWindow(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedViaAPI(t, ts)
+	var feed []hive.Event
+	if code := get(t, ts, "/api/users/aaron/feed?limit=0", &feed); code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	if len(feed) < 2 {
+		t.Fatalf("legacy limit=0 returned %d events, want the default window", len(feed))
+	}
+}
+
+// TestConditional304StillRevalidates: answering 304 from the etag fast
+// path must still kick the stale-while-revalidate refresh, or a
+// revalidating client would be pinned to a stale snapshot forever.
+func TestConditional304StillRevalidates(t *testing.T) {
+	ts, p := newTestServer(t)
+	seedViaAPI(t, ts)
+	if err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	gen := p.Generation()
+
+	// Write without refreshing: same generation, stale snapshot.
+	if err := p.RegisterUser(hive.User{ID: "late", Name: "Late"}); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest("GET", ts.URL+"/api/v1/search?q=graphs&limit=2", nil)
+	req.Header.Set("If-None-Match", fmt.Sprintf(`"hive-g%d"`, gen))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("status = %d, want 304", resp.StatusCode)
+	}
+	// The 304 must have kicked a background rebuild.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Generation() == gen {
+		if time.Now().After(deadline) {
+			t.Fatal("304 fast path never triggered revalidation")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestLegacyRefreshSuccessorLink: /api/refresh's v1 twin moved to
+// /api/v1/admin/refresh; the advertised successor must not 404.
+func TestLegacyRefreshSuccessorLink(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/api/refresh", "application/json", bytes.NewBufferString("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if link := resp.Header.Get("Link"); link != `</api/v1/admin/refresh>; rel="successor-version"` {
+		t.Fatalf("Link = %q", link)
+	}
+}
+
+// TestBatchIngestSingleInvalidation is the batch acceptance criterion:
+// N entities, one store pass, exactly one snapshot invalidation.
+func TestBatchIngestSingleInvalidation(t *testing.T) {
+	ts, p := newTestServer(t)
+
+	var invalidations atomic.Int32
+	p.Store().OnMutate(func() { invalidations.Add(1) })
+
+	entities := []api.BatchEntity{}
+	add := func(kind string, v any) {
+		ent, err := api.NewBatchEntity(kind, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entities = append(entities, ent)
+	}
+	add(api.KindUser, api.User{ID: "zach", Name: "Zach", Interests: []string{"graphs"}})
+	add(api.KindUser, api.User{ID: "ann", Name: "Ann", Interests: []string{"graphs"}})
+	add(api.KindConference, api.Conference{ID: "edbt13", Name: "EDBT 2013"})
+	add(api.KindSession, api.Session{ID: "s1", ConferenceID: "edbt13", Title: "Graphs", Hashtag: "#s1"})
+	add(api.KindPaper, api.Paper{ID: "p1", Title: "Graph partitioning", Abstract: "We partition graphs.",
+		Authors: []string{"ann"}, ConferenceID: "edbt13", SessionID: "s1"})
+	add(api.KindConnection, api.ConnectRequest{A: "zach", B: "ann"})
+	add(api.KindFollow, api.FollowRequest{Follower: "zach", Followee: "ann"})
+	add(api.KindCheckin, api.CheckinRequest{SessionID: "s1", UserID: "zach"})
+	add(api.KindQuestion, api.Question{ID: "q1", Author: "zach", Target: "p1", Text: "why?"})
+	add(api.KindWorkpad, api.Workpad{ID: "w1", Owner: "zach", Name: "ctx"})
+
+	resp := post(t, ts, "/api/v1/batch", api.BatchRequest{Entities: entities})
+	defer resp.Body.Close()
+	var br api.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || br.Applied != len(entities) || br.Failed != 0 {
+		t.Fatalf("batch = %d %+v", resp.StatusCode, br)
+	}
+	if got := invalidations.Load(); got != 1 {
+		t.Fatalf("snapshot invalidations = %d for %d entities, want exactly 1", got, len(entities))
+	}
+
+	// The batch really landed: entities are queryable.
+	var u hive.User
+	if code := get(t, ts, "/api/v1/users/zach", &u); code != 200 || u.Name != "Zach" {
+		t.Fatalf("user after batch = %d %+v", code, u)
+	}
+	var att api.Page[string]
+	if code := get(t, ts, "/api/v1/sessions/s1/attendees", &att); code != 200 || len(att.Items) != 1 {
+		t.Fatalf("attendees after batch = %d %+v", code, att)
+	}
+
+	// Partial failure: bad elements are reported, good ones still apply,
+	// still one invalidation for the whole batch.
+	invalidations.Store(0)
+	mixed := []api.BatchEntity{}
+	entities = entities[:0]
+	add(api.KindUser, api.User{ID: "carl", Name: "Carl"})
+	add(api.KindUser, api.User{}) // invalid: empty ID
+	mixed = entities
+	resp = post(t, ts, "/api/v1/batch", api.BatchRequest{Entities: mixed})
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Applied != 1 || br.Failed != 1 || len(br.Errors) != 1 ||
+		br.Errors[0].Index != 1 || br.Errors[0].Error.Code != api.CodeInvalidArgument {
+		t.Fatalf("mixed batch = %+v", br)
+	}
+	if got := invalidations.Load(); got != 1 {
+		t.Fatalf("mixed-batch invalidations = %d, want 1", got)
+	}
+}
+
+// TestTagNormalization: hashed and bare path tags resolve the same
+// fan-out (the legacy handler used to produce "##tag" for hashed input).
+func TestTagNormalization(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedViaAPI(t, ts) // zach checked into s1 whose hashtag is #s1
+
+	for _, path := range []string{
+		"/api/v1/tags/s1/events",
+		"/api/v1/tags/%23s1/events", // "#s1"
+	} {
+		var pg api.Page[hive.Event]
+		if code := get(t, ts, path, &pg); code != 200 {
+			t.Fatalf("%s code = %d", path, code)
+		}
+		if len(pg.Items) == 0 {
+			t.Fatalf("%s returned no events", path)
+		}
+	}
+	// Legacy alias, bare shape, same normalization.
+	var evs []hive.Event
+	if code := get(t, ts, "/api/tags/%23s1/events", &evs); code != 200 || len(evs) == 0 {
+		t.Fatalf("legacy hashed tag = %d %v", code, evs)
+	}
+}
+
+// TestLegacyUsersCapped: the unversioned /api/users alias no longer
+// returns the entire user table — it is capped at the default page size.
+func TestLegacyUsersCapped(t *testing.T) {
+	ts, p := newTestServer(t)
+	total := api.DefaultPageSize + 13
+	for i := 0; i < total; i++ {
+		if err := p.RegisterUser(hive.User{ID: fmt.Sprintf("u%03d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ids []string
+	if code := get(t, ts, "/api/users", &ids); code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	if len(ids) != api.DefaultPageSize {
+		t.Fatalf("legacy /api/users returned %d ids, want cap %d", len(ids), api.DefaultPageSize)
+	}
+	// Absurd explicit limits clamp to the ceiling rather than flowing through.
+	if code := get(t, ts, "/api/users?limit=999999", &ids); code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	if len(ids) > api.MaxPageSize {
+		t.Fatalf("legacy limit clamp failed: %d ids", len(ids))
+	}
+	// v1 exposes the rest through cursors.
+	var pg api.Page[string]
+	if code := get(t, ts, fmt.Sprintf("/api/v1/users?limit=%d", api.MaxPageSize), &pg); code != 200 {
+		t.Fatalf("code = %d", code)
+	}
+	if len(pg.Items) != total || pg.NextCursor != "" {
+		t.Fatalf("v1 users page: %d items next=%q", len(pg.Items), pg.NextCursor)
+	}
+}
+
+// TestIntParamClamped: negative and absurd k/limit/budget values no
+// longer flow into engine calls.
+func TestIntParamClamped(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedViaAPI(t, ts)
+	for _, path := range []string{
+		"/api/v1/search?q=graphs&limit=-5",
+		"/api/v1/users/zach/recommendations/peers?limit=100000000",
+		"/api/v1/users/zach/digest?budget=-1",
+		"/api/v1/users/zach/digest?budget=99999999",
+		"/api/users/zach/recommendations/peers?k=-3", // legacy alias too
+		"/api/search?q=graphs&k=2000000000",
+		"/api/users/zach/feed?limit=-9",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestBodySizeCap: oversized request bodies are rejected with 413 and
+// the payload_too_large code instead of being buffered unboundedly.
+func TestBodySizeCap(t *testing.T) {
+	ts, _ := newTestServer(t)
+	huge := fmt.Sprintf(`{"id":"big","name":%q}`, bytes.Repeat([]byte("x"), 2<<20))
+	resp, err := http.Post(ts.URL+"/api/v1/users", "application/json", bytes.NewBufferString(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, e := decodeEnvelope(t, resp)
+	if status != http.StatusRequestEntityTooLarge || e.Code != api.CodePayloadTooLarge {
+		t.Fatalf("got (%d, %q), want (413, %q)", status, e.Code, api.CodePayloadTooLarge)
+	}
+}
+
+// TestTimeoutExemptsLongRoutes: batch and synchronous refresh scale
+// with data size and must not be cut off by the global request budget.
+func TestTimeoutExemptsLongRoutes(t *testing.T) {
+	p, err := hive.Open(hive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1ns budget 503s everything that is not exempt.
+	ts := httptest.NewServer(NewWith(p, Config{Timeout: 1}))
+	t.Cleanup(func() {
+		ts.Close()
+		p.Close()
+	})
+	resp, err := http.Get(ts.URL + "/api/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("non-exempt route = %d, want 503 under 1ns budget", resp.StatusCode)
+	}
+	for _, path := range []string{"/api/v1/batch", "/api/v1/admin/refresh?wait=true", "/api/refresh"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewBufferString(`{"entities":[]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			t.Fatalf("%s hit the request timeout; must be exempt", path)
+		}
+	}
+}
+
+// TestLegacyDeprecationHeaders: unversioned aliases advertise their v1
+// successor.
+func TestLegacyDeprecationHeaders(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/api/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Fatal("legacy route missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); link != `</api/v1/healthz>; rel="successor-version"` {
+		t.Fatalf("Link = %q", link)
+	}
+	// v1 routes carry neither.
+	resp, err = http.Get(ts.URL + "/api/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Deprecation") != "" {
+		t.Fatal("v1 route wrongly marked deprecated")
+	}
+}
+
+// TestV1FullScenario drives the Zach scenario end-to-end on the v1
+// surface with typed DTOs and paginated envelopes.
+func TestV1FullScenario(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, u := range []api.User{
+		{ID: "zach", Name: "Zach", Interests: []string{"graphs"}},
+		{ID: "ann", Name: "Ann", Interests: []string{"graphs"}},
+		{ID: "aaron", Name: "Aaron"},
+	} {
+		expectStatus(t, post(t, ts, "/api/v1/users", u), http.StatusCreated)
+	}
+	expectStatus(t, post(t, ts, "/api/v1/conferences", api.Conference{ID: "edbt13", Name: "EDBT"}), http.StatusCreated)
+	expectStatus(t, post(t, ts, "/api/v1/sessions",
+		api.Session{ID: "s1", ConferenceID: "edbt13", Title: "Graphs", Hashtag: "#s1"}), http.StatusCreated)
+	expectStatus(t, post(t, ts, "/api/v1/papers", api.Paper{ID: "p1", Title: "Graph partitioning",
+		Abstract: "We partition graphs.", Authors: []string{"ann"}, ConferenceID: "edbt13", SessionID: "s1"}), http.StatusCreated)
+	expectStatus(t, post(t, ts, "/api/v1/connections", api.ConnectRequest{A: "zach", B: "ann"}), http.StatusCreated)
+	expectStatus(t, post(t, ts, "/api/v1/follows", api.FollowRequest{Follower: "aaron", Followee: "zach"}), http.StatusCreated)
+	expectStatus(t, post(t, ts, "/api/v1/checkins", api.CheckinRequest{SessionID: "s1", UserID: "zach"}), http.StatusCreated)
+	expectStatus(t, post(t, ts, "/api/v1/workpads", api.Workpad{ID: "w1", Owner: "zach", Name: "ctx"}), http.StatusCreated)
+	expectStatus(t, post(t, ts, "/api/v1/workpads/w1/items",
+		api.WorkpadItem{Kind: hive.ItemPaper, Ref: "p1"}), http.StatusCreated)
+	expectStatus(t, post(t, ts, "/api/v1/workpads/w1/activate",
+		api.ActivateWorkpadRequest{Owner: "zach"}), http.StatusOK)
+
+	var wp api.Workpad
+	if code := get(t, ts, "/api/v1/users/zach/workpad", &wp); code != 200 || wp.ID != "w1" || len(wp.Items) != 1 {
+		t.Fatalf("workpad = %d %+v", code, wp)
+	}
+	var feed api.Page[api.Event]
+	if code := get(t, ts, "/api/v1/users/aaron/feed", &feed); code != 200 || len(feed.Items) == 0 {
+		t.Fatalf("feed = %d %+v", code, feed)
+	}
+	var ex api.Explanation
+	if code := get(t, ts, "/api/v1/relationship?a=zach&b=ann", &ex); code != 200 || len(ex.Evidences) == 0 {
+		t.Fatalf("relationship = %d %+v", code, ex)
+	}
+	var recs api.Page[api.PeerRecommendation]
+	if code := get(t, ts, "/api/v1/users/zach/recommendations/peers?limit=3", &recs); code != 200 {
+		t.Fatalf("peer recs = %d", code)
+	}
+	var sugg api.Page[api.SessionSuggestion]
+	if code := get(t, ts, "/api/v1/users/aaron/sessions/suggest?conf=edbt13&limit=3", &sugg); code != 200 {
+		t.Fatalf("suggest = %d", code)
+	}
+	var comms api.Page[[]string]
+	if code := get(t, ts, "/api/v1/communities", &comms); code != 200 || len(comms.Items) == 0 {
+		t.Fatalf("communities = %d %+v", code, comms)
+	}
+	var hits api.Page[api.HistoryEntry]
+	if code := get(t, ts, "/api/v1/users/zach/history?q=checkin", &hits); code != 200 || len(hits.Items) == 0 {
+		t.Fatalf("history = %d %+v", code, hits)
+	}
+	if code := get(t, ts, "/api/v1/preview?user=zach&doc=pres/none", nil); code != 404 {
+		t.Fatalf("preview missing doc = %d", code)
+	}
+	var sum api.Summary
+	if code := get(t, ts, "/api/v1/users/aaron/digest?budget=3", &sum); code != 200 || len(sum.Rows) == 0 {
+		t.Fatalf("digest = %d %+v", code, sum)
+	}
+	var paths []api.KnowledgePath
+	if code := get(t, ts, "/api/v1/knowledge/paths?a=user:ann&b=session:s1&k=2", &paths); code != 200 || len(paths) == 0 {
+		t.Fatalf("knowledge paths = %d %v", code, paths)
+	}
+	var health api.Health
+	if code := get(t, ts, "/api/v1/healthz", &health); code != 200 || health.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", code, health)
+	}
+	resp := post(t, ts, "/api/v1/admin/refresh?wait=true", struct{}{})
+	expectStatus(t, resp, http.StatusOK)
+}
+
+// TestV1RequestIDPropagation: the middleware echoes a provided ID and
+// assigns one otherwise.
+func TestV1RequestIDPropagation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	req, _ := http.NewRequest("GET", ts.URL+"/api/v1/healthz", nil)
+	req.Header.Set("X-Request-ID", "trace-me-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "trace-me-42" {
+		t.Fatalf("request id = %q", got)
+	}
+	resp, err = http.Get(ts.URL + "/api/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("no generated request id")
+	}
+}

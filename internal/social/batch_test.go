@@ -1,0 +1,101 @@
+package social
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBatchedFiresHooksOnce is the contract behind POST /api/v1/batch:
+// N writes inside one Batched pass cost exactly one mutation
+// notification (one snapshot invalidation) instead of N.
+func TestBatchedFiresHooksOnce(t *testing.T) {
+	st, err := Open("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	var fires atomic.Int32
+	st.OnMutate(func() { fires.Add(1) })
+
+	const n = 20
+	err = st.Batched(func() error {
+		for i := 0; i < n; i++ {
+			if err := st.PutUser(User{ID: fmt.Sprintf("u%02d", i), Name: "U"}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fires.Load(); got != 1 {
+		t.Fatalf("hook fired %d times for %d batched writes, want 1", got, n)
+	}
+	if got := len(st.Users()); got != n {
+		t.Fatalf("users = %d, want %d", got, n)
+	}
+
+	// Outside a batch, per-write fan-out is unchanged.
+	if err := st.PutUser(User{ID: "solo"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fires.Load(); got != 2 {
+		t.Fatalf("hook fired %d times after solo write, want 2", got)
+	}
+}
+
+// TestBatchedFiresOnError: a failing batch still notifies once, since
+// earlier writes may have persisted.
+func TestBatchedFiresOnError(t *testing.T) {
+	st, err := Open("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	var fires atomic.Int32
+	st.OnMutate(func() { fires.Add(1) })
+
+	boom := errors.New("boom")
+	err = st.Batched(func() error {
+		if err := st.PutUser(User{ID: "persisted"}); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := fires.Load(); got != 1 {
+		t.Fatalf("hook fired %d times, want 1", got)
+	}
+}
+
+// TestBatchedNests: nested batches coalesce into the outermost one.
+func TestBatchedNests(t *testing.T) {
+	st, err := Open("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	var fires atomic.Int32
+	st.OnMutate(func() { fires.Add(1) })
+
+	err = st.Batched(func() error {
+		if err := st.PutUser(User{ID: "a"}); err != nil {
+			return err
+		}
+		return st.Batched(func() error { return st.PutUser(User{ID: "b"}) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fires.Load(); got != 1 {
+		t.Fatalf("hook fired %d times, want 1", got)
+	}
+}

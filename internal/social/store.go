@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hive/internal/kvstore"
@@ -67,6 +68,10 @@ type Store struct {
 
 	hookMu sync.RWMutex // guards hooks
 	hooks  []func()
+
+	// batching suppresses per-write hook fan-out inside Batched; the
+	// hooks fire once when the outermost batch finishes.
+	batching atomic.Int32
 }
 
 // OnMutate registers a hook invoked after every successful mutation.
@@ -80,14 +85,41 @@ func (s *Store) OnMutate(fn func()) {
 	s.hookMu.Unlock()
 }
 
-// touch notifies the registered mutation hooks.
+// touch notifies the registered mutation hooks. Inside a Batched pass
+// the notification is deferred: the batch fires the hooks exactly once
+// on completion, so N batched writes cost one snapshot invalidation.
 func (s *Store) touch() {
+	if s.batching.Load() > 0 {
+		return
+	}
+	s.fireHooks()
+}
+
+func (s *Store) fireHooks() {
 	s.hookMu.RLock()
 	hooks := s.hooks
 	s.hookMu.RUnlock()
 	for _, fn := range hooks {
 		fn()
 	}
+}
+
+// Batched runs fn with mutation-hook fan-out suppressed and fires the
+// hooks exactly once when fn returns — the bulk-ingest path: loading N
+// entities marks the knowledge-engine snapshot stale once instead of N
+// times. Hooks fire even when fn errors, mirroring done: earlier writes
+// in the batch may have persisted. Nested Batched calls coalesce into
+// the outermost one. Concurrent non-batched writers may also have their
+// notification folded into the batch's final fire, which is harmless
+// for staleness tracking (the mark still lands after their write).
+func (s *Store) Batched(fn func() error) error {
+	s.batching.Add(1)
+	defer func() {
+		if s.batching.Add(-1) == 0 {
+			s.fireHooks()
+		}
+	}()
+	return fn()
 }
 
 // done marks a mutation attempt complete and passes the error through.
@@ -188,6 +220,11 @@ func (s *Store) HasUser(id string) bool { return s.kv.Has(pUser + id) }
 
 // Users returns all user IDs in sorted order.
 func (s *Store) Users() []string { return s.stripPrefix(pUser) }
+
+// UsersN returns up to n user IDs in sorted order (n <= 0 means all) —
+// the paginated read path, which stops scanning at the page bound
+// instead of materializing the whole table.
+func (s *Store) UsersN(n int) []string { return s.stripPrefixN(pUser, n) }
 
 // --- Conferences & sessions --------------------------------------------------
 
@@ -336,10 +373,16 @@ func unmarshalEvent(raw []byte, ev *Event) error { return json.Unmarshal(raw, ev
 
 // stripPrefix lists keys under prefix with the prefix removed.
 func (s *Store) stripPrefix(prefix string) []string {
+	return s.stripPrefixN(prefix, 0)
+}
+
+// stripPrefixN lists up to n keys under prefix with the prefix removed
+// (n <= 0 means all), ending the scan once n is reached.
+func (s *Store) stripPrefixN(prefix string, n int) []string {
 	var ids []string
 	s.kv.Scan(prefix, func(k string, _ []byte) bool {
 		ids = append(ids, k[len(prefix):])
-		return true
+		return n <= 0 || len(ids) < n
 	})
 	return ids
 }

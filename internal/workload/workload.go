@@ -368,11 +368,15 @@ func (ds *Dataset) userForTopic(rng *rand.Rand, topic int) string {
 	if n == 0 {
 		return ""
 	}
-	count := (n-1-topic%len(Topics))/len(Topics) + 1
-	if count <= 0 {
+	first := topic % len(Topics)
+	if first >= n {
+		// Pools smaller than the topic vocabulary have no user on this
+		// topic (Go's truncated division would still yield count 1 below
+		// and index past the slice); fall back to any user.
 		return ds.Users[rng.Intn(n)].ID
 	}
-	idx := topic%len(Topics) + rng.Intn(count)*len(Topics)
+	count := (n-1-first)/len(Topics) + 1
+	idx := first + rng.Intn(count)*len(Topics)
 	return ds.Users[idx].ID
 }
 

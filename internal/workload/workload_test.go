@@ -180,3 +180,15 @@ func TestGenerateSmallUserPoolTerminates(t *testing.T) {
 		}
 	}
 }
+
+// TestGenerateSmallUserPools: pools smaller than the topic vocabulary
+// must not index past the user slice (hived -seed 4 used to panic in
+// userForTopic via truncated integer division).
+func TestGenerateSmallUserPools(t *testing.T) {
+	for users := 1; users <= len(Topics)+1; users++ {
+		ds := Generate(Config{Seed: int64(users), Users: users})
+		if len(ds.Users) != users {
+			t.Fatalf("users=%d: generated %d", users, len(ds.Users))
+		}
+	}
+}
