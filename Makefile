@@ -3,6 +3,9 @@
 
 GO      ?= go
 BENCHTIME ?= 200ms
+# Benchmark JSON stream for the current PR's perf record (uploaded as a
+# CI artifact so the trajectory accumulates across commits).
+BENCH_OUT ?= BENCH_pr3.json
 
 .PHONY: build test race bench bench-ci fmt vet ci api-smoke
 
@@ -19,9 +22,11 @@ bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 # Short benchmark pass for CI: one data point per benchmark, JSON
-# stream captured as BENCH_ci.json so the perf trajectory accumulates.
+# stream captured as $(BENCH_OUT) so the perf trajectory accumulates.
+# Includes the frozen-vs-live micro-benchmarks (SearchVector,
+# TFIDFVector, RecommendPeers, RecommendResources) — see EXPERIMENTS.md.
 bench-ci:
-	$(GO) test -json -bench=. -benchtime=$(BENCHTIME) -run='^$$' . | tee BENCH_ci.json
+	$(GO) test -json -bench=. -benchtime=$(BENCHTIME) -run='^$$' . | tee $(BENCH_OUT)
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -95,13 +95,17 @@ type RefreshResponse struct {
 
 // Health is the GET /healthz response: liveness plus snapshot freshness.
 type Health struct {
-	Status           string `json:"status"`
-	Generation       uint64 `json:"generation"`
-	Stale            bool   `json:"stale"`
-	Snapshot         bool   `json:"snapshot"`
-	BuiltAt          string `json:"built_at,omitempty"`
-	BuildMS          int64  `json:"build_ms"`
-	AgeMS            int64  `json:"age_ms"`
+	Status     string `json:"status"`
+	Generation uint64 `json:"generation"`
+	Stale      bool   `json:"stale"`
+	Snapshot   bool   `json:"snapshot"`
+	BuiltAt    string `json:"built_at,omitempty"`
+	BuildMS    int64  `json:"build_ms"`
+	AgeMS      int64  `json:"age_ms"`
+	// FrozenDocs counts the documents in the snapshot's frozen search
+	// structure — the lock-free read representation every query serves
+	// from (0 when no snapshot is live).
+	FrozenDocs       int    `json:"frozen_docs"`
 	LastRefreshError string `json:"last_refresh_error,omitempty"`
 }
 

@@ -425,6 +425,121 @@ func BenchmarkRebuildUnderLoad(b *testing.B) {
 	<-done
 }
 
+// BenchmarkSearch compares BM25 keyword search on the live (locked,
+// map-based) index against the frozen read snapshot. The frozen path
+// must be no slower ("no regression on Search").
+func BenchmarkSearch(b *testing.B) {
+	_, eng := benchPlatform(b)
+	live, frozen := eng.Index(), eng.Frozen()
+	b.Run("live", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			live.Search("graph partitioning streams", 10)
+		}
+	})
+	b.Run("frozen", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			frozen.Search("graph partitioning streams", 10)
+		}
+	})
+}
+
+// BenchmarkSearchVector compares context-vector search: the live path
+// recomputes every matched document's norm by scanning the whole
+// postings map; the frozen path reads precomputed norms and IDF from
+// contiguous postings (the PR-3 tentpole's headline ≥10x win).
+func BenchmarkSearchVector(b *testing.B) {
+	p, eng := benchPlatform(b)
+	ctx := eng.ContextVector(p.Users()[0])
+	live, frozen := eng.Index(), eng.Frozen()
+	b.Run("live", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			live.SearchVector(ctx, 10)
+		}
+	})
+	b.Run("frozen", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			frozen.SearchVector(ctx, 10)
+		}
+	})
+	// The serving path: per-user context vectors are compiled against
+	// the frozen index at build time, so a request is pure postings
+	// arithmetic (no term extraction, sorting or hash lookups).
+	b.Run("frozen-compiled", func(b *testing.B) {
+		cq := frozen.Compile(ctx)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			frozen.SearchCompiled(cq, 10)
+		}
+	})
+}
+
+// BenchmarkTFIDFVector compares per-document vector materialization:
+// O(total postings) on the live index vs O(terms-in-doc) through the
+// frozen forward index.
+func BenchmarkTFIDFVector(b *testing.B) {
+	p, eng := benchPlatform(b)
+	papers := p.Store().Papers()
+	live, frozen := eng.Index(), eng.Frozen()
+	b.Run("live", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := live.TFIDFVector(core.DocPaper + papers[i%len(papers)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("frozen", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := frozen.TFIDFVector(core.DocPaper + papers[i%len(papers)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRecommendPeers measures peer recommendation: "ppr-per-call"
+// is the old cost of running a fresh power iteration on every request;
+// "memoized" is the serving path with the per-snapshot PageRank memo
+// (explanations still computed per call).
+func BenchmarkRecommendPeers(b *testing.B) {
+	p, eng := benchPlatform(b)
+	ids := p.Users()
+	b.Run("ppr-per-call", func(b *testing.B) {
+		pg := eng.PeerGraph()
+		for i := 0; i < b.N; i++ {
+			me := pg.Lookup(ids[i%len(ids)])
+			pg.PersonalizedPageRank(map[graph.NodeID]float64{me: 1}, graph.PageRankOptions{})
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RecommendPeers(ids[i%len(ids)], 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRecommendResources measures resource recommendation on the
+// frozen read path, with and without the workpad context.
+func BenchmarkRecommendResources(b *testing.B) {
+	p, eng := benchPlatform(b)
+	uid := p.Users()[0]
+	b.Run("context", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RecommendResources(uid, 5, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nocontext", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RecommendResources(uid, 5, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkE12_Snippets measures context-aware snippet extraction.
 func BenchmarkE12_Snippets(b *testing.B) {
 	p, eng := benchPlatform(b)

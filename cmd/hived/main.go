@@ -4,7 +4,7 @@
 // Usage:
 //
 //	hived [-addr :8080] [-data DIR] [-seed users] [-refresh 30s] [-workers N]
-//	      [-timeout 30s] [-max-inflight N] [-qps N] [-quiet]
+//	      [-timeout 30s] [-max-inflight N] [-qps N] [-quiet] [-pprof ADDR]
 //
 // The API is served under /api/v1 (typed DTOs, cursor pagination,
 // structured errors, conditional knowledge GETs, POST /api/v1/batch
@@ -23,12 +23,18 @@
 //
 // -timeout, -max-inflight and -qps wire the middleware stack's
 // operational limits (0 disables each); -quiet drops the access log.
+//
+// With -pprof ADDR (off by default), net/http/pprof profiling handlers
+// are exposed on a separate listener under /debug/pprof/, kept off the
+// public API address so profiling never rides the serving middleware
+// (and can be bound to localhost while the API is public).
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"hive"
@@ -46,7 +52,23 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent requests (0 = uncapped)")
 	qps := flag.Float64("qps", 0, "global request rate limit (0 = unlimited)")
 	quiet := flag.Bool("quiet", false, "disable the per-request access log")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this separate address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s (/debug/pprof/)", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	p, err := hive.Open(hive.Options{Dir: *data, Workers: *workers})
 	if err != nil {

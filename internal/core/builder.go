@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hive/internal/align"
@@ -52,6 +53,36 @@ var buildTasks = []buildTask{
 	{"knowledgebase", func(e *Engine) error { e.exportKnowledgeBase(); return nil }},
 }
 
+// finishTasks is the second fan-out wave: snapshot-resident read-path
+// derivations that consume phase-1 outputs (the frozen text index, the
+// concept map, the evidence layers). After these and the table stages
+// join, every serving query is a lookup — search, context, evidence and
+// recommendation read precomputed structures instead of re-deriving
+// them per request.
+var finishTasks = []buildTask{
+	{"integrate", func(e *Engine) error {
+		// Integration needs all four layers; communities need the
+		// integrated peer graph.
+		if err := e.integrateLayers(); err != nil {
+			return err
+		}
+		e.communities = community.Detect(e.peerGraph, 1)
+		return nil
+	}},
+	{"interactions", func(e *Engine) error { e.buildInteractionTables(); return nil }},
+}
+
+// tableTasks are the per-user table stages. Each shards its user loop
+// across the full worker budget internally (forUsersParallel), so they
+// run one at a time — never nested inside the task fan-out — to keep
+// total rebuild parallelism within Builder.Workers (background rebuilds
+// must not steal more CPU from the serving path than the operator
+// budgeted with -workers).
+var tableTasks = []buildTask{
+	{"contextvectors", func(e *Engine) error { e.buildContextVectors(); return nil }},
+	{"usercontent", func(e *Engine) error { e.buildUserContentVectors(); return nil }},
+}
+
 // Build derives the four context-network layers, the text index, the
 // concept map and the RDF knowledge base concurrently, then integrates
 // the layers and detects communities. The returned Engine is complete
@@ -59,7 +90,7 @@ var buildTasks = []buildTask{
 func (b *Builder) Build() (*Engine, error) {
 	start := time.Now()
 	st := b.Store
-	e := &Engine{store: st, index: textindex.NewIndex(), kb: rdf.NewStore()}
+	e := &Engine{store: st, index: textindex.NewIndex(), kb: rdf.NewStore(), buildWorkers: b.workers()}
 
 	// Shared inputs, gathered once up front: several stages iterate the
 	// paper corpus and the user set.
@@ -76,12 +107,21 @@ func (b *Builder) Build() (*Engine, error) {
 		return nil, err
 	}
 
-	// Integration needs all four layers; communities need the
-	// integrated peer graph. Both are join points, not fan-out stages.
-	if err := e.integrateLayers(); err != nil {
+	// Freeze the text index into its lock-free dense read representation;
+	// the phase-2 tables and all serving queries read through it.
+	e.frozen = e.index.Freeze()
+
+	if err := runLimited(finishTasks, e, b.workers()); err != nil {
 		return nil, err
 	}
-	e.communities = community.Detect(e.peerGraph, 1)
+	for _, t := range tableTasks {
+		if err := runTask(t, e); err != nil {
+			return nil, err
+		}
+	}
+
+	// Lazily-filled per-snapshot PageRank memo (bounded; see RecommendPeers).
+	e.pprMemo = make(map[string][]float64)
 
 	e.builtAt = time.Now()
 	e.buildDur = e.builtAt.Sub(start)
@@ -129,6 +169,55 @@ func runLimited(tasks []buildTask, e *Engine, workers int) error {
 	close(ch)
 	wg.Wait()
 	return firstErr
+}
+
+// forUsersParallel runs fn(i, user) for every user across the builder's
+// worker count. Indices are disjoint, so fn may write into index i of a
+// preallocated slice without locking. A panic in any worker is re-raised
+// on the calling goroutine, where runTask's recover converts it into a
+// build error (rebuilds must never take the serving process down).
+func (e *Engine) forUsersParallel(fn func(i int, u string)) {
+	workers := e.buildWorkers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(e.users) {
+		workers = len(e.users)
+	}
+	if workers <= 1 {
+		for i, u := range e.users {
+			fn(i, u)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(e.users) {
+					return
+				}
+				fn(i, e.users[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }
 
 func runTask(t buildTask, e *Engine) (err error) {

@@ -1,22 +1,76 @@
 package core
 
 import (
-	"sort"
-
 	"hive/internal/social"
 	"hive/internal/summarize"
 	"hive/internal/textindex"
+	"hive/internal/topk"
 )
 
 // Context services (paper §2.1, §2.3): the active workpad defines the
 // user's activity context; every search, ranking, preview and digest is
 // conditioned on it.
 
-// ContextVector derives the user's current context vector from the
-// active workpad (every item rendered to text), the user's declared
-// interests, and spreading activation over the concept map. Users with no
-// active workpad fall back to interests alone.
+// ContextVector returns the user's context vector: the active workpad
+// (every item rendered to text), the user's declared interests, and
+// spreading activation over the concept map. Users with no active
+// workpad fall back to interests alone.
+//
+// Vectors for all known users are precomputed into the snapshot by the
+// Builder, so this is a map lookup on the serving path; the returned
+// vector is shared and must be treated as read-only. Like every other
+// knowledge structure it reflects the store as of the snapshot build
+// (the paper's offline refresh model) — workpad changes enter on the
+// next rebuild.
 func (e *Engine) ContextVector(userID string) textindex.Vector {
+	if v, ok := e.ctxVecs[userID]; ok {
+		return v
+	}
+	return e.computeContextVector(userID)
+}
+
+// buildContextVectors precomputes every user's context vector into the
+// snapshot and compiles it against the frozen index so context search
+// needs no per-request query preparation (Builder phase 2; needs the
+// concept map and the frozen index). The per-user derivations — each a
+// keyphrase extraction plus a concept-map activation — dominate this
+// stage, so the loop shards across the builder's workers.
+func (e *Engine) buildContextVectors() {
+	vecs := make([]textindex.Vector, len(e.users))
+	cqs := make([]*textindex.CompiledVector, len(e.users))
+	wpRefs := make([][]string, len(e.users))
+	e.forUsersParallel(func(i int, u string) {
+		v := e.computeContextVector(u)
+		vecs[i] = v
+		if e.frozen != nil && len(v) > 0 {
+			cqs[i] = e.frozen.Compile(v)
+		}
+		// Snapshot the users pinned on the active workpad: the peer-
+		// recommendation restart bias must come from snapshot state, so
+		// the per-snapshot PageRank memo is a pure function of the user.
+		if wp, err := e.store.ActiveWorkpad(u); err == nil {
+			for _, item := range wp.Items {
+				if item.Kind == social.ItemUser {
+					wpRefs[i] = append(wpRefs[i], item.Ref)
+				}
+			}
+		}
+	})
+	e.ctxVecs = make(map[string]textindex.Vector, len(e.users))
+	e.ctxQueries = make(map[string]*textindex.CompiledVector, len(e.users))
+	e.wpPeerRefs = make(map[string][]string, len(e.users))
+	for i, u := range e.users {
+		e.ctxVecs[u] = vecs[i]
+		if cqs[i] != nil {
+			e.ctxQueries[u] = cqs[i]
+		}
+		if len(wpRefs[i]) > 0 {
+			e.wpPeerRefs[u] = wpRefs[i]
+		}
+	}
+}
+
+func (e *Engine) computeContextVector(userID string) textindex.Vector {
 	v := make(textindex.Vector)
 	u, err := e.store.User(userID)
 	if err != nil {
@@ -84,8 +138,12 @@ type SearchResult struct {
 	Score float64
 }
 
-// Search runs plain BM25 keyword search over all indexed content.
+// Search runs plain BM25 keyword search over all indexed content,
+// served from the frozen index.
 func (e *Engine) Search(query string, k int) []SearchResult {
+	if e.frozen != nil {
+		return toSearchResults(e.frozen.Search(query, k))
+	}
 	return toSearchResults(e.index.Search(query, k))
 }
 
@@ -95,33 +153,37 @@ func (e *Engine) Search(query string, k int) []SearchResult {
 // according to their relevance" service.
 func (e *Engine) SearchWithContext(userID, query string, k int) []SearchResult {
 	ctx := e.ContextVector(userID)
-	base := e.index.Search(query, 4*k)
+	var base []textindex.Result
+	if e.frozen != nil {
+		base = e.frozen.Search(query, 4*k)
+	} else {
+		base = e.index.Search(query, 4*k)
+	}
 	if len(ctx) == 0 {
 		return toSearchResults(clip(base, k))
 	}
 	const ctxWeight = 1.0
-	rescored := make([]textindex.Result, len(base))
-	for i, r := range base {
+	h := topk.New[textindex.Result](k, func(a, b textindex.Result) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.DocID < b.DocID
+	})
+	for _, r := range base {
 		sim := 0.0
-		if dv, err := e.index.TFIDFVector(r.DocID); err == nil {
+		if dv, err := e.docVector(r.DocID); err == nil {
 			sim = dv.Cosine(ctx)
 		}
-		rescored[i] = textindex.Result{DocID: r.DocID, Score: r.Score * (1 + ctxWeight*sim)}
+		h.Push(textindex.Result{DocID: r.DocID, Score: r.Score * (1 + ctxWeight*sim)})
 	}
-	sort.Slice(rescored, func(i, j int) bool {
-		if rescored[i].Score != rescored[j].Score {
-			return rescored[i].Score > rescored[j].Score
-		}
-		return rescored[i].DocID < rescored[j].DocID
-	})
-	return toSearchResults(clip(rescored, k))
+	return toSearchResults(h.Sorted())
 }
 
 // Preview extracts the k most context-relevant snippets from a document
 // (paper §2.3(a): "relevant snippet extraction from documents"). The
 // docID uses the index namespace (e.g. "pres/<id>", "paper/<id>").
 func (e *Engine) Preview(userID, docID string, k int) ([]textindex.Snippet, error) {
-	text, err := e.index.Text(docID)
+	text, err := e.docText(docID)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +194,7 @@ func (e *Engine) Preview(userID, docID string, k int) ([]textindex.Snippet, erro
 // Annotate extracts the top-k key concepts of a document for automated
 // annotation (§2.3(b)).
 func (e *Engine) Annotate(docID string, k int) ([]textindex.Keyphrase, error) {
-	text, err := e.index.Text(docID)
+	text, err := e.docText(docID)
 	if err != nil {
 		return nil, err
 	}
@@ -206,11 +268,11 @@ func clip(rs []textindex.Result, k int) []textindex.Result {
 // DetectOverlap reports content-reuse between two indexed documents via
 // shingle resemblance and containment ([9]).
 func (e *Engine) DetectOverlap(docA, docB string) (resemblance, containAinB float64, err error) {
-	ta, err := e.index.Text(docA)
+	ta, err := e.docText(docA)
 	if err != nil {
 		return 0, 0, err
 	}
-	tb, err := e.index.Text(docB)
+	tb, err := e.docText(docB)
 	if err != nil {
 		return 0, 0, err
 	}

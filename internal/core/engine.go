@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"hive/internal/align"
@@ -54,6 +55,7 @@ type Engine struct {
 	store *social.Store
 
 	index    *textindex.Index
+	frozen   *textindex.Frozen // lock-free read snapshot of index
 	concepts *conceptmap.Map
 
 	papers []social.Paper
@@ -77,9 +79,41 @@ type Engine struct {
 
 	communities []community.Community
 
+	// Snapshot-resident read-path tables, precomputed by the Builder so
+	// serving never re-derives them (the paper's offline refresh): the
+	// per-user workpad context vectors, per-user uploaded-content TF-IDF
+	// vectors, per-user interaction vectors and object popularity counts
+	// from the activity stream. All are frozen at build time; the values
+	// are shared and must be treated as read-only by callers.
+	ctxVecs     map[string]textindex.Vector
+	ctxQueries  map[string]*textindex.CompiledVector // ctxVecs pre-resolved against frozen
+	wpPeerRefs  map[string][]string                  // users pinned on each user's active workpad
+	userContent map[string]textindex.Vector
+	interVecs   map[string]textindex.Vector
+	popularity  map[string]int
+
+	// pprMemo caches PersonalizedPageRank results per user for this
+	// snapshot, computed on first request (RecommendPeers stops paying a
+	// full power iteration per call). It is the one mutable, lock-guarded
+	// corner of the otherwise immutable Engine; bounded by pprMemoMax.
+	// Power iterations run outside the lock (concurrent misses for
+	// different users proceed in parallel) on workspaces from pprPool.
+	pprMu   sync.Mutex
+	pprMemo map[string][]float64
+	pprPool sync.Pool // *graph.PPRWorkspace, bound to peerGraph
+
+	// buildWorkers is the Builder's parallelism, kept so phase-2 table
+	// derivations can shard their per-user loops.
+	buildWorkers int
+
 	builtAt  time.Time
 	buildDur time.Duration
 }
+
+// pprMemoMax bounds the per-snapshot PageRank memo. When full, the memo
+// is reset wholesale: snapshots are short-lived relative to the user
+// population, so simple wipe beats LRU bookkeeping here.
+const pprMemoMax = 4096
 
 // Build assembles an engine snapshot from a social store with default
 // parallelism. It is shorthand for (&Builder{Store: st}).Build().
@@ -96,8 +130,46 @@ func (e *Engine) BuildDuration() time.Duration { return e.buildDur }
 // Store exposes the underlying social store.
 func (e *Engine) Store() *social.Store { return e.store }
 
-// Index exposes the text index (search services build on it).
+// Index exposes the live text index (the build-time representation).
 func (e *Engine) Index() *textindex.Index { return e.index }
+
+// Frozen exposes the lock-free frozen searcher every query serves from.
+func (e *Engine) Frozen() *textindex.Frozen { return e.frozen }
+
+// docVector returns a document's TF-IDF vector from the frozen forward
+// index when available (O(terms-in-doc)), falling back to the live index.
+func (e *Engine) docVector(docID string) (textindex.Vector, error) {
+	if e.frozen != nil {
+		return e.frozen.TFIDFVector(docID)
+	}
+	return e.index.TFIDFVector(docID)
+}
+
+// docText reads a document's raw text through the frozen snapshot.
+func (e *Engine) docText(docID string) (string, error) {
+	if e.frozen != nil {
+		return e.frozen.Text(docID)
+	}
+	return e.index.Text(docID)
+}
+
+// searchVector runs a context-vector query through the frozen searcher.
+func (e *Engine) searchVector(query textindex.Vector, k int) []textindex.Result {
+	if e.frozen != nil {
+		return e.frozen.SearchVector(query, k)
+	}
+	return e.index.SearchVector(query, k)
+}
+
+// searchUserContext ranks documents against the user's context vector.
+// For known users this runs the build-time compiled query — no term
+// extraction, sorting or hash lookups on the serving path.
+func (e *Engine) searchUserContext(userID string, k int) []textindex.Result {
+	if cq, ok := e.ctxQueries[userID]; ok && e.frozen != nil {
+		return e.frozen.SearchCompiled(cq, k)
+	}
+	return e.searchVector(e.ContextVector(userID), k)
+}
 
 // ConceptMap exposes the bootstrapped concept map.
 func (e *Engine) ConceptMap() *conceptmap.Map { return e.concepts }

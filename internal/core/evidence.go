@@ -301,15 +301,39 @@ func (e *Engine) contentSimilarity(a, b string) float64 {
 	return va.Cosine(vb)
 }
 
+// userContentVector returns the snapshot's precomputed content vector
+// for a user (computed on the spot only for users outside the snapshot).
 func (e *Engine) userContentVector(u string) textindex.Vector {
+	if v, ok := e.userContent[u]; ok {
+		return v
+	}
+	return e.computeUserContentVector(u)
+}
+
+// buildUserContentVectors precomputes every user's uploaded-content
+// TF-IDF vector into the snapshot (Builder phase 2; reads the frozen
+// index's forward vectors), sharding the per-user loop across the
+// builder's workers.
+func (e *Engine) buildUserContentVectors() {
+	vecs := make([]textindex.Vector, len(e.users))
+	e.forUsersParallel(func(i int, u string) {
+		vecs[i] = e.computeUserContentVector(u)
+	})
+	e.userContent = make(map[string]textindex.Vector, len(e.users))
+	for i, u := range e.users {
+		e.userContent[u] = vecs[i]
+	}
+}
+
+func (e *Engine) computeUserContentVector(u string) textindex.Vector {
 	v := make(textindex.Vector)
 	for _, prID := range e.store.PresentationsOfUser(u) {
-		if dv, err := e.index.TFIDFVector(DocPresentation + prID); err == nil {
+		if dv, err := e.docVector(DocPresentation + prID); err == nil {
 			v.Add(dv, 1)
 		}
 	}
 	for _, pid := range e.store.PapersOfAuthor(u) {
-		if dv, err := e.index.TFIDFVector(DocPaper + pid); err == nil {
+		if dv, err := e.docVector(DocPaper + pid); err == nil {
 			v.Add(dv, 1)
 		}
 	}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"hive/internal/graph"
+	"hive/internal/textindex"
+)
+
+// TestSnapshotTablesPopulated checks that Build precomputes the frozen
+// searcher and every read-path table.
+func TestSnapshotTablesPopulated(t *testing.T) {
+	_, eng := zachWorld(t)
+	if eng.Frozen() == nil {
+		t.Fatal("no frozen index on the snapshot")
+	}
+	if eng.Frozen().Len() != eng.Index().Len() {
+		t.Fatalf("frozen %d docs, live %d", eng.Frozen().Len(), eng.Index().Len())
+	}
+	for _, u := range eng.users {
+		if _, ok := eng.ctxVecs[u]; !ok {
+			t.Fatalf("no precomputed context vector for %s", u)
+		}
+		if _, ok := eng.userContent[u]; !ok {
+			t.Fatalf("no precomputed content vector for %s", u)
+		}
+	}
+	if eng.interVecs == nil || eng.popularity == nil {
+		t.Fatal("interaction tables not precomputed")
+	}
+}
+
+// TestPrecomputedTablesMatchRecomputation checks the snapshot tables
+// equal what the per-request derivations used to produce.
+func TestPrecomputedTablesMatchRecomputation(t *testing.T) {
+	_, eng := zachWorld(t)
+	for _, u := range eng.users {
+		want := eng.computeContextVector(u)
+		got := eng.ContextVector(u)
+		if len(want) != len(got) {
+			t.Fatalf("ctx vector for %s: %d terms precomputed, %d recomputed", u, len(got), len(want))
+		}
+		for term, w := range want {
+			// Concept-map activation normalizes over map iteration order,
+			// so recomputation may differ in the last ulp; compare with a
+			// tight relative tolerance.
+			if d := got[term] - w; d > 1e-9*(1+w) || -d > 1e-9*(1+w) {
+				t.Fatalf("ctx vector for %s: term %q = %v, want %v", u, term, got[term], w)
+			}
+		}
+		wantC := eng.computeUserContentVector(u)
+		gotC := eng.userContentVector(u)
+		if len(wantC) != len(gotC) {
+			t.Fatalf("content vector for %s: %d vs %d terms", u, len(gotC), len(wantC))
+		}
+	}
+	wantPop := eng.computeObjectPopularity()
+	for doc, n := range wantPop {
+		if eng.objectPopularity()[doc] != n {
+			t.Fatalf("popularity[%s] = %d, want %d", doc, eng.objectPopularity()[doc], n)
+		}
+	}
+}
+
+// TestEngineSearchMatchesLiveIndex checks the engine's frozen-backed
+// search equals the live index path end to end.
+func TestEngineSearchMatchesLiveIndex(t *testing.T) {
+	_, eng := zachWorld(t)
+	for _, q := range []string{"graph partitioning", "diffusion kernel", "community", "nothing matches this"} {
+		frozen := eng.Search(q, 10)
+		live := eng.index.Search(q, 10)
+		if len(frozen) != len(live) {
+			t.Fatalf("Search(%q): frozen %d results, live %d", q, len(frozen), len(live))
+		}
+		for i := range live {
+			if frozen[i].DocID != live[i].DocID || frozen[i].Score != live[i].Score {
+				t.Fatalf("Search(%q) rank %d: frozen %+v, live %+v", q, i, frozen[i], live[i])
+			}
+		}
+	}
+	ctx := eng.ContextVector("zach")
+	frozen := eng.searchVector(ctx, 10)
+	live := eng.index.SearchVector(ctx, 10)
+	if len(frozen) != len(live) {
+		t.Fatalf("searchVector: frozen %d, live %d", len(frozen), len(live))
+	}
+	for i := range live {
+		if frozen[i] != live[i] {
+			t.Fatalf("searchVector rank %d: frozen %+v, live %+v", i, frozen[i], live[i])
+		}
+	}
+}
+
+// TestRecommendPeersMemoized checks the PageRank memo returns identical
+// recommendations on repeat calls and is safe under concurrency.
+func TestRecommendPeersMemoized(t *testing.T) {
+	_, eng := zachWorld(t)
+	first, err := eng.RecommendPeers("zach", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.pprMemo) == 0 {
+		t.Fatal("memo not populated after first request")
+	}
+	again, err := eng.RecommendPeers("zach", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(again) {
+		t.Fatalf("memoized call changed results: %d vs %d", len(first), len(again))
+	}
+	for i := range first {
+		if first[i].UserID != again[i].UserID || first[i].Score != again[i].Score {
+			t.Fatalf("rank %d: %+v vs %+v", i, first[i], again[i])
+		}
+	}
+
+	// Concurrent requests across users: memo misses compute in parallel
+	// on pooled workspaces; run with -race to verify.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		for _, u := range []string{"zach", "ann", "aaron", "carl", "advisor"} {
+			wg.Add(1)
+			go func(u string) {
+				defer wg.Done()
+				if _, err := eng.RecommendPeers(u, 3); err != nil {
+					t.Error(err)
+				}
+			}(u)
+		}
+	}
+	wg.Wait()
+	if len(eng.pprMemo) > pprMemoMax {
+		t.Fatalf("memo exceeded bound: %d", len(eng.pprMemo))
+	}
+}
+
+// TestPPRWorkspaceReuseMatchesFreshRuns checks the reusable workspace
+// yields the same ranks as workspace-free calls, including after being
+// re-bound to a different graph.
+func TestPPRWorkspaceReuseMatchesFreshRuns(t *testing.T) {
+	g1 := graph.New()
+	for _, k := range []string{"a", "b", "c", "d"} {
+		g1.EnsureNode(k, "user")
+	}
+	_ = g1.AddEdge(0, 1, "e", 1)
+	_ = g1.AddEdge(1, 2, "e", 2)
+	_ = g1.AddEdge(2, 0, "e", 1)
+	_ = g1.AddEdge(2, 3, "e", 0.5)
+
+	g2 := graph.New()
+	for _, k := range []string{"x", "y"} {
+		g2.EnsureNode(k, "user")
+	}
+	_ = g2.AddEdge(0, 1, "e", 1)
+
+	ws := &graph.PPRWorkspace{}
+	for trial := 0; trial < 3; trial++ {
+		for _, g := range []*graph.Graph{g1, g2} {
+			restart := map[graph.NodeID]float64{0: 1}
+			got := g.PersonalizedPageRankWith(ws, restart, graph.PageRankOptions{})
+			want := g.PersonalizedPageRank(restart, graph.PageRankOptions{})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: len %d vs %d", trial, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d node %d: ws %v, fresh %v", trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	// The returned slice must stay valid after the workspace is reused.
+	keep := g1.PersonalizedPageRankWith(ws, map[graph.NodeID]float64{1: 1}, graph.PageRankOptions{})
+	sum := 0.0
+	for _, v := range keep {
+		sum += v
+	}
+	_ = g2.PersonalizedPageRankWith(ws, map[graph.NodeID]float64{0: 1}, graph.PageRankOptions{})
+	sum2 := 0.0
+	for _, v := range keep {
+		sum2 += v
+	}
+	if sum != sum2 {
+		t.Fatal("rank slice was clobbered by workspace reuse")
+	}
+}
+
+// TestContextVectorSharedReadOnly documents that callers receive the
+// shared precomputed vector: both calls must observe the same contents.
+func TestContextVectorSharedReadOnly(t *testing.T) {
+	_, eng := zachWorld(t)
+	a := eng.ContextVector("zach")
+	b := eng.ContextVector("zach")
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("inconsistent shared vectors: %d vs %d", len(a), len(b))
+	}
+	var _ textindex.Vector = a
+}

@@ -9,6 +9,7 @@ import (
 	"hive/internal/rdf"
 	"hive/internal/social"
 	"hive/internal/textindex"
+	"hive/internal/topk"
 )
 
 // Services completing Table 1: personal activity history search,
@@ -38,7 +39,12 @@ func (e *Engine) SearchHistory(userID, query string, useContext bool, limit int)
 	if useContext {
 		ctx = e.ContextVector(userID)
 	}
-	var out []HistoryEntry
+	h := topk.New[HistoryEntry](limit, func(a, b HistoryEntry) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Event.Seq < b.Event.Seq
+	})
 	for _, ev := range e.store.EventsByActor(userID) {
 		score := 0.0
 		if query == "" {
@@ -58,18 +64,9 @@ func (e *Engine) SearchHistory(userID, query string, useContext bool, limit int)
 			text := e.entityText(e.itemKindOf(ev.Object), ev.Object)
 			score += textindex.TermFrequency(text).Cosine(ctx)
 		}
-		out = append(out, HistoryEntry{Event: ev, Score: score})
+		h.Push(HistoryEntry{Event: ev, Score: score})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Event.Seq < out[j].Event.Seq
-	})
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
-	}
-	return out, nil
+	return h.Sorted(), nil
 }
 
 // itemKindOf classifies an entity ID into a workpad item kind for text

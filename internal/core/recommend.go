@@ -2,11 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"hive/internal/graph"
 	"hive/internal/tensor"
 	"hive/internal/textindex"
+	"hive/internal/topk"
 )
 
 // Recommendation services (paper §2.4): peer recommendation over the
@@ -28,23 +28,15 @@ type PeerRecommendation struct {
 // RecommendPeers suggests up to k new peers for a user: personalized
 // PageRank over the integrated peer network restarted at the user,
 // biased by the active context (workpad members get restart mass too),
-// excluding existing connections.
+// excluding existing connections. The rank vector is memoized per user
+// for the lifetime of the snapshot, so only a user's first request runs
+// the power iteration.
 func (e *Engine) RecommendPeers(userID string, k int) ([]PeerRecommendation, error) {
 	me := e.peerGraph.Lookup(userID)
 	if me == graph.Invalid {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, userID)
 	}
-	restart := map[graph.NodeID]float64{me: 1}
-	// Context bias: users pinned on the active workpad pull the walk
-	// toward their neighborhoods.
-	for _, item := range e.WorkpadOf(userID) {
-		if item.Kind == "user" {
-			if id := e.peerGraph.Lookup(item.Ref); id != graph.Invalid {
-				restart[id] = 0.5
-			}
-		}
-	}
-	pr := e.peerGraph.PersonalizedPageRank(restart, graph.PageRankOptions{})
+	pr := e.personalizedRankFor(userID, me)
 
 	skip := map[graph.NodeID]bool{me: true}
 	for _, c := range e.store.ConnectionsOf(userID) {
@@ -73,6 +65,64 @@ func (e *Engine) RecommendPeers(userID string, k int) ([]PeerRecommendation, err
 	return recs, nil
 }
 
+// personalizedRankFor returns the user's personalized PageRank over the
+// integrated peer network, memoized per snapshot (bounded, computed on
+// first request). The restart bias comes from the snapshot's workpad
+// table, so the memoized value is a pure function of (snapshot, user):
+// misses compute outside the memo lock on a pooled workspace, concurrent
+// first requests for different users run in parallel, and two racing
+// computes for the same user produce identical results (the later store
+// simply overwrites).
+func (e *Engine) personalizedRankFor(userID string, me graph.NodeID) []float64 {
+	e.pprMu.Lock()
+	pr, ok := e.pprMemo[userID]
+	e.pprMu.Unlock()
+	if ok {
+		return pr
+	}
+
+	restart := map[graph.NodeID]float64{me: 1}
+	// Context bias: users pinned on the active workpad (as of the
+	// snapshot build) pull the walk toward their neighborhoods.
+	for _, ref := range e.workpadPeerRefs(userID) {
+		if id := e.peerGraph.Lookup(ref); id != graph.Invalid {
+			restart[id] = 0.5
+		}
+	}
+	ws, _ := e.pprPool.Get().(*graph.PPRWorkspace)
+	if ws == nil {
+		ws = &graph.PPRWorkspace{}
+	}
+	pr = e.peerGraph.PersonalizedPageRankWith(ws, restart, graph.PageRankOptions{})
+	e.pprPool.Put(ws)
+
+	e.pprMu.Lock()
+	if e.pprMemo != nil {
+		if len(e.pprMemo) >= pprMemoMax {
+			e.pprMemo = make(map[string][]float64, pprMemoMax)
+		}
+		e.pprMemo[userID] = pr
+	}
+	e.pprMu.Unlock()
+	return pr
+}
+
+// workpadPeerRefs returns the users pinned on the user's active workpad
+// from the snapshot table (falling back to a live read only on engines
+// built without phase-2 tables).
+func (e *Engine) workpadPeerRefs(userID string) []string {
+	if e.wpPeerRefs != nil {
+		return e.wpPeerRefs[userID]
+	}
+	var refs []string
+	for _, item := range e.WorkpadOf(userID) {
+		if item.Kind == "user" {
+			refs = append(refs, item.Ref)
+		}
+	}
+	return refs
+}
+
 // likelySessions predicts the sessions a user will attend: sessions
 // already checked into, then sessions whose content matches the user's
 // context.
@@ -87,7 +137,12 @@ func (e *Engine) likelySessions(userID string, k int) []string {
 		id    string
 		score float64
 	}
-	var scored []ss
+	h := topk.New[ss](k-len(out), func(a, b ss) bool {
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		return a.id < b.id
+	})
 	for _, conf := range e.store.Conferences() {
 		for _, sid := range e.store.SessionsOf(conf) {
 			if seen[sid] {
@@ -96,20 +151,11 @@ func (e *Engine) likelySessions(userID string, k int) []string {
 			text := e.entityText("session", sid)
 			sim := textindex.TermFrequency(text).Cosine(ctx)
 			if sim > 0 {
-				scored = append(scored, ss{sid, sim})
+				h.Push(ss{sid, sim})
 			}
 		}
 	}
-	sort.Slice(scored, func(i, j int) bool {
-		if scored[i].score != scored[j].score {
-			return scored[i].score > scored[j].score
-		}
-		return scored[i].id < scored[j].id
-	})
-	for _, s := range scored {
-		if len(out) >= k {
-			break
-		}
+	for _, s := range h.Sorted() {
 		out = append(out, s.id)
 	}
 	return out
@@ -139,7 +185,12 @@ func (e *Engine) SuggestSessions(userID, confID string, k int) ([]SessionSuggest
 	ctx := e.ContextVector(userID)
 	attended := toSet(e.store.SessionsAttendedBy(userID))
 
-	var out []SessionSuggestion
+	h := topk.New[SessionSuggestion](k, func(a, b SessionSuggestion) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.SessionID < b.SessionID
+	})
 	for _, sid := range e.store.SessionsOf(confID) {
 		if attended[sid] {
 			continue
@@ -154,19 +205,10 @@ func (e *Engine) SuggestSessions(userID, confID string, k int) ([]SessionSuggest
 		sim := textindex.TermFrequency(text).Cosine(ctx)
 		score := 0.5*float64(len(followed)) + sim
 		if score > 0 {
-			out = append(out, SessionSuggestion{SessionID: sid, Score: score, FollowedAttendees: followed})
+			h.Push(SessionSuggestion{SessionID: sid, Score: score, FollowedAttendees: followed})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].SessionID < out[j].SessionID
-	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
-	}
-	return out, nil
+	return h.Sorted(), nil
 }
 
 // ResourceRecommendation is a suggested paper/presentation.
@@ -190,8 +232,7 @@ func (e *Engine) RecommendResources(userID string, k int, useContext bool) ([]Re
 		}
 	}
 	if useContext {
-		ctx := e.ContextVector(userID)
-		for _, r := range e.index.SearchVector(ctx, 3*k) {
+		for _, r := range e.searchUserContext(userID, 3*k) {
 			scores[r.DocID] += r.Score
 		}
 	} else {
@@ -205,23 +246,19 @@ func (e *Engine) RecommendResources(userID string, k int, useContext bool) ([]Re
 	for _, pr := range e.store.PresentationsOfUser(userID) {
 		own[pr] = true
 	}
-	var out []ResourceRecommendation
+	h := topk.New[ResourceRecommendation](k, func(a, b ResourceRecommendation) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.DocID < b.DocID
+	})
 	for doc, s := range scores {
 		if own[stripDocPrefix(doc)] {
 			continue
 		}
-		out = append(out, ResourceRecommendation{DocID: doc, Score: s})
+		h.Push(ResourceRecommendation{DocID: doc, Score: s})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].DocID < out[j].DocID
-	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
-	}
-	return out, nil
+	return h.Sorted(), nil
 }
 
 func kindOfDoc(docID string) string {
@@ -248,9 +285,25 @@ type CFRecommendation struct {
 	Score float64
 }
 
-// interactionVectors builds user -> (docID -> weight) from the activity
-// stream. Questions/answers/comments weigh more than passive check-ins.
+// buildInteractionTables precomputes the collaborative-filtering inputs
+// into the snapshot (Builder phase 2): per-user interaction vectors and
+// raw object popularity from the activity stream.
+func (e *Engine) buildInteractionTables() {
+	e.interVecs = e.computeInteractionVectors()
+	e.popularity = e.computeObjectPopularity()
+}
+
+// interactionVectors returns user -> (docID -> weight) interaction
+// vectors, precomputed per snapshot. Questions/answers/comments weigh
+// more than passive check-ins.
 func (e *Engine) interactionVectors() map[string]textindex.Vector {
+	if e.interVecs != nil {
+		return e.interVecs
+	}
+	return e.computeInteractionVectors()
+}
+
+func (e *Engine) computeInteractionVectors() map[string]textindex.Vector {
 	out := map[string]textindex.Vector{}
 	verbWeight := map[string]float64{
 		"question": 2, "answer": 2, "comment": 1.5, "checkin": 1, "browse": 0.5,
@@ -305,26 +358,23 @@ func (e *Engine) RecommendByCF(userID string, k int) []CFRecommendation {
 		user string
 		s    float64
 	}
-	var sims []sim
+	simBetter := func(a, b sim) bool {
+		if a.s != b.s {
+			return a.s > b.s
+		}
+		return a.user < b.user
+	}
+	neighbors := topk.New[sim](20, simBetter) // neighborhood size
 	for u, v := range vectors {
 		if u == userID {
 			continue
 		}
 		if s := mine.Cosine(v); s > 0 {
-			sims = append(sims, sim{u, s})
+			neighbors.Push(sim{u, s})
 		}
-	}
-	sort.Slice(sims, func(i, j int) bool {
-		if sims[i].s != sims[j].s {
-			return sims[i].s > sims[j].s
-		}
-		return sims[i].user < sims[j].user
-	})
-	if len(sims) > 20 {
-		sims = sims[:20] // neighborhood size
 	}
 	scores := map[string]float64{}
-	for _, sm := range sims {
+	for _, sm := range neighbors.Sorted() {
 		for doc, w := range vectors[sm.user] {
 			if mine[doc] > 0 {
 				continue // already interacted
@@ -332,20 +382,18 @@ func (e *Engine) RecommendByCF(userID string, k int) []CFRecommendation {
 			scores[doc] += sm.s * w
 		}
 	}
-	out := make([]CFRecommendation, 0, len(scores))
+	h := topk.New[CFRecommendation](k, cfBetter)
 	for doc, s := range scores {
-		out = append(out, CFRecommendation{DocID: doc, Score: s})
+		h.Push(CFRecommendation{DocID: doc, Score: s})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].DocID < out[j].DocID
-	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
+	return h.Sorted()
+}
+
+func cfBetter(a, b CFRecommendation) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
 	}
-	return out
+	return a.DocID < b.DocID
 }
 
 // RecommendByPopularity is the non-personalized baseline for E10: objects
@@ -353,26 +401,26 @@ func (e *Engine) RecommendByCF(userID string, k int) []CFRecommendation {
 func (e *Engine) RecommendByPopularity(userID string, k int) []CFRecommendation {
 	mine := e.interactionVectors()[userID]
 	pop := e.objectPopularity()
-	out := make([]CFRecommendation, 0, len(pop))
+	h := topk.New[CFRecommendation](k, cfBetter)
 	for doc, n := range pop {
 		if mine != nil && mine[doc] > 0 {
 			continue
 		}
-		out = append(out, CFRecommendation{DocID: doc, Score: float64(n)})
+		h.Push(CFRecommendation{DocID: doc, Score: float64(n)})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].DocID < out[j].DocID
-	})
-	if k > 0 && len(out) > k {
-		out = out[:k]
-	}
-	return out
+	return h.Sorted()
 }
 
+// objectPopularity returns docID -> interaction count, precomputed per
+// snapshot.
 func (e *Engine) objectPopularity() map[string]int {
+	if e.popularity != nil {
+		return e.popularity
+	}
+	return e.computeObjectPopularity()
+}
+
+func (e *Engine) computeObjectPopularity() map[string]int {
 	pop := map[string]int{}
 	for _, ev := range e.store.EventsSince(0, 0) {
 		if doc := e.docIDForObject(ev.Object); doc != "" {

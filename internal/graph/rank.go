@@ -1,6 +1,10 @@
 package graph
 
-import "math"
+import (
+	"math"
+
+	"hive/internal/topk"
+)
 
 // PageRankOptions configures the power-iteration PageRank solvers.
 type PageRankOptions struct {
@@ -26,20 +30,72 @@ func (o PageRankOptions) withDefaults() PageRankOptions {
 	return o
 }
 
+// PPRWorkspace holds the scratch vectors of the power iteration so
+// repeated PageRank runs over the same graph allocate nothing but the
+// returned rank slice. It also caches the per-node total out-weights,
+// which are invariant across runs. A workspace is bound to the graph of
+// its first use and re-binds (recomputing the cache) when handed a
+// different or resized graph; it assumes the graph is not mutated
+// between runs — callers ranking a mutable graph must use a fresh
+// workspace after mutations. Not safe for concurrent use.
+type PPRWorkspace struct {
+	g         *Graph
+	outWeight []float64
+	restart   []float64
+	rank      []float64
+	next      []float64
+}
+
+// bind points the workspace at g, sizing the scratch vectors and
+// recomputing the out-weight cache if the graph changed.
+func (ws *PPRWorkspace) bind(g *Graph) {
+	n := len(g.nodes)
+	if ws.g == g && len(ws.outWeight) == n {
+		return
+	}
+	ws.g = g
+	ws.outWeight = resize(ws.outWeight, n)
+	ws.restart = resize(ws.restart, n)
+	ws.rank = resize(ws.rank, n)
+	ws.next = resize(ws.next, n)
+	for i := 0; i < n; i++ {
+		ws.outWeight[i] = 0
+		for _, e := range g.out[i] {
+			ws.outWeight[i] += e.Weight
+		}
+	}
+}
+
+func resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // PageRank computes the stationary importance of every node under the
 // weighted random-surfer model. Edge weights bias the surfer toward
 // stronger relationships. The returned slice is indexed by NodeID and sums
 // to 1 (for non-empty graphs).
 func (g *Graph) PageRank(opts PageRankOptions) []float64 {
+	return g.PageRankWith(nil, opts)
+}
+
+// PageRankWith is PageRank reusing the given workspace (nil allocates a
+// throwaway one).
+func (g *Graph) PageRankWith(ws *PPRWorkspace, opts PageRankOptions) []float64 {
 	n := len(g.nodes)
 	if n == 0 {
 		return nil
 	}
-	uniform := make([]float64, n)
-	for i := range uniform {
-		uniform[i] = 1 / float64(n)
+	if ws == nil {
+		ws = &PPRWorkspace{}
 	}
-	return g.personalizedPageRank(uniform, opts)
+	ws.bind(g)
+	for i := range ws.restart {
+		ws.restart[i] = 1 / float64(n)
+	}
+	return g.powerIterate(ws, opts)
 }
 
 // PersonalizedPageRank computes PageRank with teleportation restricted to
@@ -53,39 +109,47 @@ func (g *Graph) PageRank(opts PageRankOptions) []float64 {
 // restart maps node IDs to non-negative masses; it is normalized
 // internally. Nodes outside restart get rank only via graph structure.
 func (g *Graph) PersonalizedPageRank(restart map[NodeID]float64, opts PageRankOptions) []float64 {
+	return g.PersonalizedPageRankWith(nil, restart, opts)
+}
+
+// PersonalizedPageRankWith is PersonalizedPageRank reusing the given
+// workspace (nil allocates a throwaway one). The returned rank slice is
+// freshly allocated and remains valid after the workspace is reused.
+func (g *Graph) PersonalizedPageRankWith(ws *PPRWorkspace, restart map[NodeID]float64, opts PageRankOptions) []float64 {
 	n := len(g.nodes)
 	if n == 0 {
 		return nil
 	}
-	r := make([]float64, n)
+	if ws == nil {
+		ws = &PPRWorkspace{}
+	}
+	ws.bind(g)
+	for i := range ws.restart {
+		ws.restart[i] = 0
+	}
 	var total float64
 	for id, m := range restart {
 		if g.valid(id) && m > 0 {
-			r[id] = m
+			ws.restart[id] = m
 			total += m
 		}
 	}
 	if total == 0 {
-		return g.PageRank(opts)
+		return g.PageRankWith(ws, opts)
 	}
-	for i := range r {
-		r[i] /= total
+	for i := range ws.restart {
+		ws.restart[i] /= total
 	}
-	return g.personalizedPageRank(r, opts)
+	return g.powerIterate(ws, opts)
 }
 
-func (g *Graph) personalizedPageRank(restart []float64, opts PageRankOptions) []float64 {
+// powerIterate runs the damped power iteration over the workspace's
+// restart vector and returns a fresh copy of the converged ranks.
+func (g *Graph) powerIterate(ws *PPRWorkspace, opts PageRankOptions) []float64 {
 	opts = opts.withDefaults()
 	n := len(g.nodes)
-	rank := append([]float64(nil), restart...)
-	next := make([]float64, n)
-
-	outWeight := make([]float64, n)
-	for i := 0; i < n; i++ {
-		for _, e := range g.out[i] {
-			outWeight[i] += e.Weight
-		}
-	}
+	rank, next := ws.rank, ws.next
+	copy(rank, ws.restart)
 
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		for i := range next {
@@ -96,11 +160,11 @@ func (g *Graph) personalizedPageRank(restart []float64, opts PageRankOptions) []
 			if rank[i] == 0 {
 				continue
 			}
-			if outWeight[i] == 0 {
+			if ws.outWeight[i] == 0 {
 				dangling += rank[i]
 				continue
 			}
-			share := opts.Damping * rank[i] / outWeight[i]
+			share := opts.Damping * rank[i] / ws.outWeight[i]
 			for _, e := range g.out[i] {
 				next[e.To] += share * e.Weight
 			}
@@ -110,7 +174,7 @@ func (g *Graph) personalizedPageRank(restart []float64, opts PageRankOptions) []
 		back := opts.Damping*dangling + (1 - opts.Damping)
 		var delta float64
 		for i := 0; i < n; i++ {
-			next[i] += back * restart[i]
+			next[i] += back * ws.restart[i]
 			delta += math.Abs(next[i] - rank[i])
 		}
 		rank, next = next, rank
@@ -118,41 +182,40 @@ func (g *Graph) personalizedPageRank(restart []float64, opts PageRankOptions) []
 			break
 		}
 	}
-	return rank
+	ws.rank, ws.next = rank, next
+	out := make([]float64, n)
+	copy(out, rank)
+	return out
 }
 
 // TopK returns the k highest-scoring node IDs for a score vector indexed
 // by NodeID, excluding any IDs in the skip set. Ties break toward lower
-// IDs for determinism.
+// IDs for determinism. Selection is heap-bounded: O(n log k).
 func TopK(scores []float64, k int, skip map[NodeID]bool) []NodeID {
+	if k <= 0 {
+		return nil
+	}
 	type sc struct {
 		id NodeID
 		s  float64
 	}
-	var all []sc
+	h := topk.New[sc](k, func(a, b sc) bool {
+		if a.s != b.s {
+			return a.s > b.s
+		}
+		return a.id < b.id
+	})
 	for i, s := range scores {
 		id := NodeID(i)
 		if skip[id] {
 			continue
 		}
-		all = append(all, sc{id, s})
+		h.Push(sc{id, s})
 	}
-	// Partial selection sort: k is small in practice (top-5 peers etc.).
-	if k > len(all) {
-		k = len(all)
-	}
-	for i := 0; i < k; i++ {
-		best := i
-		for j := i + 1; j < len(all); j++ {
-			if all[j].s > all[best].s || (all[j].s == all[best].s && all[j].id < all[best].id) {
-				best = j
-			}
-		}
-		all[i], all[best] = all[best], all[i]
-	}
-	ids := make([]NodeID, 0, k)
-	for i := 0; i < k; i++ {
-		ids = append(ids, all[i].id)
+	best := h.Sorted()
+	ids := make([]NodeID, len(best))
+	for i, c := range best {
+		ids[i] = c.id
 	}
 	return ids
 }

@@ -454,6 +454,9 @@ func (s *Server) getHealthz(w http.ResponseWriter, r *http.Request) {
 		out.BuiltAt = eng.BuiltAt().UTC().Format(time.RFC3339Nano)
 		out.BuildMS = eng.BuildDuration().Milliseconds()
 		out.AgeMS = time.Since(eng.BuiltAt()).Milliseconds()
+		if f := eng.Frozen(); f != nil {
+			out.FrozenDocs = f.Len()
+		}
 	}
 	if err := s.p.LastRefreshError(); err != nil {
 		out.LastRefreshError = err.Error()

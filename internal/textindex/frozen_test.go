@@ -1,0 +1,256 @@
+package textindex
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// randomCorpus builds an index over nDocs random documents drawn from a
+// small vocabulary (small so terms collide across docs and scores tie).
+func randomCorpus(rng *rand.Rand, nDocs int) (*Index, []string) {
+	vocab := []string{
+		"graph", "partition", "stream", "tensor", "social", "network",
+		"query", "ranking", "index", "cluster", "community", "context",
+		"sketch", "latency", "snapshot", "peer",
+	}
+	ix := NewIndex()
+	ids := make([]string, nDocs)
+	for d := 0; d < nDocs; d++ {
+		n := 1 + rng.Intn(30)
+		words := make([]string, n)
+		for i := range words {
+			words[i] = vocab[rng.Intn(len(vocab))]
+		}
+		id := fmt.Sprintf("doc/%02d", d)
+		ids[d] = id
+		ix.Add(id, strings.Join(words, " "))
+	}
+	return ix, ids
+}
+
+func randomQueryVector(rng *rand.Rand) Vector {
+	vocab := []string{"graph", "partition", "stream", "tensor", "social", "network", "unseen"}
+	v := make(Vector)
+	for _, t := range vocab {
+		if rng.Intn(2) == 0 {
+			v[Stem(t)] = rng.Float64() * 3
+		}
+	}
+	return v
+}
+
+func sameResults(t *testing.T, label string, live, frozen []Result) {
+	t.Helper()
+	if len(live) != len(frozen) {
+		t.Fatalf("%s: live returned %d results, frozen %d\nlive:   %v\nfrozen: %v",
+			label, len(live), len(frozen), live, frozen)
+	}
+	for i := range live {
+		if live[i].DocID != frozen[i].DocID {
+			t.Fatalf("%s: rank %d: live %q, frozen %q\nlive:   %v\nfrozen: %v",
+				label, i, live[i].DocID, frozen[i].DocID, live, frozen)
+		}
+		// Scores must be bit-identical: both sides accumulate floats in
+		// the same deterministic order.
+		if live[i].Score != frozen[i].Score {
+			t.Fatalf("%s: rank %d (%s): live score %v, frozen %v",
+				label, i, live[i].DocID, live[i].Score, frozen[i].Score)
+		}
+	}
+}
+
+// TestFrozenParity is the frozen-vs-live property test: on randomized
+// corpora, Frozen.Search, Frozen.SearchVector and Frozen.TFIDFVector
+// must reproduce the live Index outputs exactly, including tie-break
+// order and bit-identical scores.
+func TestFrozenParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	queries := []string{
+		"graph partition", "stream tensor graph", "social network community",
+		"latency", "unknown words only", "", "graph graph graph",
+	}
+	for trial := 0; trial < 40; trial++ {
+		ix, ids := randomCorpus(rng, 1+rng.Intn(40))
+		f := ix.Freeze()
+
+		if f.Len() != ix.Len() {
+			t.Fatalf("trial %d: frozen len %d, live %d", trial, f.Len(), ix.Len())
+		}
+		for _, q := range queries {
+			for _, k := range []int{1, 3, 10, 0} {
+				label := fmt.Sprintf("trial %d Search(%q, %d)", trial, q, k)
+				sameResults(t, label, ix.Search(q, k), f.Search(q, k))
+			}
+		}
+		for qi := 0; qi < 5; qi++ {
+			qv := randomQueryVector(rng)
+			cq := f.Compile(qv) // compiled once, reused across k values
+			for _, k := range []int{1, 5, 0} {
+				label := fmt.Sprintf("trial %d SearchVector(#%d, %d)", trial, qi, k)
+				live := ix.SearchVector(qv, k)
+				sameResults(t, label, live, f.SearchVector(qv, k))
+				sameResults(t, label+" compiled", live, f.SearchCompiled(cq, k))
+			}
+		}
+		for _, id := range ids {
+			lv, lerr := ix.TFIDFVector(id)
+			fv, ferr := f.TFIDFVector(id)
+			if (lerr == nil) != (ferr == nil) {
+				t.Fatalf("trial %d TFIDFVector(%s): live err %v, frozen err %v", trial, id, lerr, ferr)
+			}
+			if len(lv) != len(fv) {
+				t.Fatalf("trial %d TFIDFVector(%s): live %d terms, frozen %d", trial, id, len(lv), len(fv))
+			}
+			for term, w := range lv {
+				if fv[term] != w {
+					t.Fatalf("trial %d TFIDFVector(%s): term %q live %v frozen %v", trial, id, term, w, fv[term])
+				}
+			}
+			lt, _ := ix.Text(id)
+			ft, err := f.Text(id)
+			if err != nil || lt != ft {
+				t.Fatalf("trial %d Text(%s) mismatch (err %v)", trial, id, err)
+			}
+		}
+	}
+}
+
+// TestFrozenConcurrentSearches hammers one Frozen from many goroutines
+// (exercising the pooled scratch buffers; run with -race) and checks
+// every result still matches the live index.
+func TestFrozenConcurrentSearches(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ix, _ := randomCorpus(rng, 50)
+	f := ix.Freeze()
+	queries := []string{"graph partition", "stream tensor", "community network ranking", "index"}
+	qv := randomQueryVector(rng)
+	cq := f.Compile(qv)
+	wantKw := make([][]Result, len(queries))
+	for i, q := range queries {
+		wantKw[i] = ix.Search(q, 5)
+	}
+	wantVec := ix.SearchVector(qv, 5)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for it := 0; it < 200; it++ {
+				qi := r.Intn(len(queries))
+				got := f.Search(queries[qi], 5)
+				want := wantKw[qi]
+				if len(got) != len(want) {
+					t.Errorf("concurrent Search(%q): %d results, want %d", queries[qi], len(got), len(want))
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("concurrent Search(%q) rank %d: %+v, want %+v", queries[qi], i, got[i], want[i])
+						return
+					}
+				}
+				gotV := f.SearchCompiled(cq, 5)
+				if len(gotV) != len(wantVec) {
+					t.Errorf("concurrent SearchCompiled: %d results, want %d", len(gotV), len(wantVec))
+					return
+				}
+				for i := range wantVec {
+					if gotV[i] != wantVec[i] {
+						t.Errorf("concurrent SearchCompiled rank %d: %+v, want %+v", i, gotV[i], wantVec[i])
+						return
+					}
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+// TestFrozenIsASnapshot checks that later index mutations do not leak
+// into a frozen snapshot.
+func TestFrozenIsASnapshot(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("a", "graph partitioning systems")
+	ix.Add("b", "stream processing engines")
+	f := ix.Freeze()
+
+	ix.Add("c", "graph streams")
+	ix.Remove("a")
+
+	if f.Len() != 2 {
+		t.Fatalf("frozen len = %d, want 2", f.Len())
+	}
+	res := f.Search("graph", 10)
+	if len(res) != 1 || res[0].DocID != "a" {
+		t.Fatalf("frozen Search(graph) = %v, want [a]", res)
+	}
+	if _, err := f.TFIDFVector("c"); err == nil {
+		t.Fatal("doc added after freeze should be unknown to the snapshot")
+	}
+	if _, err := f.Text("a"); err != nil {
+		t.Fatalf("doc removed after freeze should still be frozen: %v", err)
+	}
+}
+
+// TestFrozenUnknownDoc checks the not-found error contract matches.
+func TestFrozenUnknownDoc(t *testing.T) {
+	ix := NewIndex()
+	ix.Add("a", "graph")
+	f := ix.Freeze()
+	if _, err := f.TFIDFVector("nope"); err == nil {
+		t.Fatal("want ErrDocNotFound")
+	}
+	if _, err := f.Text("nope"); err == nil {
+		t.Fatal("want ErrDocNotFound")
+	}
+	if f.DocNorm("nope") != 0 {
+		t.Fatal("unknown doc norm should be 0")
+	}
+}
+
+// TestFrozenEmptyIndex checks degenerate inputs.
+func TestFrozenEmptyIndex(t *testing.T) {
+	f := NewIndex().Freeze()
+	if f.Len() != 0 {
+		t.Fatalf("len = %d", f.Len())
+	}
+	if res := f.Search("graph", 5); len(res) != 0 {
+		t.Fatalf("Search on empty = %v", res)
+	}
+	if res := f.SearchVector(Vector{"graph": 1}, 5); len(res) != 0 {
+		t.Fatalf("SearchVector on empty = %v", res)
+	}
+}
+
+// TestReplaceAndRemoveKeepPostingsConsistent exercises the O(terms-in-doc)
+// removal path: replacing and removing documents must leave search and
+// freeze behavior identical to building the final corpus from scratch.
+func TestReplaceAndRemoveKeepPostingsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ix, _ := randomCorpus(rng, 20)
+	// Churn: replace half the docs, remove a quarter.
+	for d := 0; d < 20; d += 2 {
+		ix.Add(fmt.Sprintf("doc/%02d", d), "replacement text about graph community detection")
+	}
+	for d := 0; d < 20; d += 4 {
+		ix.Remove(fmt.Sprintf("doc/%02d", d))
+	}
+	// Rebuild the same final state from scratch.
+	fresh := NewIndex()
+	for _, id := range ix.DocIDs() {
+		text, err := ix.Text(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh.Add(id, text)
+	}
+	for _, q := range []string{"graph community", "stream tensor", "partition"} {
+		sameResults(t, "churned vs fresh "+q, fresh.Search(q, 10), ix.Search(q, 10))
+	}
+	sameResults(t, "churned vs fresh frozen", fresh.Freeze().Search("graph", 10), ix.Freeze().Search("graph", 10))
+}

@@ -6,6 +6,8 @@ import (
 	"math"
 	"sort"
 	"sync"
+
+	"hive/internal/topk"
 )
 
 // ErrDocNotFound is returned when a document ID is unknown to the index.
@@ -17,12 +19,23 @@ type posting struct {
 	tf  int
 }
 
+// docTerm is one entry of a document's forward index: a term the
+// document contains and its frequency. Per-doc term lists are kept
+// sorted by term so every per-document float accumulation (TF-IDF
+// vectors, norms) runs in a deterministic order — which is also what
+// lets a Frozen snapshot reproduce the live scores bit for bit.
+type docTerm struct {
+	term string
+	tf   int
+}
+
 // Index is an inverted index over documents with TF-IDF vectors and BM25
 // scoring. It is safe for concurrent use: adds take the write lock,
 // queries the read lock.
 type Index struct {
 	mu       sync.RWMutex
 	postings map[string][]posting
+	docTerms map[string][]docTerm // forward index, sorted by term
 	docLen   map[string]int
 	docText  map[string]string
 	totalLen int
@@ -32,6 +45,7 @@ type Index struct {
 func NewIndex() *Index {
 	return &Index{
 		postings: make(map[string][]posting),
+		docTerms: make(map[string][]docTerm),
 		docLen:   make(map[string]int),
 		docText:  make(map[string]string),
 	}
@@ -50,9 +64,15 @@ func (ix *Index) Add(docID, text string) {
 	for _, t := range terms {
 		counts[t]++
 	}
+	dts := make([]docTerm, 0, len(counts))
 	for t, c := range counts {
-		ix.postings[t] = append(ix.postings[t], posting{doc: docID, tf: c})
+		dts = append(dts, docTerm{term: t, tf: c})
 	}
+	sort.Slice(dts, func(i, j int) bool { return dts[i].term < dts[j].term })
+	for _, dt := range dts {
+		ix.postings[dt.term] = append(ix.postings[dt.term], posting{doc: docID, tf: dt.tf})
+	}
+	ix.docTerms[docID] = dts
 	ix.docLen[docID] = len(terms)
 	ix.docText[docID] = text
 	ix.totalLen += len(terms)
@@ -70,17 +90,22 @@ func (ix *Index) removeLocked(docID string) {
 	if !ok {
 		return
 	}
-	for t, ps := range ix.postings {
+	// The forward index names exactly the postings lists that mention the
+	// document, so removal is O(terms-in-doc × list length) rather than a
+	// scan of the entire postings map.
+	for _, dt := range ix.docTerms[docID] {
+		ps := ix.postings[dt.term]
 		for i := range ps {
 			if ps[i].doc == docID {
-				ix.postings[t] = append(ps[:i], ps[i+1:]...)
+				ix.postings[dt.term] = append(ps[:i], ps[i+1:]...)
 				break
 			}
 		}
-		if len(ix.postings[t]) == 0 {
-			delete(ix.postings, t)
+		if len(ix.postings[dt.term]) == 0 {
+			delete(ix.postings, dt.term)
 		}
 	}
+	delete(ix.docTerms, docID)
 	ix.totalLen -= n
 	delete(ix.docLen, docID)
 	delete(ix.docText, docID)
@@ -127,17 +152,13 @@ func (ix *Index) idfLocked(term string) float64 {
 func (ix *Index) TFIDFVector(docID string) (Vector, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	if _, ok := ix.docLen[docID]; !ok {
+	dts, ok := ix.docTerms[docID]
+	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrDocNotFound, docID)
 	}
-	v := make(Vector)
-	for t, ps := range ix.postings {
-		for _, p := range ps {
-			if p.doc == docID {
-				v[t] = float64(p.tf) * ix.idfLocked(t)
-				break
-			}
-		}
+	v := make(Vector, len(dts))
+	for _, dt := range dts {
+		v[dt.term] = float64(dt.tf) * ix.idfLocked(dt.term)
 	}
 	return v, nil
 }
@@ -186,29 +207,41 @@ func (ix *Index) Search(query string, k int) []Result {
 // SearchVector ranks documents by cosine similarity between the query
 // vector and each document's TF-IDF vector. Hive uses this form when the
 // "query" is a context vector (active workpad contents) rather than typed
-// keywords.
+// keywords. Query terms are processed in sorted order so repeated calls
+// (and a Frozen snapshot of this index) accumulate floats identically.
 func (ix *Index) SearchVector(query Vector, k int) []Result {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if len(query) == 0 {
 		return nil
 	}
+	terms := make([]string, 0, len(query))
+	for t := range query {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
 	// Accumulate dot products via postings of the query terms only.
 	dots := make(map[string]float64)
-	for t, qw := range query {
+	var qnSq float64
+	for _, t := range terms {
+		qw := query[t]
+		qnSq += qw * qw
 		ps, ok := ix.postings[t]
 		if !ok {
 			continue
 		}
 		idf := ix.idfLocked(t)
 		for _, p := range ps {
-			dots[p.doc] += qw * float64(p.tf) * idf
+			// Associated as qw × (tf × idf): the tf×idf factor is what a
+			// Frozen snapshot precomputes per posting, so grouping it
+			// keeps live and frozen sums bit-identical.
+			dots[p.doc] += qw * (float64(p.tf) * idf)
 		}
 	}
-	qn := query.Norm()
-	if qn == 0 {
+	if qnSq == 0 {
 		return nil
 	}
+	qn := math.Sqrt(qnSq)
 	scores := make(map[string]float64, len(dots))
 	for doc, dot := range dots {
 		dn := ix.docNormLocked(doc)
@@ -220,33 +253,26 @@ func (ix *Index) SearchVector(query Vector, k int) []Result {
 	return topResults(scores, k)
 }
 
+// docNormLocked computes the Euclidean norm of a document's TF-IDF
+// vector from its forward-index entry: O(terms-in-doc).
 func (ix *Index) docNormLocked(docID string) float64 {
 	var s float64
-	for t, ps := range ix.postings {
-		for _, p := range ps {
-			if p.doc == docID {
-				w := float64(p.tf) * ix.idfLocked(t)
-				s += w * w
-				break
-			}
-		}
+	for _, dt := range ix.docTerms[docID] {
+		w := float64(dt.tf) * ix.idfLocked(dt.term)
+		s += w * w
 	}
 	return math.Sqrt(s)
 }
 
 func topResults(scores map[string]float64, k int) []Result {
-	res := make([]Result, 0, len(scores))
-	for d, s := range scores {
-		res = append(res, Result{DocID: d, Score: s})
-	}
-	sort.Slice(res, func(i, j int) bool {
-		if res[i].Score != res[j].Score {
-			return res[i].Score > res[j].Score
+	h := topk.New[Result](k, func(a, b Result) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
 		}
-		return res[i].DocID < res[j].DocID
+		return a.DocID < b.DocID
 	})
-	if k > 0 && len(res) > k {
-		res = res[:k]
+	for d, s := range scores {
+		h.Push(Result{DocID: d, Score: s})
 	}
-	return res
+	return h.Sorted()
 }

@@ -1,0 +1,67 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+type item struct {
+	id string
+	s  float64
+}
+
+func better(a, b item) bool {
+	if a.s != b.s {
+		return a.s > b.s
+	}
+	return a.id < b.id
+}
+
+// TestMatchesFullSort checks the heap selection equals sort-then-truncate
+// on random inputs with deliberate score ties.
+func TestMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60)
+		items := make([]item, n)
+		for i := range items {
+			// Coarse scores force ties so the tie-break is exercised.
+			items[i] = item{id: string(rune('a' + rng.Intn(26))), s: float64(rng.Intn(5))}
+		}
+		k := rng.Intn(10)
+		h := New[item](k, better)
+		for _, it := range items {
+			h.Push(it)
+		}
+		got := h.Sorted()
+
+		want := append([]item(nil), items...)
+		sort.Slice(want, func(i, j int) bool { return better(want[i], want[j]) })
+		if k > 0 && len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len=%d want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: item %d = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestUnboundedReturnsAllSorted(t *testing.T) {
+	h := New[item](0, better)
+	for _, it := range []item{{"b", 1}, {"a", 2}, {"c", 1}} {
+		h.Push(it)
+	}
+	got := h.Sorted()
+	want := []item{{"a", 2}, {"b", 1}, {"c", 1}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
