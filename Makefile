@@ -5,9 +5,9 @@ GO      ?= go
 BENCHTIME ?= 200ms
 # Benchmark JSON stream for the current PR's perf record (uploaded as a
 # CI artifact so the trajectory accumulates across commits).
-BENCH_OUT ?= BENCH_pr3.json
+BENCH_OUT ?= BENCH_pr4.json
 
-.PHONY: build test race bench bench-ci fmt vet ci api-smoke
+.PHONY: build test race bench bench-ci fmt vet vuln race-nightly ci api-smoke
 
 build:
 	$(GO) build ./...
@@ -24,9 +24,21 @@ bench:
 # Short benchmark pass for CI: one data point per benchmark, JSON
 # stream captured as $(BENCH_OUT) so the perf trajectory accumulates.
 # Includes the frozen-vs-live micro-benchmarks (SearchVector,
-# TFIDFVector, RecommendPeers, RecommendResources) — see EXPERIMENTS.md.
+# TFIDFVector, RecommendPeers, RecommendResources) and the PR-4
+# delta-vs-rebuild pair — see EXPERIMENTS.md.
 bench-ci:
 	$(GO) test -json -bench=. -benchtime=$(BENCHTIME) -run='^$$' . | tee $(BENCH_OUT)
+
+# Static analysis beyond vet: CI installs govulncheck on the runner;
+# locally this degrades to a warning when the tool is absent.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed; skipping (CI runs it)"; fi
+
+# Nightly-strength race pass: the delta interleaving property test at a
+# higher -count, catching rare schedules the per-PR run might miss.
+race-nightly:
+	$(GO) test -race -run 'TestDeltaInterleavingParity|TestDeltaNeverObservesTornBatch|TestSegmentedParity' -count=5 ./internal/core/ ./internal/textindex/
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -88,9 +88,38 @@ type CreatedResponse struct {
 	Status string `json:"status"`
 }
 
-// RefreshResponse acknowledges a snapshot refresh request.
+// DeltaHealth reports the incremental-maintenance state of the serving
+// snapshot: how large the overlay segment has grown since the last full
+// build (the compaction), how many change events await application, and
+// the latency of the delta path.
+type DeltaHealth struct {
+	// OverlayDocs and Tombstones size the overlay segment layered over
+	// the frozen base.
+	OverlayDocs int `json:"overlay_docs"`
+	Tombstones  int `json:"tombstones"`
+	// PendingEvents counts queued, not-yet-applied change events.
+	PendingEvents int `json:"pending_events"`
+	// GraphPending counts applied events whose evidence-graph effects
+	// await the next compaction.
+	GraphPending int `json:"graph_pending"`
+	// DeltasApplied and Compactions count snapshot swaps by kind since
+	// the server started.
+	DeltasApplied uint64 `json:"deltas_applied"`
+	Compactions   uint64 `json:"compactions"`
+	// LastDeltaUS is the duration of the most recent delta apply in
+	// microseconds (deltas are micro- to millisecond work; a millisecond
+	// field would round most of them to zero).
+	LastDeltaUS int64 `json:"last_delta_us"`
+	// CompactionDue reports that the snapshot drifted past the
+	// compaction policy and a full rebuild is scheduled-worthy.
+	CompactionDue bool `json:"compaction_due"`
+}
+
+// RefreshResponse acknowledges a snapshot refresh request and reports
+// the resulting maintenance state.
 type RefreshResponse struct {
-	Status string `json:"status"`
+	Status string       `json:"status"`
+	Delta  *DeltaHealth `json:"delta,omitempty"`
 }
 
 // Health is the GET /healthz response: liveness plus snapshot freshness.
@@ -102,11 +131,13 @@ type Health struct {
 	BuiltAt    string `json:"built_at,omitempty"`
 	BuildMS    int64  `json:"build_ms"`
 	AgeMS      int64  `json:"age_ms"`
-	// FrozenDocs counts the documents in the snapshot's frozen search
-	// structure — the lock-free read representation every query serves
-	// from (0 when no snapshot is live).
-	FrozenDocs       int    `json:"frozen_docs"`
-	LastRefreshError string `json:"last_refresh_error,omitempty"`
+	// FrozenDocs counts the documents in the snapshot's frozen base
+	// segment — the lock-free read representation queries serve from
+	// (0 when no snapshot is live). Overlay documents are counted
+	// separately in Delta.
+	FrozenDocs       int         `json:"frozen_docs"`
+	Delta            DeltaHealth `json:"delta"`
+	LastRefreshError string      `json:"last_refresh_error,omitempty"`
 }
 
 // Batch entity kinds accepted by POST /batch.

@@ -21,6 +21,7 @@ import (
 	"hive/internal/graph"
 	"hive/internal/rdf"
 	"hive/internal/server"
+	"hive/internal/social"
 	"hive/internal/summarize"
 	"hive/internal/tensor"
 	"hive/internal/workload"
@@ -552,4 +553,86 @@ func BenchmarkE12_Snippets(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDeltaVsRebuild is the PR-4 headline: folding a single
+// mutation's change events into the serving snapshot with ApplyDelta
+// (structural sharing + overlay segment) versus the full rebuild that
+// used to be the only repair. The acceptance bar is delta ≥ 50x faster
+// at the 64-user fixture.
+func BenchmarkDeltaVsRebuild(b *testing.B) {
+	st, err := social.Open("", social.Clock(benchClock()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	ds := workload.Generate(workload.Config{Seed: 42, Users: 64})
+	if err := ds.Load(st); err != nil {
+		b.Fatal(err)
+	}
+	var (
+		mu  sync.Mutex
+		evs []social.ChangeEvent
+	)
+	st.OnChange(func(batch []social.ChangeEvent) {
+		mu.Lock()
+		evs = append(evs[:0], batch...)
+		mu.Unlock()
+	})
+	builder := &core.Builder{Store: st}
+	eng, err := builder.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	author := st.Users()[0]
+	if err := st.PutPaper(social.Paper{
+		ID: "bench-delta", Title: "Write visibility through overlay segments",
+		Abstract: "One mutation, one delta, zero rebuild.", Authors: []string{author},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	mu.Lock()
+	batch := append([]social.ChangeEvent(nil), evs...)
+	mu.Unlock()
+	if len(batch) == 0 {
+		b.Fatal("no change events captured")
+	}
+
+	b.Run("delta-apply", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := builder.ApplyDelta(eng, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := builder.Build(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSegmentedSearch measures the merge-on-read cost: BM25 search
+// through a pristine segmented view (delegates to the frozen base) and
+// through a view carrying a small overlay (merged statistics computed
+// per query).
+func BenchmarkSegmentedSearch(b *testing.B) {
+	_, eng := benchPlatform(b)
+	pristine := eng.Segment()
+	overlaid := pristine.WithDocs(map[string]string{
+		"paper/seg-1": "graph partitioning with overlay segments",
+		"paper/seg-2": "streaming tensor sketches for social networks",
+	})
+	b.Run("pristine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pristine.Search("graph partitioning streams", 10)
+		}
+	})
+	b.Run("overlay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			overlaid.Search("graph partitioning streams", 10)
+		}
+	})
 }

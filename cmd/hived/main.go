@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	hived [-addr :8080] [-data DIR] [-seed users] [-refresh 30s] [-workers N]
-//	      [-timeout 30s] [-max-inflight N] [-qps N] [-quiet] [-pprof ADDR]
+//	hived [-addr :8080] [-data DIR] [-seed users] [-compact-interval 30s]
+//	      [-no-deltas] [-workers N] [-timeout 30s] [-max-inflight N]
+//	      [-qps N] [-quiet] [-pprof ADDR]
 //
 // The API is served under /api/v1 (typed DTOs, cursor pagination,
 // structured errors, conditional knowledge GETs, POST /api/v1/batch
@@ -12,14 +13,25 @@
 // deprecated aliases for one release.
 //
 // With -seed N, a synthetic conference workload of N users is generated
-// and loaded at startup so the API has data to serve. With -refresh D,
-// the knowledge engine is rebuilt in the background every D while data
-// changed; rebuilds fan the derivation stages out across -workers
-// goroutines and swap the snapshot atomically, so requests keep being
-// served from the previous snapshot for the whole rebuild. A rebuild can
-// also be requested over HTTP: POST /api/v1/admin/refresh (async; add
-// ?wait=true to block until the swap), and GET /api/v1/healthz reports
-// the serving snapshot's generation, age and staleness.
+// and loaded at startup so the API has data to serve. Writes become
+// visible to the knowledge services immediately: each mutation's change
+// events fold into the serving snapshot as an incremental delta before
+// the request returns. With -compact-interval D, a background loop runs
+// a full rebuild — the *compaction* that folds the delta overlay into a
+// fresh base and refreshes the evidence graphs — every D while one is
+// due; rebuilds fan the derivation stages out across -workers goroutines
+// and swap the snapshot atomically, so requests keep being served from
+// the previous snapshot for the whole rebuild. A compaction can also be
+// requested over HTTP: POST /api/v1/admin/refresh (async; add ?wait=true
+// to block until the swap), and GET /api/v1/healthz reports the serving
+// snapshot's generation, age, staleness, overlay size, pending events
+// and delta latency.
+//
+// -refresh is the deprecated former name of -compact-interval (it only
+// ever controlled the full-rebuild cadence); it keeps working for one
+// release and logs a pointer to the new flag. -no-deltas restores the
+// pre-delta behavior (writes mark the snapshot stale; only full rebuilds
+// repair it).
 //
 // -timeout, -max-inflight and -qps wire the middleware stack's
 // operational limits (0 disables each); -quiet drops the access log.
@@ -46,7 +58,12 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "", "storage directory (empty = in-memory)")
 	seed := flag.Int("seed", 0, "generate a synthetic workload with this many users")
-	refresh := flag.Duration("refresh", 30*time.Second, "background snapshot refresh interval (0 = disabled)")
+	compactInterval := flag.Duration("compact-interval", 30*time.Second,
+		"background compaction (full rebuild) interval, run while due (0 = disabled)")
+	refresh := flag.Duration("refresh", 0,
+		"deprecated alias of -compact-interval (kept one release)")
+	noDeltas := flag.Bool("no-deltas", false,
+		"disable incremental snapshot maintenance (writes wait for the next full rebuild)")
 	workers := flag.Int("workers", 0, "engine rebuild parallelism (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request time budget (0 = unbounded)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent requests (0 = uncapped)")
@@ -70,7 +87,16 @@ func main() {
 		}()
 	}
 
-	p, err := hive.Open(hive.Options{Dir: *data, Workers: *workers})
+	// flag.Visit (not a zero check): `-refresh 0` historically meant
+	// "disable the background rebuild loop" and must keep meaning that.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "refresh" {
+			log.Printf("warning: -refresh is deprecated, use -compact-interval (same meaning: full-rebuild cadence)")
+			*compactInterval = *refresh
+		}
+	})
+
+	p, err := hive.Open(hive.Options{Dir: *data, Workers: *workers, DisableDeltas: *noDeltas})
 	if err != nil {
 		log.Fatalf("open platform: %v", err)
 	}
@@ -92,9 +118,9 @@ func main() {
 	if eng := p.Snapshot(); eng != nil {
 		log.Printf("knowledge engine ready in %v (generation %d)", eng.BuildDuration(), p.Generation())
 	}
-	if *refresh > 0 {
-		p.AutoRefresh(*refresh)
-		log.Printf("auto-refresh every %v", *refresh)
+	if *compactInterval > 0 {
+		p.AutoRefresh(*compactInterval)
+		log.Printf("compaction loop every %v (runs while due)", *compactInterval)
 	}
 
 	cfg := server.Config{

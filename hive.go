@@ -7,8 +7,13 @@
 //
 // A Platform wraps the durable social store and the MiNC knowledge engine.
 // Mutations (users, papers, check-ins, questions, workpads, ...) apply
-// immediately; knowledge services run against an engine snapshot that is
-// rebuilt lazily after mutations (call Refresh to rebuild eagerly).
+// immediately and become visible to the knowledge services within the
+// same call: the store emits typed change events and the platform folds
+// them into the serving snapshot as an incremental delta (milliseconds,
+// proportional to the write — not the corpus). Full rebuilds are demoted
+// to *compaction*: they fold the accumulated overlay into a fresh base
+// snapshot and refresh the evidence graphs, on the AutoRefresh cadence
+// or an explicit Refresh.
 //
 //	p, _ := hive.Open(hive.Options{Dir: ""}) // in-memory
 //	defer p.Close()
@@ -57,6 +62,8 @@ type (
 	Collection = social.Collection
 	// Event is one activity-stream entry.
 	Event = social.Event
+	// ChangeEvent is one typed entry of the store's change log.
+	ChangeEvent = social.ChangeEvent
 
 	// Evidence is one relationship evidence (Figure 2).
 	Evidence = core.Evidence
@@ -78,6 +85,8 @@ type (
 	Summary = summarize.Summary
 	// ChangeResult reports activity change detection for one epoch.
 	ChangeResult = tensor.StreamResult
+	// DeltaStats summarizes a snapshot's incremental-maintenance state.
+	DeltaStats = core.DeltaStats
 )
 
 // Workpad item kinds.
@@ -97,6 +106,46 @@ const (
 	DocQuestion     = core.DocQuestion
 )
 
+// CompactionPolicy bounds how far the serving snapshot may drift from
+// its last full build before a compaction is due. Zero values take the
+// defaults.
+type CompactionPolicy struct {
+	// OverlayDocs is the maximum overlay-segment size.
+	OverlayDocs int
+	// TombstoneRatio is the maximum dead fraction of the base segment.
+	TombstoneRatio float64
+	// GraphPending is the maximum number of applied events whose
+	// evidence-graph effects (connections, co-attendance, Q&A edges,
+	// coauthorship) await the next full build.
+	GraphPending int
+}
+
+// Default compaction policy and delta-pipeline bounds.
+const (
+	defaultOverlayDocs    = 256
+	defaultTombstoneRatio = 0.2
+	defaultGraphPending   = 512
+	// maxPendingEvents bounds the unapplied-event queue; past it the
+	// platform stops queueing and falls back to one full rebuild (the
+	// bulk-load path, where a compaction beats thousands of deltas).
+	maxPendingEvents = 4096
+	// maxDeltaBatch bounds how many events one ApplyDelta call folds in.
+	maxDeltaBatch = 512
+)
+
+func (cp CompactionPolicy) withDefaults() CompactionPolicy {
+	if cp.OverlayDocs <= 0 {
+		cp.OverlayDocs = defaultOverlayDocs
+	}
+	if cp.TombstoneRatio <= 0 {
+		cp.TombstoneRatio = defaultTombstoneRatio
+	}
+	if cp.GraphPending <= 0 {
+		cp.GraphPending = defaultGraphPending
+	}
+	return cp
+}
+
 // Options configures Open.
 type Options struct {
 	// Dir is the storage directory; empty means in-memory (non-durable).
@@ -106,24 +155,47 @@ type Options struct {
 	// Workers bounds the parallelism of engine rebuilds (the number of
 	// derivation stages built concurrently). Zero means GOMAXPROCS.
 	Workers int
+	// DisableDeltas turns off incremental snapshot maintenance: writes
+	// only mark the snapshot stale and every repair is a full rebuild
+	// (the pre-delta behavior; useful for baselines and tests).
+	DisableDeltas bool
+	// Compaction tunes when the delta pipeline schedules a full build.
+	Compaction CompactionPolicy
 }
 
 // Platform is the assembled Hive instance.
 //
 // The knowledge engine is an immutable snapshot published through an
-// atomic pointer: readers load the current snapshot without locking,
-// rebuilds happen in the background (layer derivation fanned out across
-// workers) and swap the pointer only when the replacement is complete.
-// Queries therefore never observe a half-built engine, and reads keep
-// being served from the old snapshot for the entire rebuild.
+// atomic pointer: readers load the current snapshot without locking.
+// Writes emit typed change events; the platform applies them to the
+// serving snapshot as an incremental delta (structurally sharing
+// everything the events did not touch) and swaps the pointer. Full
+// rebuilds — compactions — run in the background on the AutoRefresh
+// cadence and swap the same pointer. Queries therefore never observe a
+// half-built engine, and reads keep being served from the old snapshot
+// for the entire rebuild.
 type Platform struct {
 	store   *social.Store
 	workers int
 
+	deltasOff bool
+	policy    CompactionPolicy
+
 	current atomic.Pointer[core.Engine] // serving snapshot (nil until first build)
-	dirty   atomic.Bool                 // store mutated since the serving snapshot was built
 	gen     atomic.Uint64               // snapshot generation, bumped on every swap
-	lastErr atomic.Pointer[refreshErr]  // outcome of the most recent rebuild
+	lastErr atomic.Pointer[refreshErr]  // outcome of the most recent maintenance run
+
+	// Unapplied change events. pendingCount mirrors len(pending) for
+	// lock-free staleness checks; overflow records that the queue was
+	// abandoned in favor of a full rebuild.
+	pendMu       sync.Mutex
+	pending      []social.ChangeEvent
+	overflow     bool
+	pendingCount atomic.Int64
+
+	deltasApplied atomic.Uint64 // delta swaps since Open
+	compactions   atomic.Uint64 // full-build swaps since Open
+	lastDeltaNs   atomic.Int64  // duration of the most recent delta apply
 
 	flightMu sync.Mutex // guards flight and closed
 	flight   *refreshFlight
@@ -134,13 +206,15 @@ type Platform struct {
 	autoDone chan struct{}
 }
 
-// refreshFlight coalesces concurrent Refresh calls into one rebuild.
+// refreshFlight coalesces concurrent maintenance into one run. full
+// distinguishes a compaction (full rebuild) from a delta drain.
 type refreshFlight struct {
 	done chan struct{}
 	err  error
+	full bool
 }
 
-// refreshErr boxes a rebuild outcome for atomic storage (nil err on
+// refreshErr boxes a maintenance outcome for atomic storage (nil err on
 // success).
 type refreshErr struct{ err error }
 
@@ -150,18 +224,24 @@ func Open(opts Options) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Platform{store: st, workers: opts.Workers}
-	p.dirty.Store(true)
-	// Every store write marks the serving snapshot stale — including
-	// writes that bypass the Platform wrappers and hit Store() directly.
-	st.OnMutate(p.invalidate)
+	p := &Platform{
+		store:     st,
+		workers:   opts.Workers,
+		deltasOff: opts.DisableDeltas,
+		policy:    opts.Compaction.withDefaults(),
+	}
+	// Every store write feeds the change log — including writes that
+	// bypass the Platform wrappers and hit Store() directly. The
+	// subscription queues the events and (unless deltas are disabled)
+	// folds them into the serving snapshot before the write returns.
+	st.OnChange(p.onChange)
 	return p, nil
 }
 
 // ErrClosed is returned by refresh operations after Close.
 var ErrClosed = errors.New("hive: platform closed")
 
-// Close stops auto-refresh, waits for any in-flight rebuild and
+// Close stops auto-refresh, waits for any in-flight maintenance and
 // releases the underlying storage. It is a quiescence point: once the
 // closed mark is set no new rebuild can start, so after Close returns
 // nothing reads the store anymore.
@@ -180,39 +260,128 @@ func (p *Platform) Close() error {
 // Store exposes the raw social store for advanced callers.
 func (p *Platform) Store() *social.Store { return p.store }
 
-// Refresh rebuilds the knowledge engine from current data in the
-// calling goroutine and atomically swaps it in. Readers are never
-// blocked: they keep resolving the previous snapshot until the swap.
-// Concurrent Refresh calls coalesce into a single rebuild (all callers
-// wait for it and share its result).
-func (p *Platform) Refresh() error {
-	f, started, err := p.beginFlight()
-	if err != nil {
-		return err
+// onChange receives one coalesced change batch from the store: queue
+// it, then — when a snapshot is serving and the delta path is healthy —
+// fold it in synchronously so the write is visible to the knowledge
+// services when the mutation returns. If maintenance is already in
+// flight the events stay queued; the running flight drains them on its
+// way out.
+func (p *Platform) onChange(evs []social.ChangeEvent) {
+	if len(evs) == 0 {
+		return
 	}
-	if !started {
-		<-f.done
-		return f.err
+	p.pendMu.Lock()
+	if p.overflow {
+		p.pendMu.Unlock()
+		return // queue abandoned; the next compaction reads the store
 	}
-	return p.runFlight(f)
+	if len(p.pending)+len(evs) > maxPendingEvents {
+		p.pending = nil
+		p.overflow = true
+		p.pendingCount.Store(0)
+		p.pendMu.Unlock()
+		return
+	}
+	p.pending = append(p.pending, evs...)
+	p.pendingCount.Store(int64(len(p.pending)))
+	p.pendMu.Unlock()
+
+	if p.deltasOff || p.current.Load() == nil || p.overflowed() {
+		return
+	}
+	// Synchronous single-flight delta apply; if another maintenance run
+	// owns the flight, it (or its hand-off kick) picks the events up.
+	if f, started, err := p.beginFlight(false); err == nil && started {
+		_ = p.runFlight(f)
+	}
 }
 
-// RefreshAsync kicks a background rebuild unless one is already in
-// flight. It returns immediately; the new snapshot becomes visible
-// atomically when the rebuild completes. The flight is registered
-// before returning, so a subsequent Close waits for it.
+// takePending removes and returns up to n queued events.
+func (p *Platform) takePending(n int) []social.ChangeEvent {
+	p.pendMu.Lock()
+	defer p.pendMu.Unlock()
+	if len(p.pending) == 0 {
+		return nil
+	}
+	if n > len(p.pending) {
+		n = len(p.pending)
+	}
+	batch := p.pending[:n:n]
+	p.pending = append([]social.ChangeEvent(nil), p.pending[n:]...)
+	p.pendingCount.Store(int64(len(p.pending)))
+	return batch
+}
+
+func (p *Platform) overflowed() bool {
+	p.pendMu.Lock()
+	defer p.pendMu.Unlock()
+	return p.overflow
+}
+
+// Refresh runs a full rebuild — a compaction — in the calling goroutine
+// and atomically swaps the result in: the overlay folds into a fresh
+// base segment and every derived structure (evidence graphs,
+// communities, concept map, knowledge base) refreshes. Readers are
+// never blocked: they keep resolving the previous snapshot until the
+// swap. Concurrent Refresh calls coalesce into a single rebuild.
+func (p *Platform) Refresh() error {
+	for {
+		f, started, err := p.beginFlight(true)
+		if err != nil {
+			return err
+		}
+		if started {
+			return p.runFlight(f)
+		}
+		<-f.done
+		if f.full {
+			return f.err
+		}
+		// Joined a delta drain; the caller asked for a compaction, so
+		// loop until one runs.
+	}
+}
+
+// RefreshAsync kicks a background compaction unless maintenance is
+// already in flight. It returns immediately; the new snapshot becomes
+// visible atomically when the rebuild completes. The flight is
+// registered before returning, so a subsequent Close waits for it.
 func (p *Platform) RefreshAsync() {
-	f, started, err := p.beginFlight()
+	f, started, err := p.beginFlight(true)
 	if err == nil && started {
 		go func() { _ = p.runFlight(f) }()
 	}
 }
 
-// beginFlight joins the in-flight rebuild or registers a new one.
-// started reports ownership: the caller must run the build via
-// runFlight; otherwise it may wait on f.done and read f.err. After
-// Close it returns ErrClosed and no flight.
-func (p *Platform) beginFlight() (f *refreshFlight, started bool, err error) {
+// ApplyDeltas synchronously drains the queued change events into the
+// serving snapshot through the delta path (falling back to a full
+// rebuild when there is no snapshot yet, the queue overflowed, or
+// deltas are disabled). It returns once every event queued before the
+// call is reflected in the snapshot.
+func (p *Platform) ApplyDeltas() error {
+	for {
+		if p.current.Load() != nil && !p.overflowed() && p.pendingCount.Load() == 0 {
+			return nil
+		}
+		f, started, err := p.beginFlight(false)
+		if err != nil {
+			return err
+		}
+		if started {
+			return p.runFlight(f)
+		}
+		<-f.done
+		if f.err != nil {
+			return f.err
+		}
+	}
+}
+
+// beginFlight joins the in-flight maintenance or registers a new one.
+// started reports ownership: the caller must run it via runFlight;
+// otherwise it may wait on f.done and read f.err. After Close it
+// returns ErrClosed and no flight.
+func (p *Platform) beginFlight(full bool) (f *refreshFlight, started bool, err error) {
 	p.flightMu.Lock()
 	defer p.flightMu.Unlock()
 	if p.closed {
@@ -221,42 +390,114 @@ func (p *Platform) beginFlight() (f *refreshFlight, started bool, err error) {
 	if p.flight != nil {
 		return p.flight, false, nil
 	}
-	f = &refreshFlight{done: make(chan struct{})}
+	f = &refreshFlight{done: make(chan struct{}), full: full}
 	p.flight = f
 	return f, true, nil
 }
 
-// runFlight executes the owned rebuild and releases its waiters.
+// runFlight executes the owned maintenance run and releases its
+// waiters. If events queued up while the run was finishing, a follow-up
+// delta flight is kicked in the background so nothing stays stranded.
 func (p *Platform) runFlight(f *refreshFlight) error {
-	f.err = p.rebuild()
+	if f.full {
+		f.err = p.compact()
+	} else {
+		f.err = p.drainDeltas()
+	}
 	p.flightMu.Lock()
 	p.flight = nil
 	p.flightMu.Unlock()
 	close(f.done)
+	if f.err == nil && !p.deltasOff && p.pendingCount.Load() > 0 && p.current.Load() != nil {
+		if nf, started, err := p.beginFlight(false); err == nil && started {
+			go func() { _ = p.runFlight(nf) }()
+		}
+	}
 	return f.err
 }
 
-// rebuild performs one snapshot build + swap. Clearing dirty *before*
-// reading the store means a write racing the build leaves the platform
-// dirty again, so the next refresh picks it up.
-func (p *Platform) rebuild() error {
-	p.dirty.Store(false)
+// compact performs one full build + swap and consumes every change
+// event emitted before the build started reading the store. Events
+// racing the build stay queued and ride the next delta — and the
+// engine's activity watermark makes replaying an already-covered event
+// harmless.
+func (p *Platform) compact() error {
+	p.pendMu.Lock()
+	hadOverflow := p.overflow
+	p.overflow = false
+	p.pendMu.Unlock()
+	watermark := p.store.ChangeSeq()
+
 	eng, err := (&core.Builder{Store: p.store, Workers: p.workers}).Build()
 	p.lastErr.Store(&refreshErr{err: err})
 	if err != nil {
-		p.dirty.Store(true) // the failed build consumed the dirty mark
+		// The discarded-queue mark must survive a failed build, or the
+		// platform would report current while the overflowed events'
+		// data is missing from the snapshot.
+		if hadOverflow {
+			p.pendMu.Lock()
+			p.overflow = true
+			p.pendMu.Unlock()
+		}
 		return err
 	}
 	p.current.Store(eng)
 	p.gen.Add(1)
+	p.compactions.Add(1)
+
+	p.pendMu.Lock()
+	kept := p.pending[:0]
+	for _, ev := range p.pending {
+		if ev.Seq > watermark {
+			kept = append(kept, ev)
+		}
+	}
+	p.pending = kept
+	p.pendingCount.Store(int64(len(p.pending)))
+	p.pendMu.Unlock()
 	return nil
 }
 
-// LastRefreshError returns the error of the most recent rebuild, or
-// nil if it succeeded (or none ran yet). Background rebuilds
-// (RefreshAsync, AutoRefresh) have no caller to hand their error to;
-// this — surfaced in the server's healthz — makes a persistently
-// failing refresh observable instead of silently leaving the snapshot
+// drainDeltas folds the queued events into the serving snapshot in
+// bounded batches, one atomic swap per batch. Unavailable delta paths
+// (no snapshot, overflow, deltas disabled) compact instead. A failing
+// delta apply abandons the queue to the next compaction — the events'
+// effects are persisted in the store, so the full rebuild recovers them.
+func (p *Platform) drainDeltas() error {
+	cur := p.current.Load()
+	if cur == nil || p.deltasOff || p.overflowed() {
+		return p.compact()
+	}
+	b := &core.Builder{Store: p.store, Workers: p.workers}
+	for {
+		batch := p.takePending(maxDeltaBatch)
+		if len(batch) == 0 {
+			return nil
+		}
+		eng, err := b.ApplyDelta(cur, batch)
+		if err != nil {
+			p.pendMu.Lock()
+			p.pending = nil
+			p.overflow = true
+			p.pendingCount.Store(0)
+			p.pendMu.Unlock()
+			p.lastErr.Store(&refreshErr{err: err})
+			return err
+		}
+		p.current.Store(eng)
+		p.gen.Add(1)
+		p.deltasApplied.Add(1)
+		p.lastDeltaNs.Store(int64(eng.DeltaStats().LastDeltaDur))
+		p.lastErr.Store(&refreshErr{})
+		cur = eng
+	}
+}
+
+// LastRefreshError returns the error of the most recent maintenance run
+// (delta apply or compaction), or nil if it succeeded (or none ran
+// yet). Background runs have no caller to hand their error to; this —
+// surfaced in the server's healthz — makes persistently failing
+// maintenance observable instead of silently leaving the snapshot
 // stale.
 func (p *Platform) LastRefreshError() error {
 	if box := p.lastErr.Load(); box != nil {
@@ -265,21 +506,20 @@ func (p *Platform) LastRefreshError() error {
 	return nil
 }
 
-// Engine returns a fresh engine snapshot, rebuilding first if data
-// changed since the last build (read-your-writes for library callers).
-// Serving paths that prefer availability over freshness should use
-// Snapshot instead.
+// Engine returns a fresh engine snapshot, draining pending change
+// events first if data changed since the last swap (read-your-writes
+// for library callers — normally a no-op, since writes apply their own
+// deltas synchronously). Serving paths that prefer availability over
+// freshness should use Snapshot instead.
 func (p *Platform) Engine() (*core.Engine, error) {
-	if p.dirty.Load() || p.current.Load() == nil {
-		if err := p.Refresh(); err != nil {
+	if p.Stale() || p.current.Load() == nil {
+		if err := p.ApplyDeltas(); err != nil {
 			return nil, err
 		}
-		// That Refresh may have joined a rebuild that started before
-		// this caller's latest write (leaving dirty set). Any rebuild
-		// started from here on necessarily observes the write, so one
-		// more pass restores read-your-writes.
-		if p.dirty.Load() {
-			if err := p.Refresh(); err != nil {
+		// That call may have joined a run that started before this
+		// caller's latest write. One more pass restores read-your-writes.
+		if p.Stale() {
+			if err := p.ApplyDeltas(); err != nil {
 				return nil, err
 			}
 		}
@@ -288,20 +528,60 @@ func (p *Platform) Engine() (*core.Engine, error) {
 }
 
 // Snapshot returns the currently serving engine snapshot without ever
-// blocking on a rebuild. It is nil until the first build completes and
-// may be stale (check Stale); it is always fully built.
+// blocking on maintenance. It is nil until the first build completes
+// and may be stale (check Stale); it is always fully built.
 func (p *Platform) Snapshot() *core.Engine { return p.current.Load() }
 
-// Stale reports whether the store changed since the serving snapshot
-// was built.
-func (p *Platform) Stale() bool { return p.dirty.Load() }
+// Stale reports whether change events exist that the serving snapshot
+// does not reflect. A snapshot with an applied delta overlay is
+// *current*, not stale — only unapplied events (or a missing snapshot,
+// or an overflowed event queue awaiting compaction) make it stale.
+func (p *Platform) Stale() bool {
+	return p.current.Load() == nil || p.pendingCount.Load() > 0 || p.overflowed()
+}
 
-// Generation returns the number of snapshot swaps so far.
+// CompactionDue reports whether the serving snapshot drifted past the
+// compaction policy: the overlay grew too large, too much of the base
+// is tombstoned, too many graph-affecting events await integration, or
+// the event queue overflowed. Serving continues either way; AutoRefresh
+// (or an admin refresh) runs the compaction.
+func (p *Platform) CompactionDue() bool {
+	if p.overflowed() {
+		return true
+	}
+	eng := p.current.Load()
+	if eng == nil {
+		return false // nothing to compact; Stale covers the first build
+	}
+	ds := eng.DeltaStats()
+	return ds.OverlayDocs > p.policy.OverlayDocs ||
+		ds.TombstoneRatio > p.policy.TombstoneRatio ||
+		ds.GraphPending > p.policy.GraphPending
+}
+
+// Generation returns the number of snapshot swaps so far (deltas and
+// compactions both count: any swap may change query results).
 func (p *Platform) Generation() uint64 { return p.gen.Load() }
 
-// AutoRefresh starts a background loop that rebuilds the engine every
-// interval while the snapshot is stale, keeping snapshot age bounded
-// without any rebuild cost on the read path. It replaces a previously
+// PendingEvents returns the number of queued, unapplied change events.
+func (p *Platform) PendingEvents() int { return int(p.pendingCount.Load()) }
+
+// DeltasApplied returns the number of delta snapshot swaps since Open.
+func (p *Platform) DeltasApplied() uint64 { return p.deltasApplied.Load() }
+
+// Compactions returns the number of full-build swaps since Open.
+func (p *Platform) Compactions() uint64 { return p.compactions.Load() }
+
+// LastDeltaDuration returns the duration of the most recent delta
+// apply (0 if none ran yet).
+func (p *Platform) LastDeltaDuration() time.Duration {
+	return time.Duration(p.lastDeltaNs.Load())
+}
+
+// AutoRefresh starts a background loop that runs a compaction every
+// interval while one is due (per CompactionPolicy) or the snapshot is
+// stale, keeping overlay size and evidence-graph drift bounded without
+// any rebuild cost on the read or write paths. It replaces a previously
 // started loop; a non-positive interval just stops the current loop
 // (auto-refresh disabled). Stop it with StopAutoRefresh (Close does
 // too).
@@ -340,7 +620,7 @@ func (p *Platform) AutoRefresh(interval time.Duration) {
 			case <-stop:
 				return
 			case <-t.C:
-				if p.dirty.Load() {
+				if p.CompactionDue() || p.Stale() {
 					_ = p.Refresh()
 				}
 			}
@@ -360,8 +640,6 @@ func (p *Platform) StopAutoRefresh() {
 		<-done
 	}
 }
-
-func (p *Platform) invalidate() { p.dirty.Store(true) }
 
 // Additional re-exported service types.
 type (

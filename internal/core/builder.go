@@ -107,9 +107,14 @@ func (b *Builder) Build() (*Engine, error) {
 		return nil, err
 	}
 
-	// Freeze the text index into its lock-free dense read representation;
-	// the phase-2 tables and all serving queries read through it.
+	// Freeze the text index into its lock-free dense read representation
+	// and wrap it in an empty segmented view; the phase-2 tables and all
+	// serving queries read through the view, which delegates straight to
+	// the frozen fast paths until a delta adds overlay documents. A full
+	// Build is therefore also the *compaction* of the delta pipeline: it
+	// folds every overlay into a fresh base segment.
 	e.frozen = e.index.Freeze()
+	e.seg = textindex.NewSegmented(e.frozen)
 
 	if err := runLimited(finishTasks, e, b.workers()); err != nil {
 		return nil, err

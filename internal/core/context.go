@@ -23,6 +23,9 @@ import (
 // (the paper's offline refresh model) — workpad changes enter on the
 // next rebuild.
 func (e *Engine) ContextVector(userID string) textindex.Vector {
+	if v, ok := e.ctxOver[userID]; ok {
+		return v
+	}
 	if v, ok := e.ctxVecs[userID]; ok {
 		return v
 	}
@@ -139,10 +142,10 @@ type SearchResult struct {
 }
 
 // Search runs plain BM25 keyword search over all indexed content,
-// served from the frozen index.
+// served from the segmented read view (base + delta overlay).
 func (e *Engine) Search(query string, k int) []SearchResult {
-	if e.frozen != nil {
-		return toSearchResults(e.frozen.Search(query, k))
+	if r := e.reader(); r != nil {
+		return toSearchResults(r.Search(query, k))
 	}
 	return toSearchResults(e.index.Search(query, k))
 }
@@ -154,8 +157,8 @@ func (e *Engine) Search(query string, k int) []SearchResult {
 func (e *Engine) SearchWithContext(userID, query string, k int) []SearchResult {
 	ctx := e.ContextVector(userID)
 	var base []textindex.Result
-	if e.frozen != nil {
-		base = e.frozen.Search(query, 4*k)
+	if r := e.reader(); r != nil {
+		base = r.Search(query, 4*k)
 	} else {
 		base = e.index.Search(query, 4*k)
 	}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"hive/internal/social"
+	"hive/internal/textindex"
+)
+
+// Delta maintenance: ApplyDelta turns a batch of typed store change
+// events into a new Engine snapshot in time proportional to the events
+// (and the current overlay), not the corpus. The new snapshot
+// structurally shares everything the events did not touch — the frozen
+// base segment, the evidence-layer graphs, the concept map, the
+// knowledge base and the untouched rows of every phase-2 table — and
+// repairs only:
+//
+//   - the text read view: new/updated papers, presentations and
+//     questions enter the overlay segment (shadowing their base
+//     versions), so Search/vectors serve them immediately;
+//   - context vectors (and compiled queries, workpad peer pins) of the
+//     users whose profile or workpad the events touched;
+//   - uploaded-content vectors of authors/owners of touched documents;
+//   - interaction vectors and object popularity for appended activity
+//     events past the snapshot's stream watermark (exactly once);
+//   - the PageRank memo: entries of affected users are invalidated, all
+//     others carry over.
+//
+// What a delta deliberately does NOT repair: the evidence-layer graphs,
+// their integration, communities, the RDF knowledge base, the
+// bibliographic networks and the concept map. Events with such effects
+// bump the snapshot's graphPending counter instead; the platform's
+// compaction policy schedules a full Build (the compaction) when the
+// overlay, tombstone ratio or graphPending crosses its threshold. Until
+// then, content freshness is immediate and graph evidence ages at the
+// paper's original offline-refresh cadence.
+
+// ApplyDelta derives a new snapshot from prev by applying the change
+// events against the current store state. prev is never mutated; both
+// snapshots stay fully serveable. Events referencing entities that no
+// longer resolve in the store are skipped. A panic in any repair is
+// converted into an error, like every build stage.
+func (b *Builder) ApplyDelta(prev *Engine, events []social.ChangeEvent) (eng *Engine, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			eng, err = nil, fmt.Errorf("core: delta apply panicked: %v", r)
+		}
+	}()
+	if prev == nil || prev.seg == nil {
+		return nil, fmt.Errorf("core: delta apply needs a fully built base snapshot")
+	}
+	start := time.Now()
+	st := b.Store
+
+	// Classify the batch into the repairs it demands.
+	docs := map[string]string{}   // docID -> re-rendered text
+	drops := []string(nil)        // docIDs to tombstone
+	ctxUsers := map[string]bool{} // users whose context vector must recompute
+	contentUsers := map[string]bool{}
+	var activity []social.Event // appended stream events past the watermark
+	graphPending := 0
+
+	for _, ev := range events {
+		switch ev.EntityType {
+		case social.EntityPaper:
+			if p, err := st.Paper(ev.ID); err == nil {
+				docs[DocPaper+p.ID] = p.Title + ". " + p.Abstract
+				for _, a := range p.Authors {
+					contentUsers[a] = true
+				}
+			} else if ev.Kind == social.ChangeDelete {
+				drops = append(drops, DocPaper+ev.ID)
+			}
+			graphPending++ // coauthor/citation layers, knowledge base
+		case social.EntityPresentation:
+			if pr, err := st.Presentation(ev.ID); err == nil {
+				docs[DocPresentation+pr.ID] = pr.Title + ". " + pr.Text
+				contentUsers[pr.Owner] = true
+			} else if ev.Kind == social.ChangeDelete {
+				drops = append(drops, DocPresentation+ev.ID)
+			}
+		case social.EntityQuestion:
+			if q, err := st.Question(ev.ID); err == nil {
+				docs[DocQuestion+q.ID] = q.Text
+			} else if ev.Kind == social.ChangeDelete {
+				drops = append(drops, DocQuestion+ev.ID)
+			}
+			graphPending++ // QA layer
+		case social.EntityUser:
+			// Interests feed the context vector; layer membership waits
+			// for compaction.
+			ctxUsers[ev.ID] = true
+			graphPending++
+		case social.EntityWorkpad:
+			if len(ev.Refs) > 0 {
+				ctxUsers[ev.Refs[0]] = true
+			}
+		case social.EntityActiveWorkpad:
+			ctxUsers[ev.ID] = true
+		case social.EntityConnection, social.EntityFollow, social.EntityCheckin,
+			social.EntityAnswer:
+			graphPending++
+		case social.EntityActivity:
+			seq, perr := strconv.ParseUint(ev.ID, 16, 64)
+			if perr != nil || seq <= prev.evtSeq {
+				continue // already folded into the base tables
+			}
+			if sev, err := st.EventBySeq(seq); err == nil {
+				activity = append(activity, sev)
+			}
+		}
+	}
+
+	ne := &Engine{
+		store:  st,
+		index:  prev.index,
+		frozen: prev.frozen,
+		seg:    prev.seg,
+		// Shared derived structures — repaired only by compaction.
+		concepts:    prev.concepts,
+		papers:      prev.papers,
+		users:       prev.users,
+		coauthorNet: prev.coauthorNet,
+		citationNet: prev.citationNet,
+		litNet:      prev.litNet,
+		connLayer:   prev.connLayer,
+		coauthLayer: prev.coauthLayer,
+		attendLayer: prev.attendLayer,
+		qaLayer:     prev.qaLayer,
+		layers:      prev.layers,
+		integrated:  prev.integrated,
+		peerGraph:   prev.peerGraph,
+		kb:          prev.kb,
+		communities: prev.communities,
+		// Shared phase-2 base tables; the overlays below carry repairs.
+		ctxVecs:      prev.ctxVecs,
+		ctxQueries:   prev.ctxQueries,
+		wpPeerRefs:   prev.wpPeerRefs,
+		userContent:  prev.userContent,
+		interVecs:    prev.interVecs,
+		popularity:   prev.popularity,
+		evtSeq:       prev.evtSeq,
+		graphPending: prev.graphPending + graphPending,
+		buildWorkers: prev.buildWorkers,
+		builtAt:      prev.builtAt,
+		buildDur:     prev.buildDur,
+		deltaCount:   prev.deltaCount + 1,
+	}
+
+	// Text overlay: new and updated documents shadow their base
+	// versions; removed ones tombstone.
+	if len(docs) > 0 {
+		ne.seg = ne.seg.WithDocs(docs)
+	}
+	if len(drops) > 0 {
+		ne.seg = ne.seg.WithoutDocs(drops)
+	}
+
+	// Overlay tables start as copies of the previous overlay (bounded by
+	// the compaction threshold, never by the corpus) and absorb this
+	// batch's repairs.
+	ne.ctxOver = cloneMap(prev.ctxOver, len(ctxUsers))
+	ne.ctxQOver = cloneMap(prev.ctxQOver, len(ctxUsers))
+	ne.wpRefsOver = cloneMap(prev.wpRefsOver, len(ctxUsers))
+	ne.contentOver = cloneMap(prev.contentOver, len(contentUsers))
+	ne.interOver = cloneMap(prev.interOver, len(activity))
+	ne.popOver = cloneMap(prev.popOver, len(activity))
+
+	// Context repairs: recompute the affected users' vectors against the
+	// current store, compile against the shared base segment (the
+	// compiled form's term list serves the overlay view too), and
+	// re-snapshot their workpad peer pins.
+	for u := range ctxUsers {
+		v := ne.computeContextVector(u)
+		ne.ctxOver[u] = v
+		if len(v) > 0 {
+			ne.ctxQOver[u] = ne.frozen.Compile(v)
+		} else {
+			ne.ctxQOver[u] = nil // mask any base entry
+		}
+		var refs []string
+		if wp, err := st.ActiveWorkpad(u); err == nil {
+			for _, item := range wp.Items {
+				if item.Kind == social.ItemUser {
+					refs = append(refs, item.Ref)
+				}
+			}
+		}
+		ne.wpRefsOver[u] = refs
+	}
+
+	// Content repairs: authors/owners of touched documents, computed
+	// through the new overlay view so the vectors carry merged-corpus
+	// statistics.
+	for u := range contentUsers {
+		ne.contentOver[u] = ne.computeUserContentVector(u)
+	}
+
+	// Interaction repairs: fold appended activity events in exactly
+	// once, copying each touched row out of the base table first.
+	for _, sev := range activity {
+		if sev.Seq > ne.evtSeq {
+			ne.evtSeq = sev.Seq
+		}
+		doc := ne.docIDForObject(sev.Object)
+		if doc == "" {
+			continue
+		}
+		if _, ok := ne.popOver[doc]; !ok {
+			ne.popOver[doc] = prev.popularityOf(doc)
+		}
+		ne.popOver[doc]++
+		if w, ok := verbWeight[sev.Verb]; ok && sev.Object != "" {
+			v, ok := ne.interOver[sev.Actor]
+			if !ok {
+				v = make(textindex.Vector, len(prev.interactionVectorOf(sev.Actor))+1)
+				for d, x := range prev.interactionVectorOf(sev.Actor) {
+					v[d] = x
+				}
+			}
+			v[doc] += w
+			ne.interOver[sev.Actor] = v
+		}
+	}
+
+	// PageRank memo: carry over every entry except the users whose
+	// restart bias (workpad pins) may have changed.
+	ne.pprMemo = make(map[string][]float64, len(prev.pprMemo))
+	prev.pprMu.Lock()
+	for u, pr := range prev.pprMemo {
+		if !ctxUsers[u] {
+			ne.pprMemo[u] = pr
+		}
+	}
+	prev.pprMu.Unlock()
+
+	ne.lastDeltaDur = time.Since(start)
+	ne.appliedAt = time.Now()
+	return ne, nil
+}
+
+// cloneMap copies a possibly-nil overlay map with headroom for extra
+// entries.
+func cloneMap[V any](m map[string]V, extra int) map[string]V {
+	out := make(map[string]V, len(m)+extra)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

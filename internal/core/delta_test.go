@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hive/internal/social"
+	"hive/internal/workload"
+)
+
+// deltaQueries exercise the merged read path from several angles.
+var deltaQueries = []string{
+	"graph partitioning", "social media influence", "community detection",
+	"diffusion kernel equation", "stream processing", "no such terms here", "",
+}
+
+// collectEvents subscribes a recorder to the store's change log.
+func collectEvents(st *social.Store) func() []social.ChangeEvent {
+	var mu sync.Mutex
+	var buf []social.ChangeEvent
+	st.OnChange(func(evs []social.ChangeEvent) {
+		mu.Lock()
+		buf = append(buf, evs...)
+		mu.Unlock()
+	})
+	return func() []social.ChangeEvent {
+		mu.Lock()
+		defer mu.Unlock()
+		out := buf
+		buf = nil
+		return out
+	}
+}
+
+// assertSearchParity compares the delta-maintained engine's text read
+// path against a from-scratch build, bit for bit.
+func assertSearchParity(t *testing.T, label string, delta, fresh *Engine) {
+	t.Helper()
+	for _, q := range deltaQueries {
+		got := delta.Search(q, 10)
+		want := fresh.Search(q, 10)
+		if len(got) != len(want) {
+			t.Fatalf("%s: Search(%q): delta %d results, fresh %d\ndelta: %v\nfresh: %v",
+				label, q, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: Search(%q) rank %d: delta %+v, fresh %+v", label, q, i, got[i], want[i])
+			}
+		}
+	}
+	for _, id := range fresh.seg.DocIDs() {
+		fv, ferr := fresh.docVector(id)
+		dv, derr := delta.docVector(id)
+		if (ferr == nil) != (derr == nil) || len(fv) != len(dv) {
+			t.Fatalf("%s: docVector(%s): delta %d terms (err %v), fresh %d (err %v)",
+				label, id, len(dv), derr, len(fv), ferr)
+		}
+		for term, w := range fv {
+			if dv[term] != w {
+				t.Fatalf("%s: docVector(%s) term %q: delta %v, fresh %v", label, id, term, dv[term], w)
+			}
+		}
+	}
+}
+
+// assertInteractionParity compares interaction vectors and popularity
+// exactly: the delta path folds each activity event in exactly once, so
+// the tables must equal a full rebuild's.
+func assertInteractionParity(t *testing.T, label string, delta, fresh *Engine) {
+	t.Helper()
+	for u, want := range fresh.interVecs {
+		got := delta.interactionVectorOf(u)
+		if len(got) != len(want) {
+			t.Fatalf("%s: interaction vector of %s: delta %d entries, fresh %d (%v vs %v)",
+				label, u, len(got), len(want), got, want)
+		}
+		for doc, w := range want {
+			if got[doc] != w {
+				t.Fatalf("%s: interaction[%s][%s]: delta %v, fresh %v", label, u, doc, got[doc], w)
+			}
+		}
+	}
+	for doc, n := range fresh.popularity {
+		if delta.popularityOf(doc) != n {
+			t.Fatalf("%s: popularity[%s]: delta %d, fresh %d", label, doc, delta.popularityOf(doc), n)
+		}
+	}
+}
+
+// TestApplyDeltaSingleMutation covers the basic write-visibility path:
+// one published paper becomes searchable through a delta, with scores
+// identical to a full rebuild, without rebuilding anything else.
+func TestApplyDeltaSingleMutation(t *testing.T) {
+	st, eng := zachWorld(t)
+	drain := collectEvents(st)
+	drain() // discard fixture-load noise (already in the snapshot)
+
+	p := social.Paper{
+		ID: "p-new", Title: "Incremental overlay maintenance for frozen indexes",
+		Abstract: "Delta snapshots with segmented overlays and graph partitioning.",
+		Authors:  []string{"zach"}, ConferenceID: "edbt13",
+	}
+	if err := st.PutPaper(p); err != nil {
+		t.Fatal(err)
+	}
+	evs := drain()
+	if len(evs) == 0 {
+		t.Fatal("no change events emitted")
+	}
+
+	b := &Builder{Store: st}
+	delta, err := b.ApplyDelta(eng, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The old snapshot is untouched; the new one serves the write.
+	if res := eng.Search("incremental overlay maintenance", 5); len(res) != 0 {
+		t.Fatalf("old snapshot mutated: %v", res)
+	}
+	res := delta.Search("incremental overlay maintenance", 5)
+	if len(res) == 0 || res[0].DocID != DocPaper+"p-new" {
+		t.Fatalf("delta snapshot does not serve the new paper: %v", res)
+	}
+	// Structural sharing of the untouched heavy structures.
+	if delta.peerGraph != eng.peerGraph || delta.kb != eng.kb || delta.concepts != eng.concepts ||
+		delta.frozen != eng.frozen {
+		t.Fatal("delta snapshot rebuilt structures the events did not touch")
+	}
+	if delta.DeltaStats().Deltas != 1 || delta.DeltaStats().OverlayDocs != 1 {
+		t.Fatalf("delta stats = %+v", delta.DeltaStats())
+	}
+
+	fresh, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSearchParity(t, "single mutation", delta, fresh)
+	assertInteractionParity(t, "single mutation", delta, fresh)
+
+	// Idempotence: replaying the same batch (e.g. after a compaction
+	// race re-pends it) must not change any result.
+	again, err := b.ApplyDelta(delta, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSearchParity(t, "replayed batch", again, fresh)
+	assertInteractionParity(t, "replayed batch", again, fresh)
+}
+
+// TestApplyDeltaContextAndMemo checks that workpad events repair the
+// affected user's context tables and invalidate only that user's
+// PageRank memo entry.
+func TestApplyDeltaContextAndMemo(t *testing.T) {
+	st, eng := zachWorld(t)
+	drain := collectEvents(st)
+	drain()
+
+	// Prime the memo for two users.
+	if _, err := eng.RecommendPeers("zach", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RecommendPeers("ann", 3); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := st.PutWorkpad(social.Workpad{ID: "wp-ann", Owner: "ann", Name: "ann context",
+		Items: []social.WorkpadItem{{Kind: social.ItemPaper, Ref: "p-carl"}, {Kind: social.ItemUser, Ref: "carl"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetActiveWorkpad("ann", "wp-ann"); err != nil {
+		t.Fatal(err)
+	}
+
+	delta, err := (&Builder{Store: st}).ApplyDelta(eng, drain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := delta.pprMemo["zach"]; !ok {
+		t.Fatal("unaffected user's memo entry was dropped")
+	}
+	if _, ok := delta.pprMemo["ann"]; ok {
+		t.Fatal("affected user's memo entry survived a workpad change")
+	}
+	if refs := delta.workpadPeerRefs("ann"); len(refs) != 1 || refs[0] != "carl" {
+		t.Fatalf("workpad peer refs not repaired: %v", refs)
+	}
+	// The context vector now reflects the workpad (graph-heavy paper).
+	oldCtx, newCtx := eng.ContextVector("ann"), delta.ContextVector("ann")
+	if len(newCtx) <= len(oldCtx) {
+		t.Fatalf("context vector not enriched: %d -> %d terms", len(oldCtx), len(newCtx))
+	}
+}
+
+// TestDeltaInterleavingParity is the randomized interleaving property
+// test (run under -race): a shuffled stream of mutations applies batch
+// by batch through ApplyDelta while concurrent readers hammer the
+// snapshots; after every batch the text and interaction read paths must
+// match a from-scratch rebuild exactly, and at every compaction point
+// the compacted engine must answer Search/Recommend/Explain identically
+// to an independent fresh build.
+func TestDeltaInterleavingParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	st, err := social.Open("", testClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ds := workload.Generate(workload.Config{Seed: 42, Users: 24})
+	if err := ds.Load(st); err != nil {
+		t.Fatal(err)
+	}
+	drain := collectEvents(st)
+	drain()
+
+	b := &Builder{Store: st}
+	eng, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := st.Users()
+	sessions := st.SessionsOf(st.Conferences()[0])
+
+	// The shuffled mutation deck: content, interaction and context
+	// mutations in random order.
+	var muts []func(i int) error
+	deck := 8
+	if testing.Short() {
+		deck = 3
+	}
+	for n := 0; n < deck; n++ {
+		n := n
+		muts = append(muts,
+			func(i int) error {
+				return st.PutPaper(social.Paper{
+					ID:       fmt.Sprintf("dp-%d-%d", n, i),
+					Title:    fmt.Sprintf("Delta paper %d on graph streams", n),
+					Abstract: "Overlay segments, tombstones and merge on read for social graphs.",
+					Authors:  []string{users[rng.Intn(len(users))]},
+				})
+			},
+			func(i int) error {
+				u := users[rng.Intn(len(users))]
+				return st.AskQuestion(social.Question{
+					ID: fmt.Sprintf("dq-%d-%d", n, i), Author: u,
+					Target: "dp-0-0", Text: "How do tombstones shadow the frozen base postings?",
+				})
+			},
+			func(i int) error {
+				_, err := st.LogEvent(users[rng.Intn(len(users))], "browse", "dp-0-0", nil)
+				return err
+			},
+			func(i int) error {
+				if len(sessions) == 0 {
+					return nil
+				}
+				return st.CheckIn(sessions[rng.Intn(len(sessions))], users[rng.Intn(len(users))])
+			},
+		)
+	}
+	rng.Shuffle(len(muts), func(i, j int) { muts[i], muts[j] = muts[j], muts[i] })
+
+	// Concurrent readers: the snapshot under their feet must always be
+	// complete (no torn state); -race checks the memory discipline.
+	var cur atomic.Pointer[Engine]
+	cur.Store(eng)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := cur.Load()
+				e.Search(deltaQueries[rr.Intn(len(deltaQueries))], 5)
+				if _, err := e.RecommendPeers(users[rr.Intn(len(users))], 3); err != nil {
+					t.Error(err)
+					return
+				}
+				e.RecommendByCF(users[rr.Intn(len(users))], 5)
+			}
+		}(int64(r))
+	}
+
+	const compactEvery = 12
+	const verifyEvery = 3 // full rebuilds are the expensive half of the test
+	for i, m := range muts {
+		if err := m(i); err != nil {
+			t.Fatal(err)
+		}
+		evs := drain()
+		next, err := b.ApplyDelta(cur.Load(), evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur.Store(next)
+
+		if i%verifyEvery != 0 && (i+1)%compactEvery != 0 {
+			continue
+		}
+		fresh, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("step %d", i)
+		assertSearchParity(t, label, next, fresh)
+		assertInteractionParity(t, label, next, fresh)
+
+		if (i+1)%compactEvery == 0 {
+			// Compaction point: a full build folds the overlay into a new
+			// base; everything — including the graph-backed services the
+			// deltas deliberately left stale — must now match a fresh
+			// independent build.
+			compacted, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur.Store(compacted)
+			label := fmt.Sprintf("compaction after step %d", i)
+			assertSearchParity(t, label, compacted, fresh)
+			assertInteractionParity(t, label, compacted, fresh)
+			u, v := users[0], users[1]
+			ex1, err1 := compacted.Explain(u, v)
+			ex2, err2 := fresh.Explain(u, v)
+			if (err1 == nil) != (err2 == nil) || len(ex1.Evidences) != len(ex2.Evidences) {
+				t.Fatalf("%s: Explain diverged: %v/%v vs %v/%v", label, ex1, err1, ex2, err2)
+			}
+			r1, err1 := compacted.RecommendResources(u, 5, false)
+			r2, err2 := fresh.RecommendResources(u, 5, false)
+			if (err1 == nil) != (err2 == nil) || len(r1) != len(r2) {
+				t.Fatalf("%s: RecommendResources diverged: %v vs %v", label, r1, r2)
+			}
+			for j := range r1 {
+				if r1[j] != r2[j] {
+					t.Fatalf("%s: RecommendResources rank %d: %+v vs %+v", label, j, r1[j], r2[j])
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestDeltaNeverObservesTornBatch checks the batch-atomicity contract:
+// a delta applied while another writer is mid-Batched must never
+// surface a proper subset of that batch, because the store delivers a
+// batch's change events only after the outermost Batched returns.
+func TestDeltaNeverObservesTornBatch(t *testing.T) {
+	st, eng := zachWorld(t)
+	b := &Builder{Store: st}
+
+	var cur atomic.Pointer[Engine]
+	cur.Store(eng)
+	var applyMu sync.Mutex
+	st.OnChange(func(evs []social.ChangeEvent) {
+		applyMu.Lock()
+		defer applyMu.Unlock()
+		next, err := b.ApplyDelta(cur.Load(), evs)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cur.Store(next)
+	})
+
+	const batchPapers = 8
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res := cur.Load().Search("tornbatchtoken", 2*batchPapers)
+				if n := len(res); n != 0 && n != batchPapers {
+					t.Errorf("torn batch observed: %d of %d papers visible", n, batchPapers)
+					return
+				}
+			}
+		}()
+	}
+
+	// Concurrent unrelated writer: keeps deltas flowing mid-batch.
+	var writers sync.WaitGroup
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 20; i++ {
+			_, _ = st.LogEvent("zach", "browse", "p-zach", nil)
+		}
+	}()
+
+	err := st.Batched(func() error {
+		for i := 0; i < batchPapers; i++ {
+			if err := st.PutPaper(social.Paper{
+				ID:       fmt.Sprintf("torn-%d", i),
+				Title:    "tornbatchtoken paper",
+				Abstract: "atomic visibility of batched writes",
+				Authors:  []string{"zach"},
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writers.Wait()
+	// Drain any events the batch folded in, then verify the final state.
+	applyMu.Lock()
+	final := cur.Load()
+	applyMu.Unlock()
+	if res := final.Search("tornbatchtoken", 2*batchPapers); len(res) != batchPapers {
+		t.Fatalf("after batch: %d of %d papers visible", len(res), batchPapers)
+	}
+	close(stop)
+	readers.Wait()
+}

@@ -55,7 +55,8 @@ type Engine struct {
 	store *social.Store
 
 	index    *textindex.Index
-	frozen   *textindex.Frozen // lock-free read snapshot of index
+	frozen   *textindex.Frozen    // base segment from the last full build
+	seg      *textindex.Segmented // serving read view: base + delta overlay
 	concepts *conceptmap.Map
 
 	papers []social.Paper
@@ -92,6 +93,29 @@ type Engine struct {
 	interVecs   map[string]textindex.Vector
 	popularity  map[string]int
 
+	// Delta overlays over the phase-2 tables. A snapshot produced by
+	// ApplyDelta shares the base maps above with its ancestor untouched
+	// and carries only the entries the applied events invalidated here;
+	// readers consult the overlay first. All nil on full builds.
+	ctxOver     map[string]textindex.Vector
+	ctxQOver    map[string]*textindex.CompiledVector
+	wpRefsOver  map[string][]string
+	contentOver map[string]textindex.Vector
+	interOver   map[string]textindex.Vector
+	popOver     map[string]int
+
+	// evtSeq is the highest activity-stream sequence folded into the
+	// interaction tables — the exactly-once guard for delta repairs.
+	evtSeq uint64
+	// graphPending counts applied events whose evidence-graph effects
+	// (connections, co-attendance, Q&A, coauthorship) await the next
+	// compaction; the platform's compaction policy watches it.
+	graphPending int
+
+	deltaCount   int           // deltas applied since the last full build
+	lastDeltaDur time.Duration // duration of the most recent delta apply
+	appliedAt    time.Time     // when the most recent delta applied
+
 	// pprMemo caches PersonalizedPageRank results per user for this
 	// snapshot, computed on first request (RecommendPeers stops paying a
 	// full power iteration per call). It is the one mutable, lock-guarded
@@ -121,6 +145,43 @@ func Build(st *social.Store) (*Engine, error) {
 	return (&Builder{Store: st}).Build()
 }
 
+// DeltaStats summarizes a snapshot's incremental-maintenance state: how
+// far it has drifted from its last full build and how much merge-on-
+// read work the overlay carries. The platform's compaction policy and
+// the server's healthz read it.
+type DeltaStats struct {
+	// Deltas counts ApplyDelta derivations since the last full build.
+	Deltas int
+	// GraphPending counts applied events whose evidence-graph effects
+	// await compaction.
+	GraphPending int
+	// OverlayDocs and Tombstones size the overlay segment.
+	OverlayDocs int
+	Tombstones  int
+	// TombstoneRatio is the dead fraction of the base segment.
+	TombstoneRatio float64
+	// LastDeltaDur is the duration of the most recent delta apply, and
+	// AppliedAt when it happened (zero on full builds).
+	LastDeltaDur time.Duration
+	AppliedAt    time.Time
+}
+
+// DeltaStats reports the snapshot's incremental-maintenance state.
+func (e *Engine) DeltaStats() DeltaStats {
+	ds := DeltaStats{
+		Deltas:       e.deltaCount,
+		GraphPending: e.graphPending,
+		LastDeltaDur: e.lastDeltaDur,
+		AppliedAt:    e.appliedAt,
+	}
+	if e.seg != nil {
+		ds.OverlayDocs = e.seg.OverlayDocs()
+		ds.Tombstones = e.seg.Tombstones()
+		ds.TombstoneRatio = e.seg.TombstoneRatio()
+	}
+	return ds
+}
+
 // BuiltAt reports when this snapshot finished building.
 func (e *Engine) BuiltAt() time.Time { return e.builtAt }
 
@@ -133,40 +194,67 @@ func (e *Engine) Store() *social.Store { return e.store }
 // Index exposes the live text index (the build-time representation).
 func (e *Engine) Index() *textindex.Index { return e.index }
 
-// Frozen exposes the lock-free frozen searcher every query serves from.
+// Frozen exposes the frozen base segment of the last full build.
 func (e *Engine) Frozen() *textindex.Frozen { return e.frozen }
 
-// docVector returns a document's TF-IDF vector from the frozen forward
-// index when available (O(terms-in-doc)), falling back to the live index.
-func (e *Engine) docVector(docID string) (textindex.Vector, error) {
+// Segment exposes the serving base+overlay read view (nil only on
+// engines predating the first Build).
+func (e *Engine) Segment() *textindex.Segmented { return e.seg }
+
+// reader resolves the text read path: the segmented base+overlay view
+// when present (every built snapshot), falling back to the frozen base
+// and finally the live index.
+func (e *Engine) reader() textindex.Searcher {
+	if e.seg != nil {
+		return e.seg
+	}
 	if e.frozen != nil {
-		return e.frozen.TFIDFVector(docID)
+		return e.frozen
+	}
+	return nil
+}
+
+// docVector returns a document's TF-IDF vector through the serving read
+// view (O(terms-in-doc)), falling back to the live index.
+func (e *Engine) docVector(docID string) (textindex.Vector, error) {
+	if r := e.reader(); r != nil {
+		return r.TFIDFVector(docID)
 	}
 	return e.index.TFIDFVector(docID)
 }
 
-// docText reads a document's raw text through the frozen snapshot.
+// docText reads a document's raw text through the serving read view.
 func (e *Engine) docText(docID string) (string, error) {
-	if e.frozen != nil {
-		return e.frozen.Text(docID)
+	if r := e.reader(); r != nil {
+		return r.Text(docID)
 	}
 	return e.index.Text(docID)
 }
 
-// searchVector runs a context-vector query through the frozen searcher.
+// searchVector runs a context-vector query through the read view.
 func (e *Engine) searchVector(query textindex.Vector, k int) []textindex.Result {
-	if e.frozen != nil {
-		return e.frozen.SearchVector(query, k)
+	if r := e.reader(); r != nil {
+		return r.SearchVector(query, k)
 	}
 	return e.index.SearchVector(query, k)
 }
 
+// ctxQueryOf resolves the user's compiled context query, overlay first.
+func (e *Engine) ctxQueryOf(userID string) (*textindex.CompiledVector, bool) {
+	if cq, ok := e.ctxQOver[userID]; ok {
+		return cq, cq != nil
+	}
+	cq, ok := e.ctxQueries[userID]
+	return cq, ok
+}
+
 // searchUserContext ranks documents against the user's context vector.
 // For known users this runs the build-time compiled query — no term
-// extraction, sorting or hash lookups on the serving path.
+// extraction or sorting on the serving path; on a pristine snapshot the
+// base segment additionally skips all per-term hash lookups.
 func (e *Engine) searchUserContext(userID string, k int) []textindex.Result {
-	if cq, ok := e.ctxQueries[userID]; ok && e.frozen != nil {
-		return e.frozen.SearchCompiled(cq, k)
+	if cq, ok := e.ctxQueryOf(userID); ok && e.seg != nil {
+		return e.seg.SearchCompiled(cq, k)
 	}
 	return e.searchVector(e.ContextVector(userID), k)
 }

@@ -302,8 +302,12 @@ func (e *Engine) contentSimilarity(a, b string) float64 {
 }
 
 // userContentVector returns the snapshot's precomputed content vector
-// for a user (computed on the spot only for users outside the snapshot).
+// for a user, overlay first (computed on the spot only for users
+// outside the snapshot).
 func (e *Engine) userContentVector(u string) textindex.Vector {
+	if v, ok := e.contentOver[u]; ok {
+		return v
+	}
 	if v, ok := e.userContent[u]; ok {
 		return v
 	}

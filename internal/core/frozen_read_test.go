@@ -57,8 +57,8 @@ func TestPrecomputedTablesMatchRecomputation(t *testing.T) {
 	}
 	wantPop := eng.computeObjectPopularity()
 	for doc, n := range wantPop {
-		if eng.objectPopularity()[doc] != n {
-			t.Fatalf("popularity[%s] = %d, want %d", doc, eng.objectPopularity()[doc], n)
+		if eng.popularityOf(doc) != n {
+			t.Fatalf("popularity[%s] = %d, want %d", doc, eng.popularityOf(doc), n)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hive/internal/graph"
+	"hive/internal/social"
 	"hive/internal/tensor"
 	"hive/internal/textindex"
 	"hive/internal/topk"
@@ -108,9 +109,12 @@ func (e *Engine) personalizedRankFor(userID string, me graph.NodeID) []float64 {
 }
 
 // workpadPeerRefs returns the users pinned on the user's active workpad
-// from the snapshot table (falling back to a live read only on engines
-// built without phase-2 tables).
+// from the snapshot table, overlay first (falling back to a live read
+// only on engines built without phase-2 tables).
 func (e *Engine) workpadPeerRefs(userID string) []string {
+	if refs, ok := e.wpRefsOver[userID]; ok {
+		return refs
+	}
 	if e.wpPeerRefs != nil {
 		return e.wpPeerRefs[userID]
 	}
@@ -237,9 +241,9 @@ func (e *Engine) RecommendResources(userID string, k int, useContext bool) ([]Re
 		}
 	} else {
 		// Popularity fallback keeps the no-context arm non-degenerate.
-		for doc, n := range e.objectPopularity() {
+		e.eachPopularity(func(doc string, n int) {
 			scores[doc] += 0.01 * float64(n)
-		}
+		})
 	}
 	// Never recommend the user's own content.
 	own := toSet(e.store.PapersOfAuthor(userID))
@@ -285,46 +289,82 @@ type CFRecommendation struct {
 	Score float64
 }
 
+// verbWeight scores one activity verb's contribution to the actor's
+// interaction vector: questions/answers/comments weigh more than
+// passive check-ins.
+var verbWeight = map[string]float64{
+	"question": 2, "answer": 2, "comment": 1.5, "checkin": 1, "browse": 0.5,
+}
+
 // buildInteractionTables precomputes the collaborative-filtering inputs
-// into the snapshot (Builder phase 2): per-user interaction vectors and
-// raw object popularity from the activity stream.
+// into the snapshot (Builder phase 2) in a single pass over the
+// activity stream: per-user interaction vectors, raw object popularity,
+// and the stream watermark (evtSeq) delta repairs resume from — the
+// watermark is the highest sequence this scan actually folded in, so an
+// event racing the build is applied exactly once, by the next delta.
 func (e *Engine) buildInteractionTables() {
-	e.interVecs = e.computeInteractionVectors()
-	e.popularity = e.computeObjectPopularity()
-}
-
-// interactionVectors returns user -> (docID -> weight) interaction
-// vectors, precomputed per snapshot. Questions/answers/comments weigh
-// more than passive check-ins.
-func (e *Engine) interactionVectors() map[string]textindex.Vector {
-	if e.interVecs != nil {
-		return e.interVecs
-	}
-	return e.computeInteractionVectors()
-}
-
-func (e *Engine) computeInteractionVectors() map[string]textindex.Vector {
-	out := map[string]textindex.Vector{}
-	verbWeight := map[string]float64{
-		"question": 2, "answer": 2, "comment": 1.5, "checkin": 1, "browse": 0.5,
-	}
+	vecs := map[string]textindex.Vector{}
+	pop := map[string]int{}
+	var maxSeq uint64
 	for _, ev := range e.store.EventsSince(0, 0) {
-		w, ok := verbWeight[ev.Verb]
-		if !ok || ev.Object == "" {
-			continue
+		if ev.Seq > maxSeq {
+			maxSeq = ev.Seq
 		}
-		doc := e.docIDForObject(ev.Object)
-		if doc == "" {
-			continue
-		}
-		v := out[ev.Actor]
-		if v == nil {
-			v = make(textindex.Vector)
-			out[ev.Actor] = v
-		}
-		v[doc] += w
+		applyActivity(vecs, pop, e, ev)
 	}
-	return out
+	e.interVecs = vecs
+	e.popularity = pop
+	e.evtSeq = maxSeq
+}
+
+// applyActivity folds one activity event into interaction vectors and
+// popularity counts — shared by the full build and the delta path so
+// their arithmetic cannot drift.
+func applyActivity(vecs map[string]textindex.Vector, pop map[string]int, e *Engine, ev social.Event) {
+	doc := e.docIDForObject(ev.Object)
+	if doc == "" {
+		return
+	}
+	pop[doc]++
+	w, ok := verbWeight[ev.Verb]
+	if !ok || ev.Object == "" {
+		return
+	}
+	v := vecs[ev.Actor]
+	if v == nil {
+		v = make(textindex.Vector)
+		vecs[ev.Actor] = v
+	}
+	v[doc] += w
+}
+
+// interactionVectorOf returns one user's interaction vector, overlay
+// first (computed live only on engines without phase-2 tables).
+func (e *Engine) interactionVectorOf(u string) textindex.Vector {
+	if v, ok := e.interOver[u]; ok {
+		return v
+	}
+	if e.interVecs != nil {
+		return e.interVecs[u]
+	}
+	vecs := map[string]textindex.Vector{}
+	for _, ev := range e.store.EventsByActor(u) {
+		applyActivity(vecs, map[string]int{}, e, ev)
+	}
+	return vecs[u]
+}
+
+// eachInteractionVector visits every user's interaction vector with the
+// delta overlay merged in (overlay entries win).
+func (e *Engine) eachInteractionVector(fn func(u string, v textindex.Vector)) {
+	for u, v := range e.interOver {
+		fn(u, v)
+	}
+	for u, v := range e.interVecs {
+		if _, shadowed := e.interOver[u]; !shadowed {
+			fn(u, v)
+		}
+	}
 }
 
 // docIDForObject maps an event object to an index doc ID when it is a
@@ -349,8 +389,7 @@ func (e *Engine) docIDForObject(obj string) string {
 // networks "support each other ... indirectly through collaborative
 // filtering").
 func (e *Engine) RecommendByCF(userID string, k int) []CFRecommendation {
-	vectors := e.interactionVectors()
-	mine := vectors[userID]
+	mine := e.interactionVectorOf(userID)
 	if mine == nil {
 		return nil
 	}
@@ -365,17 +404,17 @@ func (e *Engine) RecommendByCF(userID string, k int) []CFRecommendation {
 		return a.user < b.user
 	}
 	neighbors := topk.New[sim](20, simBetter) // neighborhood size
-	for u, v := range vectors {
+	e.eachInteractionVector(func(u string, v textindex.Vector) {
 		if u == userID {
-			continue
+			return
 		}
 		if s := mine.Cosine(v); s > 0 {
 			neighbors.Push(sim{u, s})
 		}
-	}
+	})
 	scores := map[string]float64{}
 	for _, sm := range neighbors.Sorted() {
-		for doc, w := range vectors[sm.user] {
+		for doc, w := range e.interactionVectorOf(sm.user) {
 			if mine[doc] > 0 {
 				continue // already interacted
 			}
@@ -399,25 +438,40 @@ func cfBetter(a, b CFRecommendation) bool {
 // RecommendByPopularity is the non-personalized baseline for E10: objects
 // ranked by raw interaction count.
 func (e *Engine) RecommendByPopularity(userID string, k int) []CFRecommendation {
-	mine := e.interactionVectors()[userID]
-	pop := e.objectPopularity()
+	mine := e.interactionVectorOf(userID)
 	h := topk.New[CFRecommendation](k, cfBetter)
-	for doc, n := range pop {
+	e.eachPopularity(func(doc string, n int) {
 		if mine != nil && mine[doc] > 0 {
-			continue
+			return
 		}
 		h.Push(CFRecommendation{DocID: doc, Score: float64(n)})
-	}
+	})
 	return h.Sorted()
 }
 
-// objectPopularity returns docID -> interaction count, precomputed per
-// snapshot.
-func (e *Engine) objectPopularity() map[string]int {
-	if e.popularity != nil {
-		return e.popularity
+// eachPopularity visits every object's interaction count with the delta
+// overlay merged in (overlay entries carry absolute counts and win).
+func (e *Engine) eachPopularity(fn func(doc string, n int)) {
+	pop := e.popularity
+	if pop == nil {
+		pop = e.computeObjectPopularity()
 	}
-	return e.computeObjectPopularity()
+	for doc, n := range e.popOver {
+		fn(doc, n)
+	}
+	for doc, n := range pop {
+		if _, shadowed := e.popOver[doc]; !shadowed {
+			fn(doc, n)
+		}
+	}
+}
+
+// popularityOf returns one object's interaction count, overlay first.
+func (e *Engine) popularityOf(doc string) int {
+	if n, ok := e.popOver[doc]; ok {
+		return n
+	}
+	return e.popularity[doc]
 }
 
 func (e *Engine) computeObjectPopularity() map[string]int {

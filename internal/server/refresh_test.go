@@ -1,9 +1,11 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -133,5 +135,106 @@ func TestAdminRefreshEndpoint(t *testing.T) {
 	}
 	if p.Stale() {
 		t.Fatal("snapshot still stale after sync admin refresh")
+	}
+}
+
+// TestWriteVisibleWithoutRefresh is the delta pipeline's end-to-end
+// contract at the HTTP layer: a POSTed paper is searchable on the very
+// next request, with no admin refresh and no auto-refresh loop —
+// the mutation's change events fold into the serving snapshot before
+// the POST returns.
+func TestWriteVisibleWithoutRefresh(t *testing.T) {
+	ts, p := newLoadedServer(t, 8)
+	uid := p.Users()[0]
+
+	body := fmt.Sprintf(`{"id":"p-live","title":"Zero refresh visibility","abstract":"deltaveritas overlay","authors":[%q]}`, uid)
+	resp, err := http.Post(ts.URL+"/api/v1/papers", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create paper: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/api/v1/search?q=deltaveritas&limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page struct {
+		Items []struct {
+			DocID string `json:"DocID"`
+		} `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Items) != 1 || page.Items[0].DocID != "paper/p-live" {
+		t.Fatalf("write not visible in search: %+v", page.Items)
+	}
+	if p.Stale() {
+		t.Fatal("platform stale right after a delta-applied write")
+	}
+	if p.DeltasApplied() == 0 {
+		t.Fatal("no delta swap recorded for the write")
+	}
+}
+
+// TestHealthzReportsDeltaState checks the new healthz surface: overlay
+// size, pending events, delta latency and compaction counters.
+func TestHealthzReportsDeltaState(t *testing.T) {
+	ts, p := newLoadedServer(t, 8)
+	uid := p.Users()[0]
+	if err := p.PublishPaper(hive.Paper{ID: "p-h", Title: "Healthz overlay probe",
+		Abstract: "overlay accounting", Authors: []string{uid}}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Stale bool `json:"stale"`
+		Delta struct {
+			OverlayDocs   int    `json:"overlay_docs"`
+			PendingEvents int    `json:"pending_events"`
+			DeltasApplied uint64 `json:"deltas_applied"`
+			Compactions   uint64 `json:"compactions"`
+			CompactionDue bool   `json:"compaction_due"`
+		} `json:"delta"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stale {
+		t.Fatal("healthz stale after delta apply")
+	}
+	if h.Delta.OverlayDocs != 1 || h.Delta.DeltasApplied == 0 {
+		t.Fatalf("delta health = %+v, want one overlay doc and a recorded delta", h.Delta)
+	}
+	if h.Delta.Compactions == 0 {
+		t.Fatal("initial build not counted as a compaction")
+	}
+
+	// An admin compaction folds the overlay away and reports it.
+	resp2, err := http.Post(ts.URL+"/api/v1/admin/refresh?wait=true", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var rr struct {
+		Status string `json:"status"`
+		Delta  *struct {
+			OverlayDocs int `json:"overlay_docs"`
+		} `json:"delta"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status != "refreshed" || rr.Delta == nil || rr.Delta.OverlayDocs != 0 {
+		t.Fatalf("admin refresh response = %+v", rr)
 	}
 }

@@ -439,15 +439,39 @@ func etagMatch(header, tag string) bool {
 
 // --- Health & refresh ---------------------------------------------------------
 
+// deltaHealth assembles the incremental-maintenance report shared by
+// healthz and the admin refresh responses.
+func (s *Server) deltaHealth() api.DeltaHealth {
+	dh := api.DeltaHealth{
+		PendingEvents: s.p.PendingEvents(),
+		DeltasApplied: s.p.DeltasApplied(),
+		Compactions:   s.p.Compactions(),
+		LastDeltaUS:   s.p.LastDeltaDuration().Microseconds(),
+		CompactionDue: s.p.CompactionDue(),
+	}
+	if eng := s.p.Snapshot(); eng != nil {
+		ds := eng.DeltaStats()
+		dh.OverlayDocs = ds.OverlayDocs
+		dh.Tombstones = ds.Tombstones
+		dh.GraphPending = ds.GraphPending
+	}
+	return dh
+}
+
 // getHealthz reports liveness plus snapshot freshness: the snapshot
-// generation, when it was built, how long the build took, its age, and
-// whether data changed since (stale). Reads are served from the swapped
-// snapshot, so "stale: true" means a rebuild is due, not an outage.
+// generation, when its base was built, how long the build took, its
+// age, whether unapplied change events exist (stale), and the delta
+// pipeline's state (overlay size, pending events, delta latency,
+// compaction counters). Reads are served from the swapped snapshot, so
+// "stale: true" means maintenance is due, not an outage; "built_at"
+// and "age_ms" describe the *base* segment — a snapshot with an applied
+// overlay is current regardless of base age.
 func (s *Server) getHealthz(w http.ResponseWriter, r *http.Request) {
 	out := api.Health{
 		Status:     "ok",
 		Generation: s.p.Generation(),
 		Stale:      s.p.Stale(),
+		Delta:      s.deltaHealth(),
 	}
 	if eng := s.p.Snapshot(); eng != nil {
 		out.Snapshot = true
@@ -464,26 +488,30 @@ func (s *Server) getHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// postRefreshSync rebuilds in the request goroutine and returns when
+// postRefreshSync compacts in the request goroutine and returns when
 // the new snapshot is live.
 func (s *Server) postRefreshSync(w http.ResponseWriter, r *http.Request) {
 	if err := s.p.Refresh(); err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.RefreshResponse{Status: "refreshed"})
+	dh := s.deltaHealth()
+	writeJSON(w, http.StatusOK, api.RefreshResponse{Status: "refreshed", Delta: &dh})
 }
 
-// postAdminRefresh triggers a background rebuild and returns 202
+// postAdminRefresh triggers a background compaction and returns 202
 // immediately; with ?wait=true it blocks until the swap. Reads keep
-// being served from the old snapshot either way.
+// being served from the old snapshot either way. The response carries
+// the delta pipeline's state so operators see what the compaction is
+// (or was) reclaiming.
 func (s *Server) postAdminRefresh(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("wait") == "true" {
 		s.postRefreshSync(w, r)
 		return
 	}
 	s.p.RefreshAsync()
-	writeJSON(w, http.StatusAccepted, api.RefreshResponse{Status: "refresh scheduled"})
+	dh := s.deltaHealth()
+	writeJSON(w, http.StatusAccepted, api.RefreshResponse{Status: "refresh scheduled", Delta: &dh})
 }
 
 // --- Batch ingest -------------------------------------------------------------

@@ -338,8 +338,18 @@ func TestLegacyFeedLimitZeroKeepsWindow(t *testing.T) {
 // TestConditional304StillRevalidates: answering 304 from the etag fast
 // path must still kick the stale-while-revalidate refresh, or a
 // revalidating client would be pinned to a stale snapshot forever.
+// Deltas are disabled so a write actually leaves the snapshot stale —
+// with them on, the write itself would swap a fresh generation in.
 func TestConditional304StillRevalidates(t *testing.T) {
-	ts, p := newTestServer(t)
+	p, err := hive.Open(hive.Options{DisableDeltas: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(p))
+	t.Cleanup(func() {
+		ts.Close()
+		p.Close()
+	})
 	seedViaAPI(t, ts)
 	if err := p.Refresh(); err != nil {
 		t.Fatal(err)

@@ -33,15 +33,18 @@ func (s *Store) Connect(a, b string) error {
 			return fmt.Errorf("%w: user %q", ErrNotFound, u)
 		}
 	}
-	batch := kvstore.NewBatch().
-		Put(pConn+pairKey(a, b), nil).
-		Put(pConnIdx+a+"/"+b, nil).
-		Put(pConnIdx+b+"/"+a, nil)
-	if err := s.kv.Apply(batch); err != nil {
+	return s.scoped(func() error {
+		batch := kvstore.NewBatch().
+			Put(pConn+pairKey(a, b), nil).
+			Put(pConnIdx+a+"/"+b, nil).
+			Put(pConnIdx+b+"/"+a, nil)
+		if err := s.kv.Apply(batch); err != nil {
+			return err
+		}
+		s.emit(ChangePut, EntityConnection, pairKey(a, b), a, b)
+		_, err := s.LogEvent(a, "connect", b, nil)
 		return err
-	}
-	_, err := s.LogEvent(a, "connect", b, nil)
-	return s.done(err)
+	})
 }
 
 // Connected reports whether two users are connected.
@@ -66,14 +69,17 @@ func (s *Store) Follow(follower, followee string) error {
 			return fmt.Errorf("%w: user %q", ErrNotFound, u)
 		}
 	}
-	batch := kvstore.NewBatch().
-		Put(pFollow+follower+"/"+followee, nil).
-		Put(pFollower+followee+"/"+follower, nil)
-	if err := s.kv.Apply(batch); err != nil {
+	return s.scoped(func() error {
+		batch := kvstore.NewBatch().
+			Put(pFollow+follower+"/"+followee, nil).
+			Put(pFollower+followee+"/"+follower, nil)
+		if err := s.kv.Apply(batch); err != nil {
+			return err
+		}
+		s.emit(ChangePut, EntityFollow, follower+"/"+followee, follower, followee)
+		_, err := s.LogEvent(follower, "follow", followee, nil)
 		return err
-	}
-	_, err := s.LogEvent(follower, "follow", followee, nil)
-	return s.done(err)
+	})
 }
 
 // Unfollow removes a follow edge.
@@ -81,7 +87,8 @@ func (s *Store) Unfollow(follower, followee string) error {
 	batch := kvstore.NewBatch().
 		Delete(pFollow + follower + "/" + followee).
 		Delete(pFollower + followee + "/" + follower)
-	return s.done(s.kv.Apply(batch))
+	defer s.emit(ChangeDelete, EntityFollow, follower+"/"+followee, follower, followee)
+	return s.kv.Apply(batch)
 }
 
 // FollowsUser reports whether follower follows followee.
@@ -112,19 +119,22 @@ func (s *Store) CheckIn(sessionID, userID string) error {
 	if !s.kv.Has(pUser + userID) {
 		return fmt.Errorf("%w: user %q", ErrNotFound, userID)
 	}
-	ci := CheckIn{SessionID: sessionID, UserID: userID, At: s.now().Unix()}
-	if err := s.putJSON(pCheckin+sessionID+"/"+userID, ci); err != nil {
-		return s.done(err)
-	}
-	if err := s.kv.Put(pCheckinU+userID+"/"+sessionID, nil); err != nil {
-		return s.done(err)
-	}
-	var tags []string
-	if sess.Hashtag != "" {
-		tags = []string{sess.Hashtag}
-	}
-	_, err = s.LogEvent(userID, "checkin", sessionID, tags)
-	return s.done(err)
+	return s.scoped(func() error {
+		ci := CheckIn{SessionID: sessionID, UserID: userID, At: s.now().Unix()}
+		defer s.emit(ChangePut, EntityCheckin, sessionID+"/"+userID, userID, sessionID)
+		if err := s.putJSON(pCheckin+sessionID+"/"+userID, ci); err != nil {
+			return err
+		}
+		if err := s.kv.Put(pCheckinU+userID+"/"+sessionID, nil); err != nil {
+			return err
+		}
+		var tags []string
+		if sess.Hashtag != "" {
+			tags = []string{sess.Hashtag}
+		}
+		_, err := s.LogEvent(userID, "checkin", sessionID, tags)
+		return err
+	})
 }
 
 // Attendees returns the user IDs checked into a session.
@@ -150,17 +160,20 @@ func (s *Store) AskQuestion(q Question) error {
 	if q.At == 0 {
 		q.At = s.now().Unix()
 	}
-	if err := s.putJSON(pQuestion+q.ID, q); err != nil {
-		return s.done(err)
-	}
-	b := kvstore.NewBatch().
-		Put(pQTarget+q.Target+"/"+q.ID, nil).
-		Put(pQAuthor+q.Author+"/"+q.ID, nil)
-	if err := s.kv.Apply(b); err != nil {
-		return s.done(err)
-	}
-	_, err := s.LogEvent(q.Author, "question", q.Target, s.tagsForTarget(q.Target))
-	return s.done(err)
+	return s.scoped(func() error {
+		defer s.emit(ChangePut, EntityQuestion, q.ID, q.Author, q.Target)
+		if err := s.putJSON(pQuestion+q.ID, q); err != nil {
+			return err
+		}
+		b := kvstore.NewBatch().
+			Put(pQTarget+q.Target+"/"+q.ID, nil).
+			Put(pQAuthor+q.Author+"/"+q.ID, nil)
+		if err := s.kv.Apply(b); err != nil {
+			return err
+		}
+		_, err := s.LogEvent(q.Author, "question", q.Target, s.tagsForTarget(q.Target))
+		return err
+	})
 }
 
 // Question fetches a question by ID.
@@ -194,14 +207,17 @@ func (s *Store) PostAnswer(a Answer) error {
 	if a.At == 0 {
 		a.At = s.now().Unix()
 	}
-	if err := s.putJSON(pAnswer+a.ID, a); err != nil {
-		return s.done(err)
-	}
-	if err := s.kv.Put(pAQuestion+a.QuestionID+"/"+a.ID, nil); err != nil {
-		return s.done(err)
-	}
-	_, err := s.LogEvent(a.Author, "answer", a.QuestionID, nil)
-	return s.done(err)
+	return s.scoped(func() error {
+		defer s.emit(ChangePut, EntityAnswer, a.ID, a.Author, a.QuestionID)
+		if err := s.putJSON(pAnswer+a.ID, a); err != nil {
+			return err
+		}
+		if err := s.kv.Put(pAQuestion+a.QuestionID+"/"+a.ID, nil); err != nil {
+			return err
+		}
+		_, err := s.LogEvent(a.Author, "answer", a.QuestionID, nil)
+		return err
+	})
 }
 
 // Answer fetches an answer by ID.
@@ -227,14 +243,17 @@ func (s *Store) PostComment(c Comment) error {
 	if c.At == 0 {
 		c.At = s.now().Unix()
 	}
-	if err := s.putJSON(pComment+c.ID, c); err != nil {
-		return s.done(err)
-	}
-	if err := s.kv.Put(pCTarget+c.Target+"/"+c.ID, nil); err != nil {
-		return s.done(err)
-	}
-	_, err := s.LogEvent(c.Author, "comment", c.Target, s.tagsForTarget(c.Target))
-	return s.done(err)
+	return s.scoped(func() error {
+		defer s.emit(ChangePut, EntityComment, c.ID, c.Author, c.Target)
+		if err := s.putJSON(pComment+c.ID, c); err != nil {
+			return err
+		}
+		if err := s.kv.Put(pCTarget+c.Target+"/"+c.ID, nil); err != nil {
+			return err
+		}
+		_, err := s.LogEvent(c.Author, "comment", c.Target, s.tagsForTarget(c.Target))
+		return err
+	})
 }
 
 // Comment fetches a comment by ID.
@@ -273,10 +292,11 @@ func (s *Store) PutWorkpad(w Workpad) error {
 	if !s.kv.Has(pUser + w.Owner) {
 		return fmt.Errorf("%w: user %q", ErrNotFound, w.Owner)
 	}
+	defer s.emit(ChangePut, EntityWorkpad, w.ID, w.Owner)
 	if err := s.putJSON(pWorkpad+w.ID, w); err != nil {
-		return s.done(err)
+		return err
 	}
-	return s.done(s.kv.Put(pWPOwner+w.Owner+"/"+w.ID, nil))
+	return s.kv.Put(pWPOwner+w.Owner+"/"+w.ID, nil)
 }
 
 // Workpad fetches a workpad by ID.
@@ -303,7 +323,8 @@ func (s *Store) AddToWorkpad(workpadID string, item WorkpadItem) error {
 		}
 	}
 	w.Items = append(w.Items, item)
-	return s.done(s.putJSON(pWorkpad+w.ID, w))
+	defer s.emit(ChangePut, EntityWorkpad, w.ID, w.Owner)
+	return s.putJSON(pWorkpad+w.ID, w)
 }
 
 // RemoveFromWorkpad removes an item from a workpad.
@@ -315,7 +336,8 @@ func (s *Store) RemoveFromWorkpad(workpadID string, item WorkpadItem) error {
 	for i, it := range w.Items {
 		if it == item {
 			w.Items = append(w.Items[:i], w.Items[i+1:]...)
-			return s.done(s.putJSON(pWorkpad+w.ID, w))
+			defer s.emit(ChangePut, EntityWorkpad, w.ID, w.Owner)
+			return s.putJSON(pWorkpad+w.ID, w)
 		}
 	}
 	return nil
@@ -331,7 +353,8 @@ func (s *Store) SetActiveWorkpad(owner, workpadID string) error {
 	if w.Owner != owner {
 		return fmt.Errorf("%w: workpad %q not owned by %q", ErrInvalid, workpadID, owner)
 	}
-	return s.done(s.kv.Put(pWPActive+owner, []byte(workpadID)))
+	defer s.emit(ChangePut, EntityActiveWorkpad, owner, workpadID)
+	return s.kv.Put(pWPActive+owner, []byte(workpadID))
 }
 
 // ActiveWorkpad returns the user's active workpad, or ErrNotFound when no
@@ -356,10 +379,10 @@ func (s *Store) ExportCollection(workpadID, collectionID string) (Collection, er
 		Name:  w.Name,
 		Items: append([]WorkpadItem(nil), w.Items...),
 	}
+	defer s.emit(ChangePut, EntityCollection, c.ID, c.Owner)
 	if err := s.putJSON(pCollection+c.ID, c); err != nil {
-		return Collection{}, s.done(err)
+		return Collection{}, err
 	}
-	s.touch()
 	return c, nil
 }
 
@@ -395,25 +418,43 @@ func (s *Store) ImportCollection(collectionID, owner, workpadID string) (Workpad
 // --- Activity stream -------------------------------------------------------------
 
 // LogEvent appends an event to the activity stream and its actor/tag
-// indexes, returning the assigned sequence number.
+// indexes, returning the assigned sequence number. The change log
+// records it as an EntityActivity event whose ID is the activity
+// sequence key, so incremental consumers can refetch the Event via
+// EventBySeq and fold it into interaction tables exactly once.
 func (s *Store) LogEvent(actor, verb, object string, tags []string) (uint64, error) {
 	seq, err := s.nextSeq()
 	if err != nil {
 		return 0, err
 	}
 	ev := Event{Seq: seq, At: s.now().Unix(), Actor: actor, Verb: verb, Object: object, Tags: tags}
+	defer s.emit(ChangePut, EntityActivity, seqKey(seq), actor, object)
 	if err := s.putJSON(pEvent+seqKey(seq), ev); err != nil {
-		return 0, s.done(err)
+		return 0, err
 	}
 	b := kvstore.NewBatch().Put(pEvActor+actor+"/"+seqKey(seq), nil)
 	for _, t := range tags {
 		b.Put(pEvTag+strings.ToLower(t)+"/"+seqKey(seq), nil)
 	}
 	if err := s.kv.Apply(b); err != nil {
-		return 0, s.done(err)
+		return 0, err
 	}
-	s.touch()
 	return seq, nil
+}
+
+// EventBySeq fetches one activity-stream event by its sequence number.
+func (s *Store) EventBySeq(seq uint64) (Event, error) {
+	var ev Event
+	err := s.getJSON(pEvent+seqKey(seq), &ev)
+	return ev, err
+}
+
+// LastEventSeq returns the highest activity-stream sequence assigned so
+// far (persisted across reopen, unlike the change-event sequence).
+func (s *Store) LastEventSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
 }
 
 // EventsSince returns events with Seq > after, oldest first, up to limit

@@ -66,70 +66,120 @@ type Store struct {
 	mu  sync.Mutex // guards seq allocation
 	seq uint64
 
-	hookMu sync.RWMutex // guards hooks
-	hooks  []func()
+	hookMu sync.RWMutex // guards subs
+	subs   []func([]ChangeEvent)
 
-	// batching suppresses per-write hook fan-out inside Batched; the
-	// hooks fire once when the outermost batch finishes.
+	// evMu guards the change-event sequence counter and the per-batch
+	// event buffer.
+	evMu      sync.Mutex
+	changeSeq uint64
+	evBuf     []ChangeEvent
+
+	// batching defers event delivery inside Batched (and inside each
+	// multi-step mutator): the coalesced batch is delivered once when
+	// the outermost scope finishes.
 	batching atomic.Int32
 }
 
-// OnMutate registers a hook invoked after every successful mutation.
-// The platform uses it for dirty tracking: any write — including one
-// that bypasses the Platform wrappers and hits the store directly —
-// marks the knowledge-engine snapshot stale. Hooks must be fast and
-// must not call back into the store.
-func (s *Store) OnMutate(fn func()) {
+// OnChange subscribes to the store's typed change log. After every
+// successful mutation — including writes that bypass the Platform
+// wrappers and hit the store directly — the subscriber receives the
+// batch of ChangeEvents the mutation emitted; a Batched pass delivers
+// exactly one coalesced batch for all its writes. Subscribers must be
+// fast and must not mutate the store (reads are fine: the events carry
+// IDs, not entity bodies, so consumers refetch what they need).
+func (s *Store) OnChange(fn func([]ChangeEvent)) {
 	s.hookMu.Lock()
-	s.hooks = append(s.hooks, fn)
+	s.subs = append(s.subs, fn)
 	s.hookMu.Unlock()
 }
 
-// touch notifies the registered mutation hooks. Inside a Batched pass
-// the notification is deferred: the batch fires the hooks exactly once
-// on completion, so N batched writes cost one snapshot invalidation.
-func (s *Store) touch() {
+// OnMutate registers an untyped hook invoked once per delivered change
+// batch.
+//
+// Deprecated: use OnChange; this adapter remains one release for
+// callers that only need a dirty signal.
+func (s *Store) OnMutate(fn func()) {
+	s.OnChange(func([]ChangeEvent) { fn() })
+}
+
+// ChangeSeq returns the latest change-event sequence number assigned so
+// far (0 before the first mutation). Consumers use it as a watermark:
+// a full rebuild started after observing ChangeSeq() covers every event
+// with Seq at or below it.
+func (s *Store) ChangeSeq() uint64 {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	return s.changeSeq
+}
+
+// emit appends typed change events to the log. Inside a batch (or a
+// multi-step mutator scope) delivery is deferred and coalesced;
+// otherwise subscribers receive the events immediately as one batch.
+// Events are emitted even when a later step of the mutator failed:
+// earlier writes may have persisted, and a spurious event only costs a
+// small redundant delta repair, whereas a missed one hides persisted
+// data from the knowledge services until the next compaction.
+func (s *Store) emit(kind ChangeKind, entity EntityType, id string, refs ...string) {
+	s.evMu.Lock()
+	s.changeSeq++
+	ev := ChangeEvent{Seq: s.changeSeq, Kind: kind, EntityType: entity, ID: id, Refs: refs}
 	if s.batching.Load() > 0 {
+		s.evBuf = append(s.evBuf, ev)
+		s.evMu.Unlock()
 		return
 	}
-	s.fireHooks()
+	s.evMu.Unlock()
+	s.deliver([]ChangeEvent{ev})
 }
 
-func (s *Store) fireHooks() {
-	s.hookMu.RLock()
-	hooks := s.hooks
-	s.hookMu.RUnlock()
-	for _, fn := range hooks {
-		fn()
+// flushEvents delivers the buffered batch, if any.
+func (s *Store) flushEvents() {
+	s.evMu.Lock()
+	buf := s.evBuf
+	s.evBuf = nil
+	s.evMu.Unlock()
+	if len(buf) > 0 {
+		s.deliver(buf)
 	}
 }
 
-// Batched runs fn with mutation-hook fan-out suppressed and fires the
-// hooks exactly once when fn returns — the bulk-ingest path: loading N
-// entities marks the knowledge-engine snapshot stale once instead of N
-// times. Hooks fire even when fn errors, mirroring done: earlier writes
-// in the batch may have persisted. Nested Batched calls coalesce into
-// the outermost one. Concurrent non-batched writers may also have their
-// notification folded into the batch's final fire, which is harmless
-// for staleness tracking (the mark still lands after their write).
-func (s *Store) Batched(fn func() error) error {
+func (s *Store) deliver(evs []ChangeEvent) {
+	s.hookMu.RLock()
+	subs := s.subs
+	s.hookMu.RUnlock()
+	for _, fn := range subs {
+		fn(evs)
+	}
+}
+
+// scoped runs fn with event delivery deferred and delivers the
+// coalesced batch once when the outermost scope finishes. Every
+// multi-step mutator wraps itself in a scope so it emits exactly one
+// batch; Batched exposes the same mechanism publicly.
+func (s *Store) scoped(fn func() error) error {
 	s.batching.Add(1)
 	defer func() {
 		if s.batching.Add(-1) == 0 {
-			s.fireHooks()
+			s.flushEvents()
 		}
 	}()
 	return fn()
 }
 
-// done marks a mutation attempt complete and passes the error through.
-// Hooks fire even on error: multi-step mutators may have persisted
-// earlier writes before a later step failed, and a spurious dirty mark
-// only costs one extra rebuild, whereas a missed one hides persisted
-// data from the knowledge services indefinitely.
-func (s *Store) done(err error) error {
-	s.touch()
-	return err
+// Batched runs fn with change-event delivery deferred and delivers one
+// coalesced batch when fn returns — the bulk-ingest path: loading N
+// entities costs a single event delivery (one incremental engine
+// repair) instead of N. The batch is delivered even when fn errors:
+// earlier writes in the batch may have persisted. Nested Batched calls
+// coalesce into the outermost one. Concurrent non-batched writers may
+// also have their events folded into the batch's final delivery, which
+// is harmless: events describe persisted state and consumers refetch
+// it. Subscribers never observe a partial batch — delivery happens only
+// after the outermost fn returned, so all of the batch's writes are
+// visible in the store by then.
+func (s *Store) Batched(fn func() error) error {
+	return s.scoped(fn)
 }
 
 // NewStore wraps a kvstore. A nil clock uses the system clock.
@@ -205,7 +255,8 @@ func (s *Store) PutUser(u User) error {
 	if u.ID == "" {
 		return fmt.Errorf("%w: user ID empty", ErrInvalid)
 	}
-	return s.done(s.putJSON(pUser+u.ID, u))
+	defer s.emit(ChangePut, EntityUser, u.ID)
+	return s.putJSON(pUser+u.ID, u)
 }
 
 // User fetches a user by ID.
@@ -233,7 +284,8 @@ func (s *Store) PutConference(c Conference) error {
 	if c.ID == "" {
 		return fmt.Errorf("%w: conference ID empty", ErrInvalid)
 	}
-	return s.done(s.putJSON(pConf+c.ID, c))
+	defer s.emit(ChangePut, EntityConference, c.ID)
+	return s.putJSON(pConf+c.ID, c)
 }
 
 // Conference fetches a conference by ID.
@@ -254,10 +306,11 @@ func (s *Store) PutSession(sess Session) error {
 	if !s.kv.Has(pConf + sess.ConferenceID) {
 		return fmt.Errorf("%w: conference %q", ErrNotFound, sess.ConferenceID)
 	}
+	defer s.emit(ChangePut, EntitySession, sess.ID, sess.ConferenceID)
 	if err := s.putJSON(pSession+sess.ID, sess); err != nil {
-		return s.done(err)
+		return err
 	}
-	return s.done(s.kv.Put(pSessConf+sess.ConferenceID+"/"+sess.ID, nil))
+	return s.kv.Put(pSessConf+sess.ConferenceID+"/"+sess.ID, nil)
 }
 
 // Session fetches a session by ID.
@@ -287,8 +340,9 @@ func (s *Store) PutPaper(p Paper) error {
 			return fmt.Errorf("%w: author %q", ErrNotFound, a)
 		}
 	}
+	defer s.emit(ChangePut, EntityPaper, p.ID, p.Authors...)
 	if err := s.putJSON(pPaper+p.ID, p); err != nil {
-		return s.done(err)
+		return err
 	}
 	b := kvstore.NewBatch()
 	if p.ConferenceID != "" {
@@ -300,7 +354,7 @@ func (s *Store) PutPaper(p Paper) error {
 	for _, a := range p.Authors {
 		b.Put(pPaperAuth+a+"/"+p.ID, nil)
 	}
-	return s.done(s.kv.Apply(b))
+	return s.kv.Apply(b)
 }
 
 // Paper fetches a paper by ID.
@@ -343,13 +397,14 @@ func (s *Store) PutPresentation(pr Presentation) error {
 	if pr.Updated == 0 {
 		pr.Updated = s.now().Unix()
 	}
+	defer s.emit(ChangePut, EntityPresentation, pr.ID, pr.Owner, pr.PaperID)
 	if err := s.putJSON(pPres+pr.ID, pr); err != nil {
-		return s.done(err)
+		return err
 	}
 	b := kvstore.NewBatch().
 		Put(pPresPaper+pr.PaperID+"/"+pr.ID, nil).
 		Put(pPresOwner+pr.Owner+"/"+pr.ID, nil)
-	return s.done(s.kv.Apply(b))
+	return s.kv.Apply(b)
 }
 
 // Presentation fetches presentation content by ID.

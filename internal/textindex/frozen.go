@@ -30,12 +30,13 @@ import (
 // for norms and forward weights), so frozen and live results are
 // bit-identical, including tie-break order.
 type Frozen struct {
-	ids     []string         // dense ID -> docID, lexicographically sorted
-	idOf    map[string]int32 // docID -> dense ID
-	text    []string         // dense ID -> raw text
-	docLen  []int32          // dense ID -> token count
-	docNorm []float64        // dense ID -> TF-IDF Euclidean norm
-	avgLen  float64          // mean document length (1 when degenerate)
+	ids      []string         // dense ID -> docID, lexicographically sorted
+	idOf     map[string]int32 // docID -> dense ID
+	text     []string         // dense ID -> raw text
+	docLen   []int32          // dense ID -> token count
+	docNorm  []float64        // dense ID -> TF-IDF Euclidean norm
+	avgLen   float64          // mean document length (1 when degenerate)
+	totalLen int              // total token count (overlay views re-derive avgLen)
 
 	terms   map[string]frozenTerm
 	postDoc []int32   // postings: dense doc IDs, contiguous per term
@@ -45,6 +46,9 @@ type Frozen struct {
 	fwdOff  []int32   // dense ID -> offset into fwdTerm/fwdW (len = docs+1)
 	fwdTerm []string  // forward index: terms, sorted within each doc
 	fwdW    []float64 // forward index: precomputed TF-IDF weights
+	fwdTF   []int32   // forward index: raw term frequencies (the overlay
+	// read path recomputes weights under merged corpus statistics, which
+	// needs the tf the precomputed fwdW already folded in)
 
 	// scratch pools per-query accumulators so steady-state searches
 	// allocate only their results. Buffers are reset by zeroing only the
@@ -111,6 +115,7 @@ func (ix *Index) Freeze() *Frozen {
 		f.text[d] = ix.docText[id]
 		f.docLen[d] = int32(ix.docLen[id])
 	}
+	f.totalLen = ix.totalLen
 	f.avgLen = 1
 	if nDocs > 0 {
 		f.avgLen = float64(ix.totalLen) / float64(nDocs)
@@ -159,6 +164,7 @@ func (ix *Index) Freeze() *Frozen {
 	}
 	f.fwdTerm = make([]string, 0, nFwd)
 	f.fwdW = make([]float64, 0, nFwd)
+	f.fwdTF = make([]int32, 0, nFwd)
 	for d, id := range f.ids {
 		f.fwdOff[d] = int32(len(f.fwdTerm))
 		var s float64
@@ -166,6 +172,7 @@ func (ix *Index) Freeze() *Frozen {
 			w := float64(dt.tf) * ix.idfLocked(dt.term)
 			f.fwdTerm = append(f.fwdTerm, dt.term)
 			f.fwdW = append(f.fwdW, w)
+			f.fwdTF = append(f.fwdTF, int32(dt.tf))
 			s += w * w
 		}
 		f.docNorm[d] = math.Sqrt(s)
@@ -261,10 +268,18 @@ func (f *Frozen) SearchVector(query Vector, k int) []Result {
 // Searching a compiled vector skips the per-call term sort and hash
 // lookups — the engine compiles every user's context vector at build
 // time so context search is pure postings arithmetic.
+//
+// Besides the base-resolved postings runs, a compiled vector retains
+// the full sorted (term, weight) list. That half is independent of any
+// particular index, which is what lets a Segmented view (the frozen
+// base plus a mutable overlay) serve the same compiled query with
+// merged corpus statistics: the runs are a fast path for the pristine
+// base, the pairs are the portable query.
 type CompiledVector struct {
 	empty bool
 	qn    float64 // Euclidean norm of the full query
 	terms []compiledQTerm
+	pairs []termWeight // all query terms, sorted — index-independent
 }
 
 // compiledQTerm is one query term resolved to its postings run.
@@ -274,14 +289,17 @@ type compiledQTerm struct {
 	qw  float64
 }
 
-// Compile resolves a query vector against the index. The result is only
-// valid for this Frozen instance.
+// termWeight is one (term, weight) component of a query vector.
+type termWeight struct {
+	t string
+	w float64
+}
+
+// Compile resolves a query vector against the index. The postings-run
+// fast path is only valid for this Frozen instance; the retained term
+// list also serves Segmented views layered over it.
 func (f *Frozen) Compile(query Vector) *CompiledVector {
 	cq := &CompiledVector{empty: len(query) == 0}
-	type termWeight struct {
-		t string
-		w float64
-	}
 	pairs := make([]termWeight, 0, len(query))
 	for t, w := range query {
 		pairs = append(pairs, termWeight{t, w})
@@ -297,6 +315,7 @@ func (f *Frozen) Compile(query Vector) *CompiledVector {
 		}
 	}
 	cq.qn = math.Sqrt(qnSq)
+	cq.pairs = pairs
 	return cq
 }
 

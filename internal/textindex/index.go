@@ -141,11 +141,17 @@ func (ix *Index) DocIDs() []string {
 	return ids
 }
 
+// idfFor computes smoothed inverse document frequency from a document
+// frequency and a corpus size. Every read representation (live, frozen,
+// segmented) funnels through this one expression so their floating-
+// point results are bit-identical for the same logical corpus.
+func idfFor(df, n int) float64 {
+	return math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
+}
+
 // idfLocked computes smoothed inverse document frequency for a term.
 func (ix *Index) idfLocked(term string) float64 {
-	df := len(ix.postings[term])
-	n := len(ix.docLen)
-	return math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
+	return idfFor(len(ix.postings[term]), len(ix.docLen))
 }
 
 // TFIDFVector returns the document's TF-IDF vector.

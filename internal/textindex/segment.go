@@ -1,0 +1,450 @@
+package textindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Searcher is the read-path contract shared by Frozen and Segmented:
+// everything the knowledge engine needs to serve search, vectors and
+// raw text from an immutable snapshot of the corpus.
+type Searcher interface {
+	Len() int
+	DocIDs() []string
+	Text(docID string) (string, error)
+	TFIDFVector(docID string) (Vector, error)
+	DocNorm(docID string) float64
+	Search(query string, k int) []Result
+	SearchVector(query Vector, k int) []Result
+	SearchCompiled(cq *CompiledVector, k int) []Result
+}
+
+var (
+	_ Searcher = (*Frozen)(nil)
+	_ Searcher = (*Segmented)(nil)
+)
+
+// Segmented is an immutable LSM-style read view over a text corpus: the
+// frozen base segment from the last full build plus a small overlay
+// segment of documents added or updated since, merged on read. Overlay
+// documents shadow their base versions (the shadowed base doc joins the
+// tombstone set), so the view answers queries over exactly the live
+// logical corpus.
+//
+// Score parity: every query recomputes IDF, average document length and
+// document norms from the merged statistics using the same expressions
+// and the same float accumulation order as the live Index (and hence as
+// a from-scratch Frozen of the same corpus), so segmented results are
+// bit-identical to a full rebuild — including tie-break order. When the
+// overlay is empty the view delegates to the base's precomputed fast
+// paths, so a freshly compacted snapshot costs nothing extra.
+//
+// A Segmented is immutable; WithDocs/WithoutDocs return a new view
+// sharing the base (and all untouched overlay state) structurally. The
+// per-apply cost is proportional to the overlay size, which compaction
+// keeps bounded — never to the base corpus.
+type Segmented struct {
+	base *Frozen
+
+	over     map[string]*overlayDoc      // overlay docs by ID
+	overPost map[string][]overlayPosting // term -> overlay postings
+	dead     map[string]struct{}         // base doc IDs shadowed or deleted
+	deadDF   map[string]int              // per-term base postings lost to dead docs
+
+	nDocs    int // live documents across base and overlay
+	totalLen int // live token count across base and overlay
+}
+
+// overlayDoc is one overlay document in forward form.
+type overlayDoc struct {
+	terms  []docTerm // sorted by term, like the live index's forward entry
+	length int
+	text   string
+}
+
+// overlayPosting is one overlay document's occurrence of a term.
+type overlayPosting struct {
+	doc string
+	tf  int32
+}
+
+// NewSegmented wraps a frozen base segment in an empty overlay view.
+func NewSegmented(base *Frozen) *Segmented {
+	return &Segmented{
+		base:     base,
+		nDocs:    base.Len(),
+		totalLen: base.totalLen,
+	}
+}
+
+// pristine reports whether the view is exactly the base segment, in
+// which case every read delegates to the base's precomputed fast path.
+func (s *Segmented) pristine() bool { return len(s.over) == 0 && len(s.dead) == 0 }
+
+// Base returns the frozen base segment.
+func (s *Segmented) Base() *Frozen { return s.base }
+
+// OverlayDocs reports the number of overlay documents.
+func (s *Segmented) OverlayDocs() int { return len(s.over) }
+
+// Tombstones reports the number of dead base documents (shadowed by
+// overlay versions or deleted).
+func (s *Segmented) Tombstones() int { return len(s.dead) }
+
+// TombstoneRatio reports the fraction of the base segment that is dead
+// — merge-on-read work that a compaction would reclaim.
+func (s *Segmented) TombstoneRatio() float64 {
+	if s.base.Len() == 0 {
+		return 0
+	}
+	return float64(len(s.dead)) / float64(s.base.Len())
+}
+
+// clone copies the overlay bookkeeping into a fresh view sharing the
+// base. Slices inside overPost are copied lazily by the mutating ops.
+func (s *Segmented) clone() *Segmented {
+	n := &Segmented{
+		base:     s.base,
+		over:     make(map[string]*overlayDoc, len(s.over)+1),
+		overPost: make(map[string][]overlayPosting, len(s.overPost)),
+		dead:     make(map[string]struct{}, len(s.dead)+1),
+		deadDF:   make(map[string]int, len(s.deadDF)),
+		nDocs:    s.nDocs,
+		totalLen: s.totalLen,
+	}
+	for id, od := range s.over {
+		n.over[id] = od
+	}
+	for t, ps := range s.overPost {
+		n.overPost[t] = ps // copied on write by addPosting/dropPosting
+	}
+	for id := range s.dead {
+		n.dead[id] = struct{}{}
+	}
+	for t, c := range s.deadDF {
+		n.deadDF[t] = c
+	}
+	return n
+}
+
+// WithDocs returns a new view with the given documents added (or
+// updated: an existing overlay version is replaced, an existing base
+// version is tombstoned and shadowed). Documents apply in sorted-ID
+// order for reproducibility; the result set is order-insensitive.
+func (s *Segmented) WithDocs(docs map[string]string) *Segmented {
+	if len(docs) == 0 {
+		return s
+	}
+	n := s.clone()
+	ids := make([]string, 0, len(docs))
+	for id := range docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n.removeLive(id)
+		text := docs[id]
+		terms := Terms(text)
+		counts := make(map[string]int)
+		for _, t := range terms {
+			counts[t]++
+		}
+		dts := make([]docTerm, 0, len(counts))
+		for t, c := range counts {
+			dts = append(dts, docTerm{term: t, tf: c})
+		}
+		sort.Slice(dts, func(i, j int) bool { return dts[i].term < dts[j].term })
+		n.over[id] = &overlayDoc{terms: dts, length: len(terms), text: text}
+		for _, dt := range dts {
+			n.addPosting(dt.term, overlayPosting{doc: id, tf: int32(dt.tf)})
+		}
+		n.nDocs++
+		n.totalLen += len(terms)
+	}
+	return n
+}
+
+// WithoutDocs returns a new view with the given documents removed:
+// overlay versions are dropped, base versions tombstoned. Unknown IDs
+// are ignored.
+func (s *Segmented) WithoutDocs(ids []string) *Segmented {
+	if len(ids) == 0 {
+		return s
+	}
+	n := s.clone()
+	for _, id := range ids {
+		n.removeLive(id)
+	}
+	return n
+}
+
+// removeLive drops the live version of a document, wherever it resides.
+func (s *Segmented) removeLive(id string) {
+	if od, ok := s.over[id]; ok {
+		delete(s.over, id)
+		for _, dt := range od.terms {
+			s.dropPosting(dt.term, id)
+		}
+		s.nDocs--
+		s.totalLen -= od.length
+		return
+	}
+	d, inBase := s.base.idOf[id]
+	if !inBase {
+		return
+	}
+	if _, gone := s.dead[id]; gone {
+		return
+	}
+	s.dead[id] = struct{}{}
+	for j := s.base.fwdOff[d]; j < s.base.fwdOff[d+1]; j++ {
+		s.deadDF[s.base.fwdTerm[j]]++
+	}
+	s.nDocs--
+	s.totalLen -= int(s.base.docLen[d])
+}
+
+// addPosting appends an overlay posting, copying the term's list so the
+// parent view's slice is never mutated.
+func (s *Segmented) addPosting(term string, p overlayPosting) {
+	old := s.overPost[term]
+	nl := make([]overlayPosting, len(old), len(old)+1)
+	copy(nl, old)
+	s.overPost[term] = append(nl, p)
+}
+
+// dropPosting removes a document's overlay posting for a term.
+func (s *Segmented) dropPosting(term, doc string) {
+	old := s.overPost[term]
+	nl := make([]overlayPosting, 0, len(old))
+	for _, p := range old {
+		if p.doc != doc {
+			nl = append(nl, p)
+		}
+	}
+	if len(nl) == 0 {
+		delete(s.overPost, term)
+	} else {
+		s.overPost[term] = nl
+	}
+}
+
+// df returns the merged document frequency of a term.
+func (s *Segmented) df(term string) int {
+	base := 0
+	if ti, ok := s.base.terms[term]; ok {
+		base = int(ti.n)
+	}
+	return base - s.deadDF[term] + len(s.overPost[term])
+}
+
+// idfOf returns the merged-corpus IDF of a term.
+func (s *Segmented) idfOf(term string) float64 { return idfFor(s.df(term), s.nDocs) }
+
+// Len reports the number of live documents.
+func (s *Segmented) Len() int { return s.nDocs }
+
+// DocIDs returns all live document IDs in sorted order.
+func (s *Segmented) DocIDs() []string {
+	if s.pristine() {
+		return s.base.DocIDs()
+	}
+	ids := make([]string, 0, s.nDocs)
+	for _, id := range s.base.ids {
+		if _, gone := s.dead[id]; !gone {
+			ids = append(ids, id)
+		}
+	}
+	for id := range s.over {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Text returns the stored raw text of a live document.
+func (s *Segmented) Text(docID string) (string, error) {
+	if od, ok := s.over[docID]; ok {
+		return od.text, nil
+	}
+	if _, gone := s.dead[docID]; gone {
+		return "", fmt.Errorf("%w: %q", ErrDocNotFound, docID)
+	}
+	return s.base.Text(docID)
+}
+
+// TFIDFVector returns the document's TF-IDF vector under merged corpus
+// statistics: O(terms-in-doc), identical to a full rebuild's vector.
+func (s *Segmented) TFIDFVector(docID string) (Vector, error) {
+	if s.pristine() {
+		return s.base.TFIDFVector(docID)
+	}
+	if od, ok := s.over[docID]; ok {
+		v := make(Vector, len(od.terms))
+		for _, dt := range od.terms {
+			v[dt.term] = float64(dt.tf) * s.idfOf(dt.term)
+		}
+		return v, nil
+	}
+	if _, gone := s.dead[docID]; gone {
+		return nil, fmt.Errorf("%w: %q", ErrDocNotFound, docID)
+	}
+	d, ok := s.base.idOf[docID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrDocNotFound, docID)
+	}
+	lo, hi := s.base.fwdOff[d], s.base.fwdOff[d+1]
+	v := make(Vector, hi-lo)
+	for j := lo; j < hi; j++ {
+		v[s.base.fwdTerm[j]] = float64(s.base.fwdTF[j]) * s.idfOf(s.base.fwdTerm[j])
+	}
+	return v, nil
+}
+
+// DocNorm returns the merged-statistics TF-IDF norm of a live document
+// (0 for unknown or dead documents). Weights accumulate in the per-doc
+// sorted term order, matching the live index bit for bit.
+func (s *Segmented) DocNorm(docID string) float64 {
+	if s.pristine() {
+		return s.base.DocNorm(docID)
+	}
+	if od, ok := s.over[docID]; ok {
+		var sum float64
+		for _, dt := range od.terms {
+			w := float64(dt.tf) * s.idfOf(dt.term)
+			sum += w * w
+		}
+		return math.Sqrt(sum)
+	}
+	if _, gone := s.dead[docID]; gone {
+		return 0
+	}
+	d, ok := s.base.idOf[docID]
+	if !ok {
+		return 0
+	}
+	var sum float64
+	for j := s.base.fwdOff[d]; j < s.base.fwdOff[d+1]; j++ {
+		w := float64(s.base.fwdTF[j]) * s.idfOf(s.base.fwdTerm[j])
+		sum += w * w
+	}
+	return math.Sqrt(sum)
+}
+
+// Search ranks live documents against the query with BM25, identically
+// to a full rebuild over the merged corpus.
+func (s *Segmented) Search(query string, k int) []Result {
+	if s.pristine() {
+		return s.base.Search(query, k)
+	}
+	if s.nDocs == 0 {
+		return nil
+	}
+	avgLen := float64(s.totalLen) / float64(s.nDocs)
+	if avgLen == 0 {
+		avgLen = 1
+	}
+	scores := make(map[string]float64)
+	for _, term := range Terms(query) {
+		df := s.df(term)
+		if df == 0 {
+			continue
+		}
+		idf := idfFor(df, s.nDocs)
+		if ti, ok := s.base.terms[term]; ok {
+			for j := ti.off; j < ti.off+ti.n; j++ {
+				d := s.base.postDoc[j]
+				id := s.base.ids[d]
+				if _, gone := s.dead[id]; gone {
+					continue
+				}
+				tf := float64(s.base.postTF[j])
+				dl := float64(s.base.docLen[d])
+				scores[id] += idf * tf * (bm25K1 + 1) /
+					(tf + bm25K1*(1-bm25B+bm25B*dl/avgLen))
+			}
+		}
+		for _, p := range s.overPost[term] {
+			tf := float64(p.tf)
+			dl := float64(s.over[p.doc].length)
+			scores[p.doc] += idf * tf * (bm25K1 + 1) /
+				(tf + bm25K1*(1-bm25B+bm25B*dl/avgLen))
+		}
+	}
+	return topResults(scores, k)
+}
+
+// SearchVector ranks live documents by cosine similarity to the query
+// vector under merged statistics, identically to a full rebuild.
+func (s *Segmented) SearchVector(query Vector, k int) []Result {
+	if s.pristine() {
+		return s.base.SearchVector(query, k)
+	}
+	if len(query) == 0 {
+		return nil
+	}
+	pairs := make([]termWeight, 0, len(query))
+	for t, w := range query {
+		pairs = append(pairs, termWeight{t, w})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].t < pairs[j].t })
+	return s.searchPairs(pairs, k)
+}
+
+// SearchCompiled ranks live documents against a compiled query. The
+// compiled form must have been produced by the base segment's Compile;
+// on a pristine view this takes the base's precomputed fast path, and
+// otherwise the retained index-independent term list is re-resolved
+// against the merged corpus.
+func (s *Segmented) SearchCompiled(cq *CompiledVector, k int) []Result {
+	if s.pristine() {
+		return s.base.SearchCompiled(cq, k)
+	}
+	if cq.empty {
+		return nil
+	}
+	return s.searchPairs(cq.pairs, k)
+}
+
+// searchPairs is the merged-statistics cosine ranking over a sorted
+// (term, weight) query. Accumulation order mirrors Index.SearchVector:
+// query-norm and dot products in sorted term order, per-posting weights
+// grouped as qw × (tf × idf).
+func (s *Segmented) searchPairs(pairs []termWeight, k int) []Result {
+	dots := make(map[string]float64)
+	var qnSq float64
+	for _, p := range pairs {
+		qnSq += p.w * p.w
+		df := s.df(p.t)
+		if df == 0 {
+			continue
+		}
+		idf := idfFor(df, s.nDocs)
+		if ti, ok := s.base.terms[p.t]; ok {
+			for j := ti.off; j < ti.off+ti.n; j++ {
+				id := s.base.ids[s.base.postDoc[j]]
+				if _, gone := s.dead[id]; gone {
+					continue
+				}
+				dots[id] += p.w * (float64(s.base.postTF[j]) * idf)
+			}
+		}
+		for _, op := range s.overPost[p.t] {
+			dots[op.doc] += p.w * (float64(op.tf) * idf)
+		}
+	}
+	if qnSq == 0 {
+		return nil
+	}
+	qn := math.Sqrt(qnSq)
+	scores := make(map[string]float64, len(dots))
+	for doc, dot := range dots {
+		dn := s.DocNorm(doc)
+		if dn == 0 {
+			continue
+		}
+		scores[doc] = dot / (qn * dn)
+	}
+	return topResults(scores, k)
+}

@@ -1,9 +1,10 @@
 package hive
 
-// Mutation API: thin wrappers over the social store. Dirty tracking is
-// handled by the store's OnMutate hook (registered in Open), so every
-// write — through these wrappers or directly against Store() — marks
-// the knowledge-engine snapshot stale.
+// Mutation API: thin wrappers over the social store. Snapshot
+// maintenance is handled by the store's typed change log (subscribed in
+// Open): every write — through these wrappers or directly against
+// Store() — emits ChangeEvents that the platform folds into the serving
+// snapshot as an incremental delta before the write returns.
 
 // RegisterUser creates or updates a researcher profile.
 func (p *Platform) RegisterUser(u User) error {

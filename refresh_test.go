@@ -9,9 +9,13 @@ import (
 	"hive/internal/workload"
 )
 
-func refreshPlatform(t *testing.T, users int) *hive.Platform {
+func refreshPlatform(t *testing.T, users int, opts ...func(*hive.Options)) *hive.Platform {
 	t.Helper()
-	p, err := hive.Open(hive.Options{})
+	o := hive.Options{}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	p, err := hive.Open(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,6 +27,12 @@ func refreshPlatform(t *testing.T, users int) *hive.Platform {
 	return p
 }
 
+func noDeltas(o *hive.Options) { o.DisableDeltas = true }
+
+// TestSnapshotLifecycle covers the delta-world snapshot lifecycle: a
+// write through the raw store is folded into the serving snapshot
+// synchronously (one delta swap), so the platform is *current* right
+// after the write — only unapplied events would make it stale.
 func TestSnapshotLifecycle(t *testing.T) {
 	p := refreshPlatform(t, 12)
 	if p.Snapshot() != nil {
@@ -41,20 +51,78 @@ func TestSnapshotLifecycle(t *testing.T) {
 	if err := p.LastRefreshError(); err != nil {
 		t.Fatalf("LastRefreshError after success = %v", err)
 	}
+	if c := p.Compactions(); c != 1 {
+		t.Fatalf("compactions = %d, want 1", c)
+	}
 
 	// A write through the raw store — bypassing the Platform wrappers —
-	// must mark the snapshot stale via the OnMutate hook.
+	// feeds the typed change log and applies as a synchronous delta: by
+	// the time the write returns, a *new* snapshot serves it and the
+	// platform is current, not stale.
+	if err := p.Store().PutPaper(hive.Paper{
+		ID: "p-delta", Title: "Freshly published delta paper",
+		Abstract: "Visible without a rebuild.", Authors: []string{p.Users()[0]},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stale() {
+		t.Fatal("snapshot stale after the delta applied (applied overlay means current)")
+	}
+	second := p.Snapshot()
+	if second == first {
+		t.Fatal("write did not swap in a delta snapshot")
+	}
+	if p.DeltasApplied() == 0 {
+		t.Fatal("no delta recorded")
+	}
+	if res := second.Search("freshly published delta paper", 5); len(res) == 0 {
+		t.Fatal("write not visible in search through the delta snapshot")
+	}
+	// The old snapshot still serves, without the write (readers holding
+	// it mid-request are unaffected by the swap).
+	if res := first.Search("freshly published delta paper", 5); len(res) != 0 {
+		t.Fatal("previous snapshot mutated by the delta")
+	}
+
+	// Engine() is read-your-writes but needs no rebuild: the delta
+	// already applied.
+	gen := p.Generation()
+	eng, err := p.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng != second || p.Generation() != gen {
+		t.Fatalf("Engine() rebuilt a current snapshot: gen %d -> %d", gen, p.Generation())
+	}
+
+	// Refresh stays available as explicit compaction: it folds the
+	// overlay into a fresh base and clears the delta counters.
+	if err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if ds := p.Snapshot().DeltaStats(); ds.Deltas != 0 || ds.OverlayDocs != 0 {
+		t.Fatalf("compaction left delta state: %+v", ds)
+	}
+}
+
+// TestSnapshotLifecycleNoDeltas pins the pre-delta behavior behind
+// Options.DisableDeltas: writes only mark the snapshot stale and
+// Engine() repairs with a full rebuild.
+func TestSnapshotLifecycleNoDeltas(t *testing.T) {
+	p := refreshPlatform(t, 12, noDeltas)
+	if err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	first := p.Snapshot()
 	if err := p.Store().PutUser(hive.User{ID: "newbie", Name: "New"}); err != nil {
 		t.Fatal(err)
 	}
 	if !p.Stale() {
 		t.Fatal("store write did not mark snapshot stale")
 	}
-	// The serving snapshot is untouched until the next swap.
 	if p.Snapshot() != first {
 		t.Fatal("snapshot changed without a refresh")
 	}
-
 	eng, err := p.Engine() // read-your-writes: rebuilds because stale
 	if err != nil {
 		t.Fatal(err)
@@ -62,8 +130,29 @@ func TestSnapshotLifecycle(t *testing.T) {
 	if eng == first {
 		t.Fatal("Engine() returned the stale snapshot")
 	}
-	if p.Generation() != 2 || p.Stale() {
-		t.Fatalf("post-rebuild state: gen=%d stale=%v", p.Generation(), p.Stale())
+	if p.Stale() {
+		t.Fatalf("still stale after Engine(): gen=%d", p.Generation())
+	}
+}
+
+// TestPendingOverflowFallsBackToCompaction floods the event queue while
+// no snapshot exists: the queue overflows, staleness persists, and the
+// next refresh recovers everything with one full build.
+func TestPendingOverflowFallsBackToCompaction(t *testing.T) {
+	p := refreshPlatform(t, 8) // loader queues thousands of events pre-build
+	if !p.Stale() {
+		t.Fatal("want stale before the first build")
+	}
+	if err := p.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stale() {
+		t.Fatal("stale after compaction")
+	}
+	// Everything the flood wrote is served.
+	eng := p.Snapshot()
+	if eng == nil || len(p.Users()) < 8 {
+		t.Fatalf("snapshot incomplete after overflow compaction")
 	}
 }
 
@@ -139,7 +228,9 @@ func TestReadsServeOldSnapshotDuringRebuild(t *testing.T) {
 }
 
 func TestAutoRefresh(t *testing.T) {
-	p := refreshPlatform(t, 8)
+	// Deltas off: staleness persists until the auto loop compacts, which
+	// is exactly what this test observes.
+	p := refreshPlatform(t, 8, noDeltas)
 	if err := p.Refresh(); err != nil {
 		t.Fatal(err)
 	}
