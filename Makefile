@@ -5,9 +5,9 @@ GO      ?= go
 BENCHTIME ?= 200ms
 # Benchmark JSON stream for the current PR's perf record (uploaded as a
 # CI artifact so the trajectory accumulates across commits).
-BENCH_OUT ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr5.json
 
-.PHONY: build test race bench bench-ci fmt vet vuln race-nightly ci api-smoke
+.PHONY: build test race bench bench-ci fmt vet vuln race-nightly ci api-smoke repl-smoke
 
 build:
 	$(GO) build ./...
@@ -24,10 +24,11 @@ bench:
 # Short benchmark pass for CI: one data point per benchmark, JSON
 # stream captured as $(BENCH_OUT) so the perf trajectory accumulates.
 # Includes the frozen-vs-live micro-benchmarks (SearchVector,
-# TFIDFVector, RecommendPeers, RecommendResources) and the PR-4
-# delta-vs-rebuild pair — see EXPERIMENTS.md.
+# TFIDFVector, RecommendPeers, RecommendResources), the PR-4
+# delta-vs-rebuild pair, and the PR-5 journal append/replay
+# micro-benches — see EXPERIMENTS.md.
 bench-ci:
-	$(GO) test -json -bench=. -benchtime=$(BENCHTIME) -run='^$$' . | tee $(BENCH_OUT)
+	$(GO) test -json -bench=. -benchtime=$(BENCHTIME) -run='^$$' . ./internal/journal | tee $(BENCH_OUT)
 
 # Static analysis beyond vet: CI installs govulncheck on the runner;
 # locally this degrades to a warning when the tool is absent.
@@ -35,10 +36,12 @@ vuln:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 	else echo "govulncheck not installed; skipping (CI runs it)"; fi
 
-# Nightly-strength race pass: the delta interleaving property test at a
-# higher -count, catching rare schedules the per-PR run might miss.
+# Nightly-strength race pass: the delta interleaving property tests and
+# the leader/follower convergence test at a higher -count, catching rare
+# schedules the per-PR run might miss.
 race-nightly:
 	$(GO) test -race -run 'TestDeltaInterleavingParity|TestDeltaNeverObservesTornBatch|TestSegmentedParity' -count=5 ./internal/core/ ./internal/textindex/
+	$(GO) test -race -run 'TestLeaderFollowerConvergence' -count=5 ./internal/server/
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -52,5 +55,13 @@ vet:
 api-smoke:
 	$(GO) build -o bin/hived ./cmd/hived
 	$(GO) run ./cmd/apismoke -hived bin/hived
+
+# Two-node replication check: boot a durable leader and a follower
+# tailing it, write to the leader, read from the follower until
+# converged (< 1s propagation bound), and assert the not_leader
+# envelope on follower writes.
+repl-smoke:
+	$(GO) build -o bin/hived ./cmd/hived
+	$(GO) run ./cmd/apismoke -hived bin/hived -follow
 
 ci: build vet fmt race

@@ -35,6 +35,13 @@ const (
 	CodeOverloaded = "overloaded"
 	// CodeRateLimited: the request-rate limit was hit (HTTP 429).
 	CodeRateLimited = "rate_limited"
+	// CodeNotLeader: a write was sent to a replication follower; the
+	// error's details carry the leader's URL under "leader" (HTTP 409).
+	CodeNotLeader = "not_leader"
+	// CodeCompacted: a replication read asked for journal sequences
+	// dropped by retention; the follower must re-bootstrap from the
+	// snapshot endpoint (HTTP 410).
+	CodeCompacted = "compacted"
 	// CodeInternal: unclassified server failure (HTTP 500).
 	CodeInternal = "internal"
 )

@@ -36,6 +36,12 @@ type (
 	WorkpadItem = social.WorkpadItem
 	// Event is one activity-stream entry (feeds, tag fan-out).
 	Event = social.Event
+	// ChangeEvent is one typed change-log entry (replication feed).
+	ChangeEvent = social.ChangeEvent
+	// ReplicationBatch is one journaled change batch: sequence range,
+	// typed events, and the raw kv write image followers apply verbatim
+	// (GET /replication/events).
+	ReplicationBatch = social.ReplicationBatch
 
 	// Explanation answers GET /relationship.
 	Explanation = core.Explanation
@@ -122,6 +128,40 @@ type RefreshResponse struct {
 	Delta  *DeltaHealth `json:"delta,omitempty"`
 }
 
+// Replication roles reported by healthz.
+const (
+	RoleLeader   = "leader"
+	RoleFollower = "follower"
+)
+
+// ReplicationHealth reports a node's replication state: its role, the
+// durable journal's addressable range, and — on followers — how far
+// behind the leader it is. LagEvents is the number of change events the
+// leader has journaled that this follower has not yet folded into its
+// serving snapshot; it is computed from the tail observed on the most
+// recent poll, so it is an at-least bound while disconnected.
+type ReplicationHealth struct {
+	Role string `json:"role"`
+	// JournalOldest/JournalTail bound the locally readable journal
+	// range; JournalSegments counts its segment files. All zero when
+	// the store is in-memory (no journal, cannot lead).
+	JournalOldest   uint64 `json:"journal_oldest"`
+	JournalTail     uint64 `json:"journal_tail"`
+	JournalSegments int    `json:"journal_segments"`
+	// JournalError surfaces a failing journal append (stalls followers
+	// but does not fail writes).
+	JournalError string `json:"journal_error,omitempty"`
+
+	// Follower-only fields.
+	LeaderURL  string `json:"leader_url,omitempty"`
+	AppliedSeq uint64 `json:"applied_seq,omitempty"`
+	LeaderTail uint64 `json:"leader_tail,omitempty"`
+	LagEvents  uint64 `json:"lag_events,omitempty"`
+	// LastReplicationError reports the tail loop's most recent failure
+	// (reconnecting with backoff when set).
+	LastReplicationError string `json:"last_replication_error,omitempty"`
+}
+
 // Health is the GET /healthz response: liveness plus snapshot freshness.
 type Health struct {
 	Status     string `json:"status"`
@@ -135,9 +175,35 @@ type Health struct {
 	// segment — the lock-free read representation queries serve from
 	// (0 when no snapshot is live). Overlay documents are counted
 	// separately in Delta.
-	FrozenDocs       int         `json:"frozen_docs"`
-	Delta            DeltaHealth `json:"delta"`
-	LastRefreshError string      `json:"last_refresh_error,omitempty"`
+	FrozenDocs       int               `json:"frozen_docs"`
+	Delta            DeltaHealth       `json:"delta"`
+	Replication      ReplicationHealth `json:"replication"`
+	LastRefreshError string            `json:"last_refresh_error,omitempty"`
+}
+
+// ReplicationEvents is the GET /replication/events response: the
+// journaled batches after the requested sequence, plus the responding
+// node's journal tail so the poller can compute its lag. An empty
+// Batches with Tail == from means the poller is caught up (a long-poll
+// that timed out).
+type ReplicationEvents struct {
+	Batches []ReplicationBatch `json:"batches,omitempty"`
+	Tail    uint64             `json:"tail"`
+}
+
+// ReplicationSnapshot is the GET /replication/snapshot response: the
+// full kv image a follower bootstraps from and the change-sequence
+// watermark it covers (tail the journal from Seq). Values are base64 in
+// JSON per encoding/json's []byte convention.
+type ReplicationSnapshot struct {
+	Seq     uint64    `json:"seq"`
+	Entries []KVEntry `json:"entries"`
+}
+
+// KVEntry is one key-value pair of a replication snapshot.
+type KVEntry struct {
+	Key   string `json:"k"`
+	Value []byte `json:"v"`
 }
 
 // Batch entity kinds accepted by POST /batch.

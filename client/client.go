@@ -21,6 +21,7 @@ import (
 	"net/url"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hive/api"
 )
@@ -470,6 +471,36 @@ func (c *Client) KnowledgePaths(ctx context.Context, a, b string, k int) ([]api.
 		q.Set("k", fmt.Sprint(k))
 	}
 	err := c.getKnowledge(ctx, "/api/v1/knowledge/paths", q, &out)
+	return out, err
+}
+
+// --- Replication --------------------------------------------------------------
+
+// ReplicationEvents polls the node's change journal for batches after
+// sequence `from`. A positive wait long-polls: the server holds the
+// request until new events arrive or the wait elapses (bounded
+// server-side), so tailing followers see sub-second propagation without
+// hammering the endpoint. A `compacted` error (api.CodeCompacted) means
+// the range was dropped by retention — re-bootstrap via
+// ReplicationSnapshot.
+func (c *Client) ReplicationEvents(ctx context.Context, from uint64, max int, wait time.Duration) (api.ReplicationEvents, error) {
+	var out api.ReplicationEvents
+	q := url.Values{"from": {fmt.Sprint(from)}}
+	if max > 0 {
+		q.Set("max", fmt.Sprint(max))
+	}
+	if wait > 0 {
+		q.Set("wait_ms", fmt.Sprint(wait.Milliseconds()))
+	}
+	err := c.get(ctx, "/api/v1/replication/events", q, &out)
+	return out, err
+}
+
+// ReplicationSnapshot fetches the full bootstrap image: the node's
+// entire kv state plus the change-sequence watermark to tail from.
+func (c *Client) ReplicationSnapshot(ctx context.Context) (api.ReplicationSnapshot, error) {
+	var out api.ReplicationSnapshot
+	err := c.get(ctx, "/api/v1/replication/snapshot", nil, &out)
 	return out, err
 }
 

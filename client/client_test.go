@@ -1,4 +1,4 @@
-package client
+package client_test
 
 import (
 	"context"
@@ -9,10 +9,11 @@ import (
 
 	"hive"
 	"hive/api"
+	"hive/client"
 	"hive/internal/server"
 )
 
-func newClient(t *testing.T, opts ...Option) (*Client, *hive.Platform) {
+func newClient(t *testing.T, opts ...client.Option) (*client.Client, *hive.Platform) {
 	t.Helper()
 	p, err := hive.Open(hive.Options{})
 	if err != nil {
@@ -23,11 +24,11 @@ func newClient(t *testing.T, opts ...Option) (*Client, *hive.Platform) {
 		ts.Close()
 		p.Close()
 	})
-	return New(ts.URL, opts...), p
+	return client.New(ts.URL, opts...), p
 }
 
 // seedSDK drives the Zach scenario entirely through the SDK.
-func seedSDK(t *testing.T, c *Client) {
+func seedSDK(t *testing.T, c *client.Client) {
 	t.Helper()
 	ctx := context.Background()
 	must := func(err error) {
@@ -208,7 +209,7 @@ func TestSDKBatch(t *testing.T) {
 // TestSDKETagCache: repeated knowledge reads of an unchanged snapshot
 // are served via 304 revalidation.
 func TestSDKETagCache(t *testing.T) {
-	c, p := newClient(t, WithETagCache())
+	c, p := newClient(t, client.WithETagCache())
 	ctx := context.Background()
 	seedSDK(t, c)
 	if err := p.Refresh(); err != nil {
@@ -257,7 +258,7 @@ func TestCollect(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	all, err := Collect(ctx, func(cur string) (api.Page[string], error) {
+	all, err := client.Collect(ctx, func(cur string) (api.Page[string], error) {
 		return c.Users(ctx, cur, 4)
 	})
 	if err != nil || len(all) != n {

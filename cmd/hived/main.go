@@ -6,6 +6,7 @@
 //	hived [-addr :8080] [-data DIR] [-seed users] [-compact-interval 30s]
 //	      [-no-deltas] [-workers N] [-timeout 30s] [-max-inflight N]
 //	      [-qps N] [-quiet] [-pprof ADDR]
+//	      [-follow URL] [-journal-retention N]
 //
 // The API is served under /api/v1 (typed DTOs, cursor pagination,
 // structured errors, conditional knowledge GETs, POST /api/v1/batch
@@ -24,17 +25,23 @@
 // the previous snapshot for the whole rebuild. A compaction can also be
 // requested over HTTP: POST /api/v1/admin/refresh (async; add ?wait=true
 // to block until the swap), and GET /api/v1/healthz reports the serving
-// snapshot's generation, age, staleness, overlay size, pending events
-// and delta latency.
+// snapshot's generation, age, staleness, overlay size, pending events,
+// delta latency, and the node's replication role and lag.
 //
-// -refresh is the deprecated former name of -compact-interval (it only
-// ever controlled the full-rebuild cadence); it keeps working for one
-// release and logs a pointer to the new flag. -no-deltas restores the
-// pre-delta behavior (writes mark the snapshot stale; only full rebuilds
-// repair it).
+// Replication: a durable node (-data) journals every change batch and
+// serves it at GET /api/v1/replication/events; -follow URL boots this
+// node as a read-only *follower* of the leader at URL — it bootstraps
+// from the leader's snapshot, tails its journal (reconnecting with
+// backoff), serves the full read API with observable lag, and rejects
+// writes with the not_leader error envelope naming the leader.
+// -journal-retention bounds how many closed journal segments the node
+// keeps (default 8 × 4MiB): followers that fall further behind
+// re-bootstrap from the snapshot automatically.
 //
-// -timeout, -max-inflight and -qps wire the middleware stack's
-// operational limits (0 disables each); -quiet drops the access log.
+// -no-deltas restores the pre-delta behavior (writes mark the snapshot
+// stale; only full rebuilds repair it). -timeout, -max-inflight and
+// -qps wire the middleware stack's operational limits (0 disables
+// each); -quiet drops the access log.
 //
 // With -pprof ADDR (off by default), net/http/pprof profiling handlers
 // are exposed on a separate listener under /debug/pprof/, kept off the
@@ -60,8 +67,10 @@ func main() {
 	seed := flag.Int("seed", 0, "generate a synthetic workload with this many users")
 	compactInterval := flag.Duration("compact-interval", 30*time.Second,
 		"background compaction (full rebuild) interval, run while due (0 = disabled)")
-	refresh := flag.Duration("refresh", 0,
-		"deprecated alias of -compact-interval (kept one release)")
+	follow := flag.String("follow", "",
+		"run as a replication follower of the leader at this base URL (read-only node)")
+	journalRetention := flag.Int("journal-retention", 0,
+		"closed change-journal segments to retain (0 = default 8)")
 	noDeltas := flag.Bool("no-deltas", false,
 		"disable incremental snapshot maintenance (writes wait for the next full rebuild)")
 	workers := flag.Int("workers", 0, "engine rebuild parallelism (0 = GOMAXPROCS)")
@@ -87,22 +96,26 @@ func main() {
 		}()
 	}
 
-	// flag.Visit (not a zero check): `-refresh 0` historically meant
-	// "disable the background rebuild loop" and must keep meaning that.
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "refresh" {
-			log.Printf("warning: -refresh is deprecated, use -compact-interval (same meaning: full-rebuild cadence)")
-			*compactInterval = *refresh
-		}
+	p, err := hive.Open(hive.Options{
+		Dir:           *data,
+		Workers:       *workers,
+		DisableDeltas: *noDeltas,
+		FollowURL:     *follow,
+		JournalRetain: *journalRetention,
 	})
-
-	p, err := hive.Open(hive.Options{Dir: *data, Workers: *workers, DisableDeltas: *noDeltas})
 	if err != nil {
 		log.Fatalf("open platform: %v", err)
 	}
 	defer p.Close()
 
-	if *seed > 0 {
+	if *follow != "" {
+		// A follower's state comes from the leader: Open already
+		// bootstrapped and built the serving snapshot.
+		log.Printf("following leader at %s (applied seq %d)", *follow, p.ReplicationApplied())
+		if *seed > 0 {
+			log.Printf("warning: -seed ignored in follower mode (state replicates from the leader)")
+		}
+	} else if *seed > 0 {
 		ds := workload.Generate(workload.Config{Seed: 42, Users: *seed})
 		// Seeding runs in-process before serving: one batched store pass,
 		// one snapshot invalidation.
@@ -112,8 +125,10 @@ func main() {
 		log.Printf("seeded %d users, %d papers, %d sessions",
 			len(ds.Users), len(ds.Papers), len(ds.Sessions))
 	}
-	if err := p.Refresh(); err != nil {
-		log.Fatalf("build knowledge engine: %v", err)
+	if *follow == "" {
+		if err := p.Refresh(); err != nil {
+			log.Fatalf("build knowledge engine: %v", err)
+		}
 	}
 	if eng := p.Snapshot(); eng != nil {
 		log.Printf("knowledge engine ready in %v (generation %d)", eng.BuildDuration(), p.Generation())

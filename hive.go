@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"hive/internal/core"
+	"hive/internal/journal"
 	"hive/internal/rdf"
 	"hive/internal/social"
 	"hive/internal/summarize"
@@ -149,6 +150,9 @@ func (cp CompactionPolicy) withDefaults() CompactionPolicy {
 // Options configures Open.
 type Options struct {
 	// Dir is the storage directory; empty means in-memory (non-durable).
+	// Durable platforms journal every change batch under Dir/journal —
+	// the feed replication followers tail; an in-memory platform cannot
+	// lead a replica set.
 	Dir string
 	// Clock overrides the time source (tests, replay). Nil = wall clock.
 	Clock func() time.Time
@@ -161,6 +165,22 @@ type Options struct {
 	DisableDeltas bool
 	// Compaction tunes when the delta pipeline schedules a full build.
 	Compaction CompactionPolicy
+
+	// FollowURL puts the platform in follower mode: it bootstraps from
+	// the leader's replication snapshot at this base URL, tails the
+	// leader's change journal, folds each batch into its serving
+	// snapshot, and rejects writes with a NotLeaderError. Open blocks
+	// until the initial bootstrap succeeds; afterwards the tail loop
+	// reconnects with backoff.
+	FollowURL string
+	// JournalSegmentBytes rotates journal segments past this size
+	// (0 = default 4MiB).
+	JournalSegmentBytes int64
+	// JournalRetain bounds how many closed journal segments are kept
+	// (0 = default 8). Together with JournalSegmentBytes it fixes how
+	// far a disconnected follower may fall behind before it must
+	// re-bootstrap from a snapshot.
+	JournalRetain int
 }
 
 // Platform is the assembled Hive instance.
@@ -204,6 +224,11 @@ type Platform struct {
 	autoMu   sync.Mutex // guards autoStop
 	autoStop chan struct{}
 	autoDone chan struct{}
+
+	// follow is non-nil in follower mode (Options.FollowURL): the
+	// platform tails a leader's change journal instead of accepting
+	// writes. See replication.go.
+	follow *follower
 }
 
 // refreshFlight coalesces concurrent maintenance into one run. full
@@ -218,9 +243,15 @@ type refreshFlight struct {
 // success).
 type refreshErr struct{ err error }
 
-// Open creates or opens a platform.
+// Open creates or opens a platform. With Options.FollowURL set it
+// opens in follower mode: bootstrap from the leader, then tail its
+// journal (Open returns after the initial bootstrap built a serving
+// snapshot, so a returned follower immediately answers reads).
 func Open(opts Options) (*Platform, error) {
-	st, err := social.Open(opts.Dir, social.Clock(opts.Clock))
+	st, err := social.OpenJournaled(opts.Dir, social.Clock(opts.Clock), journal.Options{
+		SegmentBytes: opts.JournalSegmentBytes,
+		Retain:       opts.JournalRetain,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -234,18 +265,27 @@ func Open(opts Options) (*Platform, error) {
 	// bypass the Platform wrappers and hit Store() directly. The
 	// subscription queues the events and (unless deltas are disabled)
 	// folds them into the serving snapshot before the write returns.
+	// On a follower the same path fires when replicated batches are
+	// folded in, so deltas flow identically on both roles.
 	st.OnChange(p.onChange)
+	if opts.FollowURL != "" {
+		if err := p.startFollowing(opts.FollowURL); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
 	return p, nil
 }
 
 // ErrClosed is returned by refresh operations after Close.
 var ErrClosed = errors.New("hive: platform closed")
 
-// Close stops auto-refresh, waits for any in-flight maintenance and
-// releases the underlying storage. It is a quiescence point: once the
-// closed mark is set no new rebuild can start, so after Close returns
-// nothing reads the store anymore.
+// Close stops the follower tail loop (if any) and auto-refresh, waits
+// for any in-flight maintenance and releases the underlying storage. It
+// is a quiescence point: once the closed mark is set no new rebuild can
+// start, so after Close returns nothing reads the store anymore.
 func (p *Platform) Close() error {
+	p.stopFollowing()
 	p.StopAutoRefresh()
 	p.flightMu.Lock()
 	p.closed = true

@@ -37,6 +37,22 @@ type Store struct {
 	// walRecords counts records appended since the last compaction; used
 	// by MaybeCompact.
 	walRecords int
+	// writeHook, when set, observes every committed write (see
+	// SetWriteHook).
+	writeHook func(key string, val []byte, del bool)
+}
+
+// SetWriteHook registers a single observer invoked once per committed
+// write — after the WAL append and memory update, under the store lock,
+// so the hook sees writes in commit order. The hook must be fast and
+// must not call back into the store. It exists so a higher layer (the
+// social store's replication journal) can capture the exact byte-level
+// image of each write batch; ApplyQuiet bypasses it for writes that are
+// themselves replicas.
+func (s *Store) SetWriteHook(fn func(key string, val []byte, del bool)) {
+	s.mu.Lock()
+	s.writeHook = fn
+	s.mu.Unlock()
 }
 
 // Open opens (creating if necessary) a store rooted at dir. If dir is
@@ -89,6 +105,9 @@ func (s *Store) Put(key string, val []byte) error {
 		s.walRecords++
 	}
 	s.mem[key] = append([]byte(nil), val...)
+	if s.writeHook != nil {
+		s.writeHook(key, val, false)
+	}
 	return nil
 }
 
@@ -131,6 +150,9 @@ func (s *Store) Delete(key string) error {
 		s.walRecords++
 	}
 	delete(s.mem, key)
+	if s.writeHook != nil {
+		s.writeHook(key, nil, true)
+	}
 	return nil
 }
 
@@ -208,7 +230,15 @@ func (b *Batch) Delete(key string) *Batch {
 func (b *Batch) Len() int { return len(b.puts) + len(b.deletes) }
 
 // Apply commits the batch.
-func (s *Store) Apply(b *Batch) error {
+func (s *Store) Apply(b *Batch) error { return s.apply(b, true) }
+
+// ApplyQuiet commits the batch without invoking the write hook. It is
+// the replica-apply path: a follower folding a leader's write batch in
+// must not re-capture it for its own outbound journal record (the
+// replicated record is appended verbatim instead).
+func (s *Store) ApplyQuiet(b *Batch) error { return s.apply(b, false) }
+
+func (s *Store) apply(b *Batch, hook bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -232,9 +262,56 @@ func (s *Store) Apply(b *Batch) error {
 	}
 	for k, v := range b.puts {
 		s.mem[k] = append([]byte(nil), v...)
+		if hook && s.writeHook != nil {
+			s.writeHook(k, v, false)
+		}
 	}
 	for k := range b.deletes {
 		delete(s.mem, k)
+		if hook && s.writeHook != nil {
+			s.writeHook(k, nil, true)
+		}
+	}
+	return nil
+}
+
+// ImportSnapshot atomically replaces the store's entire contents with
+// entries — the replication-bootstrap path: a follower loads the
+// leader's full key-value image before tailing its journal. On durable
+// stores the new state is persisted as a snapshot file and the WAL is
+// reset, so a crashed follower reopens into the imported state. The
+// write hook is not invoked (imports are replicas by definition).
+//
+// Crash ordering: the old WAL belongs to the *discarded* state, so it
+// must be gone before the new snapshot file is installed — otherwise a
+// crash in between would make reopen replay stale records on top of
+// the imported image (unlike Compact, where WAL contents are a subset
+// of the snapshot and replay is idempotent). The snapshot is staged to
+// a temp file first, so the sequence old-state → no-WAL-old-snapshot →
+// imported-state only ever passes through self-consistent states.
+func (s *Store) ImportSnapshot(entries map[string][]byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	mem := make(map[string][]byte, len(entries))
+	for k, v := range entries {
+		mem[k] = append([]byte(nil), v...)
+	}
+	s.mem = mem
+	if s.dir == "" {
+		return nil
+	}
+	tmp, err := s.stageSnapshotLocked()
+	if err != nil {
+		return err
+	}
+	if err := s.resetWALLocked(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+		return fmt.Errorf("kvstore: rename snapshot: %w", err)
 	}
 	return nil
 }
@@ -253,6 +330,11 @@ func (s *Store) Compact() error {
 	if err := s.writeSnapshotLocked(); err != nil {
 		return err
 	}
+	return s.resetWALLocked()
+}
+
+// resetWALLocked closes, deletes and re-creates the WAL.
+func (s *Store) resetWALLocked() error {
 	if err := s.wal.close(); err != nil {
 		return err
 	}
@@ -298,6 +380,20 @@ func (s *Store) Close() error {
 // writeSnapshotLocked persists the in-memory table atomically via a temp
 // file + rename.
 func (s *Store) writeSnapshotLocked() error {
+	tmp, err := s.stageSnapshotLocked()
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+		return fmt.Errorf("kvstore: rename snapshot: %w", err)
+	}
+	return nil
+}
+
+// stageSnapshotLocked writes the in-memory table to the snapshot temp
+// file and returns its path; the caller renames it into place when its
+// crash-ordering constraints are satisfied.
+func (s *Store) stageSnapshotLocked() (string, error) {
 	tmp := s.snapshotPath() + ".tmp"
 	var buf bytes.Buffer
 	keys := make([]string, 0, len(s.mem))
@@ -309,12 +405,9 @@ func (s *Store) writeSnapshotLocked() error {
 		writeRecord(&buf, opPut, []byte(k), s.mem[k])
 	}
 	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
-		return fmt.Errorf("kvstore: write snapshot: %w", err)
+		return "", fmt.Errorf("kvstore: write snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
-		return fmt.Errorf("kvstore: rename snapshot: %w", err)
-	}
-	return nil
+	return tmp, nil
 }
 
 func (s *Store) loadSnapshot() error {

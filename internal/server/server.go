@@ -30,6 +30,7 @@ import (
 	"hive"
 	"hive/api"
 	"hive/internal/core"
+	"hive/internal/journal"
 	"hive/internal/social"
 	"hive/internal/textindex"
 )
@@ -97,17 +98,21 @@ func NewWith(p *hive.Platform, cfg Config) *Server {
 	}
 	mws = append(mws, Recover(errLog))
 	if cfg.Timeout > 0 {
-		mws = append(mws, timeoutExcept(cfg.Timeout, timeoutExempt))
+		mws = append(mws, exceptPaths(Timeout(cfg.Timeout), timeoutExempt))
 	}
+	// Replication traffic is exempt from the load limits: the events
+	// feed parks by design (each connected follower would permanently
+	// burn one in-flight slot), and a rate-limited or shed poll
+	// inflates replication lag exactly when the leader is busiest.
 	if cfg.MaxInFlight > 0 {
-		mws = append(mws, MaxInFlight(cfg.MaxInFlight))
+		mws = append(mws, exceptPaths(MaxInFlight(cfg.MaxInFlight), replicationPath))
 	}
 	if cfg.QPS > 0 {
 		burst := cfg.Burst
 		if burst <= 0 {
 			burst = int(cfg.QPS)
 		}
-		mws = append(mws, RateLimit(cfg.QPS, burst))
+		mws = append(mws, exceptPaths(RateLimit(cfg.QPS, burst), replicationPath))
 	}
 	if !cfg.DisableGzip {
 		mws = append(mws, Gzip)
@@ -129,20 +134,33 @@ func timeoutExempt(path string) bool {
 	case "/api/v1/batch", "/api/v1/admin/refresh", "/api/admin/refresh", "/api/refresh":
 		return true
 	}
+	// The replication feed long-polls by design (a caught-up follower
+	// parks here until the leader writes), and the bootstrap snapshot
+	// scales with the dataset.
+	return replicationPath(path)
+}
+
+// replicationPath marks the replication endpoints, which are exempt
+// from the per-request operational limits (see NewWith).
+func replicationPath(path string) bool {
+	switch path {
+	case "/api/v1/replication/events", "/api/v1/replication/snapshot":
+		return true
+	}
 	return false
 }
 
-// timeoutExcept applies the Timeout middleware to all requests except
-// those whose path the exempt predicate accepts.
-func timeoutExcept(d time.Duration, exempt func(string) bool) Middleware {
+// exceptPaths applies mw to all requests except those whose path the
+// exempt predicate accepts.
+func exceptPaths(mw Middleware, exempt func(string) bool) Middleware {
 	return func(next http.Handler) http.Handler {
-		timed := Timeout(d)(next)
+		limited := mw(next)
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			if exempt(r.URL.Path) {
 				next.ServeHTTP(w, r)
 				return
 			}
-			timed.ServeHTTP(w, r)
+			limited.ServeHTTP(w, r)
 		})
 	}
 }
@@ -211,6 +229,17 @@ func (s *Server) routes() {
 	m.HandleFunc("POST /api/v1/workpads/{id}/activate", s.postWorkpadActivate)
 	m.HandleFunc("POST /api/v1/batch", s.postBatch)
 	m.HandleFunc("POST /api/v1/admin/refresh", s.postAdminRefresh)
+
+	// --- /api/v1: replication ------------------------------------------------
+	// The journal feed and the bootstrap snapshot. Served by any
+	// journaled node (followers can chain); in-memory nodes answer with
+	// a typed error. Writes on a follower are rejected by the platform
+	// wrappers themselves (NotLeaderError -> not_leader envelope), so
+	// every mutation route above is follower-safe without per-route
+	// guards; postBatch checks explicitly because it drives the store
+	// directly.
+	m.HandleFunc("GET /api/v1/replication/events", s.getReplicationEvents)
+	m.HandleFunc("GET /api/v1/replication/snapshot", s.getReplicationSnapshot)
 
 	// --- /api/v1: reads ----------------------------------------------------
 	m.HandleFunc("GET /api/v1/healthz", s.getHealthz)
@@ -437,6 +466,82 @@ func etagMatch(header, tag string) bool {
 	return false
 }
 
+// --- Replication ---------------------------------------------------------------
+
+// maxReplWait bounds the long-poll hold time so a follower's request
+// never parks indefinitely on a quiet leader.
+const (
+	maxReplWait     = 30 * time.Second
+	defaultReplMax  = 256
+	maxReplBatchReq = 4096
+)
+
+// getReplicationEvents serves the change-journal feed: batches after
+// ?from=SEQ, up to ?max, long-polling up to ?wait_ms when the caller is
+// caught up. 410 gone + code "compacted" means retention dropped the
+// range and the follower must re-bootstrap from the snapshot endpoint.
+func (s *Server) getReplicationEvents(w http.ResponseWriter, r *http.Request) {
+	from, err := uintParam(r, "from")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument, "bad from: "+err.Error())
+		return
+	}
+	max := intParam(r, "max", defaultReplMax, 1, maxReplBatchReq)
+	waitMS := intParam(r, "wait_ms", 0, 0, int(maxReplWait.Milliseconds()))
+	batches, tail, err := s.p.ReplicationFeed(r.Context(), from, max, time.Duration(waitMS)*time.Millisecond)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ReplicationEvents{Batches: batches, Tail: tail})
+}
+
+// getReplicationSnapshot serves the full bootstrap image. The sequence
+// watermark is captured before the state scan, so a follower tailing
+// from it can only re-apply batches, never miss one.
+func (s *Server) getReplicationSnapshot(w http.ResponseWriter, r *http.Request) {
+	seq, entries, err := s.p.ReplicationSnapshot()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := api.ReplicationSnapshot{Seq: seq, Entries: make([]api.KVEntry, 0, len(entries))}
+	for k, v := range entries {
+		out.Entries = append(out.Entries, api.KVEntry{Key: k, Value: v})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// uintParam parses a required non-negative integer query parameter.
+func uintParam(r *http.Request, name string) (uint64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(v, 10, 64)
+}
+
+// replicationHealth assembles the role/lag report for healthz.
+func (s *Server) replicationHealth() api.ReplicationHealth {
+	rh := api.ReplicationHealth{Role: api.RoleLeader}
+	st := s.p.Store()
+	rh.JournalOldest, rh.JournalTail, rh.JournalSegments = st.JournalStats()
+	if err := st.JournalError(); err != nil {
+		rh.JournalError = err.Error()
+	}
+	if s.p.IsFollower() {
+		rh.Role = api.RoleFollower
+		rh.LeaderURL = s.p.LeaderURL()
+		rh.AppliedSeq = s.p.ReplicationApplied()
+		rh.LeaderTail = s.p.ReplicationLeaderTail()
+		rh.LagEvents = s.p.ReplicationLag()
+		if err := s.p.LastReplicationError(); err != nil {
+			rh.LastReplicationError = err.Error()
+		}
+	}
+	return rh
+}
+
 // --- Health & refresh ---------------------------------------------------------
 
 // deltaHealth assembles the incremental-maintenance report shared by
@@ -468,10 +573,11 @@ func (s *Server) deltaHealth() api.DeltaHealth {
 // overlay is current regardless of base age.
 func (s *Server) getHealthz(w http.ResponseWriter, r *http.Request) {
 	out := api.Health{
-		Status:     "ok",
-		Generation: s.p.Generation(),
-		Stale:      s.p.Stale(),
-		Delta:      s.deltaHealth(),
+		Status:      "ok",
+		Generation:  s.p.Generation(),
+		Stale:       s.p.Stale(),
+		Delta:       s.deltaHealth(),
+		Replication: s.replicationHealth(),
 	}
 	if eng := s.p.Snapshot(); eng != nil {
 		out.Snapshot = true
@@ -522,6 +628,13 @@ func (s *Server) postAdminRefresh(w http.ResponseWriter, r *http.Request) {
 // order (put dependencies first) and independently: a failed element is
 // reported in the response without aborting the rest.
 func (s *Server) postBatch(w http.ResponseWriter, r *http.Request) {
+	// The batch applier drives the store directly, bypassing the
+	// platform's follower guard — reject here so a follower never forks
+	// from its leader.
+	if s.p.IsFollower() {
+		writeErr(w, &hive.NotLeaderError{Leader: s.p.LeaderURL()})
+		return
+	}
 	var req api.BatchRequest
 	if !decodeBody(w, r, &req, maxBatchBody) {
 		return
@@ -850,27 +963,40 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 
 // apiError maps a domain error to its wire form.
 func apiError(err error) *api.Error {
-	code, _ := classify(err)
-	return &api.Error{Code: code, Message: err.Error()}
+	ae, _ := classify(err)
+	return ae
 }
 
-// classify maps domain errors to stable (code, HTTP status) pairs — the
-// machine-readable half of the v1 contract.
-func classify(err error) (string, int) {
+// classify maps domain errors to stable (error envelope, HTTP status)
+// pairs — the machine-readable half of the v1 contract. Structured
+// details ride along where the caller can act on them (the leader URL
+// behind a not_leader rejection).
+func classify(err error) (*api.Error, int) {
+	var nle *hive.NotLeaderError
 	switch {
+	case errors.As(err, &nle):
+		return &api.Error{
+			Code:    api.CodeNotLeader,
+			Message: err.Error(),
+			Details: map[string]any{"leader": nle.Leader},
+		}, http.StatusConflict
+	case errors.Is(err, journal.ErrCompacted):
+		return &api.Error{Code: api.CodeCompacted, Message: err.Error()}, http.StatusGone
 	case errors.Is(err, social.ErrNotFound),
 		errors.Is(err, core.ErrUnknownUser),
 		errors.Is(err, textindex.ErrDocNotFound):
-		return api.CodeNotFound, http.StatusNotFound
-	case errors.Is(err, social.ErrInvalid), errors.Is(err, api.ErrBadCursor):
-		return api.CodeInvalidArgument, http.StatusBadRequest
+		return &api.Error{Code: api.CodeNotFound, Message: err.Error()}, http.StatusNotFound
+	case errors.Is(err, social.ErrInvalid),
+		errors.Is(err, api.ErrBadCursor),
+		errors.Is(err, hive.ErrNoJournal):
+		return &api.Error{Code: api.CodeInvalidArgument, Message: err.Error()}, http.StatusBadRequest
 	default:
-		return api.CodeInternal, http.StatusInternalServerError
+		return &api.Error{Code: api.CodeInternal, Message: err.Error()}, http.StatusInternalServerError
 	}
 }
 
 // writeErr maps a domain error to HTTP status + envelope.
 func writeErr(w http.ResponseWriter, err error) {
-	code, status := classify(err)
-	writeJSON(w, status, api.ErrorResponse{Error: &api.Error{Code: code, Message: err.Error()}})
+	ae, status := classify(err)
+	writeJSON(w, status, api.ErrorResponse{Error: ae})
 }

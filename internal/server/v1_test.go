@@ -400,7 +400,7 @@ func TestBatchIngestSingleInvalidation(t *testing.T) {
 	ts, p := newTestServer(t)
 
 	var invalidations atomic.Int32
-	p.Store().OnMutate(func() { invalidations.Add(1) })
+	p.Store().OnChange(func([]hive.ChangeEvent) { invalidations.Add(1) })
 
 	entities := []api.BatchEntity{}
 	add := func(kind string, v any) {

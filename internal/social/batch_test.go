@@ -20,7 +20,7 @@ func TestBatchedFiresHooksOnce(t *testing.T) {
 	defer st.Close()
 
 	var fires atomic.Int32
-	st.OnMutate(func() { fires.Add(1) })
+	st.OnChange(func([]ChangeEvent) { fires.Add(1) })
 
 	const n = 20
 	err = st.Batched(func() error {
@@ -60,7 +60,7 @@ func TestBatchedFiresOnError(t *testing.T) {
 	defer st.Close()
 
 	var fires atomic.Int32
-	st.OnMutate(func() { fires.Add(1) })
+	st.OnChange(func([]ChangeEvent) { fires.Add(1) })
 
 	boom := errors.New("boom")
 	err = st.Batched(func() error {
@@ -86,7 +86,7 @@ func TestBatchedNests(t *testing.T) {
 	defer st.Close()
 
 	var fires atomic.Int32
-	st.OnMutate(func() { fires.Add(1) })
+	st.OnChange(func([]ChangeEvent) { fires.Add(1) })
 
 	err = st.Batched(func() error {
 		if err := st.PutUser(User{ID: "a"}); err != nil {

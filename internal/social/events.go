@@ -58,17 +58,23 @@ const (
 
 // ChangeEvent is one typed entry of the store's change log.
 //
-// Seq is a monotone in-memory sequence assigned at emission time (it is
-// not persisted and restarts at zero on reopen); consumers use it to
-// order events and to bound "applied up to" watermarks. ID identifies
+// Seq is a monotone sequence assigned at emission time; consumers use
+// it to order events and to bound "applied up to" watermarks. On
+// durable stores the change journal persists every delivered batch, so
+// Seq resumes where it left off after a reopen (in-memory stores
+// restart at zero). ID identifies
 // the touched entity within its type (edges use composite IDs, e.g.
 // "follower/followee"). Refs lists the related entity IDs an
 // incremental consumer needs to repair derived state (paper authors,
 // edge endpoints, workpad owners) without refetching the entity first.
+// ChangeEvents are also the unit of durability and replication: the
+// store journals every delivered batch (internal/journal), and the
+// leader/follower protocol ships batches by Seq — hence the JSON tags,
+// which are part of the replication wire format.
 type ChangeEvent struct {
-	Seq        uint64
-	Kind       ChangeKind
-	EntityType EntityType
-	ID         string
-	Refs       []string
+	Seq        uint64     `json:"seq"`
+	Kind       ChangeKind `json:"kind"`
+	EntityType EntityType `json:"entity"`
+	ID         string     `json:"id"`
+	Refs       []string   `json:"refs,omitempty"`
 }

@@ -1,0 +1,200 @@
+package social
+
+// Replication support: the store's change journal persists every
+// delivered ChangeEvent batch together with the raw kv writes that
+// produced it, so a follower can (1) bootstrap from a full kv snapshot
+// and (2) tail the journal, applying each batch's kv image verbatim —
+// its store becomes byte-identical to the leader's — and folding the
+// typed events into its serving snapshot through the ordinary delta
+// path. Events alone would not suffice: they carry IDs, not entity
+// bodies, and consumers refetch from the local store.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hive/internal/journal"
+	"hive/internal/kvstore"
+)
+
+// ReplicationBatch is one journaled change batch: the inclusive
+// sequence range, the typed events, and the kv-level write image. It is
+// both the journal's record payload and the replication wire format
+// (aliased by the api package).
+//
+// Events and kv writes are coalesced per delivery scope; under
+// concurrent writers a batch may carry kv writes whose events ride a
+// neighboring batch. That is harmless by construction: kv images apply
+// verbatim and in order, and events are refetch hints.
+type ReplicationBatch struct {
+	First  uint64            `json:"first"`
+	Last   uint64            `json:"last"`
+	Events []ChangeEvent     `json:"events"`
+	Puts   map[string][]byte `json:"puts,omitempty"`
+	Dels   []string          `json:"dels,omitempty"`
+}
+
+// Journaled reports whether the store has a durable change journal
+// (false for in-memory stores, which cannot lead a replica set).
+func (s *Store) Journaled() bool { return s.jn != nil }
+
+// JournalError returns the most recent journal-append failure, nil when
+// the journal is healthy or absent. A failing journal does not fail
+// writes (the kv WAL owns data durability) but it does stall followers,
+// so the server surfaces this in healthz.
+func (s *Store) JournalError() error {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	return s.jnErr
+}
+
+// JournalStats reports the journal's addressable range — oldest
+// readable sequence, tail sequence — and its segment count. All zeros
+// without a journal.
+func (s *Store) JournalStats() (oldest, tail uint64, segments int) {
+	if s.jn == nil {
+		return 0, 0, 0
+	}
+	return s.jn.Stats()
+}
+
+// ChangesSince reads up to max journaled batches containing events with
+// sequence numbers strictly greater than after. It returns
+// journal.ErrCompacted when the range was dropped by retention (the
+// caller must re-bootstrap from a snapshot) and an empty result when
+// the caller is caught up.
+func (s *Store) ChangesSince(after uint64, max int) ([]ReplicationBatch, error) {
+	if s.jn == nil {
+		return nil, fmt.Errorf("social: store has no change journal (in-memory store)")
+	}
+	recs, err := s.jn.ReadFrom(after, max)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ReplicationBatch, 0, len(recs))
+	for _, rec := range recs {
+		var rb ReplicationBatch
+		if err := json.Unmarshal(rec.Data, &rb); err != nil {
+			return nil, fmt.Errorf("social: decode journal batch [%d,%d]: %w", rec.First, rec.Last, err)
+		}
+		out = append(out, rb)
+	}
+	return out, nil
+}
+
+// WaitChanges blocks until the journal holds sequences greater than
+// after or done is closed, reporting whether new data arrived. It is
+// the long-poll primitive under the replication feed endpoint.
+func (s *Store) WaitChanges(done <-chan struct{}, after uint64) bool {
+	if s.jn == nil {
+		return false
+	}
+	return s.jn.WaitFrom(done, after)
+}
+
+// SnapshotForReplication captures the sequence watermark and the full
+// kv image a follower bootstraps from. The watermark is read *before*
+// the scan: writes racing the scan may already be visible in the image,
+// and the follower will simply re-apply their batches — re-applying a
+// kv image is idempotent and delta consumers refetch state anyway. The
+// reverse order could lose events forever.
+func (s *Store) SnapshotForReplication() (seq uint64, entries map[string][]byte) {
+	seq = s.ChangeSeq()
+	entries = make(map[string][]byte)
+	s.kv.Scan("", func(k string, v []byte) bool {
+		entries[k] = v
+		return true
+	})
+	return seq, entries
+}
+
+// ImportReplicaSnapshot atomically replaces the store's contents with a
+// leader snapshot and moves the change sequence to its watermark — in
+// either direction: an import replaces the world, so the watermark is
+// authoritative even when it is lower than the current sequence (the
+// re-sync-from-a-regressed-leader path). The local journal (if any) is
+// not rewritten; until the sequence passes its tail again, ApplyReplica
+// skips local re-journaling, which only degrades chaining.
+func (s *Store) ImportReplicaSnapshot(seq uint64, entries map[string][]byte) error {
+	if err := s.kv.ImportSnapshot(entries); err != nil {
+		return err
+	}
+	s.evMu.Lock()
+	s.changeSeq = seq
+	// Any capture accumulated before the import is now meaningless.
+	s.capPuts, s.capDels = nil, nil
+	s.evMu.Unlock()
+	// The imported counter key (meta/seq) was part of the image; adopt
+	// it (in either direction — the image is the world now) so activity
+	// sequences continue from it.
+	s.mu.Lock()
+	s.seq = 0
+	if raw, err := s.kv.Get(kSeq); err == nil {
+		var n uint64
+		if json.Unmarshal(raw, &n) == nil {
+			s.seq = n
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// ApplyReplica folds one replicated batch into the store: the kv image
+// applies verbatim (quietly — a replica must not re-capture the writes
+// for its own outbound record, the original record is appended
+// instead), the change sequence fast-forwards to the batch's Last, the
+// batch lands in the local journal (chaining and restart-resume), and
+// the events are delivered to subscribers so the platform folds them
+// into its serving snapshot via the ordinary delta path. Batches at or
+// below the current sequence are skipped (reconnect replays).
+func (s *Store) ApplyReplica(rb ReplicationBatch) error {
+	if rb.Last < rb.First || rb.First == 0 {
+		return fmt.Errorf("social: invalid replica batch range [%d,%d]", rb.First, rb.Last)
+	}
+	s.evMu.Lock()
+	if rb.Last <= s.changeSeq {
+		s.evMu.Unlock()
+		return nil // already applied
+	}
+	s.evMu.Unlock()
+
+	b := kvstore.NewBatch()
+	for k, v := range rb.Puts {
+		b.Put(k, v)
+	}
+	for _, k := range rb.Dels {
+		b.Delete(k)
+	}
+	if b.Len() > 0 {
+		if err := s.kv.ApplyQuiet(b); err != nil {
+			return err
+		}
+	}
+	// The imported image may carry a newer activity counter.
+	s.mu.Lock()
+	if raw, err := s.kv.Get(kSeq); err == nil {
+		var n uint64
+		if json.Unmarshal(raw, &n) == nil && n > s.seq {
+			s.seq = n
+		}
+	}
+	s.mu.Unlock()
+
+	s.evMu.Lock()
+	s.changeSeq = rb.Last
+	if s.jn != nil && s.jn.Tail() < rb.First {
+		data, err := json.Marshal(rb)
+		if err == nil {
+			err = s.jn.Append(journal.Record{First: rb.First, Last: rb.Last, Data: data})
+		}
+		if err != nil {
+			s.jnErr = fmt.Errorf("social: journal replica batch: %w", err)
+		} else {
+			s.jnErr = nil
+		}
+	}
+	s.evMu.Unlock()
+
+	s.deliver(rb.Events)
+	return nil
+}

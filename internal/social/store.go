@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hive/internal/journal"
 	"hive/internal/kvstore"
 )
 
@@ -69,11 +72,22 @@ type Store struct {
 	hookMu sync.RWMutex // guards subs
 	subs   []func([]ChangeEvent)
 
-	// evMu guards the change-event sequence counter and the per-batch
-	// event buffer.
+	// evMu guards the change-event sequence counter, the per-batch
+	// event buffer, the kv write-capture buffers and journal appends
+	// (appending under evMu keeps journal order identical to sequence
+	// order).
 	evMu      sync.Mutex
 	changeSeq uint64
 	evBuf     []ChangeEvent
+
+	// jn, when non-nil, durably journals every delivered change batch
+	// together with the raw kv writes that produced it — the
+	// replication feed. capPuts/capDels accumulate the kv image of the
+	// in-flight batch (filled by the kvstore write hook).
+	jn      *journal.Journal
+	capPuts map[string][]byte
+	capDels map[string]bool
+	jnErr   error // last journal-append failure (nil when healthy)
 
 	// batching defers event delivery inside Batched (and inside each
 	// multi-step mutator): the coalesced batch is delivered once when
@@ -94,19 +108,11 @@ func (s *Store) OnChange(fn func([]ChangeEvent)) {
 	s.hookMu.Unlock()
 }
 
-// OnMutate registers an untyped hook invoked once per delivered change
-// batch.
-//
-// Deprecated: use OnChange; this adapter remains one release for
-// callers that only need a dirty signal.
-func (s *Store) OnMutate(fn func()) {
-	s.OnChange(func([]ChangeEvent) { fn() })
-}
-
 // ChangeSeq returns the latest change-event sequence number assigned so
-// far (0 before the first mutation). Consumers use it as a watermark:
-// a full rebuild started after observing ChangeSeq() covers every event
-// with Seq at or below it.
+// far (0 before the first mutation on a fresh store; on durable stores
+// it resumes from the journal after a reopen). Consumers use it as a
+// watermark: a full rebuild started after observing ChangeSeq() covers
+// every event with Seq at or below it.
 func (s *Store) ChangeSeq() uint64 {
 	s.evMu.Lock()
 	defer s.evMu.Unlock()
@@ -129,8 +135,10 @@ func (s *Store) emit(kind ChangeKind, entity EntityType, id string, refs ...stri
 		s.evMu.Unlock()
 		return
 	}
+	evs := []ChangeEvent{ev}
+	s.journalLocked(evs)
 	s.evMu.Unlock()
-	s.deliver([]ChangeEvent{ev})
+	s.deliver(evs)
 }
 
 // flushEvents delivers the buffered batch, if any.
@@ -138,10 +146,50 @@ func (s *Store) flushEvents() {
 	s.evMu.Lock()
 	buf := s.evBuf
 	s.evBuf = nil
+	s.journalLocked(buf)
 	s.evMu.Unlock()
 	if len(buf) > 0 {
 		s.deliver(buf)
 	}
+}
+
+// journalLocked durably appends the batch about to be delivered — its
+// typed events plus the captured kv write image — to the change
+// journal. Called under evMu so journal records are strictly ordered by
+// sequence. A journal failure must not fail the write (the data itself
+// is already committed to the kv WAL): it is recorded for healthz and
+// the journal resumes at the next batch.
+func (s *Store) journalLocked(evs []ChangeEvent) {
+	if s.jn == nil {
+		return
+	}
+	if len(evs) == 0 {
+		// kv writes without change events (counter bumps riding a later
+		// batch) stay buffered until an event batch carries them.
+		return
+	}
+	puts, dels := s.capPuts, s.capDels
+	s.capPuts, s.capDels = nil, nil
+	rb := ReplicationBatch{
+		First:  evs[0].Seq,
+		Last:   evs[len(evs)-1].Seq,
+		Events: evs,
+		Puts:   puts,
+	}
+	for k := range dels {
+		rb.Dels = append(rb.Dels, k)
+	}
+	sort.Strings(rb.Dels)
+	data, err := json.Marshal(rb)
+	if err != nil {
+		s.jnErr = fmt.Errorf("social: encode journal batch: %w", err)
+		return
+	}
+	if err := s.jn.Append(journal.Record{First: rb.First, Last: rb.Last, Data: data}); err != nil {
+		s.jnErr = fmt.Errorf("social: journal append: %w", err)
+		return
+	}
+	s.jnErr = nil
 }
 
 func (s *Store) deliver(evs []ChangeEvent) {
@@ -198,17 +246,71 @@ func NewStore(kv *kvstore.Store, clock Clock) *Store {
 	return s
 }
 
-// Open opens a social store at dir ("" = in-memory).
+// Open opens a social store at dir ("" = in-memory). Durable stores get
+// a change journal with default retention; use OpenJournaled to tune it.
 func Open(dir string, clock Clock) (*Store, error) {
+	return OpenJournaled(dir, clock, journal.Options{})
+}
+
+// OpenJournaled opens a social store at dir with explicit journal
+// retention options. On durable stores every delivered change batch is
+// appended — events plus the raw kv writes that produced them — to the
+// journal at dir/journal, the change-event sequence resumes from the
+// journal tail (so delta watermarks and journal offsets agree across
+// restarts), and the journal is the feed replication followers tail.
+// In-memory stores (dir == "") have no journal.
+func OpenJournaled(dir string, clock Clock, jopts journal.Options) (*Store, error) {
 	kv, err := kvstore.Open(dir)
 	if err != nil {
 		return nil, err
 	}
-	return NewStore(kv, clock), nil
+	s := NewStore(kv, clock)
+	if dir == "" {
+		return s, nil
+	}
+	jn, err := journal.Open(filepath.Join(dir, "journal"), jopts)
+	if err != nil {
+		kv.Close()
+		return nil, err
+	}
+	s.jn = jn
+	// Resume the change sequence where the journal left off: events
+	// emitted after a restart must not collide with persisted offsets
+	// (a fresh-started counter would make journal offsets and delta
+	// watermarks disagree).
+	s.changeSeq = jn.Tail()
+	// Capture every committed kv write into the in-flight batch buffer;
+	// journalLocked drains it when the batch's events are delivered.
+	kv.SetWriteHook(func(key string, val []byte, del bool) {
+		s.evMu.Lock()
+		if del {
+			if s.capDels == nil {
+				s.capDels = map[string]bool{}
+			}
+			s.capDels[key] = true
+			delete(s.capPuts, key)
+		} else {
+			if s.capPuts == nil {
+				s.capPuts = map[string][]byte{}
+			}
+			s.capPuts[key] = append([]byte(nil), val...)
+			delete(s.capDels, key)
+		}
+		s.evMu.Unlock()
+	})
+	return s, nil
 }
 
-// Close releases the underlying storage.
-func (s *Store) Close() error { return s.kv.Close() }
+// Close releases the underlying storage and the change journal.
+func (s *Store) Close() error {
+	err := s.kv.Close()
+	if s.jn != nil {
+		if jerr := s.jn.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
+}
 
 func (s *Store) now() time.Time { return s.clock() }
 

@@ -52,7 +52,7 @@ func TestBatchMatchesLoad(t *testing.T) {
 
 	c, p := newAPIClient(t)
 	var invalidations atomic.Int32
-	p.Store().OnMutate(func() { invalidations.Add(1) })
+	p.Store().OnChange(func([]hive.ChangeEvent) { invalidations.Add(1) })
 	if err := Batch(context.Background(), c, ds, 256); err != nil {
 		t.Fatal(err)
 	}

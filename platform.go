@@ -5,9 +5,17 @@ package hive
 // Open): every write — through these wrappers or directly against
 // Store() — emits ChangeEvents that the platform folds into the serving
 // snapshot as an incremental delta before the write returns.
+//
+// On a replication follower every wrapper rejects with a NotLeaderError
+// naming the leader (replicated state arrives via the journal tail, not
+// these methods). Direct Store() writes bypass the guard — advanced
+// callers on a follower would fork it from the leader.
 
 // RegisterUser creates or updates a researcher profile.
 func (p *Platform) RegisterUser(u User) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	return p.store.PutUser(u)
 }
 
@@ -19,22 +27,34 @@ func (p *Platform) Users() []string { return p.store.Users() }
 
 // CreateConference registers a conference edition.
 func (p *Platform) CreateConference(c Conference) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	return p.store.PutConference(c)
 }
 
 // CreateSession registers a session within a conference.
 func (p *Platform) CreateSession(s Session) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	return p.store.PutSession(s)
 }
 
 // PublishPaper registers a paper with its authors and citations.
 func (p *Platform) PublishPaper(pa Paper) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	return p.store.PutPaper(pa)
 }
 
 // UploadPresentation attaches slide content to a paper (the §1.1 "uploads
 // his presentation slides" step).
 func (p *Platform) UploadPresentation(pr Presentation) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	if err := p.store.PutPresentation(pr); err != nil {
 		return err
 	}
@@ -44,6 +64,9 @@ func (p *Platform) UploadPresentation(pr Presentation) error {
 
 // Connect establishes a mutual connection between two researchers.
 func (p *Platform) Connect(a, b string) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	return p.store.Connect(a, b)
 }
 
@@ -52,17 +75,26 @@ func (p *Platform) Connected(a, b string) bool { return p.store.Connected(a, b) 
 
 // Follow subscribes follower to followee's activity.
 func (p *Platform) Follow(follower, followee string) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	return p.store.Follow(follower, followee)
 }
 
 // Unfollow removes a follow edge.
 func (p *Platform) Unfollow(follower, followee string) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	return p.store.Unfollow(follower, followee)
 }
 
 // CheckIn records session attendance and broadcasts it (with the session
 // hashtag when present).
 func (p *Platform) CheckIn(sessionID, userID string) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	return p.store.CheckIn(sessionID, userID)
 }
 
@@ -71,16 +103,25 @@ func (p *Platform) Attendees(sessionID string) []string { return p.store.Attende
 
 // Ask posts a question about a presentation, paper or session.
 func (p *Platform) Ask(q Question) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	return p.store.AskQuestion(q)
 }
 
 // AnswerQuestion posts an answer.
 func (p *Platform) AnswerQuestion(a Answer) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	return p.store.PostAnswer(a)
 }
 
 // PostComment attaches a comment to an entity.
 func (p *Platform) PostComment(c Comment) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	return p.store.PostComment(c)
 }
 
@@ -92,16 +133,25 @@ func (p *Platform) AnswersTo(questionID string) []string { return p.store.Answer
 
 // CreateWorkpad creates or replaces a workpad.
 func (p *Platform) CreateWorkpad(w Workpad) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	return p.store.PutWorkpad(w)
 }
 
 // AddToWorkpad drags a resource onto a workpad.
 func (p *Platform) AddToWorkpad(workpadID string, item WorkpadItem) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	return p.store.AddToWorkpad(workpadID, item)
 }
 
 // ActivateWorkpad selects the user's active context.
 func (p *Platform) ActivateWorkpad(owner, workpadID string) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	return p.store.SetActiveWorkpad(owner, workpadID)
 }
 
@@ -112,11 +162,17 @@ func (p *Platform) ActiveWorkpad(owner string) (Workpad, error) {
 
 // ExportCollection publishes a workpad as a shareable collection.
 func (p *Platform) ExportCollection(workpadID, collectionID string) (Collection, error) {
+	if err := p.writable(); err != nil {
+		return Collection{}, err
+	}
 	return p.store.ExportCollection(workpadID, collectionID)
 }
 
 // ImportCollection copies a collection into a new active workpad.
 func (p *Platform) ImportCollection(collectionID, owner, workpadID string) (Workpad, error) {
+	if err := p.writable(); err != nil {
+		return Workpad{}, err
+	}
 	return p.store.ImportCollection(collectionID, owner, workpadID)
 }
 
@@ -129,6 +185,9 @@ func (p *Platform) EventsByTag(tag string) []Event { return p.store.EventsByTag(
 // LogBrowse records a browsing event (used for activity similarity and
 // collaborative filtering).
 func (p *Platform) LogBrowse(userID, object string) error {
+	if err := p.writable(); err != nil {
+		return err
+	}
 	_, err := p.store.LogEvent(userID, "browse", object, nil)
 	return err
 }

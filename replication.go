@@ -1,0 +1,392 @@
+package hive
+
+// Leader/follower replication: the follower side.
+//
+// A durable platform journals every change batch (typed events + the
+// raw kv write image) through internal/journal; the server exposes that
+// journal as GET /api/v1/replication/events plus a full-state snapshot
+// endpoint. A follower (Options.FollowURL) bootstraps from the
+// snapshot, then tails the journal: each batch's kv image applies
+// verbatim — the follower's store converges byte-for-byte with the
+// leader's — and the batch's events flow through the ordinary onChange
+// → ApplyDelta path, so the follower's serving snapshot is maintained
+// by exactly the machinery a leader uses for its own writes. Followers
+// serve the full read API with bounded, observable lag and reject
+// writes with a typed NotLeaderError naming the leader.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"hive/api"
+	"hive/client"
+	"hive/internal/social"
+)
+
+// NotLeaderError is returned by mutation methods on a follower: writes
+// must go to the leader it names. The HTTP layer maps it to the stable
+// not_leader error code with the leader URL in the error details.
+type NotLeaderError struct {
+	Leader string
+}
+
+func (e *NotLeaderError) Error() string {
+	return fmt.Sprintf("hive: not the leader; send writes to %s", e.Leader)
+}
+
+// Follower tuning. The long-poll wait keeps propagation sub-second
+// without hot-polling; the batch cap bounds per-iteration memory.
+const (
+	followPollWait  = 20 * time.Second
+	followBatchMax  = 256
+	followBackoffLo = 100 * time.Millisecond
+	followBackoffHi = 5 * time.Second
+	// bootstrapAttempts bounds how long Open waits for a reachable
+	// leader before failing fast (the operator restarts the follower).
+	bootstrapAttempts = 10
+)
+
+// follower holds the tail-loop state of a following platform.
+type follower struct {
+	url    string
+	c      *client.Client
+	cancel context.CancelFunc
+	stop   chan struct{}
+	done   chan struct{}
+
+	applied    atomic.Uint64 // last leader sequence folded into the local store
+	leaderTail atomic.Uint64 // leader journal tail at the most recent poll
+	lastErr    atomic.Pointer[replErr]
+	bootstraps atomic.Uint64 // snapshot bootstraps since Open (re-syncs after compaction/holes)
+}
+
+// replErr boxes a tail-loop outcome for atomic storage.
+type replErr struct{ err error }
+
+// startFollowing performs the initial bootstrap synchronously (so a
+// returned Platform serves reads immediately) and starts the tail loop.
+func (p *Platform) startFollowing(url string) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &follower{
+		url:    url,
+		c:      client.New(url),
+		cancel: cancel,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	p.follow = f
+
+	// Resume point: a durable follower that restarted already holds the
+	// state up to its journal tail; it only needs the snapshot when
+	// starting empty. A stale resume point past the leader's retention
+	// horizon is detected on the first poll and re-bootstraps.
+	var lastErr error
+	for attempt := 0; attempt < bootstrapAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoffDelay(attempt)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if seq := p.store.ChangeSeq(); seq > 0 {
+			f.applied.Store(seq)
+			lastErr = nil
+		} else if lastErr = p.bootstrapFollower(ctx); lastErr != nil {
+			continue
+		}
+		// Build the first serving snapshot from the bootstrapped store.
+		if lastErr = p.Refresh(); lastErr != nil {
+			continue
+		}
+		go p.followLoop(ctx)
+		return nil
+	}
+	cancel()
+	return fmt.Errorf("hive: follower bootstrap from %s failed: %w", url, lastErr)
+}
+
+// stopFollowing cancels the tail loop and waits for it to exit.
+func (p *Platform) stopFollowing() {
+	f := p.follow
+	if f == nil {
+		return
+	}
+	select {
+	case <-f.stop:
+		return // already stopped
+	default:
+	}
+	close(f.stop)
+	f.cancel()
+	<-f.done
+}
+
+// bootstrapFollower replaces the local store with the leader's full
+// snapshot and positions the tail at its watermark.
+func (p *Platform) bootstrapFollower(ctx context.Context) error {
+	f := p.follow
+	snap, err := f.c.ReplicationSnapshot(ctx)
+	if err != nil {
+		return fmt.Errorf("fetch snapshot: %w", err)
+	}
+	entries := make(map[string][]byte, len(snap.Entries))
+	for _, e := range snap.Entries {
+		entries[e.Key] = e.Value
+	}
+	if err := p.store.ImportReplicaSnapshot(snap.Seq, entries); err != nil {
+		return fmt.Errorf("import snapshot: %w", err)
+	}
+	f.applied.Store(p.store.ChangeSeq())
+	f.bootstraps.Add(1)
+	return nil
+}
+
+// followLoop tails the leader's journal until the platform closes,
+// reconnecting with exponential backoff and re-bootstrapping from the
+// snapshot when the leader compacted past our position (or a journal
+// hole is detected).
+func (p *Platform) followLoop(ctx context.Context) {
+	f := p.follow
+	defer close(f.done)
+	failures := 0
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		if failures > 0 {
+			select {
+			case <-time.After(backoffDelay(failures)):
+			case <-f.stop:
+				return
+			}
+		}
+
+		from := f.applied.Load()
+		ev, err := f.c.ReplicationEvents(ctx, from, followBatchMax, followPollWait)
+		switch {
+		case err == nil:
+		case api.IsCode(err, api.CodeCompacted):
+			// Fell behind the leader's retention horizon: tailing can
+			// never catch up, re-sync from the full snapshot.
+			if berr := p.resyncFollower(ctx); berr != nil {
+				f.lastErr.Store(&replErr{fmt.Errorf("re-bootstrap after compaction: %w", berr)})
+				failures++
+				continue
+			}
+			f.lastErr.Store(&replErr{})
+			failures = 0
+			continue
+		default:
+			if ctx.Err() != nil {
+				return
+			}
+			f.lastErr.Store(&replErr{fmt.Errorf("poll leader: %w", err)})
+			failures++
+			continue
+		}
+
+		// A leader whose journal tail is *behind* our applied sequence
+		// is not the leader we replicated from (repurposed data dir,
+		// restored backup, wrong -follow target): tailing would silently
+		// serve unrelated state while reporting zero lag. Re-sync from
+		// its snapshot instead.
+		if ev.Tail < from {
+			f.leaderTail.Store(ev.Tail)
+			if berr := p.resyncFollower(ctx); berr != nil {
+				f.lastErr.Store(&replErr{fmt.Errorf("re-bootstrap after leader regression (tail %d < applied %d): %w", ev.Tail, from, berr)})
+				failures++
+				continue
+			}
+			f.lastErr.Store(&replErr{})
+			failures = 0
+			continue
+		}
+		f.leaderTail.Store(ev.Tail)
+		hole := false
+		for _, rb := range ev.Batches {
+			applied := f.applied.Load()
+			if rb.Last <= applied {
+				continue // overlap from a record spanning the resume point
+			}
+			if rb.First > applied+1 {
+				// A hole in the feed (journal gap): events between were
+				// lost; only a snapshot restores the missing data.
+				hole = true
+				break
+			}
+			if aerr := p.store.ApplyReplica(rb); aerr != nil {
+				f.lastErr.Store(&replErr{fmt.Errorf("apply batch [%d,%d]: %w", rb.First, rb.Last, aerr)})
+				hole = true // re-sync rather than skip acknowledged data
+				break
+			}
+			f.applied.Store(rb.Last)
+		}
+		if hole {
+			if berr := p.resyncFollower(ctx); berr != nil {
+				f.lastErr.Store(&replErr{fmt.Errorf("re-bootstrap after feed hole: %w", berr)})
+				failures++
+				continue
+			}
+		}
+		f.lastErr.Store(&replErr{})
+		failures = 0
+	}
+}
+
+// resyncFollower re-bootstraps from the snapshot and rebuilds the
+// serving snapshot (imported state has no event trail to delta from).
+func (p *Platform) resyncFollower(ctx context.Context) error {
+	if err := p.bootstrapFollower(ctx); err != nil {
+		return err
+	}
+	// Drop any queued events from before the import: the full rebuild
+	// below covers everything the imported image contains.
+	p.pendMu.Lock()
+	p.pending = nil
+	p.overflow = false
+	p.pendingCount.Store(0)
+	p.pendMu.Unlock()
+	return p.Refresh()
+}
+
+// backoffDelay is the reconnect schedule: 100ms doubling to a 5s cap.
+func backoffDelay(failures int) time.Duration {
+	d := followBackoffLo << uint(failures-1)
+	if d > followBackoffHi || d <= 0 {
+		return followBackoffHi
+	}
+	return d
+}
+
+// writable gates every mutation wrapper: followers reject writes with a
+// typed error naming the leader, so clients can redirect.
+func (p *Platform) writable() error {
+	if p.follow != nil {
+		return &NotLeaderError{Leader: p.follow.url}
+	}
+	return nil
+}
+
+// --- Replication observability --------------------------------------------------
+
+// IsFollower reports whether the platform tails a leader.
+func (p *Platform) IsFollower() bool { return p.follow != nil }
+
+// LeaderURL returns the followed leader's base URL ("" on a leader).
+func (p *Platform) LeaderURL() string {
+	if p.follow == nil {
+		return ""
+	}
+	return p.follow.url
+}
+
+// ReplicationApplied returns the last leader sequence folded into the
+// local store (0 on a leader).
+func (p *Platform) ReplicationApplied() uint64 {
+	if p.follow == nil {
+		return 0
+	}
+	return p.follow.applied.Load()
+}
+
+// ReplicationLeaderTail returns the leader's journal tail observed at
+// the most recent poll (0 before the first successful poll).
+func (p *Platform) ReplicationLeaderTail() uint64 {
+	if p.follow == nil {
+		return 0
+	}
+	return p.follow.leaderTail.Load()
+}
+
+// ReplicationLag returns how many journaled leader events this follower
+// has not yet applied, per the most recent poll — the "bounded,
+// observable lag" healthz reports. 0 on a leader and on a caught-up
+// follower; while disconnected it is a lower bound (the leader keeps
+// writing but the observed tail freezes).
+func (p *Platform) ReplicationLag() uint64 {
+	if p.follow == nil {
+		return 0
+	}
+	tail, applied := p.follow.leaderTail.Load(), p.follow.applied.Load()
+	if tail <= applied {
+		return 0
+	}
+	return tail - applied
+}
+
+// ReplicationBootstraps counts snapshot bootstraps since Open (1 for a
+// fresh follower; more after retention or feed holes forced re-syncs).
+func (p *Platform) ReplicationBootstraps() uint64 {
+	if p.follow == nil {
+		return 0
+	}
+	return p.follow.bootstraps.Load()
+}
+
+// LastReplicationError returns the tail loop's most recent failure, or
+// nil when the loop is healthy (or the platform is a leader).
+func (p *Platform) LastReplicationError() error {
+	if p.follow == nil {
+		return nil
+	}
+	if box := p.follow.lastErr.Load(); box != nil {
+		return box.err
+	}
+	return nil
+}
+
+// --- Leader-side feed ------------------------------------------------------------
+
+// ErrNoJournal is returned by ReplicationFeed on in-memory platforms:
+// without a durable change journal there is nothing for followers to
+// tail.
+var ErrNoJournal = errors.New("hive: platform has no change journal (in-memory store); followers need -data")
+
+// ReplicationFeed reads up to max journaled change batches after
+// sequence `from`, long-polling up to wait for new data when the caller
+// is caught up. It returns the batches plus the current journal tail.
+// journal.ErrCompacted (mapped to the compacted API code by the server)
+// means the range was dropped by retention. Served on any journaled
+// node, so followers can chain.
+func (p *Platform) ReplicationFeed(ctx context.Context, from uint64, max int, wait time.Duration) ([]social.ReplicationBatch, uint64, error) {
+	if !p.store.Journaled() {
+		return nil, 0, ErrNoJournal
+	}
+	batches, err := p.store.ChangesSince(from, max)
+	if err != nil {
+		return nil, 0, err
+	}
+	_, tail, _ := p.store.JournalStats()
+	// Long-poll only when genuinely caught up (tail == from). A tail
+	// *behind* from means the caller replicated from someone else — it
+	// needs that signal immediately (its regression detector triggers a
+	// re-bootstrap), not after the wait expires.
+	if len(batches) == 0 && wait > 0 && tail >= from {
+		waitCtx, cancel := context.WithTimeout(ctx, wait)
+		if p.store.WaitChanges(waitCtx.Done(), from) {
+			batches, err = p.store.ChangesSince(from, max)
+		}
+		cancel()
+		if err != nil {
+			return nil, 0, err
+		}
+		_, tail, _ = p.store.JournalStats()
+	}
+	return batches, tail, nil
+}
+
+// ReplicationSnapshot captures the full bootstrap image: the store's
+// entire kv state and the change-sequence watermark it covers.
+func (p *Platform) ReplicationSnapshot() (seq uint64, entries map[string][]byte, err error) {
+	if !p.store.Journaled() {
+		return 0, nil, ErrNoJournal
+	}
+	seq, entries = p.store.SnapshotForReplication()
+	return seq, entries, nil
+}
