@@ -5,9 +5,9 @@ GO      ?= go
 BENCHTIME ?= 200ms
 # Benchmark JSON stream for the current PR's perf record (uploaded as a
 # CI artifact so the trajectory accumulates across commits).
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr6.json
 
-.PHONY: build test race bench bench-ci fmt vet vuln race-nightly ci api-smoke repl-smoke
+.PHONY: build test race bench bench-ci fmt vet vuln race-nightly ci api-smoke repl-smoke failover-smoke
 
 build:
 	$(GO) build ./...
@@ -36,12 +36,14 @@ vuln:
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 	else echo "govulncheck not installed; skipping (CI runs it)"; fi
 
-# Nightly-strength race pass: the delta interleaving property tests and
-# the leader/follower convergence test at a higher -count, catching rare
-# schedules the per-PR run might miss.
+# Nightly-strength race pass: the delta interleaving property tests, the
+# leader/follower convergence test, and the election failover/fencing
+# tests at a higher -count, catching rare schedules the per-PR run might
+# miss.
 race-nightly:
 	$(GO) test -race -run 'TestDeltaInterleavingParity|TestDeltaNeverObservesTornBatch|TestSegmentedParity' -count=5 ./internal/core/ ./internal/textindex/
 	$(GO) test -race -run 'TestLeaderFollowerConvergence' -count=5 ./internal/server/
+	$(GO) test -race -run 'TestClusterFailoverConvergence|TestDeposedLeaderFencing' -count=2 ./internal/server/
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -63,5 +65,14 @@ api-smoke:
 repl-smoke:
 	$(GO) build -o bin/hived ./cmd/hived
 	$(GO) run ./cmd/apismoke -hived bin/hived -follow
+
+# Three-node election failover check: boot an elected cluster, put the
+# cluster-aware SDK under write load, SIGKILL the leader and assert a
+# follower promotes at a higher epoch, the SDK's next write lands
+# without re-targeting, and the resurrected old leader's stale-epoch
+# state is fenced everywhere.
+failover-smoke:
+	$(GO) build -o bin/hived ./cmd/hived
+	$(GO) run ./cmd/apismoke -hived bin/hived -failover
 
 ci: build vet fmt race

@@ -36,12 +36,22 @@ const (
 	// CodeRateLimited: the request-rate limit was hit (HTTP 429).
 	CodeRateLimited = "rate_limited"
 	// CodeNotLeader: a write was sent to a replication follower; the
-	// error's details carry the leader's URL under "leader" (HTTP 409).
+	// error's details carry the leader's URL under "leader" and the
+	// node's leadership term under "epoch" (HTTP 409). Clients follow
+	// the hint; an empty leader means the election is unresolved —
+	// re-resolve via GET /cluster and retry.
 	CodeNotLeader = "not_leader"
 	// CodeCompacted: a replication read asked for journal sequences
 	// dropped by retention; the follower must re-bootstrap from the
 	// snapshot endpoint (HTTP 410).
 	CodeCompacted = "compacted"
+	// CodeStaleEpoch: a replication request asserted a newer leadership
+	// epoch than this node has adopted — the node is (or is about to
+	// be) fenced off as a deposed leader. The caller must not apply
+	// anything it serves; re-resolve the leader instead. Details carry
+	// the node's term under "epoch" and the asserted term under
+	// "requested_epoch" (HTTP 409).
+	CodeStaleEpoch = "stale_epoch"
 	// CodeInternal: unclassified server failure (HTTP 500).
 	CodeInternal = "internal"
 )

@@ -142,6 +142,10 @@ const (
 // recent poll, so it is an at-least bound while disconnected.
 type ReplicationHealth struct {
 	Role string `json:"role"`
+	// Epoch is the leadership term the node has adopted — the fencing
+	// token stamped into every batch it journals. 0 on unmanaged
+	// in-memory nodes.
+	Epoch uint64 `json:"epoch"`
 	// JournalOldest/JournalTail bound the locally readable journal
 	// range; JournalSegments counts its segment files. All zero when
 	// the store is in-memory (no journal, cannot lead).
@@ -186,17 +190,25 @@ type Health struct {
 // node's journal tail so the poller can compute its lag. An empty
 // Batches with Tail == from means the poller is caught up (a long-poll
 // that timed out).
+// Epoch is the responding node's leadership term: a poller seeing it
+// rise past its own adopted term must re-bootstrap (the compatibility
+// rule: accept batches at your term N, re-bootstrap on N+1).
 type ReplicationEvents struct {
 	Batches []ReplicationBatch `json:"batches,omitempty"`
 	Tail    uint64             `json:"tail"`
+	Epoch   uint64             `json:"epoch,omitempty"`
 }
 
 // ReplicationSnapshot is the GET /replication/snapshot response: the
 // full kv image a follower bootstraps from and the change-sequence
 // watermark it covers (tail the journal from Seq). Values are base64 in
 // JSON per encoding/json's []byte convention.
+// Epoch is the term the image was captured under; a follower refuses a
+// snapshot behind its adopted term (it would regress onto a deposed
+// leader's world) and adopts the term on import otherwise.
 type ReplicationSnapshot struct {
 	Seq     uint64    `json:"seq"`
+	Epoch   uint64    `json:"epoch,omitempty"`
 	Entries []KVEntry `json:"entries"`
 }
 
@@ -204,6 +216,43 @@ type ReplicationSnapshot struct {
 type KVEntry struct {
 	Key   string `json:"k"`
 	Value []byte `json:"v"`
+}
+
+// ClusterStatus is the GET /cluster response: the responding node's
+// view of the replica set — its own role and term, the leader it
+// believes in, and a liveness/lag probe of each configured peer. Any
+// node answers (followers included), so a client that lost the leader
+// can ask whichever peer it reaches.
+type ClusterStatus struct {
+	// Self is the node's advertised URL ("" outside cluster mode).
+	Self  string `json:"self,omitempty"`
+	Role  string `json:"role"`
+	Epoch uint64 `json:"epoch"`
+	// LeaderURL is the leader this node believes in: itself when
+	// leading, the followed URL on a follower, "" while an election is
+	// unresolved (or on a standalone node).
+	LeaderURL string `json:"leader_url,omitempty"`
+	// Peers reports one probe per configured peer; empty outside
+	// cluster mode.
+	Peers []PeerStatus `json:"peers"`
+}
+
+// PeerStatus is one peer's liveness and replication position as probed
+// by the responding node at request time.
+type PeerStatus struct {
+	URL string `json:"url"`
+	// Alive reports whether the peer answered its healthz probe within
+	// the probe budget.
+	Alive bool   `json:"alive"`
+	Role  string `json:"role,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	// JournalTail/AppliedSeq/LagEvents mirror the peer's own
+	// ReplicationHealth (zero when not reported).
+	JournalTail uint64 `json:"journal_tail,omitempty"`
+	AppliedSeq  uint64 `json:"applied_seq,omitempty"`
+	LagEvents   uint64 `json:"lag_events,omitempty"`
+	// Error describes a failed probe.
+	Error string `json:"error,omitempty"`
 }
 
 // Batch entity kinds accepted by POST /batch.

@@ -9,12 +9,20 @@
 //	c := client.New("http://localhost:8080", client.WithETagCache())
 //	page, err := c.Users(ctx, "", 100)        // first page
 //	page, err = c.Users(ctx, page.NextCursor, 100)
+//
+// Against an elected replica set, construct the client with WithCluster
+// and it survives failover without caller changes: a not_leader
+// rejection redirects it to the hinted leader, a dead or hint-less node
+// makes it re-resolve the leader via GET /cluster across the configured
+// peers, and requests retry with capped backoff until the new leader
+// accepts them.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -26,15 +34,20 @@ import (
 	"hive/api"
 )
 
-// Client talks to one Hive server.
+// Client talks to one Hive server (or, with WithCluster, to whichever
+// member of a replica set currently leads).
 type Client struct {
-	base string
-	hc   *http.Client
+	mu   sync.RWMutex
+	base string // current target; moves on failover when cluster is set
+
+	cluster []string // seed peers for leader re-resolution; nil disables failover
+	hc      *http.Client
 
 	etags *etagCache // nil unless WithETagCache
 
 	requests  atomic.Int64
 	cacheHits atomic.Int64
+	redirects atomic.Int64
 }
 
 // Option customizes a Client.
@@ -53,6 +66,21 @@ func WithETagCache() Option {
 	return func(c *Client) { c.etags = &etagCache{entries: map[string]etagEntry{}} }
 }
 
+// WithCluster makes the client cluster-aware: peers seed leader
+// re-resolution, and every request gains the failover retry loop
+// (follow not_leader hints, re-resolve via GET /cluster when the hint
+// is stale or the target is unreachable, capped backoff between
+// attempts). The base URL passed to New may be any member — the client
+// finds the leader on first rejection.
+func WithCluster(peers ...string) Option {
+	return func(c *Client) {
+		c.cluster = append([]string(nil), peers...)
+		if c.cluster == nil {
+			c.cluster = []string{} // non-nil enables failover even with zero peers
+		}
+	}
+}
+
 // New builds a client for a server base URL (e.g. "http://host:8080").
 func New(base string, opts ...Option) *Client {
 	c := &Client{base: base, hc: http.DefaultClient}
@@ -66,6 +94,24 @@ func New(base string, opts ...Option) *Client {
 // reads were served from the ETag cache via a 304.
 func (c *Client) Stats() (requests, cacheHits int64) {
 	return c.requests.Load(), c.cacheHits.Load()
+}
+
+// Redirects counts leader changes the client followed — not_leader
+// hints adopted plus leaders re-resolved via the cluster endpoint.
+func (c *Client) Redirects() int64 { return c.redirects.Load() }
+
+// Base returns the URL the client currently targets. With WithCluster
+// it moves as the client follows the leader.
+func (c *Client) Base() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.base
+}
+
+func (c *Client) setBase(u string) {
+	c.mu.Lock()
+	c.base = u
+	c.mu.Unlock()
 }
 
 type etagEntry struct {
@@ -121,26 +167,131 @@ func apiErrorFrom(status int, body []byte) *api.Error {
 	}
 }
 
+// Failover retry tuning: enough attempts to ride out an election (a
+// couple of lease TTLs) without retrying forever, backoff capped low so
+// the first post-promotion attempt lands promptly.
+const (
+	failoverAttempts   = 8
+	failoverBackoffMin = 100 * time.Millisecond
+	failoverBackoffMax = time.Second
+)
+
 // do issues one request and decodes the JSON response into out (may be
-// nil). conditional enables the ETag cache for this GET.
+// nil). conditional enables the ETag cache for this GET. With
+// WithCluster the request is retried across leader changes; the body is
+// marshaled once up front so every attempt replays identical bytes.
 func (c *Client) do(ctx context.Context, method, path string, q url.Values, in, out any, conditional bool) error {
-	u := c.base + path
+	var raw []byte
+	if in != nil {
+		var err error
+		if raw, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: marshal request: %w", err)
+		}
+	}
+	if c.cluster == nil {
+		return c.doOnce(ctx, method, c.Base(), path, q, raw, in != nil, out, conditional)
+	}
+
+	backoff := failoverBackoffMin
+	var lastErr error
+	for attempt := 0; attempt < failoverAttempts; attempt++ {
+		base := c.Base()
+		err := c.doOnce(ctx, method, base, path, q, raw, in != nil, out, conditional)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+
+		// Decide whether (and where) to retry. Only leadership errors
+		// and transport failures are failover's business — a not_found
+		// or invalid_argument is the same on every node.
+		var ae *api.Error
+		switch {
+		case errors.As(err, &ae) && ae.Code == api.CodeNotLeader:
+			if hint, _ := ae.Details["leader"].(string); hint != "" && hint != base {
+				c.setBase(hint)
+			} else {
+				// Hint missing or pointing back at the rejecting node:
+				// it is stale. Ask the replica set instead.
+				c.resolveLeader(ctx, base)
+			}
+		case errors.As(err, &ae):
+			return err // typed API error other than not_leader: not ours to retry
+		default:
+			// Transport-level failure (dead node, reset mid-response).
+			// The old leader dying looks exactly like this; re-resolve
+			// through the peers.
+			if ctx.Err() != nil {
+				return err
+			}
+			c.resolveLeader(ctx, base)
+		}
+
+		// Retry immediately only when the target actually moved — during
+		// an election gap every node still names the old leader, and
+		// retrying it hot would burn the attempt budget before the lease
+		// even expires.
+		if moved := c.Base(); moved != base {
+			c.redirects.Add(1)
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return lastErr
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > failoverBackoffMax {
+			backoff = failoverBackoffMax
+		}
+	}
+	return lastErr
+}
+
+// resolveLeader asks the replica set who leads: GET /cluster against
+// the current target first, then each configured peer. Adopts and
+// reports the first answer naming a leader. A node that is itself the
+// leader but hasn't published a URL (standalone) counts as the answer.
+func (c *Client) resolveLeader(ctx context.Context, current string) bool {
+	candidates := make([]string, 0, len(c.cluster)+1)
+	candidates = append(candidates, current)
+	for _, p := range c.cluster {
+		if p != current {
+			candidates = append(candidates, p)
+		}
+	}
+	for _, u := range candidates {
+		var cs api.ClusterStatus
+		if err := c.doOnce(ctx, http.MethodGet, u, "/api/v1/cluster", nil, nil, false, &cs, false); err != nil {
+			continue
+		}
+		leader := cs.LeaderURL
+		if leader == "" && cs.Role == api.RoleLeader {
+			leader = u // a leader that doesn't advertise a URL: reach it where we did
+		}
+		if leader == "" {
+			continue // election unresolved on this node; ask the next
+		}
+		c.setBase(leader)
+		return true
+	}
+	return false
+}
+
+// doOnce issues one request against an explicit base URL.
+func (c *Client) doOnce(ctx context.Context, method, base, path string, q url.Values, raw []byte, hasBody bool, out any, conditional bool) error {
+	u := base + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
 	var body io.Reader
-	if in != nil {
-		raw, err := json.Marshal(in)
-		if err != nil {
-			return fmt.Errorf("client: marshal request: %w", err)
-		}
+	if hasBody {
 		body = bytes.NewReader(raw)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, u, body)
 	if err != nil {
 		return fmt.Errorf("client: build request: %w", err)
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	var cached etagEntry
@@ -158,7 +309,7 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, in, 
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
+	got, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return fmt.Errorf("client: read response: %w", err)
 	}
@@ -166,20 +317,20 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, in, 
 	switch {
 	case resp.StatusCode == http.StatusNotModified && useCache && cached.tag != "":
 		c.cacheHits.Add(1)
-		raw = cached.body
+		got = cached.body
 	case resp.StatusCode >= 200 && resp.StatusCode < 300:
 		if useCache {
 			if tag := resp.Header.Get("ETag"); tag != "" {
-				c.etags.put(u, etagEntry{tag: tag, body: raw})
+				c.etags.put(u, etagEntry{tag: tag, body: got})
 			}
 		}
 	default:
-		return apiErrorFrom(resp.StatusCode, raw)
+		return apiErrorFrom(resp.StatusCode, got)
 	}
 	if out == nil {
 		return nil
 	}
-	if err := json.Unmarshal(raw, out); err != nil {
+	if err := json.Unmarshal(got, out); err != nil {
 		return fmt.Errorf("client: decode %s %s: %w", method, path, err)
 	}
 	return nil
@@ -483,7 +634,11 @@ func (c *Client) KnowledgePaths(ctx context.Context, a, b string, k int) ([]api.
 // hammering the endpoint. A `compacted` error (api.CodeCompacted) means
 // the range was dropped by retention — re-bootstrap via
 // ReplicationSnapshot.
-func (c *Client) ReplicationEvents(ctx context.Context, from uint64, max int, wait time.Duration) (api.ReplicationEvents, error) {
+//
+// A non-zero epoch asserts the poller's adopted leadership term: a node
+// behind it answers `stale_epoch` (it is a deposed leader whose batches
+// must not be applied) instead of serving a stale feed.
+func (c *Client) ReplicationEvents(ctx context.Context, from uint64, max int, wait time.Duration, epoch uint64) (api.ReplicationEvents, error) {
 	var out api.ReplicationEvents
 	q := url.Values{"from": {fmt.Sprint(from)}}
 	if max > 0 {
@@ -491,6 +646,9 @@ func (c *Client) ReplicationEvents(ctx context.Context, from uint64, max int, wa
 	}
 	if wait > 0 {
 		q.Set("wait_ms", fmt.Sprint(wait.Milliseconds()))
+	}
+	if epoch > 0 {
+		q.Set("epoch", fmt.Sprint(epoch))
 	}
 	err := c.get(ctx, "/api/v1/replication/events", q, &out)
 	return out, err
@@ -501,6 +659,15 @@ func (c *Client) ReplicationEvents(ctx context.Context, from uint64, max int, wa
 func (c *Client) ReplicationSnapshot(ctx context.Context) (api.ReplicationSnapshot, error) {
 	var out api.ReplicationSnapshot
 	err := c.get(ctx, "/api/v1/replication/snapshot", nil, &out)
+	return out, err
+}
+
+// ClusterStatus reports the target node's view of the replica set: its
+// role and term, the leader it believes in, and a liveness/lag probe of
+// each configured peer.
+func (c *Client) ClusterStatus(ctx context.Context) (api.ClusterStatus, error) {
+	var out api.ClusterStatus
+	err := c.get(ctx, "/api/v1/cluster", nil, &out)
 	return out, err
 }
 

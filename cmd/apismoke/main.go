@@ -13,9 +13,18 @@
 // envelope naming the leader, and follower healthz reports the
 // follower role with zero lag once converged.
 //
+// With -failover (the `make failover-smoke` mode) it boots a
+// *three-node elected cluster* (-cluster, shared file lease), puts the
+// cluster-aware SDK under write load, SIGKILLs the leader mid-load and
+// checks the failover contract: a follower promotes at a higher epoch,
+// the SDK's next write lands without manual re-targeting, the
+// resurrected old leader's stale-epoch state is provably rejected
+// (stale_epoch on its feed, zombie writes absent everywhere), and the
+// old leader rejoins as a follower converging onto the new term.
+//
 // Usage:
 //
-//	apismoke [-hived bin/hived] [-addr 127.0.0.1:18080] [-seed 24] [-follow]
+//	apismoke [-hived bin/hived] [-addr 127.0.0.1:18080] [-seed 24] [-follow | -failover]
 package main
 
 import (
@@ -39,11 +48,15 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:18080", "address to run hived on")
 	seed := flag.Int("seed", 24, "synthetic workload size")
 	follow := flag.Bool("follow", false, "run the leader+follower replication scenario instead")
+	failover := flag.Bool("failover", false, "run the three-node election failover scenario instead")
 	flag.Parse()
 
 	name, fn := "api-smoke", run
 	if *follow {
 		name, fn = "repl-smoke", runRepl
+	}
+	if *failover {
+		name, fn = "failover-smoke", runFailover
 	}
 	if err := fn(*hived, *addr, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: FAIL: %v\n", name, err)
@@ -498,6 +511,287 @@ func stepReplNotLeader(ctx context.Context, fc *client.Client, leaderBase string
 		return fmt.Errorf("follower batch err = %v, want code %s", err, api.CodeNotLeader)
 	}
 	return nil
+}
+
+// --- Failover scenario (`make failover-smoke`) ----------------------------------
+
+// runFailover boots a three-node elected cluster and drives the
+// failover contract: promotion at a higher epoch after a SIGKILL,
+// SDK writes surviving the transition unassisted, and epoch fencing of
+// the resurrected old leader.
+func runFailover(hived, addr string, seed int) error {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("bad -addr: %w", err)
+	}
+	basePort, err := strconv.Atoi(port)
+	if err != nil {
+		return fmt.Errorf("bad -addr port: %w", err)
+	}
+
+	const nodes = 3
+	addrs := make([]string, nodes)
+	urls := make([]string, nodes)
+	dirs := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		addrs[i] = net.JoinHostPort(host, fmt.Sprint(basePort+i))
+		urls[i] = "http://" + addrs[i]
+		if dirs[i], err = os.MkdirTemp("", fmt.Sprintf("hive-failover-n%d-", i)); err != nil {
+			return err
+		}
+		defer os.RemoveAll(dirs[i])
+	}
+	leaseDir, err := os.MkdirTemp("", "hive-failover-lease-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(leaseDir)
+
+	clusterFlag := func(i int) string {
+		peers := ""
+		for j := 0; j < nodes; j++ {
+			if j == i {
+				continue
+			}
+			if peers != "" {
+				peers += ";"
+			}
+			peers += urls[j]
+		}
+		return fmt.Sprintf("self=%s,peers=%s,lease=%s,ttl=1s", urls[i], peers, leaseDir)
+	}
+	startNode := func(i int) (func(), error) {
+		return startHived(hived,
+			"-addr", addrs[i],
+			"-data", dirs[i],
+			"-cluster", clusterFlag(i),
+			"-compact-interval", "1s",
+			"-quiet",
+		)
+	}
+
+	stops := make([]func(), nodes)
+	for i := 0; i < nodes; i++ {
+		if stops[i], err = startNode(i); err != nil {
+			return err
+		}
+		defer func(i int) {
+			if stops[i] != nil {
+				stops[i]()
+			}
+		}(i)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	perNode := make([]*client.Client, nodes)
+	for i := range perNode {
+		perNode[i] = client.New(urls[i])
+	}
+
+	// An elected leader must emerge and every node must agree on it.
+	leaderIdx, epoch1, err := waitClusterLeader(ctx, perNode, urls, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	if epoch1 == 0 {
+		return fmt.Errorf("leader elected at epoch 0")
+	}
+	fmt.Printf("failover-smoke: leader %s at epoch %d\n", urls[leaderIdx], epoch1)
+
+	// The cluster-aware SDK deliberately targets a follower: the first
+	// write must arrive at the leader via the not_leader hint alone.
+	followerIdx := (leaderIdx + 1) % nodes
+	c := client.New(urls[followerIdx], client.WithCluster(urls...))
+	for i := 0; i < 10; i++ {
+		if err := c.CreateUser(ctx, api.User{
+			ID: fmt.Sprintf("chk%02d", i), Name: "Checkpoint", Interests: []string{"failover"}}); err != nil {
+			return fmt.Errorf("checkpoint write %d: %w", i, err)
+		}
+	}
+	if c.Redirects() == 0 {
+		return fmt.Errorf("SDK was never redirected despite targeting follower %s", urls[followerIdx])
+	}
+	fmt.Printf("failover-smoke: %-30s ok\n", "SDK auto-follows leader hint")
+
+	// Let the checkpoint replicate before the crash: replication is
+	// asynchronous, so only converged writes are guaranteed to survive a
+	// leader loss (the durability contract is the journal, and the dead
+	// leader's journal leaves with it).
+	lh, err := perNode[leaderIdx].Healthz(ctx)
+	if err != nil {
+		return fmt.Errorf("leader healthz: %w", err)
+	}
+	tail := lh.Replication.JournalTail
+	convergeDeadline := time.Now().Add(30 * time.Second)
+	for i := 0; i < nodes; i++ {
+		if i == leaderIdx {
+			continue
+		}
+		for {
+			fh, err := perNode[i].Healthz(ctx)
+			if err == nil && fh.Replication.AppliedSeq >= tail {
+				break
+			}
+			if time.Now().After(convergeDeadline) {
+				return fmt.Errorf("follower %s never caught up to checkpoint (tail %d): %+v, %v",
+					urls[i], tail, fh.Replication, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// SIGKILL the leader mid-write-load, then keep writing through the
+	// same client handle: the next accepted write measures the full
+	// detect -> promote -> redirect pipeline.
+	killAt := time.Now()
+	stops[leaderIdx]()
+	stops[leaderIdx] = nil
+
+	accepted := -1
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; accepted < 0; i++ {
+		id := fmt.Sprintf("post%02d", i)
+		if err := c.CreateUser(ctx, api.User{ID: id, Name: "Post", Interests: []string{"failover"}}); err == nil {
+			accepted = i
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no write accepted within 30s of killing the leader")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	failoverTime := time.Since(killAt)
+	fmt.Printf("failover-smoke: first accepted write %v after leader kill\n", failoverTime.Round(time.Millisecond))
+
+	// A survivor must now lead at a strictly higher epoch.
+	survivors := make([]*client.Client, 0, nodes-1)
+	survivorURLs := make([]string, 0, nodes-1)
+	for i := 0; i < nodes; i++ {
+		if i != leaderIdx {
+			survivors = append(survivors, perNode[i])
+			survivorURLs = append(survivorURLs, urls[i])
+		}
+	}
+	newIdx, epoch2, err := waitClusterLeader(ctx, survivors, survivorURLs, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	if epoch2 <= epoch1 {
+		return fmt.Errorf("promotion did not advance the epoch: %d -> %d", epoch1, epoch2)
+	}
+	newLeader := survivors[newIdx]
+	fmt.Printf("failover-smoke: promoted %s at epoch %d\n", survivorURLs[newIdx], epoch2)
+
+	// Fill the post-promotion history to a round count.
+	for i := accepted + 1; i < 10; i++ {
+		if err := c.CreateUser(ctx, api.User{
+			ID: fmt.Sprintf("post%02d", i), Name: "Post", Interests: []string{"failover"}}); err != nil {
+			return fmt.Errorf("post-promotion write %d: %w", i, err)
+		}
+	}
+
+	// Endpoint fencing: a poll asserting a term beyond the node's own
+	// answers stale_epoch — the signal a deposed leader gives a fenced
+	// follower.
+	if _, err := newLeader.ReplicationEvents(ctx, 0, 1, 0, epoch2+1); !api.IsCode(err, api.CodeStaleEpoch) {
+		return fmt.Errorf("events poll asserting epoch %d = %v, want code %s", epoch2+1, err, api.CodeStaleEpoch)
+	}
+	fmt.Printf("failover-smoke: %-30s ok\n", "stale_epoch on ahead-of-term poll")
+
+	// Resurrect the old leader *outside* the cluster (plain -data, no
+	// election): it recovers its journal — stuck at the old epoch — and
+	// being standalone it accepts writes. That is exactly the deposed
+	// leader whose batches must never propagate.
+	oldIdx := leaderIdx
+	stopZombie, err := startHived(hived,
+		"-addr", addrs[oldIdx],
+		"-data", dirs[oldIdx],
+		"-compact-interval", "1s",
+		"-quiet",
+	)
+	if err != nil {
+		return err
+	}
+	zc := perNode[oldIdx]
+	if err := waitHealthy(ctx, zc); err != nil {
+		stopZombie()
+		return fmt.Errorf("resurrected old leader: %w", err)
+	}
+	if err := zc.CreateUser(ctx, api.User{ID: "zombie", Name: "Zombie"}); err != nil {
+		stopZombie()
+		return fmt.Errorf("zombie write on deposed leader: %w", err)
+	}
+	// Polling it at the cluster's term is refused wholesale: stale_epoch,
+	// nothing served, nothing to apply.
+	if _, err := zc.ReplicationEvents(ctx, 0, 16, 0, epoch2); !api.IsCode(err, api.CodeStaleEpoch) {
+		stopZombie()
+		return fmt.Errorf("deposed leader poll at epoch %d = %v, want code %s", epoch2, err, api.CodeStaleEpoch)
+	}
+	stopZombie()
+	fmt.Printf("failover-smoke: %-30s ok\n", "deposed leader feed fenced")
+
+	// Rejoin the old node properly: under the elected cluster it comes
+	// back as a follower, re-bootstraps onto the epoch-2 world, and the
+	// zombie write is gone — on it and everywhere else.
+	if stops[oldIdx], err = startNode(oldIdx); err != nil {
+		return err
+	}
+	wantUsers := make([]string, 0, 20)
+	for i := 0; i < 10; i++ {
+		wantUsers = append(wantUsers, fmt.Sprintf("chk%02d", i), fmt.Sprintf("post%02d", i))
+	}
+	verify := func(nc *client.Client, who string) error {
+		for _, id := range wantUsers {
+			if _, err := nc.GetUser(ctx, id); err != nil {
+				return fmt.Errorf("%s missing %s: %w", who, id, err)
+			}
+		}
+		if _, err := nc.GetUser(ctx, "zombie"); !api.IsCode(err, api.CodeNotFound) {
+			return fmt.Errorf("%s: zombie user = %v, want %s", who, err, api.CodeNotFound)
+		}
+		return nil
+	}
+	rejoinDeadline := time.Now().Add(60 * time.Second)
+	for {
+		err := verify(zc, "rejoined node")
+		if err == nil {
+			break
+		}
+		if time.Now().After(rejoinDeadline) {
+			return fmt.Errorf("rejoined node never converged: %w", err)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	for i, nc := range survivors {
+		if err := verify(nc, survivorURLs[i]); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("failover-smoke: %-30s ok\n", "rejoin converges, zombie absent")
+	return nil
+}
+
+// waitClusterLeader polls the nodes' cluster endpoints until one
+// reports itself leader, returning its index and epoch.
+func waitClusterLeader(ctx context.Context, cs []*client.Client, urls []string, timeout time.Duration) (int, uint64, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, err
+		}
+		for i, c := range cs {
+			st, err := c.ClusterStatus(ctx)
+			if err != nil {
+				continue
+			}
+			if st.Role == api.RoleLeader && st.Epoch > 0 {
+				return i, st.Epoch, nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return 0, 0, fmt.Errorf("no leader elected within %v (urls %v)", timeout, urls)
 }
 
 func stepLegacy(ctx context.Context, _ *client.Client, base string) error {

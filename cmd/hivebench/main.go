@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"strings"
@@ -28,6 +30,7 @@ import (
 	"hive/internal/conceptmap"
 	"hive/internal/core"
 	"hive/internal/diffusion"
+	"hive/internal/election"
 	"hive/internal/graph"
 	"hive/internal/rdf"
 	"hive/internal/server"
@@ -63,6 +66,7 @@ func main() {
 		{"E13", "v1 API — batch vs per-entity ingest", e13},
 		{"E14", "write visibility — delta apply vs full rebuild", e14},
 		{"E15", "replication — follower lag & read scaling", e15},
+		{"E16", "failover — detect -> promote -> first accepted write", e16},
 	}
 	for _, ex := range experiments {
 		if *run != "" && !strings.EqualFold(*run, ex.id) {
@@ -395,6 +399,144 @@ func e15(users int) {
 	fmt.Println("shape: followers answer the full read API from their own snapshots with identical")
 	fmt.Println("       results, so read traffic spreads ~evenly and the leader keeps its capacity")
 	fmt.Println("       for writes; across real machines aggregate QPS scales with node count")
+}
+
+// e16: failover time of the elected cluster — a three-node FileLease
+// set loses its leader to a crash-equivalent close (the lease is left
+// to expire, like a kill), and the clocks measure detect→promote (a
+// survivor holds the lease at a higher epoch) and detect→first accepted
+// SDK write (the end-to-end outage a cluster-aware writer sees).
+func e16(users int) {
+	const (
+		trials = 3
+		ttl    = 300 * time.Millisecond
+	)
+	ctx := context.Background()
+	var promoteSum, writeSum time.Duration
+
+	for trial := 0; trial < trials; trial++ {
+		leaseDir, err := os.MkdirTemp("", "hive-e16-lease-")
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		type node struct {
+			url string
+			ts  *httptest.Server
+			p   *hive.Platform
+		}
+		const members = 3
+		listeners := make([]net.Listener, members)
+		urls := make([]string, members)
+		for i := range listeners {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			listeners[i] = l
+			urls[i] = "http://" + l.Addr().String()
+		}
+		nodes := make([]*node, members)
+		dirs := []string{leaseDir}
+		for i := range nodes {
+			var peers []string
+			for j, u := range urls {
+				if j != i {
+					peers = append(peers, u)
+				}
+			}
+			lease, err := election.NewFileLease(election.LeaseConfig{Dir: leaseDir, Self: urls[i], TTL: ttl})
+			if err != nil {
+				log.Fatal(err)
+			}
+			dir, err := os.MkdirTemp("", "hive-e16-node-")
+			if err != nil {
+				log.Fatal(err)
+			}
+			dirs = append(dirs, dir)
+			p, err := hive.Open(hive.Options{
+				Dir:     dir,
+				Cluster: &hive.ClusterConfig{SelfURL: urls[i], Peers: peers, Election: lease},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ts := &httptest.Server{Listener: listeners[i], Config: &http.Server{Handler: server.New(p)}}
+			ts.Start()
+			nodes[i] = &node{url: urls[i], ts: ts, p: p}
+		}
+		cleanupDirs := func() {
+			for _, d := range dirs {
+				os.RemoveAll(d)
+			}
+		}
+
+		waitLeader := func(pool []*node) *node {
+			for {
+				for _, n := range pool {
+					if n.p.Role() == "leader" {
+						return n
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		leader := waitLeader(nodes)
+		for i := 0; i < 8; i++ {
+			if err := leader.p.RegisterUser(hive.User{
+				ID: fmt.Sprintf("e16-u%d", i), Name: "Seed", Interests: []string{"failover"}}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		var followerURL string
+		for _, n := range nodes {
+			if n != leader {
+				followerURL = n.url
+				break
+			}
+		}
+		c := client.New(followerURL, client.WithCluster(urls...))
+		if err := c.CreateUser(ctx, hive.User{ID: "e16-warm", Name: "Warm"}); err != nil {
+			log.Fatal(err)
+		}
+
+		// Crash the leader: connections die, the platform closes, the
+		// lease is left to lapse.
+		killAt := time.Now()
+		leader.ts.CloseClientConnections()
+		leader.ts.Close()
+		leader.p.Close()
+
+		var survivors []*node
+		for _, n := range nodes {
+			if n != leader {
+				survivors = append(survivors, n)
+			}
+		}
+		waitLeader(survivors)
+		promoteSum += time.Since(killAt)
+
+		for i := 0; ; i++ {
+			if err := c.CreateUser(ctx, hive.User{ID: fmt.Sprintf("e16-post-%d-%d", trial, i), Name: "Post"}); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		writeSum += time.Since(killAt)
+
+		for _, n := range survivors {
+			n.ts.CloseClientConnections()
+			n.ts.Close()
+			n.p.Close()
+		}
+		cleanupDirs()
+	}
+	fmt.Printf("lease ttl %v, %d-node cluster, %d trials\n", ttl, 3, trials)
+	fmt.Printf("detect -> promote:              %v avg\n", (promoteSum / trials).Round(time.Millisecond))
+	fmt.Printf("detect -> first accepted write: %v avg\n", (writeSum / trials).Round(time.Millisecond))
+	fmt.Println("shape: both clocks are dominated by the lease TTL (detection horizon) plus one")
+	fmt.Println("       claim round; the write clock adds the SDK's re-resolution and one retry")
+	_ = users
 }
 
 // e2: relationship discovery latency + evidence histogram + fusion

@@ -6,6 +6,7 @@
 //	hived [-addr :8080] [-data DIR] [-seed users] [-compact-interval 30s]
 //	      [-no-deltas] [-workers N] [-timeout 30s] [-max-inflight N]
 //	      [-qps N] [-quiet] [-pprof ADDR]
+//	      [-cluster "self=URL,peers=URL;URL,lease=DIR[,ttl=2s]"]
 //	      [-follow URL] [-journal-retention N]
 //
 // The API is served under /api/v1 (typed DTOs, cursor pagination,
@@ -29,13 +30,31 @@
 // delta latency, and the node's replication role and lag.
 //
 // Replication: a durable node (-data) journals every change batch and
-// serves it at GET /api/v1/replication/events; -follow URL boots this
-// node as a read-only *follower* of the leader at URL — it bootstraps
-// from the leader's snapshot, tails its journal (reconnecting with
-// backoff), serves the full read API with observable lag, and rejects
-// writes with the not_leader error envelope naming the leader.
-// -journal-retention bounds how many closed journal segments the node
-// keeps (default 8 × 4MiB): followers that fall further behind
+// serves it at GET /api/v1/replication/events.
+//
+// -cluster joins an elected replica set: the node holds a lease in the
+// shared lease directory, the holder leads (accepts writes, stamps its
+// leadership epoch into every journaled batch), everyone else follows
+// it, and when the leader dies its lease lapses and a peer promotes
+// itself — replaying its local journal tail before accepting writes.
+// The flag value is comma-separated key=value pairs:
+//
+//	self=URL    this node's advertised base URL (required)
+//	peers=U;V   the other members' base URLs, ';'-separated
+//	lease=DIR   shared lease directory all members can reach (required)
+//	ttl=2s      lease time-to-live (failover detection horizon)
+//
+// Cluster mode requires -data (an elected node must be able to lead,
+// and leading requires a journal). GET /api/v1/cluster reports the
+// node's view of the set.
+//
+// -follow URL is the deprecated static form (kept one release): it
+// boots this node as a permanent read-only follower of the leader at
+// URL — it bootstraps from the leader's snapshot, tails its journal
+// (reconnecting with backoff), serves the full read API with observable
+// lag, and rejects writes with the not_leader error envelope naming the
+// leader. -journal-retention bounds how many closed journal segments
+// the node keeps (default 8 × 4MiB): followers that fall further behind
 // re-bootstrap from the snapshot automatically.
 //
 // -no-deltas restores the pre-delta behavior (writes mark the snapshot
@@ -51,15 +70,69 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
 	"hive"
+	"hive/internal/election"
 	"hive/internal/server"
 	"hive/internal/workload"
 )
+
+// clusterSpec is the parsed -cluster flag.
+type clusterSpec struct {
+	self     string
+	peers    []string
+	leaseDir string
+	ttl      time.Duration
+}
+
+// parseClusterFlag parses "self=URL,peers=URL;URL,lease=DIR[,ttl=2s]".
+// Peers use ';' as the separator because ',' separates the pairs.
+func parseClusterFlag(s string) (clusterSpec, error) {
+	spec := clusterSpec{ttl: election.DefaultLeaseTTL}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return spec, fmt.Errorf("-cluster: %q is not key=value", part)
+		}
+		switch key {
+		case "self":
+			spec.self = val
+		case "peers":
+			for _, p := range strings.Split(val, ";") {
+				if p = strings.TrimSpace(p); p != "" {
+					spec.peers = append(spec.peers, p)
+				}
+			}
+		case "lease":
+			spec.leaseDir = val
+		case "ttl":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return spec, fmt.Errorf("-cluster: bad ttl %q: %w", val, err)
+			}
+			spec.ttl = d
+		default:
+			return spec, fmt.Errorf("-cluster: unknown key %q (want self, peers, lease, ttl)", key)
+		}
+	}
+	if spec.self == "" {
+		return spec, fmt.Errorf("-cluster: self=URL is required")
+	}
+	if spec.leaseDir == "" {
+		return spec, fmt.Errorf("-cluster: lease=DIR is required (a shared directory all members can reach)")
+	}
+	return spec, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -68,7 +141,9 @@ func main() {
 	compactInterval := flag.Duration("compact-interval", 30*time.Second,
 		"background compaction (full rebuild) interval, run while due (0 = disabled)")
 	follow := flag.String("follow", "",
-		"run as a replication follower of the leader at this base URL (read-only node)")
+		"deprecated: static follower of the leader at this base URL (use -cluster)")
+	cluster := flag.String("cluster", "",
+		"join an elected replica set: self=URL,peers=URL;URL,lease=DIR[,ttl=2s] (requires -data)")
 	journalRetention := flag.Int("journal-retention", 0,
 		"closed change-journal segments to retain (0 = default 8)")
 	noDeltas := flag.Bool("no-deltas", false,
@@ -96,26 +171,68 @@ func main() {
 		}()
 	}
 
-	p, err := hive.Open(hive.Options{
+	opts := hive.Options{
 		Dir:           *data,
 		Workers:       *workers,
 		DisableDeltas: *noDeltas,
 		FollowURL:     *follow,
 		JournalRetain: *journalRetention,
-	})
+	}
+	var leaseDir string
+	if *cluster != "" {
+		if *follow != "" {
+			log.Fatalf("-cluster and -follow are mutually exclusive (the elected set decides who follows whom)")
+		}
+		if *data == "" {
+			log.Fatalf("-cluster requires -data: an elected node must be able to lead, and leading requires a journal")
+		}
+		spec, err := parseClusterFlag(*cluster)
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		leaseDir = spec.leaseDir
+		lease, err := election.NewFileLease(election.LeaseConfig{
+			Dir:  spec.leaseDir,
+			Self: spec.self,
+			TTL:  spec.ttl,
+		})
+		if err != nil {
+			log.Fatalf("cluster lease: %v", err)
+		}
+		opts.Cluster = &hive.ClusterConfig{
+			SelfURL:  spec.self,
+			Peers:    spec.peers,
+			Election: lease,
+		}
+	} else if *follow != "" {
+		log.Printf("warning: -follow is deprecated and will be removed next release; use -cluster self=URL,peers=...,lease=DIR")
+	}
+
+	p, err := hive.Open(opts)
 	if err != nil {
 		log.Fatalf("open platform: %v", err)
 	}
 	defer p.Close()
 
-	if *follow != "" {
+	switch {
+	case *cluster != "":
+		// Role and state are election-driven: the node joined fenced, the
+		// lease decides whether it leads or tails a peer. No local seeding
+		// or eager build — a follower's state comes from the leader, and a
+		// promotion folds the journal tail in before opening writes.
+		log.Printf("cluster member %s (peers %v, lease %s, role %s, epoch %d)",
+			opts.Cluster.SelfURL, opts.Cluster.Peers, leaseDir, p.Role(), p.Epoch())
+		if *seed > 0 {
+			log.Printf("warning: -seed ignored in cluster mode (state replicates from the elected leader)")
+		}
+	case *follow != "":
 		// A follower's state comes from the leader: Open already
 		// bootstrapped and built the serving snapshot.
 		log.Printf("following leader at %s (applied seq %d)", *follow, p.ReplicationApplied())
 		if *seed > 0 {
 			log.Printf("warning: -seed ignored in follower mode (state replicates from the leader)")
 		}
-	} else if *seed > 0 {
+	case *seed > 0:
 		ds := workload.Generate(workload.Config{Seed: 42, Users: *seed})
 		// Seeding runs in-process before serving: one batched store pass,
 		// one snapshot invalidation.
@@ -125,7 +242,7 @@ func main() {
 		log.Printf("seeded %d users, %d papers, %d sessions",
 			len(ds.Users), len(ds.Papers), len(ds.Sessions))
 	}
-	if *follow == "" {
+	if *follow == "" && *cluster == "" {
 		if err := p.Refresh(); err != nil {
 			log.Fatalf("build knowledge engine: %v", err)
 		}

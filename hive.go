@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"hive/internal/core"
+	"hive/internal/election"
 	"hive/internal/journal"
 	"hive/internal/rdf"
 	"hive/internal/social"
@@ -166,13 +167,23 @@ type Options struct {
 	// Compaction tunes when the delta pipeline schedules a full build.
 	Compaction CompactionPolicy
 
-	// FollowURL puts the platform in follower mode: it bootstraps from
-	// the leader's replication snapshot at this base URL, tails the
-	// leader's change journal, folds each batch into its serving
-	// snapshot, and rejects writes with a NotLeaderError. Open blocks
-	// until the initial bootstrap succeeds; afterwards the tail loop
-	// reconnects with backoff.
+	// FollowURL puts the platform in *static* follower mode: it
+	// bootstraps from the leader's replication snapshot at this base
+	// URL, tails the leader's change journal, folds each batch into its
+	// serving snapshot, and rejects writes with a NotLeaderError. Open
+	// blocks until the initial bootstrap succeeds; afterwards the tail
+	// loop reconnects with backoff.
+	//
+	// Deprecated: a statically wired follower cannot survive its leader
+	// — set Cluster instead, which elects the leader and transitions
+	// roles live. FollowURL is kept for one release as the simple
+	// two-node read-scaling setup. Mutually exclusive with Cluster.
 	FollowURL string
+	// Cluster puts the platform in elected-cluster mode: the node's
+	// role (leader or follower) is decided by Cluster.Election and
+	// transitions live — see ClusterConfig. Mutually exclusive with
+	// FollowURL; requires a durable store (Dir).
+	Cluster *ClusterConfig
 	// JournalSegmentBytes rotates journal segments past this size
 	// (0 = default 4MiB).
 	JournalSegmentBytes int64
@@ -225,10 +236,25 @@ type Platform struct {
 	autoStop chan struct{}
 	autoDone chan struct{}
 
-	// follow is non-nil in follower mode (Options.FollowURL): the
-	// platform tails a leader's change journal instead of accepting
-	// writes. See replication.go.
-	follow *follower
+	// Replication role state. role gates the write path (writable);
+	// leaderP is the current leader hint handed to rejected writers;
+	// followP is the active tail loop, nil while leading or between
+	// leaders. In cluster mode the elector drives all three through
+	// applyElection (cluster.go); in static modes they are fixed at
+	// Open. See replication.go.
+	role    atomic.Int32
+	leaderP atomic.Pointer[string]
+	followP atomic.Pointer[follower]
+
+	// Cluster mode state (nil/zero outside cluster mode).
+	selfURL    string
+	peers      []string
+	elector    election.Elector
+	transCh    chan election.State // latest-wins election outcomes
+	transStop  chan struct{}
+	transDone  chan struct{}
+	promotions atomic.Uint64 // follower → leader transitions since Open
+	demotions  atomic.Uint64 // leader → follower transitions since Open
 }
 
 // refreshFlight coalesces concurrent maintenance into one run. full
@@ -244,10 +270,17 @@ type refreshFlight struct {
 type refreshErr struct{ err error }
 
 // Open creates or opens a platform. With Options.FollowURL set it
-// opens in follower mode: bootstrap from the leader, then tail its
-// journal (Open returns after the initial bootstrap built a serving
-// snapshot, so a returned follower immediately answers reads).
+// opens in static follower mode: bootstrap from the leader, then tail
+// its journal (Open returns after the initial bootstrap built a serving
+// snapshot, so a returned follower immediately answers reads). With
+// Options.Cluster set it opens in elected-cluster mode: the node joins
+// as a write-fenced follower and assumes whichever role the election
+// assigns, transitioning live afterwards. Without either it is a
+// standalone leader.
 func Open(opts Options) (*Platform, error) {
+	if opts.Cluster != nil && opts.FollowURL != "" {
+		return nil, errors.New("hive: Options.Cluster and Options.FollowURL are mutually exclusive")
+	}
 	st, err := social.OpenJournaled(opts.Dir, social.Clock(opts.Clock), journal.Options{
 		SegmentBytes: opts.JournalSegmentBytes,
 		Retain:       opts.JournalRetain,
@@ -268,11 +301,27 @@ func Open(opts Options) (*Platform, error) {
 	// On a follower the same path fires when replicated batches are
 	// folded in, so deltas flow identically on both roles.
 	st.OnChange(p.onChange)
-	if opts.FollowURL != "" {
+	switch {
+	case opts.Cluster != nil:
+		if err := p.startCluster(*opts.Cluster); err != nil {
+			st.Close()
+			return nil, err
+		}
+	case opts.FollowURL != "":
+		p.role.Store(roleFollower)
+		p.setLeaderHint(opts.FollowURL)
 		if err := p.startFollowing(opts.FollowURL); err != nil {
 			st.Close()
 			return nil, err
 		}
+	default:
+		// Standalone leader. A durable store that previously ran under
+		// election keeps stamping its recovered term (so its batches
+		// stay fenceable); a fresh one starts at term 1.
+		if st.Journaled() && st.Epoch() == 0 {
+			st.SetEpoch(1)
+		}
+		p.role.Store(roleLeader)
 	}
 	return p, nil
 }
@@ -280,11 +329,15 @@ func Open(opts Options) (*Platform, error) {
 // ErrClosed is returned by refresh operations after Close.
 var ErrClosed = errors.New("hive: platform closed")
 
-// Close stops the follower tail loop (if any) and auto-refresh, waits
-// for any in-flight maintenance and releases the underlying storage. It
-// is a quiescence point: once the closed mark is set no new rebuild can
-// start, so after Close returns nothing reads the store anymore.
+// Close stops the elector and its transition loop (if any), the
+// follower tail loop (if any) and auto-refresh, waits for any in-flight
+// maintenance and releases the underlying storage. It is a quiescence
+// point: once the closed mark is set no new rebuild can start, so after
+// Close returns nothing reads the store anymore. A closing cluster
+// leader does not resign; its lease lapses, taking the same handover
+// path a crash would.
 func (p *Platform) Close() error {
+	p.stopCluster()
 	p.stopFollowing()
 	p.StopAutoRefresh()
 	p.flightMu.Lock()

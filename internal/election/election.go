@@ -1,0 +1,119 @@
+// Package election provides lease/epoch-based leader election for the
+// replication layer: each candidate tries to hold a lease; acquiring it
+// bumps a monotonic epoch, and letting it lapse (crash, partition,
+// stop) lets another candidate claim it at a higher epoch. The epoch —
+// not the lease itself — is the safety mechanism: the lease decides
+// *liveness* (who should be accepting writes right now), while the
+// epoch stamped into every replicated batch decides *safety* (a
+// deposed leader's writes carry a stale epoch and are fenced by
+// followers, never silently applied).
+//
+// The Elector interface is deliberately tiny so backends are pluggable:
+// FileLease (this package) elects over a shared directory, Manual is a
+// test/operator-driven elector, and a future etcd- or peer-lease-backed
+// backend slots in without touching the platform.
+package election
+
+import "sync"
+
+// Role is a node's position in the replica set.
+type Role int
+
+// Roles. The zero value is Follower so an unstarted elector never
+// claims leadership by accident.
+const (
+	// Follower must not accept writes; it tails the leader in State.Leader.
+	Follower Role = iota
+	// Leader holds the lease and may accept writes at State.Epoch.
+	Leader
+)
+
+func (r Role) String() string {
+	if r == Leader {
+		return "leader"
+	}
+	return "follower"
+}
+
+// State is one election outcome: the role this node should assume, the
+// epoch that outcome is valid for, and the leader's advertised URL
+// (self when leading, "" while no leader is known).
+//
+// Epochs are monotonic per lease: every acquisition observes the
+// previous holder's epoch and claims a strictly greater one, so two
+// leaders can never be legitimate at the same epoch and a batch's epoch
+// totally orders leadership terms.
+type State struct {
+	Role   Role
+	Epoch  uint64
+	Leader string
+}
+
+// Elector runs leader election for one node. Implementations must be
+// safe for concurrent use.
+type Elector interface {
+	// Start begins electing and delivers every state change to notify.
+	// floor seeds epoch monotonicity: any epoch this elector claims is
+	// strictly greater than floor (a restarted node passes the highest
+	// epoch recovered from its journal, so its new term outranks every
+	// batch it ever shipped). notify is called from the elector's own
+	// goroutine and must return promptly — long transitions (rebuilds,
+	// re-bootstraps) belong on the receiver's side of a channel.
+	Start(floor uint64, notify func(State))
+	// State returns the most recently determined state.
+	State() State
+	// Stop ceases participating. A leader's lease is left to expire
+	// naturally (same as a crash), so the handover path is identical
+	// whether the leader stopped cleanly or died.
+	Stop()
+}
+
+// Manual is an operator/test-driven elector: Set decides the state.
+// It implements Elector with no background machinery, which makes
+// split-brain scenarios (a deposed leader that still believes it leads)
+// directly constructible in tests.
+type Manual struct {
+	mu     sync.Mutex
+	cur    State
+	notify func(State)
+}
+
+// NewManual returns a Manual elector in the zero (follower, epoch 0,
+// no leader) state.
+func NewManual() *Manual { return &Manual{} }
+
+// Start records the notify hook and delivers the current state so late
+// starters converge with states Set before Start.
+func (m *Manual) Start(floor uint64, notify func(State)) {
+	m.mu.Lock()
+	m.notify = notify
+	if m.cur.Epoch < floor {
+		m.cur.Epoch = floor
+	}
+	st := m.cur
+	m.mu.Unlock()
+	if notify != nil {
+		notify(st)
+	}
+}
+
+// Set forces the elector into st and notifies the subscriber.
+func (m *Manual) Set(st State) {
+	m.mu.Lock()
+	m.cur = st
+	notify := m.notify
+	m.mu.Unlock()
+	if notify != nil {
+		notify(st)
+	}
+}
+
+// State returns the last Set (or Start-adjusted) state.
+func (m *Manual) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cur
+}
+
+// Stop is a no-op: Manual has no background loop.
+func (m *Manual) Stop() {}

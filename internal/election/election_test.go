@@ -1,0 +1,177 @@
+package election
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// watcher collects notify callbacks and lets tests wait for a
+// condition on the latest state.
+type watcher struct {
+	mu     sync.Mutex
+	states []State
+}
+
+func (w *watcher) notify(st State) {
+	w.mu.Lock()
+	w.states = append(w.states, st)
+	w.mu.Unlock()
+}
+
+func (w *watcher) waitFor(t *testing.T, timeout time.Duration, pred func(State) bool) State {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		w.mu.Lock()
+		for _, st := range w.states {
+			if pred(st) {
+				w.mu.Unlock()
+				return st
+			}
+		}
+		w.mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t.Fatalf("condition not reached within %v; observed states: %v", timeout, w.states)
+	return State{}
+}
+
+func newLease(t *testing.T, dir, self string, ttl time.Duration) *FileLease {
+	t.Helper()
+	f, err := NewFileLease(LeaseConfig{Dir: dir, Self: self, TTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFileLeaseSingleNodeAcquires(t *testing.T) {
+	f := newLease(t, t.TempDir(), "http://a", 100*time.Millisecond)
+	defer f.Stop()
+	var w watcher
+	f.Start(0, w.notify)
+	st := w.waitFor(t, 5*time.Second, func(st State) bool { return st.Role == Leader })
+	if st.Epoch == 0 || st.Leader != "http://a" {
+		t.Fatalf("leader state = %+v, want epoch > 0 and leader http://a", st)
+	}
+	if got := f.State(); got.Role != Leader {
+		t.Fatalf("State() = %+v after leadership", got)
+	}
+}
+
+func TestFileLeaseEpochFloor(t *testing.T) {
+	f := newLease(t, t.TempDir(), "http://a", 100*time.Millisecond)
+	defer f.Stop()
+	var w watcher
+	f.Start(41, w.notify)
+	st := w.waitFor(t, 5*time.Second, func(st State) bool { return st.Role == Leader })
+	if st.Epoch <= 41 {
+		t.Fatalf("claimed epoch %d, want > floor 41", st.Epoch)
+	}
+}
+
+func TestFileLeaseSecondNodeFollows(t *testing.T) {
+	dir := t.TempDir()
+	ttl := 100 * time.Millisecond
+	a := newLease(t, dir, "http://a", ttl)
+	defer a.Stop()
+	var wa watcher
+	a.Start(0, wa.notify)
+	lead := wa.waitFor(t, 5*time.Second, func(st State) bool { return st.Role == Leader })
+
+	b := newLease(t, dir, "http://b", ttl)
+	defer b.Stop()
+	var wb watcher
+	b.Start(0, wb.notify)
+	st := wb.waitFor(t, 5*time.Second, func(st State) bool { return st.Leader == "http://a" })
+	if st.Role != Follower || st.Epoch != lead.Epoch {
+		t.Fatalf("second node state = %+v, want follower of http://a at epoch %d", st, lead.Epoch)
+	}
+}
+
+func TestFileLeaseFailoverBumpsEpoch(t *testing.T) {
+	dir := t.TempDir()
+	ttl := 100 * time.Millisecond
+	a := newLease(t, dir, "http://a", ttl)
+	var wa watcher
+	a.Start(0, wa.notify)
+	lead := wa.waitFor(t, 5*time.Second, func(st State) bool { return st.Role == Leader })
+
+	b := newLease(t, dir, "http://b", ttl)
+	defer b.Stop()
+	var wb watcher
+	b.Start(0, wb.notify)
+	wb.waitFor(t, 5*time.Second, func(st State) bool { return st.Leader == "http://a" })
+
+	// Stop the leader without resigning: the lease must lapse and the
+	// follower must claim it at a strictly higher epoch.
+	a.Stop()
+	st := wb.waitFor(t, 10*time.Second, func(st State) bool { return st.Role == Leader })
+	if st.Epoch <= lead.Epoch {
+		t.Fatalf("promoted at epoch %d, want > deposed leader's %d", st.Epoch, lead.Epoch)
+	}
+	if st.Leader != "http://b" {
+		t.Fatalf("promoted state names leader %q, want http://b", st.Leader)
+	}
+}
+
+func TestFileLeaseAtMostOneLeader(t *testing.T) {
+	dir := t.TempDir()
+	ttl := 80 * time.Millisecond
+	selfs := []string{"http://a", "http://b", "http://c"}
+	leases := make([]*FileLease, len(selfs))
+	for i, self := range selfs {
+		leases[i] = newLease(t, dir, self, ttl)
+		defer leases[i].Stop()
+		leases[i].Start(0, nil)
+	}
+	// Sample repeatedly: at every instant at most one elector reports
+	// leadership at the current maximum epoch.
+	deadline := time.Now().Add(2 * time.Second)
+	sawLeader := false
+	for time.Now().Before(deadline) {
+		var maxEpoch uint64
+		states := make([]State, len(leases))
+		for i, l := range leases {
+			states[i] = l.State()
+			if states[i].Epoch > maxEpoch {
+				maxEpoch = states[i].Epoch
+			}
+		}
+		leaders := 0
+		for _, st := range states {
+			if st.Role == Leader && st.Epoch == maxEpoch {
+				leaders++
+			}
+		}
+		if leaders > 1 {
+			t.Fatalf("observed %d leaders at epoch %d: %+v", leaders, maxEpoch, states)
+		}
+		if leaders == 1 {
+			sawLeader = true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawLeader {
+		t.Fatal("no elector ever reported leadership")
+	}
+}
+
+func TestManualElector(t *testing.T) {
+	m := NewManual()
+	pre := State{Role: Leader, Epoch: 7, Leader: "http://x"}
+	m.Set(pre) // before Start: recorded, delivered on Start
+	var w watcher
+	m.Start(0, w.notify)
+	w.waitFor(t, time.Second, func(st State) bool { return st == pre })
+
+	next := State{Role: Follower, Epoch: 8, Leader: "http://y"}
+	m.Set(next)
+	w.waitFor(t, time.Second, func(st State) bool { return st == next })
+	if got := m.State(); got != next {
+		t.Fatalf("State() = %+v, want %+v", got, next)
+	}
+}

@@ -1,0 +1,299 @@
+package election
+
+// FileLease elects over a shared directory (one per replica set — a
+// shared filesystem in deployment, a tempdir in tests and smoke runs).
+// The lease is a single JSON file naming the holder, the holder's
+// epoch, and an expiry deadline; atomic write-then-rename keeps readers
+// from ever observing a torn lease.
+//
+// Protocol, per tick (TTL/4):
+//
+//   - lease valid and ours → renew the expiry (same epoch), stay leader.
+//   - lease valid and foreign → follow its holder at its epoch.
+//   - lease missing or expired → sleep a per-node jittered stagger (so
+//     candidates rarely collide), re-check, then claim by writing
+//     {self, max(seen epoch, floor)+1, now+TTL}; settle for a fraction
+//     of the TTL and re-read — leadership is assumed only if the claim
+//     survived. A lost or clobbered claim demotes to follower and
+//     retries next tick.
+//
+// Two candidates racing the same expiry can both believe they won for
+// at most one settle window; the epoch fencing in the data path makes
+// that window harmless — at equal claims the higher epoch wins
+// downstream, and equal epochs cannot be claimed twice because every
+// claim re-reads the file first and claims strictly above what it saw.
+// The file system is advisory here, exactly like the lease services the
+// design follows: correctness never rests on the lease alone.
+
+import (
+	"encoding/json"
+	"errors"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// DefaultLeaseTTL is the lease validity used when LeaseConfig.TTL is
+// zero: long enough to ride out scheduling hiccups, short enough that
+// failover completes in a few seconds.
+const DefaultLeaseTTL = 2 * time.Second
+
+// LeaseConfig configures a FileLease elector.
+type LeaseConfig struct {
+	// Dir is the shared lease directory; every member of the replica
+	// set must point at the same directory.
+	Dir string
+	// Self is this node's advertised base URL — what the lease names as
+	// holder and what followers and redirected clients dial.
+	Self string
+	// TTL is the lease validity (0 = DefaultLeaseTTL). Renewal runs at
+	// TTL/4, so a leader survives three consecutive missed renewals.
+	TTL time.Duration
+}
+
+// leaseRecord is the on-disk lease format.
+type leaseRecord struct {
+	Holder  string `json:"holder"`
+	Epoch   uint64 `json:"epoch"`
+	Expires int64  `json:"expires_unix_nano"`
+}
+
+// FileLease is the shared-directory Elector backend.
+type FileLease struct {
+	cfg  LeaseConfig
+	path string
+
+	mu     sync.Mutex
+	cur    State
+	floor  uint64 // highest epoch observed or claimed; claims go above it
+	notify func(State)
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	started   bool // set under mu by Start; Stop only waits if the loop ran
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewFileLease validates the config and prepares (but does not start)
+// the elector, creating the lease directory if needed.
+func NewFileLease(cfg LeaseConfig) (*FileLease, error) {
+	if cfg.Dir == "" || cfg.Self == "" {
+		return nil, errors.New("election: LeaseConfig needs Dir and Self")
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = DefaultLeaseTTL
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileLease{
+		cfg:  cfg,
+		path: filepath.Join(cfg.Dir, "leader.lease"),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}, nil
+}
+
+// Start implements Elector.
+func (f *FileLease) Start(floor uint64, notify func(State)) {
+	f.startOnce.Do(func() {
+		f.mu.Lock()
+		f.floor = floor
+		f.notify = notify
+		f.started = true
+		f.mu.Unlock()
+		go f.loop()
+	})
+}
+
+// State implements Elector.
+func (f *FileLease) State() State {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cur
+}
+
+// Stop implements Elector: the loop exits and, if this node led, the
+// lease is simply left to expire — the same handover path a crash takes.
+func (f *FileLease) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.mu.Lock()
+	started := f.started
+	f.mu.Unlock()
+	if started {
+		<-f.done
+	}
+}
+
+func (f *FileLease) loop() {
+	defer close(f.done)
+	tick := f.cfg.TTL / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	for {
+		st, ok := f.step()
+		if !ok {
+			return // stopped mid-step
+		}
+		f.publish(st)
+		if !f.sleep(tick) {
+			return
+		}
+	}
+}
+
+// step runs one election round and returns the resulting state. ok is
+// false when the elector was stopped while waiting inside the round.
+func (f *FileLease) step() (State, bool) {
+	rec := f.readLease()
+	now := time.Now()
+	switch {
+	case f.validAt(rec, now) && rec.Holder == f.cfg.Self:
+		// Our lease: renew. A failed renewal write is caught next tick —
+		// until then the old expiry still covers us.
+		_ = f.writeLease(leaseRecord{Holder: f.cfg.Self, Epoch: rec.Epoch, Expires: now.Add(f.cfg.TTL).UnixNano()})
+		return State{Role: Leader, Epoch: rec.Epoch, Leader: f.cfg.Self}, true
+	case f.validAt(rec, now):
+		return State{Role: Follower, Epoch: rec.Epoch, Leader: rec.Holder}, true
+	}
+
+	// Lease missing or expired: claim it. Stagger candidates by a
+	// per-node deterministic jitter so concurrent claims are rare, then
+	// re-check — someone faster may have claimed during the stagger.
+	if !f.sleep(f.stagger()) {
+		return State{}, false
+	}
+	rec = f.readLease()
+	now = time.Now()
+	if f.validAt(rec, now) {
+		if rec.Holder == f.cfg.Self {
+			return State{Role: Leader, Epoch: rec.Epoch, Leader: f.cfg.Self}, true
+		}
+		return State{Role: Follower, Epoch: rec.Epoch, Leader: rec.Holder}, true
+	}
+	epoch := rec.Epoch
+	f.mu.Lock()
+	if epoch < f.floor {
+		epoch = f.floor
+	}
+	f.mu.Unlock()
+	epoch++
+	claim := leaseRecord{Holder: f.cfg.Self, Epoch: epoch, Expires: now.Add(f.cfg.TTL).UnixNano()}
+	if err := f.writeLease(claim); err != nil {
+		return State{Role: Follower, Epoch: epoch - 1, Leader: ""}, true
+	}
+	// Settle: if another candidate claimed concurrently, the rename that
+	// landed last owns the file. Only a surviving claim confers
+	// leadership.
+	if !f.sleep(f.settle()) {
+		return State{}, false
+	}
+	got := f.readLease()
+	if got.Holder == f.cfg.Self && got.Epoch == epoch {
+		return State{Role: Leader, Epoch: epoch, Leader: f.cfg.Self}, true
+	}
+	if f.validAt(got, time.Now()) {
+		return State{Role: Follower, Epoch: got.Epoch, Leader: got.Holder}, true
+	}
+	// Contested and still unresolved: stand down this round.
+	return State{Role: Follower, Epoch: epoch, Leader: ""}, true
+}
+
+func (f *FileLease) validAt(rec leaseRecord, now time.Time) bool {
+	return rec.Holder != "" && now.UnixNano() < rec.Expires
+}
+
+// publish records the round's outcome, raises the epoch floor, and
+// notifies on change.
+func (f *FileLease) publish(st State) {
+	f.mu.Lock()
+	changed := st != f.cur
+	f.cur = st
+	if st.Epoch > f.floor {
+		f.floor = st.Epoch
+	}
+	notify := f.notify
+	f.mu.Unlock()
+	if changed && notify != nil {
+		notify(st)
+	}
+}
+
+func (f *FileLease) readLease() leaseRecord {
+	data, err := os.ReadFile(f.path)
+	if err != nil {
+		return leaseRecord{}
+	}
+	var rec leaseRecord
+	if json.Unmarshal(data, &rec) != nil {
+		return leaseRecord{}
+	}
+	return rec
+}
+
+// writeLease atomically replaces the lease file (temp + rename), so a
+// reader never observes a torn record and the last rename wins whole.
+func (f *FileLease) writeLease(rec leaseRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(f.cfg.Dir, "lease-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), f.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// stagger is this node's deterministic claim delay: one of 16 slots
+// spread over half the TTL, derived from Self, so a fixed replica set
+// claims in a stable order and dueling claims need a hash collision
+// plus a photo finish.
+func (f *FileLease) stagger() time.Duration {
+	h := fnv.New32a()
+	h.Write([]byte(f.cfg.Self))
+	slot := time.Duration(h.Sum32() % 16)
+	return slot * (f.cfg.TTL / 32)
+}
+
+// settle is the post-claim verification delay: long enough for a
+// racing rename to land, well under a tick.
+func (f *FileLease) settle() time.Duration {
+	d := f.cfg.TTL / 16
+	if d < 2*time.Millisecond {
+		d = 2 * time.Millisecond
+	}
+	return d
+}
+
+// sleep waits d unless the elector stops first.
+func (f *FileLease) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-f.stop:
+		return false
+	}
+}

@@ -16,6 +16,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 	"slices"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -240,6 +242,7 @@ func (s *Server) routes() {
 	// directly.
 	m.HandleFunc("GET /api/v1/replication/events", s.getReplicationEvents)
 	m.HandleFunc("GET /api/v1/replication/snapshot", s.getReplicationSnapshot)
+	m.HandleFunc("GET /api/v1/cluster", s.getCluster)
 
 	// --- /api/v1: reads ----------------------------------------------------
 	m.HandleFunc("GET /api/v1/healthz", s.getHealthz)
@@ -480,10 +483,27 @@ const (
 // ?from=SEQ, up to ?max, long-polling up to ?wait_ms when the caller is
 // caught up. 410 gone + code "compacted" means retention dropped the
 // range and the follower must re-bootstrap from the snapshot endpoint.
+//
+// ?epoch=N asserts the poller's adopted leadership term: a request
+// ahead of this node's term is answered 409 + code "stale_epoch" — the
+// poller has adopted a newer term, so this node is a deposed leader (or
+// lagging peer) whose feed must not be applied. The poller re-resolves
+// the leader instead of consuming fenced batches. Asserting 0 (or
+// omitting the parameter) skips the check, which keeps pre-epoch
+// followers working against upgraded leaders.
 func (s *Server) getReplicationEvents(w http.ResponseWriter, r *http.Request) {
 	from, err := uintParam(r, "from")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument, "bad from: "+err.Error())
+		return
+	}
+	reqEpoch, err := uintParam(r, "epoch")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument, "bad epoch: "+err.Error())
+		return
+	}
+	if cur := s.p.Epoch(); reqEpoch > cur {
+		writeErr(w, &hive.StaleEpochError{Requested: reqEpoch, Current: cur})
 		return
 	}
 	max := intParam(r, "max", defaultReplMax, 1, maxReplBatchReq)
@@ -493,7 +513,7 @@ func (s *Server) getReplicationEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.ReplicationEvents{Batches: batches, Tail: tail})
+	writeJSON(w, http.StatusOK, api.ReplicationEvents{Batches: batches, Tail: tail, Epoch: s.p.Epoch()})
 }
 
 // getReplicationSnapshot serves the full bootstrap image. The sequence
@@ -505,11 +525,81 @@ func (s *Server) getReplicationSnapshot(w http.ResponseWriter, r *http.Request) 
 		writeErr(w, err)
 		return
 	}
-	out := api.ReplicationSnapshot{Seq: seq, Entries: make([]api.KVEntry, 0, len(entries))}
+	out := api.ReplicationSnapshot{Seq: seq, Epoch: s.p.Epoch(), Entries: make([]api.KVEntry, 0, len(entries))}
 	for k, v := range entries {
 		out.Entries = append(out.Entries, api.KVEntry{Key: k, Value: v})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// peerProbeTimeout bounds the whole-peers probe fan-out of the cluster
+// status endpoint: one slow peer must not stall the topology report
+// clients use to re-resolve the leader during failover.
+const peerProbeTimeout = 750 * time.Millisecond
+
+// peerProbeClient dials peers for cluster status. Separate from the
+// default client so probe connection state never mingles with the
+// server's other outbound traffic.
+var peerProbeClient = &http.Client{Timeout: peerProbeTimeout}
+
+// getCluster serves the node's view of the replica set: its own role,
+// term and leader, plus a concurrent liveness/lag probe of every
+// configured peer. Followers answer too — during failover this is the
+// endpoint a client that lost the leader asks for a new one.
+func (s *Server) getCluster(w http.ResponseWriter, r *http.Request) {
+	cs := api.ClusterStatus{
+		Self:      s.p.ClusterSelf(),
+		Role:      s.p.Role(),
+		Epoch:     s.p.Epoch(),
+		LeaderURL: s.p.LeaderURL(),
+		Peers:     []api.PeerStatus{},
+	}
+	peers := s.p.ClusterPeers()
+	if len(peers) > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), peerProbeTimeout)
+		defer cancel()
+		cs.Peers = make([]api.PeerStatus, len(peers))
+		var wg sync.WaitGroup
+		for i, u := range peers {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cs.Peers[i] = probePeer(ctx, u)
+			}()
+		}
+		wg.Wait()
+	}
+	writeJSON(w, http.StatusOK, cs)
+}
+
+// probePeer asks one peer for its healthz and condenses the answer into
+// a PeerStatus; a dead or unreachable peer reports Alive false with the
+// dial error.
+func probePeer(ctx context.Context, url string) api.PeerStatus {
+	ps := api.PeerStatus{URL: url}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/api/v1/healthz", nil)
+	if err != nil {
+		ps.Error = err.Error()
+		return ps
+	}
+	resp, err := peerProbeClient.Do(req)
+	if err != nil {
+		ps.Error = err.Error()
+		return ps
+	}
+	defer resp.Body.Close()
+	var h api.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		ps.Error = "bad healthz response: " + err.Error()
+		return ps
+	}
+	ps.Alive = true
+	ps.Role = h.Replication.Role
+	ps.Epoch = h.Replication.Epoch
+	ps.JournalTail = h.Replication.JournalTail
+	ps.AppliedSeq = h.Replication.AppliedSeq
+	ps.LagEvents = h.Replication.LagEvents
+	return ps
 }
 
 // uintParam parses a required non-negative integer query parameter.
@@ -523,7 +613,7 @@ func uintParam(r *http.Request, name string) (uint64, error) {
 
 // replicationHealth assembles the role/lag report for healthz.
 func (s *Server) replicationHealth() api.ReplicationHealth {
-	rh := api.ReplicationHealth{Role: api.RoleLeader}
+	rh := api.ReplicationHealth{Role: api.RoleLeader, Epoch: s.p.Epoch()}
 	st := s.p.Store()
 	rh.JournalOldest, rh.JournalTail, rh.JournalSegments = st.JournalStats()
 	if err := st.JournalError(); err != nil {
@@ -632,7 +722,7 @@ func (s *Server) postBatch(w http.ResponseWriter, r *http.Request) {
 	// platform's follower guard — reject here so a follower never forks
 	// from its leader.
 	if s.p.IsFollower() {
-		writeErr(w, &hive.NotLeaderError{Leader: s.p.LeaderURL()})
+		writeErr(w, &hive.NotLeaderError{Leader: s.p.LeaderURL(), Epoch: s.p.Epoch()})
 		return
 	}
 	var req api.BatchRequest
@@ -973,13 +1063,22 @@ func apiError(err error) *api.Error {
 // behind a not_leader rejection).
 func classify(err error) (*api.Error, int) {
 	var nle *hive.NotLeaderError
+	var see *hive.StaleEpochError
 	switch {
 	case errors.As(err, &nle):
 		return &api.Error{
 			Code:    api.CodeNotLeader,
 			Message: err.Error(),
-			Details: map[string]any{"leader": nle.Leader},
+			Details: map[string]any{"leader": nle.Leader, "epoch": nle.Epoch},
 		}, http.StatusConflict
+	case errors.As(err, &see):
+		return &api.Error{
+			Code:    api.CodeStaleEpoch,
+			Message: err.Error(),
+			Details: map[string]any{"epoch": see.Current, "requested_epoch": see.Requested},
+		}, http.StatusConflict
+	case errors.Is(err, social.ErrStaleEpoch):
+		return &api.Error{Code: api.CodeStaleEpoch, Message: err.Error()}, http.StatusConflict
 	case errors.Is(err, journal.ErrCompacted):
 		return &api.Error{Code: api.CodeCompacted, Message: err.Error()}, http.StatusGone
 	case errors.Is(err, social.ErrNotFound),

@@ -1,0 +1,113 @@
+package social
+
+import (
+	"errors"
+	"testing"
+)
+
+func epochBatch(first, last, epoch uint64) ReplicationBatch {
+	evs := make([]ChangeEvent, 0, last-first+1)
+	for seq := first; seq <= last; seq++ {
+		evs = append(evs, ChangeEvent{Seq: seq, Kind: ChangePut, EntityType: EntityUser, ID: "u"})
+	}
+	return ReplicationBatch{
+		First:  first,
+		Last:   last,
+		Epoch:  epoch,
+		Events: evs,
+		Puts:   map[string][]byte{"user/u": []byte(`{"id":"u"}`)},
+	}
+}
+
+func TestApplyReplicaEpochFencing(t *testing.T) {
+	st, err := Open("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetEpoch(3)
+
+	// Stale term: a deposed leader's batch must be fenced, not applied.
+	err = st.ApplyReplica(epochBatch(1, 1, 2))
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("epoch 2 batch at store epoch 3: err = %v, want ErrStaleEpoch", err)
+	}
+	if st.ChangeSeq() != 0 {
+		t.Fatalf("fenced batch advanced ChangeSeq to %d", st.ChangeSeq())
+	}
+
+	// Newer term: the caller must re-bootstrap, not apply in place.
+	err = st.ApplyReplica(epochBatch(1, 1, 4))
+	if !errors.Is(err, ErrEpochAhead) {
+		t.Fatalf("epoch 4 batch at store epoch 3: err = %v, want ErrEpochAhead", err)
+	}
+
+	// Same term applies.
+	if err := st.ApplyReplica(epochBatch(1, 2, 3)); err != nil {
+		t.Fatalf("same-epoch batch: %v", err)
+	}
+	if st.ChangeSeq() != 2 {
+		t.Fatalf("ChangeSeq = %d after same-epoch apply, want 2", st.ChangeSeq())
+	}
+
+	// Epoch-0 batches (pre-epoch journals, unmanaged leaders) always
+	// apply: the fence never breaks old wire data.
+	if err := st.ApplyReplica(epochBatch(3, 3, 0)); err != nil {
+		t.Fatalf("legacy epoch-0 batch: %v", err)
+	}
+}
+
+func TestApplyReplicaAdoptsEpoch(t *testing.T) {
+	st, err := Open("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.ApplyReplica(epochBatch(1, 1, 7)); err != nil {
+		t.Fatalf("epoch 7 batch on unmanaged store: %v", err)
+	}
+	if got := st.Epoch(); got != 7 {
+		t.Fatalf("store epoch = %d after applying epoch-7 batch, want 7", got)
+	}
+	// Once adopted, older terms are fenced.
+	if err := st.ApplyReplica(epochBatch(2, 2, 6)); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("epoch 6 batch after adopting 7: err = %v, want ErrStaleEpoch", err)
+	}
+}
+
+func TestSetEpochMonotonic(t *testing.T) {
+	st, err := Open("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetEpoch(5)
+	st.SetEpoch(3) // regression attempts are ignored
+	if got := st.Epoch(); got != 5 {
+		t.Fatalf("epoch = %d after SetEpoch(5) then SetEpoch(3), want 5", got)
+	}
+}
+
+func TestEpochRecoveredFromJournal(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetEpoch(9)
+	if err := st.PutUser(User{ID: "u", Name: "U"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Epoch(); got != 9 {
+		t.Fatalf("epoch = %d after reopen, want 9 (recovered from journal tail)", got)
+	}
+}

@@ -11,10 +11,26 @@ package social
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"hive/internal/journal"
 	"hive/internal/kvstore"
+)
+
+// Epoch fencing errors. ApplyReplica wraps them with the batch's and
+// the store's epochs; callers branch with errors.Is.
+var (
+	// ErrStaleEpoch rejects a batch from a leadership term older than
+	// the store's: a deposed leader kept writing after losing its lease.
+	// The batch must be fenced (dropped), never applied — and the node
+	// that produced it must not be used as a snapshot source either.
+	ErrStaleEpoch = errors.New("social: replica batch from a stale epoch")
+	// ErrEpochAhead rejects a batch from a newer leadership term than
+	// the store has adopted. Per the compatibility rule a follower at
+	// epoch N applies batches at N and re-bootstraps on N+1 — the
+	// caller re-syncs from a snapshot, adopting the new epoch there.
+	ErrEpochAhead = errors.New("social: replica batch from a newer epoch")
 )
 
 // ReplicationBatch is one journaled change batch: the inclusive
@@ -26,9 +42,17 @@ import (
 // concurrent writers a batch may carry kv writes whose events ride a
 // neighboring batch. That is harmless by construction: kv images apply
 // verbatim and in order, and events are refetch hints.
+//
+// Epoch is the leadership term the batch was journaled under — the
+// fencing token of the election layer. Followers reject batches whose
+// epoch is behind their own (a deposed leader's writes) and re-bootstrap
+// on batches ahead of it. Zero (omitted on the wire) marks a batch
+// journaled before epochs existed, or by an unmanaged store; such
+// batches are always accepted, which keeps pre-epoch journals readable.
 type ReplicationBatch struct {
 	First  uint64            `json:"first"`
 	Last   uint64            `json:"last"`
+	Epoch  uint64            `json:"epoch,omitempty"`
 	Events []ChangeEvent     `json:"events"`
 	Puts   map[string][]byte `json:"puts,omitempty"`
 	Dels   []string          `json:"dels,omitempty"`
@@ -147,11 +171,25 @@ func (s *Store) ImportReplicaSnapshot(seq uint64, entries map[string][]byte) err
 // the events are delivered to subscribers so the platform folds them
 // into its serving snapshot via the ordinary delta path. Batches at or
 // below the current sequence are skipped (reconnect replays).
+//
+// Epoch fencing happens first: a batch carrying an epoch behind the
+// store's fails with ErrStaleEpoch (deposed-leader writes are dropped,
+// not applied), one ahead of it fails with ErrEpochAhead (the caller
+// re-bootstraps and adopts the new epoch from the snapshot). Epoch-0
+// batches and epoch-0 stores are unmanaged and skip the check.
 func (s *Store) ApplyReplica(rb ReplicationBatch) error {
 	if rb.Last < rb.First || rb.First == 0 {
 		return fmt.Errorf("social: invalid replica batch range [%d,%d]", rb.First, rb.Last)
 	}
 	s.evMu.Lock()
+	if rb.Epoch != 0 && s.epoch != 0 && rb.Epoch != s.epoch {
+		cur := s.epoch
+		s.evMu.Unlock()
+		if rb.Epoch < cur {
+			return fmt.Errorf("%w: batch [%d,%d] at epoch %d, store at epoch %d", ErrStaleEpoch, rb.First, rb.Last, rb.Epoch, cur)
+		}
+		return fmt.Errorf("%w: batch [%d,%d] at epoch %d, store at epoch %d", ErrEpochAhead, rb.First, rb.Last, rb.Epoch, cur)
+	}
 	if rb.Last <= s.changeSeq {
 		s.evMu.Unlock()
 		return nil // already applied
@@ -182,6 +220,10 @@ func (s *Store) ApplyReplica(rb ReplicationBatch) error {
 
 	s.evMu.Lock()
 	s.changeSeq = rb.Last
+	if rb.Epoch > s.epoch {
+		// An unmanaged store adopts the leader's epoch from its feed.
+		s.epoch = rb.Epoch
+	}
 	if s.jn != nil && s.jn.Tail() < rb.First {
 		data, err := json.Marshal(rb)
 		if err == nil {

@@ -79,6 +79,12 @@ type Store struct {
 	evMu      sync.Mutex
 	changeSeq uint64
 	evBuf     []ChangeEvent
+	// epoch is the leadership term stamped into every journaled batch —
+	// the election layer's fencing token. It only ever rises (SetEpoch)
+	// and is recovered from the last journal record on reopen. Zero
+	// means unmanaged (no election): batches carry no epoch and fencing
+	// is off, which is exactly the pre-election behavior.
+	epoch uint64
 
 	// jn, when non-nil, durably journals every delivered change batch
 	// together with the raw kv writes that produced it — the
@@ -117,6 +123,26 @@ func (s *Store) ChangeSeq() uint64 {
 	s.evMu.Lock()
 	defer s.evMu.Unlock()
 	return s.changeSeq
+}
+
+// Epoch returns the leadership term the store currently stamps into
+// journaled batches (0 = unmanaged, no fencing).
+func (s *Store) Epoch() uint64 {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	return s.epoch
+}
+
+// SetEpoch raises the store's epoch to e; lower values are ignored —
+// epochs are monotonic, a regression would let a deposed leader's
+// batches back past the fence. Called by the platform when an election
+// outcome (promotion, or following a newer leader) is adopted.
+func (s *Store) SetEpoch(e uint64) {
+	s.evMu.Lock()
+	if e > s.epoch {
+		s.epoch = e
+	}
+	s.evMu.Unlock()
 }
 
 // emit appends typed change events to the log. Inside a batch (or a
@@ -173,6 +199,7 @@ func (s *Store) journalLocked(evs []ChangeEvent) {
 	rb := ReplicationBatch{
 		First:  evs[0].Seq,
 		Last:   evs[len(evs)-1].Seq,
+		Epoch:  s.epoch,
 		Events: evs,
 		Puts:   puts,
 	}
@@ -279,6 +306,19 @@ func OpenJournaled(dir string, clock Clock, jopts journal.Options) (*Store, erro
 	// (a fresh-started counter would make journal offsets and delta
 	// watermarks disagree).
 	s.changeSeq = jn.Tail()
+	// Recover the epoch from the last journal record: after a restart
+	// the store must not journal (or accept) batches below the term it
+	// last wrote under, or a resurrected deposed leader would slip past
+	// the fence. The record whose Last equals the tail is always
+	// addressable (retention never drops the active segment).
+	if tail := jn.Tail(); tail > 0 {
+		if recs, err := jn.ReadFrom(tail-1, 1); err == nil && len(recs) > 0 {
+			var rb ReplicationBatch
+			if json.Unmarshal(recs[len(recs)-1].Data, &rb) == nil {
+				s.epoch = rb.Epoch
+			}
+		}
+	}
 	// Capture every committed kv write into the in-flight batch buffer;
 	// journalLocked drains it when the batch's events are delivered.
 	kv.SetWriteHook(func(key string, val []byte, del bool) {

@@ -5,14 +5,23 @@ package hive
 // A durable platform journals every change batch (typed events + the
 // raw kv write image) through internal/journal; the server exposes that
 // journal as GET /api/v1/replication/events plus a full-state snapshot
-// endpoint. A follower (Options.FollowURL) bootstraps from the
-// snapshot, then tails the journal: each batch's kv image applies
-// verbatim — the follower's store converges byte-for-byte with the
-// leader's — and the batch's events flow through the ordinary onChange
-// → ApplyDelta path, so the follower's serving snapshot is maintained
-// by exactly the machinery a leader uses for its own writes. Followers
-// serve the full read API with bounded, observable lag and reject
-// writes with a typed NotLeaderError naming the leader.
+// endpoint. A follower — static (Options.FollowURL) or elected
+// (Options.Cluster) — bootstraps from the snapshot, then tails the
+// journal: each batch's kv image applies verbatim — the follower's
+// store converges byte-for-byte with the leader's — and the batch's
+// events flow through the ordinary onChange → ApplyDelta path, so the
+// follower's serving snapshot is maintained by exactly the machinery a
+// leader uses for its own writes. Followers serve the full read API
+// with bounded, observable lag and reject writes with a typed
+// NotLeaderError naming the leader and its term.
+//
+// Epoch fencing: every poll asserts the follower's adopted term, so a
+// deposed leader (stuck at an older term) answers stale_epoch instead
+// of feeding doomed batches — and if one slips through anyway the store
+// fences it (social.ErrStaleEpoch). Fenced batches never trigger a
+// re-sync: bootstrapping from a deposed leader would silently regress
+// the follower, so the loop backs off and waits for the elector to
+// retarget it at the real leader.
 
 import (
 	"context"
@@ -28,12 +37,22 @@ import (
 
 // NotLeaderError is returned by mutation methods on a follower: writes
 // must go to the leader it names. The HTTP layer maps it to the stable
-// not_leader error code with the leader URL in the error details.
+// not_leader error code with the leader URL and the current term in the
+// error details; cluster-aware clients follow the hint automatically.
 type NotLeaderError struct {
+	// Leader is the leader's base URL ("" while an election is
+	// unresolved — retry after re-resolving via the cluster endpoint).
 	Leader string
+	// Epoch is the term this node has adopted; a client seeing a hint
+	// at a lower term than one it already followed is looking at a
+	// stale node.
+	Epoch uint64
 }
 
 func (e *NotLeaderError) Error() string {
+	if e.Leader == "" {
+		return "hive: not the leader and no leader is known (election unresolved); retry"
+	}
 	return fmt.Sprintf("hive: not the leader; send writes to %s", e.Leader)
 }
 
@@ -46,92 +65,139 @@ const (
 	followBackoffHi = 5 * time.Second
 	// bootstrapAttempts bounds how long Open waits for a reachable
 	// leader before failing fast (the operator restarts the follower).
+	// Elected followers bootstrap asynchronously and retry forever —
+	// their leader may simply not have won yet.
 	bootstrapAttempts = 10
 )
 
-// follower holds the tail-loop state of a following platform.
+// follower holds the tail-loop state of a following platform. Each
+// leader change builds a fresh follower; observability reads go through
+// Platform.followP.
 type follower struct {
 	url    string
 	c      *client.Client
 	cancel context.CancelFunc
+	ctx    context.Context
 	stop   chan struct{}
 	done   chan struct{}
+
+	// booted flips once the initial bootstrap (or resume) succeeded;
+	// until then the loop retries bootstrap instead of tailing.
+	booted bool
+	// forceBootstrap makes the initial bootstrap unconditionally
+	// re-sync from the leader's snapshot even when local state exists —
+	// set when rejoining after a leader change, where the local journal
+	// may hold batches from a fenced term.
+	forceBootstrap bool
 
 	applied    atomic.Uint64 // last leader sequence folded into the local store
 	leaderTail atomic.Uint64 // leader journal tail at the most recent poll
 	lastErr    atomic.Pointer[replErr]
 	bootstraps atomic.Uint64 // snapshot bootstraps since Open (re-syncs after compaction/holes)
+	fenced     atomic.Uint64 // stale-epoch batches/feeds rejected (deposed-leader writes)
 }
 
 // replErr boxes a tail-loop outcome for atomic storage.
 type replErr struct{ err error }
 
-// startFollowing performs the initial bootstrap synchronously (so a
-// returned Platform serves reads immediately) and starts the tail loop.
-func (p *Platform) startFollowing(url string) error {
+func (p *Platform) newFollower(url string, force bool) *follower {
 	ctx, cancel := context.WithCancel(context.Background())
-	f := &follower{
-		url:    url,
-		c:      client.New(url),
-		cancel: cancel,
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+	return &follower{
+		url:            url,
+		c:              client.New(url),
+		cancel:         cancel,
+		ctx:            ctx,
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+		forceBootstrap: force,
 	}
-	p.follow = f
+}
 
-	// Resume point: a durable follower that restarted already holds the
-	// state up to its journal tail; it only needs the snapshot when
-	// starting empty. A stale resume point past the leader's retention
-	// horizon is detected on the first poll and re-bootstraps.
+// startFollowing enters static follower mode: the initial bootstrap
+// runs synchronously (so a returned Platform serves reads immediately),
+// then the tail loop starts.
+func (p *Platform) startFollowing(url string) error {
+	f := p.newFollower(url, false)
+	p.followP.Store(f)
+
 	var lastErr error
 	for attempt := 0; attempt < bootstrapAttempts; attempt++ {
 		if attempt > 0 {
 			select {
 			case <-time.After(backoffDelay(attempt)):
-			case <-ctx.Done():
-				return ctx.Err()
+			case <-f.ctx.Done():
+				return f.ctx.Err()
 			}
 		}
-		if seq := p.store.ChangeSeq(); seq > 0 {
-			f.applied.Store(seq)
-			lastErr = nil
-		} else if lastErr = p.bootstrapFollower(ctx); lastErr != nil {
+		if lastErr = p.bootFollower(f); lastErr != nil {
 			continue
 		}
-		// Build the first serving snapshot from the bootstrapped store.
-		if lastErr = p.Refresh(); lastErr != nil {
-			continue
-		}
-		go p.followLoop(ctx)
+		f.booted = true
+		go p.followLoop(f)
 		return nil
 	}
-	cancel()
+	f.cancel()
+	p.followP.Store(nil)
 	return fmt.Errorf("hive: follower bootstrap from %s failed: %w", url, lastErr)
 }
 
-// stopFollowing cancels the tail loop and waits for it to exit.
+// startFollowerAsync enters (or re-enters) follower mode without
+// blocking: the tail loop owns the bootstrap, retrying with backoff
+// until it succeeds or the follower is stopped. Used by cluster
+// transitions, where the new leader may itself still be promoting.
+func (p *Platform) startFollowerAsync(url string) {
+	f := p.newFollower(url, true)
+	p.followP.Store(f)
+	go p.followLoop(f)
+}
+
+// bootFollower establishes the follower's starting point: resume from
+// local state when it exists (and no re-sync is forced), otherwise pull
+// the leader's snapshot; either way the serving snapshot is (re)built
+// before the follower reports ready.
+func (p *Platform) bootFollower(f *follower) error {
+	if !f.forceBootstrap {
+		if seq := p.store.ChangeSeq(); seq > 0 {
+			// A durable follower that restarted already holds the state
+			// up to its journal tail. A stale resume point past the
+			// leader's retention horizon is detected on the first poll
+			// and re-bootstraps.
+			f.applied.Store(seq)
+			return p.Refresh()
+		}
+	}
+	return p.resyncFollower(f)
+}
+
+// stopFollowing cancels the tail loop, waits for it to exit and clears
+// the follower slot.
 func (p *Platform) stopFollowing() {
-	f := p.follow
+	f := p.followP.Load()
 	if f == nil {
 		return
 	}
 	select {
 	case <-f.stop:
-		return // already stopped
 	default:
+		close(f.stop)
+		f.cancel()
 	}
-	close(f.stop)
-	f.cancel()
 	<-f.done
+	p.followP.CompareAndSwap(f, nil)
 }
 
 // bootstrapFollower replaces the local store with the leader's full
-// snapshot and positions the tail at its watermark.
-func (p *Platform) bootstrapFollower(ctx context.Context) error {
-	f := p.follow
-	snap, err := f.c.ReplicationSnapshot(ctx)
+// snapshot and positions the tail at its watermark. A snapshot from a
+// stale term is refused: importing it would regress the follower to a
+// deposed leader's world — the exact rewrite fencing exists to prevent.
+func (p *Platform) bootstrapFollower(f *follower) error {
+	snap, err := f.c.ReplicationSnapshot(f.ctx)
 	if err != nil {
 		return fmt.Errorf("fetch snapshot: %w", err)
+	}
+	if cur := p.store.Epoch(); snap.Epoch != 0 && snap.Epoch < cur {
+		f.fenced.Add(1)
+		return fmt.Errorf("refusing snapshot from %s at stale epoch %d (ours is %d): %w", f.url, snap.Epoch, cur, social.ErrStaleEpoch)
 	}
 	entries := make(map[string][]byte, len(snap.Entries))
 	for _, e := range snap.Entries {
@@ -140,41 +206,72 @@ func (p *Platform) bootstrapFollower(ctx context.Context) error {
 	if err := p.store.ImportReplicaSnapshot(snap.Seq, entries); err != nil {
 		return fmt.Errorf("import snapshot: %w", err)
 	}
+	p.store.SetEpoch(snap.Epoch)
 	f.applied.Store(p.store.ChangeSeq())
 	f.bootstraps.Add(1)
 	return nil
 }
 
-// followLoop tails the leader's journal until the platform closes,
-// reconnecting with exponential backoff and re-bootstrapping from the
-// snapshot when the leader compacted past our position (or a journal
-// hole is detected).
-func (p *Platform) followLoop(ctx context.Context) {
-	f := p.follow
+// followLoop tails the leader's journal until stopped, reconnecting
+// with exponential backoff and re-bootstrapping from the snapshot when
+// the leader compacted past our position, regressed, or moved to a
+// newer term (or a journal hole is detected). Stale-term feeds are
+// fenced, never re-synced from.
+func (p *Platform) followLoop(f *follower) {
 	defer close(f.done)
 	failures := 0
+	wait := func() bool {
+		if failures == 0 {
+			return true
+		}
+		select {
+		case <-time.After(backoffDelay(failures)):
+			return true
+		case <-f.stop:
+			return false
+		}
+	}
+
+	for !f.booted {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		if !wait() {
+			return
+		}
+		if err := p.bootFollower(f); err != nil {
+			if f.ctx.Err() != nil {
+				return
+			}
+			f.lastErr.Store(&replErr{fmt.Errorf("bootstrap from %s: %w", f.url, err)})
+			failures++
+			continue
+		}
+		f.booted = true
+		f.lastErr.Store(&replErr{})
+		failures = 0
+	}
+
 	for {
 		select {
 		case <-f.stop:
 			return
 		default:
 		}
-		if failures > 0 {
-			select {
-			case <-time.After(backoffDelay(failures)):
-			case <-f.stop:
-				return
-			}
+		if !wait() {
+			return
 		}
 
 		from := f.applied.Load()
-		ev, err := f.c.ReplicationEvents(ctx, from, followBatchMax, followPollWait)
+		ev, err := f.c.ReplicationEvents(f.ctx, from, followBatchMax, followPollWait, p.store.Epoch())
 		switch {
 		case err == nil:
 		case api.IsCode(err, api.CodeCompacted):
 			// Fell behind the leader's retention horizon: tailing can
 			// never catch up, re-sync from the full snapshot.
-			if berr := p.resyncFollower(ctx); berr != nil {
+			if berr := p.resyncFollower(f); berr != nil {
 				f.lastErr.Store(&replErr{fmt.Errorf("re-bootstrap after compaction: %w", berr)})
 				failures++
 				continue
@@ -182,12 +279,36 @@ func (p *Platform) followLoop(ctx context.Context) {
 			f.lastErr.Store(&replErr{})
 			failures = 0
 			continue
+		case api.IsCode(err, api.CodeStaleEpoch):
+			// The polled node's term is behind ours: it is a deposed
+			// leader (or a lagging peer). Nothing it serves is safe to
+			// apply or bootstrap from — back off and wait for the
+			// elector to retarget us at the real leader.
+			f.fenced.Add(1)
+			f.lastErr.Store(&replErr{fmt.Errorf("fenced: %s is behind our epoch %d (deposed leader?): %w", f.url, p.store.Epoch(), err)})
+			failures++
+			continue
 		default:
-			if ctx.Err() != nil {
+			if f.ctx.Err() != nil {
 				return
 			}
 			f.lastErr.Store(&replErr{fmt.Errorf("poll leader: %w", err)})
 			failures++
+			continue
+		}
+
+		if ev.Epoch > p.store.Epoch() {
+			// The leader moved to a newer term than we adopted. Per the
+			// compatibility rule (accept N, re-bootstrap on N+1) the
+			// tail is not trustworthy across terms: re-sync from the
+			// snapshot, which adopts the new term.
+			if berr := p.resyncFollower(f); berr != nil {
+				f.lastErr.Store(&replErr{fmt.Errorf("re-bootstrap onto epoch %d: %w", ev.Epoch, berr)})
+				failures++
+				continue
+			}
+			f.lastErr.Store(&replErr{})
+			failures = 0
 			continue
 		}
 
@@ -198,7 +319,7 @@ func (p *Platform) followLoop(ctx context.Context) {
 		// its snapshot instead.
 		if ev.Tail < from {
 			f.leaderTail.Store(ev.Tail)
-			if berr := p.resyncFollower(ctx); berr != nil {
+			if berr := p.resyncFollower(f); berr != nil {
 				f.lastErr.Store(&replErr{fmt.Errorf("re-bootstrap after leader regression (tail %d < applied %d): %w", ev.Tail, from, berr)})
 				failures++
 				continue
@@ -208,7 +329,7 @@ func (p *Platform) followLoop(ctx context.Context) {
 			continue
 		}
 		f.leaderTail.Store(ev.Tail)
-		hole := false
+		hole, fencedBatch := false, false
 		for _, rb := range ev.Batches {
 			applied := f.applied.Load()
 			if rb.Last <= applied {
@@ -222,13 +343,24 @@ func (p *Platform) followLoop(ctx context.Context) {
 			}
 			if aerr := p.store.ApplyReplica(rb); aerr != nil {
 				f.lastErr.Store(&replErr{fmt.Errorf("apply batch [%d,%d]: %w", rb.First, rb.Last, aerr)})
+				if errors.Is(aerr, social.ErrStaleEpoch) {
+					// Deposed-leader writes: drop them, and do NOT
+					// re-sync — this node's snapshot is just as stale.
+					f.fenced.Add(1)
+					fencedBatch = true
+					break
+				}
 				hole = true // re-sync rather than skip acknowledged data
 				break
 			}
 			f.applied.Store(rb.Last)
 		}
+		if fencedBatch {
+			failures++
+			continue
+		}
 		if hole {
-			if berr := p.resyncFollower(ctx); berr != nil {
+			if berr := p.resyncFollower(f); berr != nil {
 				f.lastErr.Store(&replErr{fmt.Errorf("re-bootstrap after feed hole: %w", berr)})
 				failures++
 				continue
@@ -241,8 +373,8 @@ func (p *Platform) followLoop(ctx context.Context) {
 
 // resyncFollower re-bootstraps from the snapshot and rebuilds the
 // serving snapshot (imported state has no event trail to delta from).
-func (p *Platform) resyncFollower(ctx context.Context) error {
-	if err := p.bootstrapFollower(ctx); err != nil {
+func (p *Platform) resyncFollower(f *follower) error {
+	if err := p.bootstrapFollower(f); err != nil {
 		return err
 	}
 	// Drop any queued events from before the import: the full rebuild
@@ -265,43 +397,49 @@ func backoffDelay(failures int) time.Duration {
 }
 
 // writable gates every mutation wrapper: followers reject writes with a
-// typed error naming the leader, so clients can redirect.
+// typed error naming the leader and term, so clients can redirect.
 func (p *Platform) writable() error {
-	if p.follow != nil {
-		return &NotLeaderError{Leader: p.follow.url}
+	if p.role.Load() != roleLeader {
+		return &NotLeaderError{Leader: p.leaderHint(), Epoch: p.store.Epoch()}
 	}
 	return nil
 }
 
 // --- Replication observability --------------------------------------------------
 
-// IsFollower reports whether the platform tails a leader.
-func (p *Platform) IsFollower() bool { return p.follow != nil }
+// IsFollower reports whether the platform currently holds the follower
+// role (in cluster mode this can change live).
+func (p *Platform) IsFollower() bool { return p.role.Load() == roleFollower }
 
-// LeaderURL returns the followed leader's base URL ("" on a leader).
+// LeaderURL returns the current leader's base URL: the followed leader
+// on a follower, the node's own advertised URL on an elected leader,
+// "" on a standalone leader or while an election is unresolved.
 func (p *Platform) LeaderURL() string {
-	if p.follow == nil {
-		return ""
+	if p.role.Load() == roleLeader {
+		return p.leaderHint()
 	}
-	return p.follow.url
+	if f := p.followP.Load(); f != nil {
+		return f.url
+	}
+	return p.leaderHint()
 }
 
 // ReplicationApplied returns the last leader sequence folded into the
 // local store (0 on a leader).
 func (p *Platform) ReplicationApplied() uint64 {
-	if p.follow == nil {
-		return 0
+	if f := p.followP.Load(); f != nil {
+		return f.applied.Load()
 	}
-	return p.follow.applied.Load()
+	return 0
 }
 
 // ReplicationLeaderTail returns the leader's journal tail observed at
 // the most recent poll (0 before the first successful poll).
 func (p *Platform) ReplicationLeaderTail() uint64 {
-	if p.follow == nil {
-		return 0
+	if f := p.followP.Load(); f != nil {
+		return f.leaderTail.Load()
 	}
-	return p.follow.leaderTail.Load()
+	return 0
 }
 
 // ReplicationLag returns how many journaled leader events this follower
@@ -310,10 +448,11 @@ func (p *Platform) ReplicationLeaderTail() uint64 {
 // follower; while disconnected it is a lower bound (the leader keeps
 // writing but the observed tail freezes).
 func (p *Platform) ReplicationLag() uint64 {
-	if p.follow == nil {
+	f := p.followP.Load()
+	if f == nil {
 		return 0
 	}
-	tail, applied := p.follow.leaderTail.Load(), p.follow.applied.Load()
+	tail, applied := f.leaderTail.Load(), f.applied.Load()
 	if tail <= applied {
 		return 0
 	}
@@ -323,19 +462,29 @@ func (p *Platform) ReplicationLag() uint64 {
 // ReplicationBootstraps counts snapshot bootstraps since Open (1 for a
 // fresh follower; more after retention or feed holes forced re-syncs).
 func (p *Platform) ReplicationBootstraps() uint64 {
-	if p.follow == nil {
-		return 0
+	if f := p.followP.Load(); f != nil {
+		return f.bootstraps.Load()
 	}
-	return p.follow.bootstraps.Load()
+	return 0
+}
+
+// ReplicationFenced counts stale-epoch rejections — batches, feeds or
+// snapshots from a deposed leader this follower refused to apply.
+func (p *Platform) ReplicationFenced() uint64 {
+	if f := p.followP.Load(); f != nil {
+		return f.fenced.Load()
+	}
+	return 0
 }
 
 // LastReplicationError returns the tail loop's most recent failure, or
 // nil when the loop is healthy (or the platform is a leader).
 func (p *Platform) LastReplicationError() error {
-	if p.follow == nil {
+	f := p.followP.Load()
+	if f == nil {
 		return nil
 	}
-	if box := p.follow.lastErr.Load(); box != nil {
+	if box := f.lastErr.Load(); box != nil {
 		return box.err
 	}
 	return nil
