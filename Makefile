@@ -5,9 +5,9 @@ GO      ?= go
 BENCHTIME ?= 200ms
 # Benchmark JSON stream for the current PR's perf record (uploaded as a
 # CI artifact so the trajectory accumulates across commits).
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr7.json
 
-.PHONY: build test race bench bench-ci fmt vet vuln race-nightly ci api-smoke repl-smoke failover-smoke
+.PHONY: build test race bench bench-ci fmt vet lint vuln race-nightly ci api-smoke repl-smoke failover-smoke
 
 build:
 	$(GO) build ./...
@@ -52,19 +52,29 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# The project's own invariant suite (cmd/hivelint: snapshotcheck,
+# epochcheck, hookcheck, apierrcheck — see CONTRIBUTING.md) plus go
+# vet, plus staticcheck when the runner has it (CI installs a pinned
+# version; locally this degrades to a warning, same as vuln).
+lint:
+	$(GO) run ./cmd/hivelint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+
 # End-to-end API contract check: build a real hived, boot it, and drive
 # the entire /api/v1 surface through the client SDK (cmd/apismoke).
 api-smoke:
 	$(GO) build -o bin/hived ./cmd/hived
 	$(GO) run ./cmd/apismoke -hived bin/hived
 
-# Two-node replication check: boot a durable leader and a follower
-# tailing it, write to the leader, read from the follower until
-# converged (< 1s propagation bound), and assert the not_leader
-# envelope on follower writes.
+# Two-node replication check: boot a two-member elected cluster
+# (leader node first, so the election is deterministic), seed the
+# leader over the batch API, read from the follower until converged
+# (< 1s propagation bound), and assert the not_leader envelope on
+# follower writes.
 repl-smoke:
 	$(GO) build -o bin/hived ./cmd/hived
-	$(GO) run ./cmd/apismoke -hived bin/hived -follow
+	$(GO) run ./cmd/apismoke -hived bin/hived -repl
 
 # Three-node election failover check: boot an elected cluster, put the
 # cluster-aware SDK under write load, SIGKILL the leader and assert a
@@ -75,4 +85,5 @@ failover-smoke:
 	$(GO) build -o bin/hived ./cmd/hived
 	$(GO) run ./cmd/apismoke -hived bin/hived -failover
 
-ci: build vet fmt race
+# lint subsumes vet (hivelint runs `go vet` over the same patterns).
+ci: build lint fmt race

@@ -24,8 +24,8 @@ import (
 	"hive/internal/election"
 )
 
-// ClusterConfig wires a platform into an elected replica set, replacing
-// the static leader/follower split of Options.FollowURL.
+// ClusterConfig wires a platform into an elected replica set: the
+// election decides which member leads and everyone else tails it.
 type ClusterConfig struct {
 	// SelfURL is this node's advertised base URL: what the lease names
 	// as holder, what peers tail, and what rejected writers are

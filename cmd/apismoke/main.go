@@ -5,8 +5,9 @@
 // GET revalidation, typed errors and the legacy-alias deprecation
 // headers — and exits non-zero on the first contract violation.
 //
-// With -follow (the `make repl-smoke` mode) it instead boots a durable
-// *leader* and a *follower* tailing it, then checks the replication
+// With -repl (the `make repl-smoke` mode) it instead boots a two-node
+// elected cluster (-cluster, shared file lease; the leader node starts
+// first so the election is deterministic), then checks the replication
 // contract end to end: the follower bootstraps from the leader's
 // snapshot, a publish on the leader becomes searchable on the follower
 // in under a second, follower writes answer with the not_leader
@@ -24,7 +25,7 @@
 //
 // Usage:
 //
-//	apismoke [-hived bin/hived] [-addr 127.0.0.1:18080] [-seed 24] [-follow | -failover]
+//	apismoke [-hived bin/hived] [-addr 127.0.0.1:18080] [-seed 24] [-repl | -failover]
 package main
 
 import (
@@ -47,12 +48,12 @@ func main() {
 	hived := flag.String("hived", "bin/hived", "path to the hived binary")
 	addr := flag.String("addr", "127.0.0.1:18080", "address to run hived on")
 	seed := flag.Int("seed", 24, "synthetic workload size")
-	follow := flag.Bool("follow", false, "run the leader+follower replication scenario instead")
+	repl := flag.Bool("repl", false, "run the two-node elected replication scenario instead")
 	failover := flag.Bool("failover", false, "run the three-node election failover scenario instead")
 	flag.Parse()
 
 	name, fn := "api-smoke", run
-	if *follow {
+	if *repl {
 		name, fn = "repl-smoke", runRepl
 	}
 	if *failover {
@@ -336,8 +337,9 @@ func stepErrors(ctx context.Context, c *client.Client, _ string) error {
 
 // --- Replication scenario (`make repl-smoke`) ----------------------------------
 
-// runRepl boots a durable leader plus a follower tailing it and drives
-// the replication contract end to end.
+// runRepl boots a two-node elected cluster — the leader node first, so
+// the election is deterministic — seeds the leader over the batch API
+// and drives the replication contract end to end.
 func runRepl(hived, addr string, seed int) error {
 	host, port, err := net.SplitHostPort(addr)
 	if err != nil {
@@ -349,17 +351,29 @@ func runRepl(hived, addr string, seed int) error {
 	}
 	leaderAddr := addr
 	followerAddr := net.JoinHostPort(host, fmt.Sprint(p+1))
+	leaderBase := "http://" + leaderAddr
+	followerBase := "http://" + followerAddr
 
-	dir, err := os.MkdirTemp("", "hive-repl-leader-")
+	dirs := make([]string, 2)
+	for i := range dirs {
+		if dirs[i], err = os.MkdirTemp("", fmt.Sprintf("hive-repl-n%d-", i)); err != nil {
+			return err
+		}
+		defer os.RemoveAll(dirs[i])
+	}
+	leaseDir, err := os.MkdirTemp("", "hive-repl-lease-")
 	if err != nil {
 		return err
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(leaseDir)
+	clusterFlag := func(self, peer string) string {
+		return fmt.Sprintf("self=%s,peers=%s,lease=%s,ttl=1s", self, peer, leaseDir)
+	}
 
 	stopLeader, err := startHived(hived,
 		"-addr", leaderAddr,
-		"-data", dir,
-		"-seed", fmt.Sprint(seed),
+		"-data", dirs[0],
+		"-cluster", clusterFlag(leaderBase, followerBase),
 		"-compact-interval", "1s",
 		"-quiet",
 	)
@@ -370,25 +384,31 @@ func runRepl(hived, addr string, seed int) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
-	leaderBase := "http://" + leaderAddr
 	lc := client.New(leaderBase)
-	if err := waitHealthy(ctx, lc); err != nil {
+	if err := waitRole(ctx, lc, api.RoleLeader, 30*time.Second); err != nil {
 		return fmt.Errorf("leader: %w", err)
 	}
+	// Cluster nodes ignore -seed (state replicates from the elected
+	// leader), so the corpus arrives the way production data would:
+	// one bulk ingest through the batch API.
+	if err := seedOverAPI(ctx, lc, seed); err != nil {
+		return fmt.Errorf("seed leader: %w", err)
+	}
 
-	// The follower bootstraps from the leader's snapshot during boot:
-	// a healthy follower has already imported and built.
+	// The second node finds the lease taken and joins as a follower,
+	// bootstrapping from the leader's snapshot.
 	stopFollower, err := startHived(hived,
 		"-addr", followerAddr,
-		"-follow", leaderBase,
+		"-data", dirs[1],
+		"-cluster", clusterFlag(followerBase, leaderBase),
 		"-quiet",
 	)
 	if err != nil {
 		return err
 	}
 	defer stopFollower()
-	fc := client.New("http://" + followerAddr)
-	if err := waitHealthy(ctx, fc); err != nil {
+	fc := client.New(followerBase)
+	if err := waitRole(ctx, fc, api.RoleFollower, 30*time.Second); err != nil {
 		return fmt.Errorf("follower: %w", err)
 	}
 
@@ -408,6 +428,54 @@ func runRepl(hived, addr string, seed int) error {
 		fmt.Printf("repl-smoke: %-30s ok\n", s.name)
 	}
 	return nil
+}
+
+// waitRole polls healthz until the node serves a snapshot and reports
+// the wanted replication role, or times out.
+func waitRole(ctx context.Context, c *client.Client, role string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		h, err := c.Healthz(ctx)
+		if err == nil && h.Status == "ok" && h.Snapshot && h.Replication.Role == role {
+			return nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("node did not reach role %q in %v", role, timeout)
+}
+
+// seedOverAPI loads a small synthetic corpus (seed users, seed/2 papers
+// authored by them) through one POST /api/v1/batch ingest.
+func seedOverAPI(ctx context.Context, c *client.Client, seed int) error {
+	ents := make([]api.BatchEntity, 0, seed+seed/2)
+	for i := 0; i < seed; i++ {
+		ent, err := api.NewBatchEntity(api.KindUser, api.User{
+			ID:        fmt.Sprintf("seed-u%03d", i),
+			Name:      fmt.Sprintf("Seed User %d", i),
+			Interests: []string{"replication", "graphs"},
+		})
+		if err != nil {
+			return err
+		}
+		ents = append(ents, ent)
+	}
+	for i := 0; i < seed/2; i++ {
+		ent, err := api.NewBatchEntity(api.KindPaper, api.Paper{
+			ID:       fmt.Sprintf("seed-p%03d", i),
+			Title:    fmt.Sprintf("Seed paper %d", i),
+			Abstract: "Synthetic corpus for the replication smoke.",
+			Authors:  []string{fmt.Sprintf("seed-u%03d", i)},
+		})
+		if err != nil {
+			return err
+		}
+		ents = append(ents, ent)
+	}
+	_, err := c.Batch(ctx, ents)
+	return err
 }
 
 func stepReplRoles(ctx context.Context, lc, fc *client.Client, leaderBase string) error {

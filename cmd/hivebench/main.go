@@ -296,7 +296,22 @@ func e15(users int) {
 	urls := []string{lts.URL}
 	var reps []*hive.Platform
 	for i := 0; i < followers; i++ {
-		f, err := hive.Open(hive.Options{FollowURL: lts.URL})
+		// A Manual elector pinned to the follower role: the benchmark
+		// wants a fixed topology, not a live election.
+		el := election.NewManual()
+		el.Set(election.State{Role: election.Follower, Leader: lts.URL})
+		fdir, err := os.MkdirTemp("", "hive-e15-f-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(fdir)
+		f, err := hive.Open(hive.Options{
+			Dir: fdir,
+			Cluster: &hive.ClusterConfig{
+				SelfURL:  fmt.Sprintf("http://e15-follower-%d.test", i),
+				Election: el,
+			},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,7 +7,7 @@
 //	      [-no-deltas] [-workers N] [-timeout 30s] [-max-inflight N]
 //	      [-qps N] [-quiet] [-pprof ADDR]
 //	      [-cluster "self=URL,peers=URL;URL,lease=DIR[,ttl=2s]"]
-//	      [-follow URL] [-journal-retention N]
+//	      [-journal-retention N]
 //
 // The API is served under /api/v1 (typed DTOs, cursor pagination,
 // structured errors, conditional knowledge GETs, POST /api/v1/batch
@@ -48,14 +48,13 @@
 // and leading requires a journal). GET /api/v1/cluster reports the
 // node's view of the set.
 //
-// -follow URL is the deprecated static form (kept one release): it
-// boots this node as a permanent read-only follower of the leader at
-// URL — it bootstraps from the leader's snapshot, tails its journal
-// (reconnecting with backoff), serves the full read API with observable
-// lag, and rejects writes with the not_leader error envelope naming the
-// leader. -journal-retention bounds how many closed journal segments
-// the node keeps (default 8 × 4MiB): followers that fall further behind
-// re-bootstrap from the snapshot automatically.
+// A follower serves the full read API with observable lag and rejects
+// writes with the not_leader error envelope naming the leader.
+// -journal-retention bounds how many closed journal segments the node
+// keeps (default 8 × 4MiB): followers that fall further behind
+// re-bootstrap from the snapshot automatically. (The static -follow
+// flag from the pre-election era was removed after its deprecation
+// release; a two-node -cluster replaces it.)
 //
 // -no-deltas restores the pre-delta behavior (writes mark the snapshot
 // stale; only full rebuilds repair it). -timeout, -max-inflight and
@@ -140,8 +139,6 @@ func main() {
 	seed := flag.Int("seed", 0, "generate a synthetic workload with this many users")
 	compactInterval := flag.Duration("compact-interval", 30*time.Second,
 		"background compaction (full rebuild) interval, run while due (0 = disabled)")
-	follow := flag.String("follow", "",
-		"deprecated: static follower of the leader at this base URL (use -cluster)")
 	cluster := flag.String("cluster", "",
 		"join an elected replica set: self=URL,peers=URL;URL,lease=DIR[,ttl=2s] (requires -data)")
 	journalRetention := flag.Int("journal-retention", 0,
@@ -175,14 +172,10 @@ func main() {
 		Dir:           *data,
 		Workers:       *workers,
 		DisableDeltas: *noDeltas,
-		FollowURL:     *follow,
 		JournalRetain: *journalRetention,
 	}
 	var leaseDir string
 	if *cluster != "" {
-		if *follow != "" {
-			log.Fatalf("-cluster and -follow are mutually exclusive (the elected set decides who follows whom)")
-		}
 		if *data == "" {
 			log.Fatalf("-cluster requires -data: an elected node must be able to lead, and leading requires a journal")
 		}
@@ -204,8 +197,6 @@ func main() {
 			Peers:    spec.peers,
 			Election: lease,
 		}
-	} else if *follow != "" {
-		log.Printf("warning: -follow is deprecated and will be removed next release; use -cluster self=URL,peers=...,lease=DIR")
 	}
 
 	p, err := hive.Open(opts)
@@ -225,13 +216,6 @@ func main() {
 		if *seed > 0 {
 			log.Printf("warning: -seed ignored in cluster mode (state replicates from the elected leader)")
 		}
-	case *follow != "":
-		// A follower's state comes from the leader: Open already
-		// bootstrapped and built the serving snapshot.
-		log.Printf("following leader at %s (applied seq %d)", *follow, p.ReplicationApplied())
-		if *seed > 0 {
-			log.Printf("warning: -seed ignored in follower mode (state replicates from the leader)")
-		}
 	case *seed > 0:
 		ds := workload.Generate(workload.Config{Seed: 42, Users: *seed})
 		// Seeding runs in-process before serving: one batched store pass,
@@ -242,7 +226,7 @@ func main() {
 		log.Printf("seeded %d users, %d papers, %d sessions",
 			len(ds.Users), len(ds.Papers), len(ds.Sessions))
 	}
-	if *follow == "" && *cluster == "" {
+	if *cluster == "" {
 		if err := p.Refresh(); err != nil {
 			log.Fatalf("build knowledge engine: %v", err)
 		}

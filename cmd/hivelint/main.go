@@ -1,0 +1,114 @@
+// Command hivelint is the repo's invariant checker: a multichecker
+// that runs the custom analyzers under internal/analysis — the
+// machine-checked form of the platform's concurrency and replication
+// contracts — plus `go vet`, over the requested packages.
+//
+// Usage:
+//
+//	hivelint [-vet=false] [packages ...]   (default ./...)
+//
+// Findings print as file:line:col: message [analyzer] and make the
+// exit status nonzero, so `make lint` and CI gate on a clean tree.
+// Deliberate exceptions are annotated in source:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory and
+// malformed suppressions are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+
+	"hive/internal/analysis"
+	"hive/internal/analysis/apierrcheck"
+	"hive/internal/analysis/epochcheck"
+	"hive/internal/analysis/hookcheck"
+	"hive/internal/analysis/snapshotcheck"
+)
+
+var analyzers = []*analysis.Analyzer{
+	snapshotcheck.Analyzer,
+	epochcheck.Analyzer,
+	hookcheck.Analyzer,
+	apierrcheck.Analyzer,
+}
+
+func main() {
+	vet := flag.Bool("vet", true, "also run `go vet` over the same packages")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hivelint [-vet=false] [packages ...]\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if *vet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hivelint:", err)
+		os.Exit(2)
+	}
+
+	// All packages from one Load share a FileSet, so positions render
+	// uniformly.
+	type located struct {
+		file string
+		line int
+		col  int
+		d    analysis.Diagnostic
+	}
+	var out []located
+	for _, pkg := range pkgs {
+		diags := pkg.MalformedAllows()
+		for _, a := range analyzers {
+			ds, err := analysis.Run(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hivelint:", err)
+				os.Exit(2)
+			}
+			diags = append(diags, ds...)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			out = append(out, located{pos.Filename, pos.Line, pos.Column, d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		if out[i].line != out[j].line {
+			return out[i].line < out[j].line
+		}
+		return out[i].col < out[j].col
+	})
+	for _, l := range out {
+		fmt.Printf("%s:%d:%d: %s [%s]\n", l.file, l.line, l.col, l.d.Message, l.d.Analyzer)
+	}
+	if len(out) > 0 {
+		fmt.Printf("hivelint: %d finding(s)\n", len(out))
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -167,22 +167,11 @@ type Options struct {
 	// Compaction tunes when the delta pipeline schedules a full build.
 	Compaction CompactionPolicy
 
-	// FollowURL puts the platform in *static* follower mode: it
-	// bootstraps from the leader's replication snapshot at this base
-	// URL, tails the leader's change journal, folds each batch into its
-	// serving snapshot, and rejects writes with a NotLeaderError. Open
-	// blocks until the initial bootstrap succeeds; afterwards the tail
-	// loop reconnects with backoff.
-	//
-	// Deprecated: a statically wired follower cannot survive its leader
-	// — set Cluster instead, which elects the leader and transitions
-	// roles live. FollowURL is kept for one release as the simple
-	// two-node read-scaling setup. Mutually exclusive with Cluster.
-	FollowURL string
 	// Cluster puts the platform in elected-cluster mode: the node's
 	// role (leader or follower) is decided by Cluster.Election and
-	// transitions live — see ClusterConfig. Mutually exclusive with
-	// FollowURL; requires a durable store (Dir).
+	// transitions live — see ClusterConfig. Requires a durable store
+	// (Dir). For simple two-node read scaling, run a two-member set —
+	// a manual elector pins the roles when a live election is overkill.
 	Cluster *ClusterConfig
 	// JournalSegmentBytes rotates journal segments past this size
 	// (0 = default 4MiB).
@@ -269,18 +258,11 @@ type refreshFlight struct {
 // success).
 type refreshErr struct{ err error }
 
-// Open creates or opens a platform. With Options.FollowURL set it
-// opens in static follower mode: bootstrap from the leader, then tail
-// its journal (Open returns after the initial bootstrap built a serving
-// snapshot, so a returned follower immediately answers reads). With
-// Options.Cluster set it opens in elected-cluster mode: the node joins
-// as a write-fenced follower and assumes whichever role the election
-// assigns, transitioning live afterwards. Without either it is a
-// standalone leader.
+// Open creates or opens a platform. With Options.Cluster set it opens
+// in elected-cluster mode: the node joins as a write-fenced follower
+// and assumes whichever role the election assigns, transitioning live
+// afterwards. Without it the platform is a standalone leader.
 func Open(opts Options) (*Platform, error) {
-	if opts.Cluster != nil && opts.FollowURL != "" {
-		return nil, errors.New("hive: Options.Cluster and Options.FollowURL are mutually exclusive")
-	}
 	st, err := social.OpenJournaled(opts.Dir, social.Clock(opts.Clock), journal.Options{
 		SegmentBytes: opts.JournalSegmentBytes,
 		Retain:       opts.JournalRetain,
@@ -304,13 +286,6 @@ func Open(opts Options) (*Platform, error) {
 	switch {
 	case opts.Cluster != nil:
 		if err := p.startCluster(*opts.Cluster); err != nil {
-			st.Close()
-			return nil, err
-		}
-	case opts.FollowURL != "":
-		p.role.Store(roleFollower)
-		p.setLeaderHint(opts.FollowURL)
-		if err := p.startFollowing(opts.FollowURL); err != nil {
 			st.Close()
 			return nil, err
 		}

@@ -1,0 +1,152 @@
+// Package analysis is a self-contained, dependency-free skeleton of
+// golang.org/x/tools/go/analysis, just big enough to host hivelint's
+// invariant checkers. The repo builds offline with a bare module cache,
+// so the framework runs on the standard library alone: packages are
+// discovered with `go list -json`, parsed with go/parser, and
+// type-checked with go/types using the source importer.
+//
+// An Analyzer inspects one type-checked package at a time and reports
+// Diagnostics. Findings can be suppressed at the site with a narrow,
+// greppable comment:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory — a bare allow is itself reported — so every suppression
+// documents why the invariant does not apply.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow comments. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// Run inspects a package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass is one (analyzer, package) unit of work, mirroring
+// x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Run applies the analyzer to pkg and returns its findings with
+// //lint:allow suppressions already applied. Malformed allow comments
+// (missing analyzer name or reason) surface as diagnostics themselves.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	return pkg.suppress(diags), nil
+}
+
+// --- Type helpers shared by the checkers -------------------------------------
+
+// Deref unwraps pointers and aliases down to the underlying named type,
+// or nil if t is not (a pointer to) a named type.
+func Deref(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// PkgPathHasSuffix reports whether pkg's import path is suffix itself
+// or ends in "/"+suffix. Matching by suffix lets the checkers treat a
+// testdata stub (e.g. hookchecktest/internal/social) exactly like the
+// real package.
+func PkgPathHasSuffix(pkg *types.Package, suffix string) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// IsNamed reports whether t is (a pointer to) the named type name
+// declared in a package whose path ends in pkgSuffix. An empty
+// pkgSuffix matches any package.
+func IsNamed(t types.Type, pkgSuffix, name string) bool {
+	n := Deref(t)
+	if n == nil || n.Obj() == nil || n.Obj().Name() != name {
+		return false
+	}
+	if pkgSuffix == "" {
+		return n.Obj().Pkg() != nil
+	}
+	return PkgPathHasSuffix(n.Obj().Pkg(), pkgSuffix)
+}
+
+// ReceiverNamed resolves a method receiver expression (ident or
+// *ident) to its named type, or nil.
+func ReceiverNamed(info *types.Info, recv *ast.FieldList) *types.Named {
+	if recv == nil || len(recv.List) == 0 {
+		return nil
+	}
+	tv, ok := info.Types[recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	return Deref(tv.Type)
+}
+
+// CalleeName returns the bare name a call resolves to syntactically:
+// "f" for f(...) and "m" for x.m(...). Empty for indirect calls.
+func CalleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,125 @@
+// Package analysistest runs an analyzer over a self-contained testdata
+// module and checks its diagnostics against `// want` comments, in the
+// spirit of golang.org/x/tools/go/analysis/analysistest.
+//
+// A testdata directory is its own Go module (its go.mod keeps the
+// parent `go build ./...` from seeing the seeded violations; the go
+// tool skips directories named testdata entirely). Stub packages
+// inside it mirror the real packages' path suffixes (e.g.
+// <module>/internal/social), which is all the checkers match on.
+//
+// Expectations are regular expressions on the same line as the
+// violation:
+//
+//	s.frozen.ids = nil // want `outside the construction whitelist`
+//
+// Every diagnostic must match a want on its line and every want must
+// be matched, so the tests prove both that each diagnostic fires and
+// that //lint:allow suppression works (an allowed violation carries no
+// want).
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"hive/internal/analysis"
+)
+
+// wantRe matches the backquoted or double-quoted patterns of a want
+// comment: `// want "x" "y"` or "// want `x`".
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads every package under dir (a standalone module) and applies
+// the analyzer, comparing findings to want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages under %s", dir)
+	}
+	for _, pkg := range pkgs {
+		wants := collectWants(t, pkg)
+		diags := pkg.MalformedAllows()
+		ds, err := analysis.Run(a, pkg)
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		diags = append(diags, ds...)
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !consume(wants, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s:%d: unexpected diagnostic: %s [%s]", pos.Filename, pos.Line, d.Message, d.Analyzer)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// collectWants parses every `// want` comment in the package.
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantRe.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					} else {
+						// Double-quoted patterns carry simple escapes.
+						pat = unquote(pat)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquote(s string) string {
+	return strings.NewReplacer(`\"`, `"`, `\\`, `\`).Replace(s)
+}
+
+func consume(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != file || w.line != line {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

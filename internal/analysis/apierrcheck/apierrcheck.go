@@ -1,0 +1,123 @@
+// Package apierrcheck keeps the SDK's typed-error contract closed: the
+// api package declares the full registry of machine-readable error
+// codes (api.Code* constants), and clients dispatch on them with
+// api.IsCode. A handler that writes an envelope with an ad-hoc string
+// invents a code no client knows, silently widening the wire contract.
+//
+// The checker flags three shapes: api.Error composite literals whose
+// Code field is a string literal or a constant declared outside the
+// registry, writeError call sites passing such a code, and IsCode
+// checks against such a code. Dynamic values (variables, struct
+// fields, decoded wire data) pass — provenance of runtime strings is
+// out of scope.
+package apierrcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hive/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "apierrcheck",
+	Doc:  "flag error envelopes and code checks using codes not declared as api.Code* constants",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CompositeLit:
+				checkEnvelope(pass, e)
+			case *ast.CallExpr:
+				checkCall(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkEnvelope validates the Code field of api.Error literals.
+func checkEnvelope(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !analysis.IsNamed(tv.Type, "api", "Error") {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Code" {
+			checkCodeExpr(pass, kv.Value, "api.Error literal")
+		}
+	}
+}
+
+// checkCall validates code arguments of the two registry-sensitive
+// call shapes: writeError(w, status, code, msg) in the server, and
+// api.IsCode(err, code) anywhere.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	switch analysis.CalleeName(call) {
+	case "writeError":
+		// writeError(w, status, code, msg): the code is the third arg.
+		if len(call.Args) >= 4 {
+			checkCodeExpr(pass, call.Args[2], "writeError")
+		}
+	case "IsCode":
+		if fnObj(pass, call) != nil && analysis.PkgPathHasSuffix(fnObj(pass, call).Pkg(), "api") &&
+			len(call.Args) >= 2 {
+			checkCodeExpr(pass, call.Args[1], "IsCode")
+		}
+	}
+}
+
+// fnObj resolves the called function's object, or nil.
+func fnObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fn]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// checkCodeExpr flags expr when it is provably outside the registry: a
+// raw string literal, or a named constant that is not an api.Code*
+// declaration.
+func checkCodeExpr(pass *analysis.Pass, expr ast.Expr, site string) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.STRING {
+			pass.Reportf(e.Pos(),
+				"%s uses a raw string as an error code: declare it as an api.Code* constant (closed registry)", site)
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		obj := identObj(pass, e)
+		c, ok := obj.(*types.Const)
+		if !ok {
+			return // dynamic value: provenance not tracked
+		}
+		if c.Pkg() != nil && analysis.PkgPathHasSuffix(c.Pkg(), "api") && strings.HasPrefix(c.Name(), "Code") {
+			return
+		}
+		pass.Reportf(expr.Pos(),
+			"%s uses constant %s, which is not declared in the api.Code* registry", site, c.Name())
+	}
+}
+
+func identObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[v]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[v.Sel]
+	}
+	return nil
+}

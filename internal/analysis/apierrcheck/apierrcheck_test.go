@@ -1,0 +1,12 @@
+package apierrcheck_test
+
+import (
+	"testing"
+
+	"hive/internal/analysis/analysistest"
+	"hive/internal/analysis/apierrcheck"
+)
+
+func TestAPIErrCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", apierrcheck.Analyzer)
+}

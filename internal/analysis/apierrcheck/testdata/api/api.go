@@ -1,0 +1,21 @@
+// Package api is a stub of the wire contract: the closed error-code
+// registry and the typed error envelope.
+package api
+
+const (
+	CodeNotFound        = "not_found"
+	CodeInvalidArgument = "invalid_argument"
+	CodeInternal        = "internal"
+)
+
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *Error) Error() string { return e.Message }
+
+func IsCode(err error, code string) bool {
+	e, ok := err.(*Error)
+	return ok && e.Code == code
+}

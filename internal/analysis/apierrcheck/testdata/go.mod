@@ -1,0 +1,3 @@
+module apierrtest
+
+go 1.23

@@ -1,0 +1,32 @@
+// Package server exercises the closed-registry rule at the three
+// sensitive shapes: envelope literals, writeError call sites, and
+// IsCode checks.
+package server
+
+import "apierrtest/api"
+
+// codeTeapot is declared outside the api registry: no client can
+// dispatch on it.
+const codeTeapot = "teapot"
+
+func writeError(w any, status int, code, msg string) {}
+
+func handlers(err error) {
+	writeError(nil, 404, api.CodeNotFound, "missing")  // clean: registry constant
+	writeError(nil, 500, "oops", "raw")                // want `raw string as an error code`
+	writeError(nil, 418, codeTeapot, "local constant") // want `not declared in the api`
+
+	//lint:allow apierrcheck migration shim: legacy clients still match on this string
+	writeError(nil, 410, "gone_legacy", "legacy")
+
+	_ = &api.Error{Code: api.CodeInternal, Message: "boom"} // clean
+	_ = &api.Error{Code: "boom", Message: "boom"}           // want `raw string as an error code`
+	_ = api.Error{Code: codeTeapot}                         // want `not declared in the api`
+
+	_ = api.IsCode(err, api.CodeInvalidArgument) // clean
+	_ = api.IsCode(err, "not_found")             // want `raw string as an error code`
+
+	// Dynamic values pass: provenance is not tracked.
+	var ae api.Error
+	writeError(nil, 500, ae.Code, ae.Message)
+}

@@ -1,0 +1,178 @@
+// Package epochcheck enforces the replication epoch-fencing invariant
+// from PR 6: every path that applies the *contents* of a
+// ReplicationBatch (its Events, Puts or Dels) must also look at the
+// batch Epoch — otherwise a deposed leader's writes survive a
+// failover — and the errors carrying the fencing verdict
+// (ErrStaleEpoch/ErrEpochAhead out of ApplyReplica and friends) must
+// never be discarded.
+package epochcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hive/internal/analysis"
+)
+
+// batchType is the fenced record type. Both social.ReplicationBatch
+// and its api wire mirror carry the invariant, so the match is by type
+// name alone.
+const batchType = "ReplicationBatch"
+
+// applyFields are the batch fields whose use means "this function is
+// applying the batch". First/Last are cursor bookkeeping and exempt.
+var applyFields = map[string]bool{"Events": true, "Puts": true, "Dels": true}
+
+// fencedCalls are the social.Store methods whose error result carries
+// the fencing verdict.
+var fencedCalls = map[string]bool{"ApplyReplica": true, "ImportReplicaSnapshot": true, "SetEpoch": true}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "epochcheck",
+	Doc: "flag ReplicationBatch apply paths that never compare the batch Epoch, " +
+		"and call sites discarding errors from ApplyReplica/fencing paths",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkApplyWithoutEpoch(pass, fd)
+		}
+		checkDiscardedErrors(pass, file)
+	}
+	return nil
+}
+
+// checkApplyWithoutEpoch reports a function that touches a batch's
+// apply fields without ever referencing a batch Epoch (as a field read
+// or a composite-literal key — stamping the epoch at construction
+// counts as handling it).
+func checkApplyWithoutEpoch(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var firstApply token.Pos
+	var firstField string
+	seesEpoch := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if !isBatch(pass.TypesInfo, e.X) {
+				return true
+			}
+			switch {
+			case applyFields[e.Sel.Name]:
+				if !firstApply.IsValid() {
+					firstApply = e.Pos()
+					firstField = e.Sel.Name
+				}
+			case e.Sel.Name == "Epoch":
+				seesEpoch = true
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || !analysis.IsNamed(tv.Type, "", batchType) {
+				return true
+			}
+			for _, elt := range e.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Epoch" {
+						seesEpoch = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if firstApply.IsValid() && !seesEpoch {
+		pass.Reportf(firstApply,
+			"%s applies ReplicationBatch.%s without comparing the batch Epoch (epoch fencing)",
+			fd.Name.Name, firstField)
+	}
+}
+
+// isBatch reports whether expr has (a pointer to) the ReplicationBatch
+// type.
+func isBatch(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && analysis.IsNamed(tv.Type, "", batchType)
+}
+
+// checkDiscardedErrors reports fenced-method calls whose error result
+// is dropped: bare statement calls, go/defer calls, and assignments to
+// the blank identifier.
+func checkDiscardedErrors(pass *analysis.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				reportIfFenced(pass, call)
+			}
+		case *ast.GoStmt:
+			reportIfFenced(pass, st.Call)
+		case *ast.DeferStmt:
+			reportIfFenced(pass, st.Call)
+		case *ast.AssignStmt:
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok || !allBlank(st.Lhs) {
+				return true
+			}
+			reportIfFenced(pass, call)
+		}
+		return true
+	})
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// reportIfFenced flags call if it is a fenced social.Store method
+// returning an error whose result the caller is discarding.
+func reportIfFenced(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !fencedCalls[sel.Sel.Name] {
+		return
+	}
+	if !analysis.IsNamed(typeOf(pass, sel.X), "internal/social", "Store") {
+		return
+	}
+	sig, ok := typeOf(pass, call.Fun).(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error from %s is discarded: it may carry ErrStaleEpoch/ErrEpochAhead (epoch fencing)",
+		sel.Sel.Name)
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := types.Unalias(res.At(i).Type()).(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}

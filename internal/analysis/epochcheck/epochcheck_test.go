@@ -1,0 +1,12 @@
+package epochcheck_test
+
+import (
+	"testing"
+
+	"hive/internal/analysis/analysistest"
+	"hive/internal/analysis/epochcheck"
+)
+
+func TestEpochCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", epochcheck.Analyzer)
+}

@@ -1,0 +1,22 @@
+// Package caller exercises the discarded-error arm: results of
+// fenced Store calls carry the ErrStaleEpoch/ErrEpochAhead verdict and
+// must be consumed.
+package caller
+
+import "epochtest/internal/social"
+
+func Drop(s *social.Store, rb social.ReplicationBatch) {
+	s.ApplyReplica(rb)                 // want `error from ApplyReplica is discarded`
+	_ = s.ApplyReplica(rb)             // want `error from ApplyReplica is discarded`
+	go s.ApplyReplica(rb)              // want `error from ApplyReplica is discarded`
+	s.ImportReplicaSnapshot(nil)       // want `error from ImportReplicaSnapshot is discarded`
+	defer s.ImportReplicaSnapshot(nil) // want `error from ImportReplicaSnapshot is discarded`
+
+	//lint:allow epochcheck reconnect loop retries this batch on the next poll
+	s.ApplyReplica(rb)
+
+	if err := s.ApplyReplica(rb); err != nil { // clean: error consumed
+		panic(err)
+	}
+	s.SetEpoch(3) // clean: no error result to drop
+}

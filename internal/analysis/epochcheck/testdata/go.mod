@@ -1,0 +1,3 @@
+module epochtest
+
+go 1.23

@@ -1,0 +1,75 @@
+// Package social is a stub mirroring the replication surface: the
+// ReplicationBatch type, the fencing errors, and the fenced Store
+// methods.
+package social
+
+import "errors"
+
+var (
+	ErrStaleEpoch = errors.New("stale epoch")
+	ErrEpochAhead = errors.New("epoch ahead")
+)
+
+type ChangeEvent struct{ Seq uint64 }
+
+type ReplicationBatch struct {
+	First, Last, Epoch uint64
+	Events             []ChangeEvent
+	Puts               map[string][]byte
+	Dels               []string
+}
+
+type Store struct {
+	epoch uint64
+	seq   uint64
+	kvs   map[string][]byte
+}
+
+// ApplyReplica fences before applying: clean.
+func (s *Store) ApplyReplica(rb ReplicationBatch) error {
+	if rb.Epoch != 0 && s.epoch != 0 && rb.Epoch != s.epoch {
+		if rb.Epoch < s.epoch {
+			return ErrStaleEpoch
+		}
+		return ErrEpochAhead
+	}
+	for k, v := range rb.Puts {
+		s.kvs[k] = v
+	}
+	for range rb.Events {
+		s.seq++
+	}
+	return nil
+}
+
+// applyBlind folds the batch contents without ever looking at the
+// epoch — the exact bug class that survives a failover.
+func (s *Store) applyBlind(rb ReplicationBatch) {
+	for range rb.Events { // want `applies ReplicationBatch.Events without comparing the batch Epoch`
+		s.seq++
+	}
+}
+
+// frame stamps the epoch at construction, which counts as handling it.
+func (s *Store) frame(evs []ChangeEvent) ReplicationBatch {
+	rb := ReplicationBatch{Epoch: s.epoch}
+	rb.Events = evs
+	if len(evs) > 0 {
+		rb.First, rb.Last = evs[0].Seq, evs[len(evs)-1].Seq
+	}
+	return rb
+}
+
+// cursor bookkeeping (First/Last) alone is not an apply: clean.
+func span(rb ReplicationBatch) uint64 {
+	return rb.Last - rb.First
+}
+
+func (s *Store) ImportReplicaSnapshot(m map[string][]byte) error {
+	s.kvs = m
+	return nil
+}
+
+func (s *Store) SetEpoch(e uint64) {
+	s.epoch = e
+}

@@ -1,0 +1,361 @@
+// Package hookcheck enforces the change-event discipline around
+// social.Store from PR 4/5: every exported mutator that writes the
+// backing kv store must fire the OnChange pipeline (emit/deliver, or a
+// scoped wrapper that does), because the serving snapshot is maintained
+// incrementally from those events — a silent write leaves the engine
+// stale until the next compaction. It also enforces the lock order
+// around delivery: subscriber callbacks, journal appends and HTTP
+// calls must not run while a Store mutex is held (subscribers fold
+// deltas synchronously and may take arbitrary time; the journal and
+// network do I/O).
+package hookcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hive/internal/analysis"
+)
+
+// kvWriteOps are the mutating methods of the kv field; calling one
+// directly makes a Store method a mutator.
+var kvWriteOps = map[string]bool{
+	"Put": true, "Delete": true, "Apply": true, "ApplyQuiet": true, "ImportSnapshot": true,
+}
+
+// emitters are the Store methods that feed the OnChange pipeline.
+var emitters = map[string]bool{"emit": true, "deliver": true, "scoped": true}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hookcheck",
+	Doc: "flag social.Store mutators that write the kv store without firing OnChange, " +
+		"and deliver/journal/HTTP calls made while holding a Store mutex",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	emitting := emittingMethods(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMutatorEmits(pass, fd)
+			checkSingleBatch(pass, fd, emitting)
+		}
+		// Every function literal is its own lock scope: a closure may
+		// run on another goroutine, so held locks don't flow into it —
+		// and locks it takes are tracked independently.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					scanLocks(pass, fn.Body.List, map[string]bool{})
+				}
+			case *ast.FuncLit:
+				scanLocks(pass, fn.Body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// --- Rule A: mutators must emit ----------------------------------------------
+
+// checkMutatorEmits flags exported social.Store methods that call a kv
+// write operation but never touch the OnChange pipeline.
+func checkMutatorEmits(pass *analysis.Pass, fd *ast.FuncDecl) {
+	recv := analysis.ReceiverNamed(pass.TypesInfo, fd.Recv)
+	if recv == nil || recv.Obj().Name() != "Store" ||
+		!analysis.PkgPathHasSuffix(recv.Obj().Pkg(), "internal/social") {
+		return
+	}
+	if !fd.Name.IsExported() {
+		return
+	}
+	writes, emits := false, false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case kvWriteOps[sel.Sel.Name] && isStoreKVField(pass, sel.X):
+			writes = true
+		case sel.Sel.Name == "putJSON" && isStore(pass, sel.X):
+			writes = true
+		case emitters[sel.Sel.Name] && isStore(pass, sel.X):
+			emits = true
+		}
+		return true
+	})
+	if writes && !emits {
+		pass.Reportf(fd.Name.Pos(),
+			"Store mutator %s writes the kv store without firing OnChange (snapshot maintenance depends on change events)",
+			fd.Name.Name)
+	}
+}
+
+// emittingMethods collects the Store methods of this package that call
+// emit directly — each such call delivers one change batch (unless a
+// scoped wrapper coalesces them).
+func emittingMethods(pass *analysis.Pass) map[string]bool {
+	out := map[string]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv := analysis.ReceiverNamed(pass.TypesInfo, fd.Recv)
+			if recv == nil || recv.Obj().Name() != "Store" ||
+				!analysis.PkgPathHasSuffix(recv.Obj().Pkg(), "internal/social") {
+				continue
+			}
+			found := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+						sel.Sel.Name == "emit" && isStore(pass, sel.X) {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				out[fd.Name.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkSingleBatch enforces the one-coalesced-batch contract: an
+// exported Store method whose body fires emit more than once — its own
+// emit plus nested emitting mutators, or two nested mutators — must
+// wrap the calls in scoped/Batched, otherwise subscribers observe the
+// logical mutation as several deliveries with inconsistent
+// intermediate states.
+func checkSingleBatch(pass *analysis.Pass, fd *ast.FuncDecl, emitting map[string]bool) {
+	recv := analysis.ReceiverNamed(pass.TypesInfo, fd.Recv)
+	if recv == nil || recv.Obj().Name() != "Store" ||
+		!analysis.PkgPathHasSuffix(recv.Obj().Pkg(), "internal/social") {
+		return
+	}
+	if !fd.Name.IsExported() {
+		return
+	}
+	batches := 0
+	scoped := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isStore(pass, sel.X) {
+			return true
+		}
+		switch {
+		case sel.Sel.Name == "scoped" || sel.Sel.Name == "Batched":
+			scoped = true
+		case sel.Sel.Name == "emit" || emitting[sel.Sel.Name]:
+			batches++
+		}
+		return true
+	})
+	if batches >= 2 && !scoped {
+		pass.Reportf(fd.Name.Pos(),
+			"Store mutator %s fires %d change batches: wrap the writes in scoped/Batched so subscribers get one coalesced batch",
+			fd.Name.Name, batches)
+	}
+}
+
+// isStoreKVField reports whether expr is the kv field of a
+// social.Store value (s.kv in the real package, or any Store field
+// named kv in a stub).
+func isStoreKVField(pass *analysis.Pass, expr ast.Expr) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "kv" && isStore(pass, sel.X)
+}
+
+func isStore(pass *analysis.Pass, expr ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[expr]
+	return ok && analysis.IsNamed(tv.Type, "internal/social", "Store")
+}
+
+// --- Rule B: no delivery/journal/HTTP under a Store mutex --------------------
+
+// scanLocks walks a statement list in source order, tracking which
+// social.Store mutex fields are held. Branch bodies scan against a
+// copy of the held set, so an early-unlock-and-return branch doesn't
+// clear the lock for the fallthrough path. Deferred unlocks
+// deliberately don't release (the lock is held for the rest of the
+// function), and deferred risky calls aren't flagged (they run at
+// return, typically after a deferred unlock).
+func scanLocks(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		if name, op, ok := storeLockOp(pass, stmt); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[name] = true
+			case "Unlock", "RUnlock":
+				delete(held, name)
+			}
+			continue
+		}
+		switch st := stmt.(type) {
+		case *ast.BlockStmt:
+			scanLocks(pass, st.List, held)
+		case *ast.IfStmt:
+			reportRisky(pass, held, st.Init, st.Cond)
+			scanLocks(pass, st.Body.List, copyHeld(held))
+			if st.Else != nil {
+				scanLocks(pass, []ast.Stmt{st.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			reportRisky(pass, held, st.Init, st.Cond, st.Post)
+			scanLocks(pass, st.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			reportRisky(pass, held, st.X)
+			scanLocks(pass, st.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			reportRisky(pass, held, st.Init, st.Tag)
+			scanCases(pass, st.Body, held)
+		case *ast.TypeSwitchStmt:
+			scanCases(pass, st.Body, held)
+		case *ast.SelectStmt:
+			scanCases(pass, st.Body, held)
+		case *ast.DeferStmt, *ast.GoStmt:
+			// A deferred call runs at return (typically after the
+			// deferred unlock); a go'd call runs on its own goroutine
+			// without the lock. Neither is flagged.
+		default:
+			reportRisky(pass, held, stmt)
+		}
+	}
+}
+
+func scanCases(pass *analysis.Pass, body *ast.BlockStmt, held map[string]bool) {
+	for _, cs := range body.List {
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			scanLocks(pass, c.Body, copyHeld(held))
+		case *ast.CommClause:
+			scanLocks(pass, c.Body, copyHeld(held))
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// storeLockOp matches a bare `s.<mu>.Lock()` style statement where s
+// is a social.Store and <mu> is a sync.Mutex/RWMutex field, returning
+// the field name and operation.
+func storeLockOp(pass *analysis.Pass, stmt ast.Stmt) (field, op string, ok bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	mu, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || !isStore(pass, mu.X) {
+		return "", "", false
+	}
+	if !analysis.IsNamed(typeOf(pass, mu), "sync", "Mutex") &&
+		!analysis.IsNamed(typeOf(pass, mu), "sync", "RWMutex") {
+		return "", "", false
+	}
+	return mu.Sel.Name, sel.Sel.Name, true
+}
+
+// reportRisky inspects the given nodes (without descending into
+// function literals — separate lock scopes) for calls that must not
+// run under a Store mutex.
+func reportRisky(pass *analysis.Pass, held map[string]bool, nodes ...ast.Node) {
+	if len(held) == 0 {
+		return
+	}
+	lock := ""
+	for name := range held {
+		if lock == "" || name < lock {
+			lock = name
+		}
+	}
+	for _, node := range nodes {
+		// Optional statement/expression slots (IfStmt.Init, ForStmt.Post,
+		// ...) arrive as nil interface values.
+		if node == nil {
+			continue
+		}
+		ast.Inspect(node, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if why := riskyCall(pass, call); why != "" {
+				pass.Reportf(call.Pos(),
+					"%s while holding social.Store.%s: delivery, journal appends and HTTP must not run under a store mutex",
+					why, lock)
+			}
+			return true
+		})
+	}
+}
+
+// riskyCall classifies calls that do unbounded work: subscriber
+// delivery, journal appends, anything in net/http.
+func riskyCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if sel.Sel.Name == "deliver" && isStore(pass, sel.X) {
+		return "subscriber delivery (deliver)"
+	}
+	if sel.Sel.Name == "Append" {
+		if n := analysis.Deref(typeOf(pass, sel.X)); n != nil &&
+			analysis.PkgPathHasSuffix(n.Obj().Pkg(), "internal/journal") {
+			return "journal append"
+		}
+	}
+	if obj, ok := pass.TypesInfo.Uses[sel.Sel]; ok && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" {
+		return "HTTP call (net/http." + sel.Sel.Name + ")"
+	}
+	return ""
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}

@@ -1,0 +1,12 @@
+package hookcheck_test
+
+import (
+	"testing"
+
+	"hive/internal/analysis/analysistest"
+	"hive/internal/analysis/hookcheck"
+)
+
+func TestHookCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", hookcheck.Analyzer)
+}

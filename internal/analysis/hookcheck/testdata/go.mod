@@ -1,0 +1,3 @@
+module hooktest
+
+go 1.23

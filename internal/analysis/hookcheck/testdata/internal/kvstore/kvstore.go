@@ -1,0 +1,11 @@
+// Package kvstore is a stub of the backing key-value store.
+package kvstore
+
+type KV struct{}
+
+func (k *KV) Put(key string, v []byte) error           { return nil }
+func (k *KV) Delete(key string) error                  { return nil }
+func (k *KV) Apply(b any) error                        { return nil }
+func (k *KV) ApplyQuiet(b any) error                   { return nil }
+func (k *KV) ImportSnapshot(m map[string][]byte) error { return nil }
+func (k *KV) Get(key string) ([]byte, error)           { return nil, nil }

@@ -1,0 +1,163 @@
+// Package social is a stub mirroring the Store's mutator and locking
+// shapes: exported mutators must feed the OnChange pipeline, and
+// delivery/journal/HTTP work must not run under a Store mutex.
+package social
+
+import (
+	"net/http"
+	"sync"
+
+	"hooktest/internal/journal"
+	"hooktest/internal/kvstore"
+)
+
+type ChangeEvent struct{ Seq uint64 }
+
+type Store struct {
+	mu     sync.Mutex
+	evMu   sync.Mutex
+	hookMu sync.RWMutex
+	kv     *kvstore.KV
+	jn     *journal.Journal
+	subs   []func([]ChangeEvent)
+}
+
+func (s *Store) emit(id string) {}
+
+func (s *Store) scoped(fn func() error) error { return fn() }
+
+func (s *Store) deliver(evs []ChangeEvent) {
+	s.hookMu.RLock()
+	subs := s.subs
+	s.hookMu.RUnlock()
+	for _, fn := range subs {
+		fn(evs)
+	}
+}
+
+func (s *Store) putJSON(key string, v any) error { return s.kv.Put(key, nil) }
+
+// PutThing is a well-behaved mutator: write + emit.
+func (s *Store) PutThing(id string) error {
+	defer s.emit(id)
+	return s.putJSON("thing/"+id, id)
+}
+
+// Connect batches its writes under scoped, which emits on exit.
+func (s *Store) Connect(a, b string) error {
+	return s.scoped(func() error {
+		return s.kv.Put("edge/"+a+"/"+b, nil)
+	})
+}
+
+// PutSilent writes the kv store but never emits: the serving snapshot
+// goes stale until the next compaction.
+func (s *Store) PutSilent(id string) error { // want `writes the kv store without firing OnChange`
+	return s.kv.Put("thing/"+id, nil)
+}
+
+// DeleteSilent drops a key through the kv batch API without emitting.
+func (s *Store) DeleteSilent(id string) error { // want `writes the kv store without firing OnChange`
+	return s.kv.Delete("thing/" + id)
+}
+
+//lint:allow hookcheck snapshot import replaces the whole image; the follower rebuilds from scratch afterwards
+func (s *Store) ImportImage(m map[string][]byte) error {
+	return s.kv.ImportSnapshot(m)
+}
+
+// PutPair composes two emitting mutators without coalescing:
+// subscribers see two deliveries for one logical mutation.
+func (s *Store) PutPair(a, b string) error { // want `fires 2 change batches`
+	if err := s.PutThing(a); err != nil {
+		return err
+	}
+	return s.PutThing(b)
+}
+
+// PutPairBatched coalesces the same composition into one batch: clean.
+func (s *Store) PutPairBatched(a, b string) error {
+	return s.scoped(func() error {
+		if err := s.PutThing(a); err != nil {
+			return err
+		}
+		return s.PutThing(b)
+	})
+}
+
+// Reader methods without writes are exempt.
+func (s *Store) GetThing(id string) ([]byte, error) {
+	return s.kv.Get("thing/" + id)
+}
+
+// flush unlocks before delivering: clean.
+func (s *Store) flush(evs []ChangeEvent) {
+	s.evMu.Lock()
+	s.evMu.Unlock()
+	s.deliver(evs)
+}
+
+// badDeliver fires subscribers while still holding evMu.
+func (s *Store) badDeliver(evs []ChangeEvent) {
+	s.evMu.Lock()
+	s.deliver(evs) // want `while holding social.Store.evMu`
+	s.evMu.Unlock()
+}
+
+// badJournal appends to the journal under the store mutex.
+func (s *Store) badJournal(data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.jn.Append(journal.Record{Data: data}); err != nil { // want `while holding social.Store.mu`
+		return
+	}
+}
+
+// badHTTP does network I/O under evMu.
+func (s *Store) badHTTP(url string) {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	resp, err := http.Get(url) // want `while holding social.Store.evMu`
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// earlyReturn: the unlock inside the branch must not clear the lock
+// for the fallthrough path.
+func (s *Store) earlyReturn(evs []ChangeEvent, skip bool) {
+	s.evMu.Lock()
+	if skip {
+		s.evMu.Unlock()
+		s.deliver(evs) // clean: this branch unlocked first
+		return
+	}
+	s.jn.Append(journal.Record{}) // want `while holding social.Store.evMu`
+	s.evMu.Unlock()
+}
+
+// allowJournal is the deliberate real-tree exception shape: appending
+// under evMu keeps journal order identical to sequence order.
+func (s *Store) allowJournal(data []byte) {
+	s.evMu.Lock()
+	//lint:allow hookcheck journal order must match sequence order
+	s.jn.Append(journal.Record{Data: data})
+	s.evMu.Unlock()
+}
+
+// closures are their own lock scope in both directions.
+func (s *Store) closures(evs []ChangeEvent) {
+	s.evMu.Lock()
+	later := func() {
+		s.deliver(evs) // clean: runs outside this lock region
+	}
+	s.evMu.Unlock()
+	later()
+
+	inner := func() {
+		s.evMu.Lock()
+		s.deliver(evs) // want `while holding social.Store.evMu`
+		s.evMu.Unlock()
+	}
+	inner()
+}

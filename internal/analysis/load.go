@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+
+	allows []allowComment
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load discovers the packages matching patterns (relative to dir, in
+// that directory's module context), parses their non-test Go files with
+// comments, and type-checks them with the source importer so the whole
+// pipeline works from an empty module cache. Packages with no Go files
+// are skipped; any parse or type error aborts the load — an analyzer
+// must never run over a half-typed tree.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// The source importer resolves non-std import paths by running `go
+	// list` in build.Default.Dir (not in the importing file's
+	// directory), so point it at the module being analyzed for the
+	// duration of the load. Load is sequential, so the global flip is
+	// safe; tests in other packages run in separate processes.
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: resolve %s: %w", dir, err)
+	}
+	oldBuildDir := build.Default.Dir
+	build.Default.Dir = absDir
+	defer func() { build.Default.Dir = oldBuildDir }()
+
+	fset := token.NewFileSet()
+	// One source importer shared across the run: dependencies (stdlib
+	// and intra-module) are type-checked once and cached.
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("analysis: %s uses cgo, which the source importer cannot load", lp.ImportPath)
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		var typeErrs []error
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+		if len(typeErrs) > 0 {
+			return nil, fmt.Errorf("analysis: type-check %s: %v", lp.ImportPath, typeErrs[0])
+		}
+		p := &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			TypesInfo:  info,
+		}
+		p.collectAllows()
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// goList shells out to `go list -json` in dir and decodes the streamed
+// package objects.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles,CgoFiles,Incomplete,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("analysis: go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		if lp.Incomplete || lp.Error != nil {
+			reason := "unknown error"
+			if lp.Error != nil {
+				reason = lp.Error.Err
+			}
+			return nil, fmt.Errorf("analysis: cannot load %s: %s", lp.ImportPath, reason)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}

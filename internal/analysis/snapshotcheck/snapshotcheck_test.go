@@ -1,0 +1,12 @@
+package snapshotcheck_test
+
+import (
+	"testing"
+
+	"hive/internal/analysis/analysistest"
+	"hive/internal/analysis/snapshotcheck"
+)
+
+func TestSnapshotCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotcheck.Analyzer)
+}

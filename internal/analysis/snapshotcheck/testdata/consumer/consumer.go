@@ -1,0 +1,23 @@
+// Package consumer exercises the cross-package arm: no field of a
+// published snapshot type may be written outside its defining package,
+// whitelist or not.
+package consumer
+
+import (
+	"snaptest/internal/core"
+	"snaptest/internal/textindex"
+)
+
+func Mutate(f *textindex.Frozen, e *core.Engine) {
+	f.Meta["k"] = "v" // want `outside the construction whitelist`
+	e.Gen = 7         // want `outside the construction whitelist`
+	//lint:allow snapshotcheck pre-publication fixup in a single-owner test harness
+	e.Gen = 8
+	_ = f
+}
+
+// Build shares a seed name with the core builder; cross-package writes
+// are still illegal.
+func Build(e *core.Engine) {
+	e.Gen++ // want `outside the construction whitelist`
+}

@@ -1,0 +1,37 @@
+// Package core is a stub mirroring the real engine: fields may only
+// be written on the Builder.Build/ApplyDelta call graph.
+package core
+
+type Engine struct {
+	Gen     int
+	users   []string
+	ctxOver map[string]int
+	pprMemo map[string][]float64
+}
+
+type Builder struct{}
+
+func (b *Builder) Build() *Engine {
+	e := &Engine{ctxOver: map[string]int{}}
+	e.users = []string{"u1"} // construction: allowed
+	finish(e)
+	return e
+}
+
+func (b *Builder) ApplyDelta(prev *Engine) *Engine {
+	ne := &Engine{users: prev.users}
+	ne.ctxOver = map[string]int{} // construction: allowed
+	ne.ctxOver["u1"] = 1          // construction: allowed
+	ne.Gen = prev.Gen + 1         // construction: allowed
+	return ne
+}
+
+// finish is reachable from Build.
+func finish(e *Engine) {
+	e.pprMemo = map[string][]float64{} // allowed via reachability
+}
+
+// Memoize runs on the read path, after the snapshot is published.
+func (e *Engine) Memoize(u string) {
+	e.pprMemo[u] = nil // want `outside the construction whitelist`
+}

@@ -1,0 +1,67 @@
+// Package textindex is a stub mirroring the real package's path
+// suffix and snapshot types; writes are only legal on the
+// Freeze/NewSegmented/WithDocs/WithoutDocs construction paths.
+package textindex
+
+type Frozen struct {
+	Meta map[string]string
+	ids  []string
+	text map[string]string
+}
+
+type Segmented struct {
+	base  *Frozen
+	over  map[string]string
+	nDocs int
+}
+
+func Freeze(docs map[string]string) *Frozen {
+	f := &Frozen{text: map[string]string{}, Meta: map[string]string{}}
+	for id, t := range docs {
+		f.ids = append(f.ids, id) // construction: allowed
+		f.text[id] = t            // construction: allowed
+	}
+	pad(f)
+	return f
+}
+
+// pad is reachable from Freeze, so its writes are construction too.
+func pad(f *Frozen) {
+	f.Meta["built"] = "true" // allowed via reachability
+}
+
+func NewSegmented(base *Frozen) *Segmented {
+	s := &Segmented{base: base, over: map[string]string{}}
+	s.nDocs = len(base.ids) // construction: allowed
+	return s
+}
+
+func (s *Segmented) WithDocs(docs map[string]string) *Segmented {
+	ns := s.clone()
+	for id, t := range docs {
+		ns.over[id] = t // construction: allowed
+		ns.nDocs++      // construction: allowed
+	}
+	return ns
+}
+
+// clone is reachable from WithDocs.
+func (s *Segmented) clone() *Segmented {
+	ns := &Segmented{base: s.base, over: map[string]string{}, nDocs: s.nDocs}
+	for k, v := range s.over {
+		ns.over[k] = v // allowed via reachability
+	}
+	return ns
+}
+
+// Poke mutates a published Frozen outside the construction graph.
+func Poke(f *Frozen) {
+	f.ids = nil // want `outside the construction whitelist`
+}
+
+// Tweak mutates a published Segmented outside the construction graph.
+func Tweak(s *Segmented) {
+	s.nDocs++ // want `outside the construction whitelist`
+	//lint:allow snapshotcheck seeded exception proving suppression works
+	s.over["x"] = "y"
+}

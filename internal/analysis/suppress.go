@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the suppression marker: //lint:allow <analyzer> <reason>.
+// The comment applies to findings of <analyzer> on its own line or the
+// line immediately below it (so it can sit above a long statement).
+const allowPrefix = "//lint:allow"
+
+// An allowComment is one parsed suppression site.
+type allowComment struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	reason   string
+}
+
+// collectAllows scans every comment in the package for allow markers.
+// Malformed markers keep an empty analyzer name and are reported by
+// suppress regardless of which analyzer is running.
+func (p *Package) collectAllows() {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				pos := p.Fset.Position(c.Pos())
+				ac := allowComment{pos: c.Pos(), file: pos.Filename, line: pos.Line}
+				fields := strings.Fields(rest)
+				if len(fields) >= 2 && strings.HasPrefix(rest, " ") {
+					ac.analyzer = fields[0]
+					ac.reason = strings.Join(fields[1:], " ")
+				}
+				p.allows = append(p.allows, ac)
+			}
+		}
+	}
+}
+
+// suppress drops diagnostics covered by a well-formed allow comment
+// for this analyzer.
+func (p *Package) suppress(diags []Diagnostic) []Diagnostic {
+	if len(p.allows) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		allowed := false
+		for _, ac := range p.allows {
+			if ac.analyzer != d.Analyzer || ac.file != pos.Filename {
+				continue
+			}
+			if ac.line == pos.Line || ac.line == pos.Line-1 {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// MalformedAllows reports every allow comment that is missing its
+// analyzer name or reason, so a suppression can never silently rot
+// into a typo. The driver calls this once per package, independent of
+// which analyzers run.
+func (p *Package) MalformedAllows() []Diagnostic {
+	var out []Diagnostic
+	for _, ac := range p.allows {
+		if ac.analyzer == "" {
+			out = append(out, Diagnostic{
+				Pos:      ac.pos,
+				Analyzer: "lintallow",
+				Message:  "malformed suppression: want //lint:allow <analyzer> <reason> (reason is mandatory)",
+			})
+		}
+	}
+	return out
+}

@@ -100,8 +100,10 @@ func (e *Engine) personalizedRankFor(userID string, me graph.NodeID) []float64 {
 	e.pprMu.Lock()
 	if e.pprMemo != nil {
 		if len(e.pprMemo) >= pprMemoMax {
+			//lint:allow snapshotcheck pprMemo is a pprMu-guarded memo cache, not part of the published snapshot
 			e.pprMemo = make(map[string][]float64, pprMemoMax)
 		}
+		//lint:allow snapshotcheck pprMemo is a pprMu-guarded memo cache, not part of the published snapshot
 		e.pprMemo[userID] = pr
 	}
 	e.pprMu.Unlock()

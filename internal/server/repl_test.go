@@ -15,6 +15,7 @@ import (
 
 	"hive"
 	"hive/api"
+	"hive/internal/election"
 )
 
 // newLeader opens a durable platform (replication needs a journal) and
@@ -33,10 +34,22 @@ func newLeader(t *testing.T) (*httptest.Server, *hive.Platform) {
 	return ts, p
 }
 
-// newFollower opens a follower of the given leader URL and serves it.
+// newFollower opens an elected follower of the given leader URL — a
+// Manual elector pinned to the follower role, the minimal replacement
+// for the removed static FollowURL mode — and serves it. It blocks
+// until the async bootstrap has built a serving snapshot, restoring the
+// synchronous-boot semantics the static mode used to guarantee.
 func newFollower(t *testing.T, leaderURL string) (*httptest.Server, *hive.Platform) {
 	t.Helper()
-	p, err := hive.Open(hive.Options{FollowURL: leaderURL})
+	el := election.NewManual()
+	el.Set(election.State{Role: election.Follower, Leader: leaderURL})
+	p, err := hive.Open(hive.Options{
+		Dir: t.TempDir(),
+		Cluster: &hive.ClusterConfig{
+			SelfURL:  "http://follower.test",
+			Election: el,
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,6 +58,14 @@ func newFollower(t *testing.T, leaderURL string) (*httptest.Server, *hive.Platfo
 		ts.Close()
 		p.Close()
 	})
+	deadline := time.Now().Add(30 * time.Second)
+	for p.Snapshot() == nil || p.LeaderURL() != leaderURL {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower did not bootstrap from %s: leader hint %q, lastErr %v",
+				leaderURL, p.LeaderURL(), p.LastReplicationError())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 	return ts, p
 }
 
@@ -341,7 +362,7 @@ func TestLeaderRestartLosesNoAcknowledgedEvents(t *testing.T) {
 }
 
 // A "leader" whose journal tail is behind the follower's applied
-// sequence (repurposed data dir, restored backup, wrong -follow target)
+// sequence (repurposed data dir, restored backup, misconfigured peers)
 // must trigger a re-bootstrap — not a silent caught-up report over
 // unrelated state.
 func TestFollowerResyncsFromRegressedLeader(t *testing.T) {
@@ -380,6 +401,10 @@ func TestFollowerResyncsFromRegressedLeader(t *testing.T) {
 		t.Fatal("test setup: leader B must have a shorter history")
 	}
 	setBackend(New(leaderB))
+	// The scenario is a dead process whose address now serves unrelated
+	// state: kill leader A so its long-poll waiters release instead of
+	// holding the follower's in-flight request for the full wait.
+	leaderA.Close()
 
 	deadline := time.Now().Add(15 * time.Second)
 	for {

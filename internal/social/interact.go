@@ -406,10 +406,15 @@ func (s *Store) ImportCollection(collectionID, owner, workpadID string) (Workpad
 		Name:  c.Name,
 		Items: append([]WorkpadItem(nil), c.Items...),
 	}
-	if err := s.PutWorkpad(w); err != nil {
-		return Workpad{}, err
-	}
-	if err := s.SetActiveWorkpad(owner, workpadID); err != nil {
+	// One logical mutation, one coalesced batch: without the scoped
+	// wrapper subscribers would see the imported workpad exist before
+	// it becomes active, and pay two incremental engine repairs.
+	if err := s.scoped(func() error {
+		if err := s.PutWorkpad(w); err != nil {
+			return err
+		}
+		return s.SetActiveWorkpad(owner, workpadID)
+	}); err != nil {
 		return Workpad{}, err
 	}
 	return w, nil

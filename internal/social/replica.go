@@ -139,6 +139,8 @@ func (s *Store) SnapshotForReplication() (seq uint64, entries map[string][]byte)
 // re-sync-from-a-regressed-leader path). The local journal (if any) is
 // not rewritten; until the sequence passes its tail again, ApplyReplica
 // skips local re-journaling, which only degrades chaining.
+//
+//lint:allow hookcheck snapshot import replaces the whole image quietly; the follower rebuilds its engine from scratch afterwards
 func (s *Store) ImportReplicaSnapshot(seq uint64, entries map[string][]byte) error {
 	if err := s.kv.ImportSnapshot(entries); err != nil {
 		return err
@@ -227,6 +229,7 @@ func (s *Store) ApplyReplica(rb ReplicationBatch) error {
 	if s.jn != nil && s.jn.Tail() < rb.First {
 		data, err := json.Marshal(rb)
 		if err == nil {
+			//lint:allow hookcheck appending under evMu keeps journal order identical to change-sequence order
 			err = s.jn.Append(journal.Record{First: rb.First, Last: rb.Last, Data: data})
 		}
 		if err != nil {

@@ -343,6 +343,46 @@ func TestCollectionExportImport(t *testing.T) {
 	}
 }
 
+// TestImportCollectionCoalesced: importing a collection is one logical
+// mutation (create the workpad, then activate it), so subscribers must
+// see a single coalesced batch carrying both events — never an
+// intermediate state where the workpad exists but is not yet active.
+func TestImportCollectionCoalesced(t *testing.T) {
+	s := newStore(t)
+	seedConference(t, s)
+	w := Workpad{ID: "w1", Owner: "zach",
+		Items: []WorkpadItem{{Kind: ItemPaper, Ref: "p-ann"}}}
+	if err := s.PutWorkpad(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExportCollection("w1", "col1"); err != nil {
+		t.Fatal(err)
+	}
+
+	var batches [][]ChangeEvent
+	s.OnChange(func(evs []ChangeEvent) {
+		batches = append(batches, append([]ChangeEvent(nil), evs...))
+	})
+	if _, err := s.ImportCollection("col1", "ann", "w-ann"); err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 1 {
+		t.Fatalf("import delivered %d change batches, want 1 coalesced batch", len(batches))
+	}
+	var sawPad, sawActive bool
+	for _, ev := range batches[0] {
+		switch {
+		case ev.EntityType == EntityWorkpad && ev.ID == "w-ann":
+			sawPad = true
+		case ev.EntityType == EntityActiveWorkpad && ev.ID == "ann":
+			sawActive = true
+		}
+	}
+	if !sawPad || !sawActive {
+		t.Fatalf("coalesced batch %+v is missing the workpad or active-workpad event", batches[0])
+	}
+}
+
 func TestActivityStreamOrderingAndFeed(t *testing.T) {
 	s := newStore(t)
 	seedConference(t, s)

@@ -5,9 +5,8 @@ package hive
 // A durable platform journals every change batch (typed events + the
 // raw kv write image) through internal/journal; the server exposes that
 // journal as GET /api/v1/replication/events plus a full-state snapshot
-// endpoint. A follower — static (Options.FollowURL) or elected
-// (Options.Cluster) — bootstraps from the snapshot, then tails the
-// journal: each batch's kv image applies verbatim — the follower's
+// endpoint. An elected follower (Options.Cluster) bootstraps from the
+// snapshot, then tails the journal: each batch's kv image applies verbatim — the follower's
 // store converges byte-for-byte with the leader's — and the batch's
 // events flow through the ordinary onChange → ApplyDelta path, so the
 // follower's serving snapshot is maintained by exactly the machinery a
@@ -63,11 +62,6 @@ const (
 	followBatchMax  = 256
 	followBackoffLo = 100 * time.Millisecond
 	followBackoffHi = 5 * time.Second
-	// bootstrapAttempts bounds how long Open waits for a reachable
-	// leader before failing fast (the operator restarts the follower).
-	// Elected followers bootstrap asynchronously and retry forever —
-	// their leader may simply not have won yet.
-	bootstrapAttempts = 10
 )
 
 // follower holds the tail-loop state of a following platform. Each
@@ -81,14 +75,12 @@ type follower struct {
 	stop   chan struct{}
 	done   chan struct{}
 
-	// booted flips once the initial bootstrap (or resume) succeeded;
-	// until then the loop retries bootstrap instead of tailing.
+	// booted flips once the initial bootstrap succeeded; until then
+	// the loop retries bootstrap instead of tailing. The bootstrap
+	// always re-syncs from the leader's snapshot even when local state
+	// exists: a node rejoining after a leader change may hold journal
+	// batches from a fenced term.
 	booted bool
-	// forceBootstrap makes the initial bootstrap unconditionally
-	// re-sync from the leader's snapshot even when local state exists —
-	// set when rejoining after a leader change, where the local journal
-	// may hold batches from a fenced term.
-	forceBootstrap bool
 
 	applied    atomic.Uint64 // last leader sequence folded into the local store
 	leaderTail atomic.Uint64 // leader journal tail at the most recent poll
@@ -100,73 +92,27 @@ type follower struct {
 // replErr boxes a tail-loop outcome for atomic storage.
 type replErr struct{ err error }
 
-func (p *Platform) newFollower(url string, force bool) *follower {
+func (p *Platform) newFollower(url string) *follower {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &follower{
-		url:            url,
-		c:              client.New(url),
-		cancel:         cancel,
-		ctx:            ctx,
-		stop:           make(chan struct{}),
-		done:           make(chan struct{}),
-		forceBootstrap: force,
+		url:    url,
+		c:      client.New(url),
+		cancel: cancel,
+		ctx:    ctx,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
-}
-
-// startFollowing enters static follower mode: the initial bootstrap
-// runs synchronously (so a returned Platform serves reads immediately),
-// then the tail loop starts.
-func (p *Platform) startFollowing(url string) error {
-	f := p.newFollower(url, false)
-	p.followP.Store(f)
-
-	var lastErr error
-	for attempt := 0; attempt < bootstrapAttempts; attempt++ {
-		if attempt > 0 {
-			select {
-			case <-time.After(backoffDelay(attempt)):
-			case <-f.ctx.Done():
-				return f.ctx.Err()
-			}
-		}
-		if lastErr = p.bootFollower(f); lastErr != nil {
-			continue
-		}
-		f.booted = true
-		go p.followLoop(f)
-		return nil
-	}
-	f.cancel()
-	p.followP.Store(nil)
-	return fmt.Errorf("hive: follower bootstrap from %s failed: %w", url, lastErr)
 }
 
 // startFollowerAsync enters (or re-enters) follower mode without
 // blocking: the tail loop owns the bootstrap, retrying with backoff
-// until it succeeds or the follower is stopped. Used by cluster
-// transitions, where the new leader may itself still be promoting.
+// until it succeeds or the follower is stopped. Cluster transitions
+// need the non-blocking form because the new leader may itself still
+// be promoting.
 func (p *Platform) startFollowerAsync(url string) {
-	f := p.newFollower(url, true)
+	f := p.newFollower(url)
 	p.followP.Store(f)
 	go p.followLoop(f)
-}
-
-// bootFollower establishes the follower's starting point: resume from
-// local state when it exists (and no re-sync is forced), otherwise pull
-// the leader's snapshot; either way the serving snapshot is (re)built
-// before the follower reports ready.
-func (p *Platform) bootFollower(f *follower) error {
-	if !f.forceBootstrap {
-		if seq := p.store.ChangeSeq(); seq > 0 {
-			// A durable follower that restarted already holds the state
-			// up to its journal tail. A stale resume point past the
-			// leader's retention horizon is detected on the first poll
-			// and re-bootstraps.
-			f.applied.Store(seq)
-			return p.Refresh()
-		}
-	}
-	return p.resyncFollower(f)
 }
 
 // stopFollowing cancels the tail loop, waits for it to exit and clears
@@ -241,7 +187,7 @@ func (p *Platform) followLoop(f *follower) {
 		if !wait() {
 			return
 		}
-		if err := p.bootFollower(f); err != nil {
+		if err := p.resyncFollower(f); err != nil {
 			if f.ctx.Err() != nil {
 				return
 			}
@@ -314,7 +260,7 @@ func (p *Platform) followLoop(f *follower) {
 
 		// A leader whose journal tail is *behind* our applied sequence
 		// is not the leader we replicated from (repurposed data dir,
-		// restored backup, wrong -follow target): tailing would silently
+		// restored backup, misconfigured peer set): tailing would silently
 		// serve unrelated state while reporting zero lag. Re-sync from
 		// its snapshot instead.
 		if ev.Tail < from {
