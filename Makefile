@@ -5,9 +5,9 @@ GO      ?= go
 BENCHTIME ?= 200ms
 # Benchmark JSON stream for the current PR's perf record (uploaded as a
 # CI artifact so the trajectory accumulates across commits).
-BENCH_OUT ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr8.json
 
-.PHONY: build test race bench bench-ci fmt vet lint vuln race-nightly ci api-smoke repl-smoke failover-smoke
+.PHONY: build test race bench bench-ci fmt vet lint vuln race-nightly ci api-smoke repl-smoke failover-smoke quorum-smoke
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,8 @@ bench:
 # stream captured as $(BENCH_OUT) so the perf trajectory accumulates.
 # Includes the frozen-vs-live micro-benchmarks (SearchVector,
 # TFIDFVector, RecommendPeers, RecommendResources), the PR-4
-# delta-vs-rebuild pair, and the PR-5 journal append/replay
-# micro-benches — see EXPERIMENTS.md.
+# delta-vs-rebuild pair, the PR-5 journal append/replay micro-benches,
+# and the PR-8 quorum-write benchmark — see EXPERIMENTS.md.
 bench-ci:
 	$(GO) test -json -bench=. -benchtime=$(BENCHTIME) -run='^$$' . ./internal/journal | tee $(BENCH_OUT)
 
@@ -37,13 +37,14 @@ vuln:
 	else echo "govulncheck not installed; skipping (CI runs it)"; fi
 
 # Nightly-strength race pass: the delta interleaving property tests, the
-# leader/follower convergence test, and the election failover/fencing
-# tests at a higher -count, catching rare schedules the per-PR run might
-# miss.
+# leader/follower convergence test, the election failover/fencing tests,
+# and the fault-injected quorum no-lost-writes test at a higher -count,
+# catching rare schedules the per-PR run might miss.
 race-nightly:
 	$(GO) test -race -run 'TestDeltaInterleavingParity|TestDeltaNeverObservesTornBatch|TestSegmentedParity' -count=5 ./internal/core/ ./internal/textindex/
 	$(GO) test -race -run 'TestLeaderFollowerConvergence' -count=5 ./internal/server/
 	$(GO) test -race -run 'TestClusterFailoverConvergence|TestDeposedLeaderFencing' -count=2 ./internal/server/
+	$(GO) test -race -run 'TestQuorumNoLostWrites' -count=2 ./internal/server/
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -84,6 +85,15 @@ repl-smoke:
 failover-smoke:
 	$(GO) build -o bin/hived ./cmd/hived
 	$(GO) run ./cmd/apismoke -hived bin/hived -failover
+
+# Quorum durability check: boot a three-node cluster with -quorum 1,
+# assert acknowledged writes advance the cluster commit index, killing
+# every follower degrades writes to a typed quorum_unavailable inside
+# the ack timeout, a follower restart restores acks, and the commit
+# index never regresses across a leader kill.
+quorum-smoke:
+	$(GO) build -o bin/hived ./cmd/hived
+	$(GO) run ./cmd/apismoke -hived bin/hived -quorum
 
 # lint subsumes vet (hivelint runs `go vet` over the same patterns).
 ci: build lint fmt race

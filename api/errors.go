@@ -45,6 +45,13 @@ const (
 	// dropped by retention; the follower must re-bootstrap from the
 	// snapshot endpoint (HTTP 410).
 	CodeCompacted = "compacted"
+	// CodeQuorumUnavailable: a quorum-acknowledged write could not
+	// collect enough follower acks within the leader's ack timeout. The
+	// write is journaled on the leader and replicates when followers
+	// return — durability is unproven, not rolled back. Details carry the
+	// waited-on change sequence under "seq", the acks collected under
+	// "acked" and the configured quorum under "needed" (HTTP 503).
+	CodeQuorumUnavailable = "quorum_unavailable"
 	// CodeStaleEpoch: a replication request asserted a newer leadership
 	// epoch than this node has adopted — the node is (or is about to
 	// be) fenced off as a deposed leader. The caller must not apply

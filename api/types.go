@@ -156,6 +156,14 @@ type ReplicationHealth struct {
 	// but does not fail writes).
 	JournalError string `json:"journal_error,omitempty"`
 
+	// CommitIndex is the cluster commit index this node has persisted:
+	// the highest change sequence known quorum-acknowledged. Followers
+	// adopt it from the leader's poll responses; 0 before any quorum
+	// write committed (and always 0 in async mode).
+	CommitIndex uint64 `json:"commit_index,omitempty"`
+	// QuorumWrites is the configured write quorum (0 = async durability).
+	QuorumWrites int `json:"quorum_writes,omitempty"`
+
 	// Follower-only fields.
 	LeaderURL  string `json:"leader_url,omitempty"`
 	AppliedSeq uint64 `json:"applied_seq,omitempty"`
@@ -164,6 +172,22 @@ type ReplicationHealth struct {
 	// LastReplicationError reports the tail loop's most recent failure
 	// (reconnecting with backoff when set).
 	LastReplicationError string `json:"last_replication_error,omitempty"`
+
+	// FollowerAcks reports, on a leader, each follower's most recent
+	// ack: the sequence it confirmed applied, the term it asserted, and
+	// how stale the report is. A silently stalled follower shows up here
+	// (age growing, applied frozen) before it blocks a quorum.
+	FollowerAcks []FollowerAckStatus `json:"follower_acks,omitempty"`
+}
+
+// FollowerAckStatus is one follower's ack-lag entry in the leader's
+// ReplicationHealth.
+type FollowerAckStatus struct {
+	URL        string `json:"url"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	Epoch      uint64 `json:"epoch"`
+	// AgeMS is how long ago the follower last reported progress.
+	AgeMS int64 `json:"age_ms"`
 }
 
 // Health is the GET /healthz response: liveness plus snapshot freshness.
@@ -193,10 +217,15 @@ type Health struct {
 // Epoch is the responding node's leadership term: a poller seeing it
 // rise past its own adopted term must re-bootstrap (the compatibility
 // rule: accept batches at your term N, re-bootstrap on N+1).
+// Commit is the responding node's cluster commit index — the highest
+// change sequence a quorum of followers has acknowledged applying
+// (0 until a quorum write commits; always 0 in async mode). Followers
+// persist it so every member carries the durability watermark.
 type ReplicationEvents struct {
 	Batches []ReplicationBatch `json:"batches,omitempty"`
 	Tail    uint64             `json:"tail"`
 	Epoch   uint64             `json:"epoch,omitempty"`
+	Commit  uint64             `json:"commit,omitempty"`
 }
 
 // ReplicationSnapshot is the GET /replication/snapshot response: the
@@ -232,6 +261,12 @@ type ClusterStatus struct {
 	// leading, the followed URL on a follower, "" while an election is
 	// unresolved (or on a standalone node).
 	LeaderURL string `json:"leader_url,omitempty"`
+	// CommitIndex is the cluster commit index this node has persisted
+	// (see ReplicationHealth.CommitIndex).
+	CommitIndex uint64 `json:"commit_index,omitempty"`
+	// QuorumWrites is the write quorum this node enforces when leading
+	// (0 = async).
+	QuorumWrites int `json:"quorum_writes,omitempty"`
 	// Peers reports one probe per configured peer; empty outside
 	// cluster mode.
 	Peers []PeerStatus `json:"peers"`

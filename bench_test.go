@@ -18,6 +18,7 @@ import (
 	"hive/internal/conceptmap"
 	"hive/internal/core"
 	"hive/internal/diffusion"
+	"hive/internal/election"
 	"hive/internal/graph"
 	"hive/internal/rdf"
 	"hive/internal/server"
@@ -635,4 +636,70 @@ func BenchmarkSegmentedSearch(b *testing.B) {
 			overlaid.Search("graph partitioning streams", 10)
 		}
 	})
+}
+
+// BenchmarkQuorumWrite prices the synchronous durability mode in
+// isolation: a leader platform with write quorum k whose followers are
+// goroutines acking every sequence the moment it appears, so the
+// measured cost is the quorum machinery itself (ack bookkeeping,
+// commit-index persistence, the waitQuorum wakeup) with no network in
+// the loop. E17 in cmd/hivebench measures the same path over real HTTP
+// followers.
+func BenchmarkQuorumWrite(b *testing.B) {
+	for _, k := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			el := election.NewManual()
+			self := "http://bench-leader.invalid"
+			followers := []string{"http://bench-f1.invalid", "http://bench-f2.invalid"}
+			el.Set(election.State{Role: election.Leader, Epoch: 1, Leader: self})
+			p, err := hive.Open(hive.Options{
+				Dir: b.TempDir(),
+				Cluster: &hive.ClusterConfig{
+					SelfURL: self, Peers: followers, Election: el, QuorumWrites: k,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			for p.Role() != "leader" {
+				time.Sleep(time.Millisecond)
+			}
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for _, f := range followers {
+				wg.Add(1)
+				go func(f string) {
+					defer wg.Done()
+					var last uint64
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if seq := p.Store().ChangeSeq(); seq > last {
+							last = seq
+							p.RecordFollowerAck(f, seq, 1)
+							continue
+						}
+						// Poll, don't spin: a busy loop starves the writer
+						// goroutine on small machines and the measured
+						// latency becomes the scheduler's, not the quorum's.
+						time.Sleep(20 * time.Microsecond)
+					}
+				}(f)
+			}
+			defer func() { close(stop); wg.Wait() }()
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.RegisterUser(hive.User{
+					ID: fmt.Sprintf("bq-%d-%d", k, i), Name: "Q"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

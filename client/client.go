@@ -202,9 +202,14 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, in, 
 		}
 		lastErr = err
 
-		// Decide whether (and where) to retry. Only leadership errors
-		// and transport failures are failover's business — a not_found
-		// or invalid_argument is the same on every node.
+		// Decide whether (and where) to retry. Leadership errors and
+		// transport failures are failover's business on any method;
+		// 503-class transients (server timeout, load shedding) are
+		// retried only on idempotent reads — re-issuing a write that may
+		// have applied would double it. Everything else — a not_found or
+		// invalid_argument, a quorum_unavailable on a write — is the same
+		// on every node and on every attempt, so it surfaces immediately
+		// as the typed *api.Error for the caller to act on.
 		var ae *api.Error
 		switch {
 		case errors.As(err, &ae) && ae.Code == api.CodeNotLeader:
@@ -215,8 +220,12 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, in, 
 				// it is stale. Ask the replica set instead.
 				c.resolveLeader(ctx, base)
 			}
+		case errors.As(err, &ae) && method == http.MethodGet && retriableRead(ae):
+			// Transient overload on a read: back off and retry in place
+			// (the switch below only skips the backoff when the target
+			// moved, which a 503 doesn't cause).
 		case errors.As(err, &ae):
-			return err // typed API error other than not_leader: not ours to retry
+			return err // typed API error: not failover's to retry
 		default:
 			// Transport-level failure (dead node, reset mid-response).
 			// The old leader dying looks exactly like this; re-resolve
@@ -245,6 +254,20 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, in, 
 		}
 	}
 	return lastErr
+}
+
+// retriableRead reports whether a typed API error on an idempotent read
+// is a transient the retry loop may absorb: the server-side timeout and
+// load-shed rejections, plus any other 503 a proxy or middleware
+// produced. quorum_unavailable is also a 503 but belongs to the write
+// path; a read can never legitimately carry it, so it is excluded to
+// keep the contract sharp.
+func retriableRead(ae *api.Error) bool {
+	if ae.Code == api.CodeQuorumUnavailable {
+		return false
+	}
+	return ae.Code == api.CodeTimeout || ae.Code == api.CodeOverloaded ||
+		ae.HTTPStatus == http.StatusServiceUnavailable
 }
 
 // resolveLeader asks the replica set who leads: GET /cluster against
@@ -638,7 +661,10 @@ func (c *Client) KnowledgePaths(ctx context.Context, a, b string, k int) ([]api.
 // A non-zero epoch asserts the poller's adopted leadership term: a node
 // behind it answers `stale_epoch` (it is a deposed leader whose batches
 // must not be applied) instead of serving a stale feed.
-func (c *Client) ReplicationEvents(ctx context.Context, from uint64, max int, wait time.Duration, epoch uint64) (api.ReplicationEvents, error) {
+//
+// A non-nil ack piggybacks the poller's progress report on the poll —
+// the ack path of quorum writes; nil polls purely as a reader.
+func (c *Client) ReplicationEvents(ctx context.Context, from uint64, max int, wait time.Duration, epoch uint64, ack *ReplAck) (api.ReplicationEvents, error) {
 	var out api.ReplicationEvents
 	q := url.Values{"from": {fmt.Sprint(from)}}
 	if max > 0 {
@@ -650,8 +676,26 @@ func (c *Client) ReplicationEvents(ctx context.Context, from uint64, max int, wa
 	if epoch > 0 {
 		q.Set("epoch", fmt.Sprint(epoch))
 	}
+	if ack != nil && ack.Self != "" {
+		q.Set("self", ack.Self)
+		q.Set("applied", fmt.Sprint(ack.Applied))
+		q.Set("commit", fmt.Sprint(ack.Commit))
+	}
 	err := c.get(ctx, "/api/v1/replication/events", q, &out)
 	return out, err
+}
+
+// ReplAck is the progress report a follower piggybacks on a replication
+// poll: which node it is (its advertised URL), the highest change
+// sequence it has folded into its store, and the cluster commit index
+// it has persisted. On a quorum-writing leader the applied report is
+// the write ack — there is no separate ack RPC — and a commit report
+// behind the leader's releases the long-poll early so the follower
+// adopts the fresh durability watermark promptly.
+type ReplAck struct {
+	Self    string
+	Applied uint64
+	Commit  uint64
 }
 
 // ReplicationSnapshot fetches the full bootstrap image: the node's

@@ -20,6 +20,8 @@ package hive
 import (
 	"errors"
 	"fmt"
+	"net/http"
+	"time"
 
 	"hive/internal/election"
 )
@@ -38,6 +40,25 @@ type ClusterConfig struct {
 	// Election decides the leader. Use election.NewFileLease for the
 	// shared-directory backend, or any other Elector implementation.
 	Election election.Elector
+
+	// QuorumWrites opts into synchronous durability: when leading, every
+	// write response is held until this many followers have confirmed
+	// the write applied at the current epoch (acks piggyback on the
+	// replication long-poll). 0 keeps the async default — the write is
+	// acknowledged once journaled locally. A write that cannot collect
+	// its quorum within AckTimeout fails with *QuorumUnavailableError
+	// (HTTP: 503 quorum_unavailable); the data stays journaled and
+	// replicates when followers return.
+	QuorumWrites int
+	// AckTimeout bounds how long a quorum write waits for follower acks
+	// (0 = DefaultAckTimeout). Degradation under it is typed, never a
+	// hang: the handler timeout middleware must stay above it or the
+	// envelope turns into a blunt timeout.
+	AckTimeout time.Duration
+	// ReplicationTransport, when set, replaces the HTTP transport of the
+	// follower's replication client. It exists as the fault-injection
+	// seam (internal/faultnet) for tests; nil uses the default transport.
+	ReplicationTransport http.RoundTripper
 }
 
 // Platform roles. The zero value is neither, so a role read before Open
@@ -61,9 +82,23 @@ func (p *Platform) startCluster(cfg ClusterConfig) error {
 	if !p.store.Journaled() {
 		return errors.New("hive: cluster mode requires a durable store (Options.Dir): an elected node must be able to lead, and an in-memory node has no journal for followers to tail")
 	}
+	if cfg.QuorumWrites < 0 {
+		return errors.New("hive: ClusterConfig.QuorumWrites must be >= 0")
+	}
+	if cfg.QuorumWrites > len(cfg.Peers) {
+		return fmt.Errorf("hive: ClusterConfig.QuorumWrites %d exceeds the %d configured peers — no write could ever commit", cfg.QuorumWrites, len(cfg.Peers))
+	}
 	p.selfURL = cfg.SelfURL
 	p.peers = append([]string(nil), cfg.Peers...)
 	p.elector = cfg.Election
+	p.quorumK = cfg.QuorumWrites
+	p.ackTimeout = cfg.AckTimeout
+	if p.ackTimeout <= 0 {
+		p.ackTimeout = DefaultAckTimeout
+	}
+	p.replTransport = cfg.ReplicationTransport
+	p.acks = map[string]followerAck{}
+	p.ackCh = make(chan struct{})
 	p.role.Store(roleFollower) // fenced until elected
 	p.transCh = make(chan election.State, 1)
 	p.transStop = make(chan struct{})
@@ -152,6 +187,24 @@ func (p *Platform) promote(epoch uint64) {
 		p.setLeaderHint(p.selfURL)
 		return
 	}
+	// Caught-up gate: before a fresh promotion opens the write path,
+	// compare histories with every reachable peer. A peer holding
+	// sequences beyond ours at this term would lose its surplus if we
+	// led — and if any of that surplus was quorum-acknowledged, losing
+	// it breaks the durability promise quorum writes made. Defer to it:
+	// yield the lease and stay fenced, for at most maxPromotionDeferrals
+	// consecutive rounds (an unclaiming peer must not leave the cluster
+	// leaderless).
+	if p.deferStreak < maxPromotionDeferrals {
+		if _, _, found := p.moreCaughtUpPeer(); found {
+			p.deferPromotion()
+			return
+		}
+	}
+	p.deferStreak = 0
+	// A new term's quorum must be proven by new acks; stale bookkeeping
+	// from an earlier stint as leader must not vouch for it.
+	p.resetAcks()
 	// Order matters: the tail loop must be fully stopped before the
 	// term changes hands, so no replicated batch races the promotion.
 	p.stopFollowing()
@@ -175,6 +228,16 @@ func (p *Platform) demoteTo(epoch uint64, leaderURL string) {
 	p.role.Store(roleFollower)
 	if wasLeader {
 		p.demotions.Add(1)
+		// Quorum waiters parked on our deposed term must not hang until
+		// their deadline on a channel no ack will ever close again.
+		p.resetAcks()
+	}
+	if leaderURL != "" && leaderURL != p.selfURL {
+		// Another node actually leads: the deferrals worked (or the race
+		// resolved itself), so the next lost-leader round starts with a
+		// fresh deferral budget. The no-leader interludes *between* our
+		// own yielded claims keep the streak, or the cap could never bind.
+		p.deferStreak = 0
 	}
 	epochAdvanced := epoch > p.store.Epoch()
 	p.store.SetEpoch(epoch)

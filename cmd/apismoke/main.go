@@ -23,9 +23,18 @@
 // (stale_epoch on its feed, zombie writes absent everywhere), and the
 // old leader rejoins as a follower converging onto the new term.
 //
+// With -quorum (the `make quorum-smoke` mode) it boots a three-node
+// elected cluster with -quorum 1 and checks the synchronous durability
+// contract: acknowledged writes advance the cluster commit index,
+// killing every follower degrades the next write to a typed
+// quorum_unavailable 503 inside the ack timeout (never a hang),
+// restarting a follower restores acks without touching the leader, and
+// across a leader kill the promoted survivor keeps every acknowledged
+// write with a commit index that never regresses.
+//
 // Usage:
 //
-//	apismoke [-hived bin/hived] [-addr 127.0.0.1:18080] [-seed 24] [-repl | -failover]
+//	apismoke [-hived bin/hived] [-addr 127.0.0.1:18080] [-seed 24] [-repl | -failover | -quorum]
 package main
 
 import (
@@ -50,6 +59,7 @@ func main() {
 	seed := flag.Int("seed", 24, "synthetic workload size")
 	repl := flag.Bool("repl", false, "run the two-node elected replication scenario instead")
 	failover := flag.Bool("failover", false, "run the three-node election failover scenario instead")
+	quorum := flag.Bool("quorum", false, "run the three-node quorum-write durability scenario instead")
 	flag.Parse()
 
 	name, fn := "api-smoke", run
@@ -58,6 +68,9 @@ func main() {
 	}
 	if *failover {
 		name, fn = "failover-smoke", runFailover
+	}
+	if *quorum {
+		name, fn = "quorum-smoke", runQuorum
 	}
 	if err := fn(*hived, *addr, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: FAIL: %v\n", name, err)
@@ -762,7 +775,7 @@ func runFailover(hived, addr string, seed int) error {
 	// Endpoint fencing: a poll asserting a term beyond the node's own
 	// answers stale_epoch — the signal a deposed leader gives a fenced
 	// follower.
-	if _, err := newLeader.ReplicationEvents(ctx, 0, 1, 0, epoch2+1); !api.IsCode(err, api.CodeStaleEpoch) {
+	if _, err := newLeader.ReplicationEvents(ctx, 0, 1, 0, epoch2+1, nil); !api.IsCode(err, api.CodeStaleEpoch) {
 		return fmt.Errorf("events poll asserting epoch %d = %v, want code %s", epoch2+1, err, api.CodeStaleEpoch)
 	}
 	fmt.Printf("failover-smoke: %-30s ok\n", "stale_epoch on ahead-of-term poll")
@@ -792,7 +805,7 @@ func runFailover(hived, addr string, seed int) error {
 	}
 	// Polling it at the cluster's term is refused wholesale: stale_epoch,
 	// nothing served, nothing to apply.
-	if _, err := zc.ReplicationEvents(ctx, 0, 16, 0, epoch2); !api.IsCode(err, api.CodeStaleEpoch) {
+	if _, err := zc.ReplicationEvents(ctx, 0, 16, 0, epoch2, nil); !api.IsCode(err, api.CodeStaleEpoch) {
 		stopZombie()
 		return fmt.Errorf("deposed leader poll at epoch %d = %v, want code %s", epoch2, err, api.CodeStaleEpoch)
 	}
@@ -837,6 +850,237 @@ func runFailover(hived, addr string, seed int) error {
 		}
 	}
 	fmt.Printf("failover-smoke: %-30s ok\n", "rejoin converges, zombie absent")
+	return nil
+}
+
+// runQuorum exercises the synchronous durability mode end to end on
+// real hived processes: a three-node cluster with -quorum 1 accepts
+// writes only once a follower confirms them, degrades to a typed
+// quorum_unavailable 503 inside the ack timeout when every follower is
+// gone, recovers as soon as one returns, and carries the cluster
+// commit index forward — never backward — across a leader kill.
+func runQuorum(hived, addr string, seed int) error {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("bad -addr: %w", err)
+	}
+	basePort, err := strconv.Atoi(port)
+	if err != nil {
+		return fmt.Errorf("bad -addr port: %w", err)
+	}
+
+	const nodes = 3
+	const ackTimeout = 2 * time.Second
+	addrs := make([]string, nodes)
+	urls := make([]string, nodes)
+	dirs := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		addrs[i] = net.JoinHostPort(host, fmt.Sprint(basePort+i))
+		urls[i] = "http://" + addrs[i]
+		if dirs[i], err = os.MkdirTemp("", fmt.Sprintf("hive-quorum-n%d-", i)); err != nil {
+			return err
+		}
+		defer os.RemoveAll(dirs[i])
+	}
+	leaseDir, err := os.MkdirTemp("", "hive-quorum-lease-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(leaseDir)
+
+	clusterFlag := func(i int) string {
+		peers := ""
+		for j := 0; j < nodes; j++ {
+			if j == i {
+				continue
+			}
+			if peers != "" {
+				peers += ";"
+			}
+			peers += urls[j]
+		}
+		return fmt.Sprintf("self=%s,peers=%s,lease=%s,ttl=1s", urls[i], peers, leaseDir)
+	}
+	startNode := func(i int) (func(), error) {
+		return startHived(hived,
+			"-addr", addrs[i],
+			"-data", dirs[i],
+			"-cluster", clusterFlag(i),
+			"-quorum", "1",
+			"-ack-timeout", ackTimeout.String(),
+			"-compact-interval", "1s",
+			"-quiet",
+		)
+	}
+
+	stops := make([]func(), nodes)
+	for i := 0; i < nodes; i++ {
+		if stops[i], err = startNode(i); err != nil {
+			return err
+		}
+		defer func(i int) {
+			if stops[i] != nil {
+				stops[i]()
+			}
+		}(i)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	perNode := make([]*client.Client, nodes)
+	for i := range perNode {
+		perNode[i] = client.New(urls[i])
+	}
+
+	leaderIdx, epoch1, err := waitClusterLeader(ctx, perNode, urls, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("quorum-smoke: leader %s at epoch %d, k=1\n", urls[leaderIdx], epoch1)
+
+	// Quorum-acknowledged writes succeed while a follower is polling, and
+	// the cluster commit index covers everything accepted.
+	c := client.New(urls[leaderIdx], client.WithCluster(urls...))
+	for i := 0; i < 8; i++ {
+		if err := c.CreateUser(ctx, api.User{
+			ID: fmt.Sprintf("dur%02d", i), Name: "Durable", Interests: []string{"quorum"}}); err != nil {
+			return fmt.Errorf("quorum write %d: %w", i, err)
+		}
+	}
+	lh, err := perNode[leaderIdx].Healthz(ctx)
+	if err != nil {
+		return fmt.Errorf("leader healthz: %w", err)
+	}
+	if lh.Replication.QuorumWrites != 1 {
+		return fmt.Errorf("leader quorum_writes = %d, want 1", lh.Replication.QuorumWrites)
+	}
+	if lh.Replication.CommitIndex < lh.Replication.JournalTail {
+		return fmt.Errorf("commit index %d below journal tail %d after acknowledged writes",
+			lh.Replication.CommitIndex, lh.Replication.JournalTail)
+	}
+	if len(lh.Replication.FollowerAcks) == 0 {
+		return fmt.Errorf("leader healthz reports no follower acks")
+	}
+	fmt.Printf("quorum-smoke: %-34s ok\n", "k=1 writes acknowledged, commit index covers tail")
+
+	// Kill every follower: the next write cannot reach a quorum, so the
+	// leader must degrade with the typed quorum_unavailable answer inside
+	// the ack timeout instead of hanging or succeeding.
+	for i := 0; i < nodes; i++ {
+		if i != leaderIdx {
+			stops[i]()
+			stops[i] = nil
+		}
+	}
+	lc := perNode[leaderIdx]
+	degradeDeadline := time.Now().Add(30 * time.Second)
+	var degradeErr error
+	for {
+		start := time.Now()
+		degradeErr = lc.CreateUser(ctx, api.User{ID: "unproven", Name: "Unproven"})
+		elapsed := time.Since(start)
+		if degradeErr != nil {
+			if !api.IsCode(degradeErr, api.CodeQuorumUnavailable) {
+				return fmt.Errorf("degraded write error = %v, want code %s", degradeErr, api.CodeQuorumUnavailable)
+			}
+			if elapsed > ackTimeout+3*time.Second {
+				return fmt.Errorf("degraded write took %v, want bounded near the %v ack timeout", elapsed, ackTimeout)
+			}
+			break
+		}
+		// A write may still slip through while a follower's final poll is
+		// in flight; retry until the ack sources are really gone.
+		if time.Now().After(degradeDeadline) {
+			return fmt.Errorf("writes kept succeeding with every follower dead")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("quorum-smoke: %-34s ok\n", "typed quorum_unavailable, bounded wait")
+
+	// Restart the followers: the first confirming poll restores the ack
+	// flow and writes succeed again without restarting the leader.
+	for i := 0; i < nodes; i++ {
+		if i != leaderIdx {
+			if stops[i], err = startNode(i); err != nil {
+				return err
+			}
+		}
+	}
+	recoverDeadline := time.Now().Add(30 * time.Second)
+	for {
+		if err = lc.CreateUser(ctx, api.User{ID: "recovered", Name: "Recovered"}); err == nil {
+			break
+		}
+		if time.Now().After(recoverDeadline) {
+			return fmt.Errorf("writes never recovered after follower restart: %v", err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	fmt.Printf("quorum-smoke: %-34s ok\n", "follower restart restores acks")
+
+	// Snapshot the followers' commit indices, then kill the leader: the
+	// promoted survivor must carry the watermark forward, never backward —
+	// the commit index is a durability promise already given out.
+	preKill := make(map[int]uint64)
+	snapDeadline := time.Now().Add(30 * time.Second)
+	for i := 0; i < nodes; i++ {
+		if i == leaderIdx {
+			continue
+		}
+		for {
+			fh, err := perNode[i].Healthz(ctx)
+			if err == nil && fh.Replication.CommitIndex > 0 {
+				preKill[i] = fh.Replication.CommitIndex
+				break
+			}
+			if time.Now().After(snapDeadline) {
+				return fmt.Errorf("follower %s never published a commit index: %+v, %v", urls[i], fh, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	stops[leaderIdx]()
+	stops[leaderIdx] = nil
+
+	survivors := make([]*client.Client, 0, nodes-1)
+	survivorURLs := make([]string, 0, nodes-1)
+	survivorIdx := make([]int, 0, nodes-1)
+	for i := 0; i < nodes; i++ {
+		if i != leaderIdx {
+			survivors = append(survivors, perNode[i])
+			survivorURLs = append(survivorURLs, urls[i])
+			survivorIdx = append(survivorIdx, i)
+		}
+	}
+	newIdx, epoch2, err := waitClusterLeader(ctx, survivors, survivorURLs, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	if epoch2 <= epoch1 {
+		return fmt.Errorf("promotion did not advance the epoch: %d -> %d", epoch1, epoch2)
+	}
+	nh, err := survivors[newIdx].Healthz(ctx)
+	if err != nil {
+		return fmt.Errorf("new leader healthz: %w", err)
+	}
+	if want := preKill[survivorIdx[newIdx]]; nh.Replication.CommitIndex < want {
+		return fmt.Errorf("commit index regressed across leader kill: %d -> %d",
+			want, nh.Replication.CommitIndex)
+	}
+	// Every acknowledged write must be on the promoted leader: that is
+	// what the quorum bought.
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("dur%02d", i)
+		if _, err := survivors[newIdx].GetUser(ctx, id); err != nil {
+			return fmt.Errorf("acknowledged write %s lost after leader kill: %w", id, err)
+		}
+	}
+	if _, err := survivors[newIdx].GetUser(ctx, "recovered"); err != nil {
+		return fmt.Errorf("acknowledged write recovered lost after leader kill: %w", err)
+	}
+	fmt.Printf("quorum-smoke: promoted %s at epoch %d, commit index %d (was %d)\n",
+		survivorURLs[newIdx], epoch2, nh.Replication.CommitIndex, preKill[survivorIdx[newIdx]])
+	fmt.Printf("quorum-smoke: %-34s ok\n", "commit index monotone across leader kill")
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -67,6 +68,7 @@ func main() {
 		{"E14", "write visibility — delta apply vs full rebuild", e14},
 		{"E15", "replication — follower lag & read scaling", e15},
 		{"E16", "failover — detect -> promote -> first accepted write", e16},
+		{"E17", "quorum writes — acknowledged-write latency at k=0/1/2", e17},
 	}
 	for _, ex := range experiments {
 		if *run != "" && !strings.EqualFold(*run, ex.id) {
@@ -551,6 +553,131 @@ func e16(users int) {
 	fmt.Printf("detect -> first accepted write: %v avg\n", (writeSum / trials).Round(time.Millisecond))
 	fmt.Println("shape: both clocks are dominated by the lease TTL (detection horizon) plus one")
 	fmt.Println("       claim round; the write clock adds the SDK's re-resolution and one retry")
+	_ = users
+}
+
+// e17: the price of synchronous durability — per-write latency of the
+// same three-node cluster at quorum sizes k=0 (async, the PR-7
+// behaviour), k=1 (one follower must confirm) and k=2 (every follower
+// must confirm). The ack rides the replication long-poll, so the
+// expected step from k=0 to k>0 is one poll round trip, not a new
+// connection per write.
+func e17(users int) {
+	const (
+		writes = 100
+		ttl    = 300 * time.Millisecond
+	)
+	ctx := context.Background()
+	fmt.Printf("3-node cluster, lease ttl %v, %d acknowledged writes per quorum size\n", ttl, writes)
+
+	for _, k := range []int{0, 1, 2} {
+		leaseDir, err := os.MkdirTemp("", "hive-e17-lease-")
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		type node struct {
+			url string
+			ts  *httptest.Server
+			p   *hive.Platform
+		}
+		const members = 3
+		listeners := make([]net.Listener, members)
+		urls := make([]string, members)
+		for i := range listeners {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			listeners[i] = l
+			urls[i] = "http://" + l.Addr().String()
+		}
+		nodes := make([]*node, members)
+		dirs := []string{leaseDir}
+		for i := range nodes {
+			var peers []string
+			for j, u := range urls {
+				if j != i {
+					peers = append(peers, u)
+				}
+			}
+			lease, err := election.NewFileLease(election.LeaseConfig{Dir: leaseDir, Self: urls[i], TTL: ttl})
+			if err != nil {
+				log.Fatal(err)
+			}
+			dir, err := os.MkdirTemp("", "hive-e17-node-")
+			if err != nil {
+				log.Fatal(err)
+			}
+			dirs = append(dirs, dir)
+			p, err := hive.Open(hive.Options{
+				Dir: dir,
+				Cluster: &hive.ClusterConfig{
+					SelfURL: urls[i], Peers: peers, Election: lease,
+					QuorumWrites: k,
+				},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ts := &httptest.Server{Listener: listeners[i], Config: &http.Server{Handler: server.New(p)}}
+			ts.Start()
+			nodes[i] = &node{url: urls[i], ts: ts, p: p}
+		}
+
+		var leader *node
+		for leader == nil {
+			for _, n := range nodes {
+				if n.p.Role() == "leader" {
+					leader = n
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		c := client.New(leader.url)
+		// Warm until the follower ack flow is live: the first write at
+		// k=2 cannot land before both followers are polling.
+		for {
+			if err := c.CreateUser(ctx, hive.User{ID: fmt.Sprintf("e17-warm-k%d", k), Name: "Warm"}); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+
+		lat := make([]time.Duration, 0, writes)
+		for i := 0; i < writes; i++ {
+			start := time.Now()
+			if err := c.CreateUser(ctx, hive.User{
+				ID: fmt.Sprintf("e17-k%d-u%d", k, i), Name: "Durable", Interests: []string{"quorum"}}); err != nil {
+				log.Fatal(err)
+			}
+			lat = append(lat, time.Since(start))
+		}
+		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+		var sum time.Duration
+		for _, d := range lat {
+			sum += d
+		}
+		commit := leader.p.CommitIndex()
+		fmt.Printf("k=%d: avg %v  p50 %v  p99 %v  (commit index %d)\n",
+			k,
+			(sum / writes).Round(10*time.Microsecond),
+			lat[len(lat)/2].Round(10*time.Microsecond),
+			lat[len(lat)*99/100].Round(10*time.Microsecond),
+			commit)
+
+		for _, n := range nodes {
+			n.ts.CloseClientConnections()
+			n.ts.Close()
+			n.p.Close()
+		}
+		for _, d := range dirs {
+			os.RemoveAll(d)
+		}
+	}
+	fmt.Println("shape: k=0 is the async baseline; k>0 adds roughly one replication poll")
+	fmt.Println("       round trip, and k=2 waits for the slower of the two followers")
 	_ = users
 }
 

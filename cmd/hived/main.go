@@ -7,7 +7,7 @@
 //	      [-no-deltas] [-workers N] [-timeout 30s] [-max-inflight N]
 //	      [-qps N] [-quiet] [-pprof ADDR]
 //	      [-cluster "self=URL,peers=URL;URL,lease=DIR[,ttl=2s]"]
-//	      [-journal-retention N]
+//	      [-quorum K] [-ack-timeout 5s] [-journal-retention N]
 //
 // The API is served under /api/v1 (typed DTOs, cursor pagination,
 // structured errors, conditional knowledge GETs, POST /api/v1/batch
@@ -47,6 +47,17 @@
 // Cluster mode requires -data (an elected node must be able to lead,
 // and leading requires a journal). GET /api/v1/cluster reports the
 // node's view of the set.
+//
+// Durability: by default a write is acknowledged once journaled on the
+// leader (async replication). -quorum K holds every write response until
+// K followers confirm the write applied at the current epoch — acks
+// piggyback on the replication long-poll, and the resulting cluster
+// commit index (the highest sequence a quorum acknowledged) is persisted
+// beside the journal and reported by /api/v1/healthz and
+// /api/v1/cluster. A write that cannot collect its quorum within
+// -ack-timeout fails with 503 quorum_unavailable (the write stays
+// journaled and replicates when followers return). Keep -timeout above
+// -ack-timeout or the blunt middleware timeout fires first.
 //
 // A follower serves the full read API with observable lag and rejects
 // writes with the not_leader error envelope naming the leader.
@@ -141,6 +152,10 @@ func main() {
 		"background compaction (full rebuild) interval, run while due (0 = disabled)")
 	cluster := flag.String("cluster", "",
 		"join an elected replica set: self=URL,peers=URL;URL,lease=DIR[,ttl=2s] (requires -data)")
+	quorum := flag.Int("quorum", 0,
+		"follower acks each write must collect before the response returns (0 = async durability; requires -cluster)")
+	ackTimeout := flag.Duration("ack-timeout", 0,
+		"bounded wait for quorum write acks before a 503 quorum_unavailable (0 = 5s default)")
 	journalRetention := flag.Int("journal-retention", 0,
 		"closed change-journal segments to retain (0 = default 8)")
 	noDeltas := flag.Bool("no-deltas", false,
@@ -193,10 +208,14 @@ func main() {
 			log.Fatalf("cluster lease: %v", err)
 		}
 		opts.Cluster = &hive.ClusterConfig{
-			SelfURL:  spec.self,
-			Peers:    spec.peers,
-			Election: lease,
+			SelfURL:      spec.self,
+			Peers:        spec.peers,
+			Election:     lease,
+			QuorumWrites: *quorum,
+			AckTimeout:   *ackTimeout,
 		}
+	} else if *quorum > 0 {
+		log.Fatalf("-quorum requires -cluster: only a leader with followers can collect acks")
 	}
 
 	p, err := hive.Open(opts)

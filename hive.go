@@ -23,6 +23,7 @@ package hive
 
 import (
 	"errors"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -244,6 +245,21 @@ type Platform struct {
 	transDone  chan struct{}
 	promotions atomic.Uint64 // follower → leader transitions since Open
 	demotions  atomic.Uint64 // leader → follower transitions since Open
+
+	// Quorum-write state (quorum.go). quorumK and ackTimeout are fixed
+	// at Open; the ack map tracks, per follower URL, the highest change
+	// sequence it confirmed applied (piggybacked on its replication
+	// poll); ackCh is closed and replaced whenever the commit index
+	// advances, waking writers parked in waitQuorum. replTransport is
+	// the follower client's transport override (fault-injection seam).
+	quorumK       int
+	ackTimeout    time.Duration
+	replTransport http.RoundTripper
+	ackMu         sync.Mutex
+	acks          map[string]followerAck
+	ackCh         chan struct{}
+	deferrals     atomic.Uint64 // promotions deferred to a more caught-up peer
+	deferStreak   int           // consecutive deferrals; transition goroutine only
 }
 
 // refreshFlight coalesces concurrent maintenance into one run. full

@@ -5,12 +5,21 @@
 // failover — and the errors carrying the fencing verdict
 // (ErrStaleEpoch/ErrEpochAhead out of ApplyReplica and friends) must
 // never be discarded.
+//
+// It also guards the quorum-write invariant from PR 8: the cluster
+// commit index vouches for quorum-acknowledged durability, so a
+// SetCommitIndex call on the store must be ordered after a quorum ack
+// check — the function must consult the ack table (an ack/quorum-named
+// identifier) before the update. The one legitimate exception, a
+// follower adopting the index its leader already proved, carries an
+// explicit //lint:allow suppression.
 package epochcheck
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 
 	"hive/internal/analysis"
 )
@@ -31,7 +40,8 @@ var fencedCalls = map[string]bool{"ApplyReplica": true, "ImportReplicaSnapshot":
 var Analyzer = &analysis.Analyzer{
 	Name: "epochcheck",
 	Doc: "flag ReplicationBatch apply paths that never compare the batch Epoch, " +
-		"and call sites discarding errors from ApplyReplica/fencing paths",
+		"call sites discarding errors from ApplyReplica/fencing paths, " +
+		"and commit-index updates not ordered after a quorum ack check",
 	Run: run,
 }
 
@@ -43,6 +53,7 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			checkApplyWithoutEpoch(pass, fd)
+			checkCommitAfterAck(pass, fd)
 		}
 		checkDiscardedErrors(pass, file)
 	}
@@ -92,6 +103,70 @@ func checkApplyWithoutEpoch(pass *analysis.Pass, fd *ast.FuncDecl) {
 			"%s applies ReplicationBatch.%s without comparing the batch Epoch (epoch fencing)",
 			fd.Name.Name, firstField)
 	}
+}
+
+// checkCommitAfterAck reports SetCommitIndex calls on the social store
+// that are not ordered after a quorum ack check: somewhere earlier in
+// the same function an ack- or quorum-named identifier must have been
+// consulted (the ack table, the k-th-acked computation, the configured
+// quorum). Without that ordering the commit index could advance on a
+// write no quorum ever confirmed — the durability promise would lie.
+// Identifier matching is by camel-case word, so followerAck and
+// kthAckedLocked count while backoff does not.
+func checkCommitAfterAck(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var ackSeen token.Pos // earliest ack/quorum reference
+	var commits []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.Ident:
+			if (!ackSeen.IsValid() || e.Pos() < ackSeen) && mentionsAck(e.Name) {
+				ackSeen = e.Pos()
+			}
+		case *ast.CallExpr:
+			sel, ok := e.Fun.(*ast.SelectorExpr)
+			if ok && sel.Sel.Name == "SetCommitIndex" &&
+				analysis.IsNamed(typeOf(pass, sel.X), "internal/social", "Store") {
+				commits = append(commits, e)
+			}
+		}
+		return true
+	})
+	for _, call := range commits {
+		if !ackSeen.IsValid() || ackSeen > call.Pos() {
+			pass.Reportf(call.Pos(),
+				"%s calls SetCommitIndex without a preceding quorum ack check: the commit index may only advance on quorum-acknowledged sequences",
+				fd.Name.Name)
+		}
+	}
+}
+
+// mentionsAck reports whether a camel-case word of name is ack/acked/
+// acks or quorum — the vocabulary of the ack table and its bounds.
+func mentionsAck(name string) bool {
+	for _, w := range camelWords(name) {
+		switch w {
+		case "ack", "acked", "acks", "quorum":
+			return true
+		}
+	}
+	return false
+}
+
+// camelWords splits an identifier into lower-cased camel-case words
+// ("kthAckedLocked" -> kth, acked, locked).
+func camelWords(s string) []string {
+	var words []string
+	start := 0
+	for i := 1; i <= len(s); i++ {
+		if i == len(s) || (s[i] >= 'A' && s[i] <= 'Z') {
+			w := strings.ToLower(s[start:i])
+			if w != "" {
+				words = append(words, w)
+			}
+			start = i
+		}
+	}
+	return words
 }
 
 // isBatch reports whether expr has (a pointer to) the ReplicationBatch

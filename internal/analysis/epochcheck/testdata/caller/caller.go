@@ -20,3 +20,68 @@ func Drop(s *social.Store, rb social.ReplicationBatch) {
 	}
 	s.SetEpoch(3) // clean: no error result to drop
 }
+
+// --- Commit-after-ack rule: the commit index may only advance on
+// quorum-acknowledged sequences, so SetCommitIndex needs a preceding
+// ack/quorum consultation in the same function.
+
+// BlindCommit advances the watermark on nothing but the local
+// sequence — no ack table was ever consulted.
+func BlindCommit(s *social.Store, seq uint64) {
+	if err := s.SetCommitIndex(seq); err != nil { // want `calls SetCommitIndex without a preceding quorum ack check`
+		panic(err)
+	}
+}
+
+// AckedCommit computes the quorum bound from follower acks first:
+// clean.
+func AckedCommit(s *social.Store, acks map[string]uint64, k int) {
+	quorumSeq := kthAcked(acks, k)
+	if quorumSeq > s.CommitIndex() {
+		if err := s.SetCommitIndex(quorumSeq); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// LateAck consults the ack table only after the update — ordering is
+// the invariant, so this is still a violation.
+func LateAck(s *social.Store, acks map[string]uint64, seq uint64) {
+	if err := s.SetCommitIndex(seq); err != nil { // want `calls SetCommitIndex without a preceding quorum ack check`
+		panic(err)
+	}
+	_ = len(acks)
+}
+
+// BackoffCommit has "ack" only as a substring of backoff — word
+// matching must not count it.
+func BackoffCommit(s *social.Store, backoff uint64) {
+	if err := s.SetCommitIndex(backoff); err != nil { // want `calls SetCommitIndex without a preceding quorum ack check`
+		panic(err)
+	}
+}
+
+// AdoptCommit is the follower side: the leader already proved the
+// quorum, the follower adopts its published index — the one legitimate
+// suppression.
+func AdoptCommit(s *social.Store, leaderCommit uint64) {
+	//lint:allow epochcheck follower adopts the leader-proved commit index
+	if err := s.SetCommitIndex(leaderCommit); err != nil {
+		panic(err)
+	}
+}
+
+func kthAcked(acks map[string]uint64, k int) uint64 {
+	var best uint64
+	n := 0
+	for _, a := range acks {
+		n++
+		if a > best {
+			best = a
+		}
+	}
+	if n < k {
+		return 0
+	}
+	return best
+}

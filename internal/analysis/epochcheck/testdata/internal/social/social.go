@@ -20,9 +20,10 @@ type ReplicationBatch struct {
 }
 
 type Store struct {
-	epoch uint64
-	seq   uint64
-	kvs   map[string][]byte
+	epoch  uint64
+	seq    uint64
+	commit uint64
+	kvs    map[string][]byte
 }
 
 // ApplyReplica fences before applying: clean.
@@ -73,3 +74,14 @@ func (s *Store) ImportReplicaSnapshot(m map[string][]byte) error {
 func (s *Store) SetEpoch(e uint64) {
 	s.epoch = e
 }
+
+// SetCommitIndex persists the cluster commit index — the quorum
+// durability watermark the commit-after-ack rule guards.
+func (s *Store) SetCommitIndex(seq uint64) error {
+	if seq > s.commit {
+		s.commit = seq
+	}
+	return nil
+}
+
+func (s *Store) CommitIndex() uint64 { return s.commit }

@@ -68,6 +68,19 @@ type Elector interface {
 	Stop()
 }
 
+// Yielder is an optional Elector capability: a node that won an
+// election but should not lead — the platform's caught-up promotion
+// gate found a peer holding more history — calls Yield to step aside.
+// The elector releases whatever claim it holds and refrains from
+// claiming again for roughly one election cycle, opening a window for
+// the more caught-up peer to win. Yield is advisory: an elector without
+// it (or a peer that never claims) leaves the original winner to lead
+// after the gate's deferral budget runs out, so availability is never
+// hostage to the optimization.
+type Yielder interface {
+	Yield()
+}
+
 // Manual is an operator/test-driven elector: Set decides the state.
 // It implements Elector with no background machinery, which makes
 // split-brain scenarios (a deposed leader that still believes it leads)

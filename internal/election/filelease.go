@@ -65,10 +65,11 @@ type FileLease struct {
 	cfg  LeaseConfig
 	path string
 
-	mu     sync.Mutex
-	cur    State
-	floor  uint64 // highest epoch observed or claimed; claims go above it
-	notify func(State)
+	mu         sync.Mutex
+	cur        State
+	floor      uint64 // highest epoch observed or claimed; claims go above it
+	notify     func(State)
+	pauseUntil time.Time // Yield: no renewing or claiming before this instant
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -116,6 +117,18 @@ func (f *FileLease) State() State {
 	return f.cur
 }
 
+// Yield implements Yielder: the caught-up promotion gate decided a peer
+// should lead instead. Claiming and renewing pause for one TTL — the
+// next step releases a held lease outright — which opens a full claim
+// window for the deferred-to peer. The epoch floor is untouched: any
+// later claim by this node still goes strictly above everything it has
+// seen, so the yielded term can never be reused against a newer one.
+func (f *FileLease) Yield() {
+	f.mu.Lock()
+	f.pauseUntil = time.Now().Add(f.cfg.TTL)
+	f.mu.Unlock()
+}
+
 // Stop implements Elector: the loop exits and, if this node led, the
 // lease is simply left to expire — the same handover path a crash takes.
 func (f *FileLease) Stop() {
@@ -151,14 +164,28 @@ func (f *FileLease) loop() {
 func (f *FileLease) step() (State, bool) {
 	rec := f.readLease()
 	now := time.Now()
+	f.mu.Lock()
+	paused := now.Before(f.pauseUntil)
+	f.mu.Unlock()
 	switch {
 	case f.validAt(rec, now) && rec.Holder == f.cfg.Self:
+		if paused {
+			// Yielded while holding the lease: release it instead of
+			// renewing, so the peer we deferred to claims immediately
+			// rather than waiting out the TTL.
+			_ = os.Remove(f.path)
+			return State{Role: Follower, Epoch: rec.Epoch, Leader: ""}, true
+		}
 		// Our lease: renew. A failed renewal write is caught next tick —
 		// until then the old expiry still covers us.
 		_ = f.writeLease(leaseRecord{Holder: f.cfg.Self, Epoch: rec.Epoch, Expires: now.Add(f.cfg.TTL).UnixNano()})
 		return State{Role: Leader, Epoch: rec.Epoch, Leader: f.cfg.Self}, true
 	case f.validAt(rec, now):
 		return State{Role: Follower, Epoch: rec.Epoch, Leader: rec.Holder}, true
+	}
+	if paused {
+		// Yielded: sit this round out so another candidate can claim.
+		return State{Role: Follower, Epoch: rec.Epoch, Leader: ""}, true
 	}
 
 	// Lease missing or expired: claim it. Stagger candidates by a

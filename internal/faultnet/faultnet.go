@@ -1,0 +1,164 @@
+// Package faultnet injects deterministic network faults into an HTTP
+// round-tripper: probabilistic request drops, fixed-plus-jitter delays,
+// duplicate delivery of idempotent requests, and named partitions. It
+// exists so the replication and quorum machinery can be tested against
+// the failure modes it claims to survive — lost acks, slow followers,
+// split links — inside ordinary Go tests, with a seeded generator so a
+// failing schedule replays exactly.
+//
+// The transport wraps whatever the client would otherwise use (the
+// replication client in practice) and makes fault decisions per
+// request. Injected failures surface as transport errors (wrapped by
+// net/http into *url.Error), never as well-formed API envelopes, so the
+// caller's transport-vs-typed-error branching is exercised honestly.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the injected faults. Zero values inject nothing: a
+// zero-config Transport is a transparent pass-through.
+type Config struct {
+	// Seed fixes the fault schedule. The same seed against the same
+	// request order reproduces the same drops, delays and duplicates.
+	Seed int64
+	// DropProb is the probability a request is dropped before reaching
+	// the wire (the caller sees a transport error).
+	DropProb float64
+	// Delay is added to every request, plus a uniform [0, Jitter)
+	// component. The delay respects the request context: cancellation
+	// during the injected delay returns the context's error.
+	Delay  time.Duration
+	Jitter time.Duration
+	// DupProb is the probability an idempotent (GET or HEAD) request is
+	// delivered twice — the first response is discarded, the second
+	// returned — modeling at-least-once delivery on the ack path.
+	// Non-idempotent requests are never duplicated.
+	DupProb float64
+}
+
+// Transport is a fault-injecting http.RoundTripper. Safe for concurrent
+// use; the seeded generator is serialized so the schedule stays
+// deterministic for a deterministic request order.
+type Transport struct {
+	inner http.RoundTripper
+	cfg   Config
+
+	mu                   sync.Mutex
+	rng                  *rand.Rand
+	cut                  map[string]bool // partitioned hosts (host:port as dialed)
+	drops, dups, delayed atomic.Uint64
+}
+
+// New wraps inner (nil = http.DefaultTransport) with fault injection.
+func New(inner http.RoundTripper, cfg Config) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cut:   map[string]bool{},
+	}
+}
+
+// Partition cuts the link to host (the URL's host:port): every request
+// to it fails immediately with a transport error until Heal.
+func (t *Transport) Partition(host string) {
+	t.mu.Lock()
+	t.cut[host] = true
+	t.mu.Unlock()
+}
+
+// Heal restores the link to host.
+func (t *Transport) Heal(host string) {
+	t.mu.Lock()
+	delete(t.cut, host)
+	t.mu.Unlock()
+}
+
+// HealAll restores every partitioned link.
+func (t *Transport) HealAll() {
+	t.mu.Lock()
+	t.cut = map[string]bool{}
+	t.mu.Unlock()
+}
+
+// Drops reports how many requests the transport has dropped (including
+// partition rejections).
+func (t *Transport) Drops() uint64 { return t.drops.Load() }
+
+// Dups reports how many requests were delivered twice.
+func (t *Transport) Dups() uint64 { return t.dups.Load() }
+
+// Delayed reports how many requests had an injected delay.
+func (t *Transport) Delayed() uint64 { return t.delayed.Load() }
+
+// roll draws the per-request fault decisions in one critical section so
+// concurrent requests cannot interleave draws and perturb the schedule
+// beyond their own ordering.
+func (t *Transport) roll(host string, idempotent bool) (cut, drop, dup bool, delay time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cut[host] {
+		return true, false, false, 0
+	}
+	if t.cfg.DropProb > 0 && t.rng.Float64() < t.cfg.DropProb {
+		return false, true, false, 0
+	}
+	if idempotent && t.cfg.DupProb > 0 && t.rng.Float64() < t.cfg.DupProb {
+		dup = true
+	}
+	delay = t.cfg.Delay
+	if t.cfg.Jitter > 0 {
+		delay += time.Duration(t.rng.Int63n(int64(t.cfg.Jitter)))
+	}
+	return false, false, dup, delay
+}
+
+// RoundTrip implements http.RoundTripper with the configured faults.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	idempotent := req.Method == http.MethodGet || req.Method == http.MethodHead
+	cut, drop, dup, delay := t.roll(req.URL.Host, idempotent)
+	switch {
+	case cut:
+		t.drops.Add(1)
+		return nil, fmt.Errorf("faultnet: partitioned from %s", req.URL.Host)
+	case drop:
+		t.drops.Add(1)
+		return nil, fmt.Errorf("faultnet: dropped %s %s", req.Method, req.URL)
+	}
+	if delay > 0 {
+		t.delayed.Add(1)
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if dup {
+		// At-least-once delivery: the server sees the request twice; the
+		// caller sees one response. Only reached for GET/HEAD, whose
+		// bodies are empty, so replaying the request is safe.
+		t.dups.Add(1)
+		if first, err := t.inner.RoundTrip(cloneRequest(req)); err == nil {
+			first.Body.Close()
+		}
+	}
+	return t.inner.RoundTrip(req)
+}
+
+// cloneRequest shallow-copies req for the duplicate delivery. GET/HEAD
+// requests carry no body, so a URL+header copy is a faithful replay.
+func cloneRequest(req *http.Request) *http.Request {
+	return req.Clone(req.Context())
+}

@@ -1,0 +1,128 @@
+package faultnet
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newBackend(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func TestPassThroughWhenZeroConfig(t *testing.T) {
+	ts, hits := newBackend(t)
+	c := &http.Client{Transport: New(nil, Config{})}
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("backend hits = %d, want 1", hits.Load())
+	}
+}
+
+func TestDropsAreDeterministicPerSeed(t *testing.T) {
+	ts, _ := newBackend(t)
+	outcomes := func(seed int64) string {
+		tr := New(nil, Config{Seed: seed, DropProb: 0.5})
+		c := &http.Client{Transport: tr}
+		var b strings.Builder
+		for i := 0; i < 32; i++ {
+			resp, err := c.Get(ts.URL)
+			if err != nil {
+				b.WriteByte('x')
+				continue
+			}
+			resp.Body.Close()
+			b.WriteByte('.')
+		}
+		return b.String()
+	}
+	a, b := outcomes(7), outcomes(7)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, "x") || !strings.Contains(a, ".") {
+		t.Fatalf("p=0.5 schedule has no mix: %s", a)
+	}
+	if c := outcomes(8); c == a {
+		t.Fatalf("different seeds produced identical schedule: %s", c)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	ts, hits := newBackend(t)
+	tr := New(nil, Config{})
+	c := &http.Client{Transport: tr}
+	host := strings.TrimPrefix(ts.URL, "http://")
+
+	tr.Partition(host)
+	if _, err := c.Get(ts.URL); err == nil {
+		t.Fatal("request crossed a partition")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("partitioned request reached the backend")
+	}
+	tr.Heal(host)
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	resp.Body.Close()
+	if tr.Drops() != 1 {
+		t.Fatalf("Drops = %d, want 1", tr.Drops())
+	}
+}
+
+func TestDuplicateDeliveryHitsBackendTwice(t *testing.T) {
+	ts, hits := newBackend(t)
+	tr := New(nil, Config{Seed: 1, DupProb: 1})
+	c := &http.Client{Transport: tr}
+	resp, err := c.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("backend hits = %d, want 2 (duplicate delivery)", hits.Load())
+	}
+	// POSTs are never duplicated regardless of probability.
+	resp, err = c.Post(ts.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 3 {
+		t.Fatalf("backend hits = %d, want 3 (no POST duplicate)", hits.Load())
+	}
+}
+
+func TestDelayRespectsContext(t *testing.T) {
+	ts, _ := newBackend(t)
+	tr := New(nil, Config{Delay: 5 * time.Second})
+	c := &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	if _, err := c.Do(req); err == nil {
+		t.Fatal("delayed request succeeded past its context deadline")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancellation took %v, delay did not respect context", d)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrCompacted is returned by ReadFrom when the requested sequence lies
@@ -82,6 +83,14 @@ const (
 
 	segPrefix = "journal-"
 	segSuffix = ".seg"
+
+	// commitFile is the sidecar holding the cluster commit index — the
+	// highest change sequence acknowledged by a write quorum. It lives
+	// beside the segments (same directory, same fsync domain) but outside
+	// the record stream: the index moves monotonically and is rewritten
+	// in place (tmp + rename), whereas records only append. ASCII decimal
+	// so an operator can cat it.
+	commitFile = "commit.idx"
 )
 
 func (o Options) withDefaults() Options {
@@ -127,6 +136,12 @@ type Journal struct {
 	// every poll. Purely an optimization: a mismatch falls back to a
 	// full scan.
 	cursor readCursor
+
+	// commit is the persisted cluster commit index (commitFile). It is
+	// written under cmu — its own lock, so quorum bookkeeping never
+	// contends with the append path — and read without any lock.
+	cmu    sync.Mutex
+	commit atomic.Uint64
 }
 
 // readCursor marks a resumable position: a ReadFrom(after, …) whose
@@ -148,6 +163,7 @@ func Open(dir string, opts Options) (*Journal, error) {
 	if err := j.load(); err != nil {
 		return nil, err
 	}
+	j.loadCommitIndex()
 	return j, nil
 }
 
@@ -402,6 +418,49 @@ func (j *Journal) Stats() (oldest, tail uint64, segments int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.oldest, j.tail, len(j.segs)
+}
+
+// loadCommitIndex reads the commit sidecar. A missing file means no
+// quorum write ever committed (index 0); a corrupt one is treated the
+// same — the index is a floor re-derived from follower acks, never a
+// source of record data, so starting at 0 only widens the re-ack window.
+func (j *Journal) loadCommitIndex() {
+	raw, err := os.ReadFile(filepath.Join(j.dir, commitFile))
+	if err != nil {
+		return
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil {
+		return
+	}
+	j.commit.Store(n)
+}
+
+// CommitIndex returns the persisted cluster commit index: the highest
+// change sequence a write quorum has acknowledged (0 = none recorded).
+func (j *Journal) CommitIndex() uint64 { return j.commit.Load() }
+
+// SetCommitIndex durably advances the commit index to seq. Regressions
+// are ignored without error: the index is monotone by definition (a
+// quorum-acked write stays acked), and concurrent ack bookkeeping may
+// legitimately race an older value here. The write is tmp + rename so a
+// crash mid-update leaves the previous index intact.
+func (j *Journal) SetCommitIndex(seq uint64) error {
+	j.cmu.Lock()
+	defer j.cmu.Unlock()
+	if seq <= j.commit.Load() {
+		return nil
+	}
+	path := filepath.Join(j.dir, commitFile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(seq, 10)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("journal: write commit index: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("journal: rename commit index: %w", err)
+	}
+	j.commit.Store(seq)
+	return nil
 }
 
 // ReadFrom returns up to max records containing events with sequence

@@ -436,3 +436,42 @@ func flipLastByte(t *testing.T, path string) {
 		t.Fatal(err)
 	}
 }
+
+func TestCommitIndexPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, dir, Options{})
+	appendN(t, j, 1, 10)
+
+	if got := j.CommitIndex(); got != 0 {
+		t.Fatalf("fresh CommitIndex = %d, want 0", got)
+	}
+	if err := j.SetCommitIndex(7); err != nil {
+		t.Fatal(err)
+	}
+	// Regressions are ignored: a quorum-acked write stays acked.
+	if err := j.SetCommitIndex(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.CommitIndex(); got != 7 {
+		t.Fatalf("CommitIndex after regress attempt = %d, want 7", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, dir, Options{})
+	if got := j2.CommitIndex(); got != 7 {
+		t.Fatalf("CommitIndex after reopen = %d, want 7", got)
+	}
+
+	// A corrupt sidecar degrades to 0 (re-derived from acks), never an
+	// open failure.
+	j2.Close()
+	if err := os.WriteFile(filepath.Join(dir, commitFile), []byte("not a number"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j3 := openT(t, dir, Options{})
+	if got := j3.CommitIndex(); got != 0 {
+		t.Fatalf("CommitIndex with corrupt sidecar = %d, want 0", got)
+	}
+}

@@ -506,14 +506,41 @@ func (s *Server) getReplicationEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, &hive.StaleEpochError{Requested: reqEpoch, Current: cur})
 		return
 	}
+	// ?self=URL&applied=SEQ&commit=SEQ piggybacks a follower progress
+	// report on the poll — the ack path of quorum writes. The ack is
+	// recorded before the feed read (and before any long-poll park), so
+	// a held write releases as soon as the confirming poll arrives, not
+	// when it returns. The reported commit index lets the feed release a
+	// parked poll early when this node's durability watermark is ahead;
+	// pollers that don't report one never get that early release.
+	pollerCommit := ^uint64(0)
+	if self := r.URL.Query().Get("self"); self != "" {
+		applied, aerr := uintParam(r, "applied")
+		if aerr != nil {
+			writeError(w, http.StatusBadRequest, api.CodeInvalidArgument, "bad applied: "+aerr.Error())
+			return
+		}
+		commit, cerr := uintParam(r, "commit")
+		if cerr != nil {
+			writeError(w, http.StatusBadRequest, api.CodeInvalidArgument, "bad commit: "+cerr.Error())
+			return
+		}
+		pollerCommit = commit
+		s.p.RecordFollowerAck(self, applied, reqEpoch)
+	}
 	max := intParam(r, "max", defaultReplMax, 1, maxReplBatchReq)
 	waitMS := intParam(r, "wait_ms", 0, 0, int(maxReplWait.Milliseconds()))
-	batches, tail, err := s.p.ReplicationFeed(r.Context(), from, max, time.Duration(waitMS)*time.Millisecond)
+	batches, tail, err := s.p.ReplicationFeed(r.Context(), from, max, time.Duration(waitMS)*time.Millisecond, pollerCommit)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.ReplicationEvents{Batches: batches, Tail: tail, Epoch: s.p.Epoch()})
+	writeJSON(w, http.StatusOK, api.ReplicationEvents{
+		Batches: batches,
+		Tail:    tail,
+		Epoch:   s.p.Epoch(),
+		Commit:  s.p.CommitIndex(),
+	})
 }
 
 // getReplicationSnapshot serves the full bootstrap image. The sequence
@@ -548,11 +575,13 @@ var peerProbeClient = &http.Client{Timeout: peerProbeTimeout}
 // endpoint a client that lost the leader asks for a new one.
 func (s *Server) getCluster(w http.ResponseWriter, r *http.Request) {
 	cs := api.ClusterStatus{
-		Self:      s.p.ClusterSelf(),
-		Role:      s.p.Role(),
-		Epoch:     s.p.Epoch(),
-		LeaderURL: s.p.LeaderURL(),
-		Peers:     []api.PeerStatus{},
+		Self:         s.p.ClusterSelf(),
+		Role:         s.p.Role(),
+		Epoch:        s.p.Epoch(),
+		LeaderURL:    s.p.LeaderURL(),
+		CommitIndex:  s.p.CommitIndex(),
+		QuorumWrites: s.p.QuorumWrites(),
+		Peers:        []api.PeerStatus{},
 	}
 	peers := s.p.ClusterPeers()
 	if len(peers) > 0 {
@@ -618,6 +647,19 @@ func (s *Server) replicationHealth() api.ReplicationHealth {
 	rh.JournalOldest, rh.JournalTail, rh.JournalSegments = st.JournalStats()
 	if err := st.JournalError(); err != nil {
 		rh.JournalError = err.Error()
+	}
+	rh.CommitIndex = s.p.CommitIndex()
+	rh.QuorumWrites = s.p.QuorumWrites()
+	if acks := s.p.FollowerAcks(); len(acks) > 0 {
+		rh.FollowerAcks = make([]api.FollowerAckStatus, len(acks))
+		for i, a := range acks {
+			rh.FollowerAcks[i] = api.FollowerAckStatus{
+				URL:        a.URL,
+				AppliedSeq: a.Applied,
+				Epoch:      a.Epoch,
+				AgeMS:      a.Age.Milliseconds(),
+			}
+		}
 	}
 	if s.p.IsFollower() {
 		rh.Role = api.RoleFollower
@@ -1064,7 +1106,14 @@ func apiError(err error) *api.Error {
 func classify(err error) (*api.Error, int) {
 	var nle *hive.NotLeaderError
 	var see *hive.StaleEpochError
+	var que *hive.QuorumUnavailableError
 	switch {
+	case errors.As(err, &que):
+		return &api.Error{
+			Code:    api.CodeQuorumUnavailable,
+			Message: err.Error(),
+			Details: map[string]any{"seq": que.Seq, "acked": que.Acked, "needed": que.Needed},
+		}, http.StatusServiceUnavailable
 	case errors.As(err, &nle):
 		return &api.Error{
 			Code:    api.CodeNotLeader,

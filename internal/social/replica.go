@@ -82,6 +82,28 @@ func (s *Store) JournalStats() (oldest, tail uint64, segments int) {
 	return s.jn.Stats()
 }
 
+// CommitIndex returns the cluster commit index persisted beside the
+// journal: the highest change sequence a write quorum has acknowledged.
+// Zero without a journal (an in-memory store cannot lead) or before any
+// quorum write committed.
+func (s *Store) CommitIndex() uint64 {
+	if s.jn == nil {
+		return 0
+	}
+	return s.jn.CommitIndex()
+}
+
+// SetCommitIndex durably advances the cluster commit index. The caller
+// must have observed a quorum of follower acknowledgements at or past
+// seq (the leader's ack tracker) or be adopting the leader's published
+// index (a follower); regressions are ignored, the index is monotone.
+func (s *Store) SetCommitIndex(seq uint64) error {
+	if s.jn == nil {
+		return fmt.Errorf("social: store has no change journal (in-memory store)")
+	}
+	return s.jn.SetCommitIndex(seq)
+}
+
 // ChangesSince reads up to max journaled batches containing events with
 // sequence numbers strictly greater than after. It returns
 // journal.ErrCompacted when the range was dropped by retention (the

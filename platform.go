@@ -10,13 +10,29 @@ package hive
 // naming the leader (replicated state arrives via the journal tail, not
 // these methods). Direct Store() writes bypass the guard — advanced
 // callers on a follower would fork it from the leader.
+//
+// With quorum writes enabled (ClusterConfig.QuorumWrites > 0) every
+// wrapper additionally holds its response until the write's change
+// sequence is acknowledged by a quorum of followers, bounded by the ack
+// timeout — see quorum.go.
 
-// RegisterUser creates or updates a researcher profile.
-func (p *Platform) RegisterUser(u User) error {
+// mutate runs one store mutation through the write fence and, when
+// quorum writes are enabled, holds the response until the write is
+// quorum-acknowledged. Every mutation wrapper funnels through it so the
+// durability mode is uniform across the write surface.
+func (p *Platform) mutate(fn func() error) error {
 	if err := p.writable(); err != nil {
 		return err
 	}
-	return p.store.PutUser(u)
+	if err := fn(); err != nil {
+		return err
+	}
+	return p.waitQuorum()
+}
+
+// RegisterUser creates or updates a researcher profile.
+func (p *Platform) RegisterUser(u User) error {
+	return p.mutate(func() error { return p.store.PutUser(u) })
 }
 
 // GetUser fetches a user profile.
@@ -27,47 +43,34 @@ func (p *Platform) Users() []string { return p.store.Users() }
 
 // CreateConference registers a conference edition.
 func (p *Platform) CreateConference(c Conference) error {
-	if err := p.writable(); err != nil {
-		return err
-	}
-	return p.store.PutConference(c)
+	return p.mutate(func() error { return p.store.PutConference(c) })
 }
 
 // CreateSession registers a session within a conference.
 func (p *Platform) CreateSession(s Session) error {
-	if err := p.writable(); err != nil {
-		return err
-	}
-	return p.store.PutSession(s)
+	return p.mutate(func() error { return p.store.PutSession(s) })
 }
 
 // PublishPaper registers a paper with its authors and citations.
 func (p *Platform) PublishPaper(pa Paper) error {
-	if err := p.writable(); err != nil {
-		return err
-	}
-	return p.store.PutPaper(pa)
+	return p.mutate(func() error { return p.store.PutPaper(pa) })
 }
 
 // UploadPresentation attaches slide content to a paper (the §1.1 "uploads
 // his presentation slides" step).
 func (p *Platform) UploadPresentation(pr Presentation) error {
-	if err := p.writable(); err != nil {
+	return p.mutate(func() error {
+		if err := p.store.PutPresentation(pr); err != nil {
+			return err
+		}
+		_, err := p.store.LogEvent(pr.Owner, "upload", pr.ID, nil)
 		return err
-	}
-	if err := p.store.PutPresentation(pr); err != nil {
-		return err
-	}
-	_, err := p.store.LogEvent(pr.Owner, "upload", pr.ID, nil)
-	return err
+	})
 }
 
 // Connect establishes a mutual connection between two researchers.
 func (p *Platform) Connect(a, b string) error {
-	if err := p.writable(); err != nil {
-		return err
-	}
-	return p.store.Connect(a, b)
+	return p.mutate(func() error { return p.store.Connect(a, b) })
 }
 
 // Connected reports whether two users are connected.
@@ -75,27 +78,18 @@ func (p *Platform) Connected(a, b string) bool { return p.store.Connected(a, b) 
 
 // Follow subscribes follower to followee's activity.
 func (p *Platform) Follow(follower, followee string) error {
-	if err := p.writable(); err != nil {
-		return err
-	}
-	return p.store.Follow(follower, followee)
+	return p.mutate(func() error { return p.store.Follow(follower, followee) })
 }
 
 // Unfollow removes a follow edge.
 func (p *Platform) Unfollow(follower, followee string) error {
-	if err := p.writable(); err != nil {
-		return err
-	}
-	return p.store.Unfollow(follower, followee)
+	return p.mutate(func() error { return p.store.Unfollow(follower, followee) })
 }
 
 // CheckIn records session attendance and broadcasts it (with the session
 // hashtag when present).
 func (p *Platform) CheckIn(sessionID, userID string) error {
-	if err := p.writable(); err != nil {
-		return err
-	}
-	return p.store.CheckIn(sessionID, userID)
+	return p.mutate(func() error { return p.store.CheckIn(sessionID, userID) })
 }
 
 // Attendees lists the users checked into a session.
@@ -103,26 +97,17 @@ func (p *Platform) Attendees(sessionID string) []string { return p.store.Attende
 
 // Ask posts a question about a presentation, paper or session.
 func (p *Platform) Ask(q Question) error {
-	if err := p.writable(); err != nil {
-		return err
-	}
-	return p.store.AskQuestion(q)
+	return p.mutate(func() error { return p.store.AskQuestion(q) })
 }
 
 // AnswerQuestion posts an answer.
 func (p *Platform) AnswerQuestion(a Answer) error {
-	if err := p.writable(); err != nil {
-		return err
-	}
-	return p.store.PostAnswer(a)
+	return p.mutate(func() error { return p.store.PostAnswer(a) })
 }
 
 // PostComment attaches a comment to an entity.
 func (p *Platform) PostComment(c Comment) error {
-	if err := p.writable(); err != nil {
-		return err
-	}
-	return p.store.PostComment(c)
+	return p.mutate(func() error { return p.store.PostComment(c) })
 }
 
 // QuestionsAbout lists question IDs targeting an entity.
@@ -133,26 +118,17 @@ func (p *Platform) AnswersTo(questionID string) []string { return p.store.Answer
 
 // CreateWorkpad creates or replaces a workpad.
 func (p *Platform) CreateWorkpad(w Workpad) error {
-	if err := p.writable(); err != nil {
-		return err
-	}
-	return p.store.PutWorkpad(w)
+	return p.mutate(func() error { return p.store.PutWorkpad(w) })
 }
 
 // AddToWorkpad drags a resource onto a workpad.
 func (p *Platform) AddToWorkpad(workpadID string, item WorkpadItem) error {
-	if err := p.writable(); err != nil {
-		return err
-	}
-	return p.store.AddToWorkpad(workpadID, item)
+	return p.mutate(func() error { return p.store.AddToWorkpad(workpadID, item) })
 }
 
 // ActivateWorkpad selects the user's active context.
 func (p *Platform) ActivateWorkpad(owner, workpadID string) error {
-	if err := p.writable(); err != nil {
-		return err
-	}
-	return p.store.SetActiveWorkpad(owner, workpadID)
+	return p.mutate(func() error { return p.store.SetActiveWorkpad(owner, workpadID) })
 }
 
 // ActiveWorkpad returns the user's active workpad.
@@ -162,18 +138,24 @@ func (p *Platform) ActiveWorkpad(owner string) (Workpad, error) {
 
 // ExportCollection publishes a workpad as a shareable collection.
 func (p *Platform) ExportCollection(workpadID, collectionID string) (Collection, error) {
-	if err := p.writable(); err != nil {
-		return Collection{}, err
-	}
-	return p.store.ExportCollection(workpadID, collectionID)
+	var col Collection
+	err := p.mutate(func() error {
+		var err error
+		col, err = p.store.ExportCollection(workpadID, collectionID)
+		return err
+	})
+	return col, err
 }
 
 // ImportCollection copies a collection into a new active workpad.
 func (p *Platform) ImportCollection(collectionID, owner, workpadID string) (Workpad, error) {
-	if err := p.writable(); err != nil {
-		return Workpad{}, err
-	}
-	return p.store.ImportCollection(collectionID, owner, workpadID)
+	var w Workpad
+	err := p.mutate(func() error {
+		var err error
+		w, err = p.store.ImportCollection(collectionID, owner, workpadID)
+		return err
+	})
+	return w, err
 }
 
 // Feed returns the user's real-time update feed (events by followees).
@@ -185,11 +167,10 @@ func (p *Platform) EventsByTag(tag string) []Event { return p.store.EventsByTag(
 // LogBrowse records a browsing event (used for activity similarity and
 // collaborative filtering).
 func (p *Platform) LogBrowse(userID, object string) error {
-	if err := p.writable(); err != nil {
+	return p.mutate(func() error {
+		_, err := p.store.LogEvent(userID, "browse", object, nil)
 		return err
-	}
-	_, err := p.store.LogEvent(userID, "browse", object, nil)
-	return err
+	})
 }
 
 // --- Knowledge services (engine-backed) ---------------------------------------

@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync/atomic"
 	"time"
 
@@ -94,9 +95,16 @@ type replErr struct{ err error }
 
 func (p *Platform) newFollower(url string) *follower {
 	ctx, cancel := context.WithCancel(context.Background())
+	var opts []client.Option
+	if p.replTransport != nil {
+		// The fault-injection seam: tests wrap the replication client in
+		// an internal/faultnet transport to drop, delay or partition the
+		// follower's traffic without touching the network stack.
+		opts = append(opts, client.WithHTTPClient(&http.Client{Transport: p.replTransport}))
+	}
 	return &follower{
 		url:    url,
-		c:      client.New(url),
+		c:      client.New(url, opts...),
 		cancel: cancel,
 		ctx:    ctx,
 		stop:   make(chan struct{}),
@@ -210,8 +218,14 @@ func (p *Platform) followLoop(f *follower) {
 			return
 		}
 
+		// The poll doubles as the ack channel: the piggybacked report says
+		// how far this follower has folded the leader's journal (what a
+		// quorum-writing leader counts before releasing held responses)
+		// and which commit index it has persisted (so the leader releases
+		// the long-poll early when the watermark moved).
 		from := f.applied.Load()
-		ev, err := f.c.ReplicationEvents(f.ctx, from, followBatchMax, followPollWait, p.store.Epoch())
+		ack := &client.ReplAck{Self: p.selfURL, Applied: from, Commit: p.store.CommitIndex()}
+		ev, err := f.c.ReplicationEvents(f.ctx, from, followBatchMax, followPollWait, p.store.Epoch(), ack)
 		switch {
 		case err == nil:
 		case api.IsCode(err, api.CodeCompacted):
@@ -311,6 +325,18 @@ func (p *Platform) followLoop(f *follower) {
 				failures++
 				continue
 			}
+		}
+		if c := ev.Commit; c > 0 {
+			// Adopt the leader-published commit index, capped at our own
+			// applied point: sequences beyond it are quorum-acknowledged
+			// cluster-wide but not yet held here, and a commit index must
+			// never vouch for data its node doesn't have. Regressions are
+			// ignored by the store, so a stale poll can't move it back.
+			if applied := f.applied.Load(); c > applied {
+				c = applied
+			}
+			//lint:allow epochcheck the quorum ack check ran on the leader; followers adopt its published commit index verbatim
+			_ = p.store.SetCommitIndex(c)
 		}
 		f.lastErr.Store(&replErr{})
 		failures = 0
@@ -449,7 +475,13 @@ var ErrNoJournal = errors.New("hive: platform has no change journal (in-memory s
 // journal.ErrCompacted (mapped to the compacted API code by the server)
 // means the range was dropped by retention. Served on any journaled
 // node, so followers can chain.
-func (p *Platform) ReplicationFeed(ctx context.Context, from uint64, max int, wait time.Duration) ([]social.ReplicationBatch, uint64, error) {
+//
+// pollerCommit is the caller's persisted cluster commit index: a parked
+// long-poll is released early when this node's commit index advances
+// past it, so followers adopt a fresh durability watermark within a
+// round-trip of the quorum forming instead of a full poll period later.
+// Callers that don't track a commit index pass ^uint64(0) to opt out.
+func (p *Platform) ReplicationFeed(ctx context.Context, from uint64, max int, wait time.Duration, pollerCommit uint64) ([]social.ReplicationBatch, uint64, error) {
 	if !p.store.Journaled() {
 		return nil, 0, ErrNoJournal
 	}
@@ -464,6 +496,30 @@ func (p *Platform) ReplicationFeed(ctx context.Context, from uint64, max int, wa
 	// re-bootstrap), not after the wait expires.
 	if len(batches) == 0 && wait > 0 && tail >= from {
 		waitCtx, cancel := context.WithTimeout(ctx, wait)
+		if p.quorumK > 0 && p.store.CommitIndex() > pollerCommit {
+			cancel() // the poller's watermark is already behind: answer now
+		} else if p.quorumK > 0 {
+			// Watch for a quorum forming while the poll is parked: the
+			// commit-index advance is news the poller must carry even when
+			// no new batches follow it (the batch that committed was
+			// delivered on a previous poll).
+			go func() {
+				for {
+					p.ackMu.Lock()
+					ch := p.ackCh
+					p.ackMu.Unlock()
+					if p.store.CommitIndex() > pollerCommit {
+						cancel()
+						return
+					}
+					select {
+					case <-ch:
+					case <-waitCtx.Done():
+						return
+					}
+				}
+			}()
+		}
 		if p.store.WaitChanges(waitCtx.Done(), from) {
 			batches, err = p.store.ChangesSince(from, max)
 		}
