@@ -5,9 +5,9 @@ GO      ?= go
 BENCHTIME ?= 200ms
 # Benchmark JSON stream for the current PR's perf record (uploaded as a
 # CI artifact so the trajectory accumulates across commits).
-BENCH_OUT ?= BENCH_pr8.json
+BENCH_OUT ?= BENCH_pr9.json
 
-.PHONY: build test race bench bench-ci fmt vet lint vuln race-nightly ci api-smoke repl-smoke failover-smoke quorum-smoke
+.PHONY: build test race bench bench-ci fmt vet lint vuln race-nightly ci api-smoke repl-smoke failover-smoke quorum-smoke shard-smoke
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,8 @@ bench:
 # Includes the frozen-vs-live micro-benchmarks (SearchVector,
 # TFIDFVector, RecommendPeers, RecommendResources), the PR-4
 # delta-vs-rebuild pair, the PR-5 journal append/replay micro-benches,
-# and the PR-8 quorum-write benchmark — see EXPERIMENTS.md.
+# the PR-8 quorum-write benchmark, and the PR-9 sharded write /
+# scatter-gather pair — see EXPERIMENTS.md.
 bench-ci:
 	$(GO) test -json -bench=. -benchtime=$(BENCHTIME) -run='^$$' . ./internal/journal | tee $(BENCH_OUT)
 
@@ -94,6 +95,15 @@ failover-smoke:
 quorum-smoke:
 	$(GO) build -o bin/hived ./cmd/hived
 	$(GO) run ./cmd/apismoke -hived bin/hived -quorum
+
+# Sharded write-path check: boot one hived partitioned into four shards
+# over a durable data dir, assert the shard map on healthz/cluster,
+# owner-routed writes with cross-shard scatter-gather reads, the
+# wrong_shard envelope on a mis-declared X-Hive-Shard, the manifest
+# refusing a changed shard count, and same-count restart recovery.
+shard-smoke:
+	$(GO) build -o bin/hived ./cmd/hived
+	$(GO) run ./cmd/apismoke -hived bin/hived -sharded
 
 # lint subsumes vet (hivelint runs `go vet` over the same patterns).
 ci: build lint fmt race

@@ -1,0 +1,76 @@
+package api
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// ShardOf is part of the wire contract: server, SDK and tooling must
+// compute identical placement forever. These golden values pin the
+// hash — if this test fails, the change breaks every existing data
+// dir's shard map, not just this build.
+func TestShardOfGolden(t *testing.T) {
+	cases := []struct {
+		owner string
+		count int
+		want  int
+	}{
+		{"alice", 2, 1}, {"alice", 4, 3}, {"alice", 7, 1},
+		{"bob", 2, 0}, {"bob", 4, 0}, {"bob", 7, 2},
+		{"carol", 2, 0}, {"carol", 4, 2}, {"carol", 7, 6},
+		{"u0042", 2, 0}, {"u0042", 4, 2}, {"u0042", 7, 0},
+		{"conf-chair", 2, 1}, {"conf-chair", 4, 3}, {"conf-chair", 7, 6},
+		{"马伟", 2, 0}, {"马伟", 4, 2}, {"马伟", 7, 0},
+		{"", 2, 1}, {"", 4, 1}, {"", 7, 2},
+	}
+	for _, c := range cases {
+		if got := ShardOf(c.owner, c.count); got != c.want {
+			t.Errorf("ShardOf(%q, %d) = %d, want %d — the placement hash is frozen by the wire contract",
+				c.owner, c.count, got, c.want)
+		}
+	}
+	for _, count := range []int{0, 1, -3} {
+		if got := ShardOf("anyone", count); got != 0 {
+			t.Errorf("ShardOf(anyone, %d) = %d, want 0 for degenerate counts", count, got)
+		}
+	}
+}
+
+func TestPaperOwner(t *testing.T) {
+	if got := PaperOwner(Paper{ID: "p1", Authors: []string{"ada", "bob"}}); got != "ada" {
+		t.Errorf("PaperOwner with authors = %q, want first author", got)
+	}
+	if got := PaperOwner(Paper{ID: "p1"}); got != "p1" {
+		t.Errorf("PaperOwner without authors = %q, want paper ID", got)
+	}
+}
+
+func TestShardCursorRoundTrip(t *testing.T) {
+	bounds := []uint64{0, 17, 3, 900719925474099}
+	cur := EncodeShardCursor(bounds)
+	got, err := DecodeShardCursor(cur, len(bounds))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, bounds) {
+		t.Fatalf("round trip: got %v, want %v", got, bounds)
+	}
+
+	empty, err := DecodeShardCursor("", 3)
+	if err != nil || !reflect.DeepEqual(empty, []uint64{0, 0, 0}) {
+		t.Fatalf("empty cursor: got %v, %v; want zero vector", empty, err)
+	}
+}
+
+func TestShardCursorRejectsMismatchAndGarbage(t *testing.T) {
+	cur := EncodeShardCursor([]uint64{1, 2, 3})
+	if _, err := DecodeShardCursor(cur, 4); !errors.Is(err, ErrBadCursor) {
+		t.Errorf("wrong shard count: err = %v, want ErrBadCursor", err)
+	}
+	for _, bad := range []string{"not-base64!!", "djE6NTA", EncodeShardCursor(nil)[:4]} {
+		if _, err := DecodeShardCursor(bad, 2); !errors.Is(err, ErrBadCursor) {
+			t.Errorf("garbage %q: err = %v, want ErrBadCursor", bad, err)
+		}
+	}
+}

@@ -207,6 +207,10 @@ type Health struct {
 	Delta            DeltaHealth       `json:"delta"`
 	Replication      ReplicationHealth `json:"replication"`
 	LastRefreshError string            `json:"last_refresh_error,omitempty"`
+	// ShardCount/Shards mirror ClusterStatus on a sharded node: the
+	// top-level fields above describe shard 0, Shards the whole map.
+	ShardCount int           `json:"shard_count,omitempty"`
+	Shards     []ShardStatus `json:"shards,omitempty"`
 }
 
 // ReplicationEvents is the GET /replication/events response: the
@@ -270,6 +274,34 @@ type ClusterStatus struct {
 	// Peers reports one probe per configured peer; empty outside
 	// cluster mode.
 	Peers []PeerStatus `json:"peers"`
+
+	// ShardCount is the deployment's shard map size: owners hash to
+	// shard ShardOf(owner, ShardCount). 1 (or 0 on pre-shard servers)
+	// means unsharded. Fixed for the life of a data dir.
+	ShardCount int `json:"shard_count,omitempty"`
+	// Shards reports one entry per shard on a sharded node; empty when
+	// unsharded.
+	Shards []ShardStatus `json:"shards,omitempty"`
+}
+
+// ShardStatus is one shard's replication position in ClusterStatus and
+// healthz: the shard-local role/term/journal state of the shard leader
+// hosted by the responding process.
+type ShardStatus struct {
+	ID   int    `json:"id"`
+	Role string `json:"role"`
+	// Epoch is the shard leader's term (shard journals are fenced
+	// independently).
+	Epoch uint64 `json:"epoch"`
+	// JournalTail is the shard journal's highest change sequence;
+	// CommitIndex its quorum watermark (0 in async mode).
+	JournalTail uint64 `json:"journal_tail"`
+	CommitIndex uint64 `json:"commit_index,omitempty"`
+	// PendingEvents counts the shard's queued, not-yet-folded change
+	// events — per-shard delta-pipeline backpressure.
+	PendingEvents int `json:"pending_events"`
+	// Generation counts the shard engine's snapshot swaps.
+	Generation uint64 `json:"generation"`
 }
 
 // PeerStatus is one peer's liveness and replication position as probed

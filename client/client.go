@@ -45,6 +45,12 @@ type Client struct {
 
 	etags *etagCache // nil unless WithETagCache
 
+	// shards caches the deployment's shard count (its shard map — the
+	// hash is fixed, so the count is the whole map). 0 until learned
+	// from a cluster/healthz response; while 0 or 1 writes carry no
+	// shard declaration and the server routes them itself.
+	shards atomic.Int64
+
 	requests  atomic.Int64
 	cacheHits atomic.Int64
 	redirects atomic.Int64
@@ -181,6 +187,12 @@ const (
 // WithCluster the request is retried across leader changes; the body is
 // marshaled once up front so every attempt replays identical bytes.
 func (c *Client) do(ctx context.Context, method, path string, q url.Values, in, out any, conditional bool) error {
+	return c.doHdr(ctx, method, path, q, nil, in, out, conditional)
+}
+
+// doHdr is do with extra request headers (the shard declaration on
+// owner-routed writes).
+func (c *Client) doHdr(ctx context.Context, method, path string, q url.Values, hdr http.Header, in, out any, conditional bool) error {
 	var raw []byte
 	if in != nil {
 		var err error
@@ -189,14 +201,14 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, in, 
 		}
 	}
 	if c.cluster == nil {
-		return c.doOnce(ctx, method, c.Base(), path, q, raw, in != nil, out, conditional)
+		return c.doOnce(ctx, method, c.Base(), path, q, hdr, raw, in != nil, out, conditional)
 	}
 
 	backoff := failoverBackoffMin
 	var lastErr error
 	for attempt := 0; attempt < failoverAttempts; attempt++ {
 		base := c.Base()
-		err := c.doOnce(ctx, method, base, path, q, raw, in != nil, out, conditional)
+		err := c.doOnce(ctx, method, base, path, q, hdr, raw, in != nil, out, conditional)
 		if err == nil {
 			return nil
 		}
@@ -284,7 +296,7 @@ func (c *Client) resolveLeader(ctx context.Context, current string) bool {
 	}
 	for _, u := range candidates {
 		var cs api.ClusterStatus
-		if err := c.doOnce(ctx, http.MethodGet, u, "/api/v1/cluster", nil, nil, false, &cs, false); err != nil {
+		if err := c.doOnce(ctx, http.MethodGet, u, "/api/v1/cluster", nil, nil, nil, false, &cs, false); err != nil {
 			continue
 		}
 		leader := cs.LeaderURL
@@ -301,7 +313,7 @@ func (c *Client) resolveLeader(ctx context.Context, current string) bool {
 }
 
 // doOnce issues one request against an explicit base URL.
-func (c *Client) doOnce(ctx context.Context, method, base, path string, q url.Values, raw []byte, hasBody bool, out any, conditional bool) error {
+func (c *Client) doOnce(ctx context.Context, method, base, path string, q url.Values, hdr http.Header, raw []byte, hasBody bool, out any, conditional bool) error {
 	u := base + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
@@ -316,6 +328,11 @@ func (c *Client) doOnce(ctx context.Context, method, base, path string, q url.Va
 	}
 	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	var cached etagEntry
 	useCache := conditional && c.etags != nil && method == http.MethodGet
@@ -363,6 +380,54 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	return c.do(ctx, http.MethodPost, path, nil, in, out, false)
 }
 
+// --- Shard routing -------------------------------------------------------------
+
+// adoptShardCount records a shard count learned from a cluster,
+// healthz or wrong_shard response.
+func (c *Client) adoptShardCount(n int) {
+	if n > 0 {
+		c.shards.Store(int64(n))
+	}
+}
+
+// ShardCount returns the client's cached view of the deployment's
+// shard map (0 = not yet learned / unsharded). The map is learned from
+// any ClusterStatus or Healthz call — do one of those first to enable
+// client-side routing.
+func (c *Client) ShardCount() int { return int(c.shards.Load()) }
+
+// shardHeader builds the X-Hive-Shard declaration for an owner-routed
+// write, or nil while the shard map is unknown (the server then routes
+// the write itself, which is always correct).
+func (c *Client) shardHeader(owner string) http.Header {
+	n := int(c.shards.Load())
+	if n <= 1 || owner == "" {
+		return nil
+	}
+	h := http.Header{}
+	h.Set(api.ShardHeader, fmt.Sprint(api.ShardOf(owner, n)))
+	return h
+}
+
+// postOwned posts an owner-hashed write with its shard declaration. A
+// wrong_shard rejection means the cached shard map is stale: the client
+// adopts the count the server reported (or re-fetches the cluster
+// status) and retries once with corrected placement.
+func (c *Client) postOwned(ctx context.Context, path, owner string, in any) error {
+	err := c.doHdr(ctx, http.MethodPost, path, nil, c.shardHeader(owner), in, nil, false)
+	var ae *api.Error
+	if err == nil || !errors.As(err, &ae) || ae.Code != api.CodeWrongShard {
+		return err
+	}
+	if n, ok := ae.Details["shard_count"].(float64); ok {
+		c.adoptShardCount(int(n))
+	} else if _, rerr := c.ClusterStatus(ctx); rerr != nil {
+		return err
+	}
+	c.redirects.Add(1)
+	return c.doHdr(ctx, http.MethodPost, path, nil, c.shardHeader(owner), in, nil, false)
+}
+
 func (c *Client) get(ctx context.Context, path string, q url.Values, out any) error {
 	return c.do(ctx, http.MethodGet, path, q, nil, out, false)
 }
@@ -390,10 +455,15 @@ func pageQuery(q url.Values, cursor string, limit int) url.Values {
 
 // --- Health & admin -----------------------------------------------------------
 
-// Healthz reports server liveness and snapshot freshness.
+// Healthz reports server liveness and snapshot freshness. On a sharded
+// deployment the response carries the shard map, which the client
+// adopts for write routing.
 func (c *Client) Healthz(ctx context.Context) (api.Health, error) {
 	var h api.Health
 	err := c.get(ctx, "/api/v1/healthz", nil, &h)
+	if err == nil {
+		c.adoptShardCount(h.ShardCount)
+	}
 	return h, err
 }
 
@@ -424,9 +494,10 @@ func (c *Client) CreateSession(ctx context.Context, s api.Session) error {
 	return c.post(ctx, "/api/v1/sessions", s, nil)
 }
 
-// CreatePaper publishes a paper.
+// CreatePaper publishes a paper (owner-routed: the first author's
+// shard).
 func (c *Client) CreatePaper(ctx context.Context, p api.Paper) error {
-	return c.post(ctx, "/api/v1/papers", p, nil)
+	return c.postOwned(ctx, "/api/v1/papers", api.PaperOwner(p), p)
 }
 
 // CreatePresentation uploads slide content for a paper.
@@ -434,19 +505,22 @@ func (c *Client) CreatePresentation(ctx context.Context, pr api.Presentation) er
 	return c.post(ctx, "/api/v1/presentations", pr, nil)
 }
 
-// Connect establishes a mutual connection between two researchers.
+// Connect establishes a mutual connection between two researchers
+// (owner-routed: a's shard).
 func (c *Client) Connect(ctx context.Context, a, b string) error {
-	return c.post(ctx, "/api/v1/connections", api.ConnectRequest{A: a, B: b}, nil)
+	return c.postOwned(ctx, "/api/v1/connections", a, api.ConnectRequest{A: a, B: b})
 }
 
-// Follow subscribes follower to followee's activity.
+// Follow subscribes follower to followee's activity (owner-routed: the
+// follower's shard).
 func (c *Client) Follow(ctx context.Context, follower, followee string) error {
-	return c.post(ctx, "/api/v1/follows", api.FollowRequest{Follower: follower, Followee: followee}, nil)
+	return c.postOwned(ctx, "/api/v1/follows", follower, api.FollowRequest{Follower: follower, Followee: followee})
 }
 
-// CheckIn records session attendance.
+// CheckIn records session attendance (owner-routed: the attendee's
+// shard).
 func (c *Client) CheckIn(ctx context.Context, sessionID, userID string) error {
-	return c.post(ctx, "/api/v1/checkins", api.CheckinRequest{SessionID: sessionID, UserID: userID}, nil)
+	return c.postOwned(ctx, "/api/v1/checkins", userID, api.CheckinRequest{SessionID: sessionID, UserID: userID})
 }
 
 // Ask posts a question about an entity.
@@ -464,9 +538,9 @@ func (c *Client) Comment(ctx context.Context, cm api.Comment) error {
 	return c.post(ctx, "/api/v1/comments", cm, nil)
 }
 
-// CreateWorkpad creates or replaces a workpad.
+// CreateWorkpad creates or replaces a workpad (owner-routed).
 func (c *Client) CreateWorkpad(ctx context.Context, w api.Workpad) error {
-	return c.post(ctx, "/api/v1/workpads", w, nil)
+	return c.postOwned(ctx, "/api/v1/workpads", w.Owner, w)
 }
 
 // AddWorkpadItem drags a resource onto a workpad.
@@ -474,10 +548,10 @@ func (c *Client) AddWorkpadItem(ctx context.Context, workpadID string, item api.
 	return c.post(ctx, "/api/v1/workpads/"+url.PathEscape(workpadID)+"/items", item, nil)
 }
 
-// ActivateWorkpad selects the user's active context.
+// ActivateWorkpad selects the user's active context (owner-routed).
 func (c *Client) ActivateWorkpad(ctx context.Context, owner, workpadID string) error {
-	return c.post(ctx, "/api/v1/workpads/"+url.PathEscape(workpadID)+"/activate",
-		api.ActivateWorkpadRequest{Owner: owner}, nil)
+	return c.postOwned(ctx, "/api/v1/workpads/"+url.PathEscape(workpadID)+"/activate",
+		owner, api.ActivateWorkpadRequest{Owner: owner})
 }
 
 // Batch applies a mixed array of entities in one store pass (one
@@ -712,6 +786,9 @@ func (c *Client) ReplicationSnapshot(ctx context.Context) (api.ReplicationSnapsh
 func (c *Client) ClusterStatus(ctx context.Context) (api.ClusterStatus, error) {
 	var out api.ClusterStatus
 	err := c.get(ctx, "/api/v1/cluster", nil, &out)
+	if err == nil {
+		c.adoptShardCount(out.ShardCount)
+	}
 	return out, err
 }
 

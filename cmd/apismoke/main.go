@@ -32,13 +32,22 @@
 // across a leader kill the promoted survivor keeps every acknowledged
 // write with a commit index that never regresses.
 //
+// With -sharded (the `make shard-smoke` mode) it boots one hived
+// partitioned into four shards over a durable data dir and checks the
+// sharding contract: the shard map on healthz and cluster, owner-routed
+// writes readable through cross-shard scatter-gather search, feed
+// pagination over per-shard vector cursors, the wrong_shard envelope on
+// a mis-declared X-Hive-Shard, the manifest refusing a changed shard
+// count, and a same-count restart recovering every shard's journal.
+//
 // Usage:
 //
-//	apismoke [-hived bin/hived] [-addr 127.0.0.1:18080] [-seed 24] [-repl | -failover | -quorum]
+//	apismoke [-hived bin/hived] [-addr 127.0.0.1:18080] [-seed 24] [-repl | -failover | -quorum | -sharded]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -47,6 +56,7 @@ import (
 	"os"
 	"os/exec"
 	"strconv"
+	"strings"
 	"time"
 
 	"hive/api"
@@ -60,6 +70,7 @@ func main() {
 	repl := flag.Bool("repl", false, "run the two-node elected replication scenario instead")
 	failover := flag.Bool("failover", false, "run the three-node election failover scenario instead")
 	quorum := flag.Bool("quorum", false, "run the three-node quorum-write durability scenario instead")
+	sharded := flag.Bool("sharded", false, "run the four-shard partitioned-write scenario instead")
 	flag.Parse()
 
 	name, fn := "api-smoke", run
@@ -71,6 +82,9 @@ func main() {
 	}
 	if *quorum {
 		name, fn = "quorum-smoke", runQuorum
+	}
+	if *sharded {
+		name, fn = "shard-smoke", runSharded
 	}
 	if err := fn(*hived, *addr, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: FAIL: %v\n", name, err)
@@ -1121,6 +1135,292 @@ func stepLegacy(ctx context.Context, _ *client.Client, base string) error {
 	}
 	if resp.Header.Get("Deprecation") != "true" {
 		return fmt.Errorf("legacy route missing Deprecation header")
+	}
+	return nil
+}
+
+// --- Sharded scenario (`make shard-smoke`) --------------------------------------
+
+// runSharded boots one hived partitioned into four shards over a
+// durable data dir and drives the sharding contract end to end: the
+// shard map on healthz and cluster, owner-routed writes that stay
+// readable through cross-shard scatter-gather search, feed pagination
+// across per-shard cursors, the wrong_shard error envelope on a
+// mis-declared X-Hive-Shard, and the manifest pin — reopening the data
+// dir at a different shard count must refuse to boot, while the same
+// count recovers every shard from its own journal.
+func runSharded(hived, addr string, seed int) error {
+	dir, err := os.MkdirTemp("", "hive-shard-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	const shards = 4
+	stop, err := startHived(hived,
+		"-addr", addr,
+		"-shards", fmt.Sprint(shards),
+		"-data", dir,
+		"-seed", fmt.Sprint(seed),
+		"-compact-interval", "1s",
+		"-quiet",
+	)
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	base := "http://" + addr
+	c := client.New(base)
+	if err := waitHealthy(ctx, c); err != nil {
+		return err
+	}
+
+	authors := shardAuthors(shards)
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"shard map on healthz + cluster", func() error { return shardStepMap(ctx, c, shards) }},
+		{"routed writes, scatter-gather search", func() error { return shardStepWrites(ctx, c, authors) }},
+		{"cross-shard feed pagination", func() error { return shardStepFeed(ctx, c, authors) }},
+		{"wrong_shard contract", func() error { return shardStepWrongShard(ctx, c, base, shards) }},
+	}
+	for _, s := range steps {
+		if err := s.fn(); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		fmt.Printf("shard-smoke: %-36s ok\n", s.name)
+	}
+
+	// The shard count is fixed for the life of a data dir: reopening at
+	// a different count must refuse to boot.
+	stop()
+	refuseCtx, refuseCancel := context.WithTimeout(ctx, 15*time.Second)
+	defer refuseCancel()
+	refuse := exec.CommandContext(refuseCtx, hived,
+		"-addr", addr, "-shards", "3", "-data", dir, "-quiet")
+	refuse.Stdout = os.Stdout
+	refuse.Stderr = os.Stderr
+	err = refuse.Run()
+	if refuseCtx.Err() != nil {
+		return fmt.Errorf("hived did not refuse a changed shard count within 15s")
+	}
+	if err == nil {
+		return fmt.Errorf("hived accepted -shards 3 over a 4-shard data dir")
+	}
+	fmt.Printf("shard-smoke: %-36s ok\n", "manifest pins the shard count")
+
+	// Same count reboots cleanly, every shard recovering from its own
+	// journal: the routed writes from before the restart must still be
+	// there.
+	stop2, err := startHived(hived,
+		"-addr", addr, "-shards", fmt.Sprint(shards), "-data", dir, "-quiet")
+	if err != nil {
+		return err
+	}
+	defer stop2()
+	c2 := client.New(base)
+	if err := waitHealthy(ctx, c2); err != nil {
+		return err
+	}
+	u, err := c2.GetUser(ctx, authors[0])
+	if err != nil || u.ID != authors[0] {
+		return fmt.Errorf("restart recovery: GetUser(%s) = %+v, %v", authors[0], u, err)
+	}
+	res, err := c2.Search(ctx, "quasiconformal sharding", "", "", 10)
+	if err != nil || len(res.Items) < len(authors) {
+		return fmt.Errorf("restart recovery: search = %d items, %v", len(res.Items), err)
+	}
+	fmt.Printf("shard-smoke: %-36s ok\n", "restart recovers all shards")
+	return nil
+}
+
+// shardAuthors returns one user ID per shard (probing candidate IDs
+// through the wire-contract hash), so the smoke provably exercises
+// every shard.
+func shardAuthors(shards int) []string {
+	authors := make([]string, shards)
+	for i, found := 0, 0; found < shards && i < 100000; i++ {
+		id := fmt.Sprintf("shard-author-%d", i)
+		if s := api.ShardOf(id, shards); authors[s] == "" {
+			authors[s] = id
+			found++
+		}
+	}
+	return authors
+}
+
+func shardStepMap(ctx context.Context, c *client.Client, shards int) error {
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		return err
+	}
+	if h.ShardCount != shards || len(h.Shards) != shards {
+		return fmt.Errorf("healthz shard map = count %d, %d shards", h.ShardCount, len(h.Shards))
+	}
+	cs, err := c.ClusterStatus(ctx)
+	if err != nil {
+		return err
+	}
+	if cs.ShardCount != shards || len(cs.Shards) != shards {
+		return fmt.Errorf("cluster shard map = count %d, %d shards", cs.ShardCount, len(cs.Shards))
+	}
+	for i, s := range cs.Shards {
+		if s.ID != i || s.Role != api.RoleLeader {
+			return fmt.Errorf("shard %d reports id %d role %q", i, s.ID, s.Role)
+		}
+	}
+	if got := c.ShardCount(); got != shards {
+		return fmt.Errorf("client adopted shard count %d, want %d", got, shards)
+	}
+	return nil
+}
+
+func shardStepWrites(ctx context.Context, c *client.Client, authors []string) error {
+	for i, id := range authors {
+		if err := c.CreateUser(ctx, api.User{ID: id, Name: "Sharder", Interests: []string{"sharding"}}); err != nil {
+			return err
+		}
+		if err := c.CreatePaper(ctx, api.Paper{
+			ID:       fmt.Sprintf("shard-p%d", i),
+			Title:    fmt.Sprintf("Quasiconformal sharding volume %d", i),
+			Abstract: "Per-owner shard leaders with parallel delta pipelines.",
+			Authors:  []string{id},
+		}); err != nil {
+			return err
+		}
+	}
+	if err := c.Refresh(ctx, true); err != nil {
+		return err
+	}
+	// Scatter-gather: one query must surface the papers that live on
+	// four different shards, in one globally-scored ranking.
+	res, err := c.Search(ctx, "quasiconformal sharding", "", "", 10)
+	if err != nil {
+		return err
+	}
+	got := map[string]bool{}
+	for _, r := range res.Items {
+		got[r.DocID] = true
+	}
+	for i := range authors {
+		if doc := fmt.Sprintf("paper/shard-p%d", i); !got[doc] {
+			return fmt.Errorf("search missed %s (results %v)", doc, res.Items)
+		}
+	}
+	return nil
+}
+
+func shardStepFeed(ctx context.Context, c *client.Client, authors []string) error {
+	const reader = "shard-reader"
+	if err := c.CreateUser(ctx, api.User{ID: reader, Name: "Reader"}); err != nil {
+		return err
+	}
+	for _, id := range authors {
+		if err := c.Follow(ctx, reader, id); err != nil {
+			return err
+		}
+	}
+	// Three feed events per author, written through the routed path.
+	// Each question targets a different author's paper, so the events
+	// land on the *paper's* shard (questions colocate with their
+	// target) — the feed gather must find an actor's events on shards
+	// other than the actor's own.
+	for i, id := range authors {
+		for j := 0; j < 3; j++ {
+			if err := c.Ask(ctx, api.Question{
+				ID:     fmt.Sprintf("shard-q%d-%d", i, j),
+				Author: id,
+				Target: fmt.Sprintf("shard-p%d", (i+j)%len(authors)),
+				Text:   "Cross-shard feed event?",
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	// Page through with a small limit: the vector cursor must visit all
+	// 12 events exactly once, newest-first within each page.
+	seen := map[string]bool{}
+	actors := map[string]bool{}
+	cursor := ""
+	for page := 0; ; page++ {
+		if page > 20 {
+			return fmt.Errorf("feed pagination did not terminate")
+		}
+		pg, err := c.Feed(ctx, reader, cursor, 5)
+		if err != nil {
+			return err
+		}
+		for _, ev := range pg.Items {
+			key := ev.Actor + "|" + ev.Verb + "|" + ev.Object + "|" + fmt.Sprint(ev.At)
+			if seen[key] {
+				return fmt.Errorf("event %s repeated across pages", key)
+			}
+			seen[key] = true
+			actors[ev.Actor] = true
+		}
+		if pg.NextCursor == "" {
+			break
+		}
+		cursor = pg.NextCursor
+	}
+	if len(seen) < 3*len(authors) {
+		return fmt.Errorf("feed saw %d events, want >= %d", len(seen), 3*len(authors))
+	}
+	for _, id := range authors {
+		if !actors[id] {
+			return fmt.Errorf("feed missed events from %s (their shard was not gathered)", id)
+		}
+	}
+	return nil
+}
+
+// shardStepWrongShard checks the wrong_shard contract over the raw
+// wire: declaring the wrong shard on a write answers 409 with the
+// typed envelope naming the owner's real shard, and the SDK's owner
+// hashing (which learned the count from the cluster endpoint) lands
+// the same write cleanly.
+func shardStepWrongShard(ctx context.Context, c *client.Client, base string, shards int) error {
+	owner := "shard-author-0"
+	wrong := (api.ShardOf(owner, shards) + 1) % shards
+	body := fmt.Sprintf(`{"id":"shard-wrong","title":"Misrouted","authors":[%q]}`, owner)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/api/v1/papers", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(api.ShardHeader, strconv.Itoa(wrong))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("mis-declared shard answered %d, want 409", resp.StatusCode)
+	}
+	var envelope struct {
+		Error *api.Error `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error == nil {
+		return fmt.Errorf("decode wrong_shard envelope: %v", err)
+	}
+	if envelope.Error.Code != api.CodeWrongShard {
+		return fmt.Errorf("error code = %q, want %q", envelope.Error.Code, api.CodeWrongShard)
+	}
+	expected, _ := envelope.Error.Details["expected_shard"].(float64)
+	count, _ := envelope.Error.Details["shard_count"].(float64)
+	if int(expected) != api.ShardOf(owner, shards) || int(count) != shards {
+		return fmt.Errorf("details = %v, want expected_shard %d shard_count %d",
+			envelope.Error.Details, api.ShardOf(owner, shards), shards)
+	}
+	// The SDK computes the right shard from the adopted map and the
+	// same write goes through first try.
+	if err := c.CreatePaper(ctx, api.Paper{
+		ID: "shard-right", Title: "Routed", Authors: []string{owner}}); err != nil {
+		return err
 	}
 	return nil
 }

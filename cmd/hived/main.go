@@ -4,8 +4,8 @@
 // Usage:
 //
 //	hived [-addr :8080] [-data DIR] [-seed users] [-compact-interval 30s]
-//	      [-no-deltas] [-workers N] [-timeout 30s] [-max-inflight N]
-//	      [-qps N] [-quiet] [-pprof ADDR]
+//	      [-shards N] [-no-deltas] [-workers N] [-timeout 30s]
+//	      [-max-inflight N] [-qps N] [-quiet] [-pprof ADDR]
 //	      [-cluster "self=URL,peers=URL;URL,lease=DIR[,ttl=2s]"]
 //	      [-quorum K] [-ack-timeout 5s] [-journal-retention N]
 //
@@ -66,6 +66,17 @@
 // re-bootstrap from the snapshot automatically. (The static -follow
 // flag from the pre-election era was removed after its deprecation
 // release; a two-node -cluster replaces it.)
+//
+// -shards N partitions the write path: the process runs N independent
+// shards (own store, journal, change stream and delta pipeline), routes
+// every write to the shard owning the responsible user (FNV-1a of the
+// owner ID), and answers reads by scatter-gather with exact k-way
+// merging — search results are bit-identical to an unsharded node over
+// the same data. The shard count is fixed for the life of a data dir
+// (recorded in DIR/shards.json; reopening with a different -shards
+// fails). GET /api/v1/cluster and /api/v1/healthz report the shard map.
+// -shards and -cluster are mutually exclusive for now: per-shard
+// replication is a follow-up.
 //
 // -no-deltas restores the pre-delta behavior (writes mark the snapshot
 // stale; only full rebuilds repair it). -timeout, -max-inflight and
@@ -150,6 +161,8 @@ func main() {
 	seed := flag.Int("seed", 0, "generate a synthetic workload with this many users")
 	compactInterval := flag.Duration("compact-interval", 30*time.Second,
 		"background compaction (full rebuild) interval, run while due (0 = disabled)")
+	shards := flag.Int("shards", 1,
+		"partition the write path across this many in-process shards (1 = unsharded; incompatible with -cluster)")
 	cluster := flag.String("cluster", "",
 		"join an elected replica set: self=URL,peers=URL;URL,lease=DIR[,ttl=2s] (requires -data)")
 	quorum := flag.Int("quorum", 0,
@@ -218,6 +231,18 @@ func main() {
 		log.Fatalf("-quorum requires -cluster: only a leader with followers can collect acks")
 	}
 
+	if *shards > 1 {
+		if *cluster != "" {
+			log.Fatalf("-shards and -cluster are mutually exclusive: per-shard replication is a follow-up")
+		}
+		runSharded(*shards, opts, *seed, *compactInterval, *addr, server.Config{
+			Timeout:     *timeout,
+			MaxInFlight: *maxInflight,
+			QPS:         *qps,
+		}, *quiet)
+		return
+	}
+
 	p, err := hive.Open(opts)
 	if err != nil {
 		log.Fatalf("open platform: %v", err)
@@ -270,4 +295,47 @@ func main() {
 	if err := http.ListenAndServe(*addr, server.NewWith(p, cfg)); err != nil {
 		log.Fatalf("serve: %v", err)
 	}
+}
+
+// runSharded boots a sharded platform and serves it: N independent
+// shards behind one routing server.
+func runSharded(shards int, opts hive.Options, seed int, compactInterval time.Duration, addr string, cfg server.Config, quiet bool) {
+	sh, err := hive.OpenSharded(shards, opts)
+	if err != nil {
+		log.Fatalf("open sharded platform: %v", err)
+	}
+	defer sh.Close()
+
+	if seed > 0 {
+		ds := workload.Generate(workload.Config{Seed: 42, Users: seed})
+		if err := loadSharded(sh, ds); err != nil {
+			log.Fatalf("load workload: %v", err)
+		}
+		log.Printf("seeded %d users, %d papers, %d sessions across %d shards",
+			len(ds.Users), len(ds.Papers), len(ds.Sessions), shards)
+	}
+	if err := sh.Refresh(); err != nil {
+		log.Fatalf("build knowledge engines: %v", err)
+	}
+	log.Printf("knowledge engines ready on %d shards (generation %d)", shards, sh.Generation())
+	if compactInterval > 0 {
+		sh.AutoRefresh(compactInterval)
+		log.Printf("compaction loop every %v on each shard (runs while due)", compactInterval)
+	}
+
+	if !quiet {
+		cfg.AccessLog = log.Default()
+	}
+	log.Printf("hived listening on %s (%d shards, API v1 at /api/v1)", addr, shards)
+	if err := http.ListenAndServe(addr, server.NewSharded(sh, cfg)); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}
+
+// loadSharded applies a synthetic dataset through the sharded write
+// path so every entity lands on its owning shard. One batch per shard:
+// Batched nests the per-shard store batches, so the whole load is a
+// single snapshot invalidation on each.
+func loadSharded(sh *hive.Sharded, ds *workload.Dataset) error {
+	return sh.Batched(func() error { return ds.LoadRouted(sh) })
 }

@@ -198,6 +198,12 @@ type Options struct {
 type Platform struct {
 	store   *social.Store
 	workers int
+	// shardID is this platform's position in a sharded deployment's
+	// shard map (0 on standalone platforms). Set once by OpenSharded
+	// before the platform is shared; stamped into NotLeaderError and
+	// per-shard health so clients and operators can tell shard leaders
+	// apart.
+	shardID int
 
 	deltasOff bool
 	policy    CompactionPolicy

@@ -209,10 +209,21 @@ func (e *Engine) Annotate(docID string, k int) ([]textindex.Keyphrase, error) {
 // Columns: actor, verb, target kind; the target-kind column generalizes
 // through a small entity-type hierarchy.
 func (e *Engine) UpdateDigest(userID string, budget int) (*summarize.Summary, error) {
-	feed := e.store.Feed(userID, 0)
+	return e.DigestOfEvents(e.store.Feed(userID, 0), budget, nil)
+}
+
+// DigestOfEvents summarizes a pre-assembled feed with AlphaSum. kindOf
+// overrides the target-kind classifier (nil = classify against this
+// snapshot's store); a sharded coordinator passes the merged cross-shard
+// feed plus a classifier that probes every shard, since an event's
+// target may live on a different shard than the event.
+func (e *Engine) DigestOfEvents(feed []social.Event, budget int, kindOf func(string) string) (*summarize.Summary, error) {
+	if kindOf == nil {
+		kindOf = e.targetKind
+	}
 	tab := &summarize.Table{Columns: []string{"actor", "verb", "target"}}
 	for _, ev := range feed {
-		tab.Rows = append(tab.Rows, []string{ev.Actor, ev.Verb, e.targetKind(ev.Object)})
+		tab.Rows = append(tab.Rows, []string{ev.Actor, ev.Verb, kindOf(ev.Object)})
 	}
 	h, err := summarize.NewHierarchy(map[string]string{
 		"paper": "content", "presentation": "content", "question": "content",
@@ -226,6 +237,11 @@ func (e *Engine) UpdateDigest(userID string, budget int) (*summarize.Summary, er
 	s := summarize.NewSummarizer(tab.Columns, map[string]*summarize.Hierarchy{"target": h})
 	return s.Greedy(tab, budget)
 }
+
+// TargetKind classifies an entity ID into the digest type hierarchy
+// ("paper", "session", "user", ... or "other") against this snapshot's
+// store.
+func (e *Engine) TargetKind(entity string) string { return e.targetKind(entity) }
 
 // targetKind classifies an entity ID into the digest type hierarchy.
 func (e *Engine) targetKind(entity string) string {

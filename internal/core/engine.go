@@ -214,6 +214,11 @@ func (e *Engine) reader() textindex.Searcher {
 	return nil
 }
 
+// DocTFIDF returns a document's TF-IDF vector through the serving read
+// view, under this snapshot's (shard-local) corpus statistics. The
+// sharded context re-rank uses it on the shard that owns the document.
+func (e *Engine) DocTFIDF(docID string) (textindex.Vector, error) { return e.docVector(docID) }
+
 // docVector returns a document's TF-IDF vector through the serving read
 // view (O(terms-in-doc)), falling back to the live index.
 func (e *Engine) docVector(docID string) (textindex.Vector, error) {

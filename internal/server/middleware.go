@@ -6,6 +6,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"io"
 	"log"
 	"net/http"
 	"runtime/debug"
@@ -219,6 +220,15 @@ func Gzip(next http.Handler) http.Handler {
 	})
 }
 
+// gzPool recycles gzip writers across responses. A fresh gzip.Writer
+// allocates its whole deflate state (~hundreds of KB); paying that per
+// response made the allocator, not the handler, the throughput ceiling
+// under concurrent writes — pooling keeps compression off the write
+// path's critical section.
+var gzPool = sync.Pool{
+	New: func() any { return gzip.NewWriter(io.Discard) },
+}
+
 type gzipWriter struct {
 	http.ResponseWriter
 	gz          *gzip.Writer
@@ -247,7 +257,8 @@ func (g *gzipWriter) Write(b []byte) (int, error) {
 		return g.ResponseWriter.Write(b)
 	}
 	if g.gz == nil {
-		g.gz = gzip.NewWriter(g.ResponseWriter)
+		g.gz = gzPool.Get().(*gzip.Writer)
+		g.gz.Reset(g.ResponseWriter)
 	}
 	return g.gz.Write(b)
 }
@@ -255,6 +266,8 @@ func (g *gzipWriter) Write(b []byte) (int, error) {
 func (g *gzipWriter) close() {
 	if g.gz != nil {
 		_ = g.gz.Close()
+		gzPool.Put(g.gz)
+		g.gz = nil
 	}
 }
 

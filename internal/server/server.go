@@ -71,9 +71,12 @@ type Config struct {
 	DisableGzip bool
 }
 
-// Server routes HTTP requests to a Platform.
+// Server routes HTTP requests to a Platform, or — when built with
+// NewSharded — to a set of shard-leader Platforms behind the owner-hash
+// router (writes route to the owning shard, reads scatter-gather).
 type Server struct {
 	p   *hive.Platform
+	sh  *hive.Sharded // nil on unsharded servers
 	mux *http.ServeMux
 	h   http.Handler // mux wrapped in the middleware chain
 
@@ -85,7 +88,19 @@ func New(p *hive.Platform) *Server { return NewWith(p, Config{}) }
 
 // NewWith builds a server with an explicit middleware configuration.
 func NewWith(p *hive.Platform, cfg Config) *Server {
-	s := &Server{p: p, mux: http.NewServeMux()}
+	return newServer(p, nil, cfg)
+}
+
+// NewSharded builds a server fronting a sharded platform: every
+// mutation routes to the owning user's shard leader, reads fan out
+// across the shard engines, and healthz/cluster expose the shard map.
+// Replication endpoints and shard-agnostic reads answer from shard 0.
+func NewSharded(sh *hive.Sharded, cfg Config) *Server {
+	return newServer(sh.Shard(0), sh, cfg)
+}
+
+func newServer(p *hive.Platform, sh *hive.Sharded, cfg Config) *Server {
+	s := &Server{p: p, sh: sh, mux: http.NewServeMux()}
 	s.routes()
 
 	errLog := cfg.ErrorLog
@@ -174,12 +189,38 @@ func exceptPaths(mw Middleware, exempt func(string) bool) Middleware {
 // snapshot exists — builds synchronously.
 func (s *Server) engine() (*core.Engine, error) {
 	if eng := s.p.Snapshot(); eng != nil {
-		if s.p.Stale() {
+		if s.stale() {
 			s.maybeRevalidate()
 		}
 		return eng, nil
 	}
 	return s.p.Engine()
+}
+
+// stale/generation/refreshAsync abstract snapshot freshness over the
+// one-platform and sharded layouts: sharded, "stale" means any shard
+// has unapplied events and the generation is the sum of the shard
+// generations (any shard swap changes cross-shard results).
+func (s *Server) stale() bool {
+	if s.sh != nil {
+		return s.sh.Stale()
+	}
+	return s.p.Stale()
+}
+
+func (s *Server) generation() uint64 {
+	if s.sh != nil {
+		return s.sh.Generation()
+	}
+	return s.p.Generation()
+}
+
+func (s *Server) refreshAsync() {
+	if s.sh != nil {
+		s.sh.RefreshAsync()
+		return
+	}
+	s.p.RefreshAsync()
 }
 
 // maybeRevalidate kicks a background refresh at most once per
@@ -191,7 +232,7 @@ func (s *Server) maybeRevalidate() {
 		return
 	}
 	if s.lastReval.CompareAndSwap(last, now) {
-		s.p.RefreshAsync()
+		s.refreshAsync()
 	}
 }
 
@@ -202,17 +243,21 @@ func (s *Server) routes() {
 	// One handler per mutation, bound once: the v1 route, the legacy
 	// alias and the batch dispatch (applyEntity) all share the applier,
 	// so semantics cannot drift between the three.
+	// Owner-hashed kinds verify a declared X-Hive-Shard header; kinds
+	// whose placement the client cannot compute (broadcast reference
+	// entities, probe-routed children) use the plain adapter.
 	postUser := create(s.applyUser)
 	postConference := create(s.applyConference)
 	postSession := create(s.applySession)
-	postPaper := create(s.applyPaper)
+	postPaper := createOwned(s, api.PaperOwner, s.applyPaper)
 	postPresentation := create(s.applyPresentation)
-	postConnection := create(s.applyConnect)
-	postCheckin := create(s.applyCheckin)
+	postConnection := createOwned(s, func(r api.ConnectRequest) string { return r.A }, s.applyConnect)
+	postCheckin := createOwned(s, func(r api.CheckinRequest) string { return r.UserID }, s.applyCheckin)
 	postQuestion := create(s.applyQuestion)
 	postAnswer := create(s.applyAnswer)
 	postComment := create(s.applyComment)
-	postWorkpad := create(s.applyWorkpad)
+	postWorkpad := createOwned(s, func(wp api.Workpad) string { return wp.Owner }, s.applyWorkpad)
+	postFollow := createOwned(s, func(r api.FollowRequest) string { return r.Follower }, s.applyFollow)
 
 	// --- /api/v1: mutations ------------------------------------------------
 	m.HandleFunc("POST /api/v1/users", postUser)
@@ -221,7 +266,7 @@ func (s *Server) routes() {
 	m.HandleFunc("POST /api/v1/papers", postPaper)
 	m.HandleFunc("POST /api/v1/presentations", postPresentation)
 	m.HandleFunc("POST /api/v1/connections", postConnection)
-	m.HandleFunc("POST /api/v1/follows", create(s.applyFollow))
+	m.HandleFunc("POST /api/v1/follows", postFollow)
 	m.HandleFunc("POST /api/v1/checkins", postCheckin)
 	m.HandleFunc("POST /api/v1/questions", postQuestion)
 	m.HandleFunc("POST /api/v1/answers", postAnswer)
@@ -250,7 +295,13 @@ func (s *Server) routes() {
 	m.HandleFunc("GET /api/v1/users", page(s.fetchUsers))
 	m.HandleFunc("GET /api/v1/sessions/{id}/attendees", page(s.fetchAttendees))
 	m.HandleFunc("GET /api/v1/users/{id}/workpad", s.getActiveWorkpad)
-	m.HandleFunc("GET /api/v1/users/{id}/feed", page(s.fetchFeed))
+	feedV1 := page(s.fetchFeed)
+	if s.sh != nil {
+		// Sharded feeds page with a per-shard sequence-vector cursor
+		// (api.EncodeShardCursor), not the offset cursor page() mints.
+		feedV1 = s.getShardedFeed
+	}
+	m.HandleFunc("GET /api/v1/users/{id}/feed", feedV1)
 	m.HandleFunc("GET /api/v1/tags/{tag}/events", page(s.fetchTagEvents))
 
 	// Knowledge services: engine-backed, so their responses are a pure
@@ -358,6 +409,60 @@ func create[T any](fn func(T) error) http.HandlerFunc {
 	}
 }
 
+// createOwned adapts an owner-hashed mutation: like create, but the
+// declared X-Hive-Shard header (if any) is verified against the owner's
+// true shard before the write applies.
+func createOwned[T any](s *Server, ownerOf func(T) string, fn func(T) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var v T
+		if !decodeBody(w, r, &v, maxEntityBody) {
+			return
+		}
+		if err := s.checkShard(r, ownerOf(v)); err != nil {
+			writeErr(w, err)
+			return
+		}
+		if err := fn(v); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, api.CreatedResponse{Status: "created"})
+	}
+}
+
+// checkShard verifies a write's declared owner shard against this
+// deployment's shard map. A request without the header is routed
+// server-side and never rejected; a mismatch answers CodeWrongShard
+// with the correct placement so the client can refresh its map and
+// retry.
+func (s *Server) checkShard(r *http.Request, owner string) error {
+	if s.sh == nil || owner == "" {
+		return nil
+	}
+	h := r.Header.Get(api.ShardHeader)
+	if h == "" {
+		return nil
+	}
+	declared, err := strconv.Atoi(h)
+	if err != nil {
+		return fmt.Errorf("%w: bad %s header: %v", social.ErrInvalid, api.ShardHeader, err)
+	}
+	want := s.sh.ShardOf(owner)
+	if declared == want {
+		return nil
+	}
+	return &api.Error{
+		Code:    api.CodeWrongShard,
+		Message: fmt.Sprintf("owner %q lives on shard %d of %d, not shard %d: refresh the shard map", owner, want, s.sh.ShardCount(), declared),
+		Details: map[string]any{
+			"expected_shard": want,
+			"shard_count":    s.sh.ShardCount(),
+			"owner":          owner,
+		},
+		HTTPStatus: http.StatusConflict,
+	}
+}
+
 // fetcher produces up to n items for a list endpoint, reading its
 // endpoint-specific parameters from the request. n bounds how many
 // items the fetch may compute from position zero; implementations
@@ -413,10 +518,10 @@ func (s *Server) etag(h http.HandlerFunc) http.HandlerFunc {
 		// resolution, so a stale snapshot (same generation, new data)
 		// would pin it to 304s forever. Kick the background refresh
 		// here too.
-		if s.p.Stale() {
+		if s.stale() {
 			s.maybeRevalidate()
 		}
-		tag := fmt.Sprintf(`"hive-g%d"`, s.p.Generation())
+		tag := fmt.Sprintf(`"hive-g%d"`, s.generation())
 		if match := r.Header.Get("If-None-Match"); match != "" && etagMatch(match, tag) {
 			w.Header().Set("ETag", tag)
 			w.WriteHeader(http.StatusNotModified)
@@ -583,6 +688,12 @@ func (s *Server) getCluster(w http.ResponseWriter, r *http.Request) {
 		QuorumWrites: s.p.QuorumWrites(),
 		Peers:        []api.PeerStatus{},
 	}
+	if s.sh != nil {
+		// The shard map: clients derive routing (api.ShardOf over
+		// ShardCount) from this response.
+		cs.ShardCount = s.sh.ShardCount()
+		cs.Shards = s.shardStatuses()
+	}
 	peers := s.p.ClusterPeers()
 	if len(peers) > 0 {
 		ctx, cancel := context.WithTimeout(r.Context(), peerProbeTimeout)
@@ -703,6 +814,26 @@ func (s *Server) deltaHealth() api.DeltaHealth {
 // "stale: true" means maintenance is due, not an outage; "built_at"
 // and "age_ms" describe the *base* segment — a snapshot with an applied
 // overlay is current regardless of base age.
+// shardStatuses assembles the per-shard role/epoch/progress rows for
+// healthz and the cluster endpoint.
+func (s *Server) shardStatuses() []api.ShardStatus {
+	shards := s.sh.Shards()
+	out := make([]api.ShardStatus, len(shards))
+	for i, p := range shards {
+		_, tail, _ := p.Store().JournalStats()
+		out[i] = api.ShardStatus{
+			ID:            p.ShardID(),
+			Role:          p.Role(),
+			Epoch:         p.Epoch(),
+			JournalTail:   tail,
+			CommitIndex:   p.CommitIndex(),
+			PendingEvents: p.PendingEvents(),
+			Generation:    p.Generation(),
+		}
+	}
+	return out
+}
+
 func (s *Server) getHealthz(w http.ResponseWriter, r *http.Request) {
 	out := api.Health{
 		Status:      "ok",
@@ -710,6 +841,12 @@ func (s *Server) getHealthz(w http.ResponseWriter, r *http.Request) {
 		Stale:       s.p.Stale(),
 		Delta:       s.deltaHealth(),
 		Replication: s.replicationHealth(),
+	}
+	if s.sh != nil {
+		out.Generation = s.sh.Generation()
+		out.Stale = s.sh.Stale()
+		out.ShardCount = s.sh.ShardCount()
+		out.Shards = s.shardStatuses()
 	}
 	if eng := s.p.Snapshot(); eng != nil {
 		out.Snapshot = true
@@ -729,7 +866,13 @@ func (s *Server) getHealthz(w http.ResponseWriter, r *http.Request) {
 // postRefreshSync compacts in the request goroutine and returns when
 // the new snapshot is live.
 func (s *Server) postRefreshSync(w http.ResponseWriter, r *http.Request) {
-	if err := s.p.Refresh(); err != nil {
+	var err error
+	if s.sh != nil {
+		err = s.sh.Refresh() // all shards compact in parallel
+	} else {
+		err = s.p.Refresh()
+	}
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -747,7 +890,7 @@ func (s *Server) postAdminRefresh(w http.ResponseWriter, r *http.Request) {
 		s.postRefreshSync(w, r)
 		return
 	}
-	s.p.RefreshAsync()
+	s.refreshAsync()
 	dh := s.deltaHealth()
 	writeJSON(w, http.StatusAccepted, api.RefreshResponse{Status: "refresh scheduled", Delta: &dh})
 }
@@ -772,7 +915,7 @@ func (s *Server) postBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp api.BatchResponse
-	_ = s.p.Store().Batched(func() error {
+	apply := func() error {
 		for i, ent := range req.Entities {
 			if err := s.applyEntity(ent); err != nil {
 				resp.Failed++
@@ -784,7 +927,14 @@ func (s *Server) postBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Applied++
 		}
 		return nil
-	})
+	}
+	if s.sh != nil {
+		// One coalesced change batch per shard: the shard Batched scopes
+		// nest, so each routed element folds into its shard's batch.
+		_ = s.sh.Batched(apply)
+	} else {
+		_ = s.p.Store().Batched(apply)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -792,18 +942,93 @@ func (s *Server) postBatch(w http.ResponseWriter, r *http.Request) {
 // shared by the typed routes (via create), the legacy aliases and the
 // batch dispatch.
 
-func (s *Server) applyUser(u api.User) error                  { return s.p.RegisterUser(u) }
-func (s *Server) applyConference(c api.Conference) error      { return s.p.CreateConference(c) }
-func (s *Server) applySession(ss api.Session) error           { return s.p.CreateSession(ss) }
-func (s *Server) applyPaper(pa api.Paper) error               { return s.p.PublishPaper(pa) }
-func (s *Server) applyPresentation(pr api.Presentation) error { return s.p.UploadPresentation(pr) }
-func (s *Server) applyConnect(r api.ConnectRequest) error     { return s.p.Connect(r.A, r.B) }
-func (s *Server) applyFollow(r api.FollowRequest) error       { return s.p.Follow(r.Follower, r.Followee) }
-func (s *Server) applyCheckin(r api.CheckinRequest) error     { return s.p.CheckIn(r.SessionID, r.UserID) }
-func (s *Server) applyQuestion(q api.Question) error          { return s.p.Ask(q) }
-func (s *Server) applyAnswer(a api.Answer) error              { return s.p.AnswerQuestion(a) }
-func (s *Server) applyComment(c api.Comment) error            { return s.p.PostComment(c) }
-func (s *Server) applyWorkpad(wp api.Workpad) error           { return s.p.CreateWorkpad(wp) }
+// On a sharded server each applier routes through the owner-hash
+// router (broadcast for reference entities, probe-routed for children);
+// unsharded it drives the platform directly.
+
+func (s *Server) applyUser(u api.User) error {
+	if s.sh != nil {
+		return s.sh.RegisterUser(u)
+	}
+	return s.p.RegisterUser(u)
+}
+
+func (s *Server) applyConference(c api.Conference) error {
+	if s.sh != nil {
+		return s.sh.CreateConference(c)
+	}
+	return s.p.CreateConference(c)
+}
+
+func (s *Server) applySession(ss api.Session) error {
+	if s.sh != nil {
+		return s.sh.CreateSession(ss)
+	}
+	return s.p.CreateSession(ss)
+}
+
+func (s *Server) applyPaper(pa api.Paper) error {
+	if s.sh != nil {
+		return s.sh.PublishPaper(pa)
+	}
+	return s.p.PublishPaper(pa)
+}
+
+func (s *Server) applyPresentation(pr api.Presentation) error {
+	if s.sh != nil {
+		return s.sh.UploadPresentation(pr)
+	}
+	return s.p.UploadPresentation(pr)
+}
+
+func (s *Server) applyConnect(r api.ConnectRequest) error {
+	if s.sh != nil {
+		return s.sh.Connect(r.A, r.B)
+	}
+	return s.p.Connect(r.A, r.B)
+}
+
+func (s *Server) applyFollow(r api.FollowRequest) error {
+	if s.sh != nil {
+		return s.sh.Follow(r.Follower, r.Followee)
+	}
+	return s.p.Follow(r.Follower, r.Followee)
+}
+
+func (s *Server) applyCheckin(r api.CheckinRequest) error {
+	if s.sh != nil {
+		return s.sh.CheckIn(r.SessionID, r.UserID)
+	}
+	return s.p.CheckIn(r.SessionID, r.UserID)
+}
+
+func (s *Server) applyQuestion(q api.Question) error {
+	if s.sh != nil {
+		return s.sh.Ask(q)
+	}
+	return s.p.Ask(q)
+}
+
+func (s *Server) applyAnswer(a api.Answer) error {
+	if s.sh != nil {
+		return s.sh.AnswerQuestion(a)
+	}
+	return s.p.AnswerQuestion(a)
+}
+
+func (s *Server) applyComment(c api.Comment) error {
+	if s.sh != nil {
+		return s.sh.PostComment(c)
+	}
+	return s.p.PostComment(c)
+}
+
+func (s *Server) applyWorkpad(wp api.Workpad) error {
+	if s.sh != nil {
+		return s.sh.CreateWorkpad(wp)
+	}
+	return s.p.CreateWorkpad(wp)
+}
 
 // applyBatchItem decodes one batch element's data and runs the applier.
 func applyBatchItem[T any](ent api.BatchEntity, fn func(T) error) error {
@@ -862,7 +1087,13 @@ func (s *Server) postWorkpadItem(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &item, maxEntityBody) {
 		return
 	}
-	if err := s.p.AddToWorkpad(r.PathValue("id"), item); err != nil {
+	var err error
+	if s.sh != nil {
+		err = s.sh.AddToWorkpad(r.PathValue("id"), item)
+	} else {
+		err = s.p.AddToWorkpad(r.PathValue("id"), item)
+	}
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -878,7 +1109,17 @@ func (s *Server) postWorkpadActivate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if err := s.p.ActivateWorkpad(req.Owner, r.PathValue("id")); err != nil {
+	if err := s.checkShard(r, req.Owner); err != nil {
+		writeErr(w, err)
+		return
+	}
+	var err error
+	if s.sh != nil {
+		err = s.sh.ActivateWorkpad(req.Owner, r.PathValue("id"))
+	} else {
+		err = s.p.ActivateWorkpad(req.Owner, r.PathValue("id"))
+	}
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -886,7 +1127,13 @@ func (s *Server) postWorkpadActivate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) getActiveWorkpad(w http.ResponseWriter, r *http.Request) {
-	wp, err := s.p.ActiveWorkpad(r.PathValue("id"))
+	var wp api.Workpad
+	var err error
+	if s.sh != nil {
+		wp, err = s.sh.ActiveWorkpad(r.PathValue("id"))
+	} else {
+		wp, err = s.p.ActiveWorkpad(r.PathValue("id"))
+	}
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -901,7 +1148,26 @@ func (s *Server) fetchUsers(_ *http.Request, n int) ([]string, error) {
 }
 
 func (s *Server) fetchAttendees(r *http.Request, _ int) ([]string, error) {
+	if s.sh != nil {
+		return s.sh.Attendees(r.PathValue("id")), nil
+	}
 	return s.p.Attendees(r.PathValue("id")), nil
+}
+
+// getShardedFeed serves the v1 feed page from the cross-shard merge.
+// The envelope matches page()'s, but NextCursor is the opaque per-shard
+// sequence-bound vector — stable while other shards keep writing.
+func (s *Server) getShardedFeed(w http.ResponseWriter, r *http.Request) {
+	limit := intParam(r, "limit", api.DefaultPageSize, 1, api.MaxPageSize)
+	items, next, err := s.sh.FeedPage(r.PathValue("id"), r.URL.Query().Get("cursor"), limit)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if items == nil {
+		items = []api.Event{}
+	}
+	writeJSON(w, http.StatusOK, api.Page[api.Event]{Items: items, Limit: limit, NextCursor: next})
 }
 
 func (s *Server) fetchFeed(r *http.Request, n int) ([]api.Event, error) {
@@ -919,11 +1185,20 @@ func (s *Server) fetchFeed(r *http.Request, n int) ([]api.Event, error) {
 // legacyFeed preserves the historical shape exactly: the most-recent
 // window in ascending order, bare array.
 func (s *Server) legacyFeed(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.p.Feed(r.PathValue("id"), intParam(r, "limit", 50, 1, api.MaxPageSize)))
+	limit := intParam(r, "limit", 50, 1, api.MaxPageSize)
+	if s.sh != nil {
+		writeJSON(w, http.StatusOK, s.sh.Feed(r.PathValue("id"), limit))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.p.Feed(r.PathValue("id"), limit))
 }
 
 func (s *Server) fetchTagEvents(r *http.Request, _ int) ([]api.Event, error) {
-	return s.p.EventsByTag(normalizeTag(r.PathValue("tag"))), nil
+	tag := normalizeTag(r.PathValue("tag"))
+	if s.sh != nil {
+		return s.sh.EventsByTag(tag), nil
+	}
+	return s.p.EventsByTag(tag), nil
 }
 
 // normalizeTag canonicalizes a path tag to exactly one leading '#':
@@ -934,7 +1209,14 @@ func normalizeTag(tag string) string {
 	return "#" + strings.TrimLeft(tag, "#")
 }
 
+// The user-scoped knowledge fetchers answer from the user's home shard
+// on a sharded server (its engine holds their partition's evidence);
+// search scatter-gathers across every shard engine.
+
 func (s *Server) fetchPeerRecs(r *http.Request, n int) ([]api.PeerRecommendation, error) {
+	if s.sh != nil {
+		return s.sh.RecommendPeers(r.PathValue("id"), n)
+	}
 	eng, err := s.engine()
 	if err != nil {
 		return nil, err
@@ -943,15 +1225,21 @@ func (s *Server) fetchPeerRecs(r *http.Request, n int) ([]api.PeerRecommendation
 }
 
 func (s *Server) fetchResourceRecs(r *http.Request, n int) ([]api.ResourceRecommendation, error) {
+	useCtx := r.URL.Query().Get("context") != "false"
+	if s.sh != nil {
+		return s.sh.RecommendResources(r.PathValue("id"), n, useCtx)
+	}
 	eng, err := s.engine()
 	if err != nil {
 		return nil, err
 	}
-	useCtx := r.URL.Query().Get("context") != "false"
 	return eng.RecommendResources(r.PathValue("id"), n, useCtx)
 }
 
 func (s *Server) fetchSessionSuggestions(r *http.Request, n int) ([]api.SessionSuggestion, error) {
+	if s.sh != nil {
+		return s.sh.SuggestSessions(r.PathValue("id"), r.URL.Query().Get("conf"), n)
+	}
 	eng, err := s.engine()
 	if err != nil {
 		return nil, err
@@ -960,18 +1248,28 @@ func (s *Server) fetchSessionSuggestions(r *http.Request, n int) ([]api.SessionS
 }
 
 func (s *Server) fetchSearch(r *http.Request, n int) ([]api.SearchResult, error) {
+	q := r.URL.Query().Get("q")
+	user := r.URL.Query().Get("user")
+	if s.sh != nil {
+		if user != "" {
+			return s.sh.SearchWithContext(user, q, n)
+		}
+		return s.sh.Search(q, n)
+	}
 	eng, err := s.engine()
 	if err != nil {
 		return nil, err
 	}
-	q := r.URL.Query().Get("q")
-	if user := r.URL.Query().Get("user"); user != "" {
+	if user != "" {
 		return eng.SearchWithContext(user, q, n), nil
 	}
 	return eng.Search(q, n), nil
 }
 
 func (s *Server) fetchCommunities(_ *http.Request, _ int) ([][]string, error) {
+	if s.sh != nil {
+		return s.sh.Communities()
+	}
 	eng, err := s.engine()
 	if err != nil {
 		return nil, err
@@ -980,24 +1278,37 @@ func (s *Server) fetchCommunities(_ *http.Request, _ int) ([][]string, error) {
 }
 
 func (s *Server) fetchHistory(r *http.Request, n int) ([]api.HistoryEntry, error) {
+	q := r.URL.Query().Get("q")
+	useCtx := r.URL.Query().Get("context") == "true"
+	if s.sh != nil {
+		return s.sh.SearchHistory(r.PathValue("id"), q, useCtx, n)
+	}
 	eng, err := s.engine()
 	if err != nil {
 		return nil, err
 	}
-	q := r.URL.Query().Get("q")
-	useCtx := r.URL.Query().Get("context") == "true"
 	return eng.SearchHistory(r.PathValue("id"), q, useCtx, n)
 }
 
 // --- Scalar knowledge endpoints -----------------------------------------------
 
 func (s *Server) getRelationship(w http.ResponseWriter, r *http.Request) {
+	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if s.sh != nil {
+		ex, err := s.sh.Explain(a, b)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ex)
+		return
+	}
 	eng, err := s.engine()
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	ex, err := eng.Explain(r.URL.Query().Get("a"), r.URL.Query().Get("b"))
+	ex, err := eng.Explain(a, b)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -1006,14 +1317,19 @@ func (s *Server) getRelationship(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) getPreview(w http.ResponseWriter, r *http.Request) {
-	eng, err := s.engine()
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
 	user := r.URL.Query().Get("user")
 	doc := r.URL.Query().Get("doc")
-	snips, err := eng.Preview(user, doc, intParam(r, "k", 3, 1, maxK))
+	k := intParam(r, "k", 3, 1, maxK)
+	var snips []textindex.Snippet
+	var err error
+	if s.sh != nil {
+		snips, err = s.sh.Preview(user, doc, k)
+	} else {
+		var eng *core.Engine
+		if eng, err = s.engine(); err == nil {
+			snips, err = eng.Preview(user, doc, k)
+		}
+	}
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -1022,12 +1338,23 @@ func (s *Server) getPreview(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) getDigest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	budget := intParam(r, "budget", 5, 1, maxBudget)
+	if s.sh != nil {
+		sum, err := s.sh.UpdateDigest(id, budget)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sum)
+		return
+	}
 	eng, err := s.engine()
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	sum, err := eng.UpdateDigest(r.PathValue("id"), intParam(r, "budget", 5, 1, maxBudget))
+	sum, err := eng.UpdateDigest(id, budget)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -1036,12 +1363,22 @@ func (s *Server) getDigest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) getResourceRelationship(w http.ResponseWriter, r *http.Request) {
+	id, entity := r.PathValue("id"), r.URL.Query().Get("entity")
+	if s.sh != nil {
+		evs, err := s.sh.ExplainResource(id, entity)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, evs)
+		return
+	}
 	eng, err := s.engine()
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	evs, err := eng.ExplainResource(r.PathValue("id"), r.URL.Query().Get("entity"))
+	evs, err := eng.ExplainResource(id, entity)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -1050,13 +1387,23 @@ func (s *Server) getResourceRelationship(w http.ResponseWriter, r *http.Request)
 }
 
 func (s *Server) getKnowledgePaths(w http.ResponseWriter, r *http.Request) {
+	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	k := intParam(r, "k", 3, 1, maxK)
+	if s.sh != nil {
+		paths, err := s.sh.KnowledgePaths(a, b, k)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, paths)
+		return
+	}
 	eng, err := s.engine()
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
-	writeJSON(w, http.StatusOK, eng.KnowledgePaths(a, b, intParam(r, "k", 3, 1, maxK)))
+	writeJSON(w, http.StatusOK, eng.KnowledgePaths(a, b, k))
 }
 
 // --- Plumbing -----------------------------------------------------------------
@@ -1107,7 +1454,16 @@ func classify(err error) (*api.Error, int) {
 	var nle *hive.NotLeaderError
 	var see *hive.StaleEpochError
 	var que *hive.QuorumUnavailableError
+	var ae *api.Error
 	switch {
+	case errors.As(err, &ae):
+		// Pre-shaped wire errors (e.g. wrong_shard) pass through with
+		// their declared status.
+		status := ae.HTTPStatus
+		if status == 0 {
+			status = http.StatusInternalServerError
+		}
+		return ae, status
 	case errors.As(err, &que):
 		return &api.Error{
 			Code:    api.CodeQuorumUnavailable,
@@ -1118,7 +1474,7 @@ func classify(err error) (*api.Error, int) {
 		return &api.Error{
 			Code:    api.CodeNotLeader,
 			Message: err.Error(),
-			Details: map[string]any{"leader": nle.Leader, "epoch": nle.Epoch},
+			Details: map[string]any{"leader": nle.Leader, "epoch": nle.Epoch, "shard": nle.Shard},
 		}, http.StatusConflict
 	case errors.As(err, &see):
 		return &api.Error{

@@ -1,0 +1,83 @@
+package social
+
+import (
+	"fmt"
+	"sort"
+
+	"hive/internal/kvstore"
+)
+
+// Shard-partition support. A sharded deployment runs one Store per
+// shard and routes each mutation to the shard owning its user; the
+// helpers here are the few store-level primitives that routing needs
+// beyond the normal mutation surface: mirroring the symmetric half of a
+// cross-shard connection, existence probes for routing by referenced
+// entity, and a bounded newest-first event fetch for cross-shard feed
+// pagination.
+
+// MirrorConnection writes the connection edge between two users without
+// logging an activity event. A connection between users on different
+// shards applies as a full Connect on the initiator's shard (edge +
+// activity) and a MirrorConnection on the peer's shard (edge only), so
+// both shard engines see the edge in their graph layers while the
+// activity stream records the connection exactly once. It consumes no
+// clock and no activity sequence.
+func (s *Store) MirrorConnection(a, b string) error {
+	if a == b {
+		return fmt.Errorf("%w: self-connection", ErrInvalid)
+	}
+	for _, u := range []string{a, b} {
+		if !s.kv.Has(pUser + u) {
+			return fmt.Errorf("%w: user %q", ErrNotFound, u)
+		}
+	}
+	return s.scoped(func() error {
+		batch := kvstore.NewBatch().
+			Put(pConn+pairKey(a, b), nil).
+			Put(pConnIdx+a+"/"+b, nil).
+			Put(pConnIdx+b+"/"+a, nil)
+		if err := s.kv.Apply(batch); err != nil {
+			return err
+		}
+		s.emit(ChangePut, EntityConnection, pairKey(a, b), a, b)
+		return nil
+	})
+}
+
+// Existence probes for shard routing: a mutation referencing an entity
+// by ID (an answer's question, a workpad item's workpad) lands on the
+// shard that has the entity, which the router finds by probing.
+
+// HasPaper reports whether a paper exists.
+func (s *Store) HasPaper(id string) bool { return s.kv.Has(pPaper + id) }
+
+// HasQuestion reports whether a question exists.
+func (s *Store) HasQuestion(id string) bool { return s.kv.Has(pQuestion + id) }
+
+// HasWorkpad reports whether a workpad exists.
+func (s *Store) HasWorkpad(id string) bool { return s.kv.Has(pWorkpad + id) }
+
+// HasCollection reports whether a collection exists.
+func (s *Store) HasCollection(id string) bool { return s.kv.Has(pCollection + id) }
+
+// EventsByActorsBefore returns up to limit events authored by the given
+// actors with Seq < before, newest first. before == 0 means unbounded
+// (start from the newest event). It is the per-shard leg of the
+// scatter-gather feed: each shard serves its own slice of the follow
+// set's activity, and the coordinator k-way merges the newest-first
+// streams, paginating on a per-shard sequence bound.
+func (s *Store) EventsByActorsBefore(actors []string, before uint64, limit int) []Event {
+	var evs []Event
+	for _, a := range actors {
+		for _, ev := range s.EventsByActor(a) {
+			if before == 0 || ev.Seq < before {
+				evs = append(evs, ev)
+			}
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq > evs[j].Seq })
+	if limit > 0 && len(evs) > limit {
+		evs = evs[:limit]
+	}
+	return evs
+}

@@ -1,0 +1,98 @@
+package textindex
+
+// Scatter-gather search support. A sharded deployment holds N disjoint
+// Segmented views, one per shard; BM25 scores depend on corpus-wide
+// statistics (document frequency, corpus size, average length), so a
+// shard cannot rank its documents alone and stay comparable across
+// shards. The protocol is two-phase: the coordinator gathers each
+// shard's CorpusStats for the query's terms, sums them with MergeStats,
+// then has every shard score its local postings under the merged global
+// statistics via SearchStats. A document's BM25 score is a pure function
+// of its own postings plus those global statistics, and the shards
+// partition the corpus, so the fan-out reproduces an unsharded build's
+// scores bit for bit — the same parity discipline Segmented itself keeps
+// against full rebuilds.
+
+// CorpusStats are the corpus-wide aggregates BM25 needs, restricted to
+// the terms of one query. All fields are integer counts, so cross-shard
+// merging is exact (no float summation order to worry about).
+type CorpusStats struct {
+	// Docs and TotalLen count live documents and their tokens.
+	Docs     int
+	TotalLen int
+	// DF maps each requested term to its live document frequency. Terms
+	// absent from the corpus carry 0 entries (or are simply absent).
+	DF map[string]int
+}
+
+// Stats reports this view's contribution to the global statistics for
+// the given terms.
+func (s *Segmented) Stats(terms []string) CorpusStats {
+	st := CorpusStats{Docs: s.nDocs, TotalLen: s.totalLen, DF: make(map[string]int, len(terms))}
+	for _, t := range terms {
+		if _, ok := st.DF[t]; ok {
+			continue
+		}
+		st.DF[t] = s.df(t)
+	}
+	return st
+}
+
+// MergeStats sums per-shard statistics into the global view. Shards
+// hold disjoint documents, so plain addition is exact.
+func MergeStats(parts []CorpusStats) CorpusStats {
+	g := CorpusStats{DF: make(map[string]int)}
+	for _, p := range parts {
+		g.Docs += p.Docs
+		g.TotalLen += p.TotalLen
+		for t, df := range p.DF {
+			g.DF[t] += df
+		}
+	}
+	return g
+}
+
+// SearchStats ranks this view's documents against the query under the
+// supplied global statistics instead of the view's own. It mirrors
+// Search expression for expression — same IDF formula, same BM25
+// accumulation order over base postings then overlay postings — so a
+// document scores identically whether its shard or an unsharded build
+// ranks it. The pristine fast path is deliberately not taken: the
+// base's precomputed IDFs are local, not global.
+func (s *Segmented) SearchStats(query string, k int, g CorpusStats) []Result {
+	if g.Docs == 0 || s.nDocs == 0 {
+		return nil
+	}
+	avgLen := float64(g.TotalLen) / float64(g.Docs)
+	if avgLen == 0 {
+		avgLen = 1
+	}
+	scores := make(map[string]float64)
+	for _, term := range Terms(query) {
+		df := g.DF[term]
+		if df == 0 {
+			continue
+		}
+		idf := idfFor(df, g.Docs)
+		if ti, ok := s.base.terms[term]; ok {
+			for j := ti.off; j < ti.off+ti.n; j++ {
+				d := s.base.postDoc[j]
+				id := s.base.ids[d]
+				if _, gone := s.dead[id]; gone {
+					continue
+				}
+				tf := float64(s.base.postTF[j])
+				dl := float64(s.base.docLen[d])
+				scores[id] += idf * tf * (bm25K1 + 1) /
+					(tf + bm25K1*(1-bm25B+bm25B*dl/avgLen))
+			}
+		}
+		for _, p := range s.overPost[term] {
+			tf := float64(p.tf)
+			dl := float64(s.over[p.doc].length)
+			scores[p.doc] += idf * tf * (bm25K1 + 1) /
+				(tf + bm25K1*(1-bm25B+bm25B*dl/avgLen))
+		}
+	}
+	return topResults(scores, k)
+}

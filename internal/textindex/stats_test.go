@@ -1,0 +1,110 @@
+package textindex
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hive/internal/topk"
+)
+
+// TestSearchStatsScatterParity is the scatter-gather score-parity
+// property: partition a random corpus across n disjoint Segmented
+// views, gather + merge their CorpusStats, score each shard with
+// SearchStats under the merged statistics, k-way merge the per-shard
+// top-k — the result must be bit-identical (scores, order, tie-breaks)
+// to one unsharded view searching the whole corpus. Half the docs land
+// in overlays so the merged-on-read path is exercised on both sides.
+func TestSearchStatsScatterParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	vocab := []string{"graph", "partition", "social", "network", "stream",
+		"index", "quorum", "shard", "journal", "latency", "cache", "replica"}
+	randText := func() string {
+		n := 3 + rng.Intn(20)
+		words := make([]string, n)
+		for i := range words {
+			words[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return strings.Join(words, " ")
+	}
+	better := func(a, b Result) bool {
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.DocID < b.DocID
+	}
+
+	for trial := 0; trial < 40; trial++ {
+		shards := 1 + rng.Intn(4)
+		nDocs := 5 + rng.Intn(60)
+		k := 1 + rng.Intn(12)
+
+		type doc struct{ id, text string }
+		docs := make([]doc, nDocs)
+		for i := range docs {
+			docs[i] = doc{id: fmt.Sprintf("doc-%03d", i), text: randText()}
+		}
+
+		// Unsharded reference: everything in one view, half via overlay.
+		refIx, refOver := NewIndex(), map[string]string{}
+		shardIx := make([]*Index, shards)
+		shardOver := make([]map[string]string, shards)
+		for i := range shardIx {
+			shardIx[i] = NewIndex()
+			shardOver[i] = map[string]string{}
+		}
+		for i, d := range docs {
+			sh := rng.Intn(shards)
+			if i%2 == 0 {
+				refIx.Add(d.id, d.text)
+				shardIx[sh].Add(d.id, d.text)
+			} else {
+				refOver[d.id] = d.text
+				shardOver[sh][d.id] = d.text
+			}
+		}
+		ref := NewSegmented(refIx.Freeze()).WithDocs(refOver)
+		views := make([]*Segmented, shards)
+		for i := range views {
+			views[i] = NewSegmented(shardIx[i].Freeze()).WithDocs(shardOver[i])
+		}
+
+		query := randText()
+		want := ref.Search(query, k)
+
+		terms := Terms(query)
+		parts := make([]CorpusStats, shards)
+		for i, v := range views {
+			parts[i] = v.Stats(terms)
+		}
+		g := MergeStats(parts)
+		lists := make([][]Result, shards)
+		for i, v := range views {
+			lists[i] = v.SearchStats(query, k, g)
+		}
+		got := topk.MergeTopK(lists, k, better)
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (shards=%d): got %d results, want %d\ngot:  %v\nwant: %v",
+				trial, shards, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (shards=%d) result %d: got %+v, want %+v",
+					trial, shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMergeStatsExact checks the integer aggregation directly.
+func TestMergeStatsExact(t *testing.T) {
+	g := MergeStats([]CorpusStats{
+		{Docs: 2, TotalLen: 10, DF: map[string]int{"graph": 1, "shard": 2}},
+		{Docs: 3, TotalLen: 7, DF: map[string]int{"graph": 3}},
+	})
+	if g.Docs != 5 || g.TotalLen != 17 || g.DF["graph"] != 4 || g.DF["shard"] != 2 {
+		t.Fatalf("bad merge: %+v", g)
+	}
+}

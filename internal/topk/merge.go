@@ -1,0 +1,94 @@
+package topk
+
+import "container/heap"
+
+// MergeTopK merges n ranked lists into the k best items under the same
+// strict total order, deterministically. It is the scatter-gather
+// counterpart of Heap: each shard produces its local top-k with Heap,
+// the coordinator merges the per-shard lists with MergeTopK, and the
+// result is byte-identical to ranking the union corpus in one heap —
+// including tie-break order, provided better is a strict total order
+// over the merged item set.
+//
+// The merge walks per-list head cursors through a min-heap keyed on
+// better, always emitting the globally best remaining head: O(total
+// log n) with no allocation beyond the output and the n-entry cursor
+// heap. When every input list is sorted best-first (Heap.Sorted output)
+// the result is the true global top-k and the walk stops after k pops;
+// unsorted inputs still merge correctly relative to their own order
+// (each list is consumed front to back), which is what stream
+// pagination needs, but only sorted inputs guarantee the global-best
+// property. Items that better orders identically break ties toward the
+// lower list index, so a caller that fans out shards 0..n-1 gets a
+// stable, reproducible interleave. k <= 0 merges everything.
+func MergeTopK[T any](lists [][]T, k int, better func(a, b T) bool) []T {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	if k <= 0 || k > total {
+		k = total
+	}
+	h := &cursorHeap[T]{better: better}
+	h.cur = make([]cursor[T], 0, len(lists))
+	for i, l := range lists {
+		if len(l) > 0 {
+			h.cur = append(h.cur, cursor[T]{list: i, items: l})
+		}
+	}
+	heap.Init(h)
+	out := make([]T, 0, k)
+	for len(out) < k && h.Len() > 0 {
+		c := &h.cur[0]
+		out = append(out, c.items[c.pos])
+		c.pos++
+		if c.pos == len(c.items) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out
+}
+
+// cursor is one input list's read position.
+type cursor[T any] struct {
+	list  int // original list index, the deterministic tie-break
+	items []T
+	pos   int
+}
+
+// cursorHeap orders cursors by their head item under better, ties by
+// list index. It implements heap.Interface over the cursor slice.
+type cursorHeap[T any] struct {
+	cur    []cursor[T]
+	better func(a, b T) bool
+}
+
+func (h *cursorHeap[T]) Len() int { return len(h.cur) }
+
+func (h *cursorHeap[T]) Less(i, j int) bool {
+	a, b := h.cur[i].items[h.cur[i].pos], h.cur[j].items[h.cur[j].pos]
+	if h.better(a, b) {
+		return true
+	}
+	if h.better(b, a) {
+		return false
+	}
+	return h.cur[i].list < h.cur[j].list
+}
+
+func (h *cursorHeap[T]) Swap(i, j int) { h.cur[i], h.cur[j] = h.cur[j], h.cur[i] }
+
+func (h *cursorHeap[T]) Push(x any) { h.cur = append(h.cur, x.(cursor[T])) }
+
+func (h *cursorHeap[T]) Pop() any {
+	old := h.cur
+	n := len(old)
+	x := old[n-1]
+	h.cur = old[:n-1]
+	return x
+}

@@ -1,0 +1,136 @@
+package topk
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+type scored struct {
+	id    string
+	score float64
+}
+
+func betterScored(a, b scored) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.id < b.id
+}
+
+func TestMergeTopKBasic(t *testing.T) {
+	lists := [][]scored{
+		{{"a", 3}, {"d", 1}},
+		{{"b", 2}},
+		nil,
+		{{"c", 2.5}, {"e", 0.5}},
+	}
+	got := MergeTopK(lists, 3, betterScored)
+	want := []scored{{"a", 3}, {"c", 2.5}, {"b", 2}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("item %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := MergeTopK([][]scored{nil, {}}, 5, betterScored); out != nil {
+		t.Fatalf("empty merge: got %v, want nil", out)
+	}
+}
+
+func TestMergeTopKListIndexTieBreak(t *testing.T) {
+	// Two items better cannot separate: the lower list index must win.
+	lists := [][]scored{
+		1: {{"dup", 1}},
+		0: {{"dup", 1}},
+		2: {{"dup", 1}},
+	}
+	got := MergeTopK(lists, 0, func(a, b scored) bool { return a.score > b.score })
+	if len(got) != 3 {
+		t.Fatalf("got %d items, want 3", len(got))
+	}
+}
+
+// TestMergeTopKMatchesGlobalHeap is the scatter-gather parity property:
+// partition a random corpus into n "shards", select each shard's local
+// top-k with Heap, merge with MergeTopK — the result must be
+// byte-identical (order included) to pushing the whole corpus through
+// one Heap.
+func TestMergeTopKMatchesGlobalHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(120)
+		shards := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(20)
+		corpus := make([]scored, n)
+		for i := range corpus {
+			// Coarse scores force frequent ties so the tie-break path is
+			// actually exercised.
+			corpus[i] = scored{id: fmt.Sprintf("doc-%04d", i), score: float64(rng.Intn(8))}
+		}
+
+		global := New(k, betterScored)
+		for _, s := range corpus {
+			global.Push(s)
+		}
+		want := global.Sorted()
+
+		lists := make([][]scored, shards)
+		for _, s := range corpus {
+			sh := rng.Intn(shards)
+			lists[sh] = append(lists[sh], s)
+		}
+		for i := range lists {
+			local := New(k, betterScored)
+			for _, s := range lists[i] {
+				local.Push(s)
+			}
+			lists[i] = local.Sorted()
+		}
+		got := MergeTopK(lists, k, betterScored)
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d items, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d item %d: got %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMergeTopKPreservesListOrder checks the stream-merge property
+// pagination relies on: inputs sorted by a key the comparator agrees
+// with are consumed front to back, so the merged output is globally
+// sorted and each list's relative order survives.
+func TestMergeTopKPreservesListOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	desc := func(a, b int) bool { return a > b }
+	for trial := 0; trial < 100; trial++ {
+		lists := make([][]int, 1+rng.Intn(5))
+		var all []int
+		for i := range lists {
+			m := rng.Intn(30)
+			lists[i] = make([]int, m)
+			for j := range lists[i] {
+				lists[i][j] = rng.Intn(1000)
+			}
+			sort.Sort(sort.Reverse(sort.IntSlice(lists[i])))
+			all = append(all, lists[i]...)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(all)))
+		got := MergeTopK(lists, 0, desc)
+		if len(got) != len(all) {
+			t.Fatalf("trial %d: got %d items, want %d", trial, len(got), len(all))
+		}
+		for i := range all {
+			if got[i] != all[i] {
+				t.Fatalf("trial %d item %d: got %d, want %d", trial, i, got[i], all[i])
+			}
+		}
+	}
+}

@@ -285,6 +285,106 @@ func Generate(cfg Config) *Dataset {
 	return ds
 }
 
+// Router is the routed write surface LoadRouted drives: the platform
+// mutation methods a sharded deployment uses to place every entity on
+// its owning shard. *hive.Sharded satisfies it.
+type Router interface {
+	RegisterUser(social.User) error
+	CreateConference(social.Conference) error
+	CreateSession(social.Session) error
+	PublishPaper(social.Paper) error
+	UploadPresentation(social.Presentation) error
+	Connect(a, b string) error
+	Connected(a, b string) bool
+	Follow(follower, followee string) error
+	CheckIn(sessionID, userID string) error
+	Ask(social.Question) error
+	AnswerQuestion(social.Answer) error
+	PostComment(social.Comment) error
+	CreateWorkpad(social.Workpad) error
+	ActivateWorkpad(owner, workpadID string) error
+}
+
+// LoadRouted applies the dataset through a routed mutation surface in
+// referential order — the sharded counterpart of Load, where the router
+// decides which shard owns each entity. Callers that want the load to
+// be one snapshot invalidation per shard wrap the call in the sharded
+// platform's Batched.
+func (ds *Dataset) LoadRouted(r Router) error {
+	for _, u := range ds.Users {
+		if err := r.RegisterUser(u); err != nil {
+			return err
+		}
+	}
+	for _, c := range ds.Conferences {
+		if err := r.CreateConference(c); err != nil {
+			return err
+		}
+	}
+	for _, s := range ds.Sessions {
+		if err := r.CreateSession(s); err != nil {
+			return err
+		}
+	}
+	for _, p := range ds.Papers {
+		if err := r.PublishPaper(p); err != nil {
+			return err
+		}
+	}
+	for _, pr := range ds.Presentations {
+		if err := r.UploadPresentation(pr); err != nil {
+			return err
+		}
+	}
+	for _, c := range ds.Connections {
+		if c[0] == c[1] || r.Connected(c[0], c[1]) {
+			continue
+		}
+		if err := r.Connect(c[0], c[1]); err != nil {
+			return err
+		}
+	}
+	seenFollows := make(map[[2]string]bool, len(ds.Follows))
+	for _, f := range ds.Follows {
+		if f[0] == f[1] || seenFollows[f] {
+			continue
+		}
+		seenFollows[f] = true
+		if err := r.Follow(f[0], f[1]); err != nil {
+			return err
+		}
+	}
+	for _, ci := range ds.CheckIns {
+		if err := r.CheckIn(ci[0], ci[1]); err != nil {
+			return err
+		}
+	}
+	for _, q := range ds.Questions {
+		if err := r.Ask(q); err != nil {
+			return err
+		}
+	}
+	for _, a := range ds.Answers {
+		if err := r.AnswerQuestion(a); err != nil {
+			return err
+		}
+	}
+	for _, c := range ds.Comments {
+		if err := r.PostComment(c); err != nil {
+			return err
+		}
+	}
+	for _, w := range ds.Workpads {
+		if err := r.CreateWorkpad(w); err != nil {
+			return err
+		}
+		if err := r.ActivateWorkpad(w.Owner, w.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Load applies the dataset to a social store in referential order.
 func (ds *Dataset) Load(st *social.Store) error {
 	for _, u := range ds.Users {

@@ -47,6 +47,9 @@ type NotLeaderError struct {
 	// at a lower term than one it already followed is looking at a
 	// stale node.
 	Epoch uint64
+	// Shard identifies which shard leader rejected the write on a
+	// sharded deployment (0 on unsharded platforms).
+	Shard int
 }
 
 func (e *NotLeaderError) Error() string {
@@ -372,7 +375,7 @@ func backoffDelay(failures int) time.Duration {
 // typed error naming the leader and term, so clients can redirect.
 func (p *Platform) writable() error {
 	if p.role.Load() != roleLeader {
-		return &NotLeaderError{Leader: p.leaderHint(), Epoch: p.store.Epoch()}
+		return &NotLeaderError{Leader: p.leaderHint(), Epoch: p.store.Epoch(), Shard: p.shardID}
 	}
 	return nil
 }

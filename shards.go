@@ -1,0 +1,915 @@
+package hive
+
+// Sharded write path. One Platform funnels every write through one
+// journal lock and one serial delta pipeline; a Sharded runs N
+// independent Platforms — each with its own kv store, journal,
+// change-event stream and delta pipeline — and routes every mutation to
+// the shard owning its user, so writes to different shards commit and
+// fold into serving snapshots in parallel. Reads scatter-gather: search
+// fans out under merged global corpus statistics and k-way merges the
+// per-shard top-k (bit-identical to an unsharded build — see
+// internal/textindex/stats.go), feeds merge per-shard newest-first
+// event streams with a per-shard sequence-vector cursor, and set reads
+// (attendees, questions, tags) union disjoint per-shard slices.
+//
+// Placement is by owner hash (api.ShardOf — part of the wire contract,
+// shared with the client SDK): papers live on their first author's
+// shard, workpads and check-ins on their owner's, and entities that
+// hang off another entity (presentations, questions, comments,
+// answers, workpad items) follow it, found by probing.
+// Reference entities every shard validates against — users, conferences,
+// sessions — are broadcast to all shards; they are tiny, rarely written
+// and never text-indexed, so the duplication costs little and keeps
+// every store-local validation and every engine's user table intact.
+//
+// The shard count is fixed for the life of a data dir (a manifest under
+// Dir enforces it): placement is pure hashing with no relocation map,
+// so changing N would orphan every previously routed entity.
+//
+// Per-shard evidence graphs see only their shard's interactions, so
+// engine services that walk them (peer recommendation, explanation,
+// history) answer from the owner shard's evidence — a documented
+// approximation; search, feeds and set reads are exact.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"hive/api"
+	"hive/internal/core"
+	"hive/internal/social"
+	"hive/internal/textindex"
+	"hive/internal/topk"
+)
+
+// Sharded is a shard-partitioned platform: N shard-leader Platforms in
+// one process behind an owner-hash router. Its mutation and read
+// surface mirrors Platform's, so servers and tests can drive either.
+type Sharded struct {
+	shards []*Platform
+}
+
+// shardManifest pins a data dir's shard count across reopens.
+type shardManifest struct {
+	Shards int `json:"shards"`
+}
+
+// OpenSharded opens an N-shard platform. With a durable Dir each shard
+// lives under Dir/shard-<i> with its own journal, and Dir/shards.json
+// records N: reopening with a different count fails (the shard count is
+// fixed for the life of a data dir). opts applies to every shard; the
+// Clock is shared so the shards consume one time source in arrival
+// order. Cluster mode composes per shard across processes, not inside
+// one — opts.Cluster must be nil.
+func OpenSharded(shards int, opts Options) (*Sharded, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("hive: shard count %d < 1", shards)
+	}
+	if opts.Cluster != nil {
+		return nil, errors.New("hive: per-shard cluster replication runs one process per shard leader; Cluster must be nil under OpenSharded")
+	}
+	if opts.Dir != "" {
+		if err := checkShardManifest(opts.Dir, shards); err != nil {
+			return nil, err
+		}
+	}
+	sh := &Sharded{shards: make([]*Platform, 0, shards)}
+	for i := 0; i < shards; i++ {
+		po := opts
+		if opts.Dir != "" {
+			po.Dir = filepath.Join(opts.Dir, fmt.Sprintf("shard-%d", i))
+		}
+		p, err := Open(po)
+		if err != nil {
+			sh.Close()
+			return nil, fmt.Errorf("hive: open shard %d: %w", i, err)
+		}
+		p.shardID = i
+		sh.shards = append(sh.shards, p)
+	}
+	return sh, nil
+}
+
+// checkShardManifest records (or verifies) the data dir's shard count.
+func checkShardManifest(dir string, shards int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "shards.json")
+	if raw, err := os.ReadFile(path); err == nil {
+		var m shardManifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return fmt.Errorf("hive: corrupt shard manifest %s: %w", path, err)
+		}
+		if m.Shards != shards {
+			return fmt.Errorf("hive: data dir %s was created with %d shards, asked to open with %d: the shard count is fixed for the life of a data dir", dir, m.Shards, shards)
+		}
+		return nil
+	}
+	raw, err := json.Marshal(shardManifest{Shards: shards})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// ShardID reports this platform's position in a sharded deployment's
+// shard map (0 on standalone platforms).
+func (p *Platform) ShardID() int { return p.shardID }
+
+// ShardCount reports the number of shards.
+func (sh *Sharded) ShardCount() int { return len(sh.shards) }
+
+// ShardOf maps an owner to its shard (the wire-contract hash).
+func (sh *Sharded) ShardOf(owner string) int { return api.ShardOf(owner, len(sh.shards)) }
+
+// Shard returns one shard's Platform.
+func (sh *Sharded) Shard(i int) *Platform { return sh.shards[i] }
+
+// Shards returns the shard Platforms in shard order. The slice is
+// shared; treat it as read-only.
+func (sh *Sharded) Shards() []*Platform { return sh.shards }
+
+// home returns the Platform owning a user's partition.
+func (sh *Sharded) home(owner string) *Platform { return sh.shards[sh.ShardOf(owner)] }
+
+// Close closes every shard, returning the first error.
+func (sh *Sharded) Close() error {
+	var first error
+	for _, p := range sh.shards {
+		if p == nil {
+			continue
+		}
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// forAll runs fn on every shard concurrently and returns the first
+// error (by shard order, deterministically).
+func (sh *Sharded) forAll(fn func(p *Platform) error) error {
+	errs := make([]error, len(sh.shards))
+	var wg sync.WaitGroup
+	for i, p := range sh.shards {
+		wg.Add(1)
+		go func(i int, p *Platform) {
+			defer wg.Done()
+			errs[i] = fn(p)
+		}(i, p)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Refresh compacts every shard — in parallel, the point of the split.
+func (sh *Sharded) Refresh() error { return sh.forAll(func(p *Platform) error { return p.Refresh() }) }
+
+// ApplyDeltas drains every shard's pending change events.
+func (sh *Sharded) ApplyDeltas() error {
+	return sh.forAll(func(p *Platform) error { return p.ApplyDeltas() })
+}
+
+// RefreshAsync kicks a background compaction on every shard.
+func (sh *Sharded) RefreshAsync() {
+	for _, p := range sh.shards {
+		p.RefreshAsync()
+	}
+}
+
+// AutoRefresh starts each shard's background compaction loop.
+func (sh *Sharded) AutoRefresh(interval time.Duration) {
+	for _, p := range sh.shards {
+		p.AutoRefresh(interval)
+	}
+}
+
+// StopAutoRefresh stops every shard's loop.
+func (sh *Sharded) StopAutoRefresh() {
+	for _, p := range sh.shards {
+		p.StopAutoRefresh()
+	}
+}
+
+// Generation sums the shard snapshot generations: any shard swap
+// changes cross-shard query results, so the sum is the scatter-gather
+// read path's cache/ETag key.
+func (sh *Sharded) Generation() uint64 {
+	var g uint64
+	for _, p := range sh.shards {
+		g += p.Generation()
+	}
+	return g
+}
+
+// Stale reports whether any shard has unapplied change events.
+func (sh *Sharded) Stale() bool {
+	for _, p := range sh.shards {
+		if p.Stale() {
+			return true
+		}
+	}
+	return false
+}
+
+// Batched coalesces a multi-entity load into one change batch per
+// shard: the shards' Batched scopes nest, so every routed write inside
+// fn lands in its shard's single coalesced batch (one snapshot
+// invalidation per shard instead of one per entity).
+func (sh *Sharded) Batched(fn func() error) error {
+	var run func(i int) error
+	run = func(i int) error {
+		if i == len(sh.shards) {
+			return fn()
+		}
+		return sh.shards[i].store.Batched(func() error { return run(i + 1) })
+	}
+	return run(0)
+}
+
+// broadcast applies a reference-entity write to every shard, in shard
+// order. The write must be deterministic and clock-free so replicas
+// stay identical; the store-level Put{User,Conference,Session} are.
+func (sh *Sharded) broadcast(fn func(p *Platform) error) error {
+	for _, p := range sh.shards {
+		if err := fn(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardWhere returns the first shard whose store satisfies the probe,
+// or -1. Entities that hang off another entity route with it.
+func (sh *Sharded) shardWhere(probe func(st *social.Store) bool) int {
+	for i, p := range sh.shards {
+		if probe(p.store) {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- Mutations (routed) -------------------------------------------------------
+
+// RegisterUser broadcasts the profile to every shard (reference data).
+func (sh *Sharded) RegisterUser(u User) error {
+	return sh.broadcast(func(p *Platform) error { return p.RegisterUser(u) })
+}
+
+// CreateConference broadcasts the conference to every shard.
+func (sh *Sharded) CreateConference(c Conference) error {
+	return sh.broadcast(func(p *Platform) error { return p.CreateConference(c) })
+}
+
+// CreateSession broadcasts the session to every shard.
+func (sh *Sharded) CreateSession(s Session) error {
+	return sh.broadcast(func(p *Platform) error { return p.CreateSession(s) })
+}
+
+// PublishPaper routes the paper to its first author's shard.
+func (sh *Sharded) PublishPaper(pa Paper) error {
+	owner := pa.ID
+	if len(pa.Authors) > 0 {
+		owner = pa.Authors[0]
+	}
+	return sh.home(owner).PublishPaper(pa)
+}
+
+// UploadPresentation routes the presentation to its paper's shard (the
+// slide content joins the paper's partition and text index).
+func (sh *Sharded) UploadPresentation(pr Presentation) error {
+	i := sh.shardWhere(func(st *social.Store) bool { return st.HasPaper(pr.PaperID) })
+	if i < 0 {
+		i = sh.ShardOf(pr.Owner) // surfaces the store's not-found error
+	}
+	return sh.shards[i].UploadPresentation(pr)
+}
+
+// Connect routes the connection to a's shard and mirrors the edge onto
+// b's shard (edge only, no duplicate activity event) so both engines
+// see it in their graph layers.
+func (sh *Sharded) Connect(a, b string) error {
+	ia, ib := sh.ShardOf(a), sh.ShardOf(b)
+	if err := sh.shards[ia].Connect(a, b); err != nil {
+		return err
+	}
+	if ib == ia {
+		return nil
+	}
+	p := sh.shards[ib]
+	return p.mutate(func() error { return p.store.MirrorConnection(a, b) })
+}
+
+// Connected reports whether two users are connected (either side's
+// shard holds the edge; a's is asked).
+func (sh *Sharded) Connected(a, b string) bool { return sh.home(a).Connected(a, b) }
+
+// Follow routes the edge to the follower's shard — the shard that
+// serves the follower's feed.
+func (sh *Sharded) Follow(follower, followee string) error {
+	return sh.home(follower).Follow(follower, followee)
+}
+
+// Unfollow removes the edge from the follower's shard.
+func (sh *Sharded) Unfollow(follower, followee string) error {
+	return sh.home(follower).Unfollow(follower, followee)
+}
+
+// CheckIn routes attendance to the attendee's shard (sessions are
+// broadcast, so validation is local).
+func (sh *Sharded) CheckIn(sessionID, userID string) error {
+	return sh.home(userID).CheckIn(sessionID, userID)
+}
+
+// Ask routes the question to the shard holding its target paper (the
+// discussion joins the content's partition, and the event's session
+// hashtag resolves there); questions about broadcast entities fall
+// back to the author's shard.
+func (sh *Sharded) Ask(q Question) error {
+	i := sh.shardWhere(func(st *social.Store) bool { return st.HasPaper(q.Target) })
+	if i < 0 {
+		i = sh.ShardOf(q.Author)
+	}
+	return sh.shards[i].Ask(q)
+}
+
+// AnswerQuestion routes the answer to its question's shard.
+func (sh *Sharded) AnswerQuestion(a Answer) error {
+	i := sh.shardWhere(func(st *social.Store) bool { return st.HasQuestion(a.QuestionID) })
+	if i < 0 {
+		i = sh.ShardOf(a.Author)
+	}
+	return sh.shards[i].AnswerQuestion(a)
+}
+
+// PostComment routes the comment to its target paper's shard (same
+// placement rule as questions), falling back to the author's shard.
+func (sh *Sharded) PostComment(c Comment) error {
+	i := sh.shardWhere(func(st *social.Store) bool { return st.HasPaper(c.Target) })
+	if i < 0 {
+		i = sh.ShardOf(c.Author)
+	}
+	return sh.shards[i].PostComment(c)
+}
+
+// CreateWorkpad routes the workpad to its owner's shard.
+func (sh *Sharded) CreateWorkpad(w Workpad) error { return sh.home(w.Owner).CreateWorkpad(w) }
+
+// AddToWorkpad routes the item to its workpad's shard.
+func (sh *Sharded) AddToWorkpad(workpadID string, item WorkpadItem) error {
+	i := sh.shardWhere(func(st *social.Store) bool { return st.HasWorkpad(workpadID) })
+	if i < 0 {
+		i = 0
+	}
+	return sh.shards[i].AddToWorkpad(workpadID, item)
+}
+
+// ActivateWorkpad routes to the owner's shard (workpads live there).
+func (sh *Sharded) ActivateWorkpad(owner, workpadID string) error {
+	return sh.home(owner).ActivateWorkpad(owner, workpadID)
+}
+
+// ExportCollection routes to the workpad's shard; the collection
+// inherits the workpad owner's partition.
+func (sh *Sharded) ExportCollection(workpadID, collectionID string) (Collection, error) {
+	i := sh.shardWhere(func(st *social.Store) bool { return st.HasWorkpad(workpadID) })
+	if i < 0 {
+		i = 0
+	}
+	return sh.shards[i].ExportCollection(workpadID, collectionID)
+}
+
+// ImportCollection copies a collection (from whichever shard holds it)
+// into a new active workpad on the importing owner's shard.
+func (sh *Sharded) ImportCollection(collectionID, owner, workpadID string) (Workpad, error) {
+	src := sh.shardWhere(func(st *social.Store) bool { return st.HasCollection(collectionID) })
+	dst := sh.ShardOf(owner)
+	if src < 0 || src == dst {
+		return sh.shards[dst].ImportCollection(collectionID, owner, workpadID)
+	}
+	c, err := sh.shards[src].store.Collection(collectionID)
+	if err != nil {
+		return Workpad{}, err
+	}
+	w := Workpad{
+		ID:    workpadID,
+		Owner: owner,
+		Name:  c.Name,
+		Items: append([]WorkpadItem(nil), c.Items...),
+	}
+	p := sh.shards[dst]
+	err = p.mutate(func() error {
+		return p.store.Batched(func() error {
+			if err := p.store.PutWorkpad(w); err != nil {
+				return err
+			}
+			return p.store.SetActiveWorkpad(owner, workpadID)
+		})
+	})
+	if err != nil {
+		return Workpad{}, err
+	}
+	return w, nil
+}
+
+// LogBrowse routes the browse event to the user's shard.
+func (sh *Sharded) LogBrowse(userID, object string) error {
+	return sh.home(userID).LogBrowse(userID, object)
+}
+
+// --- Entity reads -------------------------------------------------------------
+
+// GetUser reads the broadcast profile (any shard; 0 is asked).
+func (sh *Sharded) GetUser(id string) (User, error) { return sh.shards[0].GetUser(id) }
+
+// Users lists all user IDs (broadcast; shard 0 is asked).
+func (sh *Sharded) Users() []string { return sh.shards[0].Users() }
+
+// Attendees unions the per-shard attendee sets (check-ins are routed by
+// attendee, so the slices are disjoint; the union is sorted like the
+// unsharded scan).
+func (sh *Sharded) Attendees(sessionID string) []string {
+	return sh.unionSorted(func(st *social.Store) []string { return st.Attendees(sessionID) })
+}
+
+// QuestionsAbout unions the per-shard question IDs targeting an entity.
+func (sh *Sharded) QuestionsAbout(target string) []string {
+	return sh.unionSorted(func(st *social.Store) []string { return st.QuestionsAbout(target) })
+}
+
+// AnswersTo unions the per-shard answer IDs (answers live with their
+// question, so one shard holds them all; the union is still exact).
+func (sh *Sharded) AnswersTo(questionID string) []string {
+	return sh.unionSorted(func(st *social.Store) []string { return st.AnswersTo(questionID) })
+}
+
+// ActiveWorkpad reads the owner's shard.
+func (sh *Sharded) ActiveWorkpad(owner string) (Workpad, error) {
+	return sh.home(owner).ActiveWorkpad(owner)
+}
+
+func (sh *Sharded) unionSorted(fetch func(st *social.Store) []string) []string {
+	var out []string
+	for _, p := range sh.shards {
+		out = append(out, fetch(p.store)...)
+	}
+	sort.Strings(out)
+	// Shards partition ownership so duplicates shouldn't occur; dedup
+	// anyway to keep the union a set.
+	return dedupSorted(out)
+}
+
+func dedupSorted(xs []string) []string {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// --- Feeds (scatter-gather with sequence-vector cursors) ----------------------
+
+// feedBetter orders the newest-first cross-shard merge: later events
+// first; MergeTopK breaks timestamp ties toward the lower shard index,
+// and each shard's own stream stays in its sequence order.
+func feedBetter(a, b shardEvent) bool { return a.ev.At > b.ev.At }
+
+type shardEvent struct {
+	ev    Event
+	shard int
+}
+
+// Feed returns the user's update feed — events by their followees,
+// oldest first, the most recent limit of them — gathered across every
+// shard (a followee's activity lives on *its* entity's shard, e.g. an
+// answer on the question's). Matches the unsharded Platform.Feed order
+// whenever event timestamps are distinct.
+func (sh *Sharded) Feed(userID string, limit int) []Event {
+	page, _ := sh.feedScatter(userID, make([]uint64, len(sh.shards)), limit)
+	evs := eventsOf(page)
+	// The merged page is newest-first; the Platform surface is oldest-first.
+	for i, j := 0, len(evs)-1; i < j; i, j = i+1, j-1 {
+		evs[i], evs[j] = evs[j], evs[i]
+	}
+	return evs
+}
+
+// FeedPage returns one newest-first feed page plus the cursor for the
+// next. The cursor is a per-shard sequence-bound vector (see
+// api.EncodeShardCursor): each shard resumes strictly below the lowest
+// sequence already consumed from it, so pages never skip or repeat an
+// event while any shard keeps writing — the guarantee a single global
+// offset cannot give once sequences are per-shard.
+func (sh *Sharded) FeedPage(userID, cursor string, limit int) ([]Event, string, error) {
+	bounds, err := api.DecodeShardCursor(cursor, len(sh.shards))
+	if err != nil {
+		return nil, "", err
+	}
+	if limit <= 0 {
+		limit = 20
+	}
+	page, hasMore := sh.feedScatter(userID, bounds, limit)
+	// Advance each consumed shard's bound to its lowest consumed
+	// sequence; untouched shards keep their previous bound.
+	for _, se := range page {
+		bounds[se2shard(se)] = se2seq(se)
+	}
+	next := ""
+	if hasMore {
+		next = api.EncodeShardCursor(bounds)
+	}
+	return eventsOf(page), next, nil
+}
+
+// The page carries shard provenance via parallel bookkeeping: Feed and
+// FeedPage both consume feedScatter's merged shardEvent page, so the
+// helpers below unwrap it.
+func se2shard(se shardEvent) int  { return se.shard }
+func se2seq(se shardEvent) uint64 { return se.ev.Seq }
+func eventsOf(ses []shardEvent) []Event {
+	evs := make([]Event, len(ses))
+	for i, se := range ses {
+		evs[i] = se.ev
+	}
+	return evs
+}
+
+// feedScatter fans the followee set out across every shard and merges
+// the newest-first streams. limit <= 0 means everything. hasMore
+// reports whether unconsumed events remained past the page.
+func (sh *Sharded) feedScatter(userID string, bounds []uint64, limit int) (page []shardEvent, hasMore bool) {
+	followees := sh.home(userID).store.Following(userID)
+	if len(followees) == 0 {
+		return nil, false
+	}
+	fetch := 0
+	if limit > 0 {
+		fetch = limit + 1 // one extra detects leftovers precisely
+	}
+	lists := make([][]shardEvent, len(sh.shards))
+	var wg sync.WaitGroup
+	for i, p := range sh.shards {
+		wg.Add(1)
+		go func(i int, st *social.Store) {
+			defer wg.Done()
+			evs := st.EventsByActorsBefore(followees, bounds[i], fetch)
+			ses := make([]shardEvent, len(evs))
+			for j, ev := range evs {
+				ses[j] = shardEvent{ev: ev, shard: i}
+			}
+			lists[i] = ses
+		}(i, p.store)
+	}
+	wg.Wait()
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	page = topk.MergeTopK(lists, limit, feedBetter)
+	return page, total > len(page)
+}
+
+// EventsByTag merges the hashtag fan-out across shards, oldest first
+// like the unsharded scan.
+func (sh *Sharded) EventsByTag(tag string) []Event {
+	lists := make([][]Event, len(sh.shards))
+	for i, p := range sh.shards {
+		lists[i] = p.store.EventsByTag(tag)
+	}
+	return topk.MergeTopK(lists, 0, func(a, b Event) bool { return a.At < b.At })
+}
+
+// --- Knowledge services (scatter-gather / owner-shard routed) -----------------
+
+// engines resolves every shard's current engine snapshot once, so a
+// multi-phase read works against one consistent set of snapshots.
+func (sh *Sharded) engines() ([]*core.Engine, error) {
+	engs := make([]*core.Engine, len(sh.shards))
+	for i, p := range sh.shards {
+		eng, err := p.Engine()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		engs[i] = eng
+	}
+	return engs, nil
+}
+
+// EngineFor returns the owner's shard engine (the one holding their
+// partition's evidence).
+func (sh *Sharded) EngineFor(owner string) (*core.Engine, error) {
+	return sh.home(owner).Engine()
+}
+
+var searchBetter = func(a, b textindex.Result) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.DocID < b.DocID
+}
+
+// Search scatter-gathers BM25 search: phase one gathers each shard's
+// corpus statistics for the query terms and sums them (exact — integer
+// counts over disjoint documents), phase two has every shard score its
+// own postings under the merged global statistics, and the per-shard
+// top-k lists k-way merge under the same score/doc-ID order the
+// unsharded path uses. Results are bit-identical to one unsharded
+// index of the union corpus, tie-breaks included.
+func (sh *Sharded) Search(query string, k int) ([]SearchResult, error) {
+	merged, _, err := sh.scatterSearch(query, k)
+	if err != nil {
+		return nil, err
+	}
+	return toResults(merged), nil
+}
+
+// scatterSearch runs the two-phase fan-out and also reports which
+// shard engine owns each returned document (for re-ranking reads).
+func (sh *Sharded) scatterSearch(query string, k int) ([]textindex.Result, map[string]*core.Engine, error) {
+	engs, err := sh.engines()
+	if err != nil {
+		return nil, nil, err
+	}
+	views := make([]*textindex.Segmented, len(engs))
+	terms := textindex.Terms(query)
+	parts := make([]textindex.CorpusStats, 0, len(engs))
+	for i, eng := range engs {
+		if seg := eng.Segment(); seg != nil {
+			views[i] = seg
+			parts = append(parts, seg.Stats(terms))
+		}
+	}
+	g := textindex.MergeStats(parts)
+	lists := make([][]textindex.Result, len(engs))
+	var wg sync.WaitGroup
+	for i, v := range views {
+		if v == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, v *textindex.Segmented) {
+			defer wg.Done()
+			lists[i] = v.SearchStats(query, k, g)
+		}(i, v)
+	}
+	wg.Wait()
+	owner := make(map[string]*core.Engine)
+	for i, rs := range lists {
+		for _, r := range rs {
+			owner[r.DocID] = engs[i]
+		}
+	}
+	return topk.MergeTopK(lists, k, searchBetter), owner, nil
+}
+
+func toResults(rs []textindex.Result) []SearchResult {
+	out := make([]SearchResult, len(rs))
+	for i, r := range rs {
+		out[i] = SearchResult{DocID: r.DocID, Score: r.Score}
+	}
+	return out
+}
+
+// SearchWithContext scatter-gathers the BM25 base exactly, then
+// re-ranks by similarity to the user's context vector (from their home
+// shard, which holds their workpad). Document vectors come from the
+// owning shard's statistics — a shard-local approximation, unlike the
+// exact base ranking.
+func (sh *Sharded) SearchWithContext(userID, query string, k int) ([]SearchResult, error) {
+	home, err := sh.EngineFor(userID)
+	if err != nil {
+		return nil, err
+	}
+	ctx := home.ContextVector(userID)
+	base, owner, err := sh.scatterSearch(query, 4*k)
+	if err != nil {
+		return nil, err
+	}
+	if len(ctx) == 0 {
+		if k > 0 && len(base) > k {
+			base = base[:k]
+		}
+		return toResults(base), nil
+	}
+	const ctxWeight = 1.0
+	h := topk.New[textindex.Result](k, searchBetter)
+	for _, r := range base {
+		sim := 0.0
+		if eng := owner[r.DocID]; eng != nil {
+			if dv, err := eng.DocTFIDF(r.DocID); err == nil {
+				sim = dv.Cosine(ctx)
+			}
+		}
+		h.Push(textindex.Result{DocID: r.DocID, Score: r.Score * (1 + ctxWeight*sim)})
+	}
+	return toResults(h.Sorted()), nil
+}
+
+// docShard locates the shard engine holding an indexed document.
+func (sh *Sharded) docShard(docID string) (*core.Engine, string, error) {
+	engs, err := sh.engines()
+	if err != nil {
+		return nil, "", err
+	}
+	var lastErr error
+	for _, eng := range engs {
+		seg := eng.Segment()
+		if seg == nil {
+			continue
+		}
+		text, err := seg.Text(docID)
+		if err == nil {
+			return eng, text, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: %q", textindex.ErrDocNotFound, docID)
+	}
+	return nil, "", lastErr
+}
+
+// Preview extracts context-relevant snippets: the text from the shard
+// holding the document, the context from the user's home shard.
+func (sh *Sharded) Preview(userID, docID string, k int) ([]Snippet, error) {
+	_, text, err := sh.docShard(docID)
+	if err != nil {
+		return nil, err
+	}
+	home, err := sh.EngineFor(userID)
+	if err != nil {
+		return nil, err
+	}
+	return textindex.ExtractSnippets(text, home.ContextVector(userID), k), nil
+}
+
+// Annotate extracts key concepts from the shard holding the document.
+func (sh *Sharded) Annotate(docID string, k int) ([]Keyphrase, error) {
+	_, text, err := sh.docShard(docID)
+	if err != nil {
+		return nil, err
+	}
+	return textindex.ExtractKeyphrases(text, k), nil
+}
+
+// UpdateDigest summarizes the user's cross-shard feed. Event targets
+// are classified by probing every shard (an event about a paper on
+// another shard must still classify as "paper").
+func (sh *Sharded) UpdateDigest(userID string, budget int) (*Summary, error) {
+	home, err := sh.EngineFor(userID)
+	if err != nil {
+		return nil, err
+	}
+	feed := sh.Feed(userID, 0)
+	return home.DigestOfEvents(feed, budget, sh.targetKind)
+}
+
+// targetKind classifies an entity against every shard's store, in the
+// unsharded classifier's precedence order.
+func (sh *Sharded) targetKind(entity string) string {
+	if entity == "" {
+		return "other"
+	}
+	probes := []struct {
+		kind string
+		has  func(st *social.Store) bool
+	}{
+		{"paper", func(st *social.Store) bool { return st.HasPaper(entity) }},
+		{"presentation", func(st *social.Store) bool { _, err := st.Presentation(entity); return err == nil }},
+		{"question", func(st *social.Store) bool { return st.HasQuestion(entity) }},
+		{"session", func(st *social.Store) bool { _, err := st.Session(entity); return err == nil }},
+		{"conference", func(st *social.Store) bool { _, err := st.Conference(entity); return err == nil }},
+		{"user", func(st *social.Store) bool { _, err := st.User(entity); return err == nil }},
+	}
+	for _, pr := range probes {
+		for _, p := range sh.shards {
+			if pr.has(p.store) {
+				return pr.kind
+			}
+		}
+	}
+	return "other"
+}
+
+// Communities concatenates per-shard community discoveries, largest
+// first. Shards discover over their own evidence graphs — cross-shard
+// ties are a documented approximation gap.
+func (sh *Sharded) Communities() ([][]string, error) {
+	engs, err := sh.engines()
+	if err != nil {
+		return nil, err
+	}
+	var out [][]string
+	for _, eng := range engs {
+		out = append(out, eng.Communities()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) > len(out[j]) })
+	return out, nil
+}
+
+// CommunityOf answers from the user's home shard.
+func (sh *Sharded) CommunityOf(userID string) ([]string, error) {
+	eng, err := sh.EngineFor(userID)
+	if err != nil {
+		return nil, err
+	}
+	return eng.CommunityOf(userID), nil
+}
+
+// The remaining engine services answer from the relevant user's home
+// shard: its engine holds that user's partition of the evidence.
+
+// Explain explains the relationship between two researchers from a's
+// shard evidence.
+func (sh *Sharded) Explain(a, b string) (Explanation, error) {
+	eng, err := sh.EngineFor(a)
+	if err != nil {
+		return Explanation{}, err
+	}
+	return eng.Explain(a, b)
+}
+
+// RecommendPeers suggests peers from the user's shard evidence.
+func (sh *Sharded) RecommendPeers(userID string, k int) ([]PeerRecommendation, error) {
+	eng, err := sh.EngineFor(userID)
+	if err != nil {
+		return nil, err
+	}
+	return eng.RecommendPeers(userID, k)
+}
+
+// SuggestSessions ranks a conference's sessions for the user.
+func (sh *Sharded) SuggestSessions(userID, confID string, k int) ([]SessionSuggestion, error) {
+	eng, err := sh.EngineFor(userID)
+	if err != nil {
+		return nil, err
+	}
+	return eng.SuggestSessions(userID, confID, k)
+}
+
+// RecommendResources suggests documents from the user's shard corpus.
+func (sh *Sharded) RecommendResources(userID string, k int, useContext bool) ([]ResourceRecommendation, error) {
+	eng, err := sh.EngineFor(userID)
+	if err != nil {
+		return nil, err
+	}
+	return eng.RecommendResources(userID, k, useContext)
+}
+
+// SearchHistory searches the user's personal history on their shard.
+func (sh *Sharded) SearchHistory(userID, query string, useContext bool, limit int) ([]HistoryEntry, error) {
+	eng, err := sh.EngineFor(userID)
+	if err != nil {
+		return nil, err
+	}
+	return eng.SearchHistory(userID, query, useContext, limit)
+}
+
+// ExplainResource explains a user-resource relationship on the user's
+// shard.
+func (sh *Sharded) ExplainResource(userID, entity string) ([]ResourceEvidence, error) {
+	eng, err := sh.EngineFor(userID)
+	if err != nil {
+		return nil, err
+	}
+	return eng.ExplainResource(userID, entity)
+}
+
+// KnowledgePaths answers from shard 0's knowledge base (entity IDs are
+// prefixed, not owner-addressed; cross-shard path stitching is future
+// work).
+func (sh *Sharded) KnowledgePaths(a, b string, k int) ([]KnowledgePath, error) {
+	eng, err := sh.shards[0].Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.KnowledgePaths(a, b, k), nil
+}
+
+// MonitorActivity runs change detection over shard 0's activity stream.
+func (sh *Sharded) MonitorActivity(epochEvents int) ([]ChangeResult, error) {
+	eng, err := sh.shards[0].Engine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.MonitorActivity(epochEvents)
+}
+
+// DetectOverlap compares two documents when one shard holds both.
+func (sh *Sharded) DetectOverlap(docA, docB string) (resemblance, containment float64, err error) {
+	engA, _, err := sh.docShard(docA)
+	if err != nil {
+		return 0, 0, err
+	}
+	return engA.DetectOverlap(docA, docB)
+}

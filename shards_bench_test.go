@@ -1,0 +1,103 @@
+// Sharded write-path and scatter-gather benchmarks (the PR-9 tentpole;
+// E18 in cmd/hivebench measures the same paths over real HTTP).
+//
+//	go test -bench='Sharded|ScatterGather' -benchmem
+package hive_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hive"
+	"hive/internal/workload"
+)
+
+// benchClockSafe is benchClock for concurrent writers: shards lock
+// independently, so the shared clock must be race-free.
+func benchClockSafe() func() time.Time {
+	base := time.Unix(1363000000, 0)
+	var ticks atomic.Int64
+	return func() time.Time {
+		return base.Add(time.Duration(ticks.Add(1)) * time.Second)
+	}
+}
+
+// BenchmarkShardedWrite measures aggregate write throughput through the
+// routed write path at 1/2/4 shards. Every write publishes a paper —
+// store mutation, change events, and the synchronous delta fold into
+// the owning shard's serving snapshot — under a Zipf-skewed owner
+// distribution, so the win is real pipeline parallelism surviving a
+// realistic hot-owner skew, not a uniform best case. ns/op is the
+// inverse of throughput: at 4 shards it should be well under half the
+// 1-shard figure (the E18 acceptance bar is ≥1.8x).
+func BenchmarkShardedWrite(b *testing.B) {
+	const owners = 256
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			sh, err := hive.OpenSharded(n, hive.Options{Clock: benchClockSafe()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sh.Close()
+			for i := 0; i < owners; i++ {
+				if err := sh.RegisterUser(hive.User{
+					ID: fmt.Sprintf("w%03d", i), Name: "Writer"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := sh.Refresh(); err != nil {
+				b.Fatal(err)
+			}
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seq.Add(1)))
+				zipf := rand.NewZipf(rng, 1.2, 1, owners-1)
+				for pb.Next() {
+					owner := fmt.Sprintf("w%03d", zipf.Uint64())
+					id := seq.Add(1)
+					if err := sh.PublishPaper(hive.Paper{
+						ID:       fmt.Sprintf("bw-%d", id),
+						Title:    "sharded write path throughput under owner skew",
+						Abstract: "per owner shard leaders fold change events into independent delta pipelines",
+						Authors:  []string{owner},
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkScatterGatherSearch measures exact cross-shard search: every
+// shard scores its local postings under merged global statistics and a
+// k-way merge assembles the final top k, bit-identical to an unsharded
+// node (TestShardedParity proves the identity; this prices it).
+func BenchmarkScatterGatherSearch(b *testing.B) {
+	ds := workload.Generate(workload.Config{Seed: 42, Users: 64})
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			sh, err := hive.OpenSharded(n, hive.Options{Clock: benchClockSafe()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sh.Close()
+			if err := sh.Batched(func() error { return ds.LoadRouted(sh) }); err != nil {
+				b.Fatal(err)
+			}
+			if err := sh.Refresh(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sh.Search("graph partitioning streams", 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,430 @@
+package hive
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// mutation is the write surface shared by Platform and Sharded; the
+// parity test drives both through it with an identical script.
+type mutation interface {
+	RegisterUser(User) error
+	CreateConference(Conference) error
+	CreateSession(Session) error
+	PublishPaper(Paper) error
+	UploadPresentation(Presentation) error
+	Connect(a, b string) error
+	Follow(follower, followee string) error
+	CheckIn(sessionID, userID string) error
+	Ask(Question) error
+	AnswerQuestion(Answer) error
+	PostComment(Comment) error
+	CreateWorkpad(Workpad) error
+	AddToWorkpad(string, WorkpadItem) error
+	ActivateWorkpad(owner, workpadID string) error
+	LogBrowse(userID, object string) error
+}
+
+var parityVocab = []string{
+	"stream", "join", "index", "shard", "quorum", "vector", "graph",
+	"ranking", "snapshot", "delta", "journal", "epoch", "lease",
+	"summarize", "context", "workpad", "conference", "session",
+	"collaboration", "recommendation", "tensor", "activation",
+	"overlap", "digest", "latency", "throughput", "partition",
+}
+
+func phrase(rng *rand.Rand, n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += parityVocab[rng.Intn(len(parityVocab))]
+	}
+	return s
+}
+
+// parityScript builds a deterministic mutation sequence exercising
+// every routed entity kind: broadcast reference data, owner-hashed
+// content, probe-routed children, graph edges and activity.
+func parityScript(seed int64) []func(m mutation) error {
+	rng := rand.New(rand.NewSource(seed))
+	var script []func(m mutation) error
+	add := func(fn func(m mutation) error) { script = append(script, fn) }
+
+	users := make([]string, 12)
+	for i := range users {
+		u := User{
+			ID:        fmt.Sprintf("u%d", i),
+			Name:      fmt.Sprintf("User %d", i),
+			Interests: []string{phrase(rng, 2), phrase(rng, 1)},
+		}
+		users[i] = u.ID
+		add(func(m mutation) error { return m.RegisterUser(u) })
+	}
+	pick := func(xs []string) string { return xs[rng.Intn(len(xs))] }
+
+	confs := []string{"edbt", "vldb"}
+	for _, c := range confs {
+		conf := Conference{ID: c, Name: c, Year: 2013}
+		add(func(m mutation) error { return m.CreateConference(conf) })
+	}
+	sessions := make([]string, 4)
+	for i := range sessions {
+		s := Session{
+			ID:           fmt.Sprintf("s%d", i),
+			ConferenceID: confs[i%len(confs)],
+			Title:        phrase(rng, 3),
+			Hashtag:      fmt.Sprintf("#s%d", i),
+		}
+		sessions[i] = s.ID
+		add(func(m mutation) error { return m.CreateSession(s) })
+	}
+
+	papers := make([]string, 14)
+	for i := range papers {
+		pa := Paper{
+			ID:           fmt.Sprintf("p%d", i),
+			Title:        phrase(rng, 4),
+			Abstract:     phrase(rng, 12),
+			Authors:      []string{pick(users), pick(users)},
+			ConferenceID: pick(confs),
+			SessionID:    pick(sessions),
+		}
+		papers[i] = pa.ID
+		add(func(m mutation) error { return m.PublishPaper(pa) })
+	}
+	for i := 0; i < 7; i++ {
+		pr := Presentation{
+			ID:      fmt.Sprintf("pr%d", i),
+			PaperID: pick(papers),
+			Owner:   pick(users),
+			Title:   phrase(rng, 3),
+			Text:    phrase(rng, 20),
+		}
+		add(func(m mutation) error { return m.UploadPresentation(pr) })
+	}
+
+	for i := 0; i < 10; i++ {
+		a, b := pick(users), pick(users)
+		if a == b {
+			continue
+		}
+		add(func(m mutation) error { return m.Connect(a, b) })
+	}
+	for i := 0; i < 20; i++ {
+		a, b := pick(users), pick(users)
+		if a == b {
+			continue
+		}
+		add(func(m mutation) error { return m.Follow(a, b) })
+	}
+	for i := 0; i < 12; i++ {
+		s, u := pick(sessions), pick(users)
+		add(func(m mutation) error { return m.CheckIn(s, u) })
+	}
+
+	questions := make([]string, 9)
+	for i := range questions {
+		q := Question{
+			ID:     fmt.Sprintf("q%d", i),
+			Author: pick(users),
+			Target: pick(papers),
+			Text:   phrase(rng, 8),
+		}
+		questions[i] = q.ID
+		add(func(m mutation) error { return m.Ask(q) })
+	}
+	for i := 0; i < 8; i++ {
+		a := Answer{
+			ID:         fmt.Sprintf("a%d", i),
+			QuestionID: pick(questions),
+			Author:     pick(users),
+			Text:       phrase(rng, 6),
+		}
+		add(func(m mutation) error { return m.AnswerQuestion(a) })
+	}
+	for i := 0; i < 6; i++ {
+		c := Comment{
+			ID:     fmt.Sprintf("c%d", i),
+			Author: pick(users),
+			Target: pick(papers),
+			Text:   phrase(rng, 5),
+		}
+		add(func(m mutation) error { return m.PostComment(c) })
+	}
+
+	for i := 0; i < 4; i++ {
+		owner := pick(users)
+		w := Workpad{
+			ID:    fmt.Sprintf("w%d", i),
+			Owner: owner,
+			Name:  phrase(rng, 2),
+			Items: []WorkpadItem{{Kind: ItemPaper, Ref: pick(papers)}},
+		}
+		item := WorkpadItem{Kind: ItemUser, Ref: pick(users)}
+		add(func(m mutation) error { return m.CreateWorkpad(w) })
+		add(func(m mutation) error { return m.AddToWorkpad(w.ID, item) })
+		add(func(m mutation) error { return m.ActivateWorkpad(owner, w.ID) })
+	}
+	for i := 0; i < 8; i++ {
+		u, o := pick(users), "paper/"+pick(papers)
+		add(func(m mutation) error { return m.LogBrowse(u, o) })
+	}
+	return script
+}
+
+func zeroSeqs(evs []Event) []Event {
+	out := append([]Event(nil), evs...)
+	for i := range out {
+		out[i].Seq = 0
+	}
+	return out
+}
+
+// TestShardedParity is the sharding correctness property: the same
+// mutation script applied to an unsharded Platform and to N shard
+// leaders must yield bit-identical search results (scores, order and
+// tie-breaks included), identical feeds (modulo per-shard sequence
+// numbers) and identical set reads — the scatter-gather read path may
+// not be observably different from one big index.
+func TestShardedParity(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4} {
+		for seed := int64(1); seed <= 2; seed++ {
+			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
+				ref, err := Open(Options{Clock: testClock()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer ref.Close()
+				sh, err := OpenSharded(shards, Options{Clock: testClock()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer sh.Close()
+
+				script := parityScript(seed)
+				for i, fn := range script {
+					if err := fn(ref); err != nil {
+						t.Fatalf("unsharded step %d: %v", i, err)
+					}
+					if err := fn(sh); err != nil {
+						t.Fatalf("sharded step %d: %v", i, err)
+					}
+				}
+				if err := ref.Refresh(); err != nil {
+					t.Fatal(err)
+				}
+				if err := sh.Refresh(); err != nil {
+					t.Fatal(err)
+				}
+
+				rng := rand.New(rand.NewSource(seed * 977))
+				for i := 0; i < 10; i++ {
+					q := phrase(rng, 1+rng.Intn(3))
+					want, err := ref.Search(q, 10)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := sh.Search(q, 10)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("Search(%q) diverged:\nunsharded %+v\nsharded   %+v", q, want, got)
+					}
+				}
+
+				for i := 0; i < 12; i++ {
+					u := fmt.Sprintf("u%d", i)
+					for _, limit := range []int{0, 5} {
+						want := zeroSeqs(ref.Feed(u, limit))
+						got := zeroSeqs(sh.Feed(u, limit))
+						if !reflect.DeepEqual(want, got) {
+							t.Fatalf("Feed(%s,%d) diverged:\nunsharded %+v\nsharded   %+v", u, limit, want, got)
+						}
+					}
+					wantDig, err := ref.UpdateDigest(u, 6)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotDig, err := sh.UpdateDigest(u, 6)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(wantDig, gotDig) {
+						t.Fatalf("UpdateDigest(%s) diverged:\nunsharded %+v\nsharded   %+v", u, wantDig, gotDig)
+					}
+				}
+
+				for i := 0; i < 4; i++ {
+					s := fmt.Sprintf("s%d", i)
+					if want, got := ref.Attendees(s), sh.Attendees(s); !reflect.DeepEqual(want, got) {
+						t.Fatalf("Attendees(%s): unsharded %v sharded %v", s, want, got)
+					}
+					tag := fmt.Sprintf("#s%d", i)
+					want := zeroSeqs(ref.EventsByTag(tag))
+					got := zeroSeqs(sh.EventsByTag(tag))
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("EventsByTag(%s) diverged:\nunsharded %+v\nsharded   %+v", tag, want, got)
+					}
+				}
+				for i := 0; i < 14; i++ {
+					pa := fmt.Sprintf("p%d", i)
+					if want, got := ref.QuestionsAbout(pa), sh.QuestionsAbout(pa); !reflect.DeepEqual(want, got) {
+						t.Fatalf("QuestionsAbout(%s): unsharded %v sharded %v", pa, want, got)
+					}
+				}
+				for i := 0; i < 9; i++ {
+					q := fmt.Sprintf("q%d", i)
+					if want, got := ref.AnswersTo(q), sh.AnswersTo(q); !reflect.DeepEqual(want, got) {
+						t.Fatalf("AnswersTo(%s): unsharded %v sharded %v", q, want, got)
+					}
+				}
+				for a := 0; a < 12; a++ {
+					for b := 0; b < 12; b++ {
+						ua, ub := fmt.Sprintf("u%d", a), fmt.Sprintf("u%d", b)
+						if want, got := ref.Connected(ua, ub), sh.Connected(ua, ub); want != got {
+							t.Fatalf("Connected(%s,%s): unsharded %v sharded %v", ua, ub, want, got)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardManifestPinsCount: the shard count is fixed for the life of
+// a data dir — reopening with a different count must fail, reopening
+// with the same count must find the routed data.
+func TestShardManifestPinsCount(t *testing.T) {
+	dir := t.TempDir()
+	sh, err := OpenSharded(2, Options{Dir: dir, Clock: testClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.RegisterUser(User{ID: "u", Name: "U"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.PublishPaper(Paper{ID: "p", Title: "sharded journal", Authors: []string{"u"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenSharded(3, Options{Dir: dir, Clock: testClock()}); err == nil {
+		t.Fatal("reopening a 2-shard dir with 3 shards must fail")
+	}
+
+	sh2, err := OpenSharded(2, Options{Dir: dir, Clock: testClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh2.Close()
+	if _, err := sh2.GetUser("u"); err != nil {
+		t.Fatalf("user lost across sharded reopen: %v", err)
+	}
+	rs, err := sh2.Search("sharded journal", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 || rs[0].DocID != DocPaper+"p" {
+		t.Fatalf("paper not found after sharded reopen: %+v", rs)
+	}
+}
+
+// TestShardedFeedCursorStability: the feed cursor is a per-shard
+// sequence-bound vector, so paginating while other shards keep writing
+// must never skip or repeat an event that existed when pagination
+// began.
+func TestShardedFeedCursorStability(t *testing.T) {
+	sh, err := OpenSharded(4, Options{Clock: testClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	actors := make([]string, 6)
+	for i := range actors {
+		actors[i] = fmt.Sprintf("actor%d", i)
+		if err := sh.RegisterUser(User{ID: actors[i], Name: actors[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.RegisterUser(User{ID: "reader", Name: "Reader"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range actors {
+		if err := sh.Follow("reader", a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	post := func(i int) {
+		t.Helper()
+		a := actors[i%len(actors)]
+		if err := sh.LogBrowse(a, fmt.Sprintf("obj-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const initial = 40
+	for i := 0; i < initial; i++ {
+		post(i)
+	}
+	// Every event has a globally unique timestamp (one shared clock),
+	// so At identifies an event across shards.
+	initialSet := make(map[int64]bool)
+	for _, ev := range mustFeed(t, sh, "reader") {
+		initialSet[ev.At] = true
+	}
+	if len(initialSet) != initial {
+		t.Fatalf("setup: %d distinct events, want %d", len(initialSet), initial)
+	}
+
+	seen := make(map[int64]bool)
+	cursor := ""
+	pages := 0
+	extra := initial
+	for {
+		page, next, err := sh.FeedPage("reader", cursor, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ev := range page {
+			if i > 0 && page[i-1].At < ev.At {
+				t.Fatalf("page %d not newest-first: %+v", pages, page)
+			}
+			if seen[ev.At] {
+				t.Fatalf("event at=%d repeated across pages", ev.At)
+			}
+			seen[ev.At] = true
+		}
+		pages++
+		if next == "" {
+			break
+		}
+		cursor = next
+		// Concurrent writers on other shards between pages.
+		if pages <= 3 {
+			for i := 0; i < 5; i++ {
+				post(extra)
+				extra++
+			}
+		}
+		if pages > 40 {
+			t.Fatal("pagination did not terminate")
+		}
+	}
+	for at := range initialSet {
+		if !seen[at] {
+			t.Fatalf("event at=%d existed before pagination but was skipped", at)
+		}
+	}
+}
+
+func mustFeed(t *testing.T, sh *Sharded, user string) []Event {
+	t.Helper()
+	return sh.Feed(user, 0)
+}
