@@ -5,9 +5,9 @@ GO      ?= go
 BENCHTIME ?= 200ms
 # Benchmark JSON stream for the current PR's perf record (uploaded as a
 # CI artifact so the trajectory accumulates across commits).
-BENCH_OUT ?= BENCH_pr9.json
+BENCH_OUT ?= BENCH_pr10.json
 
-.PHONY: build test race bench bench-ci fmt vet lint vuln race-nightly ci api-smoke repl-smoke failover-smoke quorum-smoke shard-smoke
+.PHONY: build test race bench bench-ci fmt vet lint vuln race-nightly ci api-smoke repl-smoke failover-smoke quorum-smoke shard-smoke metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -26,8 +26,9 @@ bench:
 # Includes the frozen-vs-live micro-benchmarks (SearchVector,
 # TFIDFVector, RecommendPeers, RecommendResources), the PR-4
 # delta-vs-rebuild pair, the PR-5 journal append/replay micro-benches,
-# the PR-8 quorum-write benchmark, and the PR-9 sharded write /
-# scatter-gather pair — see EXPERIMENTS.md.
+# the PR-8 quorum-write benchmark, the PR-9 sharded write /
+# scatter-gather pair, and the PR-10 instrumented-search overhead
+# guard (BenchmarkInstrumentedSearch) — see EXPERIMENTS.md.
 bench-ci:
 	$(GO) test -json -bench=. -benchtime=$(BENCHTIME) -run='^$$' . ./internal/journal | tee $(BENCH_OUT)
 
@@ -104,6 +105,15 @@ quorum-smoke:
 shard-smoke:
 	$(GO) build -o bin/hived ./cmd/hived
 	$(GO) run ./cmd/apismoke -hived bin/hived -sharded
+
+# Observability check: assert over GET /metrics that request counters,
+# the scatter-gather fan-out histogram and per-shard gauges advance as
+# the SDK drives a routed write, a cross-shard search and a wrong_shard
+# 409 — and that one SDK-minted trace ID survives a not_leader redirect,
+# recorded on both the rejecting follower and the serving leader.
+metrics-smoke:
+	$(GO) build -o bin/hived ./cmd/hived
+	$(GO) run ./cmd/apismoke -hived bin/hived -metrics
 
 # lint subsumes vet (hivelint runs `go vet` over the same patterns).
 ci: build lint fmt race

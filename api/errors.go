@@ -96,6 +96,11 @@ func (e *Error) Error() string {
 //	{"error": {"code": "not_found", "message": "..."}}
 type ErrorResponse struct {
 	Error *Error `json:"error"`
+	// TraceID is the request's X-Hive-Trace-Id, echoed in the envelope
+	// so a failed call is findable in the server's access log and
+	// debug/traces ring without header access (empty on responses
+	// written outside a traced request, e.g. the static timeout body).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // IsCode reports whether err is an *Error with the given code.

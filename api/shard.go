@@ -15,6 +15,14 @@ import (
 // the header are routed server-side and never rejected.
 const ShardHeader = "X-Hive-Shard"
 
+// TraceHeader carries the end-to-end request trace ID. The client SDK
+// mints one per logical call and replays it across failover retries
+// and shard redirects; the server adopts an inbound value (minting one
+// otherwise), echoes it on the response, threads it through the access
+// log and error envelopes, and records it in the debug/traces ring —
+// so one ID follows a request across every node it touched.
+const TraceHeader = "X-Hive-Trace-Id"
+
 // ShardOf maps an owning user/community ID to a shard. The hash is part
 // of the v1 wire contract: server, client SDK and operators tooling all
 // compute placement with this exact function, so it never changes for a

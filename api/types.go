@@ -3,6 +3,7 @@ package api
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"hive/internal/core"
 	"hive/internal/rdf"
@@ -318,8 +319,44 @@ type PeerStatus struct {
 	JournalTail uint64 `json:"journal_tail,omitempty"`
 	AppliedSeq  uint64 `json:"applied_seq,omitempty"`
 	LagEvents   uint64 `json:"lag_events,omitempty"`
+	// ProbeMS is how long the healthz probe round trip took, in
+	// milliseconds (set for answered probes and for timed-out ones —
+	// a dead peer reports the full probe budget it burned).
+	ProbeMS float64 `json:"probe_ms,omitempty"`
 	// Error describes a failed probe.
 	Error string `json:"error,omitempty"`
+}
+
+// TraceStage is one named, timed step inside a recorded trace.
+type TraceStage struct {
+	Name string `json:"name"`
+	// DurationUS is the stage's wall time in microseconds.
+	DurationUS float64 `json:"duration_us"`
+}
+
+// TraceInfo is one recorded request trace in the GET
+// /api/v1/debug/traces response: the trace ID (minted by the server or
+// propagated from the client's X-Hive-Trace-Id), the matched route,
+// the resolved shard (-1 when no shard applies) and per-stage timings.
+type TraceInfo struct {
+	TraceID    string       `json:"trace_id"`
+	Method     string       `json:"method"`
+	Route      string       `json:"route"`
+	Status     int          `json:"status"`
+	Shard      int          `json:"shard"`
+	StartedAt  time.Time    `json:"started_at"`
+	DurationUS float64      `json:"duration_us"`
+	Stages     []TraceStage `json:"stages,omitempty"`
+}
+
+// TraceReport is the GET /api/v1/debug/traces envelope: the slowest
+// recent traces, slowest first, out of the server's bounded in-memory
+// ring.
+type TraceReport struct {
+	Traces []TraceInfo `json:"traces"`
+	// Capacity is the ring size — how many recent traces the server
+	// retains at most.
+	Capacity int `json:"capacity"`
 }
 
 // Batch entity kinds accepted by POST /batch.

@@ -20,6 +20,7 @@ import (
 	"hive/internal/diffusion"
 	"hive/internal/election"
 	"hive/internal/graph"
+	"hive/internal/metrics"
 	"hive/internal/rdf"
 	"hive/internal/server"
 	"hive/internal/social"
@@ -471,6 +472,34 @@ func BenchmarkSearchVector(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			frozen.SearchCompiled(cq, 10)
+		}
+	})
+}
+
+// BenchmarkInstrumentedSearch measures what the PR-10 observability
+// layer costs on the frozen search path: "bare" is the uninstrumented
+// call, "observed" adds exactly what the serving path now pays per
+// request — a timed histogram observation (one bucket add, one count
+// add, one CAS float fold) plus a labeled counter increment. The
+// acceptance bar is <5%% overhead on the frozen path.
+func BenchmarkInstrumentedSearch(b *testing.B) {
+	_, eng := benchPlatform(b)
+	frozen := eng.Frozen()
+	reg := metrics.New()
+	h := reg.Histogram(metrics.SearchSeconds, "bench", nil)
+	c := reg.CounterVec(metrics.HTTPRequestsTotal, "bench", "route", "method", "class").
+		With("/api/v1/search", "GET", "2xx")
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			frozen.Search("graph partitioning streams", 10)
+		}
+	})
+	b.Run("observed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			frozen.Search("graph partitioning streams", 10)
+			h.ObserveSince(start)
+			c.Inc()
 		}
 	})
 }

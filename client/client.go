@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"hive/api"
+	"hive/internal/metrics"
 )
 
 // Client talks to one Hive server (or, with WithCluster, to whichever
@@ -54,6 +55,12 @@ type Client struct {
 	requests  atomic.Int64
 	cacheHits atomic.Int64
 	redirects atomic.Int64
+
+	// lastTrace holds the trace ID stamped on the most recent logical
+	// call — one ID per call, replayed verbatim across failover retries
+	// and shard redirects, so smoke tests and callers can correlate a
+	// call with the server-side access log and debug/traces ring.
+	lastTrace atomic.Value // string
 }
 
 // Option customizes a Client.
@@ -105,6 +112,15 @@ func (c *Client) Stats() (requests, cacheHits int64) {
 // Redirects counts leader changes the client followed — not_leader
 // hints adopted plus leaders re-resolved via the cluster endpoint.
 func (c *Client) Redirects() int64 { return c.redirects.Load() }
+
+// LastTraceID returns the X-Hive-Trace-Id the client minted for its
+// most recent logical call ("" before the first). Every retry of that
+// call carried the same ID, so it identifies the call end-to-end no
+// matter how many nodes it touched.
+func (c *Client) LastTraceID() string {
+	s, _ := c.lastTrace.Load().(string)
+	return s
+}
 
 // Base returns the URL the client currently targets. With WithCluster
 // it moves as the client follows the leader.
@@ -193,6 +209,18 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, in, 
 // doHdr is do with extra request headers (the shard declaration on
 // owner-routed writes).
 func (c *Client) doHdr(ctx context.Context, method, path string, q url.Values, hdr http.Header, in, out any, conditional bool) error {
+	// One trace ID per logical call, minted here so every failover
+	// retry and redirect below replays the same ID (doOnce builds each
+	// attempt's request from this header set).
+	if hdr.Get(api.TraceHeader) == "" {
+		h := make(http.Header, len(hdr)+1)
+		for k, vs := range hdr {
+			h[k] = vs
+		}
+		h.Set(api.TraceHeader, metrics.NewTraceID())
+		hdr = h
+	}
+	c.lastTrace.Store(hdr.Get(api.TraceHeader))
 	var raw []byte
 	if in != nil {
 		var err error

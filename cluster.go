@@ -218,6 +218,7 @@ func (p *Platform) promote(epoch uint64) {
 	p.setLeaderHint(p.selfURL)
 	p.role.Store(roleLeader)
 	p.promotions.Add(1)
+	mPromotions.Inc()
 }
 
 // demoteTo transitions this node to follower of leaderURL at the given
@@ -228,6 +229,7 @@ func (p *Platform) demoteTo(epoch uint64, leaderURL string) {
 	p.role.Store(roleFollower)
 	if wasLeader {
 		p.demotions.Add(1)
+		mDemotions.Inc()
 		// Quorum waiters parked on our deposed term must not hang until
 		// their deadline on a channel no ack will ever close again.
 		p.resetAcks()

@@ -40,9 +40,19 @@
 // a mis-declared X-Hive-Shard, the manifest refusing a changed shard
 // count, and a same-count restart recovering every shard's journal.
 //
+// With -metrics (the `make metrics-smoke` mode) it checks the
+// observability contract: a four-shard node's GET /metrics exposition
+// advances its request counters, scatter-gather fan-out histogram and
+// per-shard state gauges as the SDK drives a routed write, a
+// cross-shard search and a mis-declared-shard 409, with the SDK-minted
+// X-Hive-Trace-Id landing in GET /api/v1/debug/traces carrying its
+// per-shard fan-out stages; then a two-node elected cluster proves one
+// trace ID survives a not_leader failover, recorded on the rejecting
+// follower and on the leader that finally served the write.
+//
 // Usage:
 //
-//	apismoke [-hived bin/hived] [-addr 127.0.0.1:18080] [-seed 24] [-repl | -failover | -quorum | -sharded]
+//	apismoke [-hived bin/hived] [-addr 127.0.0.1:18080] [-seed 24] [-repl | -failover | -quorum | -sharded | -metrics]
 package main
 
 import (
@@ -51,6 +61,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -71,6 +82,7 @@ func main() {
 	failover := flag.Bool("failover", false, "run the three-node election failover scenario instead")
 	quorum := flag.Bool("quorum", false, "run the three-node quorum-write durability scenario instead")
 	sharded := flag.Bool("sharded", false, "run the four-shard partitioned-write scenario instead")
+	metricsMode := flag.Bool("metrics", false, "run the observability (metrics + tracing) scenario instead")
 	flag.Parse()
 
 	name, fn := "api-smoke", run
@@ -85,6 +97,9 @@ func main() {
 	}
 	if *sharded {
 		name, fn = "shard-smoke", runSharded
+	}
+	if *metricsMode {
+		name, fn = "metrics-smoke", runMetrics
 	}
 	if err := fn(*hived, *addr, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: FAIL: %v\n", name, err)
@@ -1422,5 +1437,367 @@ func shardStepWrongShard(ctx context.Context, c *client.Client, base string, sha
 		ID: "shard-right", Title: "Routed", Authors: []string{owner}}); err != nil {
 		return err
 	}
+	return nil
+}
+
+// --- Metrics scenario (`make metrics-smoke`) ------------------------------------
+
+// runMetrics checks the observability contract end to end: phase one
+// drives a four-shard node and reads its own traffic back out of
+// GET /metrics and GET /api/v1/debug/traces; phase two proves a trace
+// ID survives a not_leader redirect across a two-node elected cluster.
+func runMetrics(hived, addr string, seed int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	if err := metricsShardedPhase(ctx, hived, addr, seed); err != nil {
+		return fmt.Errorf("sharded phase: %w", err)
+	}
+	if err := metricsFailoverPhase(ctx, hived, addr); err != nil {
+		return fmt.Errorf("failover phase: %w", err)
+	}
+	return nil
+}
+
+// scrapeMetrics fetches one Prometheus text exposition.
+func scrapeMetrics(ctx context.Context, base string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		return "", fmt.Errorf("GET /metrics Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	return string(raw), err
+}
+
+// metricValue finds the sample line `<sample> <value>` in an
+// exposition. sample must be the full series name including any label
+// set, e.g. `hive_http_requests_total{route="/api/v1/papers",...}`.
+func metricValue(body, sample string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, sample+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// findTrace pulls a node's debug/traces ring and returns the recorded
+// entry for one trace ID.
+func findTrace(ctx context.Context, base, tid string) (api.TraceInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/v1/debug/traces?n=256", nil)
+	if err != nil {
+		return api.TraceInfo{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return api.TraceInfo{}, err
+	}
+	defer resp.Body.Close()
+	var report api.TraceReport
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		return api.TraceInfo{}, fmt.Errorf("decode debug/traces: %w", err)
+	}
+	for _, tr := range report.Traces {
+		if tr.TraceID == tid {
+			return tr, nil
+		}
+	}
+	return api.TraceInfo{}, fmt.Errorf("trace %s not in %s/api/v1/debug/traces (%d retained)", tid, base, len(report.Traces))
+}
+
+// metricsShardedPhase boots a four-shard node and asserts the
+// exposition moves with the traffic: per-shard gauges at baseline, the
+// POST counter across routed writes, the fan-out histogram and the
+// SDK's trace (with per-shard stages) across a scatter-gather search,
+// and the 4xx counter plus envelope trace_id on a wrong_shard 409.
+func metricsShardedPhase(ctx context.Context, hived, addr string, seed int) error {
+	dir, err := os.MkdirTemp("", "hive-metrics-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	const shards = 4
+	stop, err := startHived(hived,
+		"-addr", addr,
+		"-shards", fmt.Sprint(shards),
+		"-data", dir,
+		"-seed", fmt.Sprint(seed),
+		"-compact-interval", "1s",
+		"-quiet",
+	)
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	base := "http://" + addr
+	c := client.New(base)
+	if err := waitHealthy(ctx, c); err != nil {
+		return err
+	}
+
+	before, err := scrapeMetrics(ctx, base)
+	if err != nil {
+		return err
+	}
+	for s := 0; s < shards; s++ {
+		for _, g := range []string{"hive_shard_docs", "hive_pending_events", "hive_overlay_docs", "hive_commit_index"} {
+			if _, ok := metricValue(before, fmt.Sprintf(`%s{shard="%d"}`, g, s)); !ok {
+				return fmt.Errorf("baseline exposition missing %s for shard %d", g, s)
+			}
+		}
+	}
+	fmt.Printf("metrics-smoke: %-38s ok\n", "per-shard gauges exposed")
+
+	// Routed writes: one author and paper per shard; the POST counter
+	// must advance by at least what we sent.
+	const paperPost = `hive_http_requests_total{route="/api/v1/papers",method="POST",class="2xx"}`
+	papersBefore, _ := metricValue(before, paperPost)
+	authors := shardAuthors(shards)
+	for i, id := range authors {
+		if err := c.CreateUser(ctx, api.User{ID: id, Name: "Observer"}); err != nil {
+			return err
+		}
+		if err := c.CreatePaper(ctx, api.Paper{
+			ID:       fmt.Sprintf("metrics-p%d", i),
+			Title:    fmt.Sprintf("Observable sharding volume %d", i),
+			Abstract: "Counters advance with the routed write path.",
+			Authors:  []string{id},
+		}); err != nil {
+			return err
+		}
+	}
+	if err := c.Refresh(ctx, true); err != nil {
+		return err
+	}
+	mid, err := scrapeMetrics(ctx, base)
+	if err != nil {
+		return err
+	}
+	papersAfter, ok := metricValue(mid, paperPost)
+	if !ok || papersAfter < papersBefore+float64(len(authors)) {
+		return fmt.Errorf("%s = %v after %d routed writes (was %v)", paperPost, papersAfter, len(authors), papersBefore)
+	}
+	fmt.Printf("metrics-smoke: %-38s ok\n", "routed-write counters advance")
+
+	// Scatter-gather search: the fan-out histogram and the search route
+	// counter advance, and the trace the SDK minted lands in the debug
+	// ring carrying its per-shard fan-out stages.
+	const fanout = `hive_scatter_fanout_seconds_count{op="search"}`
+	const searchGet = `hive_http_requests_total{route="/api/v1/search",method="GET",class="2xx"}`
+	fanBefore, _ := metricValue(mid, fanout)
+	searchBefore, _ := metricValue(mid, searchGet)
+	if _, err := c.Search(ctx, "observable sharding", "", "", 10); err != nil {
+		return err
+	}
+	tid := c.LastTraceID()
+	if len(tid) != 16 {
+		return fmt.Errorf("client minted trace ID %q, want 16 hex chars", tid)
+	}
+	after, err := scrapeMetrics(ctx, base)
+	if err != nil {
+		return err
+	}
+	if fanAfter, ok := metricValue(after, fanout); !ok || fanAfter < fanBefore+1 {
+		return fmt.Errorf("%s = %v after a scatter search (was %v)", fanout, fanAfter, fanBefore)
+	}
+	if searchAfter, ok := metricValue(after, searchGet); !ok || searchAfter < searchBefore+1 {
+		return fmt.Errorf("%s = %v after a search (was %v)", searchGet, searchAfter, searchBefore)
+	}
+	info, err := findTrace(ctx, base, tid)
+	if err != nil {
+		return err
+	}
+	if info.Route != "/api/v1/search" {
+		return fmt.Errorf("trace %s recorded route %q, want /api/v1/search", tid, info.Route)
+	}
+	hasStage := false
+	for _, st := range info.Stages {
+		if strings.HasPrefix(st.Name, "search_shard") {
+			hasStage = true
+		}
+	}
+	if !hasStage {
+		return fmt.Errorf("trace %s has no search_shard* fan-out stages: %+v", tid, info.Stages)
+	}
+	fmt.Printf("metrics-smoke: %-38s ok\n", "scatter trace + fan-out histogram")
+
+	// A mis-declared shard: the 409 echoes our trace ID in the envelope
+	// and counts into the 4xx class of the same route.
+	const paper4xx = `hive_http_requests_total{route="/api/v1/papers",method="POST",class="4xx"}`
+	wrongBefore, _ := metricValue(after, paper4xx)
+	const wrongTID = "feedfacecafebeef"
+	owner := authors[0]
+	wrong := (api.ShardOf(owner, shards) + 1) % shards
+	body := fmt.Sprintf(`{"id":"metrics-wrong","title":"Misrouted","authors":[%q]}`, owner)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/api/v1/papers", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(api.ShardHeader, strconv.Itoa(wrong))
+	req.Header.Set(api.TraceHeader, wrongTID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	var env api.ErrorResponse
+	decodeErr := json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || decodeErr != nil || env.Error == nil {
+		return fmt.Errorf("mis-declared shard: status %d, decode err %v", resp.StatusCode, decodeErr)
+	}
+	if env.TraceID != wrongTID {
+		return fmt.Errorf("wrong_shard envelope trace_id = %q, want %q", env.TraceID, wrongTID)
+	}
+	final, err := scrapeMetrics(ctx, base)
+	if err != nil {
+		return err
+	}
+	if wrongAfter, ok := metricValue(final, paper4xx); !ok || wrongAfter < wrongBefore+1 {
+		return fmt.Errorf("%s = %v after a wrong_shard 409 (was %v)", paper4xx, wrongAfter, wrongBefore)
+	}
+	fmt.Printf("metrics-smoke: %-38s ok\n", "wrong_shard 409 traced + counted")
+	return nil
+}
+
+// metricsFailoverPhase boots a two-node elected cluster and proves the
+// trace the SDK minted for one write survives the not_leader redirect:
+// the same ID is recorded with a 409 on the rejecting follower and
+// with the success status on the leader that served the replay. It
+// also spot-checks the election and replication instruments.
+func metricsFailoverPhase(ctx context.Context, hived, addr string) error {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("bad -addr: %w", err)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil {
+		return fmt.Errorf("bad -addr port: %w", err)
+	}
+	leaderAddr := net.JoinHostPort(host, fmt.Sprint(p+1))
+	followerAddr := net.JoinHostPort(host, fmt.Sprint(p+2))
+	leaderBase := "http://" + leaderAddr
+	followerBase := "http://" + followerAddr
+
+	dirs := make([]string, 2)
+	for i := range dirs {
+		if dirs[i], err = os.MkdirTemp("", fmt.Sprintf("hive-metrics-n%d-", i)); err != nil {
+			return err
+		}
+		defer os.RemoveAll(dirs[i])
+	}
+	leaseDir, err := os.MkdirTemp("", "hive-metrics-lease-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(leaseDir)
+	clusterFlag := func(self, peer string) string {
+		return fmt.Sprintf("self=%s,peers=%s,lease=%s,ttl=1s", self, peer, leaseDir)
+	}
+
+	stopLeader, err := startHived(hived,
+		"-addr", leaderAddr,
+		"-data", dirs[0],
+		"-cluster", clusterFlag(leaderBase, followerBase),
+		"-quiet",
+	)
+	if err != nil {
+		return err
+	}
+	defer stopLeader()
+	lc := client.New(leaderBase)
+	if err := waitRole(ctx, lc, api.RoleLeader, 30*time.Second); err != nil {
+		return fmt.Errorf("leader: %w", err)
+	}
+
+	stopFollower, err := startHived(hived,
+		"-addr", followerAddr,
+		"-data", dirs[1],
+		"-cluster", clusterFlag(followerBase, leaderBase),
+		"-quiet",
+	)
+	if err != nil {
+		return err
+	}
+	defer stopFollower()
+	fc := client.New(followerBase)
+	if err := waitRole(ctx, fc, api.RoleFollower, 30*time.Second); err != nil {
+		return fmt.Errorf("follower: %w", err)
+	}
+
+	// A cluster-aware client aimed at the follower: the write bounces
+	// with not_leader, and the SDK replays the *same* trace ID against
+	// the hinted leader.
+	cc := client.New(followerBase, client.WithCluster(leaderBase))
+	if err := cc.CreateUser(ctx, api.User{ID: "traced-across-failover", Name: "T"}); err != nil {
+		return fmt.Errorf("redirected write: %w", err)
+	}
+	if cc.Redirects() < 1 {
+		return fmt.Errorf("write landed without a redirect (follower answered a write?)")
+	}
+	tid := cc.LastTraceID()
+	if len(tid) != 16 {
+		return fmt.Errorf("redirected write trace ID = %q, want 16 hex chars", tid)
+	}
+	fInfo, err := findTrace(ctx, followerBase, tid)
+	if err != nil {
+		return fmt.Errorf("trace on rejecting follower: %w", err)
+	}
+	if fInfo.Status != http.StatusConflict {
+		return fmt.Errorf("follower recorded status %d for %s, want 409", fInfo.Status, tid)
+	}
+	lInfo, err := findTrace(ctx, leaderBase, tid)
+	if err != nil {
+		return fmt.Errorf("trace on serving leader: %w", err)
+	}
+	if lInfo.Status < 200 || lInfo.Status >= 300 {
+		return fmt.Errorf("leader recorded status %d for %s, want 2xx", lInfo.Status, tid)
+	}
+	fmt.Printf("metrics-smoke: %-38s ok\n", "trace survives not_leader failover")
+
+	// The election and replication layers report through the same
+	// registry: the leader minted a term (lease claim survived the
+	// settle window), and the follower's poll loop both times its
+	// rounds and exposes its lag.
+	lm, err := scrapeMetrics(ctx, leaderBase)
+	if err != nil {
+		return err
+	}
+	if v, ok := metricValue(lm, "hive_election_lease_acquisitions_total"); !ok || v < 1 {
+		return fmt.Errorf("leader hive_election_lease_acquisitions_total = %v, want >= 1", v)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		fm, err := scrapeMetrics(ctx, followerBase)
+		if err != nil {
+			return err
+		}
+		if _, ok := metricValue(fm, "hive_replication_lag_events"); !ok {
+			return fmt.Errorf("follower exposition missing hive_replication_lag_events")
+		}
+		if v, ok := metricValue(fm, "hive_replication_poll_seconds_count"); ok && v >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("follower hive_replication_poll_seconds_count never reached 1")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	fmt.Printf("metrics-smoke: %-38s ok\n", "election + replication instruments")
 	return nil
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -102,6 +104,62 @@ func timeIt(fn func()) time.Duration {
 	return time.Since(start)
 }
 
+// reportServerHistogram scrapes GET /metrics on the server under test
+// and prints one latency histogram's (count, mean) per label set — the
+// same counters a production scrape would report, so the harness's
+// client-side timings can be cross-checked against the server's own
+// view. Counts accumulate for the process lifetime (the registry is
+// process-wide), so call it right after the experiment's traffic.
+func reportServerHistogram(base, name string) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sums, counts := map[string]float64{}, map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		series, val, ok := strings.Cut(sc.Text(), " ")
+		if !ok || strings.HasPrefix(series, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			continue
+		}
+		metric, labels := series, ""
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			metric, labels = series[:i], series[i:]
+		}
+		switch metric {
+		case name + "_sum":
+			sums[labels] = v
+		case name + "_count":
+			counts[labels] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("server-side %s (scraped from /metrics):\n", name)
+	for _, k := range keys {
+		if counts[k] == 0 {
+			continue
+		}
+		label := k
+		if label == "" {
+			label = "(all)"
+		}
+		fmt.Printf("  %-52s %8.0f obs  mean %8.3f ms\n", label, counts[k], sums[k]/counts[k]*1000)
+	}
+}
+
 // e1: latency of representative v1 REST endpoints over the seeded
 // platform, driven through the client SDK. The final row repeats the
 // search with the SDK's ETag cache on: an unchanged snapshot
@@ -153,6 +211,7 @@ func e1(users int) {
 	if _, hits := cached.Stats(); hits > 0 {
 		fmt.Printf("search-304: %d of 50 calls served via ETag revalidation\n", hits)
 	}
+	reportServerHistogram(ts.URL, "hive_http_request_seconds")
 }
 
 // e13: bulk ingest through POST /api/v1/batch (chunked, one snapshot
@@ -790,6 +849,11 @@ func e18(users int) {
 		sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
 		rows = append(rows, row{n, wps, lat[len(lat)/2], lat[len(lat)*95/100]})
 
+		if n == 4 {
+			// Cross-check against the server's own instruments (cumulative
+			// over all three shard counts — the registry is process-wide).
+			reportServerHistogram(ts.URL, "hive_scatter_fanout_seconds")
+		}
 		ts.Close()
 		sh.Close()
 	}

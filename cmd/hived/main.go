@@ -5,7 +5,8 @@
 //
 //	hived [-addr :8080] [-data DIR] [-seed users] [-compact-interval 30s]
 //	      [-shards N] [-no-deltas] [-workers N] [-timeout 30s]
-//	      [-max-inflight N] [-qps N] [-quiet] [-pprof ADDR]
+//	      [-max-inflight N] [-qps N] [-quiet] [-access-log] [-metrics]
+//	      [-pprof ADDR]
 //	      [-cluster "self=URL,peers=URL;URL,lease=DIR[,ttl=2s]"]
 //	      [-quorum K] [-ack-timeout 5s] [-journal-retention N]
 //
@@ -81,7 +82,17 @@
 // -no-deltas restores the pre-delta behavior (writes mark the snapshot
 // stale; only full rebuilds repair it). -timeout, -max-inflight and
 // -qps wire the middleware stack's operational limits (0 disables
-// each); -quiet drops the access log.
+// each); -quiet (or -access-log=false) drops the access log.
+//
+// Observability: GET /metrics serves the process-wide registry in
+// Prometheus text exposition — request counts and latency histograms
+// per route, delta-apply / compaction / journal / replication / quorum
+// / election instruments, and per-shard state gauges — and GET
+// /api/v1/debug/traces serves the slowest recent requests with their
+// per-stage timings (see API.md, "Observability"). Both ride outside
+// the QPS and in-flight caps so a shedding server can still be
+// scraped; -metrics=false disables both endpoints and the per-request
+// trace recorder.
 //
 // With -pprof ADDR (off by default), net/http/pprof profiling handlers
 // are exposed on a separate listener under /debug/pprof/, kept off the
@@ -178,6 +189,10 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent requests (0 = uncapped)")
 	qps := flag.Float64("qps", 0, "global request rate limit (0 = unlimited)")
 	quiet := flag.Bool("quiet", false, "disable the per-request access log")
+	accessLog := flag.Bool("access-log", true,
+		"per-request access log with trace ID, resolved shard and status (false = same effect as -quiet)")
+	metricsOn := flag.Bool("metrics", true,
+		"serve Prometheus text metrics at GET /metrics and traces at GET /api/v1/debug/traces (false = disable both)")
 	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this separate address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
 
@@ -236,10 +251,11 @@ func main() {
 			log.Fatalf("-shards and -cluster are mutually exclusive: per-shard replication is a follow-up")
 		}
 		runSharded(*shards, opts, *seed, *compactInterval, *addr, server.Config{
-			Timeout:     *timeout,
-			MaxInFlight: *maxInflight,
-			QPS:         *qps,
-		}, *quiet)
+			Timeout:        *timeout,
+			MaxInFlight:    *maxInflight,
+			QPS:            *qps,
+			DisableMetrics: !*metricsOn,
+		}, *quiet || !*accessLog)
 		return
 	}
 
@@ -284,11 +300,12 @@ func main() {
 	}
 
 	cfg := server.Config{
-		Timeout:     *timeout,
-		MaxInFlight: *maxInflight,
-		QPS:         *qps,
+		Timeout:        *timeout,
+		MaxInFlight:    *maxInflight,
+		QPS:            *qps,
+		DisableMetrics: !*metricsOn,
 	}
-	if !*quiet {
+	if !*quiet && *accessLog {
 		cfg.AccessLog = log.Default()
 	}
 	log.Printf("hived listening on %s (API v1 at /api/v1, legacy /api/* deprecated)", *addr)

@@ -28,6 +28,7 @@ import (
 	"hive/internal/analysis/apierrcheck"
 	"hive/internal/analysis/epochcheck"
 	"hive/internal/analysis/hookcheck"
+	"hive/internal/analysis/metriccheck"
 	"hive/internal/analysis/snapshotcheck"
 )
 
@@ -36,6 +37,7 @@ var analyzers = []*analysis.Analyzer{
 	epochcheck.Analyzer,
 	hookcheck.Analyzer,
 	apierrcheck.Analyzer,
+	metriccheck.Analyzer,
 }
 
 func main() {

@@ -518,6 +518,7 @@ func (p *Platform) compact() error {
 	p.pendMu.Unlock()
 	watermark := p.store.ChangeSeq()
 
+	compactStart := time.Now()
 	eng, err := (&core.Builder{Store: p.store, Workers: p.workers}).Build()
 	p.lastErr.Store(&refreshErr{err: err})
 	if err != nil {
@@ -534,6 +535,8 @@ func (p *Platform) compact() error {
 	p.current.Store(eng)
 	p.gen.Add(1)
 	p.compactions.Add(1)
+	mCompactions.Inc()
+	mCompactionSeconds.ObserveSince(compactStart)
 
 	p.pendMu.Lock()
 	kept := p.pending[:0]
@@ -564,6 +567,7 @@ func (p *Platform) drainDeltas() error {
 		if len(batch) == 0 {
 			return nil
 		}
+		applyStart := time.Now()
 		eng, err := b.ApplyDelta(cur, batch)
 		if err != nil {
 			p.pendMu.Lock()
@@ -577,6 +581,8 @@ func (p *Platform) drainDeltas() error {
 		p.current.Store(eng)
 		p.gen.Add(1)
 		p.deltasApplied.Add(1)
+		mDeltasApplied.Inc()
+		mDeltaApplySeconds.ObserveSince(applyStart)
 		p.lastDeltaNs.Store(int64(eng.DeltaStats().LastDeltaDur))
 		p.lastErr.Store(&refreshErr{})
 		cur = eng

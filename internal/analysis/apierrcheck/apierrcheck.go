@@ -60,14 +60,14 @@ func checkEnvelope(pass *analysis.Pass, lit *ast.CompositeLit) {
 }
 
 // checkCall validates code arguments of the two registry-sensitive
-// call shapes: writeError(w, status, code, msg) in the server, and
+// call shapes: writeError(w, r, status, code, msg) in the server, and
 // api.IsCode(err, code) anywhere.
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	switch analysis.CalleeName(call) {
 	case "writeError":
-		// writeError(w, status, code, msg): the code is the third arg.
-		if len(call.Args) >= 4 {
-			checkCodeExpr(pass, call.Args[2], "writeError")
+		// writeError(w, r, status, code, msg): the code is the fourth arg.
+		if len(call.Args) >= 5 {
+			checkCodeExpr(pass, call.Args[3], "writeError")
 		}
 	case "IsCode":
 		if fnObj(pass, call) != nil && analysis.PkgPathHasSuffix(fnObj(pass, call).Pkg(), "api") &&

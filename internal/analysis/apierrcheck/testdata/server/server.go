@@ -9,15 +9,15 @@ import "apierrtest/api"
 // dispatch on it.
 const codeTeapot = "teapot"
 
-func writeError(w any, status int, code, msg string) {}
+func writeError(w, r any, status int, code, msg string) {}
 
 func handlers(err error) {
-	writeError(nil, 404, api.CodeNotFound, "missing")  // clean: registry constant
-	writeError(nil, 500, "oops", "raw")                // want `raw string as an error code`
-	writeError(nil, 418, codeTeapot, "local constant") // want `not declared in the api`
+	writeError(nil, nil, 404, api.CodeNotFound, "missing")  // clean: registry constant
+	writeError(nil, nil, 500, "oops", "raw")                // want `raw string as an error code`
+	writeError(nil, nil, 418, codeTeapot, "local constant") // want `not declared in the api`
 
 	//lint:allow apierrcheck migration shim: legacy clients still match on this string
-	writeError(nil, 410, "gone_legacy", "legacy")
+	writeError(nil, nil, 410, "gone_legacy", "legacy")
 
 	_ = &api.Error{Code: api.CodeInternal, Message: "boom"} // clean
 	_ = &api.Error{Code: "boom", Message: "boom"}           // want `raw string as an error code`
@@ -28,5 +28,5 @@ func handlers(err error) {
 
 	// Dynamic values pass: provenance is not tracked.
 	var ae api.Error
-	writeError(nil, 500, ae.Code, ae.Message)
+	writeError(nil, nil, 500, ae.Code, ae.Message)
 }

@@ -1,0 +1,108 @@
+// Package metriccheck keeps the metric-name registry closed: the
+// metrics package declares every exposed series name as a constant
+// (metrics.HTTPRequestsTotal, ...), so the exposition surface is
+// greppable in one file and two subsystems can never register the
+// same name with different meanings. A call that registers an
+// instrument under a raw string (or a constant declared elsewhere)
+// invents a series no dashboard or alert knows about.
+//
+// The checker flags registration calls — Counter, CounterVec, Gauge,
+// GaugeVec, Histogram, HistogramVec on a metrics.Registry — whose name
+// argument is a string literal or a constant declared outside the
+// metrics package. The metrics package itself is exempt (it is the
+// registry), as are dynamic values (variables, computed names) —
+// provenance of runtime strings is out of scope.
+package metriccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hive/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metriccheck",
+	Doc:  "flag metric registrations whose name is not a constant declared in the metrics package (closed registry)",
+	Run:  run,
+}
+
+// registrations are the Registry methods whose first argument is a
+// series name.
+var registrations = map[string]bool{
+	"Counter":      true,
+	"CounterVec":   true,
+	"Gauge":        true,
+	"GaugeVec":     true,
+	"Histogram":    true,
+	"HistogramVec": true,
+}
+
+func run(pass *analysis.Pass) error {
+	// The metrics package is the registry: it declares the constants
+	// and its tests register throwaway names on throwaway registries.
+	if analysis.PkgPathHasSuffix(pass.Pkg, "metrics") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags reg.Counter("raw_name", ...) shapes: a registration
+// method on a metrics.Registry whose name argument is provably outside
+// the registry.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registrations[sel.Sel.Name] || len(call.Args) == 0 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !analysis.IsNamed(tv.Type, "metrics", "Registry") {
+		return
+	}
+	checkNameExpr(pass, call.Args[0], sel.Sel.Name)
+}
+
+// checkNameExpr flags expr when it is provably outside the registry: a
+// raw string literal, or a named constant not declared in the metrics
+// package.
+func checkNameExpr(pass *analysis.Pass, expr ast.Expr, site string) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.BasicLit:
+		if e.Kind == token.STRING {
+			pass.Reportf(e.Pos(),
+				"%s registers a raw-string metric name: declare it as a constant in the metrics package (closed registry)", site)
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		obj := identObj(pass, e)
+		c, ok := obj.(*types.Const)
+		if !ok {
+			return // dynamic value: provenance not tracked
+		}
+		if c.Pkg() != nil && analysis.PkgPathHasSuffix(c.Pkg(), "metrics") {
+			return
+		}
+		pass.Reportf(expr.Pos(),
+			"%s registers metric name via constant %s, which is not declared in the metrics package registry", site, c.Name())
+	}
+}
+
+func identObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[v]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[v.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package metriccheck_test
+
+import (
+	"testing"
+
+	"hive/internal/analysis/analysistest"
+	"hive/internal/analysis/metriccheck"
+)
+
+func TestMetricCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", metriccheck.Analyzer)
+}

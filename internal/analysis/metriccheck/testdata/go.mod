@@ -1,0 +1,3 @@
+module metrictest
+
+go 1.23

@@ -1,0 +1,31 @@
+// Package server exercises the closed-registry rule at metric
+// registration sites.
+package server
+
+import "metrictest/internal/metrics"
+
+// localName is declared outside the metrics registry: the exposition
+// surface stops being greppable in one file.
+const localName = "server_requests_total"
+
+type notRegistry struct{}
+
+func (notRegistry) Counter(name, help string) int { return 0 }
+
+func register() {
+	_ = metrics.Default.Counter(metrics.HTTPRequestsTotal, "clean: registry constant")
+	_ = metrics.Default.Histogram(metrics.SearchSeconds, "clean too", nil)
+	_ = metrics.Default.Counter("hive_adhoc_total", "raw")           // want `raw-string metric name`
+	_ = metrics.Default.Gauge(localName, "local constant")           // want `not declared in the metrics package`
+	_ = metrics.Default.CounterVec("hive_vec_total", "raw", "route") // want `raw-string metric name`
+
+	//lint:allow metriccheck migration shim: dashboard still scrapes the legacy name
+	_ = metrics.Default.Counter("legacy_total", "allowed")
+
+	// Dynamic values pass: provenance is not tracked.
+	name := "hive_dynamic_total"
+	_ = metrics.Default.Counter(name, "dynamic")
+
+	// Same method name on an unrelated receiver is not a registration.
+	_ = notRegistry{}.Counter("whatever", "not a registry")
+}

@@ -33,6 +33,18 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"hive/internal/metrics"
+)
+
+// Lease churn counters on the process-wide registry: a healthy cluster
+// shows renewals climbing steadily and acquisitions near-flat; climbing
+// acquisitions mean leadership is thrashing.
+var (
+	mLeaseAcquisitions = metrics.Default.Counter(metrics.LeaseAcquisitionsTotal,
+		"Lease claims that survived the settle window (leadership acquisitions).")
+	mLeaseRenewals = metrics.Default.Counter(metrics.LeaseRenewalsTotal,
+		"Successful renewals of an already-held lease.")
 )
 
 // DefaultLeaseTTL is the lease validity used when LeaseConfig.TTL is
@@ -178,7 +190,9 @@ func (f *FileLease) step() (State, bool) {
 		}
 		// Our lease: renew. A failed renewal write is caught next tick —
 		// until then the old expiry still covers us.
-		_ = f.writeLease(leaseRecord{Holder: f.cfg.Self, Epoch: rec.Epoch, Expires: now.Add(f.cfg.TTL).UnixNano()})
+		if f.writeLease(leaseRecord{Holder: f.cfg.Self, Epoch: rec.Epoch, Expires: now.Add(f.cfg.TTL).UnixNano()}) == nil {
+			mLeaseRenewals.Inc()
+		}
 		return State{Role: Leader, Epoch: rec.Epoch, Leader: f.cfg.Self}, true
 	case f.validAt(rec, now):
 		return State{Role: Follower, Epoch: rec.Epoch, Leader: rec.Holder}, true
@@ -221,6 +235,7 @@ func (f *FileLease) step() (State, bool) {
 	}
 	got := f.readLease()
 	if got.Holder == f.cfg.Self && got.Epoch == epoch {
+		mLeaseAcquisitions.Inc()
 		return State{Role: Leader, Epoch: epoch, Leader: f.cfg.Self}, true
 	}
 	if f.validAt(got, time.Now()) {

@@ -45,7 +45,15 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hive/internal/metrics"
 )
+
+// mAppendSeconds times the full durable append — framing, write and
+// flush — on the process-wide registry.
+var mAppendSeconds = metrics.Default.Histogram(metrics.JournalAppendSeconds,
+	"Latency of one durable journal append (write + flush).", nil)
 
 // ErrCompacted is returned by ReadFrom when the requested sequence lies
 // before the retention horizon: the events were dropped with their
@@ -332,6 +340,7 @@ func (j *Journal) Append(rec Record) error {
 	if rec.Last < rec.First || rec.First == 0 {
 		return fmt.Errorf("journal: invalid record range [%d,%d]", rec.First, rec.Last)
 	}
+	defer mAppendSeconds.ObserveSince(time.Now())
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {

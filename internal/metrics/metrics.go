@@ -1,0 +1,384 @@
+// Package metrics is the platform's stdlib-only instrumentation layer:
+// counters, gauges and fixed-bucket latency histograms with lock-free
+// sync/atomic hot paths, grouped into a process-wide Registry and
+// exposed in the Prometheus text format at GET /metrics.
+//
+// Design constraints, in order:
+//
+//   - The hot path must cost atomic ops only. Counter.Inc is one
+//     atomic add; Histogram.Observe is one bucket add, one count add
+//     and one CAS-loop float add for the sum — no locks, no maps, no
+//     allocation. Label resolution (Vec.With) does take a read lock,
+//     so call sites on hot paths resolve their child once and keep it.
+//   - Registration is idempotent: asking for an existing family
+//     returns it, so package-level instruments in different packages
+//     (journal, election, the platform) can all bind the same Default
+//     registry without coordination. Redeclaring a name with a
+//     different type or label set panics — that is a programming
+//     error, not a runtime condition.
+//   - Exposition is deterministic: families sort by name, children by
+//     label values, so scrapes diff cleanly and the format has a
+//     golden test.
+//
+// Metric names are constants in this package (names.go); hivelint's
+// metriccheck analyzer rejects raw-string registrations anywhere else,
+// keeping the name registry closed the same way apierrcheck closes the
+// error-code registry.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets is the default latency histogram layout, in seconds:
+// 10µs–2.5s covers everything from a frozen-index search (~10µs) to a
+// long compaction, with roughly 2.5x steps.
+var DefBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5,
+}
+
+// Default is the process-wide registry: the server exposes it at
+// /metrics, and package-level instruments across the platform bind to
+// it at init.
+var Default = New()
+
+// Registry is a set of named metric families.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// New returns an empty registry. Most code uses Default; tests that
+// assert on exposition output build their own.
+func New() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// family is one named metric with a fixed type, help string and label
+// schema; children are the per-label-value instruments.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string
+	bounds []float64 // histograms only
+
+	mu       sync.RWMutex
+	children map[string]any // label-values key -> *Counter/*Gauge/*Histogram
+}
+
+// labelKey joins label values into the child map key. 0x1f (ASCII unit
+// separator) cannot appear in sane label values and keeps distinct
+// tuples distinct.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+func (r *Registry) family(name, help, typ string, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s(%d labels), was %s(%d labels)",
+				name, typ, len(labels), f.typ, len(f.labels)))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("metrics: %s re-registered with label %q, was %q", name, labels[i], f.labels[i]))
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels, bounds: bounds,
+		children: map[string]any{}}
+	r.fams[name] = f
+	return f
+}
+
+// child returns the instrument for the given label values, creating it
+// with mk on first use.
+func (f *family) child(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c = mk()
+	f.children[key] = c
+	return c
+}
+
+// --- Counter ------------------------------------------------------------------
+
+// Counter is a monotonically increasing value. All methods are safe
+// for concurrent use and lock-free.
+type Counter struct {
+	v  atomic.Uint64
+	lv []string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Store overwrites the value — for scrape-time mirrors of counters the
+// platform already maintains elsewhere (atomics on the Platform
+// struct). Not for hot-path use.
+func (c *Counter) Store(n uint64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use. Hot paths should resolve once and keep the *Counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(values, func() any { return &Counter{lv: values} }).(*Counter)
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, typeCounter, labels, nil)}
+}
+
+// --- Gauge --------------------------------------------------------------------
+
+// Gauge is a value that can go up and down, stored as float64 bits.
+type Gauge struct {
+	bits atomic.Uint64
+	lv   []string
+}
+
+// Set overwrites the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by d (CAS loop; lock-free).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() any { return &Gauge{lv: values} }).(*Gauge)
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeVec(name, help).With()
+}
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, typeGauge, labels, nil)}
+}
+
+// --- Histogram ----------------------------------------------------------------
+
+// Histogram counts observations into fixed cumulative buckets. Observe
+// is lock-free: one atomic add into the bucket, one into the count,
+// and a CAS loop folding the observation into the float sum.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+	lv     []string
+}
+
+// Observe records one observation (in the histogram's native unit —
+// seconds for every latency histogram in this repo).
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns how many observations were recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.child(values, func() any {
+		return &Histogram{bounds: v.f.bounds, counts: make([]atomic.Uint64, len(v.f.bounds)+1), lv: values}
+	}).(*Histogram)
+}
+
+// Histogram registers (or returns) an unlabeled histogram with the
+// given bucket upper bounds (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.HistogramVec(name, help, bounds).With()
+}
+
+// HistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	return &HistogramVec{r.family(name, help, typeHistogram, labels, bounds)}
+}
+
+// --- Exposition ---------------------------------------------------------------
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4): `# HELP`/`# TYPE` headers, one sample line
+// per child, histograms as cumulative `_bucket{le=...}` series plus
+// `_sum` and `_count`. Output is deterministic: families sort by name,
+// children by label values.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) write(b *strings.Builder) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	kids := make([]any, len(keys))
+	sort.Strings(keys)
+	for i, k := range keys {
+		kids[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+	if len(kids) == 0 {
+		return // a Vec nobody resolved yet: no samples, no headers
+	}
+
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	for _, c := range kids {
+		switch m := c.(type) {
+		case *Counter:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, renderLabels(f.labels, m.lv, "", ""), m.Value())
+		case *Gauge:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, renderLabels(f.labels, m.lv, "", ""), formatFloat(m.Value()))
+		case *Histogram:
+			cum := uint64(0)
+			for i, bound := range m.bounds {
+				cum += m.counts[i].Load()
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+					renderLabels(f.labels, m.lv, "le", formatFloat(bound)), cum)
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, renderLabels(f.labels, m.lv, "le", "+Inf"), cum)
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, renderLabels(f.labels, m.lv, "", ""), formatFloat(m.Sum()))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, renderLabels(f.labels, m.lv, "", ""), m.count.Load())
+		}
+	}
+}
+
+// renderLabels renders {k1="v1",...} with an optional extra pair
+// (histogram le), or "" when there are no labels at all.
+func renderLabels(keys, values []string, extraKey, extraVal string) string {
+	if len(keys) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }

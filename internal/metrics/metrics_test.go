@@ -1,0 +1,261 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent proves the lock-free counter loses nothing
+// under contention: N writers × M increments land exactly N*M. Run
+// under -race this also proves the hot path is data-race-free.
+func TestCounterConcurrent(t *testing.T) {
+	r := New()
+	c := r.Counter("test_total", "concurrent counter")
+	const writers, perWriter = 16, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), uint64(writers*perWriter); got != want {
+		t.Fatalf("counter lost increments under contention: got %d, want %d", got, want)
+	}
+}
+
+// TestHistogramConcurrent proves observations are never lost and the
+// cumulative bucket layout stays exact under contention: every count
+// is conserved and the sum matches the arithmetic total.
+func TestHistogramConcurrent(t *testing.T) {
+	r := New()
+	h := r.Histogram("test_seconds", "concurrent histogram", []float64{0.001, 0.01, 0.1})
+	const writers, perWriter = 16, 2000
+	// Each writer observes a fixed cycle of values, one per bucket plus
+	// one overflow, so the per-bucket totals are exactly predictable.
+	vals := []float64{0.0005, 0.005, 0.05, 0.5}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(vals[i%len(vals)])
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := uint64(writers * perWriter)
+	if got := h.Count(); got != total {
+		t.Fatalf("histogram lost observations: got %d, want %d", got, total)
+	}
+	perBucket := total / uint64(len(vals))
+	for i := range vals {
+		if got := h.counts[i].Load(); got != perBucket {
+			t.Errorf("bucket %d: got %d, want %d", i, got, perBucket)
+		}
+	}
+	wantSum := 0.0
+	for _, v := range vals {
+		wantSum += v * float64(perBucket)
+	}
+	if got := h.Sum(); got < wantSum*0.999999 || got > wantSum*1.000001 {
+		t.Errorf("sum drifted: got %g, want %g", got, wantSum)
+	}
+}
+
+// TestGaugeAddConcurrent proves the CAS-loop float add conserves every
+// delta.
+func TestGaugeAddConcurrent(t *testing.T) {
+	r := New()
+	g := r.Gauge("test_gauge", "concurrent gauge")
+	const writers, perWriter = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				g.Add(1)
+			}
+			for i := 0; i < perWriter/2; i++ {
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(writers*perWriter/2); got != want {
+		t.Fatalf("gauge delta lost: got %g, want %g", got, want)
+	}
+}
+
+// TestRegistrationIdempotent pins the coordination-free registration
+// contract: same name returns the same instrument; a conflicting
+// redeclaration panics.
+func TestRegistrationIdempotent(t *testing.T) {
+	r := New()
+	a := r.Counter("idem_total", "first")
+	b := r.Counter("idem_total", "second help is ignored")
+	if a != b {
+		t.Fatal("re-registering the same counter returned a different instrument")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatal("instruments from idempotent registration do not share state")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("idem_total", "type clash")
+}
+
+// TestWriteTextGolden pins the exposition format byte-for-byte:
+// HELP/TYPE headers, deterministic family and child ordering,
+// cumulative histogram buckets with +Inf, _sum and _count.
+func TestWriteTextGolden(t *testing.T) {
+	r := New()
+	reqs := r.CounterVec("app_requests_total", "Requests served.", "route", "class")
+	reqs.With("/search", "2xx").Add(42)
+	reqs.With("/feed", "5xx").Inc()
+	r.Gauge("app_pending", "Pending events.").Set(7)
+	h := r.Histogram("app_seconds", "Request latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_pending Pending events.
+# TYPE app_pending gauge
+app_pending 7
+# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{route="/feed",class="5xx"} 1
+app_requests_total{route="/search",class="2xx"} 42
+# HELP app_seconds Request latency.
+# TYPE app_seconds histogram
+app_seconds_bucket{le="0.01"} 2
+app_seconds_bucket{le="0.1"} 3
+app_seconds_bucket{le="+Inf"} 4
+app_seconds_sum 3.06
+app_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteTextEscaping pins label and help escaping.
+func TestWriteTextEscaping(t *testing.T) {
+	r := New()
+	r.CounterVec("esc_total", "line1\nline2 with \\ backslash", "q").With(`say "hi"\`).Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP esc_total line1\nline2 with \\ backslash
+# TYPE esc_total counter
+esc_total{q="say \"hi\"\\"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("escaping mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestVecUnresolvedOmitted: a family nobody resolved a child of emits
+// no headers (no sample, no noise).
+func TestVecUnresolvedOmitted(t *testing.T) {
+	r := New()
+	r.CounterVec("unused_total", "never resolved", "route")
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("unresolved vec leaked output: %q", b.String())
+	}
+}
+
+// --- Tracing ------------------------------------------------------------------
+
+// TestTraceNilSafe: every method on a nil *Trace is a no-op, so
+// untraced code paths never check.
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Fatal("nil trace has an ID")
+	}
+	tr.SetShard(3)
+	tr.AddStage("x", time.Millisecond)
+	tr.StartStage("y")()
+	if got := tr.Shard(); got != -1 {
+		t.Fatalf("nil trace shard = %d, want -1", got)
+	}
+	if v := tr.Finish("/r", 200); v.ID != "" {
+		t.Fatal("nil trace finished into a recordable view")
+	}
+}
+
+// TestTraceStagesConcurrent: scatter-gather goroutines append stages in
+// parallel; all must survive into the finished view.
+func TestTraceStagesConcurrent(t *testing.T) {
+	tr := NewTrace(NewTraceID(), "GET")
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.AddStage("shard", time.Microsecond)
+		}()
+	}
+	wg.Wait()
+	v := tr.Finish("/api/v1/search", 200)
+	if len(v.Stages) != n {
+		t.Fatalf("lost stages: got %d, want %d", len(v.Stages), n)
+	}
+	if v.Shard != -1 || v.Route != "/api/v1/search" || v.Status != 200 {
+		t.Fatalf("finished view wrong: %+v", v)
+	}
+}
+
+// TestRecorderRingAndSlowest: the ring caps retention and Slowest
+// orders by duration.
+func TestRecorderRingAndSlowest(t *testing.T) {
+	rec := NewRecorder(4)
+	for i := 1; i <= 6; i++ {
+		rec.Record(TraceView{ID: NewTraceID(), DurationUS: float64(i)})
+	}
+	got := rec.Slowest(0)
+	if len(got) != 4 {
+		t.Fatalf("ring retained %d, want 4", len(got))
+	}
+	// 1 and 2 were evicted; the survivors come back slowest-first.
+	want := []float64{6, 5, 4, 3}
+	for i, v := range got {
+		if v.DurationUS != want[i] {
+			t.Fatalf("slowest order: got %v at %d, want %v", v.DurationUS, i, want[i])
+		}
+	}
+	if n := len(rec.Slowest(2)); n != 2 {
+		t.Fatalf("Slowest(2) returned %d", n)
+	}
+	// ID-less views (nil-trace finishes) are dropped, not recorded.
+	rec.Record(TraceView{})
+	if n := len(rec.Slowest(0)); n != 4 {
+		t.Fatalf("empty view was recorded (%d retained)", n)
+	}
+}

@@ -1,0 +1,80 @@
+package metrics
+
+// The closed registry of metric names. Every registration site outside
+// this package must use one of these constants — hivelint's metriccheck
+// analyzer flags raw-string names, so the full metric surface is
+// greppable here and documented in API.md's Observability section.
+const (
+	// HTTP surface (internal/server middleware).
+
+	// HTTPRequestsTotal counts requests by route pattern, method and
+	// status class ("2xx".."5xx").
+	HTTPRequestsTotal = "hive_http_requests_total"
+	// HTTPRequestSeconds is the per-route request latency histogram.
+	HTTPRequestSeconds = "hive_http_request_seconds"
+
+	// Delta pipeline and snapshot maintenance (hive.Platform).
+
+	// DeltaApplySeconds times one drained delta batch folding into the
+	// serving snapshot.
+	DeltaApplySeconds = "hive_delta_apply_seconds"
+	// CompactionSeconds times one full snapshot rebuild (compaction).
+	CompactionSeconds = "hive_compaction_seconds"
+	// DeltasAppliedTotal counts delta batches folded since start.
+	DeltasAppliedTotal = "hive_deltas_applied_total"
+	// CompactionsTotal counts snapshot compactions since start.
+	CompactionsTotal = "hive_compactions_total"
+	// SearchSeconds times platform-level search calls (the frozen read
+	// path; BenchmarkInstrumentedSearch guards its overhead).
+	SearchSeconds = "hive_search_seconds"
+
+	// Durability and replication.
+
+	// JournalAppendSeconds times one journal record append (encode +
+	// buffered write + flush, under the journal lock).
+	JournalAppendSeconds = "hive_journal_append_seconds"
+	// ReplicationPollSeconds times one follower long-poll round trip
+	// against the leader's events feed.
+	ReplicationPollSeconds = "hive_replication_poll_seconds"
+	// QuorumAckWaitSeconds times how long a quorum-acknowledged write
+	// waited for its k-th follower ack (quorum mode only).
+	QuorumAckWaitSeconds = "hive_quorum_ack_wait_seconds"
+
+	// Elections (hive.Platform + internal/election).
+
+	// ElectionPromotionsTotal counts follower->leader transitions.
+	ElectionPromotionsTotal = "hive_election_promotions_total"
+	// ElectionDemotionsTotal counts leader->follower transitions.
+	ElectionDemotionsTotal = "hive_election_demotions_total"
+	// ElectionDeferralsTotal counts caught-up-gate promotion deferrals
+	// (an election winner yielding to a peer with more history).
+	ElectionDeferralsTotal = "hive_election_deferrals_total"
+	// LeaseAcquisitionsTotal counts file-lease claims that survived the
+	// settle window (new leadership terms minted by this node).
+	LeaseAcquisitionsTotal = "hive_election_lease_acquisitions_total"
+	// LeaseRenewalsTotal counts lease renewals while leading.
+	LeaseRenewalsTotal = "hive_election_lease_renewals_total"
+
+	// Sharded scatter-gather read path.
+
+	// ScatterFanoutSeconds times one whole scatter-gather fan-out,
+	// labeled by op ("search", "feed").
+	ScatterFanoutSeconds = "hive_scatter_fanout_seconds"
+
+	// Scrape-time state gauges (collected from platform accessors by
+	// the /metrics handler; per-shard where labeled).
+
+	// PendingEvents is the per-shard count of change events not yet
+	// folded into the serving snapshot.
+	PendingEvents = "hive_pending_events"
+	// OverlayDocs is the per-shard delta-overlay document count
+	// (compaction pressure).
+	OverlayDocs = "hive_overlay_docs"
+	// ShardDocs is the per-shard frozen-corpus document count.
+	ShardDocs = "hive_shard_docs"
+	// CommitIndex is the per-shard quorum-durable commit watermark.
+	CommitIndex = "hive_commit_index"
+	// ReplicationLagEvents is a follower's journal distance behind its
+	// leader (0 on leaders).
+	ReplicationLagEvents = "hive_replication_lag_events"
+)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"hive/api"
+	"hive/internal/metrics"
 )
 
 // Middleware wraps a handler. The server composes its stack with Chain;
@@ -84,7 +85,8 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 }
 
 // AccessLog writes one line per request: method, path, status, bytes,
-// duration and request ID.
+// duration, request ID, end-to-end trace ID and the resolved shard
+// (-1 when no shard applies — unsharded deployments, scatter reads).
 func AccessLog(l *log.Logger) Middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -95,10 +97,75 @@ func AccessLog(l *log.Logger) Middleware {
 			if status == 0 {
 				status = http.StatusOK
 			}
-			l.Printf("%s %s %d %dB %v rid=%s",
+			tr := metrics.TraceFrom(r.Context())
+			trace := tr.ID()
+			if trace == "" {
+				trace = "-"
+			}
+			l.Printf("%s %s %d %dB %v rid=%s trace=%s shard=%d",
 				r.Method, r.URL.RequestURI(), status, sw.bytes,
-				time.Since(start).Round(time.Microsecond), requestIDFrom(r.Context()))
+				time.Since(start).Round(time.Microsecond), requestIDFrom(r.Context()),
+				trace, tr.Shard())
 		})
+	}
+}
+
+// Observe is the instrumentation middleware: it adopts (or mints) the
+// request's X-Hive-Trace-Id, echoes it on the response, carries a
+// mutable trace through the context for handlers to annotate (resolved
+// shard, scatter stage timings), and on completion records the
+// per-route request counter, the status class, the latency histogram
+// and the finished trace. routeOf maps a request to its bounded-
+// cardinality route label (the mux pattern — never the raw URL, which
+// would mint a label per user ID).
+func Observe(reg *metrics.Registry, rec *metrics.Recorder, routeOf func(*http.Request) string) Middleware {
+	reqs := reg.CounterVec(metrics.HTTPRequestsTotal,
+		"HTTP requests by route pattern, method and status class.",
+		"route", "method", "class")
+	lat := reg.HistogramVec(metrics.HTTPRequestSeconds,
+		"HTTP request latency in seconds by route pattern.",
+		nil, "route")
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get(api.TraceHeader)
+			if id == "" {
+				id = metrics.NewTraceID()
+			}
+			w.Header().Set(api.TraceHeader, id)
+			tr := metrics.NewTrace(id, r.Method)
+			r = r.WithContext(metrics.ContextWithTrace(r.Context(), tr))
+			sw := &statusWriter{ResponseWriter: w}
+			start := time.Now()
+			next.ServeHTTP(sw, r)
+			dur := time.Since(start)
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			route := routeOf(r)
+			if route == "" {
+				route = "unmatched"
+			}
+			reqs.With(route, r.Method, statusClass(status)).Inc()
+			lat.With(route).ObserveDuration(dur)
+			rec.Record(tr.Finish(route, status))
+		})
+	}
+}
+
+// statusClass buckets an HTTP status into its class label ("2xx"...).
+func statusClass(status int) string {
+	switch status / 100 {
+	case 1:
+		return "1xx"
+	case 2:
+		return "2xx"
+	case 3:
+		return "3xx"
+	case 4:
+		return "4xx"
+	default:
+		return "5xx"
 	}
 }
 
@@ -120,7 +187,7 @@ func Recover(l *log.Logger) Middleware {
 					l.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
 				}
 				if sw.status == 0 {
-					writeError(sw, http.StatusInternalServerError, api.CodeInternal, "internal error")
+					writeError(sw, r, http.StatusInternalServerError, api.CodeInternal, "internal error")
 				}
 			}()
 			next.ServeHTTP(sw, r)
@@ -152,7 +219,7 @@ func MaxInFlight(n int) Middleware {
 				defer func() { <-sem }()
 				next.ServeHTTP(w, r)
 			default:
-				writeError(w, http.StatusServiceUnavailable, api.CodeOverloaded,
+				writeError(w, r, http.StatusServiceUnavailable, api.CodeOverloaded,
 					"too many in-flight requests")
 			}
 		})
@@ -169,7 +236,7 @@ func RateLimit(qps float64, burst int) Middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			if !tb.allow(time.Now()) {
-				writeError(w, http.StatusTooManyRequests, api.CodeRateLimited, "request rate limit exceeded")
+				writeError(w, r, http.StatusTooManyRequests, api.CodeRateLimited, "request rate limit exceeded")
 				return
 			}
 			next.ServeHTTP(w, r)

@@ -33,6 +33,7 @@ import (
 	"hive/api"
 	"hive/internal/core"
 	"hive/internal/journal"
+	"hive/internal/metrics"
 	"hive/internal/social"
 	"hive/internal/textindex"
 )
@@ -49,6 +50,14 @@ const (
 	maxK      = api.MaxPageSize
 	maxBudget = 100
 )
+
+// mSearchSeconds is the same instrument hive.Platform registers for
+// its library-level search calls (registration is idempotent): the
+// unsharded HTTP handler reads the engine directly, so it observes
+// here to keep the series moving over the wire path too. The sharded
+// fan-out reports through hive_scatter_fanout_seconds instead.
+var mSearchSeconds = metrics.Default.Histogram(metrics.SearchSeconds,
+	"Latency of one platform-level search over the frozen read path.", nil)
 
 // Config tunes the middleware stack. The zero value disables the
 // operational limits (no timeout, no in-flight cap, no rate limit, no
@@ -69,6 +78,10 @@ type Config struct {
 	ErrorLog *log.Logger
 	// DisableGzip turns off response compression.
 	DisableGzip bool
+	// DisableMetrics turns off the instrumentation layer: no /metrics
+	// exposition, no per-route counters/histograms, no trace recording
+	// (inbound X-Hive-Trace-Id headers pass through unused).
+	DisableMetrics bool
 }
 
 // Server routes HTTP requests to a Platform, or — when built with
@@ -79,6 +92,10 @@ type Server struct {
 	sh  *hive.Sharded // nil on unsharded servers
 	mux *http.ServeMux
 	h   http.Handler // mux wrapped in the middleware chain
+
+	// traces is the bounded ring behind GET /api/v1/debug/traces; nil
+	// when Config.DisableMetrics.
+	traces *metrics.Recorder
 
 	lastReval atomic.Int64 // unix nanos of the last read-triggered refresh kick
 }
@@ -101,15 +118,23 @@ func NewSharded(sh *hive.Sharded, cfg Config) *Server {
 
 func newServer(p *hive.Platform, sh *hive.Sharded, cfg Config) *Server {
 	s := &Server{p: p, sh: sh, mux: http.NewServeMux()}
+	if !cfg.DisableMetrics {
+		s.traces = metrics.NewRecorder(metrics.DefaultTraceCapacity)
+	}
 	s.routes()
 
 	errLog := cfg.ErrorLog
 	if errLog == nil {
 		errLog = log.Default()
 	}
-	// Outermost first: tag, log, catch panics, then enforce budget and
-	// load limits, compressing innermost so limit rejections stay cheap.
+	// Outermost first: tag, observe, log, catch panics, then enforce
+	// budget and load limits, compressing innermost so limit rejections
+	// stay cheap. Observe sits outside the access log so the log line
+	// (and every error envelope below it) sees the request's trace.
 	mws := []Middleware{RequestID}
+	if !cfg.DisableMetrics {
+		mws = append(mws, Observe(metrics.Default, s.traces, s.routePattern))
+	}
 	if cfg.AccessLog != nil {
 		mws = append(mws, AccessLog(cfg.AccessLog))
 	}
@@ -120,22 +145,37 @@ func newServer(p *hive.Platform, sh *hive.Sharded, cfg Config) *Server {
 	// Replication traffic is exempt from the load limits: the events
 	// feed parks by design (each connected follower would permanently
 	// burn one in-flight slot), and a rate-limited or shed poll
-	// inflates replication lag exactly when the leader is busiest.
+	// inflates replication lag exactly when the leader is busiest. The
+	// metrics scrape is exempt for the same reason inverted: shedding
+	// the scrape blinds the operator exactly when the server is busiest.
 	if cfg.MaxInFlight > 0 {
-		mws = append(mws, exceptPaths(MaxInFlight(cfg.MaxInFlight), replicationPath))
+		mws = append(mws, exceptPaths(MaxInFlight(cfg.MaxInFlight), capExempt))
 	}
 	if cfg.QPS > 0 {
 		burst := cfg.Burst
 		if burst <= 0 {
 			burst = int(cfg.QPS)
 		}
-		mws = append(mws, exceptPaths(RateLimit(cfg.QPS, burst), replicationPath))
+		mws = append(mws, exceptPaths(RateLimit(cfg.QPS, burst), capExempt))
 	}
 	if !cfg.DisableGzip {
 		mws = append(mws, Gzip)
 	}
 	s.h = Chain(s.mux, mws...)
 	return s
+}
+
+// routePattern resolves a request's matched mux pattern for the route
+// metric label (a second mux lookup — the middleware runs outside the
+// mux, so the pattern the mux stamps on its own request copy is not
+// visible here). The method prefix is stripped: the method is its own
+// label.
+func (s *Server) routePattern(r *http.Request) string {
+	_, pattern := s.mux.Handler(r)
+	if _, route, ok := strings.Cut(pattern, " "); ok {
+		return route
+	}
+	return pattern
 }
 
 // ServeHTTP implements http.Handler.
@@ -165,6 +205,13 @@ func replicationPath(path string) bool {
 		return true
 	}
 	return false
+}
+
+// capExempt marks paths exempt from the in-flight and QPS caps: the
+// replication endpoints plus the metrics scrape — load shedding must
+// never hide the load from the telemetry that reports it.
+func capExempt(path string) bool {
+	return replicationPath(path) || path == "/metrics"
 }
 
 // exceptPaths applies mw to all requests except those whose path the
@@ -289,6 +336,15 @@ func (s *Server) routes() {
 	m.HandleFunc("GET /api/v1/replication/snapshot", s.getReplicationSnapshot)
 	m.HandleFunc("GET /api/v1/cluster", s.getCluster)
 
+	// --- Observability -----------------------------------------------------
+	// Prometheus text exposition and the slow-trace ring. Absent (404)
+	// when Config.DisableMetrics; /metrics is exempt from the QPS and
+	// in-flight caps (capExempt) so shedding never blinds the operator.
+	if s.traces != nil {
+		m.HandleFunc("GET /metrics", s.getMetrics)
+		m.HandleFunc("GET /api/v1/debug/traces", s.getTraces)
+	}
+
 	// --- /api/v1: reads ----------------------------------------------------
 	m.HandleFunc("GET /api/v1/healthz", s.getHealthz)
 	m.HandleFunc("GET /api/v1/users/{id}", s.getUser)
@@ -383,11 +439,11 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) bool
 	if err := json.NewDecoder(body).Decode(v); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			writeError(w, http.StatusRequestEntityTooLarge, api.CodePayloadTooLarge,
+			writeError(w, r, http.StatusRequestEntityTooLarge, api.CodePayloadTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
 			return false
 		}
-		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad json: "+err.Error())
+		writeError(w, r, http.StatusBadRequest, api.CodeBadRequest, "bad json: "+err.Error())
 		return false
 	}
 	return true
@@ -402,7 +458,7 @@ func create[T any](fn func(T) error) http.HandlerFunc {
 			return
 		}
 		if err := fn(v); err != nil {
-			writeErr(w, err)
+			writeErr(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, api.CreatedResponse{Status: "created"})
@@ -419,11 +475,11 @@ func createOwned[T any](s *Server, ownerOf func(T) string, fn func(T) error) htt
 			return
 		}
 		if err := s.checkShard(r, ownerOf(v)); err != nil {
-			writeErr(w, err)
+			writeErr(w, r, err)
 			return
 		}
 		if err := fn(v); err != nil {
-			writeErr(w, err)
+			writeErr(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, api.CreatedResponse{Status: "created"})
@@ -439,6 +495,11 @@ func (s *Server) checkShard(r *http.Request, owner string) error {
 	if s.sh == nil || owner == "" {
 		return nil
 	}
+	want := s.sh.ShardOf(owner)
+	// The resolved shard is part of the request's trace identity — the
+	// access log and debug/traces report where the write actually went,
+	// header or no header.
+	metrics.TraceFrom(r.Context()).SetShard(want)
 	h := r.Header.Get(api.ShardHeader)
 	if h == "" {
 		return nil
@@ -447,7 +508,6 @@ func (s *Server) checkShard(r *http.Request, owner string) error {
 	if err != nil {
 		return fmt.Errorf("%w: bad %s header: %v", social.ErrInvalid, api.ShardHeader, err)
 	}
-	want := s.sh.ShardOf(owner)
 	if declared == want {
 		return nil
 	}
@@ -477,12 +537,12 @@ func page[T any](fetch fetcher[T]) http.HandlerFunc {
 		limit := intParam(r, "limit", api.DefaultPageSize, 1, api.MaxPageSize)
 		offset, err := api.DecodeCursor(r.URL.Query().Get("cursor"))
 		if err != nil {
-			writeErr(w, err)
+			writeErr(w, r, err)
 			return
 		}
 		items, err := fetch(r, offset+limit+1)
 		if err != nil {
-			writeErr(w, err)
+			writeErr(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, api.Paginate(items, offset, limit))
@@ -497,7 +557,7 @@ func legacyList[T any](fetch fetcher[T], param string, def int) http.HandlerFunc
 		n := intParam(r, param, def, 1, api.MaxPageSize)
 		items, err := fetch(r, n)
 		if err != nil {
-			writeErr(w, err)
+			writeErr(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, api.Paginate(items, 0, n).Items)
@@ -599,16 +659,16 @@ const (
 func (s *Server) getReplicationEvents(w http.ResponseWriter, r *http.Request) {
 	from, err := uintParam(r, "from")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument, "bad from: "+err.Error())
+		writeError(w, r, http.StatusBadRequest, api.CodeInvalidArgument, "bad from: "+err.Error())
 		return
 	}
 	reqEpoch, err := uintParam(r, "epoch")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, api.CodeInvalidArgument, "bad epoch: "+err.Error())
+		writeError(w, r, http.StatusBadRequest, api.CodeInvalidArgument, "bad epoch: "+err.Error())
 		return
 	}
 	if cur := s.p.Epoch(); reqEpoch > cur {
-		writeErr(w, &hive.StaleEpochError{Requested: reqEpoch, Current: cur})
+		writeErr(w, r, &hive.StaleEpochError{Requested: reqEpoch, Current: cur})
 		return
 	}
 	// ?self=URL&applied=SEQ&commit=SEQ piggybacks a follower progress
@@ -622,12 +682,12 @@ func (s *Server) getReplicationEvents(w http.ResponseWriter, r *http.Request) {
 	if self := r.URL.Query().Get("self"); self != "" {
 		applied, aerr := uintParam(r, "applied")
 		if aerr != nil {
-			writeError(w, http.StatusBadRequest, api.CodeInvalidArgument, "bad applied: "+aerr.Error())
+			writeError(w, r, http.StatusBadRequest, api.CodeInvalidArgument, "bad applied: "+aerr.Error())
 			return
 		}
 		commit, cerr := uintParam(r, "commit")
 		if cerr != nil {
-			writeError(w, http.StatusBadRequest, api.CodeInvalidArgument, "bad commit: "+cerr.Error())
+			writeError(w, r, http.StatusBadRequest, api.CodeInvalidArgument, "bad commit: "+cerr.Error())
 			return
 		}
 		pollerCommit = commit
@@ -637,7 +697,7 @@ func (s *Server) getReplicationEvents(w http.ResponseWriter, r *http.Request) {
 	waitMS := intParam(r, "wait_ms", 0, 0, int(maxReplWait.Milliseconds()))
 	batches, tail, err := s.p.ReplicationFeed(r.Context(), from, max, time.Duration(waitMS)*time.Millisecond, pollerCommit)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, api.ReplicationEvents{
@@ -654,7 +714,7 @@ func (s *Server) getReplicationEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) getReplicationSnapshot(w http.ResponseWriter, r *http.Request) {
 	seq, entries, err := s.p.ReplicationSnapshot()
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	out := api.ReplicationSnapshot{Seq: seq, Epoch: s.p.Epoch(), Entries: make([]api.KVEntry, 0, len(entries))}
@@ -669,10 +729,20 @@ func (s *Server) getReplicationSnapshot(w http.ResponseWriter, r *http.Request) 
 // clients use to re-resolve the leader during failover.
 const peerProbeTimeout = 750 * time.Millisecond
 
-// peerProbeClient dials peers for cluster status. Separate from the
-// default client so probe connection state never mingles with the
-// server's other outbound traffic.
-var peerProbeClient = &http.Client{Timeout: peerProbeTimeout}
+// peerProbeClient dials peers for cluster status: one shared client
+// over its own pooled transport, so repeated probes of the same peers
+// reuse kept-alive connections instead of paying a dial per probe, and
+// probe connection state never mingles with the server's other
+// outbound traffic (a bare &http.Client{} would silently share
+// http.DefaultTransport).
+var peerProbeClient = &http.Client{
+	Timeout: peerProbeTimeout,
+	Transport: &http.Transport{
+		MaxIdleConns:        16,
+		MaxIdleConnsPerHost: 4,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
 
 // getCluster serves the node's view of the replica set: its own role,
 // term and leader, plus a concurrent liveness/lag probe of every
@@ -714,9 +784,12 @@ func (s *Server) getCluster(w http.ResponseWriter, r *http.Request) {
 
 // probePeer asks one peer for its healthz and condenses the answer into
 // a PeerStatus; a dead or unreachable peer reports Alive false with the
-// dial error.
-func probePeer(ctx context.Context, url string) api.PeerStatus {
-	ps := api.PeerStatus{URL: url}
+// dial error. Every outcome carries the probe's round-trip latency —
+// for failures that is the budget burned discovering the peer is gone.
+func probePeer(ctx context.Context, url string) (ps api.PeerStatus) {
+	ps = api.PeerStatus{URL: url}
+	start := time.Now()
+	defer func() { ps.ProbeMS = float64(time.Since(start).Microseconds()) / 1e3 }()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/api/v1/healthz", nil)
 	if err != nil {
 		ps.Error = err.Error()
@@ -740,6 +813,78 @@ func probePeer(ctx context.Context, url string) api.PeerStatus {
 	ps.AppliedSeq = h.Replication.AppliedSeq
 	ps.LagEvents = h.Replication.LagEvents
 	return ps
+}
+
+// --- Observability --------------------------------------------------------------
+
+// getMetrics serves the process-wide registry in the Prometheus text
+// format. Event-driven instruments (counters, latency histograms) are
+// already current; state gauges are collected from the platform
+// accessors at scrape time, so one scrape sees one consistent snapshot
+// of sizes/watermarks without the hot paths maintaining gauges.
+func (s *Server) getMetrics(w http.ResponseWriter, r *http.Request) {
+	s.collectStateGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = metrics.Default.WriteText(w)
+}
+
+// collectStateGauges snapshots per-shard pipeline state into the
+// registry's gauges: pending events, overlay size, frozen corpus size,
+// commit index, and this node's replication lag.
+func (s *Server) collectStateGauges() {
+	reg := metrics.Default
+	pending := reg.GaugeVec(metrics.PendingEvents, "Change events queued but not yet folded into the serving snapshot.", "shard")
+	overlay := reg.GaugeVec(metrics.OverlayDocs, "Documents in the delta overlay (compaction pressure).", "shard")
+	corpus := reg.GaugeVec(metrics.ShardDocs, "Frozen-corpus documents indexed.", "shard")
+	commit := reg.GaugeVec(metrics.CommitIndex, "Quorum-durable commit watermark.", "shard")
+	lag := reg.Gauge(metrics.ReplicationLagEvents, "Journal events this node trails its leader by (0 on leaders).")
+
+	shards := []*hive.Platform{s.p}
+	if s.sh != nil {
+		shards = s.sh.Shards()
+	}
+	for _, p := range shards {
+		id := strconv.Itoa(p.ShardID())
+		pending.With(id).Set(float64(p.PendingEvents()))
+		commit.With(id).Set(float64(p.CommitIndex()))
+		var overlayDocs, corpusDocs int
+		if eng := p.Snapshot(); eng != nil {
+			overlayDocs = eng.DeltaStats().OverlayDocs
+			if f := eng.Frozen(); f != nil {
+				corpusDocs = f.Len()
+			}
+		}
+		overlay.With(id).Set(float64(overlayDocs))
+		corpus.With(id).Set(float64(corpusDocs))
+	}
+	lag.Set(float64(s.p.ReplicationLag()))
+}
+
+// getTraces serves the slowest recent request traces (?n=, default 20)
+// out of the bounded ring the Observe middleware feeds.
+func (s *Server) getTraces(w http.ResponseWriter, r *http.Request) {
+	n := intParam(r, "n", 20, 1, metrics.DefaultTraceCapacity)
+	views := s.traces.Slowest(n)
+	out := api.TraceReport{Traces: make([]api.TraceInfo, len(views)), Capacity: metrics.DefaultTraceCapacity}
+	for i, v := range views {
+		info := api.TraceInfo{
+			TraceID:    v.ID,
+			Method:     v.Method,
+			Route:      v.Route,
+			Status:     v.Status,
+			Shard:      v.Shard,
+			StartedAt:  v.StartedAt,
+			DurationUS: v.DurationUS,
+		}
+		if len(v.Stages) > 0 {
+			info.Stages = make([]api.TraceStage, len(v.Stages))
+			for j, st := range v.Stages {
+				info.Stages[j] = api.TraceStage{Name: st.Name, DurationUS: st.DurationUS}
+			}
+		}
+		out.Traces[i] = info
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // uintParam parses a required non-negative integer query parameter.
@@ -873,7 +1018,7 @@ func (s *Server) postRefreshSync(w http.ResponseWriter, r *http.Request) {
 		err = s.p.Refresh()
 	}
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	dh := s.deltaHealth()
@@ -907,7 +1052,7 @@ func (s *Server) postBatch(w http.ResponseWriter, r *http.Request) {
 	// platform's follower guard — reject here so a follower never forks
 	// from its leader.
 	if s.p.IsFollower() {
-		writeErr(w, &hive.NotLeaderError{Leader: s.p.LeaderURL(), Epoch: s.p.Epoch()})
+		writeErr(w, r, &hive.NotLeaderError{Leader: s.p.LeaderURL(), Epoch: s.p.Epoch()})
 		return
 	}
 	var req api.BatchRequest
@@ -1076,7 +1221,7 @@ func (s *Server) applyEntity(ent api.BatchEntity) error {
 func (s *Server) getUser(w http.ResponseWriter, r *http.Request) {
 	u, err := s.p.GetUser(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, u)
@@ -1094,7 +1239,7 @@ func (s *Server) postWorkpadItem(w http.ResponseWriter, r *http.Request) {
 		err = s.p.AddToWorkpad(r.PathValue("id"), item)
 	}
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, api.CreatedResponse{Status: "added"})
@@ -1110,7 +1255,7 @@ func (s *Server) postWorkpadActivate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := s.checkShard(r, req.Owner); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	var err error
@@ -1120,7 +1265,7 @@ func (s *Server) postWorkpadActivate(w http.ResponseWriter, r *http.Request) {
 		err = s.p.ActivateWorkpad(req.Owner, r.PathValue("id"))
 	}
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, api.CreatedResponse{Status: "activated"})
@@ -1135,7 +1280,7 @@ func (s *Server) getActiveWorkpad(w http.ResponseWriter, r *http.Request) {
 		wp, err = s.p.ActiveWorkpad(r.PathValue("id"))
 	}
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wp)
@@ -1159,9 +1304,10 @@ func (s *Server) fetchAttendees(r *http.Request, _ int) ([]string, error) {
 // sequence-bound vector — stable while other shards keep writing.
 func (s *Server) getShardedFeed(w http.ResponseWriter, r *http.Request) {
 	limit := intParam(r, "limit", api.DefaultPageSize, 1, api.MaxPageSize)
-	items, next, err := s.sh.FeedPage(r.PathValue("id"), r.URL.Query().Get("cursor"), limit)
+	metrics.TraceFrom(r.Context()).SetShard(s.sh.ShardOf(r.PathValue("id")))
+	items, next, err := s.sh.FeedPage(r.Context(), r.PathValue("id"), r.URL.Query().Get("cursor"), limit)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	if items == nil {
@@ -1252,14 +1398,15 @@ func (s *Server) fetchSearch(r *http.Request, n int) ([]api.SearchResult, error)
 	user := r.URL.Query().Get("user")
 	if s.sh != nil {
 		if user != "" {
-			return s.sh.SearchWithContext(user, q, n)
+			return s.sh.SearchWithContext(r.Context(), user, q, n)
 		}
-		return s.sh.Search(q, n)
+		return s.sh.Search(r.Context(), q, n)
 	}
 	eng, err := s.engine()
 	if err != nil {
 		return nil, err
 	}
+	defer mSearchSeconds.ObserveSince(time.Now())
 	if user != "" {
 		return eng.SearchWithContext(user, q, n), nil
 	}
@@ -1297,7 +1444,7 @@ func (s *Server) getRelationship(w http.ResponseWriter, r *http.Request) {
 	if s.sh != nil {
 		ex, err := s.sh.Explain(a, b)
 		if err != nil {
-			writeErr(w, err)
+			writeErr(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, ex)
@@ -1305,12 +1452,12 @@ func (s *Server) getRelationship(w http.ResponseWriter, r *http.Request) {
 	}
 	eng, err := s.engine()
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	ex, err := eng.Explain(a, b)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ex)
@@ -1331,7 +1478,7 @@ func (s *Server) getPreview(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, snips)
@@ -1343,7 +1490,7 @@ func (s *Server) getDigest(w http.ResponseWriter, r *http.Request) {
 	if s.sh != nil {
 		sum, err := s.sh.UpdateDigest(id, budget)
 		if err != nil {
-			writeErr(w, err)
+			writeErr(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, sum)
@@ -1351,12 +1498,12 @@ func (s *Server) getDigest(w http.ResponseWriter, r *http.Request) {
 	}
 	eng, err := s.engine()
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	sum, err := eng.UpdateDigest(id, budget)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sum)
@@ -1367,7 +1514,7 @@ func (s *Server) getResourceRelationship(w http.ResponseWriter, r *http.Request)
 	if s.sh != nil {
 		evs, err := s.sh.ExplainResource(id, entity)
 		if err != nil {
-			writeErr(w, err)
+			writeErr(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, evs)
@@ -1375,12 +1522,12 @@ func (s *Server) getResourceRelationship(w http.ResponseWriter, r *http.Request)
 	}
 	eng, err := s.engine()
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	evs, err := eng.ExplainResource(id, entity)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, evs)
@@ -1392,7 +1539,7 @@ func (s *Server) getKnowledgePaths(w http.ResponseWriter, r *http.Request) {
 	if s.sh != nil {
 		paths, err := s.sh.KnowledgePaths(a, b, k)
 		if err != nil {
-			writeErr(w, err)
+			writeErr(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, paths)
@@ -1400,7 +1547,7 @@ func (s *Server) getKnowledgePaths(w http.ResponseWriter, r *http.Request) {
 	}
 	eng, err := s.engine()
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, eng.KnowledgePaths(a, b, k))
@@ -1435,9 +1582,23 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError emits the structured error envelope.
-func writeError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, api.ErrorResponse{Error: &api.Error{Code: code, Message: msg}})
+// writeError emits the structured error envelope, stamped with the
+// request's trace ID so a failed call is findable in the access log
+// and debug/traces.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	writeJSON(w, status, api.ErrorResponse{
+		Error:   &api.Error{Code: code, Message: msg},
+		TraceID: traceID(r),
+	})
+}
+
+// traceID extracts the request's trace ID ("" outside a traced
+// request — metrics disabled, or a response written without one).
+func traceID(r *http.Request) string {
+	if r == nil {
+		return ""
+	}
+	return metrics.TraceFrom(r.Context()).ID()
 }
 
 // apiError maps a domain error to its wire form.
@@ -1500,7 +1661,7 @@ func classify(err error) (*api.Error, int) {
 }
 
 // writeErr maps a domain error to HTTP status + envelope.
-func writeErr(w http.ResponseWriter, err error) {
+func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	ae, status := classify(err)
-	writeJSON(w, status, api.ErrorResponse{Error: ae})
+	writeJSON(w, status, api.ErrorResponse{Error: ae, TraceID: traceID(r)})
 }

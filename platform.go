@@ -1,5 +1,7 @@
 package hive
 
+import "time"
+
 // Mutation API: thin wrappers over the social store. Snapshot
 // maintenance is handled by the store's typed change log (subscribed in
 // Open): every write — through these wrappers or directly against
@@ -220,6 +222,7 @@ func (p *Platform) Search(query string, k int) ([]SearchResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer mSearchSeconds.ObserveSince(time.Now())
 	return eng.Search(query, k), nil
 }
 
@@ -230,6 +233,7 @@ func (p *Platform) SearchWithContext(userID, query string, k int) ([]SearchResul
 	if err != nil {
 		return nil, err
 	}
+	defer mSearchSeconds.ObserveSince(time.Now())
 	return eng.SearchWithContext(userID, query, k), nil
 }
 

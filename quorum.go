@@ -155,6 +155,7 @@ func (p *Platform) waitQuorum() error {
 		return nil
 	}
 	seq := p.store.ChangeSeq()
+	defer mQuorumAckWaitSeconds.ObserveSince(time.Now())
 	deadline := time.NewTimer(p.ackTimeout)
 	defer deadline.Stop()
 	recheck := time.NewTicker(ackRecheck)
@@ -231,7 +232,14 @@ func (p *Platform) FollowerAcks() []FollowerAckInfo {
 
 // promoteProbeClient keeps the gate's peer probes on short, pooled
 // connections, independent of any request context.
-var promoteProbeClient = &http.Client{Timeout: promoteProbeTimeout}
+var promoteProbeClient = &http.Client{
+	Timeout: promoteProbeTimeout,
+	Transport: &http.Transport{
+		MaxIdleConns:        16,
+		MaxIdleConnsPerHost: 4,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
 
 // peerProgress is the slice of a peer's healthz the gate reads. The
 // hive package cannot import api (api aliases hive's DTO types), so the
@@ -317,6 +325,7 @@ func (p *Platform) moreCaughtUpPeer() (url string, seq uint64, found bool) {
 func (p *Platform) deferPromotion() {
 	p.deferStreak++
 	p.deferrals.Add(1)
+	mDeferrals.Inc()
 	if y, ok := p.elector.(election.Yielder); ok {
 		y.Yield()
 	}

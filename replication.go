@@ -228,7 +228,9 @@ func (p *Platform) followLoop(f *follower) {
 		// the long-poll early when the watermark moved).
 		from := f.applied.Load()
 		ack := &client.ReplAck{Self: p.selfURL, Applied: from, Commit: p.store.CommitIndex()}
+		pollStart := time.Now()
 		ev, err := f.c.ReplicationEvents(f.ctx, from, followBatchMax, followPollWait, p.store.Epoch(), ack)
+		mReplicationPollSeconds.ObserveSince(pollStart)
 		switch {
 		case err == nil:
 		case api.IsCode(err, api.CodeCompacted):

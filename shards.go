@@ -32,6 +32,7 @@ package hive
 // approximation; search, feeds and set reads are exact.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,6 +44,7 @@ import (
 
 	"hive/api"
 	"hive/internal/core"
+	"hive/internal/metrics"
 	"hive/internal/social"
 	"hive/internal/textindex"
 	"hive/internal/topk"
@@ -495,7 +497,7 @@ type shardEvent struct {
 // answer on the question's). Matches the unsharded Platform.Feed order
 // whenever event timestamps are distinct.
 func (sh *Sharded) Feed(userID string, limit int) []Event {
-	page, _ := sh.feedScatter(userID, make([]uint64, len(sh.shards)), limit)
+	page, _ := sh.feedScatter(context.Background(), userID, make([]uint64, len(sh.shards)), limit)
 	evs := eventsOf(page)
 	// The merged page is newest-first; the Platform surface is oldest-first.
 	for i, j := 0, len(evs)-1; i < j; i, j = i+1, j-1 {
@@ -509,8 +511,9 @@ func (sh *Sharded) Feed(userID string, limit int) []Event {
 // api.EncodeShardCursor): each shard resumes strictly below the lowest
 // sequence already consumed from it, so pages never skip or repeat an
 // event while any shard keeps writing — the guarantee a single global
-// offset cannot give once sequences are per-shard.
-func (sh *Sharded) FeedPage(userID, cursor string, limit int) ([]Event, string, error) {
+// offset cannot give once sequences are per-shard. ctx carries the
+// request trace (if any): each shard's gather is recorded as a stage.
+func (sh *Sharded) FeedPage(ctx context.Context, userID, cursor string, limit int) ([]Event, string, error) {
 	bounds, err := api.DecodeShardCursor(cursor, len(sh.shards))
 	if err != nil {
 		return nil, "", err
@@ -518,7 +521,7 @@ func (sh *Sharded) FeedPage(userID, cursor string, limit int) ([]Event, string, 
 	if limit <= 0 {
 		limit = 20
 	}
-	page, hasMore := sh.feedScatter(userID, bounds, limit)
+	page, hasMore := sh.feedScatter(ctx, userID, bounds, limit)
 	// Advance each consumed shard's bound to its lowest consumed
 	// sequence; untouched shards keep their previous bound.
 	for _, se := range page {
@@ -547,7 +550,9 @@ func eventsOf(ses []shardEvent) []Event {
 // feedScatter fans the followee set out across every shard and merges
 // the newest-first streams. limit <= 0 means everything. hasMore
 // reports whether unconsumed events remained past the page.
-func (sh *Sharded) feedScatter(userID string, bounds []uint64, limit int) (page []shardEvent, hasMore bool) {
+func (sh *Sharded) feedScatter(ctx context.Context, userID string, bounds []uint64, limit int) (page []shardEvent, hasMore bool) {
+	defer mScatterFeedSeconds.ObserveSince(time.Now())
+	tr := metrics.TraceFrom(ctx)
 	followees := sh.home(userID).store.Following(userID)
 	if len(followees) == 0 {
 		return nil, false
@@ -562,6 +567,7 @@ func (sh *Sharded) feedScatter(userID string, bounds []uint64, limit int) (page 
 		wg.Add(1)
 		go func(i int, st *social.Store) {
 			defer wg.Done()
+			defer tr.StartStage(fmt.Sprintf("feed_shard%d", i))()
 			evs := st.EventsByActorsBefore(followees, bounds[i], fetch)
 			ses := make([]shardEvent, len(evs))
 			for j, ev := range evs {
@@ -625,8 +631,8 @@ var searchBetter = func(a, b textindex.Result) bool {
 // top-k lists k-way merge under the same score/doc-ID order the
 // unsharded path uses. Results are bit-identical to one unsharded
 // index of the union corpus, tie-breaks included.
-func (sh *Sharded) Search(query string, k int) ([]SearchResult, error) {
-	merged, _, err := sh.scatterSearch(query, k)
+func (sh *Sharded) Search(ctx context.Context, query string, k int) ([]SearchResult, error) {
+	merged, _, err := sh.scatterSearch(ctx, query, k)
 	if err != nil {
 		return nil, err
 	}
@@ -634,8 +640,13 @@ func (sh *Sharded) Search(query string, k int) ([]SearchResult, error) {
 }
 
 // scatterSearch runs the two-phase fan-out and also reports which
-// shard engine owns each returned document (for re-ranking reads).
-func (sh *Sharded) scatterSearch(query string, k int) ([]textindex.Result, map[string]*core.Engine, error) {
+// shard engine owns each returned document (for re-ranking reads). ctx
+// carries the request trace (if any): each shard's scoring pass is
+// recorded as a stage, so debug/traces shows where a slow fan-out
+// spent its time.
+func (sh *Sharded) scatterSearch(ctx context.Context, query string, k int) ([]textindex.Result, map[string]*core.Engine, error) {
+	defer mScatterSearchSeconds.ObserveSince(time.Now())
+	tr := metrics.TraceFrom(ctx)
 	engs, err := sh.engines()
 	if err != nil {
 		return nil, nil, err
@@ -659,6 +670,7 @@ func (sh *Sharded) scatterSearch(query string, k int) ([]textindex.Result, map[s
 		wg.Add(1)
 		go func(i int, v *textindex.Segmented) {
 			defer wg.Done()
+			defer tr.StartStage(fmt.Sprintf("search_shard%d", i))()
 			lists[i] = v.SearchStats(query, k, g)
 		}(i, v)
 	}
@@ -685,17 +697,17 @@ func toResults(rs []textindex.Result) []SearchResult {
 // shard, which holds their workpad). Document vectors come from the
 // owning shard's statistics — a shard-local approximation, unlike the
 // exact base ranking.
-func (sh *Sharded) SearchWithContext(userID, query string, k int) ([]SearchResult, error) {
+func (sh *Sharded) SearchWithContext(ctx context.Context, userID, query string, k int) ([]SearchResult, error) {
 	home, err := sh.EngineFor(userID)
 	if err != nil {
 		return nil, err
 	}
-	ctx := home.ContextVector(userID)
-	base, owner, err := sh.scatterSearch(query, 4*k)
+	cvec := home.ContextVector(userID)
+	base, owner, err := sh.scatterSearch(ctx, query, 4*k)
 	if err != nil {
 		return nil, err
 	}
-	if len(ctx) == 0 {
+	if len(cvec) == 0 {
 		if k > 0 && len(base) > k {
 			base = base[:k]
 		}
@@ -707,7 +719,7 @@ func (sh *Sharded) SearchWithContext(userID, query string, k int) ([]SearchResul
 		sim := 0.0
 		if eng := owner[r.DocID]; eng != nil {
 			if dv, err := eng.DocTFIDF(r.DocID); err == nil {
-				sim = dv.Cosine(ctx)
+				sim = dv.Cosine(cvec)
 			}
 		}
 		h.Push(textindex.Result{DocID: r.DocID, Score: r.Score * (1 + ctxWeight*sim)})

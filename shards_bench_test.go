@@ -5,6 +5,7 @@
 package hive_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -94,7 +95,7 @@ func BenchmarkScatterGatherSearch(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sh.Search("graph partitioning streams", 10); err != nil {
+				if _, err := sh.Search(context.Background(), "graph partitioning streams", 10); err != nil {
 					b.Fatal(err)
 				}
 			}

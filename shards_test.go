@@ -1,6 +1,7 @@
 package hive
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -228,7 +229,7 @@ func TestShardedParity(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					got, err := sh.Search(q, 10)
+					got, err := sh.Search(context.Background(), q, 10)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -327,7 +328,7 @@ func TestShardManifestPinsCount(t *testing.T) {
 	if _, err := sh2.GetUser("u"); err != nil {
 		t.Fatalf("user lost across sharded reopen: %v", err)
 	}
-	rs, err := sh2.Search("sharded journal", 5)
+	rs, err := sh2.Search(context.Background(), "sharded journal", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +389,7 @@ func TestShardedFeedCursorStability(t *testing.T) {
 	pages := 0
 	extra := initial
 	for {
-		page, next, err := sh.FeedPage("reader", cursor, 7)
+		page, next, err := sh.FeedPage(context.Background(), "reader", cursor, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
